@@ -1,0 +1,90 @@
+"""Ablation D: cluster scaling and the global combination phase.
+
+FREERIDE is a cluster middleware; the paper runs on one node but describes
+the global combination ("a simple all-to-one reduce ... if the size of the
+reduction object is large ... a parallel merge").  This ablation scales the
+Figure 9 k-means workload across simulated nodes and shows (a) near-linear
+scaling while compute dominates, and (b) the all-to-one vs parallel-merge
+crossover once the reduction object is large.
+"""
+
+import pytest
+
+from repro.bench import SimulationConfig, measure_kmeans_profiles, simulate_profile
+from repro.data import KMEANS_SMALL
+from repro.machine.simmachine import ClusterCombinePhase, NetworkModel
+
+from conftest import save_report
+
+
+def test_ablation_cluster_scaling(benchmark):
+    cfg = KMEANS_SMALL
+
+    def run():
+        profiles = measure_kmeans_profiles(cfg.k, cfg.dim, versions=("manual",))
+        out = {}
+        for nodes in (1, 2, 4, 8):
+            report = simulate_profile(
+                profiles["manual"],
+                cfg.n_points,
+                cfg.iterations,
+                num_threads=4,
+                config=SimulationConfig(num_nodes=nodes),
+            )
+            out[nodes] = report.total_seconds
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Compute dominates for k-means: near-linear node scaling.
+    assert results[1] / results[8] > 6.0
+    for a, b in zip((1, 2, 4), (2, 4, 8)):
+        assert results[b] < results[a]
+
+    lines = ["ABLATION D — cluster scaling (k-means 12 MB, manual FR, 4 threads/node)"]
+    lines.append(f"{'nodes':>6}  {'seconds':>10}  {'speedup':>8}")
+    for nodes, secs in results.items():
+        lines.append(f"{nodes:>6}  {secs:>10.3f}  {results[1] / secs:>7.2f}x")
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("ablation_cluster", report)
+
+
+def test_ablation_global_combine_strategies(benchmark):
+    """All-to-one vs parallel merge for small and large reduction objects."""
+
+    def run():
+        out = {}
+        for label, elements in (("small RO (k-means)", 500), ("large RO (PCA cov)", 1_000_000)):
+            for strategy in ("all_to_one", "parallel_merge"):
+                phase = ClusterCombinePhase(
+                    "g",
+                    num_nodes=16,
+                    ro_elements=elements,
+                    ro_bytes=elements * 8,
+                    cycles_per_element=2.0,
+                    strategy=strategy,
+                    network=NetworkModel(),
+                )
+                out[(label, strategy)] = phase.critical_path_seconds(2.33e9)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Large objects: the tree's log2(16)=4 rounds beat 15 sequential merges.
+    big_tree = results[("large RO (PCA cov)", "parallel_merge")]
+    big_seq = results[("large RO (PCA cov)", "all_to_one")]
+    assert big_tree < big_seq / 3
+    # Small objects: latency dominates either way; both are sub-millisecond
+    # and the middleware's auto policy picks all_to_one.
+    small_auto = ClusterCombinePhase(
+        "g", num_nodes=16, ro_elements=500, ro_bytes=4000, cycles_per_element=2.0
+    )
+    assert small_auto.resolved_strategy() == "all_to_one"
+
+    lines = ["ABLATION D2 — global combination strategies (16 nodes)"]
+    for (label, strategy), secs in results.items():
+        lines.append(f"  {label:<20} {strategy:<15} {secs * 1000:>10.3f} ms")
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("ablation_global_combine", report)

@@ -1,0 +1,68 @@
+"""Ablation B: parallel linearization (the paper's stated future work).
+
+§V: "linearization is done sequentially.  This points to the need for
+performing linearization in parallel and/or overlapping linearization with
+processing of data."  This ablation implements that proposal in the
+simulator and quantifies how much of the opt-2-vs-manual gap it closes on
+the figure the gap is most visible in (Figure 11: i=1, nothing amortizes).
+"""
+
+from repro.bench import SimulationConfig, measure_kmeans_profiles, sweep_threads
+from repro.data import KMEANS_LARGE_K100_I1
+
+from conftest import save_report
+
+
+def test_ablation_parallel_linearization(benchmark):
+    cfg = KMEANS_LARGE_K100_I1
+
+    def run():
+        profiles = measure_kmeans_profiles(cfg.k, cfg.dim, versions=("opt-2", "manual"))
+        seq = sweep_threads(
+            profiles["opt-2"], cfg.n_points, cfg.iterations,
+            config=SimulationConfig(linearization_mode="sequential"),
+        )
+        par = sweep_threads(
+            profiles["opt-2"], cfg.n_points, cfg.iterations,
+            config=SimulationConfig(linearization_mode="parallel"),
+        )
+        ovl = sweep_threads(
+            profiles["opt-2"], cfg.n_points, cfg.iterations,
+            config=SimulationConfig(linearization_mode="overlap"),
+        )
+        man = sweep_threads(profiles["manual"], cfg.n_points, cfg.iterations)
+        return seq, par, ovl, man
+
+    seq, par, ovl, man = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # The pipelined (overlap) strategy must also beat sequential at scale.
+    assert ovl.seconds[8] < seq.seconds[8]
+
+    # Parallel linearization must help, and must help MORE at 8 threads
+    # (Amdahl: the sequential phase is what stops scaling).
+    assert par.seconds[8] < seq.seconds[8]
+    gain_1 = seq.seconds[1] / par.seconds[1]
+    gain_8 = seq.seconds[8] / par.seconds[8]
+    assert gain_8 > gain_1
+    # The 8-thread opt-2/manual gap closes substantially.
+    gap_seq = seq.seconds[8] / man.seconds[8]
+    gap_par = par.seconds[8] / man.seconds[8]
+    assert gap_par < gap_seq
+
+    lines = [
+        "ABLATION B — linearization strategies (k-means 1.2 GB, k=100, i=1, opt-2)",
+        f"{'threads':>7}  {'sequential':>12}  {'parallel':>12}  "
+        f"{'pipelined':>12}  {'manual':>10}",
+    ]
+    for p in (1, 2, 4, 8):
+        lines.append(
+            f"{p:>7}  {seq.seconds[p]:>12.3f}  {par.seconds[p]:>12.3f}  "
+            f"{ovl.seconds[p]:>12.3f}  {man.seconds[p]:>10.3f}"
+        )
+    lines.append(
+        f"opt-2/manual gap at 8 threads: {gap_seq:.3f} (sequential) -> "
+        f"{gap_par:.3f} (parallel) / {ovl.seconds[8] / man.seconds[8]:.3f} (pipelined)"
+    )
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("ablation_linearization", report)

@@ -1,0 +1,73 @@
+"""Ablation C: chunk granularity and scheduling policy.
+
+FREERIDE's Phoenix-based runtime hands fixed-size chunks to idle threads
+(dynamic scheduling).  This ablation quantifies why: with coarse chunks or
+static assignment, quantization and skew inflate the makespan — the same
+mechanism behind the PCA figures' 8-thread plateau.
+"""
+
+import pytest
+
+from repro.bench import SimulationConfig, measure_kmeans_profiles, sweep_threads
+from repro.data import KMEANS_SMALL
+
+from conftest import save_report
+
+
+def test_ablation_chunk_granularity(benchmark):
+    cfg = KMEANS_SMALL
+
+    def run():
+        profiles = measure_kmeans_profiles(cfg.k, cfg.dim, versions=("manual",))
+        out = {}
+        for num_chunks in (8, 12, 32, 256):
+            sweep = sweep_threads(
+                profiles["manual"],
+                cfg.n_points,
+                cfg.iterations,
+                config=SimulationConfig(num_chunks=num_chunks),
+            )
+            out[num_chunks] = sweep.seconds
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # 8 chunks on 8 threads is perfectly balanced; 12 chunks is the worst
+    # quantization (2 waves, 4 threads idle in the second).
+    assert results[12][8] > results[8][8]
+    assert results[12][8] > results[256][8]
+    # fine-grained chunking approaches the 8-chunk ideal
+    assert results[256][8] == pytest.approx(results[8][8], rel=0.05)
+
+    lines = ["ABLATION C — chunk granularity (k-means 12 MB, manual FR, 8 threads)"]
+    lines.append(f"{'chunks':>8}  {'seconds@8':>10}  {'speedup@8':>10}")
+    for nc, secs in results.items():
+        lines.append(f"{nc:>8}  {secs[8]:>10.3f}  {secs[1] / secs[8]:>9.2f}x")
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("ablation_scheduling", report)
+
+
+def test_ablation_dynamic_vs_static_on_skew(benchmark):
+    """Static round-robin vs dynamic work queue under skewed chunk costs."""
+    from repro.machine.costmodel import CostModel
+    from repro.machine.simmachine import ParallelPhase, SimMachine
+
+    def run():
+        # synthetic skew: every 16th chunk is 10x heavier (e.g. denser rows)
+        costs = tuple(1000.0 if i % 16 == 0 else 100.0 for i in range(128))
+        cm = CostModel(clock_hz=1e6)
+        dyn = SimMachine(cm, 8, scheduling="dynamic").run(
+            [ParallelPhase("w", costs)]
+        )
+        stat = SimMachine(cm, 8, scheduling="static").run(
+            [ParallelPhase("w", costs)]
+        )
+        return dyn.total_seconds, stat.total_seconds
+
+    dyn, stat = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert dyn <= stat
+    save_report(
+        "ablation_dynamic_vs_static",
+        f"skewed chunks, 8 threads: dynamic {dyn:.6f}s vs static {stat:.6f}s",
+    )

@@ -1,0 +1,85 @@
+"""Ablation A: shared-memory techniques for reduction-object updates.
+
+The paper's runs use the middleware default; FREERIDE's lineage (Jin &
+Agrawal, SDM'02) defines full replication vs the locking family.  This
+ablation prices all four on the simulated machine for the Figure 9 k-means
+workload and also benchmarks real threaded execution under each technique.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import KmeansRunner
+from repro.bench import SimulationConfig, measure_kmeans_profiles, sweep_threads
+from repro.data import KMEANS_SMALL, initial_centroids
+from repro.freeride.sharedmem import SharedMemTechnique
+
+from conftest import save_report
+
+TECHNIQUES = list(SharedMemTechnique)
+
+
+def test_ablation_sharedmem_simulated(benchmark):
+    def run():
+        profiles = measure_kmeans_profiles(
+            KMEANS_SMALL.k, KMEANS_SMALL.dim, versions=("opt-2",)
+        )
+        out = {}
+        for tech in TECHNIQUES:
+            sweep = sweep_threads(
+                profiles["opt-2"],
+                KMEANS_SMALL.n_points,
+                KMEANS_SMALL.iterations,
+                config=SimulationConfig(technique=tech),
+            )
+            out[tech.value] = sweep.seconds
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Replication avoids per-update synchronization entirely; with a small
+    # reduction object (k-means) it must win at every thread count.
+    for p in (1, 2, 4, 8):
+        repl = results["full_replication"][p]
+        for tech in ("full_locking", "optimized_full_locking", "cache_sensitive_locking"):
+            assert results[tech][p] > repl
+    # The locking family is ordered by per-acquisition cost.
+    assert results["full_locking"][8] > results["optimized_full_locking"][8]
+    assert results["optimized_full_locking"][8] >= results["cache_sensitive_locking"][8]
+
+    lines = ["ABLATION A — shared-memory techniques (k-means 12 MB, opt-2)"]
+    lines.append(f"{'threads':>7}  " + "  ".join(f"{t.value:>24}" for t in TECHNIQUES))
+    for p in (1, 2, 4, 8):
+        lines.append(
+            f"{p:>7}  "
+            + "  ".join(f"{results[t.value][p]:>24.3f}" for t in TECHNIQUES)
+        )
+    # the tradeoff's other axis: reduction-object memory at 8 threads
+    ro_bytes = 100 * 5 * 8  # k=100 groups x (dim+1) elements x 8 B
+    lines.append(
+        f"reduction-object memory at 8 threads: replication "
+        f"{8 * ro_bytes:,} B (8 private copies) vs locking {ro_bytes:,} B (shared)"
+    )
+    report = "\n".join(lines)
+    print("\n" + report)
+    save_report("ablation_sharedmem", report)
+
+
+@pytest.mark.parametrize("technique", [t.value for t in TECHNIQUES])
+def test_ablation_sharedmem_real(benchmark, technique):
+    cfg = KMEANS_SMALL.scaled(1 / 2048)
+    points = cfg.generate()
+    cents = initial_centroids(points, cfg.k, seed=13)
+    runner = KmeansRunner(
+        cfg.k,
+        cfg.dim,
+        version="manual",
+        num_threads=4,
+        executor="threads",
+        chunk_size=32,
+        technique=technique,
+    )
+    result = benchmark.pedantic(
+        lambda: runner.run(points, cents, iterations=1), rounds=2, iterations=1
+    )
+    assert result.counts.sum() == cfg.n_points

@@ -1,0 +1,34 @@
+"""Figure 9: K-means, 12 MB dataset, k=100, i=10 — four versions x threads.
+
+Regenerates the figure's series (simulated seconds at the paper's scale)
+and benchmarks the real execution of every version at CI scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import KmeansRunner
+from repro.data import KMEANS_SMALL, initial_centroids
+
+from conftest import regenerate_and_check
+
+CFG = KMEANS_SMALL.scaled(1 / 1024)  # CI-scale real runs: ~384 points
+
+
+def test_fig9_regenerate(benchmark):
+    text = benchmark.pedantic(
+        lambda: regenerate_and_check("fig9"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("version", ["generated", "opt-1", "opt-2", "manual"])
+def test_fig9_real_version(benchmark, version):
+    points = CFG.generate()
+    cents = initial_centroids(points, CFG.k, seed=3)
+    runner = KmeansRunner(CFG.k, CFG.dim, version=version, num_threads=2)
+    result = benchmark.pedantic(
+        lambda: runner.run(points, cents, iterations=1), rounds=2, iterations=1
+    )
+    assert np.all(result.counts >= 0)
+    assert result.counts.sum() == CFG.n_points

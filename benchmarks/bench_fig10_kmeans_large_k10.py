@@ -1,0 +1,29 @@
+"""Figure 10: K-means, 1.2 GB dataset, k=10, i=10."""
+
+import numpy as np
+import pytest
+
+from repro.apps import KmeansRunner
+from repro.data import KMEANS_LARGE_K10, initial_centroids
+
+from conftest import regenerate_and_check
+
+CFG = KMEANS_LARGE_K10.scaled(1 / 65536)  # CI-scale: ~600 points
+
+
+def test_fig10_regenerate(benchmark):
+    text = benchmark.pedantic(
+        lambda: regenerate_and_check("fig10"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("version", ["opt-2", "manual"])
+def test_fig10_real_version(benchmark, version):
+    points = CFG.generate()
+    cents = initial_centroids(points, CFG.k, seed=5)
+    runner = KmeansRunner(CFG.k, CFG.dim, version=version, num_threads=4)
+    result = benchmark.pedantic(
+        lambda: runner.run(points, cents, iterations=2), rounds=2, iterations=1
+    )
+    assert result.counts.sum() == CFG.n_points

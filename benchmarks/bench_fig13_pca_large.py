@@ -1,0 +1,26 @@
+"""Figure 13: PCA, rows=1000, columns=100,000 — opt-2 vs manual FR."""
+
+import numpy as np
+import pytest
+
+from repro.apps import PcaRunner
+from repro.data import pca_matrix
+
+from conftest import regenerate_and_check
+
+REAL_M, REAL_COLS = 24, 1200
+
+
+def test_fig13_regenerate(benchmark):
+    text = benchmark.pedantic(
+        lambda: regenerate_and_check("fig13"), rounds=1, iterations=1
+    )
+    print("\n" + text)
+
+
+def test_fig13_real_manual_scales_with_columns(benchmark):
+    """10x the columns of the Figure 12 CI workload ~ 10x the elements."""
+    matrix = pca_matrix(REAL_M, REAL_COLS, seed=9)
+    runner = PcaRunner(REAL_M, version="manual", num_threads=4)
+    result = benchmark.pedantic(lambda: runner.run(matrix), rounds=2, iterations=1)
+    assert result.counters.elements_processed == 2 * REAL_COLS  # both phases

@@ -1,0 +1,81 @@
+"""Figure 4 ablation: FREERIDE vs Map-Reduce processing structure.
+
+The paper argues FREERIDE "avoids the overhead due to sorting, grouping,
+and shuffling ... [and] the need for storage of intermediate (key, value)
+pairs".  This benchmark runs the same generalized reduction through both
+runtimes and reports exactly those overheads, plus real wall-clock times.
+"""
+
+import numpy as np
+import pytest
+
+from repro.freeride.runtime import FreerideEngine
+from repro.mapreduce import GeneralizedReduction, MapReduceEngine, compare_structures
+
+from conftest import save_report
+
+N_ELEMENTS = 20_000
+NUM_BINS = 64
+
+
+def histogram_workload():
+    width = 1.0 / NUM_BINS
+
+    def process(x):
+        b = min(int(x / width), NUM_BINS - 1)
+        return b, np.array([1.0, float(x)])
+
+    return GeneralizedReduction(
+        name="histogram", process=process, num_groups=NUM_BINS, num_elems=2
+    )
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(11).uniform(0, 1, N_ELEMENTS)
+
+
+def test_fig4_structural_overheads(benchmark, data):
+    cmp = benchmark.pedantic(
+        lambda: compare_structures(histogram_workload(), data, num_threads=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert cmp.results_match
+    assert cmp.mapreduce_pairs == N_ELEMENTS
+    assert cmp.freeride_intermediate_pairs == 0
+    assert cmp.mapreduce_sort_comparisons > N_ELEMENTS  # n log n sorting
+    report = "\n".join(
+        [
+            "FIG4 — processing-structure comparison (histogram, "
+            f"n={N_ELEMENTS:,}, {NUM_BINS} bins)",
+            f"  FREERIDE reduction-object updates : {cmp.freeride_ro_updates:,}",
+            f"  FREERIDE intermediate pairs       : {cmp.freeride_intermediate_pairs:,}",
+            f"  Map-Reduce intermediate pairs     : {cmp.mapreduce_pairs:,}",
+            f"  Map-Reduce intermediate bytes     : {cmp.mapreduce_intermediate_bytes:,}",
+            f"  Map-Reduce sort comparisons       : {cmp.mapreduce_sort_comparisons:,}",
+        ]
+    )
+    print("\n" + report)
+    save_report("fig4_structure", report)
+
+
+def test_fig4_freeride_wallclock(benchmark, data):
+    workload = histogram_workload()
+    engine = FreerideEngine(num_threads=2)
+    spec = workload.freeride_spec()
+    result = benchmark.pedantic(
+        lambda: engine.run(spec, data), rounds=3, iterations=1
+    )
+    assert result.stats.total_elements == N_ELEMENTS
+
+
+def test_fig4_mapreduce_wallclock(benchmark, data):
+    workload = histogram_workload()
+    engine = MapReduceEngine(num_threads=2)
+    result = benchmark.pedantic(
+        lambda: engine.run(workload.map_fn, workload.reduce_fn, data),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.stats.total_elements == N_ELEMENTS

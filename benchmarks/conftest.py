@@ -1,0 +1,45 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every ``bench_fig*.py`` module does two things:
+
+* ``test_*_regenerate`` — regenerates the figure's series at the paper's
+  full dataset scale through the measured-profile + simulated-machine
+  pipeline, prints the table the paper plots, evaluates the shape checks,
+  and writes the report to ``benchmarks/results/<fig>.txt``;
+* ``test_*_real_*`` — pytest-benchmark timings of the *real* (functionally
+  verified) execution at CI scale, so the suite also exercises genuine
+  wall-clock behaviour.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(fig_id: str, text: str) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{fig_id}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def report_saver():
+    return save_report
+
+
+def regenerate_and_check(fig_id: str, thread_counts=(1, 2, 4, 8)) -> str:
+    """Run one figure, assert every shape check, return the printed report."""
+    from repro.bench import full_report, run_figure, shape_checks
+
+    result = run_figure(fig_id, thread_counts=thread_counts)
+    checks = shape_checks(result)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"{fig_id}: shape checks failed: {failed}"
+    text = full_report(result)
+    save_report(fig_id, text)
+    return text

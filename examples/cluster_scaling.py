@@ -1,0 +1,68 @@
+"""Cluster execution and the global combination phase (paper §III-A).
+
+FREERIDE is a cluster middleware: after each node combines its threads'
+reduction-object copies locally, "the results produced by all nodes in a
+cluster are combined again to form the final result" — all-to-one for
+small objects, parallel merge for large ones.
+
+This example (1) runs a reduction *functionally* across simulated nodes on
+the real engine and checks the result, and (2) uses the machine model to
+show how the two global-combination strategies scale with node count for a
+small (k-means) and a large (PCA covariance) reduction object.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_reduction
+from repro.freeride import FreerideEngine
+from repro.machine import ClusterCombinePhase, NetworkModel
+
+SUM_SOURCE = """
+class sumReduction : ReduceScanOp {
+  def accumulate(x: real) { roAdd(0, 0, x); }
+}
+"""
+
+
+def functional_cluster_run() -> None:
+    data = np.arange(1_000_000, dtype=np.float64)
+    comp = compile_reduction(SUM_SOURCE, {}, opt_level=2)
+    bound = comp.bind(data)
+    spec, idx = bound.make_spec([(1, "add")])
+    for nodes in (1, 2, 4):
+        engine = FreerideEngine(num_threads=2, num_nodes=nodes)
+        result = engine.run(spec, idx)
+        g = result.stats.global_combination
+        print(f"nodes={nodes}: sum={result.ro.get(0, 0):.0f}  "
+              f"global merges={g.merges if g else 0}")
+        assert result.ro.get(0, 0) == data.sum()
+
+
+def combination_strategy_model() -> None:
+    print("\nglobal combination on the modeled cluster "
+          "(1 Gb/s network, 2.33 GHz nodes):")
+    print(f"{'nodes':>6} {'RO':>20} {'all-to-one':>12} {'tree merge':>12}")
+    for elements, label in ((500, "k-means (4 KB)"), (1_000_000, "PCA cov (8 MB)")):
+        for nodes in (2, 4, 8, 16, 32):
+            times = {}
+            for strategy in ("all_to_one", "parallel_merge"):
+                phase = ClusterCombinePhase(
+                    "g",
+                    num_nodes=nodes,
+                    ro_elements=elements,
+                    ro_bytes=elements * 8,
+                    cycles_per_element=2.0,
+                    strategy=strategy,
+                    network=NetworkModel(),
+                )
+                times[strategy] = phase.critical_path_seconds(2.33e9)
+            print(f"{nodes:>6} {label:>20} "
+                  f"{times['all_to_one'] * 1e3:>10.2f}ms "
+                  f"{times['parallel_merge'] * 1e3:>10.2f}ms")
+
+
+if __name__ == "__main__":
+    functional_cluster_run()
+    combination_strategy_model()

@@ -1,0 +1,26 @@
+"""Regenerate every evaluation figure of the paper (Figures 9-13).
+
+For each figure: measure the per-version operation profiles by executing
+the instrumented kernels on samples, simulate at the paper's full dataset
+scale on the modeled Xeon E5345, print the series the paper plots, and
+evaluate the paper's qualitative claims as shape checks.
+
+Run:  python examples/reproduce_figures.py            # all figures
+      python examples/reproduce_figures.py fig9 fig12 # a subset
+"""
+
+import sys
+
+from repro.bench import FIGURES, full_report, run_figure
+
+
+def main(argv: list[str]) -> None:
+    fig_ids = argv or list(FIGURES)
+    for fig_id in fig_ids:
+        result = run_figure(fig_id)
+        print(full_report(result))
+        print("\n" + "=" * 78 + "\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

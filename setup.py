@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+``pip install -e .`` cannot build the editable wheel PEP 660 requires.
+This shim lets ``python setup.py develop`` (and old-style
+``pip install -e . --no-use-pep517``-like flows) install the package from
+``pyproject.toml`` metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""Command-line figure regeneration: ``python -m repro.bench [fig9 ...]``.
+
+With no arguments, regenerates every figure (9-13) at the paper's dataset
+scales and prints the full reports.  ``--scale`` shrinks the element counts
+for a quick look; ``--threads`` changes the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FIGURES, run_figure
+from repro.bench.report import full_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help=f"figure ids from {sorted(FIGURES)} (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="element-count scale factor (default 1.0 = paper scale)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=str,
+        default="1,2,4,8",
+        help="comma-separated thread counts (default 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="also write the reports to this file",
+    )
+    args = parser.parse_args(argv)
+
+    thread_counts = tuple(int(t) for t in args.threads.split(","))
+    fig_ids = args.figures or sorted(FIGURES)
+    reports: list[str] = []
+    for fig_id in fig_ids:
+        result = run_figure(fig_id, thread_counts=thread_counts, scale=args.scale)
+        text = full_report(result)
+        reports.append(text)
+        print(text)
+        print()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text("\n\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

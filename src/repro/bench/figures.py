@@ -1,0 +1,201 @@
+"""Per-figure configurations and runners (the paper's Figures 9-13).
+
+Each figure spec names the workload parameters from §V, which versions the
+paper plots, and how the input is chunked.  ``run_figure`` measures the
+version profiles on samples, simulates at the paper's full dataset scale,
+and evaluates the paper's qualitative claims as named shape checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.harness import SimulationConfig, ThreadSweep, sweep_threads
+from repro.bench.profiles import (
+    KMEANS_VERSIONS,
+    PCA_VERSIONS,
+    measure_kmeans_profiles,
+    measure_pca_profiles,
+)
+from repro.data.datasets import (
+    KMEANS_LARGE_K10,
+    KMEANS_LARGE_K100_I1,
+    KMEANS_SMALL,
+    PCA_LARGE,
+    PCA_SMALL,
+    KmeansConfig,
+    PcaConfig,
+)
+from repro.util.errors import BenchmarkError
+
+__all__ = ["FigureSpec", "FigureResult", "FIGURES", "run_figure", "shape_checks"]
+
+THREADS = (1, 2, 4, 8)
+
+#: PCA splits its input into a small fixed number of work units (its
+#: elements are 1000-dim columns); the resulting chunk-count quantization is
+#: the load-balance limit the paper reports at 8 threads.
+PCA_NUM_CHUNKS = 12
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One of the paper's evaluation figures."""
+
+    fig_id: str
+    title: str
+    app: str  # "kmeans" | "pca"
+    config: KmeansConfig | PcaConfig
+    versions: tuple[str, ...]
+    sim: SimulationConfig = SimulationConfig()
+
+    @property
+    def iterations(self) -> int:
+        return self.config.iterations if isinstance(self.config, KmeansConfig) else 1
+
+    @property
+    def n_elements(self) -> int:
+        if isinstance(self.config, KmeansConfig):
+            return self.config.n_points
+        return self.config.cols
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig9": FigureSpec(
+        "fig9",
+        "K-means: 12 MB dataset, k=100, i=10",
+        "kmeans",
+        KMEANS_SMALL,
+        KMEANS_VERSIONS,
+    ),
+    "fig10": FigureSpec(
+        "fig10",
+        "K-means: 1.2 GB dataset, k=10, i=10",
+        "kmeans",
+        KMEANS_LARGE_K10,
+        KMEANS_VERSIONS,
+    ),
+    "fig11": FigureSpec(
+        "fig11",
+        "K-means: 1.2 GB dataset, k=100, i=1",
+        "kmeans",
+        KMEANS_LARGE_K100_I1,
+        KMEANS_VERSIONS,
+    ),
+    "fig12": FigureSpec(
+        "fig12",
+        "PCA: rows=1000, columns=10,000",
+        "pca",
+        PCA_SMALL,
+        PCA_VERSIONS,
+        SimulationConfig(num_chunks=PCA_NUM_CHUNKS),
+    ),
+    "fig13": FigureSpec(
+        "fig13",
+        "PCA: rows=1000, columns=100,000",
+        "pca",
+        PCA_LARGE,
+        PCA_VERSIONS,
+        SimulationConfig(num_chunks=PCA_NUM_CHUNKS),
+    ),
+}
+
+
+@dataclass
+class FigureResult:
+    """Simulated reproduction of one figure."""
+
+    spec: FigureSpec
+    sweeps: dict[str, ThreadSweep]
+    thread_counts: tuple[int, ...] = THREADS
+
+    def seconds(self, version: str, threads: int) -> float:
+        return self.sweeps[version].seconds[threads]
+
+    def ratio(self, a: str, b: str, threads: int = 1) -> float:
+        """time(a) / time(b) at a thread count."""
+        return self.seconds(a, threads) / self.seconds(b, threads)
+
+
+def run_figure(
+    fig_id: str,
+    thread_counts: tuple[int, ...] = THREADS,
+    scale: float = 1.0,
+) -> FigureResult:
+    """Measure profiles and simulate one figure at the paper's scale.
+
+    ``scale`` shrinks the element count (for quick runs); the default
+    reproduces the full dataset sizes.  Profile *measurement* always runs on
+    small samples regardless of scale.
+    """
+    try:
+        spec = FIGURES[fig_id]
+    except KeyError:
+        raise BenchmarkError(f"unknown figure {fig_id!r}; have {sorted(FIGURES)}")
+
+    if spec.app == "kmeans":
+        assert isinstance(spec.config, KmeansConfig)
+        profiles = measure_kmeans_profiles(
+            spec.config.k, spec.config.dim, versions=spec.versions
+        )
+        n = max(1, int(spec.config.n_points * scale))
+    else:
+        assert isinstance(spec.config, PcaConfig)
+        profiles = measure_pca_profiles(spec.config.rows, versions=spec.versions)
+        n = max(1, int(spec.config.cols * scale))
+
+    sweeps = {
+        version: sweep_threads(
+            profiles[version], n, spec.iterations, thread_counts, spec.sim
+        )
+        for version in spec.versions
+    }
+    return FigureResult(spec=spec, sweeps=sweeps, thread_counts=thread_counts)
+
+
+# --------------------------------------------------------------- shape checks
+
+
+def shape_checks(result: FigureResult) -> dict[str, bool]:
+    """Evaluate the paper's qualitative claims for a figure's result.
+
+    Returns named booleans; EXPERIMENTS.md records them per figure.
+    """
+    spec = result.spec
+    checks: dict[str, bool] = {}
+    tmax = max(result.thread_counts)
+    have = set(result.thread_counts)
+    if spec.app == "kmeans":
+        # ~10% gain from opt-1 (strength reduction)
+        r = result.ratio("generated", "opt-1")
+        checks["opt1_gain_about_10pct"] = 1.03 <= r <= 1.25
+        # ~8x gain from opt-2 (paper: "reduced by a factor around 8")
+        r = result.ratio("opt-1", "opt-2")
+        checks["opt2_gain_about_8x"] = 5.0 <= r <= 11.0
+        # opt-2 within 20% of manual at 1 thread.  The paper makes the <20%
+        # claim for Figure 9 (12 MB, k=100); for the 1.2 GB runs it only
+        # says trends are "very similar", so those get a looser bound.
+        bound = 1.20 if spec.fig_id == "fig9" else 1.25
+        checks["opt2_close_to_manual_1thread"] = (
+            result.ratio("opt-2", "manual") <= bound
+        )
+        # every version scales well to 8 threads
+        checks["all_versions_scale"] = all(
+            result.sweeps[v].speedup(tmax) >= 0.6 * tmax for v in spec.versions
+        )
+        # the opt-2/manual gap widens with threads (sequential linearization)
+        checks["opt2_gap_grows_with_threads"] = result.ratio(
+            "opt-2", "manual", tmax
+        ) > result.ratio("opt-2", "manual", 1)
+    else:
+        checks["opt2_within_20pct_of_manual"] = (
+            result.ratio("opt-2", "manual") <= 1.20
+        )
+        if {4, 8} <= have:  # the 4-vs-8-thread claims need both points
+            for v in spec.versions:
+                s4 = result.sweeps[v].speedup(4)
+                s8 = result.sweeps[v].speedup(8)
+                checks[f"{v}_scales_to_4_threads"] = s4 >= 3.0
+                checks[f"{v}_limited_at_8_threads"] = (s8 / s4) < 1.8
+    return checks

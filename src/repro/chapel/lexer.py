@@ -1,0 +1,91 @@
+"""Tokenizer for the mini-Chapel subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.errors import ChapelSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "record",
+    "class",
+    "var",
+    "def",
+    "for",
+    "in",
+    "if",
+    "else",
+    "return",
+    "true",
+    "false",
+}
+
+# Order matters: longer operators first.
+_SPEC = [
+    ("COMMENT", r"//[^\n]*|/\*.*?\*/"),
+    ("REAL", r"\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+"),
+    ("INT", r"\d+"),
+    ("DOTDOT", r"\.\."),
+    ("OP", r"==|!=|<=|>=|&&|\|\||\+=|-=|\*=|/=|[-+*/%<>=!.]"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("SEMI", r";"),
+    ("COLON", r":"),
+    ("IDENT", r"[A-Za-z_]\w*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("MISMATCH", r"."),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{n}>{p})" for n, p in _SPEC), re.DOTALL)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # IDENT, INT, REAL, KEYWORD, OP, DOTDOT, LBRACE, ..., EOF
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-Chapel source; raises ChapelSyntaxError on bad input."""
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    for m in _MASTER.finditer(source):
+        kind = m.lastgroup or "MISMATCH"
+        text = m.group()
+        column = m.start() - line_start + 1
+        if kind in ("SKIP",):
+            continue
+        if kind == "NEWLINE":
+            line += 1
+            line_start = m.end()
+            continue
+        if kind == "COMMENT":
+            line += text.count("\n")
+            if "\n" in text:
+                line_start = m.start() + text.rindex("\n") + 1
+            continue
+        if kind == "MISMATCH":
+            raise ChapelSyntaxError(f"unexpected character {text!r}", line, column)
+        if kind == "IDENT" and text in KEYWORDS:
+            kind = "KEYWORD"
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens

@@ -1,0 +1,173 @@
+"""The local-view reduction abstraction (paper §II-A).
+
+"In the local-view abstraction, the programmer needs to manage data
+distribution as well as communication between different processors
+explicitly.  It is a lower-level reduction model, with the obvious tradeoff
+that it is very straight-forward for a compiler to implement.  Chapel also
+supports a global-view abstraction model, which is a higher-level model and
+hides the data distribution and communication details."
+
+This module makes the contrast executable: :class:`LocalViewReduction`
+requires the programmer to (1) distribute the data over locales, (2) run
+per-locale accumulation, and (3) schedule the combination messages
+explicitly through a :class:`Comm` whose log records every transfer the
+global-view model (``reduce_expr``) hides.  Both models produce identical
+results; the tests and examples show exactly what the higher-level
+abstraction is abstracting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.chapel.forall import split_evenly
+from repro.chapel.reduce_op import ReduceScanOp, get_reduce_op
+from repro.util.errors import ChapelError
+from repro.util.validation import check_one_of, check_positive_int
+
+__all__ = ["Message", "Comm", "Locale", "LocalViewReduction"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One explicit transfer of a partial reduction state."""
+
+    src: int
+    dst: int
+    payload: Any
+
+
+@dataclass
+class Comm:
+    """The communication fabric the local-view programmer drives by hand."""
+
+    num_locales: int
+    log: list[Message] = field(default_factory=list)
+    _inboxes: dict[int, list[Any]] = field(default_factory=dict)
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise ChapelError("a locale does not send to itself")
+        self.log.append(Message(src, dst, payload))
+        self._inboxes.setdefault(dst, []).append(payload)
+
+    def recv_all(self, dst: int) -> list[Any]:
+        self._check(dst)
+        items = self._inboxes.get(dst, [])
+        self._inboxes[dst] = []
+        return items
+
+    def _check(self, locale: int) -> None:
+        if not 0 <= locale < self.num_locales:
+            raise ChapelError(
+                f"locale {locale} out of range (have {self.num_locales})"
+            )
+
+    @property
+    def messages_sent(self) -> int:
+        return len(self.log)
+
+
+@dataclass
+class Locale:
+    """One locale's explicitly-managed state."""
+
+    locale_id: int
+    data: Sequence[Any]
+    op: ReduceScanOp
+
+    def accumulate_local(self) -> ReduceScanOp:
+        """The per-locale local reduction the programmer writes."""
+        self.op.accumulate_many(self.data)
+        return self.op
+
+
+class LocalViewReduction:
+    """Explicitly-managed reduction over ``num_locales`` locales."""
+
+    def __init__(self, num_locales: int) -> None:
+        self.num_locales = check_positive_int(num_locales, "num_locales")
+        self.comm = Comm(num_locales)
+        self.locales: list[Locale] = []
+
+    # -- step 1: the programmer distributes the data -------------------------
+
+    def distribute(
+        self,
+        op: str | type[ReduceScanOp] | ReduceScanOp,
+        data: Sequence[Any],
+    ) -> list[Locale]:
+        """Block-distribute the data; the programmer owns this choice."""
+        proto = get_reduce_op(op)
+        self.locales = [
+            Locale(i, split, proto.clone())
+            for i, split in enumerate(split_evenly(list(data), self.num_locales))
+        ]
+        return self.locales
+
+    # -- step 2: per-locale local reductions ------------------------------------
+
+    def accumulate_all(self) -> None:
+        if not self.locales:
+            raise ChapelError("distribute() must run before accumulation")
+        for locale in self.locales:
+            locale.accumulate_local()
+
+    # -- step 3: the programmer schedules the combination ------------------------
+
+    def combine_all_to_one(self) -> Any:
+        """Every locale ships its partial to locale 0 (p - 1 messages)."""
+        self._require_accumulated()
+        root = self.locales[0].op
+        for locale in self.locales[1:]:
+            self.comm.send(locale.locale_id, 0, locale.op)
+        for partial in self.comm.recv_all(0):
+            root.combine(partial)
+        return root.generate()
+
+    def combine_tree(self) -> Any:
+        """Binary-tree combination (ceil(log2 p) rounds, p - 1 messages)."""
+        self._require_accumulated()
+        live = list(range(self.num_locales))
+        while len(live) > 1:
+            nxt: list[int] = []
+            for i in range(0, len(live) - 1, 2):
+                dst, src = live[i], live[i + 1]
+                self.comm.send(src, dst, self.locales[src].op)
+                for partial in self.comm.recv_all(dst):
+                    self.locales[dst].op.combine(partial)
+                nxt.append(dst)
+            if len(live) % 2 == 1:
+                nxt.append(live[-1])
+            live = nxt
+        return self.locales[live[0]].op.generate()
+
+    def run(
+        self,
+        op: str | type[ReduceScanOp] | ReduceScanOp,
+        data: Sequence[Any],
+        schedule: str = "all_to_one",
+    ) -> Any:
+        """Drive all three steps (still explicitly, just in order)."""
+        check_one_of(schedule, ("all_to_one", "tree"), "schedule")
+        self.distribute(op, data)
+        self.accumulate_all()
+        if schedule == "tree":
+            return self.combine_tree()
+        return self.combine_all_to_one()
+
+    def _require_accumulated(self) -> None:
+        if not self.locales:
+            raise ChapelError("nothing distributed/accumulated yet")
+
+    @property
+    def expected_messages(self) -> int:
+        """Both schedules move p - 1 partials; they differ in rounds."""
+        return self.num_locales - 1
+
+    def tree_rounds(self) -> int:
+        return math.ceil(math.log2(self.num_locales)) if self.num_locales > 1 else 0

@@ -1,0 +1,344 @@
+"""Recursive-descent parser for the mini-Chapel subset.
+
+Grammar (EBNF-ish)::
+
+    program     := (record_decl | class_decl)*
+    record_decl := "record" IDENT "{" var_decl* "}"
+    class_decl  := "class" IDENT (":" IDENT)? "{" (var_decl | method_decl)* "}"
+    var_decl    := "var" IDENT (":" type_expr)? ("=" expr)? ";"
+    method_decl := "def" IDENT "(" params? ")" block
+    params      := param ("," param)*
+    param       := IDENT ":" type_expr
+    type_expr   := "[" range ("," range)* "]" type_expr | IDENT
+    range       := expr ".." expr
+    block       := "{" stmt* "}"
+    stmt        := var_decl | for_stmt | if_stmt | return_stmt
+                 | assign_or_expr ";"
+    for_stmt    := "for" IDENT "in" range block
+    if_stmt     := "if" "(" expr ")" block ("else" (if_stmt | block))?
+    return_stmt := "return" expr? ";"
+    assign_or_expr := expr (("=" | "+=" | "-=" | "*=" | "/=") expr)?
+    expr        := precedence-climbing over || && == != < <= > >= + - * / %
+    primary     := literal | IDENT | call | "(" expr ")" | "-" primary
+                 | "!" primary; postfix: "[" exprs "]" and "." IDENT
+
+Operator precedence follows Chapel's (and C's) conventional ordering.
+"""
+
+from __future__ import annotations
+
+from repro.chapel import ast as A
+from repro.chapel.lexer import Token, tokenize
+from repro.util.errors import ChapelSyntaxError
+
+__all__ = ["parse_program", "parse_expression", "Parser"]
+
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+_COMPOUND_ASSIGN = {"+=", "-=", "*=", "/="}
+
+
+class Parser:
+    """Token-stream parser; one instance per source text."""
+
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "EOF":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text or kind
+            raise ChapelSyntaxError(
+                f"expected {want!r}, found {tok.text!r}", tok.line, tok.column
+            )
+        return self.advance()
+
+    # -- declarations -----------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        records: list[A.RecordDecl] = []
+        classes: list[A.ClassDecl] = []
+        while not self.check("EOF"):
+            if self.check("KEYWORD", "record"):
+                records.append(self.parse_record())
+            elif self.check("KEYWORD", "class"):
+                classes.append(self.parse_class())
+            else:
+                tok = self.peek()
+                raise ChapelSyntaxError(
+                    f"expected 'record' or 'class', found {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return A.Program(records=tuple(records), classes=tuple(classes))
+
+    def parse_record(self) -> A.RecordDecl:
+        self.expect("KEYWORD", "record")
+        name = self.expect("IDENT").text
+        self.expect("LBRACE")
+        fields: list[A.VarDecl] = []
+        while not self.accept("RBRACE"):
+            fields.append(self.parse_var_decl())
+        return A.RecordDecl(name=name, fields=tuple(fields))
+
+    def parse_class(self) -> A.ClassDecl:
+        self.expect("KEYWORD", "class")
+        name = self.expect("IDENT").text
+        parent = None
+        if self.accept("COLON"):
+            parent = self.expect("IDENT").text
+        self.expect("LBRACE")
+        fields: list[A.VarDecl] = []
+        methods: list[A.MethodDecl] = []
+        while not self.accept("RBRACE"):
+            if self.check("KEYWORD", "var"):
+                fields.append(self.parse_var_decl())
+            elif self.check("KEYWORD", "def"):
+                methods.append(self.parse_method())
+            else:
+                tok = self.peek()
+                raise ChapelSyntaxError(
+                    f"expected 'var' or 'def' in class body, found {tok.text!r}",
+                    tok.line,
+                    tok.column,
+                )
+        return A.ClassDecl(
+            name=name, parent=parent, fields=tuple(fields), methods=tuple(methods)
+        )
+
+    def parse_var_decl(self) -> A.VarDecl:
+        self.expect("KEYWORD", "var")
+        name = self.expect("IDENT").text
+        typ = None
+        init = None
+        if self.accept("COLON"):
+            typ = self.parse_type_expr()
+        if self.accept("OP", "="):
+            init = self.parse_expr()
+        self.expect("SEMI")
+        if typ is None and init is None:
+            raise ChapelSyntaxError(f"var {name} needs a type or an initializer")
+        return A.VarDecl(name=name, type=typ, init=init)
+
+    def parse_method(self) -> A.MethodDecl:
+        self.expect("KEYWORD", "def")
+        name = self.expect("IDENT").text
+        self.expect("LPAREN")
+        params: list[A.Param] = []
+        if not self.check("RPAREN"):
+            while True:
+                pname = self.expect("IDENT").text
+                self.expect("COLON")
+                ptype = self.parse_type_expr()
+                params.append(A.Param(name=pname, type=ptype))
+                if not self.accept("COMMA"):
+                    break
+        self.expect("RPAREN")
+        body = self.parse_block()
+        return A.MethodDecl(name=name, params=tuple(params), body=body)
+
+    def parse_type_expr(self) -> A.TypeExpr:
+        if self.accept("LBRACKET"):
+            ranges = [self.parse_range()]
+            while self.accept("COMMA"):
+                ranges.append(self.parse_range())
+            self.expect("RBRACKET")
+            elt = self.parse_type_expr()
+            return A.ArrayTypeExpr(ranges=tuple(ranges), elt=elt)
+        tok = self.expect("IDENT")
+        return A.NamedTypeExpr(name=tok.text)
+
+    def parse_range(self) -> A.RangeExpr:
+        lo = self.parse_expr()
+        self.expect("DOTDOT")
+        hi = self.parse_expr()
+        return A.RangeExpr(lo=lo, hi=hi)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> A.Block:
+        self.expect("LBRACE")
+        stmts: list[A.Stmt] = []
+        while not self.accept("RBRACE"):
+            stmts.append(self.parse_stmt())
+        return A.Block(stmts=tuple(stmts))
+
+    def parse_stmt(self) -> A.Stmt:
+        if self.check("KEYWORD", "var"):
+            return A.VarDeclStmt(decl=self.parse_var_decl())
+        if self.check("KEYWORD", "for"):
+            return self.parse_for()
+        if self.check("KEYWORD", "if"):
+            return self.parse_if()
+        if self.check("KEYWORD", "return"):
+            self.advance()
+            value = None
+            if not self.check("SEMI"):
+                value = self.parse_expr()
+            self.expect("SEMI")
+            return A.ReturnStmt(value=value)
+        # assignment or expression statement
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind == "OP" and tok.text == "=":
+            self.advance()
+            value = self.parse_expr()
+            self.expect("SEMI")
+            self._check_lvalue(expr)
+            return A.Assign(target=expr, value=value, op=None)
+        if tok.kind == "OP" and tok.text in _COMPOUND_ASSIGN:
+            self.advance()
+            value = self.parse_expr()
+            self.expect("SEMI")
+            self._check_lvalue(expr)
+            return A.Assign(target=expr, value=value, op=tok.text[0])
+        self.expect("SEMI")
+        return A.ExprStmt(expr=expr)
+
+    @staticmethod
+    def _check_lvalue(expr: A.Expr) -> None:
+        if not isinstance(expr, (A.Ident, A.Index, A.Member)):
+            raise ChapelSyntaxError(f"invalid assignment target {expr}")
+
+    def parse_for(self) -> A.ForStmt:
+        self.expect("KEYWORD", "for")
+        var = self.expect("IDENT").text
+        self.expect("KEYWORD", "in")
+        rng = self.parse_range()
+        body = self.parse_block()
+        return A.ForStmt(var=var, range=rng, body=body)
+
+    def parse_if(self) -> A.IfStmt:
+        self.expect("KEYWORD", "if")
+        self.expect("LPAREN")
+        cond = self.parse_expr()
+        self.expect("RPAREN")
+        then = self.parse_block()
+        orelse: A.Block | None = None
+        if self.accept("KEYWORD", "else"):
+            if self.check("KEYWORD", "if"):
+                orelse = A.Block(stmts=(self.parse_if(),))
+            else:
+                orelse = self.parse_block()
+        return A.IfStmt(cond=cond, then=then, orelse=orelse)
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> A.Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "OP" or tok.text not in _BINARY_PRECEDENCE:
+                break
+            prec = _BINARY_PRECEDENCE[tok.text]
+            if prec < min_prec:
+                break
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = A.BinOp(op=tok.text, left=left, right=right)
+        return left
+
+    def parse_unary(self) -> A.Expr:
+        if self.accept("OP", "-"):
+            return A.UnaryOp(op="-", operand=self.parse_unary())
+        if self.accept("OP", "!"):
+            return A.UnaryOp(op="!", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.accept("LBRACKET"):
+                indices = [self.parse_expr()]
+                while self.accept("COMMA"):
+                    indices.append(self.parse_expr())
+                self.expect("RBRACKET")
+                expr = A.Index(base=expr, indices=tuple(indices))
+            elif self.check("OP", "."):
+                self.advance()
+                name = self.expect("IDENT").text
+                expr = A.Member(base=expr, name=name)
+            else:
+                return expr
+
+    def parse_primary(self) -> A.Expr:
+        tok = self.peek()
+        if tok.kind == "INT":
+            self.advance()
+            return A.IntLit(value=int(tok.text))
+        if tok.kind == "REAL":
+            self.advance()
+            return A.RealLit(value=float(tok.text))
+        if tok.kind == "KEYWORD" and tok.text in ("true", "false"):
+            self.advance()
+            return A.BoolLit(value=tok.text == "true")
+        if tok.kind == "IDENT":
+            self.advance()
+            if self.check("LPAREN"):
+                self.advance()
+                args: list[A.Expr] = []
+                if not self.check("RPAREN"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("COMMA"):
+                            break
+                self.expect("RPAREN")
+                return A.Call(name=tok.text, args=tuple(args))
+            return A.Ident(name=tok.text)
+        if tok.kind == "LPAREN":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+        raise ChapelSyntaxError(
+            f"unexpected token {tok.text!r} in expression", tok.line, tok.column
+        )
+
+
+def parse_program(source: str) -> A.Program:
+    """Parse a mini-Chapel program (records + reduction classes)."""
+    parser = Parser(source)
+    return parser.parse_program()
+
+
+def parse_expression(source: str) -> A.Expr:
+    """Parse a single expression (used by tests and the REPL-ish tools)."""
+    parser = Parser(source)
+    expr = parser.parse_expr()
+    parser.expect("EOF")
+    return expr

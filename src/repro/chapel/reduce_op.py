@@ -1,0 +1,279 @@
+"""Chapel's ``ReduceScanOp`` reduction-class model (paper Figure 2).
+
+Both built-in and user-defined reductions are subclasses of
+:class:`ReduceScanOp` with the paper's three stages:
+
+``accumulate``
+    the local reduction function, applied per input element by each task;
+``combine``
+    the global reduction function, merging two task-local states;
+``generate``
+    the post-processing step producing the final result.
+
+Instances are *stateful accumulators*; :meth:`ReduceScanOp.clone` produces a
+fresh identity-state instance for a new task, mirroring how the Chapel
+runtime instantiates one op per task.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.util.errors import ChapelError
+
+__all__ = [
+    "ReduceScanOp",
+    "SumReduceScanOp",
+    "ProductReduceScanOp",
+    "MinReduceScanOp",
+    "MaxReduceScanOp",
+    "LogicalAndReduceScanOp",
+    "LogicalOrReduceScanOp",
+    "BitwiseAndReduceScanOp",
+    "BitwiseOrReduceScanOp",
+    "BitwiseXorReduceScanOp",
+    "MinLocReduceScanOp",
+    "MaxLocReduceScanOp",
+    "REDUCE_OPS",
+    "get_reduce_op",
+    "register_reduce_op",
+]
+
+
+class ReduceScanOp:
+    """Base class for Chapel reduction/scan operations.
+
+    Subclasses set :attr:`identity` (a value or zero-argument callable) and
+    implement :meth:`accumulate` and :meth:`combine`; :meth:`generate`
+    defaults to returning the accumulated state.
+    """
+
+    #: Identity element; a value or a zero-argument callable producing one.
+    identity: Any = None
+
+    def __init__(self) -> None:
+        ident = self.identity
+        self.value: Any = ident() if callable(ident) else ident
+
+    def clone(self) -> "ReduceScanOp":
+        """Return a fresh accumulator of the same operation (identity state)."""
+        return type(self)()
+
+    def snapshot(self) -> "ReduceScanOp":
+        """Return a deep copy *including* the accumulated state.
+
+        Used by the parallel scan, which needs per-position states it can
+        later combine with split prefixes.
+        """
+        import copy
+
+        return copy.deepcopy(self)
+
+    def accumulate(self, x: Any) -> None:
+        """Fold one input element into the local state."""
+        raise NotImplementedError
+
+    def accumulate_many(self, xs: Iterable[Any]) -> "ReduceScanOp":
+        """Fold every element of an iterable; returns self for chaining."""
+        for x in xs:
+            self.accumulate(x)
+        return self
+
+    def combine(self, other: "ReduceScanOp") -> None:
+        """Merge another task's local state into this one."""
+        raise NotImplementedError
+
+    def generate(self) -> Any:
+        """Produce the final result from the accumulated state."""
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(value={self.value!r})"
+
+
+class SumReduceScanOp(ReduceScanOp):
+    """``+ reduce`` — the paper's Figure 2 example."""
+
+    identity = 0
+
+    def accumulate(self, x: Any) -> None:
+        self.value = self.value + x
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = self.value + other.value
+
+
+class ProductReduceScanOp(ReduceScanOp):
+    """``* reduce``."""
+
+    identity = 1
+
+    def accumulate(self, x: Any) -> None:
+        self.value = self.value * x
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = self.value * other.value
+
+
+class MinReduceScanOp(ReduceScanOp):
+    """``min reduce``; identity is +infinity (None until first element)."""
+
+    identity = None
+
+    def accumulate(self, x: Any) -> None:
+        if self.value is None or x < self.value:
+            self.value = x
+
+    def combine(self, other: ReduceScanOp) -> None:
+        if other.value is not None:
+            self.accumulate(other.value)
+
+
+class MaxReduceScanOp(ReduceScanOp):
+    """``max reduce``; identity is -infinity (None until first element)."""
+
+    identity = None
+
+    def accumulate(self, x: Any) -> None:
+        if self.value is None or x > self.value:
+            self.value = x
+
+    def combine(self, other: ReduceScanOp) -> None:
+        if other.value is not None:
+            self.accumulate(other.value)
+
+
+class LogicalAndReduceScanOp(ReduceScanOp):
+    """``&& reduce``."""
+
+    identity = True
+
+    def accumulate(self, x: Any) -> None:
+        self.value = bool(self.value and x)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = bool(self.value and other.value)
+
+
+class LogicalOrReduceScanOp(ReduceScanOp):
+    """``|| reduce``."""
+
+    identity = False
+
+    def accumulate(self, x: Any) -> None:
+        self.value = bool(self.value or x)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = bool(self.value or other.value)
+
+
+class BitwiseAndReduceScanOp(ReduceScanOp):
+    """``& reduce`` over 64-bit integers."""
+
+    identity = -1  # all ones in two's complement
+
+    def accumulate(self, x: Any) -> None:
+        self.value = self.value & int(x)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = self.value & other.value
+
+
+class BitwiseOrReduceScanOp(ReduceScanOp):
+    """``| reduce``."""
+
+    identity = 0
+
+    def accumulate(self, x: Any) -> None:
+        self.value = self.value | int(x)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = self.value | other.value
+
+
+class BitwiseXorReduceScanOp(ReduceScanOp):
+    """``^ reduce``."""
+
+    identity = 0
+
+    def accumulate(self, x: Any) -> None:
+        self.value = self.value ^ int(x)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        self.value = self.value ^ other.value
+
+
+class _LocReduceScanOp(ReduceScanOp):
+    """Shared machinery for minloc/maxloc: elements are (value, index)."""
+
+    identity = None
+
+    def _better(self, a: Any, b: Any) -> bool:
+        raise NotImplementedError
+
+    def accumulate(self, x: Any) -> None:
+        try:
+            val, loc = x
+        except (TypeError, ValueError):
+            raise ChapelError(
+                f"{type(self).__name__} expects (value, index) pairs, got {x!r}"
+            )
+        if self.value is None or self._better(val, self.value[0]):
+            self.value = (val, loc)
+
+    def combine(self, other: ReduceScanOp) -> None:
+        if other.value is not None:
+            self.accumulate(other.value)
+
+
+class MinLocReduceScanOp(_LocReduceScanOp):
+    """``minloc reduce zip(A, A.domain)`` — minimum value with its index."""
+
+    def _better(self, a: Any, b: Any) -> bool:
+        return a < b
+
+
+class MaxLocReduceScanOp(_LocReduceScanOp):
+    """``maxloc reduce zip(A, A.domain)``."""
+
+    def _better(self, a: Any, b: Any) -> bool:
+        return a > b
+
+
+#: Registry mapping Chapel reduce-expression spellings to op classes.
+REDUCE_OPS: dict[str, type[ReduceScanOp]] = {
+    "+": SumReduceScanOp,
+    "sum": SumReduceScanOp,
+    "*": ProductReduceScanOp,
+    "product": ProductReduceScanOp,
+    "min": MinReduceScanOp,
+    "max": MaxReduceScanOp,
+    "&&": LogicalAndReduceScanOp,
+    "||": LogicalOrReduceScanOp,
+    "&": BitwiseAndReduceScanOp,
+    "|": BitwiseOrReduceScanOp,
+    "^": BitwiseXorReduceScanOp,
+    "minloc": MinLocReduceScanOp,
+    "maxloc": MaxLocReduceScanOp,
+}
+
+
+def get_reduce_op(op: str | type[ReduceScanOp] | ReduceScanOp) -> ReduceScanOp:
+    """Resolve a reduce-op spelling/class/instance to a fresh accumulator."""
+    if isinstance(op, ReduceScanOp):
+        return op.clone()
+    if isinstance(op, type) and issubclass(op, ReduceScanOp):
+        return op()
+    if isinstance(op, str):
+        try:
+            return REDUCE_OPS[op]()
+        except KeyError:
+            raise ChapelError(f"unknown reduction operation {op!r}")
+    raise ChapelError(f"cannot resolve reduction op from {op!r}")
+
+
+def register_reduce_op(name: str, cls: type[ReduceScanOp]) -> None:
+    """Register a user-defined reduction under a reduce-expression name."""
+    if not (isinstance(cls, type) and issubclass(cls, ReduceScanOp)):
+        raise ChapelError(f"{cls!r} is not a ReduceScanOp subclass")
+    REDUCE_OPS[name] = cls

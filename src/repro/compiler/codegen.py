@@ -1,0 +1,612 @@
+"""Code generation: lowered reduction + plan -> executable kernel source.
+
+Two backends share one traversal strategy:
+
+* :class:`PythonCodegen` emits an instrumented Python kernel.  Every data
+  access, index computation, nested-structure access, arithmetic operation
+  and reduction-object update increments an
+  :class:`~repro.machine.counters.OpCounters` ledger, so running the kernel
+  *measures* the operation mix of its optimization level; the simulated
+  machine then prices those measurements.
+* :class:`CLikeCodegen` emits C-flavored source text mirroring what the
+  modified Chapel compiler would hand to its C backend (the paper's
+  Figure 8 right-hand side) — used for inspection and golden tests.
+
+Kernel calling convention::
+
+    def _kernel(_start, _end, _ro, _env, _C):
+        # processes global elements [_start, _end) of the linearized dataset
+
+``_env`` carries the linearized buffers, per-site readers and mapping infos
+(built by :mod:`repro.compiler.translate` at bind time); ``_ro`` is the
+thread's reduction-object accessor; ``_C`` the counter ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chapel import ast as A
+from repro.compiler.access import FieldStep, IndexStep
+from repro.compiler.lower import AccessSite, LoweredReduction
+from repro.compiler.passes import CompilationPlan, SitePlan
+from repro.util.errors import CodegenError
+
+__all__ = ["PythonCodegen", "CLikeCodegen", "site_key"]
+
+_PY_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "&&": "and",
+    "||": "or",
+}
+
+_MATH_BUILTINS = {
+    "abs": "abs",
+    "sqrt": "_sqrt",
+    "min": "min",
+    "max": "max",
+    "floor": "_floor",
+    "toInt": "int",
+    "exp": "_exp",
+    "log": "_log",
+}
+
+
+def site_key(site: AccessSite) -> str:
+    """Sites with the same root and steps share buffers/infos/readers."""
+    return f"{site.kind}:{site.root}:{''.join(str(s) for s in site.steps)}"
+
+
+@dataclass
+class _Cost:
+    """Static per-execution operation counts for one statement."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + by
+
+    def merge(self, other: "_Cost") -> None:
+        for k, v in other.counts.items():
+            self.bump(k, v)
+
+    def lines(self, indent: str) -> list[str]:
+        if not self.counts:
+            return []
+        parts = [f"_C.{k} += {v}" for k, v in sorted(self.counts.items())]
+        return [indent + "; ".join(parts)]
+
+
+class PythonCodegen:
+    """Emit the instrumented Python kernel for one compilation plan."""
+
+    def __init__(self, lowered: LoweredReduction, plan: CompilationPlan) -> None:
+        self.low = lowered
+        self.plan = plan
+        self.lines: list[str] = []
+        self.indent = 0
+        # stable ids for shared site resources
+        self.keys: dict[str, int] = {}
+        for site in lowered.sites.values():
+            self.keys.setdefault(site_key(site), len(self.keys))
+
+    # -- small helpers ------------------------------------------------------
+
+    def _w(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _mangle(self, name: str) -> str:
+        return f"u_{name}"
+
+    def _key_id(self, site: AccessSite) -> int:
+        return self.keys[site_key(site)]
+
+    # -- expressions -------------------------------------------------------------
+
+    def emit_expr(self, expr: A.Expr, cost: _Cost) -> str:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            return self.emit_site(expr, site, cost)
+        if isinstance(expr, A.IntLit):
+            return repr(expr.value)
+        if isinstance(expr, A.RealLit):
+            return repr(expr.value)
+        if isinstance(expr, A.BoolLit):
+            return "True" if expr.value else "False"
+        if isinstance(expr, A.Ident):
+            name = expr.name
+            if name in self.low.constants:
+                return repr(self.low.constants[name])
+            return self._mangle(name)
+        if isinstance(expr, A.BinOp):
+            left = self.emit_expr(expr.left, cost)
+            right = self.emit_expr(expr.right, cost)
+            cost.bump("flops")
+            return f"({left} {_PY_BINOPS[expr.op]} {right})"
+        if isinstance(expr, A.UnaryOp):
+            inner = self.emit_expr(expr.operand, cost)
+            cost.bump("flops")
+            return f"(-{inner})" if expr.op == "-" else f"(not {inner})"
+        if isinstance(expr, A.Call):
+            if expr.name in A.RO_INTRINSICS:
+                raise CodegenError(
+                    f"{expr.name} is a statement-level intrinsic, not an expression"
+                )
+            fn = _MATH_BUILTINS[expr.name]
+            args = ", ".join(self.emit_expr(a, cost) for a in expr.args)
+            cost.bump("flops")
+            return f"{fn}({args})"
+        raise CodegenError(f"cannot emit expression {expr!r}")  # pragma: no cover
+
+    # -- access sites ---------------------------------------------------------------
+
+    def _dense_level_exprs(
+        self,
+        site: AccessSite,
+        cost: _Cost,
+        override_groups: dict[int, str] | None = None,
+    ) -> list[str]:
+        """Dense 0-based position code per mapping level (incl. wrapper).
+
+        ``override_groups`` replaces whole groups (keyed by 0-based group
+        index, wrapper excluded) with precomputed dense code — used by
+        hoist preambles (innermost -> "0") and incremental base inits
+        (varying level -> its start position).
+        """
+        info = site.info
+        assert info is not None
+        dense: list[str] = []
+        level_domains = list(info.domains)
+        wrapped = self._site_wrapped(site)
+        groups = list(site.index_exprs)
+        if wrapped:
+            # The wrapper level's index is always 0: for data, the dataset
+            # level's contribution is the separate `_e * elem_sizeof` term;
+            # for member-rooted extras, the synthetic wrapper has one slot.
+            dense.append("0")
+            level_domains = level_domains[1:]
+        for gi, (dom, group) in enumerate(zip(level_domains, groups)):
+            if override_groups is not None and gi in override_groups:
+                dense.append(override_groups[gi])
+                continue
+            terms = []
+            for dim, (rng, ie) in enumerate(zip(dom.ranges, group)):
+                code = self.emit_expr(ie, cost)
+                if rng.low != 0:
+                    code = f"({code} - {rng.low})"
+                # row-major scaling by the sizes of later dimensions
+                scale = 1
+                for later in dom.ranges[dim + 1 :]:
+                    scale *= len(later)
+                terms.append(code if scale == 1 else f"{code} * {scale}")
+            dense.append(" + ".join(terms) if terms else "0")
+        return dense
+
+    @staticmethod
+    def _site_wrapped(site: AccessSite) -> bool:
+        if site.kind == "data":
+            return True
+        return not (site.steps and isinstance(site.steps[0], IndexStep))
+
+    def emit_site(self, expr: A.Expr, site: AccessSite, cost: _Cost) -> str:
+        plan = self.plan.plan_for(id(expr))
+        if plan.mode == "nested":
+            return self._emit_nested(site, cost)
+        if plan.mode == "linear":
+            return self._emit_linear(site, cost)
+        if plan.mode == "hoisted":
+            return self._emit_hoisted(site, plan, cost)
+        raise CodegenError(f"unknown site mode {plan.mode!r}")  # pragma: no cover
+
+    def _emit_nested(self, site: AccessSite, cost: _Cost) -> str:
+        """Access through the real nested Chapel value (pointer chasing)."""
+        code = f"_v_{site.root}"
+        for step, group in self._steps_with_groups(site):
+            if isinstance(step, FieldStep):
+                code = f"{code}.{step.name}"
+            else:
+                idx = ", ".join(self.emit_expr(ie, cost) for ie in group)
+                code = f"{code}[{idx}]"
+        cost.bump("nested_reads")
+        cost.bump("nested_steps", site.num_steps)
+        return code
+
+    def _steps_with_groups(self, site: AccessSite):
+        groups = iter(site.index_exprs)
+        for step in site.steps:
+            if isinstance(step, IndexStep):
+                yield step, next(groups)
+            else:
+                yield step, ()
+
+    def _offset_code(self, site: AccessSite, cost: _Cost) -> str:
+        kid = self._key_id(site)
+        dense = self._dense_level_exprs(site, cost)
+        base = f"_ci(_info_{kid}, ({', '.join(dense)},))"
+        if site.kind == "data":
+            base = f"_e * _esz + {base}"
+        cost.bump("index_calls")
+        cost.bump("index_levels", site.info.levels)  # type: ignore[union-attr]
+        return base
+
+    def _emit_linear(self, site: AccessSite, cost: _Cost) -> str:
+        kid = self._key_id(site)
+        cost.bump("linear_reads")
+        return f"_rd_{kid}({self._offset_code(site, cost)})"
+
+    def _emit_hoisted(self, site: AccessSite, plan: SitePlan, cost: _Cost) -> str:
+        inner = site.index_exprs[-1][0]
+        rng = site.info.domains[-1].ranges[0]  # type: ignore[union-attr]
+        idx = self.emit_expr(inner, cost)
+        if rng.low != 0:
+            idx = f"{idx} - {rng.low}"
+        cost.bump("linear_reads")
+        return f"_row_{plan.hoist_id}[{idx}]"
+
+    def _hoist_base_code(
+        self,
+        site: AccessSite,
+        cost: _Cost,
+        override_groups: dict[int, str],
+    ) -> str:
+        kid = self._key_id(site)
+        num_groups = len(site.index_exprs)
+        overrides = dict(override_groups)
+        overrides[num_groups - 1] = "0"  # base of the innermost run
+        dense = self._dense_level_exprs(site, cost, overrides)
+        base = f"_ci(_info_{kid}, ({', '.join(dense)},))"
+        if site.kind == "data":
+            base = f"_e * _esz + {base}"
+        cost.bump("index_calls")
+        cost.bump("index_levels", site.info.levels)  # type: ignore[union-attr]
+        return base
+
+    def emit_hoist_preamble(self, loop: A.ForStmt) -> None:
+        """Emit the strength-reduced row views placed just before a loop."""
+        for hoist in self.plan.loop_hoists.get(id(loop), []):
+            cost = _Cost()
+            base = self._hoist_base_code(hoist.site, cost, {})
+            kid = self._key_id(hoist.site)
+            for line in cost.lines("    " * self.indent):
+                self.lines.append(line)
+            self._w(f"_row_{hoist.hoist_id} = _tv_{kid}({base})")
+
+    def emit_incremental_inits(self, loop: A.ForStmt) -> None:
+        """Base pointers for incremental hoists driven by this loop.
+
+        "The start point for the continuous data split is computed before
+        the first iteration, and an appropriate pre-computed offset is
+        added for each iteration" (§V, opt-1).
+        """
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            site = hoist.site
+            cost = _Cost()
+            # the varying level starts at the loop's first iteration value
+            rng = site.info.domains[  # type: ignore[union-attr]
+                hoist.var_group + (1 if self._site_wrapped(site) else 0)
+            ].ranges[0]
+            lo_code = self.emit_expr(loop.range.lo, cost)
+            start = f"({lo_code} - {rng.low})" if rng.low != 0 else lo_code
+            base = self._hoist_base_code(site, cost, {hoist.var_group: start})
+            for line in cost.lines("    " * self.indent):
+                self.lines.append(line)
+            self._w(f"_b_{hoist.hoist_id} = {base}")
+
+    def emit_incremental_tops(self, loop: A.ForStmt) -> None:
+        """Row view + base bump at the top of each driving-loop iteration."""
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            kid = self._key_id(hoist.site)
+            cost = _Cost()
+            cost.bump("flops")  # the base bump
+            for line in cost.lines("    " * self.indent):
+                self.lines.append(line)
+            self._w(f"_row_{hoist.hoist_id} = _tv_{kid}(_b_{hoist.hoist_id})")
+            self._w(f"_b_{hoist.hoist_id} += {hoist.step_bytes}")
+
+    # -- statements ----------------------------------------------------------------
+
+    def emit_block(self, block: A.Block) -> None:
+        if not block.stmts:
+            self._w("pass")
+            return
+        for stmt in block.stmts:
+            self.emit_stmt(stmt)
+
+    def emit_stmt(self, stmt: A.Stmt) -> None:
+        ind = "    " * self.indent
+        if isinstance(stmt, A.VarDeclStmt):
+            d = stmt.decl
+            cost = _Cost()
+            init = self.emit_expr(d.init, cost) if d.init is not None else "0"
+            self.lines.extend(cost.lines(ind))
+            self._w(f"{self._mangle(d.name)} = {init}")
+        elif isinstance(stmt, A.Assign):
+            cost = _Cost()
+            value = self.emit_expr(stmt.value, cost)
+            target = self._mangle(stmt.target.name)  # lower guarantees Ident
+            if stmt.op is not None:
+                cost.bump("flops")
+                self.lines.extend(cost.lines(ind))
+                self._w(f"{target} {stmt.op}= {value}")
+            else:
+                self.lines.extend(cost.lines(ind))
+                self._w(f"{target} = {value}")
+        elif isinstance(stmt, A.ForStmt):
+            cost = _Cost()
+            lo = self.emit_expr(stmt.range.lo, cost)
+            hi = self.emit_expr(stmt.range.hi, cost)
+            self.lines.extend(cost.lines(ind))
+            self.emit_hoist_preamble(stmt)
+            self.emit_incremental_inits(stmt)
+            self._w(f"for {self._mangle(stmt.var)} in range({lo}, {hi} + 1):")
+            self.indent += 1
+            self.emit_incremental_tops(stmt)
+            self.emit_block(stmt.body)
+            self.indent -= 1
+        elif isinstance(stmt, A.IfStmt):
+            cost = _Cost()
+            cond = self.emit_expr(stmt.cond, cost)
+            self.lines.extend(cost.lines(ind))
+            self._w(f"if {cond}:")
+            self.indent += 1
+            self.emit_block(stmt.then)
+            self.indent -= 1
+            if stmt.orelse is not None:
+                self._w("else:")
+                self.indent += 1
+                self.emit_block(stmt.orelse)
+                self.indent -= 1
+        elif isinstance(stmt, A.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, A.Call) and expr.name in A.RO_INTRINSICS:
+                cost = _Cost()
+                args = [self.emit_expr(a, cost) for a in expr.args]
+                cost.bump("ro_updates")
+                self.lines.extend(cost.lines(ind))
+                self._w(f"_ro.accumulate({args[0]}, {args[1]}, {args[2]})")
+            else:
+                cost = _Cost()
+                code = self.emit_expr(expr, cost)
+                self.lines.extend(cost.lines(ind))
+                self._w(code)
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot emit statement {stmt!r}")
+
+    # -- whole kernel ------------------------------------------------------------------
+
+    def generate(self) -> str:
+        self.lines = []
+        self.indent = 0
+        self._w("def _kernel(_start, _end, _ro, _env, _C):")
+        self.indent += 1
+        self._w('_ci = _env["compute_index"]')
+        self._w('_esz = _env["elem_sizeof"]')
+        self._w('_sqrt = _env["sqrt"]; _floor = _env["floor"]')
+        self._w('_exp = _env["exp"]; _log = _env["log"]')
+        emitted: set[str] = set()
+        for site in self.low.sites.values():
+            key = site_key(site)
+            kid = self.keys[key]
+            if key in emitted:
+                continue
+            emitted.add(key)
+            plan_modes = {
+                p.mode
+                for p in self.plan.site_plans.values()
+                if site_key(p.site) == key
+            }
+            if plan_modes & {"linear", "hoisted"}:
+                self._w(f'_info_{kid} = _env["info_{kid}"]')
+                self._w(f'_rd_{kid} = _env["read_{kid}"]')
+                self._w(f'_tv_{kid} = _env["view_{kid}"]')
+            if "nested" in plan_modes:
+                self._w(f'_v_{site.root} = _env["val_{site.root}"]')
+        self._w("for _e in range(_start, _end):")
+        self.indent += 1
+        self._w("_C.elements_processed += 1")
+        self.emit_block(self.low.body)
+        return "\n".join(self.lines) + "\n"
+
+
+class CLikeCodegen:
+    """Emit C-flavored source mirroring the plan (documentation/golden tests)."""
+
+    def __init__(self, lowered: LoweredReduction, plan: CompilationPlan) -> None:
+        self.low = lowered
+        self.plan = plan
+        self.lines: list[str] = []
+        self.indent = 0
+        self.keys: dict[str, int] = {}
+        for site in lowered.sites.values():
+            self.keys.setdefault(site_key(site), len(self.keys))
+
+    def _w(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def emit_expr(self, expr: A.Expr) -> str:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            plan = self.plan.plan_for(id(expr))
+            kid = self.keys[site_key(site)]
+            if plan.mode == "nested":
+                code = site.root
+                groups = iter(site.index_exprs)
+                for step in site.steps:
+                    if isinstance(step, IndexStep):
+                        idx = ", ".join(self.emit_expr(ie) for ie in next(groups))
+                        code += f"[{idx}]"
+                    else:
+                        code += f".{step.name}"
+                return code
+            if plan.mode == "linear":
+                idx = ", ".join(
+                    self.emit_expr(ie) for g in site.index_exprs for ie in g
+                )
+                head = "e" + (", " if idx else "") if site.kind == "data" else ""
+                return (
+                    f"linear_{site.root}[computeIndex(unitSize_{kid}, "
+                    f"unitOffset_{kid}, myIndex({head}{idx}), position_{kid}, 0, "
+                    f"{site.info.levels})]"  # type: ignore[union-attr]
+                )
+            inner = self.emit_expr(site.index_exprs[-1][0])
+            low = site.info.domains[-1].ranges[0].low  # type: ignore[union-attr]
+            if low != 0:
+                inner = f"{inner} - {low}"
+            return f"row_{plan.hoist_id}[{inner}]"
+        if isinstance(expr, A.IntLit):
+            return str(expr.value)
+        if isinstance(expr, A.RealLit):
+            return repr(expr.value)
+        if isinstance(expr, A.BoolLit):
+            return "1" if expr.value else "0"
+        if isinstance(expr, A.Ident):
+            if expr.name in self.low.constants:
+                return repr(self.low.constants[expr.name])
+            return expr.name
+        if isinstance(expr, A.BinOp):
+            return f"({self.emit_expr(expr.left)} {expr.op} {self.emit_expr(expr.right)})"
+        if isinstance(expr, A.UnaryOp):
+            return f"({expr.op}{self.emit_expr(expr.operand)})"
+        if isinstance(expr, A.Call):
+            args = ", ".join(self.emit_expr(a) for a in expr.args)
+            return f"{expr.name}({args})"
+        raise CodegenError(f"cannot emit {expr!r}")  # pragma: no cover
+
+    def emit_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDeclStmt):
+            d = stmt.decl
+            ctype = "double" if isinstance(d.type, A.NamedTypeExpr) and d.type.name == "real" else "long"
+            init = f" = {self.emit_expr(d.init)}" if d.init is not None else ""
+            self._w(f"{ctype} {d.name}{init};")
+        elif isinstance(stmt, A.Assign):
+            op = (stmt.op or "") + "="
+            self._w(f"{self.emit_expr(stmt.target)} {op} {self.emit_expr(stmt.value)};")
+        elif isinstance(stmt, A.ForStmt):
+            for hoist in self.plan.loop_hoists.get(id(stmt), []):
+                kid = self.keys[site_key(hoist.site)]
+                self._w(
+                    f"double* row_{hoist.hoist_id} = &linear_{hoist.site.root}"
+                    f"[computeIndex_base_{kid}(...)];  /* hoisted (opt-1) */"
+                )
+            for hoist in self.plan.incremental_hoists.get(id(stmt), []):
+                kid = self.keys[site_key(hoist.site)]
+                self._w(
+                    f"long base_{hoist.hoist_id} = computeIndex_base_{kid}(...);"
+                    "  /* start point, computed before the first iteration */"
+                )
+            lo, hi = self.emit_expr(stmt.range.lo), self.emit_expr(stmt.range.hi)
+            self._w(f"for (long {stmt.var} = {lo}; {stmt.var} <= {hi}; {stmt.var}++) {{")
+            self.indent += 1
+            for hoist in self.plan.incremental_hoists.get(id(stmt), []):
+                self._w(
+                    f"double* row_{hoist.hoist_id} = &linear_{hoist.site.root}"
+                    f"[base_{hoist.hoist_id}]; base_{hoist.hoist_id} += "
+                    f"{hoist.step_bytes};  /* pre-computed offset per iteration */"
+                )
+            for s in stmt.body.stmts:
+                self.emit_stmt(s)
+            self.indent -= 1
+            self._w("}")
+        elif isinstance(stmt, A.IfStmt):
+            self._w(f"if ({self.emit_expr(stmt.cond)}) {{")
+            self.indent += 1
+            for s in stmt.then.stmts:
+                self.emit_stmt(s)
+            self.indent -= 1
+            if stmt.orelse is not None:
+                self._w("} else {")
+                self.indent += 1
+                for s in stmt.orelse.stmts:
+                    self.emit_stmt(s)
+                self.indent -= 1
+            self._w("}")
+        elif isinstance(stmt, A.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, A.Call) and expr.name in A.RO_INTRINSICS:
+                args = ", ".join(self.emit_expr(a) for a in expr.args)
+                self._w(f"accumulate({args});  /* reduction object update */")
+            else:
+                self._w(f"{self.emit_expr(expr)};")
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot emit {stmt!r}")
+
+    def generate(self) -> str:
+        self.lines = []
+        self.indent = 0
+        self._w(f"/* {self.low.name}: FREERIDE reduction, opt level {self.plan.opt_level} */")
+        self._w("void reduction(reduction_args_t* args) {")
+        self.indent += 1
+        self._w("for (long e = args->start; e < args->end; e++) {")
+        self.indent += 1
+        for s in self.low.body.stmts:
+            self.emit_stmt(s)
+        self.indent -= 1
+        self._w("}")
+        self.indent -= 1
+        self._w("}")
+        return "\n".join(self.lines) + "\n"
+
+    def generate_program(self) -> str:
+        """A complete C-like FREERIDE application (the paper's Figure 5).
+
+        Wraps the reduction function with the initialization section
+        (reduction-object allocation, linearization of the dataset and —
+        at opt-2 — of the extras), the default splitter/combine stubs, and
+        the function-pointer registration the Table I API expects.
+        """
+        reduction_fn = self.generate()
+        lines: list[str] = []
+        w = lines.append
+        w(f"/* Generated FREERIDE application for {self.low.name} */")
+        w('#include "freeride.h"')
+        w("")
+        w("/* ---- initialization section ---- */")
+        w("void init(void* chapel_data, int num_threads) {")
+        w("    /* Algorithm 1/2: linearize the Chapel dataset once */")
+        w("    linear_data = linearizeIt(chapel_data, computeLinearizeSize(chapel_data));")
+        hot = sorted(
+            {
+                p.site.root
+                for p in self.plan.site_plans.values()
+                if p.site.kind == "extra" and p.mode != "nested"
+            }
+        )
+        for root in hot:
+            w(f"    /* opt-2: linearize frequently-accessed {root} */")
+            w(f"    linear_{root} = linearizeIt({root}, computeLinearizeSize({root}));")
+        w("    reduction_object_alloc();  /* unique IDs per element */")
+        w("}")
+        w("")
+        w("/* ---- middleware defaults (Table I) ---- */")
+        w("void splitter(void* data_in, int req_units, reduction_args_t* out) {")
+        w("    /* Using default splitter */")
+        w("}")
+        w("")
+        w("void combine(void* copies) {")
+        w("    /* Using default combine function */")
+        w("}")
+        w("")
+        w(reduction_fn.rstrip())
+        w("")
+        w("/* ---- registration: call reduction functions by function pointers ---- */")
+        w("int main(int argc, char** argv) {")
+        w("    freeride_init(argc, argv);")
+        w("    freeride_register((splitter_t) splitter,")
+        w("                      (reduction_t) reduction,")
+        w("                      (combination_t) combine);")
+        w("    freeride_run();")
+        w("    return 0;")
+        w("}")
+        return "\n".join(lines) + "\n"
+
+

@@ -1,0 +1,230 @@
+"""Linearization — the paper's Algorithms 1 and 2.
+
+FREERIDE exposes a dense-buffer view of data; Chapel allows arbitrarily
+nested structures.  Linearization bridges them:
+
+* :func:`compute_linearize_size` (Algorithm 1) recursively computes the
+  packed byte size of a nested value — dispatching on primitive / iterative
+  (array) / structure (record, tuple) types exactly as the paper's
+  pseudo-code does;
+* :func:`linearize_it` (Algorithm 2) allocates a buffer of that size and
+  recursively copies every scalar into it, depth-first, producing a
+  :class:`LinearizedBuffer`;
+* :func:`delinearize` is the inverse (rebuild the nested value), used by
+  round-trip tests and by applications that need results back in Chapel
+  form.
+
+Copy work is charged to an :class:`~repro.machine.counters.OpCounters`
+ledger (``bytes_linearized``), because sequential linearization is the
+scalability limit the paper observes for the opt-2 version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.chapel.types import (
+    ArrayType,
+    ChapelType,
+    EnumType,
+    PrimitiveType,
+    RecordType,
+    StringType,
+    TupleType,
+)
+from repro.chapel.values import ChapelArray, ChapelRecord, ChapelTuple
+from repro.machine.counters import OpCounters
+from repro.util.errors import LinearizationError
+
+__all__ = [
+    "compute_linearize_size",
+    "linearize_it",
+    "delinearize",
+    "LinearizedBuffer",
+]
+
+
+def compute_linearize_size(value: Any, typ: ChapelType) -> int:
+    """Algorithm 1: the packed byte size of ``value`` under type ``typ``.
+
+    Recursive over the value so that (in a Chapel with runtime domains) the
+    size reflects the data actually present; for the fixed-shape types of
+    this substrate it equals ``typ.sizeof``, which tests assert.
+    """
+    if typ.is_primitive:
+        return typ.sizeof
+    if isinstance(typ, ArrayType):
+        if not isinstance(value, ChapelArray):
+            raise LinearizationError(f"expected ChapelArray for {typ}, got {type(value)}")
+        size = 0
+        for x in value.elements():
+            size += compute_linearize_size(x, typ.elt)
+        return size
+    if isinstance(typ, RecordType):
+        if not isinstance(value, ChapelRecord):
+            raise LinearizationError(f"expected ChapelRecord for {typ}, got {type(value)}")
+        size = 0
+        for name, ftype in typ.fields:
+            size += compute_linearize_size(getattr(value, name), ftype)
+        return size
+    if isinstance(typ, TupleType):
+        if not isinstance(value, ChapelTuple):
+            raise LinearizationError(f"expected ChapelTuple for {typ}, got {type(value)}")
+        size = 0
+        for comp, ctype in zip(value, typ.elts):
+            size += compute_linearize_size(comp, ctype)
+        return size
+    raise LinearizationError(f"cannot compute linearized size of {typ!r}")
+
+
+@dataclass
+class LinearizedBuffer:
+    """The dense memory buffer Algorithm 2 produces.
+
+    ``raw`` is a byte array; scalars live at packed offsets.  Typed numpy
+    views over contiguous runs (``typed_view``) are what the opt-1
+    strength-reduction exploits: "the inner-most level of the data is
+    continuous".
+    """
+
+    typ: ChapelType
+    raw: np.ndarray  # uint8
+
+    def __post_init__(self) -> None:
+        if self.raw.dtype != np.uint8:
+            raise LinearizationError("LinearizedBuffer requires a uint8 backing array")
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.raw.size)
+
+    def _check(self, offset: int, size: int) -> None:
+        if offset < 0 or offset + size > self.raw.size:
+            raise LinearizationError(
+                f"access [{offset}, {offset + size}) outside buffer of {self.raw.size} bytes"
+            )
+
+    def read_scalar(self, offset: int, prim: PrimitiveType | StringType | EnumType) -> Any:
+        """Read one typed scalar at a byte offset."""
+        self._check(offset, prim.sizeof)
+        if isinstance(prim, StringType):
+            return self.raw[offset : offset + prim.width].tobytes()
+        view = self.raw[offset : offset + prim.sizeof].view(prim.dtype)
+        return view[0].item()
+
+    def write_scalar(
+        self, offset: int, prim: PrimitiveType | StringType | EnumType, value: Any
+    ) -> None:
+        """Write one typed scalar at a byte offset."""
+        self._check(offset, prim.sizeof)
+        if isinstance(prim, StringType):
+            data = prim.coerce(value)
+            self.raw[offset : offset + prim.width] = np.frombuffer(data, dtype=np.uint8)
+            return
+        view = self.raw[offset : offset + prim.sizeof].view(prim.dtype)
+        view[0] = prim.coerce(value) if hasattr(prim, "coerce") else value
+
+    def typed_view(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """A zero-copy typed view of ``count`` contiguous scalars."""
+        dtype = np.dtype(dtype)
+        self._check(offset, dtype.itemsize * count)
+        return self.raw[offset : offset + dtype.itemsize * count].view(dtype)
+
+    def slice_bytes(self, offset: int, size: int) -> np.ndarray:
+        """A zero-copy byte view (e.g. one chunk of elements)."""
+        self._check(offset, size)
+        return self.raw[offset : offset + size]
+
+
+def linearize_it(
+    value: Any,
+    typ: ChapelType,
+    counters: OpCounters | None = None,
+) -> LinearizedBuffer:
+    """Algorithm 2: copy a nested value into a fresh dense buffer.
+
+    Charges ``bytes_linearized`` to ``counters`` when given.  Arrays of
+    primitives use a vectorized copy from their numpy backing — layout
+    identical to the scalar walk, just faster.
+    """
+    size = compute_linearize_size(value, typ)
+    buf = LinearizedBuffer(typ=typ, raw=np.zeros(size, dtype=np.uint8))
+    _copy_in(buf, 0, value, typ)
+    if counters is not None:
+        counters.bytes_linearized += size
+    return buf
+
+
+def _copy_in(buf: LinearizedBuffer, offset: int, value: Any, typ: ChapelType) -> int:
+    """Recursive copy; returns the offset after the copied value."""
+    if typ.is_primitive:
+        buf.write_scalar(offset, typ, value)  # type: ignore[arg-type]
+        return offset + typ.sizeof
+    if isinstance(typ, ArrayType):
+        if not isinstance(value, ChapelArray):
+            raise LinearizationError(f"expected ChapelArray for {typ}")
+        if typ.elt.is_primitive and not isinstance(typ.elt, StringType):
+            # Fast path: the numpy backing is already in row-major order.
+            arr = value.as_numpy().reshape(-1)
+            view = buf.typed_view(offset, typ.elt.dtype, arr.size)  # type: ignore[union-attr]
+            view[:] = arr
+            return offset + typ.sizeof
+        for x in value.elements():
+            offset = _copy_in(buf, offset, x, typ.elt)
+        return offset
+    if isinstance(typ, RecordType):
+        if not isinstance(value, ChapelRecord):
+            raise LinearizationError(f"expected ChapelRecord for {typ}")
+        for name, ftype in typ.fields:
+            offset = _copy_in(buf, offset, getattr(value, name), ftype)
+        return offset
+    if isinstance(typ, TupleType):
+        if not isinstance(value, ChapelTuple):
+            raise LinearizationError(f"expected ChapelTuple for {typ}")
+        for comp, ctype in zip(value, typ.elts):
+            offset = _copy_in(buf, offset, comp, ctype)
+        return offset
+    raise LinearizationError(f"cannot linearize type {typ!r}")
+
+
+def delinearize(buf: LinearizedBuffer) -> Any:
+    """Rebuild the nested Chapel value from a linearized buffer."""
+    value, end = _copy_out(buf, 0, buf.typ)
+    if end != buf.nbytes:
+        raise LinearizationError(
+            f"delinearize consumed {end} of {buf.nbytes} bytes"
+        )
+    return value
+
+
+def _copy_out(buf: LinearizedBuffer, offset: int, typ: ChapelType) -> tuple[Any, int]:
+    if typ.is_primitive:
+        return buf.read_scalar(offset, typ), offset + typ.sizeof  # type: ignore[arg-type]
+    if isinstance(typ, ArrayType):
+        arr = ChapelArray(typ)
+        if typ.elt.is_primitive and not isinstance(typ.elt, StringType):
+            view = buf.typed_view(offset, typ.elt.dtype, typ.domain.size)  # type: ignore[union-attr]
+            arr.fill_from(view.copy())
+            return arr, offset + typ.sizeof
+        values = []
+        for _ in range(typ.domain.size):
+            v, offset = _copy_out(buf, offset, typ.elt)
+            values.append(v)
+        arr.fill_from(values)
+        return arr, offset
+    if isinstance(typ, RecordType):
+        rec = ChapelRecord(typ)
+        for name, ftype in typ.fields:
+            v, offset = _copy_out(buf, offset, ftype)
+            rec._fields[name] = v
+        return rec, offset
+    if isinstance(typ, TupleType):
+        comps = []
+        for ctype in typ.elts:
+            v, offset = _copy_out(buf, offset, ctype)
+            comps.append(v)
+        return ChapelTuple(typ, comps), offset
+    raise LinearizationError(f"cannot delinearize type {typ!r}")

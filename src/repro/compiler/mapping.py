@@ -1,0 +1,237 @@
+"""Index mapping — the paper's Algorithm 3 (``computeIndex``) and Figure 6.
+
+Once a nested structure has been linearized, every access on the original
+view must be rewritten into a byte offset in the dense buffer.  The paper's
+Figure 6 lists the metadata collected during linearization:
+
+``levels``
+    number of array levels along the access path;
+``unitSize[]``
+    packed byte size of one element at each level
+    (``{unitSize_B, unitSize_A, sizeof(real)}`` for the running example);
+``unitOffset[][]``
+    per level, the member-offset table of the record traversed between this
+    level and the next (``{{unitOffset_B[]}, {unitOffset_A[]}}``);
+``position[][]``
+    per level, which member of that table the path actually uses
+    (``position[0][0] = 0, position[1][0] = 0`` — both ``b1`` and ``a1`` are
+    first members);
+``myIndex[]``
+    the loop indices, collected from the accumulate function at run time.
+
+:func:`collect_mapping_info` computes everything static;
+:func:`compute_index` is the faithful recursive Algorithm 3; and
+:func:`vectorized_offsets` / :func:`contiguous_run` are the vectorized and
+strength-reduced (opt-1) forms used by generated kernels.
+
+Generalizations beyond the paper's pseudo-code, both documented here:
+
+* a level may traverse a *chain* of record members, so ``unitOffset[i]`` is
+  a tuple of member tables and ``position[i]`` a tuple of positions (the
+  paper's example has exactly one member per level);
+* a trailing member chain after the innermost index (e.g. ``data[i].b2``)
+  contributes a constant ``trailing_offset``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.chapel.domains import Domain
+from repro.chapel.types import ArrayType, ChapelType, RecordType
+from repro.compiler.access import AccessPath, FieldStep, IndexStep
+from repro.util.errors import MappingError
+
+__all__ = [
+    "MappingInfo",
+    "collect_mapping_info",
+    "compute_index",
+    "compute_index_chapel",
+    "vectorized_offsets",
+    "contiguous_run",
+]
+
+
+@dataclass(frozen=True)
+class MappingInfo:
+    """Everything Figure 6 collects during linearization, plus domains."""
+
+    path: AccessPath
+    root: ArrayType
+    levels: int
+    unit_size: tuple[int, ...]
+    unit_offset: tuple[tuple[tuple[int, ...], ...], ...]
+    position: tuple[tuple[int, ...], ...]
+    trailing_offset: int
+    domains: tuple[Domain, ...]  # iteration domain of each level
+    inner_dtype: np.dtype  # dtype of the scalar the path reads
+
+    @property
+    def level_offsets(self) -> tuple[int, ...]:
+        """Derived: total member-offset contribution per non-innermost level.
+
+        Has ``levels - 1`` entries; the innermost level contributes no
+        inter-level member offset (Algorithm 3's base case).
+        """
+        out = []
+        for tables, poss in zip(self.unit_offset[:-1], self.position[:-1]):
+            out.append(sum(table[p] for table, p in zip(tables, poss)))
+        return tuple(out)
+
+    @property
+    def inner_extent(self) -> int:
+        """Number of contiguous innermost scalars (opt-1's run length)."""
+        return self.domains[-1].size
+
+    def dense_positions(self, chapel_indices: Sequence) -> tuple[int, ...]:
+        """Convert per-level Chapel indices to 0-based dense ``myIndex[]``."""
+        if len(chapel_indices) != self.levels:
+            raise MappingError(
+                f"expected {self.levels} per-level indices, got {len(chapel_indices)}"
+            )
+        return tuple(
+            dom.flat_position(idx) for dom, idx in zip(self.domains, chapel_indices)
+        )
+
+
+def collect_mapping_info(root: ChapelType, path: AccessPath | str) -> MappingInfo:
+    """Analyze ``path`` against ``root`` and collect the Figure 6 metadata."""
+    if isinstance(path, str):
+        path = AccessPath.parse(path)
+    if not isinstance(root, ArrayType):
+        raise MappingError(f"mapping requires an array-typed dataset, got {root}")
+    inner = path.validate_scalar(root)
+
+    unit_size: list[int] = []
+    unit_offset: list[tuple[tuple[int, ...], ...]] = []
+    position: list[tuple[int, ...]] = []
+    domains: list[Domain] = []
+
+    # Walk the path, grouping field chains with the level they follow.
+    pending_tables: list[tuple[int, ...]] = []
+    pending_positions: list[int] = []
+    level_open = False
+
+    def close_level() -> None:
+        nonlocal pending_tables, pending_positions, level_open
+        if level_open:
+            unit_offset.append(tuple(pending_tables))
+            position.append(tuple(pending_positions))
+            pending_tables, pending_positions = [], []
+            level_open = False
+
+    cur: ChapelType = root
+    for step in path.steps:
+        if isinstance(step, IndexStep):
+            close_level()
+            assert isinstance(cur, ArrayType)  # validated by walk below
+            unit_size.append(cur.elt.sizeof)
+            domains.append(cur.domain)
+            cur = cur.elt
+            level_open = True
+        else:
+            assert isinstance(step, FieldStep)
+            if not isinstance(cur, RecordType):
+                raise MappingError(f"field {step.name!r} on non-record {cur}")
+            table = tuple(cur.field_offsets[n] for n in cur.field_names)
+            pending_tables.append(table)
+            pending_positions.append(cur.field_position(step.name))
+            cur = cur.field_type(step.name)
+    # Whatever chain remains after the innermost index is the trailing chain.
+    trailing = sum(
+        table[p] for table, p in zip(pending_tables, pending_positions)
+    )
+    # The innermost level carries no inter-level member table (Algorithm 3's
+    # base case has only unitSize[i] * myIndex[i]); record empties for it.
+    unit_offset.append(())
+    position.append(())
+
+    levels = len(unit_size)
+    if levels != path.levels:  # pragma: no cover - structural invariant
+        raise MappingError("level bookkeeping mismatch")
+
+    return MappingInfo(
+        path=path,
+        root=root,
+        levels=levels,
+        unit_size=tuple(unit_size),
+        unit_offset=tuple(unit_offset[:levels]),
+        position=tuple(position[:levels]),
+        trailing_offset=trailing,
+        domains=tuple(domains),
+        inner_dtype=np.dtype(inner.dtype),
+    )
+
+
+def compute_index(
+    info: MappingInfo, my_index: Sequence[int], i: int = 0
+) -> int:
+    """Algorithm 3, verbatim recursion, over 0-based dense ``myIndex[]``.
+
+    Returns the byte offset of the addressed scalar in the linearized
+    buffer (plus the trailing-chain constant when the path has one).
+    """
+    if len(my_index) != info.levels:
+        raise MappingError(
+            f"myIndex has {len(my_index)} entries for {info.levels} levels"
+        )
+    dom = info.domains[i]
+    if not 0 <= my_index[i] < dom.size:
+        raise MappingError(
+            f"myIndex[{i}] = {my_index[i]} out of range for level of size {dom.size}"
+        )
+    if i < info.levels - 1:
+        index = info.unit_size[i] * my_index[i] + info.level_offsets[i]
+        index += compute_index(info, my_index, i + 1)
+    else:
+        index = info.unit_size[i] * my_index[i] + info.trailing_offset
+    return index
+
+
+def compute_index_chapel(info: MappingInfo, chapel_indices: Sequence) -> int:
+    """Algorithm 3 on Chapel-style per-level indices (e.g. 1-based)."""
+    return compute_index(info, info.dense_positions(chapel_indices))
+
+
+def vectorized_offsets(
+    info: MappingInfo, my_index_arrays: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Byte offsets for whole index arrays at once (broadcasting).
+
+    The vectorized form of Algorithm 3: the per-level terms are affine, so
+    the offsets are a broadcast sum.  Used by vectorized kernels and tests.
+    """
+    if len(my_index_arrays) != info.levels:
+        raise MappingError(
+            f"need {info.levels} index arrays, got {len(my_index_arrays)}"
+        )
+    total: np.ndarray | float = float(info.trailing_offset)
+    offsets = info.level_offsets
+    for i, arr in enumerate(my_index_arrays):
+        term = np.asarray(arr, dtype=np.int64) * info.unit_size[i]
+        if i < info.levels - 1:
+            term = term + offsets[i]
+        total = total + term
+    return np.asarray(total, dtype=np.int64)
+
+
+def contiguous_run(info: MappingInfo, outer_index: Sequence[int]) -> tuple[int, int]:
+    """Opt-1 helper: the byte base and scalar count of one innermost run.
+
+    "Since the inner-most level of the data is continuous, we can move the
+    computeIndex function outside of the k loop, and only calculate the
+    address of the first element" — this returns that first address plus
+    the run length.  Only valid when the path has no trailing chain (the
+    innermost scalars must be adjacent).
+    """
+    if info.trailing_offset != 0:
+        raise MappingError("innermost level is not contiguous (trailing members)")
+    if len(outer_index) != info.levels - 1:
+        raise MappingError(
+            f"expected {info.levels - 1} outer indices, got {len(outer_index)}"
+        )
+    base = compute_index(info, tuple(outer_index) + (0,))
+    return base, info.inner_extent

@@ -1,0 +1,32 @@
+"""Compilation driver: all paper versions of a reduction at once."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.chapel import ast as A
+from repro.chapel.parser import parse_program
+from repro.compiler.translate import CompiledReduction, compile_reduction
+
+__all__ = ["compile_all_versions", "OPT_LEVELS"]
+
+#: The compiled versions evaluated in §V (manual FR is hand-written per app).
+OPT_LEVELS = {"generated": 0, "opt-1": 1, "opt-2": 2}
+
+
+def compile_all_versions(
+    source: str | A.Program,
+    constants: dict[str, Any],
+    class_name: str | None = None,
+) -> dict[str, CompiledReduction]:
+    """Compile a reduction class at every optimization level.
+
+    Returns ``{"generated": ..., "opt-1": ..., "opt-2": ...}``.  The program
+    is parsed once; each level gets its own lowering (sites carry per-plan
+    annotations).
+    """
+    program = parse_program(source) if isinstance(source, str) else source
+    return {
+        name: compile_reduction(program, constants, level, class_name)
+        for name, level in OPT_LEVELS.items()
+    }

@@ -1,0 +1,332 @@
+"""The end-to-end Chapel-to-FREERIDE translator (the paper's §IV).
+
+Pipeline::
+
+    mini-Chapel source --parse--> AST --lower--> LoweredReduction
+        --plan (opt level)--> CompilationPlan --codegen--> kernel source
+        --exec--> CompiledReduction --bind(data, extras)--> BoundReduction
+        --make_spec--> ReductionSpec, runnable on FreerideEngine
+
+``opt_level`` selects the paper's versions: 0 = ``generated``,
+1 = ``opt-1`` (strength reduction), 2 = ``opt-2`` (extras linearized too).
+The ``manual FR`` comparison versions are hand-written per application in
+:mod:`repro.apps`.
+
+Binding is where linearization actually happens (and is charged to the
+bound kernel's counter ledger): the dataset is linearized once; extras
+(e.g. centroids) are linearized at every (re)bind, matching the per-
+iteration cost the paper describes for opt-2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.chapel import ast as A
+from repro.chapel.domains import Domain
+from repro.chapel.parser import parse_program
+from repro.chapel.types import ArrayType, ChapelType, PrimitiveType
+from repro.chapel.values import ChapelArray
+from repro.compiler.codegen import CLikeCodegen, PythonCodegen, site_key
+from repro.compiler.linearize import LinearizedBuffer, linearize_it
+from repro.compiler.lower import LoweredReduction, lower_reduction
+from repro.compiler.mapping import MappingInfo, compute_index
+from repro.compiler.passes import VERSION_NAMES, CompilationPlan, plan_compilation
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.machine.counters import OpCounters
+from repro.util.errors import CompilerError
+
+__all__ = ["CompiledReduction", "BoundReduction", "compile_reduction"]
+
+
+def _make_reader(raw: np.ndarray, dtype: np.dtype) -> Callable[[int], Any]:
+    dt = np.dtype(dtype)
+
+    def read(offset: int) -> Any:
+        return np.frombuffer(raw, dt, 1, offset)[0].item()
+
+    return read
+
+
+def _make_viewer(raw: np.ndarray, dtype: np.dtype, extent: int) -> Callable[[int], np.ndarray]:
+    dt = np.dtype(dtype)
+
+    def view(offset: int) -> np.ndarray:
+        return np.frombuffer(raw, dt, extent, offset)
+
+    return view
+
+
+@dataclass
+class CompiledReduction:
+    """One optimization level of one reduction class, ready to bind."""
+
+    lowered: LoweredReduction
+    plan: CompilationPlan
+    python_source: str
+    c_source: str
+    kernel: Callable
+    keys: dict[str, int]
+
+    @property
+    def opt_level(self) -> int:
+        return self.plan.opt_level
+
+    @property
+    def version_name(self) -> str:
+        return VERSION_NAMES[self.plan.opt_level]
+
+    @property
+    def name(self) -> str:
+        return self.lowered.name
+
+    @property
+    def c_program(self) -> str:
+        """A complete C-like FREERIDE application (paper Figure 5 shape)."""
+        from repro.compiler.codegen import CLikeCodegen
+
+        return CLikeCodegen(self.lowered, self.plan).generate_program()
+
+    # -- resource classification ------------------------------------------------
+
+    def _linear_extra_roots(self) -> set[str]:
+        return {
+            p.site.root
+            for p in self.plan.site_plans.values()
+            if p.site.kind == "extra" and p.mode in ("linear", "hoisted")
+        }
+
+    def _nested_extra_roots(self) -> set[str]:
+        return {
+            p.site.root
+            for p in self.plan.site_plans.values()
+            if p.site.kind == "extra" and p.mode == "nested"
+        }
+
+    # -- binding --------------------------------------------------------------------
+
+    def bind(
+        self,
+        data: ChapelArray | np.ndarray | LinearizedBuffer,
+        extras: dict[str, Any] | None = None,
+        n_elements: int | None = None,
+    ) -> "BoundReduction":
+        """Bind the compiled kernel to a dataset and extra values.
+
+        ``data`` may be a Chapel array over the element type (linearized via
+        Algorithm 2), a numpy fast path for flat real elements, or an
+        already-linearized buffer (reuse across outer iterations; pass
+        ``n_elements``).
+        """
+        counters = OpCounters()
+        elem_t = self.lowered.element_type
+        data_buf, n = self._linearize_data(data, elem_t, counters, n_elements)
+
+        env: dict[str, Any] = {
+            "compute_index": compute_index,
+            "elem_sizeof": elem_t.sizeof,
+            "sqrt": math.sqrt,
+            "floor": math.floor,
+            "exp": math.exp,
+            "log": math.log,
+        }
+        bound = BoundReduction(
+            compiled=self, env=env, counters=counters, n_elements=n, data_buf=data_buf
+        )
+        self._install_site_resources(env, data_buf)
+        bound.update_extras(extras or {})
+        return bound
+
+    def _linearize_data(
+        self,
+        data: ChapelArray | np.ndarray | LinearizedBuffer,
+        elem_t: ChapelType,
+        counters: OpCounters,
+        n_elements: int | None,
+    ) -> tuple[LinearizedBuffer, int]:
+        if isinstance(data, LinearizedBuffer):
+            if n_elements is None:
+                if data.nbytes % elem_t.sizeof:
+                    raise CompilerError("buffer size is not a multiple of element size")
+                n_elements = data.nbytes // elem_t.sizeof
+            return data, n_elements
+        if isinstance(data, ChapelArray):
+            if data.type.elt != elem_t:
+                raise CompilerError(
+                    f"dataset elements are {data.type.elt}, kernel expects {elem_t}"
+                )
+            buf = linearize_it(data, data.type, counters)
+            return buf, len(data)
+        if isinstance(data, np.ndarray):
+            # Fast path: flat arrays of one primitive element type.
+            expected = self._numpy_element_shape(elem_t)
+            arr = np.ascontiguousarray(data, dtype=expected[1])
+            if arr.ndim >= 1 and arr.shape[1:] == expected[0]:
+                raw = arr.reshape(-1).view(np.uint8)
+                counters.bytes_linearized += raw.size
+                dataset_t = ArrayType(Domain(int(arr.shape[0])), elem_t)
+                return LinearizedBuffer(typ=dataset_t, raw=raw), int(arr.shape[0])
+            raise CompilerError(
+                f"numpy dataset shape {arr.shape} does not match element {elem_t}"
+            )
+        raise CompilerError(f"cannot bind data of type {type(data)}")
+
+    @staticmethod
+    def _numpy_element_shape(elem_t: ChapelType) -> tuple[tuple[int, ...], np.dtype]:
+        if isinstance(elem_t, PrimitiveType):
+            return (), np.dtype(elem_t.dtype)
+        if isinstance(elem_t, ArrayType) and isinstance(elem_t.elt, PrimitiveType):
+            return elem_t.domain.shape, np.dtype(elem_t.elt.dtype)
+        raise CompilerError(
+            f"numpy fast path supports flat primitive elements, not {elem_t}"
+        )
+
+    def _install_site_resources(self, env: dict[str, Any], data_buf: LinearizedBuffer) -> None:
+        installed: set[int] = set()
+        for plan in self.plan.site_plans.values():
+            site = plan.site
+            kid = self.keys[site_key(site)]
+            if plan.mode == "nested" or kid in installed:
+                continue
+            if site.kind == "data":
+                installed.add(kid)
+                info = site.info
+                assert info is not None
+                env[f"info_{kid}"] = info
+                env[f"read_{kid}"] = _make_reader(data_buf.raw, info.inner_dtype)
+                env[f"view_{kid}"] = _make_viewer(
+                    data_buf.raw, info.inner_dtype, info.inner_extent
+                )
+            # linear extras are installed by update_extras
+
+    # -- compiled artifacts ---------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable summary (version, sites, plan modes)."""
+        lines = [f"{self.name} [{self.version_name}]"]
+        for plan in self.plan.site_plans.values():
+            lines.append(
+                f"  {plan.site.expr} ({plan.site.kind}) -> {plan.mode}"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class BoundReduction:
+    """A compiled kernel bound to concrete data — runnable on the engine."""
+
+    compiled: CompiledReduction
+    env: dict[str, Any]
+    counters: OpCounters
+    n_elements: int
+    data_buf: LinearizedBuffer
+    extras_values: dict[str, Any] = field(default_factory=dict)
+
+    def update_extras(self, extras: dict[str, Any]) -> None:
+        """(Re)bind extra values — e.g. new centroids each k-means iteration.
+
+        Extras that the plan linearizes (opt-2) are copied into fresh dense
+        buffers here, charging ``bytes_linearized``; nested extras are
+        installed as live Chapel values.
+        """
+        self.extras_values = dict(extras)
+        comp = self.compiled
+        needed = set(comp.lowered.extra_types)
+        missing = needed - set(extras)
+        if missing:
+            raise CompilerError(f"missing extras: {sorted(missing)}")
+
+        linear_roots = comp._linear_extra_roots()
+        nested_roots = comp._nested_extra_roots()
+        buffers: dict[str, LinearizedBuffer] = {}
+        for root in linear_roots:
+            value = extras[root]
+            etype = comp.lowered.extra_types[root]
+            buffers[root] = linearize_it(value, etype, self.counters)
+        for root in nested_roots:
+            self.env[f"val_{root}"] = extras[root]
+
+        for plan in comp.plan.site_plans.values():
+            site = plan.site
+            if site.kind != "extra" or plan.mode == "nested":
+                continue
+            kid = comp.keys[site_key(site)]
+            info = site.info
+            assert info is not None
+            buf = buffers[site.root]
+            self.env[f"info_{kid}"] = info
+            self.env[f"read_{kid}"] = _make_reader(buf.raw, info.inner_dtype)
+            self.env[f"view_{kid}"] = _make_viewer(
+                buf.raw, info.inner_dtype, info.inner_extent
+            )
+
+    # -- direct execution (tests) -----------------------------------------------------
+
+    def run_serial(self, ro: Any) -> None:
+        """Run the kernel over all elements with a bare accessor (tests)."""
+        self.compiled.kernel(0, self.n_elements, ro, self.env, self.counters)
+
+    # -- FREERIDE integration ------------------------------------------------------------
+
+    def make_spec(
+        self,
+        ro_layout: Sequence[tuple[int, str]],
+        finalize: Callable[[ReductionObject], Any] | None = None,
+    ) -> tuple[ReductionSpec, range]:
+        """Build a FREERIDE spec; the engine data is the element index range."""
+        kernel = self.compiled.kernel
+        env = self.env
+        counters = self.counters
+        layout = list(ro_layout)
+
+        def setup(ro: ReductionObject) -> None:
+            for num_elems, op in layout:
+                ro.alloc(num_elems, op)
+
+        def reduction(args: ReductionArgs) -> None:
+            # args.data is a contiguous slice of the global element index
+            # range; use its VALUES (not split-local positions) so the
+            # kernel addresses the right elements under multi-node splits,
+            # where each node re-splits its own sub-range.
+            indices = args.data
+            if len(indices) == 0:
+                return
+            kernel(indices[0], indices[-1] + 1, args.ro, env, counters)
+
+        spec = ReductionSpec(
+            name=f"{self.compiled.name}-{self.compiled.version_name}",
+            setup_reduction_object=setup,
+            reduction=reduction,
+            finalize=finalize,
+        )
+        return spec, range(self.n_elements)
+
+
+def compile_reduction(
+    source: str | A.Program,
+    constants: dict[str, Any],
+    opt_level: int = 0,
+    class_name: str | None = None,
+) -> CompiledReduction:
+    """Compile a mini-Chapel reduction class at one optimization level."""
+    program = parse_program(source) if isinstance(source, str) else source
+    lowered = lower_reduction(program, constants, class_name)
+    plan = plan_compilation(lowered, opt_level)
+    pygen = PythonCodegen(lowered, plan)
+    python_source = pygen.generate()
+    c_source = CLikeCodegen(lowered, plan).generate()
+    namespace: dict[str, Any] = {}
+    exec(compile(python_source, f"<kernel:{lowered.name}:opt{opt_level}>", "exec"), namespace)
+    return CompiledReduction(
+        lowered=lowered,
+        plan=plan,
+        python_source=python_source,
+        c_source=c_source,
+        kernel=namespace["_kernel"],
+        keys=dict(pygen.keys),
+    )

@@ -1,0 +1,30 @@
+"""Dataset generators, paper-scale configurations, disk-backed chunks."""
+
+from repro.data.chunks import dataset_nbytes, iter_chunks, open_dataset, write_dataset
+from repro.data.datasets import (
+    KMEANS_LARGE_K10,
+    KMEANS_LARGE_K100_I1,
+    KMEANS_SMALL,
+    PCA_LARGE,
+    PCA_SMALL,
+    KmeansConfig,
+    PcaConfig,
+)
+from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+
+__all__ = [
+    "kmeans_points",
+    "initial_centroids",
+    "pca_matrix",
+    "KmeansConfig",
+    "PcaConfig",
+    "KMEANS_SMALL",
+    "KMEANS_LARGE_K10",
+    "KMEANS_LARGE_K100_I1",
+    "PCA_SMALL",
+    "PCA_LARGE",
+    "write_dataset",
+    "open_dataset",
+    "iter_chunks",
+    "dataset_nbytes",
+]

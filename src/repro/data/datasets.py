@@ -1,0 +1,116 @@
+"""The paper's dataset configurations (§V), with a CI scale knob.
+
+The paper evaluates k-means on a 12 MB and a 1.2 GB dataset and PCA on
+1000x10,000 and 1000x100,000 matrices.  The element counts below reproduce
+those byte sizes exactly for the chosen dimensionality; ``scaled(factor)``
+shrinks the element count for fast functional runs while the *simulated*
+benchmarks extrapolate measured per-element costs back to full scale.
+
+The paper does not state the k-means dimensionality; we fix ``dim = 4``
+(documented in EXPERIMENTS.md) so that 12 MB / (4 * 8 B) = 393,216 points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.data.generators import kmeans_points, pca_matrix
+
+__all__ = [
+    "KmeansConfig",
+    "PcaConfig",
+    "KMEANS_SMALL",
+    "KMEANS_LARGE_K10",
+    "KMEANS_LARGE_K100_I1",
+    "PCA_SMALL",
+    "PCA_LARGE",
+]
+
+KMEANS_DIM = 4
+
+
+@dataclass(frozen=True)
+class KmeansConfig:
+    """One k-means experiment configuration."""
+
+    name: str
+    n_points: int
+    dim: int
+    k: int
+    iterations: int
+    seed: int = 17
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_points * self.dim * 8
+
+    def scaled(self, factor: float) -> "KmeansConfig":
+        """Shrink the element count (k, dim, iterations unchanged)."""
+        return replace(
+            self,
+            name=f"{self.name}(x{factor:g})",
+            n_points=max(self.k, int(self.n_points * factor)),
+        )
+
+    def generate(self) -> np.ndarray:
+        return kmeans_points(self.n_points, self.dim, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class PcaConfig:
+    """One PCA experiment configuration (rows = dims, cols = elements)."""
+
+    name: str
+    rows: int
+    cols: int
+    seed: int = 23
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.cols * 8
+
+    def scaled(self, factor: float) -> "PcaConfig":
+        """Shrink the element (column) count; dimensionality unchanged."""
+        return replace(
+            self,
+            name=f"{self.name}(x{factor:g})",
+            cols=max(8, int(self.cols * factor)),
+        )
+
+    def scaled_rows(self, factor: float) -> "PcaConfig":
+        """Also shrink the dimensionality (functional tests only)."""
+        return replace(
+            self,
+            name=f"{self.name}(rows x{factor:g})",
+            rows=max(4, int(self.rows * factor)),
+        )
+
+    def generate(self) -> np.ndarray:
+        return pca_matrix(self.rows, self.cols, seed=self.seed)
+
+
+#: Figure 9: 12 MB dataset, k = 100, i = 10.
+KMEANS_SMALL = KmeansConfig(
+    "kmeans-12MB", n_points=12 * 1024 * 1024 // (KMEANS_DIM * 8),
+    dim=KMEANS_DIM, k=100, iterations=10,
+)
+
+#: Figure 10: 1.2 GB dataset, k = 10, i = 10.
+KMEANS_LARGE_K10 = KmeansConfig(
+    "kmeans-1.2GB-k10", n_points=1200 * 1024 * 1024 // (KMEANS_DIM * 8),
+    dim=KMEANS_DIM, k=10, iterations=10,
+)
+
+#: Figure 11: 1.2 GB dataset, k = 100, i = 1.
+KMEANS_LARGE_K100_I1 = KmeansConfig(
+    "kmeans-1.2GB-k100-i1", n_points=1200 * 1024 * 1024 // (KMEANS_DIM * 8),
+    dim=KMEANS_DIM, k=100, iterations=1,
+)
+
+#: Figure 12: rows = 1000, columns = 10,000.
+PCA_SMALL = PcaConfig("pca-small", rows=1000, cols=10_000)
+
+#: Figure 13: rows = 1000, columns = 100,000.
+PCA_LARGE = PcaConfig("pca-large", rows=1000, cols=100_000)

@@ -1,0 +1,79 @@
+"""Deterministic synthetic dataset generators.
+
+The paper's datasets are not published, so we generate synthetic equivalents
+with the same *shapes* (element counts, dimensionality) and workload-relevant
+structure: k-means data is drawn from Gaussian blobs (so clustering actually
+converges and the compute mix matches a real clustering run); PCA data is a
+low-rank signal plus noise (so the covariance has meaningful principal
+components).  Everything is seeded — the same call always returns the same
+bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["kmeans_points", "initial_centroids", "pca_matrix"]
+
+
+def kmeans_points(
+    n: int,
+    dim: int,
+    num_blobs: int = 8,
+    spread: float = 0.15,
+    seed: int = 0,
+) -> np.ndarray:
+    """``n`` points in ``dim`` dimensions drawn from Gaussian blobs.
+
+    Blob centers are uniform in the unit cube; points get Gaussian noise of
+    scale ``spread`` around their center.  Returns float64 of shape (n, dim).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(dim, "dim")
+    check_positive_int(num_blobs, "num_blobs")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, 1.0, size=(num_blobs, dim))
+    assignment = rng.integers(0, num_blobs, size=n)
+    points = centers[assignment] + rng.normal(0.0, spread, size=(n, dim))
+    return points.astype(np.float64)
+
+
+def initial_centroids(points: np.ndarray, k: int, seed: int = 0) -> np.ndarray:
+    """Paper's k-means step 1: "select k points as the initial centroids
+    randomly".  Returns float64 of shape (k, dim)."""
+    check_positive_int(k, "k")
+    if points.ndim != 2 or points.shape[0] < k:
+        raise ValueError(f"need at least {k} points of shape (n, dim)")
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(points.shape[0], size=k, replace=False)
+    return points[idx].copy()
+
+
+def pca_matrix(
+    rows: int,
+    cols: int,
+    rank: int = 10,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> np.ndarray:
+    """A data matrix for PCA: ``rows`` = dimensionality, ``cols`` = elements.
+
+    (The paper: "the number of rows denotes the dimensionality of the
+    dataset, whereas the number of columns denotes the number of data
+    elements.")  Built as a rank-``rank`` signal plus Gaussian noise, so the
+    mean vector and covariance computed by the PCA reduction are non-trivial.
+    Returns float64 of shape (rows, cols).
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    check_positive_int(rank, "rank")
+    rng = np.random.default_rng(seed)
+    basis = rng.normal(0.0, 1.0, size=(rows, min(rank, rows)))
+    weights = rng.normal(0.0, 1.0, size=(min(rank, rows), cols))
+    signal = basis @ weights
+    data = signal + rng.normal(0.0, noise, size=(rows, cols))
+    # a non-zero mean per dimension makes the mean-vector phase meaningful
+    data += rng.uniform(-1.0, 1.0, size=(rows, 1))
+    return data.astype(np.float64)

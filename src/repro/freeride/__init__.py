@@ -1,0 +1,58 @@
+"""FREERIDE middleware substrate.
+
+A faithful Python rendering of the FREERIDE (FRamework for Rapid
+Implementation of Datamining Engines) multicore API the paper targets
+(Jiang, Ravi & Agrawal, CCGRID 2010 — the Phoenix-based implementation):
+an explicit, dense *reduction object*; fused process+reduce over splits of
+the input (no intermediate key/value pairs); per-technique shared-memory
+combination; and all-to-one / parallel-merge global combination.
+"""
+
+from repro.freeride.api import FreerideContext
+from repro.freeride.combination import (
+    PARALLEL_MERGE_THRESHOLD_BYTES,
+    CombinationStats,
+    all_to_one_combine,
+    combine,
+    parallel_merge_combine,
+)
+from repro.freeride.reduction_object import ACCUMULATE_OPS, ReductionObject
+from repro.freeride.runtime import FreerideEngine, ReductionResult, RunStats
+from repro.freeride.sharedmem import (
+    ELEMS_PER_CACHE_LINE,
+    LockingAccessor,
+    ReplicatedAccessor,
+    ROAccessor,
+    SharedMemManager,
+    SharedMemStats,
+    SharedMemTechnique,
+)
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.freeride.splitter import Split, SplitQueue, chunked_splitter, default_splitter
+
+__all__ = [
+    "FreerideContext",
+    "FreerideEngine",
+    "ReductionResult",
+    "RunStats",
+    "ReductionObject",
+    "ACCUMULATE_OPS",
+    "ReductionArgs",
+    "ReductionSpec",
+    "Split",
+    "SplitQueue",
+    "default_splitter",
+    "chunked_splitter",
+    "SharedMemTechnique",
+    "SharedMemManager",
+    "SharedMemStats",
+    "ROAccessor",
+    "ReplicatedAccessor",
+    "LockingAccessor",
+    "ELEMS_PER_CACHE_LINE",
+    "CombinationStats",
+    "combine",
+    "all_to_one_combine",
+    "parallel_merge_combine",
+    "PARALLEL_MERGE_THRESHOLD_BYTES",
+]

@@ -1,0 +1,108 @@
+"""Combination phases: all-to-one reduce and parallel (tree) merge.
+
+Paper §III-A: "The global combination phase can be achieved by a simple
+all-to-one reduce algorithm.  If the size of the reduction object is large,
+both local and global combination phases perform a parallel merge to speed up
+the process."
+
+Both strategies produce the same combined reduction object; they differ in
+the *critical-path* number of merge rounds, which the simulated machine
+prices (all-to-one: p-1 sequential merges; tree: ceil(log2 p) rounds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.util.errors import FreerideError
+
+__all__ = [
+    "CombinationStats",
+    "all_to_one_combine",
+    "parallel_merge_combine",
+    "combine",
+    "PARALLEL_MERGE_THRESHOLD_BYTES",
+]
+
+#: Reduction objects at least this large use the parallel merge
+#: ("if the size of the reduction object is large").
+PARALLEL_MERGE_THRESHOLD_BYTES = 64 * 1024
+
+
+@dataclass
+class CombinationStats:
+    """Accounting for one combination phase."""
+
+    strategy: str = "all_to_one"
+    merges: int = 0          # total pairwise merges performed
+    rounds: int = 0          # critical-path rounds (parallelism-aware)
+    elements_merged: int = 0  # total elements passed through merges
+
+
+def all_to_one_combine(
+    ros: Sequence[ReductionObject],
+) -> tuple[ReductionObject, CombinationStats]:
+    """Sequentially fold every copy into the first one."""
+    if not ros:
+        raise FreerideError("nothing to combine")
+    stats = CombinationStats(strategy="all_to_one")
+    target = ros[0]
+    for other in ros[1:]:
+        target.merge_from(other)
+        stats.merges += 1
+        stats.elements_merged += target.size
+    stats.rounds = stats.merges  # fully sequential
+    return target, stats
+
+
+def parallel_merge_combine(
+    ros: Sequence[ReductionObject],
+) -> tuple[ReductionObject, CombinationStats]:
+    """Tree merge: pairs merge concurrently, ceil(log2 p) rounds.
+
+    The merge work itself is identical to all-to-one; only the critical path
+    shrinks.  We perform the merges in tree order so the stats reflect the
+    parallel schedule deterministically.
+    """
+    if not ros:
+        raise FreerideError("nothing to combine")
+    stats = CombinationStats(strategy="parallel_merge")
+    live = list(ros)
+    while len(live) > 1:
+        nxt: list[ReductionObject] = []
+        for i in range(0, len(live) - 1, 2):
+            live[i].merge_from(live[i + 1])
+            stats.merges += 1
+            stats.elements_merged += live[i].size
+            nxt.append(live[i])
+        if len(live) % 2 == 1:
+            nxt.append(live[-1])
+        live = nxt
+        stats.rounds += 1
+    return live[0], stats
+
+
+def combine(
+    ros: Sequence[ReductionObject],
+    threshold_bytes: int = PARALLEL_MERGE_THRESHOLD_BYTES,
+) -> tuple[ReductionObject, CombinationStats]:
+    """Pick the strategy by reduction-object size, like the middleware does."""
+    if not ros:
+        raise FreerideError("nothing to combine")
+    if len(ros) == 1:
+        return ros[0], CombinationStats(strategy="trivial")
+    if ros[0].nbytes >= threshold_bytes:
+        return parallel_merge_combine(ros)
+    return all_to_one_combine(ros)
+
+
+def expected_rounds(num_copies: int, strategy: str) -> int:
+    """Critical-path merge rounds for a strategy (used by the cost model)."""
+    if num_copies <= 1:
+        return 0
+    if strategy == "parallel_merge":
+        return math.ceil(math.log2(num_copies))
+    return num_copies - 1

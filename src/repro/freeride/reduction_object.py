@@ -1,0 +1,248 @@
+"""The FREERIDE *reduction object*.
+
+FREERIDE's defining API difference from Map-Reduce (paper §III-A) is that the
+programmer **explicitly declares a reduction object and performs updates to
+its elements directly**; every data element is processed and reduced in one
+step, with no intermediate (key, value) pairs.
+
+The reduction object is a two-level structure maintained in main memory:
+*groups* (e.g. one per k-means cluster), each holding a fixed number of
+float64 *elements* (e.g. count, sum of coordinates).  Each element is
+addressed by ``(group_id, elem_id)`` — the "unique ID for each element"
+that ``reduction_object_alloc`` assigns in Table I.
+
+Updates go through :meth:`ReductionObject.accumulate` with an associative,
+commutative element operation (add/min/max), which is what makes per-thread
+copies mergeable in any order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.util.errors import ReductionObjectError
+from repro.util.validation import check_nonnegative_int, check_positive_int
+
+__all__ = ["AccumulateOp", "ACCUMULATE_OPS", "ReductionObject"]
+
+#: Element-update operations. Each must be associative and commutative so the
+#: result is independent of processing order (paper §III-A requirement).
+AccumulateOp = str
+
+ACCUMULATE_OPS: dict[str, Callable[[np.ndarray, int, float], None]] = {}
+
+
+def _op_add(buf: np.ndarray, idx: int, value: float) -> None:
+    buf[idx] += value
+
+
+def _op_min(buf: np.ndarray, idx: int, value: float) -> None:
+    if value < buf[idx]:
+        buf[idx] = value
+
+
+def _op_max(buf: np.ndarray, idx: int, value: float) -> None:
+    if value > buf[idx]:
+        buf[idx] = value
+
+
+ACCUMULATE_OPS["add"] = _op_add
+ACCUMULATE_OPS["min"] = _op_min
+ACCUMULATE_OPS["max"] = _op_max
+
+_IDENTITY: dict[str, float] = {"add": 0.0, "min": np.inf, "max": -np.inf}
+
+_MERGE_UFUNC = {"add": np.add, "min": np.minimum, "max": np.maximum}
+
+
+@dataclass
+class _GroupMeta:
+    """Layout of one allocated group."""
+
+    group_id: int
+    num_elems: int
+    op: AccumulateOp
+    offset: int  # start of this group's elements in the dense buffer
+
+
+class ReductionObject:
+    """A dense, mergeable reduction object.
+
+    Groups are allocated up front with :meth:`alloc` (mirroring
+    ``reduction_object_alloc``), then updated with :meth:`accumulate` and
+    read with :meth:`get` / :meth:`get_group`.
+
+    Storage is one contiguous float64 buffer; groups are slices of it.  This
+    matches FREERIDE's in-memory representation and makes merging two copies
+    a single vectorized ufunc per op kind.
+    """
+
+    def __init__(self) -> None:
+        self._groups: list[_GroupMeta] = []
+        self._buffer: np.ndarray = np.empty(0, dtype=np.float64)
+        self._finalized_layout = False
+        #: number of accumulate() calls, for runtime statistics
+        self.update_count: int = 0
+
+    # -- layout -------------------------------------------------------------
+
+    def alloc(self, num_elems: int, op: AccumulateOp = "add") -> int:
+        """Allocate a group of ``num_elems`` elements; returns its group id.
+
+        All elements of a group share one accumulate op and start at that
+        op's identity (0 for add, +inf for min, -inf for max).
+        """
+        check_positive_int(num_elems, "num_elems")
+        if op not in ACCUMULATE_OPS:
+            raise ReductionObjectError(f"unknown accumulate op {op!r}")
+        if self._finalized_layout:
+            raise ReductionObjectError(
+                "cannot allocate groups after the layout is frozen"
+            )
+        gid = len(self._groups)
+        meta = _GroupMeta(gid, num_elems, op, offset=self._buffer.size)
+        self._groups.append(meta)
+        self._buffer = np.concatenate(
+            [self._buffer, np.full(num_elems, _IDENTITY[op])]
+        )
+        return gid
+
+    def alloc_matrix(self, num_groups: int, num_elems: int, op: AccumulateOp = "add") -> list[int]:
+        """Allocate ``num_groups`` identical groups (k-means: one per centroid)."""
+        check_positive_int(num_groups, "num_groups")
+        return [self.alloc(num_elems, op) for _ in range(num_groups)]
+
+    def freeze_layout(self) -> None:
+        """Freeze the layout: replicas must share it, so no more allocs."""
+        self._finalized_layout = True
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def size(self) -> int:
+        """Total number of elements across all groups."""
+        return int(self._buffer.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the element buffer, in bytes."""
+        return int(self._buffer.nbytes)
+
+    def _meta(self, group: int) -> _GroupMeta:
+        try:
+            return self._groups[group]
+        except IndexError:
+            raise ReductionObjectError(
+                f"group {group} not allocated (have {len(self._groups)})"
+            )
+
+    def _cell(self, group: int, elem: int) -> tuple[_GroupMeta, int]:
+        meta = self._meta(group)
+        check_nonnegative_int(elem, "elem")
+        if elem >= meta.num_elems:
+            raise ReductionObjectError(
+                f"element {elem} out of range for group {group} "
+                f"({meta.num_elems} elements)"
+            )
+        return meta, meta.offset + elem
+
+    # -- updates and reads ----------------------------------------------------
+
+    def accumulate(self, group: int, elem: int, value: float) -> None:
+        """Fold ``value`` into element ``(group, elem)`` with the group's op.
+
+        This is Table I's ``void accumulate(int, int, void* value)``.
+        """
+        meta, idx = self._cell(group, elem)
+        ACCUMULATE_OPS[meta.op](self._buffer, idx, value)
+        self.update_count += 1
+
+    def accumulate_group(self, group: int, values: np.ndarray) -> None:
+        """Vectorized accumulate of a whole group at once.
+
+        Semantically ``accumulate(group, i, values[i])`` for every i; used by
+        vectorized kernels.  Counts as ``len(values)`` updates.
+        """
+        meta = self._meta(group)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (meta.num_elems,):
+            raise ReductionObjectError(
+                f"group {group} expects {meta.num_elems} values, got {values.shape}"
+            )
+        sl = slice(meta.offset, meta.offset + meta.num_elems)
+        ufunc = _MERGE_UFUNC[meta.op]
+        self._buffer[sl] = ufunc(self._buffer[sl], values)
+        self.update_count += meta.num_elems
+
+    def get(self, group: int, elem: int) -> float:
+        """Read one element — Table I's ``get_intermediate_result``."""
+        _, idx = self._cell(group, elem)
+        return float(self._buffer[idx])
+
+    def get_group(self, group: int) -> np.ndarray:
+        """Read a whole group as a copy."""
+        meta = self._meta(group)
+        return self._buffer[meta.offset : meta.offset + meta.num_elems].copy()
+
+    def group_view(self, group: int) -> np.ndarray:
+        """A writable view of a group (for vectorized manual-FR kernels)."""
+        meta = self._meta(group)
+        return self._buffer[meta.offset : meta.offset + meta.num_elems]
+
+    def set(self, group: int, elem: int, value: float) -> None:
+        """Overwrite one element (used by finalize steps, not reductions)."""
+        _, idx = self._cell(group, elem)
+        self._buffer[idx] = value
+
+    def groups(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Iterate ``(group_id, values_copy)`` pairs."""
+        for meta in self._groups:
+            yield meta.group_id, self.get_group(meta.group_id)
+
+    # -- replication and merging ----------------------------------------------
+
+    def clone_empty(self) -> "ReductionObject":
+        """A fresh copy with identical layout and identity-valued elements.
+
+        This is what the *full replication* shared-memory technique hands to
+        each thread.
+        """
+        clone = ReductionObject()
+        for meta in self._groups:
+            clone.alloc(meta.num_elems, meta.op)
+        clone.freeze_layout()
+        return clone
+
+    def same_layout(self, other: "ReductionObject") -> bool:
+        return [(m.num_elems, m.op) for m in self._groups] == [
+            (m.num_elems, m.op) for m in other._groups
+        ]
+
+    def merge_from(self, other: "ReductionObject") -> None:
+        """Combine another copy into this one (the *combine* of Figure 1).
+
+        Merging is group-wise with each group's op ufunc, so it is a handful
+        of vectorized operations regardless of object size.
+        """
+        if not self.same_layout(other):
+            raise ReductionObjectError("cannot merge reduction objects with different layouts")
+        for meta in self._groups:
+            sl = slice(meta.offset, meta.offset + meta.num_elems)
+            ufunc = _MERGE_UFUNC[meta.op]
+            self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
+        self.update_count += other.update_count
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the whole dense buffer (for tests and checkpoints)."""
+        return self._buffer.copy()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReductionObject(groups={self.num_groups}, elements={self.size}, "
+            f"updates={self.update_count})"
+        )

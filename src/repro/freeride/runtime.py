@@ -1,0 +1,305 @@
+"""The FREERIDE execution engine.
+
+Implements the processing structure of the paper's Figure 4 (left):
+
+.. code-block:: text
+
+    {* Outer Sequential Loop *}  <- driven by the application (e.g. k-means)
+    While() {
+        {* Reduction Loop *}
+        Foreach(element e) {
+            (i, val) = Process(e);
+            RObj(i) = Reduce(RObj(i), val);
+        }
+        Global Reduction to Combine RObj
+    }
+
+One :meth:`FreerideEngine.run` call executes one pass of the reduction loop:
+split the input, run the local reduction on every split across threads
+(map and reduce fused — each element is processed *and* reduced before the
+next), perform the local combination (per shared-memory technique), the
+global combination (across nodes, all-to-one or parallel merge), and
+finalize.
+
+Two executors are provided: ``"serial"`` (deterministic round-robin split
+assignment — the mode the simulated machine models) and ``"threads"``
+(a real thread pool pulling splits from a shared queue).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+def _validate_custom_splits(splits: "list[Split]", data: Any) -> None:
+    """A user splitter must produce an exact, ordered partition."""
+    if not isinstance(splits, list) or not all(isinstance(s, Split) for s in splits):
+        raise SplitterError("custom splitter must return a list of Split")
+    try:
+        n = len(data)
+    except TypeError:
+        raise SplitterError("custom splitter data must be sized")
+    _check_partition(splits, n)
+
+from repro.freeride.combination import (
+    PARALLEL_MERGE_THRESHOLD_BYTES,
+    CombinationStats,
+    combine,
+)
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.sharedmem import (
+    ROAccessor,
+    SharedMemManager,
+    SharedMemStats,
+    SharedMemTechnique,
+)
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.freeride.splitter import (
+    Split,
+    SplitQueue,
+    _check_partition,
+    chunked_splitter,
+    default_splitter,
+)
+from repro.util.errors import FreerideError, SplitterError
+from repro.util.timing import PhaseTimer
+from repro.util.validation import check_one_of, check_positive_int
+
+__all__ = ["RunStats", "ReductionResult", "FreerideEngine"]
+
+
+@dataclass
+class RunStats:
+    """Everything a run observed; the cost model consumes these counters."""
+
+    num_threads: int = 1
+    num_nodes: int = 1
+    executor: str = "serial"
+    technique: SharedMemTechnique = SharedMemTechnique.FULL_REPLICATION
+    total_elements: int = 0
+    elements_per_thread: list[int] = field(default_factory=list)
+    splits_per_thread: list[int] = field(default_factory=list)
+    ro_updates: int = 0
+    ro_size: int = 0
+    sharedmem: SharedMemStats = field(default_factory=SharedMemStats)
+    local_combination: CombinationStats = field(default_factory=CombinationStats)
+    global_combination: CombinationStats | None = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ReductionResult:
+    """Outcome of one reduction pass."""
+
+    value: Any
+    ro: ReductionObject
+    stats: RunStats
+
+
+class FreerideEngine:
+    """Runs :class:`~repro.freeride.spec.ReductionSpec` applications.
+
+    Parameters
+    ----------
+    num_threads:
+        threads per node ("One thread is allocated on one CPU" in §V).
+    technique:
+        shared-memory technique for reduction-object updates.
+    executor:
+        ``"serial"`` or ``"threads"``.
+    chunk_size:
+        if given, the input is cut into fixed-size chunks pulled dynamically;
+        otherwise the default splitter produces one block per thread.
+    num_nodes:
+        cluster width for the global combination phase (each node runs the
+        full local pipeline on its block of the data).
+    parallel_merge_threshold:
+        reduction objects at least this many bytes use the parallel merge.
+    """
+
+    def __init__(
+        self,
+        num_threads: int = 1,
+        technique: SharedMemTechnique | str = SharedMemTechnique.FULL_REPLICATION,
+        executor: str = "serial",
+        chunk_size: int | None = None,
+        num_nodes: int = 1,
+        parallel_merge_threshold: int = PARALLEL_MERGE_THRESHOLD_BYTES,
+        splitter: "Callable[[Any, int], list[Split]] | None" = None,
+    ) -> None:
+        self.num_threads = check_positive_int(num_threads, "num_threads")
+        self.technique = SharedMemTechnique.parse(technique)
+        self.executor = check_one_of(executor, ("serial", "threads"), "executor")
+        if chunk_size is not None:
+            check_positive_int(chunk_size, "chunk_size")
+        self.chunk_size = chunk_size
+        self.num_nodes = check_positive_int(num_nodes, "num_nodes")
+        self.parallel_merge_threshold = parallel_merge_threshold
+        if splitter is not None and not callable(splitter):
+            raise FreerideError("splitter must be callable (splitter_t)")
+        #: custom ``splitter_t``; None selects the middleware default
+        self.splitter = splitter
+
+    # -- public entry ---------------------------------------------------------
+
+    def run(self, spec: ReductionSpec, data: Any) -> ReductionResult:
+        """Execute one reduction pass over ``data``."""
+        timer = PhaseTimer()
+        stats = RunStats(
+            num_threads=self.num_threads,
+            num_nodes=self.num_nodes,
+            executor=self.executor,
+            technique=self.technique,
+        )
+
+        if self.num_nodes == 1:
+            with timer.phase("local"):
+                ro, sm_stats, lc_stats = self._run_node(spec, data, stats)
+            stats.sharedmem = sm_stats
+            stats.local_combination = lc_stats
+        else:
+            node_ros: list[ReductionObject] = []
+            with timer.phase("local"):
+                for node_block in default_splitter(data, self.num_nodes):
+                    node_ro, sm_stats, lc_stats = self._run_node(
+                        spec, node_block.data, stats
+                    )
+                    stats.sharedmem.add(sm_stats)
+                    stats.local_combination.merges += lc_stats.merges
+                    stats.local_combination.rounds = max(
+                        stats.local_combination.rounds, lc_stats.rounds
+                    )
+                    node_ros.append(node_ro)
+            with timer.phase("global_combination"):
+                ro, g_stats = combine(node_ros, self.parallel_merge_threshold)
+                stats.global_combination = g_stats
+
+        stats.ro_updates = ro.update_count
+        stats.ro_size = ro.size
+
+        with timer.phase("finalize"):
+            value: Any = spec.finalize(ro) if spec.finalize is not None else ro
+
+        stats.phase_seconds = timer.as_dict()
+        return ReductionResult(value=value, ro=ro, stats=stats)
+
+    def run_iterative(
+        self,
+        make_spec: "Callable[[Any], ReductionSpec]",
+        data: Any,
+        iterations: int,
+        update: "Callable[[ReductionResult, Any], Any]",
+        state: Any,
+        converged: "Callable[[Any, Any], bool] | None" = None,
+    ) -> tuple[Any, list[ReductionResult]]:
+        """The outer sequential loop of Figure 4's left column.
+
+        ``make_spec(state)`` builds the reduction for the current state
+        (e.g. current centroids); ``update(result, state)`` derives the next
+        state from the combined reduction object; the optional
+        ``converged(old, new)`` predicate ends the loop early (k-means'
+        "repeat until the centroids are stable").
+
+        Returns the final state and every pass's :class:`ReductionResult`.
+        """
+        check_positive_int(iterations, "iterations")
+        results: list[ReductionResult] = []
+        for _ in range(iterations):
+            spec = make_spec(state)
+            result = self.run(spec, data)
+            results.append(result)
+            new_state = update(result, state)
+            if converged is not None and converged(state, new_state):
+                state = new_state
+                break
+            state = new_state
+        return state, results
+
+    # -- one node's local pipeline ---------------------------------------------
+
+    def _run_node(
+        self, spec: ReductionSpec, data: Any, stats: RunStats
+    ) -> tuple[ReductionObject, SharedMemStats, CombinationStats]:
+        ro = spec.build_reduction_object()
+        mgr = SharedMemManager(self.technique)
+        accessors = mgr.setup(ro, self.num_threads)
+
+        if self.splitter is not None:
+            splits = self.splitter(data, self.num_threads)
+            _validate_custom_splits(splits, data)
+        elif self.chunk_size is not None:
+            splits = chunked_splitter(data, self.chunk_size)
+        else:
+            splits = default_splitter(data, self.num_threads)
+
+        elems = [0] * self.num_threads
+        nsplits = [0] * self.num_threads
+
+        def process(thread_id: int, split: Split) -> None:
+            args = ReductionArgs(
+                data=split.data,
+                split=split,
+                thread_id=thread_id,
+                ro=accessors[thread_id],
+                extras=spec.extras,
+            )
+            spec.reduction(args)
+            elems[thread_id] += len(split)
+            nsplits[thread_id] += 1
+
+        if self.executor == "serial":
+            for i, split in enumerate(splits):
+                if len(split) == 0:
+                    continue
+                process(i % self.num_threads, split)
+        else:
+            queue = SplitQueue(splits)
+
+            def worker(thread_id: int) -> None:
+                while (s := queue.take()) is not None:
+                    if len(s) == 0:
+                        continue
+                    process(thread_id, s)
+
+            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+                futures = [pool.submit(worker, t) for t in range(self.num_threads)]
+                for f in futures:
+                    f.result()  # propagate worker exceptions
+
+        stats.total_elements += sum(elems)
+        if not stats.elements_per_thread:
+            stats.elements_per_thread = elems
+            stats.splits_per_thread = nsplits
+        else:
+            stats.elements_per_thread = [
+                a + b for a, b in zip(stats.elements_per_thread, elems)
+            ]
+            stats.splits_per_thread = [
+                a + b for a, b in zip(stats.splits_per_thread, nsplits)
+            ]
+
+        # Local combination.
+        sm_stats = SharedMemStats(technique=self.technique)
+        for acc in accessors:
+            sm_stats.add(acc.stats)
+        if self.technique is SharedMemTechnique.FULL_REPLICATION:
+            if spec.combination is not None:
+                combined = spec.combination([acc.ro for acc in accessors])  # type: ignore[attr-defined]
+                if not isinstance(combined, ReductionObject):
+                    raise FreerideError(
+                        "custom combination must return a ReductionObject"
+                    )
+                ro.merge_from(combined)
+                lc_stats = CombinationStats(strategy="custom", merges=len(accessors))
+            else:
+                combined, lc_stats = combine(
+                    [acc.ro for acc in accessors],  # type: ignore[attr-defined]
+                    self.parallel_merge_threshold,
+                )
+                ro.merge_from(combined)
+            sm_stats.merge_elements += lc_stats.elements_merged
+        else:
+            lc_stats = CombinationStats(strategy="in_place")
+        return ro, sm_stats, lc_stats

@@ -1,0 +1,93 @@
+"""The developer-facing FREERIDE reduction specification.
+
+Paper §III-A: an application developer writes a *local reduction* function
+(process one split, updating the reduction object) and optionally a *global
+reduction* (combination) and a *finalize*.  The splitter and combination have
+middleware-provided defaults, which the paper's applications use.
+
+:class:`ReductionSpec` bundles those callables; :class:`ReductionArgs` is the
+Python rendering of the C ``reduction_args_t*`` handed to the local reduction
+function (the split's data plus the reduction-object handle and any
+application extras such as the k-means centroids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.sharedmem import ROAccessor
+from repro.freeride.splitter import Split
+from repro.util.errors import FreerideError
+
+__all__ = ["ReductionArgs", "ReductionSpec"]
+
+
+@dataclass
+class ReductionArgs:
+    """Arguments handed to the local reduction function for one split.
+
+    Mirrors FREERIDE's ``reduction_args_t``: the split's data, the thread id,
+    the reduction-object accessor (whose ``accumulate`` is Table I's
+    ``accumulate(int, int, void*)``), and application extras.
+    """
+
+    data: Any
+    split: Split
+    thread_id: int
+    ro: ROAccessor
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.split)
+
+
+@dataclass
+class ReductionSpec:
+    """A complete FREERIDE application specification.
+
+    ``setup_reduction_object``
+        allocates groups on a fresh reduction object (called once per run —
+        corresponds to ``reduction_object_alloc`` in the init section).
+    ``reduction``
+        the local reduction: processes every element of a split and updates
+        the reduction object through ``args.ro.accumulate``.
+    ``combination``
+        optional override of the middleware's default merge of per-thread
+        copies.  ``None`` selects the default combination function, which is
+        what the paper's applications use.
+    ``finalize``
+        optional post-processing producing the run's result from the final
+        reduction object (the ``generate`` of the Chapel model).
+    ``extras``
+        read-only application state visible to the reduction function
+        (e.g. the current centroids).  Must not be mutated during a run.
+    """
+
+    name: str
+    setup_reduction_object: Callable[[ReductionObject], None]
+    reduction: Callable[[ReductionArgs], None]
+    combination: Callable[[list[ReductionObject]], ReductionObject] | None = None
+    finalize: Callable[[ReductionObject], Any] | None = None
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not callable(self.setup_reduction_object):
+            raise FreerideError("setup_reduction_object must be callable")
+        if not callable(self.reduction):
+            raise FreerideError("reduction must be callable")
+        if self.combination is not None and not callable(self.combination):
+            raise FreerideError("combination must be callable or None")
+        if self.finalize is not None and not callable(self.finalize):
+            raise FreerideError("finalize must be callable or None")
+
+    def build_reduction_object(self) -> ReductionObject:
+        """Allocate and initialize a fresh reduction object for a run."""
+        ro = ReductionObject()
+        self.setup_reduction_object(ro)
+        if ro.num_groups == 0:
+            raise FreerideError(
+                f"spec {self.name!r} allocated no reduction-object groups"
+            )
+        return ro

@@ -1,0 +1,131 @@
+"""Input-data splitting for the FREERIDE runtime.
+
+Table I: ``int (*splitter_t)(void*, int, reduction_args_t*)`` — "Split the
+whole input data set according to the number of the threads provided by the
+initialization part."  The paper's applications use the **default splitter**,
+which block-partitions the input; we also provide a fixed-chunk splitter used
+for dynamic scheduling (the runtime hands chunks to idle threads, which is
+how the Phoenix-based FREERIDE implementation balances load).
+
+Splits are *views* where the input supports them (numpy arrays, lists via
+slices), so splitting never copies element data.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import SplitterError
+from repro.util.validation import check_positive_int
+
+__all__ = ["Split", "default_splitter", "chunked_splitter", "SplitQueue"]
+
+
+@dataclass(frozen=True)
+class Split:
+    """One unit of work: a contiguous slice of the input data.
+
+    ``start``/``end`` are 0-based element indices into the full input;
+    ``data`` is the corresponding view.
+    """
+
+    split_id: int
+    start: int
+    end: int
+    data: Any
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def _data_len(data: Any) -> int:
+    try:
+        return len(data)
+    except TypeError:
+        raise SplitterError(f"cannot split data of type {type(data)}")
+
+
+def _slice(data: Any, start: int, end: int) -> Any:
+    return data[start:end]
+
+
+def default_splitter(data: Any, req_units: int) -> list[Split]:
+    """Block-partition ``data`` into ``req_units`` balanced splits.
+
+    This is FREERIDE's default splitter: the first ``n % req_units`` splits
+    receive one extra element.  Splits with zero elements are produced when
+    ``req_units`` exceeds the data size, so every thread still receives an
+    answer (matching the C API, which returns a unit count per thread).
+    """
+    check_positive_int(req_units, "req_units")
+    n = _data_len(data)
+    base, extra = divmod(n, req_units)
+    splits: list[Split] = []
+    start = 0
+    for t in range(req_units):
+        size = base + (1 if t < extra else 0)
+        splits.append(Split(t, start, start + size, _slice(data, start, start + size)))
+        start += size
+    _check_partition(splits, n)
+    return splits
+
+
+def chunked_splitter(data: Any, chunk_size: int) -> list[Split]:
+    """Partition ``data`` into fixed-size chunks (last one may be short).
+
+    Used with dynamic scheduling: many more chunks than threads, pulled from
+    a shared queue.
+    """
+    check_positive_int(chunk_size, "chunk_size")
+    n = _data_len(data)
+    splits = []
+    for sid, start in enumerate(range(0, n, chunk_size)):
+        end = min(start + chunk_size, n)
+        splits.append(Split(sid, start, end, _slice(data, start, end)))
+    if n == 0:
+        splits = [Split(0, 0, 0, _slice(data, 0, 0))]
+    _check_partition(splits, n)
+    return splits
+
+
+def _check_partition(splits: Sequence[Split], n: int) -> None:
+    """Verify splits exactly partition [0, n) in order."""
+    pos = 0
+    for s in splits:
+        if s.start != pos or s.end < s.start:
+            raise SplitterError(
+                f"split {s.split_id} does not continue the partition at {pos}"
+            )
+        pos = s.end
+    if pos != n:
+        raise SplitterError(f"splits cover [0, {pos}) but data has {n} elements")
+
+
+class SplitQueue:
+    """A thread-safe work queue of splits for dynamic scheduling."""
+
+    def __init__(self, splits: Sequence[Split]) -> None:
+        self._splits = list(splits)
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def take(self) -> Split | None:
+        """Pop the next split, or None when the queue is drained."""
+        with self._lock:
+            if self._next >= len(self._splits):
+                return None
+            s = self._splits[self._next]
+            self._next += 1
+            return s
+
+    def __len__(self) -> int:
+        return len(self._splits)
+
+    def drain(self) -> Iterator[Split]:
+        """Iterate remaining splits (single-threaded use)."""
+        while (s := self.take()) is not None:
+            yield s

@@ -1,0 +1,87 @@
+"""Abstract operation counters.
+
+The repro band for this paper marks its absolute performance numbers as
+unreproducible (C vs Python, 2007-era Xeon vs anything current), so the
+benchmarks reproduce *shapes* through a cost model.  The honest way to do
+that is to **count real operations while executing real kernels** and price
+the counts, rather than hardcode per-version formulas.  ``OpCounters`` is the
+ledger every instrumented kernel writes into.
+
+The categories mirror the paper's §V overhead discussion:
+
+* ``nested_reads``/``nested_writes`` — accesses through complex Chapel
+  structures ("frequent accesses through a complex data structure cause
+  significant overheads"; removed by opt-2);
+* ``index_calls``/``index_levels`` — ``computeIndex`` invocations and the
+  per-level work inside them (hoisted by opt-1's strength reduction);
+* ``linear_reads``/``linear_writes`` — accesses to linearized dense buffers;
+* ``bytes_linearized`` — the copy work of Algorithm 2 (sequential; the
+  paper's noted scalability limit for opt-2);
+* plus generic flops, reduction-object updates, lock acquisitions and merge
+  work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["OpCounters"]
+
+
+@dataclass
+class OpCounters:
+    """Counts of abstract operations performed by a kernel."""
+
+    flops: float = 0.0
+    linear_reads: float = 0.0
+    linear_writes: float = 0.0
+    #: number of accesses through un-linearized Chapel structures
+    nested_reads: float = 0.0
+    #: total chain steps across those accesses (a flat array read is 1 step;
+    #: ``centroids[c].coord[d]`` is 3) — deep chains are what hurt
+    nested_steps: float = 0.0
+    nested_writes: float = 0.0
+    index_calls: float = 0.0
+    index_levels: float = 0.0
+    ro_updates: float = 0.0
+    lock_acquisitions: float = 0.0
+    bytes_linearized: float = 0.0
+    merge_elements: float = 0.0
+    elements_processed: float = 0.0
+
+    def add(self, other: "OpCounters") -> "OpCounters":
+        """In-place accumulate; returns self."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def scaled(self, factor: float) -> "OpCounters":
+        """A copy with every count multiplied by ``factor``.
+
+        Used to extrapolate per-element counts measured on a sample to the
+        full (paper-scale) workload.
+        """
+        out = OpCounters()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def per_element(self) -> "OpCounters":
+        """Counts normalized per processed element."""
+        if self.elements_processed <= 0:
+            raise ValueError("no elements processed; cannot normalize")
+        return self.scaled(1.0 / self.elements_processed)
+
+    def total_ops(self) -> float:
+        """Sum of all counters except ``elements_processed`` (debug aid)."""
+        return sum(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "elements_processed"
+        )
+
+    def copy(self) -> "OpCounters":
+        return self.scaled(1.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,22 @@
+"""Phoenix-style Map-Reduce runtime — the paper's structural comparator.
+
+Implements the right-hand side of the paper's Figure 4 with full overhead
+accounting (intermediate pairs, bytes, sort comparisons), so benchmarks can
+quantify exactly what FREERIDE's fused process+reduce structure avoids.
+"""
+
+from repro.mapreduce.compare import (
+    GeneralizedReduction,
+    StructuralComparison,
+    compare_structures,
+)
+from repro.mapreduce.runtime import MapReduceEngine, MapReduceResult, MapReduceStats
+
+__all__ = [
+    "MapReduceEngine",
+    "MapReduceResult",
+    "MapReduceStats",
+    "GeneralizedReduction",
+    "StructuralComparison",
+    "compare_structures",
+]

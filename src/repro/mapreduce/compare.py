@@ -1,0 +1,131 @@
+"""Structural FREERIDE-vs-Map-Reduce comparison (the paper's Figure 4).
+
+Runs the *same logical reduction* through both runtimes and reports the
+overheads unique to the Map-Reduce structure: intermediate pair storage and
+sort/group work.  The reduction result must be identical — only the
+processing structure differs — which the comparison verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.mapreduce.runtime import MapReduceEngine
+from repro.util.errors import ReproError
+
+__all__ = ["GeneralizedReduction", "StructuralComparison", "compare_structures"]
+
+
+@dataclass
+class GeneralizedReduction:
+    """One computation expressed in Figure 4's common vocabulary.
+
+    ``process(element) -> (group_index, values)`` maps an element to the
+    reduction-object group it updates and the element values to fold in,
+    exactly the ``(i, val) = Process(e)`` of Figure 4.  ``num_groups`` and
+    ``num_elems`` give the reduction-object shape.
+    """
+
+    name: str
+    process: Callable[[Any], tuple[int, np.ndarray]]
+    num_groups: int
+    num_elems: int
+
+    def freeride_spec(self) -> ReductionSpec:
+        process = self.process
+        num_groups, num_elems = self.num_groups, self.num_elems
+
+        def setup(ro: ReductionObject) -> None:
+            ro.alloc_matrix(num_groups, num_elems)
+
+        def reduction(args: ReductionArgs) -> None:
+            # FREERIDE: each element is processed AND reduced immediately.
+            for e in args.data:
+                i, val = process(e)
+                args.ro.accumulate_group(i, val)
+
+        def finalize(ro: ReductionObject) -> dict[int, np.ndarray]:
+            return {g: vals for g, vals in ro.groups()}
+
+        return ReductionSpec(
+            name=self.name,
+            setup_reduction_object=setup,
+            reduction=reduction,
+            finalize=finalize,
+        )
+
+    def map_fn(self, element: Any, emit: Callable[[Hashable, Any], None]) -> None:
+        # Map-Reduce: process every element, STORE the (i, val) pair.
+        i, val = self.process(element)
+        emit(i, np.asarray(val, dtype=np.float64))
+
+    @staticmethod
+    def reduce_fn(_key: Hashable, values: list[np.ndarray]) -> np.ndarray:
+        return np.sum(values, axis=0)
+
+
+@dataclass
+class StructuralComparison:
+    """Side-by-side overhead accounting for one workload."""
+
+    name: str
+    results_match: bool
+    freeride_ro_updates: int
+    freeride_intermediate_pairs: int  # always 0 - definitional
+    mapreduce_pairs: int
+    mapreduce_intermediate_bytes: int
+    mapreduce_sort_comparisons: int
+    freeride_output: dict[int, np.ndarray]
+    mapreduce_output: dict[int, np.ndarray]
+
+
+def compare_structures(
+    workload: GeneralizedReduction,
+    data: Sequence[Any],
+    num_threads: int = 1,
+    use_combiner: bool = False,
+) -> StructuralComparison:
+    """Run ``workload`` through both runtimes and compare."""
+    fr = FreerideEngine(num_threads=num_threads).run(workload.freeride_spec(), data)
+    mr = MapReduceEngine(num_threads=num_threads, use_combiner=use_combiner).run(
+        workload.map_fn, workload.reduce_fn, data
+    )
+
+    fr_out: dict[int, np.ndarray] = fr.value
+    mr_out = {k: np.asarray(v) for k, v in mr.output.items()}
+
+    match = True
+    for g, vals in fr_out.items():
+        mr_vals = mr_out.get(g)
+        if mr_vals is None:
+            # Groups no element mapped to never appear in Map-Reduce output;
+            # FREERIDE reports them at identity. Equivalent iff identity.
+            if not np.allclose(vals, 0.0):
+                match = False
+        elif not np.allclose(vals, mr_vals):
+            match = False
+    if any(k not in fr_out for k in mr_out):
+        match = False
+    if not match:
+        raise ReproError(
+            f"structural comparison {workload.name!r}: runtimes disagree — "
+            "the workload's process() is probably not order-independent"
+        )
+
+    return StructuralComparison(
+        name=workload.name,
+        results_match=match,
+        freeride_ro_updates=fr.stats.ro_updates,
+        freeride_intermediate_pairs=0,
+        mapreduce_pairs=mr.stats.pairs_emitted,
+        mapreduce_intermediate_bytes=mr.stats.intermediate_bytes,
+        mapreduce_sort_comparisons=mr.stats.sort_comparisons,
+        freeride_output=fr_out,
+        mapreduce_output=mr_out,
+    )

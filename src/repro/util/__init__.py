@@ -1,0 +1,41 @@
+"""Shared utilities: errors, validation, timing, logging."""
+
+from repro.util.errors import (
+    BenchmarkError,
+    ChapelError,
+    ChapelSyntaxError,
+    ChapelTypeError,
+    CodegenError,
+    CompilerError,
+    DomainError,
+    FreerideError,
+    LinearizationError,
+    MachineError,
+    MappingError,
+    ReductionObjectError,
+    ReproError,
+    SplitterError,
+)
+from repro.util.logging import get_logger
+from repro.util.timing import PhaseTimer, Stopwatch, timed
+
+__all__ = [
+    "ReproError",
+    "ChapelError",
+    "ChapelTypeError",
+    "ChapelSyntaxError",
+    "DomainError",
+    "FreerideError",
+    "ReductionObjectError",
+    "SplitterError",
+    "CompilerError",
+    "LinearizationError",
+    "MappingError",
+    "CodegenError",
+    "MachineError",
+    "BenchmarkError",
+    "get_logger",
+    "Stopwatch",
+    "PhaseTimer",
+    "timed",
+]

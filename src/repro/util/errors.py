@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class.  Sub-hierarchies mirror the subsystems: the
+mini-Chapel substrate, the FREERIDE middleware, the translation compiler and
+the simulated machine.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ChapelError",
+    "ChapelTypeError",
+    "ChapelSyntaxError",
+    "DomainError",
+    "FreerideError",
+    "ReductionObjectError",
+    "SplitterError",
+    "CompilerError",
+    "LinearizationError",
+    "MappingError",
+    "CodegenError",
+    "MachineError",
+    "BenchmarkError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ChapelError(ReproError):
+    """Base class for errors in the mini-Chapel substrate."""
+
+
+class ChapelTypeError(ChapelError):
+    """A value does not conform to its declared Chapel type."""
+
+
+class ChapelSyntaxError(ChapelError):
+    """The mini-Chapel frontend rejected source text.
+
+    Carries the source location so tooling can point at the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class DomainError(ChapelError):
+    """An index fell outside a domain, or a domain was malformed."""
+
+
+class FreerideError(ReproError):
+    """Base class for errors in the FREERIDE middleware substrate."""
+
+
+class ReductionObjectError(FreerideError):
+    """Invalid group/element access or accumulate on a reduction object."""
+
+
+class SplitterError(FreerideError):
+    """The splitter produced an invalid partition of the input data."""
+
+
+class CompilerError(ReproError):
+    """Base class for errors in the Chapel-to-FREERIDE translator."""
+
+
+class LinearizationError(CompilerError):
+    """A data structure could not be linearized (Algorithms 1 and 2)."""
+
+
+class MappingError(CompilerError):
+    """Index-mapping failure in ``computeIndex`` (Algorithm 3)."""
+
+
+class CodegenError(CompilerError):
+    """Code generation produced or received an invalid kernel."""
+
+
+class MachineError(ReproError):
+    """Invalid configuration or state in the simulated machine."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark harness was misconfigured."""

@@ -1,0 +1,23 @@
+"""Library-wide logger configuration.
+
+The library never configures the root logger; it exposes a namespaced
+logger (``repro``) that applications can route as they see fit.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_BASE = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally for a subsystem.
+
+    ``get_logger("freeride")`` returns the ``repro.freeride`` logger.
+    """
+    if name is None:
+        return logging.getLogger(_BASE)
+    return logging.getLogger(f"{_BASE}.{name}")

@@ -1,0 +1,81 @@
+"""Wall-clock timing helpers for the real-execution benchmark mode."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "PhaseTimer", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """A simple accumulating stopwatch based on ``time.perf_counter``."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop and return the elapsed time of this interval."""
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        interval = time.perf_counter() - self._start
+        self.elapsed += interval
+        self._start = None
+        return interval
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase.
+
+    Mirrors the phase decomposition the paper discusses (linearization,
+    local reduction, combination) so real runs can report the same
+    breakdown the simulator produces.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.phases[name] = self.phases.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.phases)
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a stopwatch that stops on exit."""
+    sw = Stopwatch()
+    sw.start()
+    try:
+        yield sw
+    finally:
+        if sw.running:
+            sw.stop()

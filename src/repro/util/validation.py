@@ -1,0 +1,63 @@
+"""Small argument-validation helpers used across the library.
+
+These keep public entry points honest without cluttering the call sites:
+each helper raises a precise exception type and returns the (possibly
+normalized) value so they compose in assignments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = [
+    "require",
+    "check_positive_int",
+    "check_nonnegative_int",
+    "check_in_range",
+    "check_one_of",
+    "check_sequence_nonempty",
+]
+
+
+def require(condition: bool, message: str, exc: type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` strictly greater than zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_nonnegative_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an ``int`` greater than or equal to zero."""
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return value
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str) -> float:
+    """Validate ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_one_of(value: T, allowed: Iterable[T], name: str) -> T:
+    """Validate that ``value`` is one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_sequence_nonempty(seq: Sequence[T], name: str) -> Sequence[T]:
+    """Validate that ``seq`` has at least one element."""
+    if len(seq) == 0:
+        raise ValueError(f"{name} must not be empty")
+    return seq

@@ -1,0 +1,91 @@
+"""Tests for the apriori extension app."""
+
+import numpy as np
+import pytest
+from itertools import combinations
+
+from repro.apps.apriori import AprioriRunner, generate_transactions
+from repro.util.errors import ReproError
+
+
+def brute_force_frequent(tx, min_frac, max_size):
+    """Oracle: enumerate all itemsets up to max_size."""
+    n, m = tx.shape
+    min_support = max(1, int(np.ceil(min_frac * n)))
+    out = {}
+    for size in range(1, max_size + 1):
+        level = []
+        for items in combinations(range(m), size):
+            support = int(tx[:, items].all(axis=1).sum())
+            if support >= min_support:
+                level.append((items, support))
+        if not level:
+            break
+        out[size] = sorted(level)
+    return out
+
+
+@pytest.fixture(scope="module")
+def transactions():
+    return generate_transactions(250, 7, avg_basket=4, seed=91)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("version", ["generated", "opt-1", "opt-2", "manual"])
+    def test_matches_brute_force(self, transactions, version):
+        runner = AprioriRunner(
+            7, min_support_frac=0.4, max_size=3, version=version, num_threads=2
+        )
+        result = runner.run(transactions)
+        expected = brute_force_frequent(transactions, 0.4, 3)
+        got = {s: sorted(level) for s, level in result.frequent.items()}
+        assert got == expected
+
+    def test_planted_pattern_found(self):
+        tx = generate_transactions(400, 10, avg_basket=2, seed=92)
+        result = AprioriRunner(10, min_support_frac=0.35, max_size=2).run(tx)
+        assert (0, 1) in result.itemsets_of_size(2)
+
+    def test_supports_monotone(self, transactions):
+        """Apriori property: a superset's support never exceeds a subset's."""
+        result = AprioriRunner(7, min_support_frac=0.3, max_size=3).run(transactions)
+        support = {
+            items: s for level in result.frequent.values() for items, s in level
+        }
+        for items, s in support.items():
+            for sub in combinations(items, len(items) - 1):
+                if sub and sub in support:
+                    assert support[sub] >= s
+
+    def test_passes_counted(self, transactions):
+        result = AprioriRunner(7, min_support_frac=0.4, max_size=3).run(transactions)
+        assert result.passes == len(result.frequent) or result.passes == len(
+            result.frequent
+        ) + 1  # last pass may find nothing
+
+
+class TestCandidateGeneration:
+    def test_join_and_prune(self):
+        frequent = [(0, 1), (0, 2), (1, 2), (1, 3)]
+        cands = AprioriRunner._next_candidates(frequent, 3)
+        # (0,1,2): all 2-subsets frequent. (1,2,3): needs (2,3) - missing.
+        assert cands == [(0, 1, 2)]
+
+    def test_empty(self):
+        assert AprioriRunner._next_candidates([], 2) == []
+
+
+class TestValidation:
+    def test_wrong_shape(self):
+        with pytest.raises(ReproError):
+            AprioriRunner(5).run(np.zeros((10, 4), dtype=np.int64))
+
+    def test_min_support_bounds(self):
+        with pytest.raises(ValueError):
+            AprioriRunner(5, min_support_frac=1.5)
+
+    def test_high_support_gives_nothing_rare(self):
+        tx = np.zeros((50, 4), dtype=np.int64)
+        tx[:5, 0] = 1  # item 0 in 10% of baskets
+        result = AprioriRunner(4, min_support_frac=0.5).run(tx)
+        assert result.frequent == {}

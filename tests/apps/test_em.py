@@ -1,0 +1,80 @@
+"""Tests for the EM Gaussian-mixture extension app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.em import EmRunner
+from repro.data import kmeans_points
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return kmeans_points(240, 2, num_blobs=3, spread=0.05, seed=101)
+
+
+class TestAllVersionsAgree:
+    @pytest.mark.parametrize("version", ["generated", "opt-1", "opt-2"])
+    def test_compiled_matches_manual(self, blobs, version):
+        ref = EmRunner(3, 2, version="manual").run(blobs, iterations=4, seed=3)
+        got = EmRunner(3, 2, version=version).run(blobs, iterations=4, seed=3)
+        assert np.allclose(got.weights, ref.weights, rtol=1e-6)
+        assert np.allclose(got.means, ref.means, rtol=1e-6)
+        assert np.allclose(got.variances, ref.variances, rtol=1e-6)
+        assert got.log_likelihood == pytest.approx(ref.log_likelihood, rel=1e-6)
+
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_threads_do_not_change_result(self, blobs, threads):
+        a = EmRunner(3, 2, version="manual", num_threads=threads).run(
+            blobs, iterations=3, seed=3
+        )
+        b = EmRunner(3, 2, version="manual", num_threads=1).run(
+            blobs, iterations=3, seed=3
+        )
+        assert np.allclose(a.means, b.means)
+
+
+class TestStatisticalBehaviour:
+    def test_log_likelihood_non_decreasing(self, blobs):
+        """EM's defining property (same init, growing iteration counts)."""
+        lls = [
+            EmRunner(3, 2, version="manual").run(blobs, iterations=i, seed=5).log_likelihood
+            for i in (1, 3, 6, 10)
+        ]
+        assert all(b >= a - 1e-6 for a, b in zip(lls, lls[1:]))
+
+    def test_weights_sum_to_one(self, blobs):
+        result = EmRunner(3, 2, version="manual").run(blobs, iterations=5)
+        assert result.weights.sum() == pytest.approx(1.0)
+        assert np.all(result.weights > 0)
+
+    def test_variances_floored(self, blobs):
+        result = EmRunner(3, 2, version="manual").run(blobs, iterations=8)
+        assert np.all(result.variances >= 1e-6)
+
+    def test_recovers_separated_blobs(self):
+        pts = kmeans_points(600, 2, num_blobs=2, spread=0.02, seed=103)
+        result = EmRunner(2, 2, version="manual").run(pts, iterations=15, seed=7)
+        # responsibilities should be decisive for well-separated blobs
+        r = result.responsibilities(pts)
+        assert (r.max(axis=1) > 0.95).mean() > 0.9
+
+    def test_responsibilities_rows_normalized(self, blobs):
+        result = EmRunner(3, 2, version="manual").run(blobs, iterations=3)
+        r = result.responsibilities(blobs)
+        assert np.allclose(r.sum(axis=1), 1.0)
+
+
+class TestValidation:
+    def test_wrong_dim(self):
+        with pytest.raises(ReproError):
+            EmRunner(2, 3).run(np.zeros((10, 2)), iterations=1)
+
+    def test_too_few_points(self):
+        with pytest.raises(ReproError):
+            EmRunner(5, 2).run(np.zeros((3, 2)), iterations=1)
+
+    def test_counters_populated(self, blobs):
+        result = EmRunner(2, 2, version="opt-2").run(blobs, iterations=2)
+        assert result.counters.elements_processed == 2 * len(blobs)
+        assert result.counters.bytes_linearized > 0

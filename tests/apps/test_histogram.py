@@ -1,0 +1,86 @@
+"""Tests for the histogram extension app."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import HistogramRunner
+from repro.util.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(71).uniform(0, 1, 3000)
+
+
+class TestAllVersionsAgree:
+    @pytest.mark.parametrize("version", ["generated", "opt-1", "opt-2", "manual"])
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_counts_match_numpy(self, data, version, threads):
+        bins = 20
+        runner = HistogramRunner(bins, 0.0, 1.0, version=version, num_threads=threads)
+        result = runner.run(data)
+        ref_counts, _ = np.histogram(data, bins=bins, range=(0.0, 1.0))
+        assert np.array_equal(result.counts, ref_counts)
+        assert result.counts.sum() == len(data)
+
+    @pytest.mark.parametrize("version", ["opt-2", "manual"])
+    def test_sums_match(self, data, version):
+        bins = 8
+        result = HistogramRunner(bins, 0.0, 1.0, version=version).run(data)
+        b = np.clip((data * bins).astype(int), 0, bins - 1)
+        ref_sums = np.bincount(b, weights=data, minlength=bins)
+        assert np.allclose(result.sums, ref_sums)
+
+    def test_versions_pairwise_identical(self, data):
+        results = {
+            v: HistogramRunner(12, 0.0, 1.0, version=v).run(data)
+            for v in ("generated", "opt-1", "opt-2", "manual")
+        }
+        base = results["manual"]
+        for v, r in results.items():
+            assert np.array_equal(r.counts, base.counts), v
+            assert np.allclose(r.sums, base.sums), v
+
+
+class TestEdges:
+    def test_out_of_range_clamped(self):
+        data = np.array([-5.0, 0.5, 99.0])
+        result = HistogramRunner(4, 0.0, 1.0, version="manual").run(data)
+        assert result.counts[0] >= 1  # clamped low
+        assert result.counts[-1] >= 1  # clamped high
+        assert result.counts.sum() == 3
+
+    def test_boundary_value_in_last_bin(self):
+        result = HistogramRunner(4, 0.0, 1.0, version="opt-2").run(np.array([1.0]))
+        assert result.counts[-1] == 1
+
+    def test_means(self):
+        data = np.array([0.1, 0.1, 0.9])
+        result = HistogramRunner(2, 0.0, 1.0, version="manual").run(data)
+        means = result.means
+        assert means[0] == pytest.approx(0.1)
+        assert means[1] == pytest.approx(0.9)
+
+    def test_empty_bin_mean_is_nan(self):
+        result = HistogramRunner(2, 0.0, 1.0, version="manual").run(np.array([0.1]))
+        assert np.isnan(result.means[1])
+
+    def test_edges_array(self):
+        result = HistogramRunner(4, 0.0, 2.0, version="manual").run(np.array([0.5]))
+        assert np.allclose(result.edges, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+
+class TestValidation:
+    def test_bad_range(self):
+        with pytest.raises(ReproError):
+            HistogramRunner(4, 1.0, 1.0)
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            HistogramRunner(0, 0.0, 1.0)
+
+    def test_counters_populated(self):
+        runner = HistogramRunner(4, 0.0, 1.0, version="generated")
+        result = runner.run(np.random.default_rng(0).uniform(0, 1, 100))
+        assert result.counters.elements_processed == 100
+        assert result.counters.ro_updates == 200

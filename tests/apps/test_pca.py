@@ -1,0 +1,96 @@
+"""Tests for the PCA application (both reduction phases, all versions)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pca import PcaRunner, pca_numpy_reference
+from repro.data import pca_matrix
+from repro.util.errors import ReproError
+
+M, COLS = 10, 150
+
+
+@pytest.fixture(scope="module")
+def workload():
+    matrix = pca_matrix(M, COLS, rank=3, seed=41)
+    mean, cov = pca_numpy_reference(matrix)
+    return matrix, mean, cov
+
+
+class TestAllVersionsAgree:
+    @pytest.mark.parametrize("version", ["generated", "opt-1", "opt-2", "manual"])
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_mean_and_covariance(self, workload, version, threads):
+        matrix, mean, cov = workload
+        result = PcaRunner(M, version=version, num_threads=threads).run(matrix)
+        assert np.allclose(result.mean, mean)
+        assert np.allclose(result.covariance, cov)
+
+    def test_covariance_is_symmetric_psd(self, workload):
+        matrix, _, _ = workload
+        result = PcaRunner(M, version="opt-2").run(matrix)
+        assert np.allclose(result.covariance, result.covariance.T)
+        assert np.linalg.eigvalsh(result.covariance).min() > -1e-9
+
+    def test_opt_levels_insignificant_for_pca(self, workload):
+        """The paper: PCA 'does not use complex or nested data structures
+        ... the benefits of the two levels of optimizations are not
+        significant'.  Concretely: opt-2's auxiliary linearization (the 8x
+        lever for k-means) buys almost nothing here — PCA's only auxiliary
+        is a flat real vector, already cheap to access — and the total
+        generated-to-opt-2 gain stays far below k-means' ~9x."""
+        from repro.machine.costmodel import XEON_E5345
+
+        matrix, _, _ = workload
+        cycles = {}
+        for version in ("generated", "opt-1", "opt-2"):
+            r = PcaRunner(M, version=version).run(matrix)
+            c = r.counters.copy()
+            c.bytes_linearized = 0
+            cycles[version] = XEON_E5345.cycles(c)
+        assert cycles["opt-1"] / cycles["opt-2"] < 1.10
+        assert cycles["generated"] / cycles["opt-2"] < 2.0
+
+
+class TestDownstreamUse:
+    def test_principal_components_ordered(self, workload):
+        matrix, _, _ = workload
+        result = PcaRunner(M, version="manual").run(matrix)
+        vals, vecs = result.principal_components(4)
+        assert np.all(np.diff(vals) <= 1e-12)
+        assert vecs.shape == (M, 4)
+
+    def test_projection_captures_low_rank_signal(self):
+        matrix = pca_matrix(12, 400, rank=3, noise=1e-4, seed=42)
+        result = PcaRunner(12, version="manual").run(matrix)
+        vals, _ = result.principal_components(12)
+        explained = vals[:3].sum() / vals.sum()
+        assert explained > 0.99
+
+    def test_project_shape(self, workload):
+        matrix, _, _ = workload
+        result = PcaRunner(M, version="manual").run(matrix)
+        proj = result.project(matrix, k=2)
+        assert proj.shape == (2, COLS)
+
+
+class TestEdgeCases:
+    def test_single_column(self):
+        matrix = pca_matrix(5, 2, seed=43)[:, :1]
+        result = PcaRunner(5, version="manual").run(matrix)
+        assert np.allclose(result.mean, matrix[:, 0])
+        assert np.allclose(result.covariance, 0.0)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ReproError):
+            PcaRunner(5).run(np.zeros((4, 10)))
+
+    def test_bad_version(self):
+        with pytest.raises(ValueError):
+            PcaRunner(5, version="turbo")
+
+    def test_counters_cover_both_phases(self, workload):
+        matrix, _, _ = workload
+        result = PcaRunner(M, version="manual").run(matrix)
+        assert result.counters.elements_processed == 2 * COLS
+        assert result.mean_stats is not None and result.cov_stats is not None

@@ -1,0 +1,58 @@
+"""Cost-model calibration: the Figure 9 ratios that anchor every figure.
+
+The CostModel constants were calibrated once against the paper's §V
+numbers at the Figure 9 parameters (k=100) and then frozen; every other
+figure's shape is *derived*, not fitted.  This test pins the calibration:
+if a compiler or runtime change alters the measured operation mix, the
+ratios drift and this fails loudly.
+"""
+
+import pytest
+
+from repro.bench.profiles import measure_kmeans_profiles
+from repro.machine.costmodel import XEON_E5345
+
+K, DIM = 100, 4
+
+
+@pytest.fixture(scope="module")
+def cycles_per_point():
+    profiles = measure_kmeans_profiles(K, DIM, sample_n=150)
+    return {
+        version: XEON_E5345.cycles(p.phases[0].per_element)
+        for version, p in profiles.items()
+    }
+
+
+class TestFigure9Calibration:
+    def test_opt1_gain_about_10_percent(self, cycles_per_point):
+        """'the running time can be deducted by a factor around 10% by the
+        first optimization'"""
+        ratio = cycles_per_point["generated"] / cycles_per_point["opt-1"]
+        assert 1.07 <= ratio <= 1.14, ratio
+
+    def test_opt2_gain_about_8x(self, cycles_per_point):
+        """'the running time can be reduced by a factor around 8'"""
+        ratio = cycles_per_point["opt-1"] / cycles_per_point["opt-2"]
+        assert 7.0 <= ratio <= 9.0, ratio
+
+    def test_opt2_overhead_under_20_percent(self, cycles_per_point):
+        """'With 1 thread, this overhead is less than 20%' (compute part;
+        linearization adds a little more at full scale)"""
+        ratio = cycles_per_point["opt-2"] / cycles_per_point["manual"]
+        assert 1.0 <= ratio <= 1.20, ratio
+
+    def test_version_total_order(self, cycles_per_point):
+        c = cycles_per_point
+        assert c["generated"] > c["opt-1"] > c["opt-2"] > c["manual"]
+
+    def test_k10_regime_similar_trends(self):
+        """Figure 10 ('trends ... very similar') at k=10."""
+        profiles = measure_kmeans_profiles(10, DIM, sample_n=150)
+        c = {
+            v: XEON_E5345.cycles(p.phases[0].per_element)
+            for v, p in profiles.items()
+        }
+        assert 1.05 <= c["generated"] / c["opt-1"] <= 1.20
+        assert 5.5 <= c["opt-1"] / c["opt-2"] <= 9.0
+        assert c["opt-2"] / c["manual"] <= 1.25

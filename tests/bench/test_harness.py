@@ -1,0 +1,175 @@
+"""Tests for the simulation harness."""
+
+import pytest
+
+from repro.bench.harness import SimulationConfig, simulate_profile, sweep_threads
+from repro.bench.profiles import PhaseWork, WorkloadProfile
+from repro.freeride.sharedmem import SharedMemTechnique
+from repro.machine.costmodel import CostModel
+from repro.machine.counters import OpCounters
+from repro.util.errors import BenchmarkError
+
+CM = CostModel(clock_hz=1.0e6)
+
+
+def simple_profile(linearize=True, extras=0, ro_elements=10):
+    per_elem = OpCounters(flops=100, linear_reads=50, ro_updates=5, elements_processed=1)
+    return WorkloadProfile(
+        app="test",
+        version="opt-2",
+        elem_bytes=32,
+        linearize_data=linearize,
+        extras_bytes_per_iteration=extras,
+        phases=[PhaseWork("local reduction", per_elem, ro_elements)],
+    )
+
+
+def cfg(**kw):
+    kw.setdefault("cost_model", CM)
+    return SimulationConfig(**kw)
+
+
+class TestSimulateProfile:
+    def test_phase_structure(self):
+        report = simulate_profile(simple_profile(extras=64), 1000, 2, 4, cfg())
+        names = [p.name for p in report.phases]
+        assert names == [
+            "linearization",  # dataset, once
+            "linearization",  # extras, iteration 1
+            "local reduction",
+            "combination",
+            "linearization",  # extras, iteration 2
+            "local reduction",
+            "combination",
+        ]
+
+    def test_manual_has_no_linearization(self):
+        report = simulate_profile(simple_profile(linearize=False), 1000, 1, 4, cfg())
+        assert report.phase_seconds("linearization") == 0.0
+
+    def test_compute_scales_with_elements(self):
+        small = simulate_profile(simple_profile(False), 1000, 1, 1, cfg())
+        big = simulate_profile(simple_profile(False), 4000, 1, 1, cfg())
+        assert big.phase_seconds("local reduction") == pytest.approx(
+            4 * small.phase_seconds("local reduction")
+        )
+
+    def test_amdahl_linearization_limits_speedup(self):
+        sweep = sweep_threads(simple_profile(True), 100_000, 1, (1, 8), cfg())
+        manual = sweep_threads(simple_profile(False), 100_000, 1, (1, 8), cfg())
+        assert manual.speedup(8) > sweep.speedup(8)
+
+    def test_parallel_linearization_restores_scaling(self):
+        seq = sweep_threads(simple_profile(True), 100_000, 1, (8,), cfg())
+        par = sweep_threads(
+            simple_profile(True), 100_000, 1, (8,),
+            cfg(linearization_mode="parallel"),
+        )
+        assert par.seconds[8] < seq.seconds[8]
+
+    def test_bad_linearization_mode(self):
+        with pytest.raises(BenchmarkError):
+            simulate_profile(
+                simple_profile(), 10, 1, 1, cfg(linearization_mode="quantum")
+            )
+
+    def test_iterations_multiply_compute(self):
+        one = simulate_profile(simple_profile(False), 1000, 1, 2, cfg())
+        ten = simulate_profile(simple_profile(False), 1000, 10, 2, cfg())
+        assert ten.total_seconds == pytest.approx(10 * one.total_seconds)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_profile(simple_profile(), 0, 1, 1, cfg())
+        with pytest.raises(ValueError):
+            simulate_profile(simple_profile(), 10, 0, 1, cfg())
+
+
+class TestChunking:
+    def test_fixed_chunk_count_quantization(self):
+        """12 chunks on 8 threads: makespan = 2 chunk times (the PCA
+        load-imbalance story)."""
+        report8 = simulate_profile(
+            simple_profile(False), 12_000, 1, 8, cfg(num_chunks=12)
+        )
+        report4 = simulate_profile(
+            simple_profile(False), 12_000, 1, 4, cfg(num_chunks=12)
+        )
+        # 4 threads: 3 waves; 8 threads: 2 waves -> only 1.5x gain
+        assert report4.phase_seconds("local reduction") == pytest.approx(
+            1.5 * report8.phase_seconds("local reduction")
+        )
+
+    def test_many_chunks_balance_well(self):
+        report = simulate_profile(
+            simple_profile(False), 64_000, 1, 8, cfg(chunks_per_thread=8)
+        )
+        assert report.phases[0].utilization > 0.99
+
+
+class TestTechniques:
+    def test_locking_adds_cost(self):
+        repl = simulate_profile(simple_profile(False), 10_000, 1, 4, cfg())
+        lock = simulate_profile(
+            simple_profile(False), 10_000, 1, 4,
+            cfg(technique=SharedMemTechnique.FULL_LOCKING),
+        )
+        assert lock.total_seconds > repl.total_seconds
+
+    def test_locking_skips_replication_merge(self):
+        lock = simulate_profile(
+            simple_profile(False, ro_elements=1000), 1000, 1, 8,
+            cfg(technique=SharedMemTechnique.FULL_LOCKING),
+        )
+        assert lock.phase_seconds("combination") == 0.0
+
+    def test_contention_grows_with_threads_on_small_object(self):
+        def lock_time(p):
+            r = simulate_profile(
+                simple_profile(False, ro_elements=2), 8_000, 1, p,
+                cfg(technique=SharedMemTechnique.FULL_LOCKING),
+            )
+            # total lock work across threads (not wall-clock)
+            return r.phase_seconds("local reduction") * p
+
+        assert lock_time(8) > lock_time(1)
+
+
+class TestCombination:
+    def test_replication_merge_grows_with_threads(self):
+        profile = simple_profile(False, ro_elements=500_000)
+        t2 = simulate_profile(profile, 1000, 1, 2, cfg())
+        t8 = simulate_profile(profile, 1000, 1, 8, cfg())
+        assert t8.phase_seconds("combination") > t2.phase_seconds("combination")
+
+
+class TestClusterSimulation:
+    def test_nodes_split_the_data(self):
+        one = simulate_profile(simple_profile(False), 8000, 1, 2, cfg())
+        four = simulate_profile(
+            simple_profile(False), 8000, 1, 2, cfg(num_nodes=4)
+        )
+        # each node reduces a quarter of the elements
+        assert four.phase_seconds("local reduction") == pytest.approx(
+            one.phase_seconds("local reduction") / 4
+        )
+
+    def test_global_combination_charged(self):
+        report = simulate_profile(
+            simple_profile(False), 8000, 1, 2, cfg(num_nodes=4)
+        )
+        assert report.phase_seconds("global combination") > 0
+
+    def test_single_node_has_no_global_phase(self):
+        report = simulate_profile(simple_profile(False), 8000, 1, 2, cfg())
+        assert report.phase_seconds("global combination") == 0.0
+
+    def test_overlap_mode_faster_than_sequential(self):
+        seq = simulate_profile(simple_profile(True), 100_000, 1, 8, cfg())
+        ovl = simulate_profile(
+            simple_profile(True), 100_000, 1, 8,
+            cfg(linearization_mode="overlap"),
+        )
+        assert ovl.total_seconds < seq.total_seconds
+        # the overlapped run has no standalone linearization phase
+        assert ovl.phase_seconds("linearization") == 0.0

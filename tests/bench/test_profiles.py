@@ -1,0 +1,101 @@
+"""Tests for measured workload profiles."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profiles import (
+    _fit_and_eval,
+    _measure_pca_at,
+    measure_kmeans_profiles,
+    measure_pca_profiles,
+)
+from repro.machine.counters import OpCounters
+from repro.util.errors import BenchmarkError
+
+K, DIM = 6, 3
+
+
+@pytest.fixture(scope="module")
+def kmeans_profiles():
+    return measure_kmeans_profiles(K, DIM, sample_n=60)
+
+
+class TestKmeansProfiles:
+    def test_all_versions_present(self, kmeans_profiles):
+        assert set(kmeans_profiles) == {"generated", "opt-1", "opt-2", "manual"}
+
+    def test_per_element_normalized(self, kmeans_profiles):
+        for p in kmeans_profiles.values():
+            assert p.phases[0].per_element.elements_processed == pytest.approx(1.0)
+
+    def test_linearization_flags(self, kmeans_profiles):
+        assert kmeans_profiles["manual"].linearize_data is False
+        assert kmeans_profiles["generated"].linearize_data is True
+        assert kmeans_profiles["opt-2"].extras_bytes_per_iteration == K * DIM * 8
+        assert kmeans_profiles["opt-1"].extras_bytes_per_iteration == 0
+
+    def test_no_linearization_in_compute_counters(self, kmeans_profiles):
+        for p in kmeans_profiles.values():
+            assert p.phases[0].per_element.bytes_linearized == 0.0
+
+    def test_version_ordering_by_index_work(self, kmeans_profiles):
+        gen = kmeans_profiles["generated"].phases[0].per_element
+        o1 = kmeans_profiles["opt-1"].phases[0].per_element
+        o2 = kmeans_profiles["opt-2"].phases[0].per_element
+        assert gen.index_calls > o1.index_calls
+        assert gen.nested_steps == o1.nested_steps > 0
+        assert o2.nested_steps == 0
+
+    def test_ro_elements(self, kmeans_profiles):
+        assert kmeans_profiles["opt-2"].phases[0].ro_elements == K * (DIM + 2)
+
+    def test_elem_bytes(self, kmeans_profiles):
+        assert all(p.elem_bytes == DIM * 8 for p in kmeans_profiles.values())
+
+
+class TestQuadraticFit:
+    def test_fit_exact_on_polynomial_counts(self):
+        """The fit must be exact for counts of the form a + b*m + c*tri(m)."""
+
+        def fake(m):
+            c = OpCounters()
+            c.flops = 5 + 2 * m + 3 * m * (m + 1) / 2
+            c.linear_reads = m
+            c.elements_processed = 1
+            return c
+
+        fitted = _fit_and_eval([4, 7, 11], [fake(4), fake(7), fake(11)], 100)
+        expect = fake(100)
+        assert fitted.flops == pytest.approx(expect.flops)
+        assert fitted.linear_reads == pytest.approx(expect.linear_reads)
+
+    @pytest.mark.parametrize("version", ["opt-2", "manual"])
+    def test_extrapolation_matches_held_out_measurement(self, version):
+        """Fit at three dimensionalities, predict a fourth, compare with a
+        real measurement at that fourth — must agree exactly."""
+        ms = [8, 12, 18]
+        target = 26
+        means, covs = [], []
+        for m in ms:
+            cm, cc = _measure_pca_at(version, m, sample_n=10, seed=77)
+            means.append(cm)
+            covs.append(cc)
+        predicted = _fit_and_eval(ms, covs, target)
+        _, measured = _measure_pca_at(version, target, sample_n=10, seed=77)
+        for fname in ("flops", "linear_reads", "ro_updates", "index_calls"):
+            assert getattr(predicted, fname) == pytest.approx(
+                getattr(measured, fname), rel=1e-9
+            ), fname
+
+
+class TestPcaProfiles:
+    def test_two_phases(self):
+        profiles = measure_pca_profiles(40, sample_n=8, fit_ms=(6, 10, 16))
+        for p in profiles.values():
+            assert [ph.name for ph in p.phases] == ["mean phase", "covariance phase"]
+            assert p.phases[0].ro_elements == 41
+            assert p.phases[1].ro_elements == 1600
+
+    def test_duplicate_fit_ms_rejected(self):
+        with pytest.raises(BenchmarkError):
+            measure_pca_profiles(40, fit_ms=(6, 6, 16))

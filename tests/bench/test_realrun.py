@@ -1,0 +1,60 @@
+"""Tests for the real wall-clock execution mode."""
+
+import pytest
+
+from repro.bench.realrun import format_real, run_figure_real
+from repro.util.errors import BenchmarkError
+
+
+class TestRealKmeans:
+    @pytest.fixture(scope="class")
+    def sweeps(self):
+        return run_figure_real(
+            "fig9", scale=1 / 8192, thread_counts=(1, 2), repeats=2
+        )
+
+    def test_all_versions_present_and_verified(self, sweeps):
+        assert set(sweeps) == {"generated", "opt-1", "opt-2", "manual"}
+        assert all(s.verified for s in sweeps.values())
+
+    def test_positive_times(self, sweeps):
+        for s in sweeps.values():
+            assert all(t > 0 for t in s.seconds.values())
+            assert set(s.seconds) == {1, 2}
+
+    def test_real_python_shows_same_version_ordering(self, sweeps):
+        """Striking sanity check: the interpreted kernels genuinely get
+        faster with each optimization level — the transformations remove
+        interpreted operations, not just modeled cycles.
+
+        Only the large, timing-robust margins are asserted (generated and
+        opt-1 are an order of magnitude slower than opt-2 even in Python);
+        the ~20% generated-vs-opt-1 gap is real but too small to assert on
+        wall-clock at CI scale without flakiness.
+        """
+        t = {v: s.seconds[1] for v, s in sweeps.items()}
+        assert t["generated"] > 2 * t["opt-2"]
+        assert t["opt-1"] > 2 * t["opt-2"]
+        assert t["opt-2"] > t["manual"]
+
+    def test_format(self, sweeps):
+        text = format_real("fig9", sweeps)
+        assert "REAL execution" in text
+        assert "verified" in text and "NO" not in text
+
+
+class TestRealPca:
+    def test_runs_and_verifies(self):
+        sweeps = run_figure_real("fig12", thread_counts=(1,))
+        assert set(sweeps) == {"opt-2", "manual"}
+        assert all(s.verified for s in sweeps.values())
+
+
+class TestValidation:
+    def test_unknown_figure(self):
+        with pytest.raises(BenchmarkError):
+            run_figure_real("fig99")
+
+    def test_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_figure_real("fig12", repeats=0)

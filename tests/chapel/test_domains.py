@@ -1,0 +1,114 @@
+"""Unit tests for Chapel ranges and rectangular domains."""
+
+import pytest
+
+from repro.chapel.domains import Domain, Range
+from repro.util.errors import DomainError
+
+
+class TestRange:
+    def test_inclusive_length(self):
+        assert len(Range(1, 10)) == 10
+        assert len(Range(0, 9)) == 10
+        assert len(Range(5, 5)) == 1
+
+    def test_empty_range(self):
+        assert len(Range(2, 1)) == 0
+        assert list(Range(2, 1)) == []
+
+    def test_strided_length(self):
+        assert len(Range(1, 10, 2)) == 5
+        assert list(Range(1, 10, 2)) == [1, 3, 5, 7, 9]
+        assert len(Range(0, 10, 5)) == 3
+
+    def test_nonpositive_stride_rejected(self):
+        with pytest.raises(DomainError):
+            Range(1, 10, 0)
+        with pytest.raises(DomainError):
+            Range(1, 10, -1)
+
+    def test_contains(self):
+        r = Range(1, 9, 2)
+        assert 1 in r and 9 in r and 5 in r
+        assert 2 not in r and 0 not in r and 11 not in r
+        assert True not in r  # bools are not indices
+        assert "3" not in r
+
+    def test_position_roundtrip(self):
+        r = Range(3, 21, 3)
+        for pos, idx in enumerate(r):
+            assert r.position_of(idx) == pos
+            assert r.index_at(pos) == idx
+
+    def test_position_of_invalid(self):
+        with pytest.raises(DomainError):
+            Range(1, 10).position_of(11)
+        with pytest.raises(DomainError):
+            Range(1, 9, 2).position_of(2)
+
+    def test_index_at_out_of_bounds(self):
+        with pytest.raises(DomainError):
+            Range(1, 5).index_at(5)
+        with pytest.raises(DomainError):
+            Range(1, 5).index_at(-1)
+
+    def test_str(self):
+        assert str(Range(1, 10)) == "1..10"
+        assert str(Range(1, 10, 2)) == "1..10 by 2"
+
+
+class TestDomain:
+    def test_bare_int_means_one_based(self):
+        d = Domain(5)
+        assert list(d) == [1, 2, 3, 4, 5]
+        assert d.size == 5
+
+    def test_tuple_shorthand(self):
+        d = Domain((0, 4))
+        assert list(d) == [0, 1, 2, 3, 4]
+
+    def test_multidim_iteration_row_major(self):
+        d = Domain(2, 3)
+        assert list(d) == [(1, 1), (1, 2), (1, 3), (2, 1), (2, 2), (2, 3)]
+
+    def test_shape_size_rank(self):
+        d = Domain(Range(1, 4), Range(0, 2), Range(1, 5, 2))
+        assert d.rank == 3
+        assert d.shape == (4, 3, 3)
+        assert d.size == 36
+
+    def test_contains(self):
+        d = Domain(3, 3)
+        assert (1, 1) in d and (3, 3) in d
+        assert (0, 1) not in d and (1, 4) not in d
+        assert 1 not in d  # wrong rank
+
+    def test_flat_position_matches_iteration_order(self):
+        d = Domain(Range(2, 5), Range(1, 3))
+        for pos, idx in enumerate(d):
+            assert d.flat_position(idx) == pos
+            assert d.index_at(pos) == idx
+
+    def test_flat_position_1d_int(self):
+        d = Domain(10)
+        assert d.flat_position(1) == 0
+        assert d.flat_position(10) == 9
+
+    def test_index_at_out_of_bounds(self):
+        with pytest.raises(DomainError):
+            Domain(3).index_at(3)
+
+    def test_wrong_rank_flat_position(self):
+        with pytest.raises(DomainError):
+            Domain(3, 3).flat_position(2)
+
+    def test_empty_domain_args_rejected(self):
+        with pytest.raises(DomainError):
+            Domain()
+
+    def test_bad_range_spec_rejected(self):
+        with pytest.raises(DomainError):
+            Domain("1..10")
+
+    def test_str(self):
+        assert str(Domain(3, 4)) == "{1..3, 1..4}"

@@ -1,0 +1,112 @@
+"""Unit tests for iterative expressions (``min reduce A+B`` style)."""
+
+import numpy as np
+import pytest
+
+from repro.chapel.domains import Domain
+from repro.chapel.expr import ArrayRef, BinOpExpr, ScalarExpr, UnaryOpExpr, as_expr
+from repro.chapel.types import INT, REAL, array_of
+from repro.chapel.values import ChapelArray
+from repro.util.errors import ChapelTypeError
+
+
+def chapel_array(values):
+    a = ChapelArray(array_of(REAL, len(values)))
+    return a.fill_from(values)
+
+
+class TestArrayRef:
+    def test_wraps_chapel_array(self):
+        ref = ArrayRef(chapel_array([1.0, 2.0, 3.0]))
+        assert list(ref) == [1.0, 2.0, 3.0]
+        assert ref.at(2) == 2.0
+
+    def test_wraps_numpy(self):
+        ref = ArrayRef(np.array([4.0, 5.0]))
+        assert list(ref) == [4.0, 5.0]
+        assert ref.at(1) == 4.0  # numpy arrays get 1-based Chapel domains
+
+    def test_2d_numpy(self):
+        ref = ArrayRef(np.array([[1, 2], [3, 4]]))
+        assert ref.at((2, 1)) == 3
+        assert list(ref) == [1, 2, 3, 4]
+
+    def test_evaluate(self):
+        a = chapel_array([1.0, 2.0])
+        assert np.array_equal(ArrayRef(a).evaluate(), np.array([1.0, 2.0]))
+
+    def test_rejects_non_array(self):
+        with pytest.raises(ChapelTypeError):
+            ArrayRef([1, 2, 3])
+
+
+class TestBinOp:
+    def test_paper_min_reduce_a_plus_b(self):
+        # the paper: `min reduce A+B` finds the minimum elementwise sum
+        from repro.chapel.forall import reduce_expr
+
+        A = ArrayRef(chapel_array([3.0, 1.0, 5.0]))
+        B = ArrayRef(chapel_array([2.0, 9.0, 0.0]))
+        assert reduce_expr("min", A + B) == 5.0  # sums: 5, 10, 5 -> min 5
+
+    def test_elementwise_ops(self):
+        A = ArrayRef(np.array([4.0, 9.0]))
+        B = ArrayRef(np.array([2.0, 3.0]))
+        assert list(A - B) == [2.0, 6.0]
+        assert list(A * B) == [8.0, 27.0]
+        assert list(A / B) == [2.0, 3.0]
+
+    def test_scalar_broadcast(self):
+        A = ArrayRef(np.array([1.0, 2.0]))
+        assert list(A + 10) == [11.0, 12.0]
+        assert list(10 + A) == [11.0, 12.0]
+        assert list(2 * A) == [2.0, 4.0]
+        assert list(10 - A) == [9.0, 8.0]
+
+    def test_non_conforming_rejected(self):
+        A = ArrayRef(np.zeros(3))
+        B = ArrayRef(np.zeros(4))
+        with pytest.raises(ChapelTypeError):
+            A + B
+
+    def test_evaluate_vectorized_matches_elementwise(self):
+        A = ArrayRef(np.array([1.0, 2.0, 3.0]))
+        B = ArrayRef(np.array([4.0, 5.0, 6.0]))
+        expr = (A + B) * 2 - A
+        assert list(expr) == list(expr.evaluate().reshape(-1))
+
+    def test_unknown_operator_rejected(self):
+        A = ArrayRef(np.zeros(2))
+        with pytest.raises(ChapelTypeError):
+            BinOpExpr("@", A, A)
+
+
+class TestUnary:
+    def test_neg(self):
+        A = ArrayRef(np.array([1.0, -2.0]))
+        assert list(-A) == [-1.0, 2.0]
+        assert np.array_equal((-A).evaluate(), np.array([-1.0, 2.0]))
+
+    def test_unknown(self):
+        with pytest.raises(ChapelTypeError):
+            UnaryOpExpr("sqrt", ArrayRef(np.zeros(1)))
+
+
+class TestAsExpr:
+    def test_passthrough(self):
+        ref = ArrayRef(np.zeros(2))
+        assert as_expr(ref) is ref
+
+    def test_scalar_without_domain_rejected(self):
+        with pytest.raises(ChapelTypeError):
+            as_expr(3.0)
+
+    def test_scalar_with_like(self):
+        ref = ArrayRef(np.zeros(3))
+        s = as_expr(5.0, like=ref)
+        assert isinstance(s, ScalarExpr)
+        assert list(s) == [5.0, 5.0, 5.0]
+
+    def test_unsupported(self):
+        with pytest.raises(ChapelTypeError):
+            as_expr({"a": 1}, like=ArrayRef(np.zeros(1)))

@@ -1,0 +1,115 @@
+"""Edge-case coverage for expressions, values and types."""
+
+import numpy as np
+import pytest
+
+from repro.chapel.domains import Domain
+from repro.chapel.expr import ArrayRef, ScalarExpr, UnaryOpExpr
+from repro.chapel.types import (
+    BOOL,
+    INT,
+    REAL,
+    ArrayType,
+    EnumType,
+    StringType,
+    TupleType,
+    array_of,
+    record,
+)
+from repro.chapel.values import ChapelArray, ChapelRecord, ChapelTuple, default_value, from_python
+from repro.util.errors import ChapelTypeError
+
+
+class TestScalarExpr:
+    def test_evaluate_broadcasts(self):
+        s = ScalarExpr(7.0, Domain(2, 3))
+        arr = s.evaluate()
+        assert arr.shape == (2, 3) and np.all(arr == 7.0)
+
+    def test_len_and_iter(self):
+        s = ScalarExpr(1.0, Domain(4))
+        assert len(s) == 4
+        assert list(s) == [1.0] * 4
+
+
+class TestUnaryAbs:
+    def test_abs_evaluate(self):
+        e = UnaryOpExpr("abs", ArrayRef(np.array([-1.0, 2.0])))
+        assert list(e.evaluate()) == [1.0, 2.0]
+        assert list(e) == [1.0, 2.0]
+
+
+class TestEnumArrays:
+    def test_enum_array_roundtrip(self):
+        color = EnumType("color", ("red", "green", "blue"))
+        arr_t = ArrayType(Domain(3), color)
+        arr = from_python(arr_t, ["blue", "red", 1])
+        assert arr[1] == 2 and arr[2] == 0 and arr[3] == 1
+
+    def test_enum_in_linearized_buffer(self):
+        from repro.compiler.linearize import delinearize, linearize_it
+        from repro.chapel.values import to_python
+
+        color = EnumType("color", ("a", "b"))
+        arr_t = ArrayType(Domain(2), color)
+        v = from_python(arr_t, ["b", "a"])
+        rebuilt = delinearize(linearize_it(v, arr_t))
+        assert to_python(rebuilt) == [1, 0]
+
+
+class TestTupleInRecord:
+    def test_record_with_tuple_field(self):
+        T = TupleType((INT, REAL))
+        R = record("R", pair=T, flag=BOOL)
+        r = ChapelRecord(R)
+        r.pair[0] = 4
+        r.pair[1] = 2.5
+        assert list(r.pair) == [4, 2.5]
+        assert R.sizeof == 8 + 8 + 1
+
+    def test_tuple_linearize_roundtrip(self):
+        from repro.compiler.linearize import delinearize, linearize_it
+        from repro.chapel.values import to_python
+
+        T = TupleType((INT, REAL))
+        arr_t = ArrayType(Domain(2), T)
+        v = default_value(arr_t)
+        v[1] = ChapelTuple(T, [3, 1.5])
+        v[2] = ChapelTuple(T, [7, 2.5])
+        rebuilt = delinearize(linearize_it(v, arr_t))
+        assert to_python(rebuilt) == [(3, 1.5), (7, 2.5)]
+
+
+class TestStringArrays:
+    def test_string_array_storage(self):
+        # numpy Sx storage strips trailing NULs on read; the padded bytes
+        # live in the buffer, the logical value is the content
+        arr_t = ArrayType(Domain(2), StringType(4))
+        a = ChapelArray(arr_t)
+        a[1] = "hi"
+        assert a[1] == b"hi"
+
+    def test_string_linearize_roundtrip(self):
+        from repro.compiler.linearize import delinearize, linearize_it
+        from repro.chapel.values import to_python
+
+        arr_t = ArrayType(Domain(2), StringType(4))
+        v = from_python(arr_t, ["ab", "cdef"])
+        buf = linearize_it(v, arr_t)
+        # the buffer holds the full fixed-width slots
+        assert buf.read_scalar(0, StringType(4)) == b"ab\x00\x00"
+        rebuilt = delinearize(buf)
+        assert to_python(rebuilt) == [b"ab", b"cdef"]
+
+
+class TestReprs:
+    def test_reprs_do_not_crash(self):
+        assert "ChapelArray" in repr(ChapelArray(array_of(REAL, 2)))
+        P = record("P", x=REAL)
+        assert "P(" in repr(ChapelRecord(P, x=1.0))
+        assert "(" in repr(ChapelTuple(TupleType((INT,)), [1]))
+        from repro.freeride.reduction_object import ReductionObject
+
+        ro = ReductionObject()
+        ro.alloc(2)
+        assert "groups=1" in repr(ro)

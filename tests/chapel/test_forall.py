@@ -1,0 +1,116 @@
+"""Unit tests for the reference reduce/scan/forall evaluator (Figure 1)."""
+
+import pytest
+
+from repro.chapel.domains import Domain
+from repro.chapel.forall import forall, reduce_expr, scan_expr, split_evenly
+from repro.chapel.reduce_op import SumReduceScanOp
+from repro.chapel.types import REAL, array_of
+from repro.chapel.values import ChapelArray
+from repro.util.errors import ChapelError
+
+
+class TestSplitEvenly:
+    def test_even(self):
+        assert split_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_front_loaded(self):
+        assert split_evenly([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+        assert split_evenly([1, 2, 3, 4, 5, 6, 7], 3) == [[1, 2, 3], [4, 5], [6, 7]]
+
+    def test_more_tasks_than_items(self):
+        splits = split_evenly([1, 2], 4)
+        assert splits == [[1], [2], [], []]
+
+    def test_partition_property(self):
+        items = list(range(17))
+        splits = split_evenly(items, 5)
+        flat = [x for s in splits for x in s]
+        assert flat == items
+
+    def test_invalid_tasks(self):
+        with pytest.raises(ValueError):
+            split_evenly([1], 0)
+
+
+class TestReduceExpr:
+    def test_sum_any_task_count(self):
+        data = list(range(100))
+        expected = sum(data)
+        for tasks in (1, 2, 3, 7, 8, 100, 128):
+            assert reduce_expr("+", data, num_tasks=tasks) == expected
+
+    def test_over_chapel_array(self):
+        a = ChapelArray(array_of(REAL, 4)).fill_from([1.0, 2.0, 3.0, 4.0])
+        assert reduce_expr("+", a) == 10.0
+        assert reduce_expr("max", a, num_tasks=3) == 4.0
+
+    def test_min_over_expression(self):
+        from repro.chapel.expr import ArrayRef
+        import numpy as np
+
+        A = ArrayRef(np.array([3.0, 1.0]))
+        B = ArrayRef(np.array([1.0, 1.0]))
+        assert reduce_expr("min", A + B, num_tasks=2) == 2.0
+
+    def test_generator_input(self):
+        assert reduce_expr("+", (i * i for i in range(5))) == 30
+
+    def test_rejects_unreducible(self):
+        with pytest.raises(ChapelError):
+            reduce_expr("+", 42)
+
+    def test_user_op_class(self):
+        assert reduce_expr(SumReduceScanOp, [1, 2, 3]) == 6
+
+    def test_empty_input_gives_identity(self):
+        assert reduce_expr("+", []) == 0
+        assert reduce_expr("min", []) is None
+
+
+class TestScanExpr:
+    def test_inclusive_scan(self):
+        assert scan_expr("+", [1, 2, 3, 4]) == [1, 3, 6, 10]
+
+    def test_min_scan(self):
+        assert scan_expr("min", [3, 5, 1, 2]) == [3, 3, 1, 1]
+
+    def test_empty(self):
+        assert scan_expr("+", []) == []
+
+
+class TestForall:
+    def test_collects_in_order(self):
+        assert forall(Domain(4), lambda i: i * i) == [1, 4, 9, 16]
+
+    def test_task_split_does_not_change_result(self):
+        assert forall(range(10), lambda i: i + 1, num_tasks=3) == list(range(1, 11))
+
+
+class TestParallelScan:
+    def test_matches_sequential_all_task_counts(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5]
+        want = scan_expr("+", data)
+        for tasks in (2, 3, 4, 8, 16):
+            assert scan_expr("+", data, num_tasks=tasks) == want
+
+    def test_min_scan_parallel(self):
+        data = [5, 3, 8, 2, 9, 1]
+        assert scan_expr("min", data, num_tasks=3) == [5, 3, 3, 2, 2, 1]
+
+    def test_product_scan_parallel(self):
+        data = [2, 3, 4]
+        assert scan_expr("*", data, num_tasks=2) == [2, 6, 24]
+
+    def test_more_tasks_than_items(self):
+        assert scan_expr("+", [1, 2], num_tasks=5) == [1, 3]
+
+    def test_property_scan_invariant(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(10):
+            data = [rng.randint(-50, 50) for _ in range(rng.randint(0, 40))]
+            want = scan_expr("+", data)
+            tasks = rng.randint(1, 9)
+            assert scan_expr("+", data, num_tasks=tasks) == want

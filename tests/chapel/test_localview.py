@@ -1,0 +1,80 @@
+"""Tests for the local-view abstraction (paper §II-A)."""
+
+import pytest
+
+from repro.chapel.forall import reduce_expr
+from repro.chapel.localview import Comm, LocalViewReduction
+from repro.chapel.reduce_op import MinReduceScanOp
+from repro.util.errors import ChapelError
+
+
+class TestEquivalenceWithGlobalView:
+    """Both abstractions compute the same reductions; the local view just
+    exposes the machinery."""
+
+    @pytest.mark.parametrize("locales", [1, 2, 3, 8])
+    @pytest.mark.parametrize("schedule", ["all_to_one", "tree"])
+    def test_sum(self, locales, schedule):
+        data = list(range(101))
+        lv = LocalViewReduction(locales)
+        assert lv.run("+", data, schedule=schedule) == reduce_expr("+", data)
+
+    @pytest.mark.parametrize("schedule", ["all_to_one", "tree"])
+    def test_min(self, schedule):
+        data = [5.0, -3.0, 7.5, 0.0]
+        lv = LocalViewReduction(3)
+        assert lv.run("min", data, schedule=schedule) == -3.0
+
+    def test_user_defined_op(self):
+        lv = LocalViewReduction(4)
+        assert lv.run(MinReduceScanOp, [9, 2, 5], schedule="tree") == 2
+
+
+class TestExplicitMachinery:
+    def test_message_count_all_to_one(self):
+        lv = LocalViewReduction(8)
+        lv.run("+", list(range(50)))
+        assert lv.comm.messages_sent == lv.expected_messages == 7
+        # all-to-one: every message targets locale 0
+        assert all(m.dst == 0 for m in lv.comm.log)
+
+    def test_message_count_tree(self):
+        lv = LocalViewReduction(8)
+        lv.run("+", list(range(50)), schedule="tree")
+        assert lv.comm.messages_sent == 7
+        assert lv.tree_rounds() == 3
+        # the tree has multiple distinct receivers
+        assert len({m.dst for m in lv.comm.log}) > 1
+
+    def test_distribution_is_programmer_visible(self):
+        lv = LocalViewReduction(3)
+        locales = lv.distribute("+", list(range(10)))
+        assert [len(l.data) for l in locales] == [4, 3, 3]
+
+    def test_steps_must_run_in_order(self):
+        lv = LocalViewReduction(2)
+        with pytest.raises(ChapelError):
+            lv.accumulate_all()
+        with pytest.raises(ChapelError):
+            lv.combine_all_to_one()
+
+    def test_single_locale_no_messages(self):
+        lv = LocalViewReduction(1)
+        assert lv.run("+", [1, 2, 3]) == 6
+        assert lv.comm.messages_sent == 0
+
+
+class TestComm:
+    def test_send_recv(self):
+        comm = Comm(3)
+        comm.send(1, 0, "partial")
+        assert comm.recv_all(0) == ["partial"]
+        assert comm.recv_all(0) == []  # drained
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ChapelError):
+            Comm(2).send(1, 1, "x")
+
+    def test_out_of_range(self):
+        with pytest.raises(ChapelError):
+            Comm(2).send(0, 5, "x")

@@ -1,0 +1,196 @@
+"""Tests for the mini-Chapel lexer and parser."""
+
+import pytest
+
+from repro.chapel import ast as A
+from repro.chapel.lexer import tokenize
+from repro.chapel.parser import parse_expression, parse_program
+from repro.util.errors import ChapelSyntaxError
+
+KMEANS_SOURCE = """
+// one iteration of k-means (paper Figure 3, mini-Chapel rendering)
+record Centroid {
+  var coord: [1..dim] real;
+}
+
+class kmeansReduction : ReduceScanOp {
+  var k: int;
+  var dim: int;
+  var centroids: [1..k] Centroid;
+
+  def accumulate(point: [1..dim] real) {
+    var minDist: real = 1.0e300;
+    var minIdx: int = 1;
+    for c in 1..k {
+      var dist: real = 0.0;
+      for d in 1..dim {
+        var diff: real = point[d] - centroids[c].coord[d];
+        dist = dist + diff * diff;
+      }
+      if (dist < minDist) {
+        minDist = dist;
+        minIdx = c;
+      }
+    }
+    roAdd(minIdx - 1, 0, 1.0);
+    roAdd(minIdx - 1, 1, minDist);
+    for d in 1..dim {
+      roAdd(minIdx - 1, 1 + d, point[d]);
+    }
+  }
+
+  def combine(other: kmeansReduction) { }
+
+  def generate() { return 0; }
+}
+"""
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("var x: real = 1.5;")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["KEYWORD", "IDENT", "COLON", "IDENT", "OP", "REAL", "SEMI", "EOF"]
+
+    def test_dotdot_vs_member(self):
+        toks = tokenize("1..k a.b")
+        assert [t.kind for t in toks[:3]] == ["INT", "DOTDOT", "IDENT"]
+        assert [t.text for t in toks[3:6]] == ["a", ".", "b"]
+
+    def test_comments_stripped(self):
+        toks = tokenize("x // comment\n/* block\ncomment */ y")
+        assert [t.text for t in toks if t.kind == "IDENT"] == ["x", "y"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        assert [t.line for t in toks if t.kind == "IDENT"] == [1, 2, 3]
+
+    def test_scientific_notation(self):
+        toks = tokenize("1.0e300 2e-5")
+        assert [t.kind for t in toks[:2]] == ["REAL", "REAL"]
+
+    def test_compound_ops(self):
+        toks = tokenize("a += b == c")
+        assert [t.text for t in toks if t.kind == "OP"] == ["+=", "=="]
+
+    def test_bad_character(self):
+        with pytest.raises(ChapelSyntaxError):
+            tokenize("var @x;")
+
+
+class TestExpressions:
+    def test_precedence(self):
+        e = parse_expression("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        e = parse_expression("a + b < c * d")
+        assert e.op == "<"
+
+    def test_logical_lowest(self):
+        e = parse_expression("a < b && c < d || e")
+        assert e.op == "||"
+        assert e.left.op == "&&"
+
+    def test_parens(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*" and isinstance(e.left, A.BinOp)
+
+    def test_unary(self):
+        e = parse_expression("-a * b")
+        assert e.op == "*" and isinstance(e.left, A.UnaryOp)
+
+    def test_postfix_chain(self):
+        e = parse_expression("centroids[c].coord[d]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.base, A.Member)
+        assert isinstance(e.base.base, A.Index)
+        assert str(e) == "centroids[c].coord[d]"
+
+    def test_multidim_index(self):
+        e = parse_expression("m[r, c]")
+        assert isinstance(e, A.Index) and len(e.indices) == 2
+
+    def test_call(self):
+        e = parse_expression("roAdd(g, 0, 1.0)")
+        assert isinstance(e, A.Call) and e.name == "roAdd" and len(e.args) == 3
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ChapelSyntaxError):
+            parse_expression("a b")
+
+
+class TestDeclarations:
+    def test_kmeans_program_parses(self):
+        prog = parse_program(KMEANS_SOURCE)
+        assert prog.record("Centroid") is not None
+        cls = prog.reduction_class("kmeansReduction")
+        assert cls is not None
+        assert cls.parent == "ReduceScanOp"
+        assert [f.name for f in cls.fields] == ["k", "dim", "centroids"]
+        assert {m.name for m in cls.methods} == {"accumulate", "combine", "generate"}
+
+    def test_accumulate_structure(self):
+        prog = parse_program(KMEANS_SOURCE)
+        acc = prog.reduction_class("kmeansReduction").method("accumulate")
+        assert acc.params[0].name == "point"
+        assert isinstance(acc.params[0].type, A.ArrayTypeExpr)
+        # body: 2 var decls, for, 2 roAdd calls, for
+        kinds = [type(s).__name__ for s in acc.body.stmts]
+        assert kinds == [
+            "VarDeclStmt",
+            "VarDeclStmt",
+            "ForStmt",
+            "ExprStmt",
+            "ExprStmt",
+            "ForStmt",
+        ]
+
+    def test_record_array_field(self):
+        prog = parse_program("record R { var xs: [1..n] real; var y: int; }")
+        r = prog.record("R")
+        assert isinstance(r.fields[0].type, A.ArrayTypeExpr)
+        assert isinstance(r.fields[1].type, A.NamedTypeExpr)
+
+    def test_if_else_chain(self):
+        src = """
+        class C : ReduceScanOp {
+          def accumulate(x: real) {
+            if (x < 0.0) { roAdd(0, 0, 1.0); }
+            else if (x < 1.0) { roAdd(0, 1, 1.0); }
+            else { roAdd(0, 2, 1.0); }
+          }
+        }
+        """
+        prog = parse_program(src)
+        body = prog.classes[0].method("accumulate").body
+        if_stmt = body.stmts[0]
+        assert isinstance(if_stmt, A.IfStmt)
+        assert isinstance(if_stmt.orelse.stmts[0], A.IfStmt)
+
+    def test_compound_assign(self):
+        src = "class C : R { def accumulate(x: real) { var s: real = 0.0; s += x; } }"
+        prog = parse_program(src)
+        assign = prog.classes[0].method("accumulate").body.stmts[1]
+        assert isinstance(assign, A.Assign) and assign.op == "+"
+
+    def test_var_needs_type_or_init(self):
+        with pytest.raises(ChapelSyntaxError):
+            parse_program("class C : R { def accumulate(x: real) { var y; } }")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(ChapelSyntaxError):
+            parse_program("def foo() { }")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(ChapelSyntaxError):
+            parse_program(
+                "class C : R { def accumulate(x: real) { f(x) = 3; } }"
+            )
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ChapelSyntaxError):
+            parse_program(
+                "class C : R { def accumulate(x: real) { var y: real = 1.0 } }"
+            )

@@ -1,0 +1,79 @@
+"""Property-based tests for the mini-Chapel frontend.
+
+The expression printer (`str(expr)`) and the parser are inverses up to
+parenthesization: printing a parsed expression and re-parsing it must give
+a structurally identical tree.  Random trees are generated directly over
+the AST, so this explores shapes human-written tests miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel import ast as A
+from repro.chapel.parser import parse_expression
+from repro.util.errors import ChapelSyntaxError
+
+_NAMES = st.sampled_from(["a", "b", "xs", "foo", "v_1"])
+
+_BINOPS = st.sampled_from(["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"])
+
+
+@st.composite
+def exprs(draw, depth=3):
+    if depth == 0:
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            return A.IntLit(value=draw(st.integers(0, 1000)))
+        if kind == 1:
+            return A.RealLit(value=float(draw(st.integers(0, 100))) + 0.5)
+        return A.Ident(name=draw(_NAMES))
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return A.BinOp(
+            op=draw(_BINOPS),
+            left=draw(exprs(depth=depth - 1)),
+            right=draw(exprs(depth=depth - 1)),
+        )
+    if kind == 1:
+        return A.UnaryOp(op="-", operand=draw(exprs(depth=depth - 1)))
+    if kind == 2:
+        base = A.Ident(name=draw(_NAMES))
+        n_idx = draw(st.integers(1, 2))
+        return A.Index(
+            base=base, indices=tuple(draw(exprs(depth=depth - 1)) for _ in range(n_idx))
+        )
+    if kind == 3:
+        return A.Member(base=A.Ident(name=draw(_NAMES)), name=draw(_NAMES))
+    return A.Call(
+        name=draw(st.sampled_from(["abs", "sqrt", "min", "max"])),
+        args=tuple(draw(exprs(depth=depth - 1)) for _ in range(draw(st.integers(1, 2)))),
+    )
+
+
+class TestPrintParseRoundTrip:
+    @settings(max_examples=150, deadline=None)
+    @given(expr=exprs())
+    def test_roundtrip_fixed_point(self, expr):
+        """parse(str(e)) prints identically to str(e) — a fixed point."""
+        text = str(expr)
+        reparsed = parse_expression(text)
+        assert str(reparsed) == text
+
+    @settings(max_examples=150, deadline=None)
+    @given(expr=exprs())
+    def test_roundtrip_structural(self, expr):
+        """The reparsed tree is structurally equal (dataclass equality)."""
+        assert parse_expression(str(expr)) == expr
+
+
+class TestFuzzRejection:
+    @settings(max_examples=100, deadline=None)
+    @given(junk=st.text(alphabet="+-*/(){}[];.,<>=!&|", min_size=1, max_size=12))
+    def test_operator_soup_never_crashes_unexpectedly(self, junk):
+        """Arbitrary operator soup either parses or raises ChapelSyntaxError
+        — never any other exception type."""
+        try:
+            parse_expression(junk)
+        except ChapelSyntaxError:
+            pass

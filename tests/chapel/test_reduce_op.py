@@ -1,0 +1,179 @@
+"""Unit tests for ReduceScanOp and built-in reductions (paper Figure 2)."""
+
+import pytest
+
+from repro.chapel.reduce_op import (
+    REDUCE_OPS,
+    BitwiseAndReduceScanOp,
+    BitwiseOrReduceScanOp,
+    BitwiseXorReduceScanOp,
+    LogicalAndReduceScanOp,
+    LogicalOrReduceScanOp,
+    MaxLocReduceScanOp,
+    MaxReduceScanOp,
+    MinLocReduceScanOp,
+    MinReduceScanOp,
+    ProductReduceScanOp,
+    ReduceScanOp,
+    SumReduceScanOp,
+    get_reduce_op,
+    register_reduce_op,
+)
+from repro.util.errors import ChapelError
+
+
+class TestSumFigure2:
+    """The paper's Figure 2: sum as accumulate/combine/generate."""
+
+    def test_accumulate_then_generate(self):
+        op = SumReduceScanOp()
+        for x in [1, 2, 3]:
+            op.accumulate(x)
+        assert op.generate() == 6
+
+    def test_two_stage_matches_figure1(self):
+        # Figure 1: split into two locals, combine globally.
+        left, right = SumReduceScanOp(), SumReduceScanOp()
+        left.accumulate_many([1, 2])
+        right.accumulate_many([3, 4])
+        left.combine(right)
+        assert left.generate() == 10
+
+    def test_identity(self):
+        assert SumReduceScanOp().generate() == 0
+
+    def test_works_for_floats(self):
+        # "the programmer can pass integer, float, as well as other numbers"
+        op = SumReduceScanOp()
+        op.accumulate_many([1.5, 2.5])
+        assert op.generate() == 4.0
+
+
+class TestBuiltins:
+    def test_product(self):
+        assert ProductReduceScanOp().accumulate_many([2, 3, 4]).generate() == 24
+
+    def test_min_max(self):
+        assert MinReduceScanOp().accumulate_many([3, 1, 2]).generate() == 1
+        assert MaxReduceScanOp().accumulate_many([3, 1, 2]).generate() == 3
+
+    def test_min_combine_with_empty_side(self):
+        a, b = MinReduceScanOp(), MinReduceScanOp()
+        a.accumulate_many([5, 4])
+        a.combine(b)  # b never saw data
+        assert a.generate() == 4
+        b.combine(a)
+        assert b.generate() == 4
+
+    def test_logical(self):
+        assert LogicalAndReduceScanOp().accumulate_many([1, 1, 1]).generate() is True
+        assert LogicalAndReduceScanOp().accumulate_many([1, 0, 1]).generate() is False
+        assert LogicalOrReduceScanOp().accumulate_many([0, 0]).generate() is False
+        assert LogicalOrReduceScanOp().accumulate_many([0, 1]).generate() is True
+
+    def test_bitwise(self):
+        assert BitwiseAndReduceScanOp().accumulate_many([0b110, 0b011]).generate() == 0b010
+        assert BitwiseOrReduceScanOp().accumulate_many([0b100, 0b001]).generate() == 0b101
+        assert BitwiseXorReduceScanOp().accumulate_many([0b101, 0b110]).generate() == 0b011
+
+    def test_minloc_maxloc(self):
+        pairs = [(5.0, 1), (2.0, 2), (7.0, 3)]
+        assert MinLocReduceScanOp().accumulate_many(pairs).generate() == (2.0, 2)
+        assert MaxLocReduceScanOp().accumulate_many(pairs).generate() == (7.0, 3)
+
+    def test_minloc_rejects_non_pairs(self):
+        with pytest.raises(ChapelError):
+            MinLocReduceScanOp().accumulate(3.0)
+
+    def test_loc_combine(self):
+        a = MinLocReduceScanOp().accumulate_many([(5.0, 1)])
+        b = MinLocReduceScanOp().accumulate_many([(2.0, 9)])
+        a.combine(b)
+        assert a.generate() == (2.0, 9)
+
+
+class TestRegistry:
+    def test_all_spellings_resolve(self):
+        for name in REDUCE_OPS:
+            op = get_reduce_op(name)
+            assert isinstance(op, ReduceScanOp)
+
+    def test_resolve_from_class_and_instance(self):
+        assert isinstance(get_reduce_op(SumReduceScanOp), SumReduceScanOp)
+        proto = SumReduceScanOp()
+        proto.accumulate(5)
+        fresh = get_reduce_op(proto)
+        assert fresh.generate() == 0, "clone must reset to identity"
+
+    def test_unknown_name(self):
+        with pytest.raises(ChapelError):
+            get_reduce_op("frobnicate")
+
+    def test_bad_type(self):
+        with pytest.raises(ChapelError):
+            get_reduce_op(42)
+
+    def test_register_user_defined(self):
+        class CountEven(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value += 1 if x % 2 == 0 else 0
+
+            def combine(self, other):
+                self.value += other.value
+
+        register_reduce_op("countEven", CountEven)
+        try:
+            op = get_reduce_op("countEven")
+            op.accumulate_many([1, 2, 3, 4])
+            assert op.generate() == 2
+        finally:
+            del REDUCE_OPS["countEven"]
+
+    def test_register_rejects_non_op(self):
+        with pytest.raises(ChapelError):
+            register_reduce_op("bad", int)
+
+
+class TestUserDefinedKmeansStyle:
+    """A user-defined reduction shaped like the paper's Figure 3."""
+
+    def make_op(self, centroids):
+        class KmeansAssign(ReduceScanOp):
+            identity = staticmethod(
+                lambda: [[0.0, 0] for _ in centroids]  # [sum_of_distances, count]
+            )
+
+            def accumulate(self, point):
+                best, best_d = 0, None
+                for ci, c in enumerate(centroids):
+                    d = (point - c) ** 2
+                    if best_d is None or d < best_d:
+                        best, best_d = ci, d
+                self.value[best][0] += best_d
+                self.value[best][1] += 1
+
+            def combine(self, other):
+                for mine, theirs in zip(self.value, other.value):
+                    mine[0] += theirs[0]
+                    mine[1] += theirs[1]
+
+        return KmeansAssign
+
+    def test_accumulate_combine_generate(self):
+        Op = self.make_op([0.0, 10.0])
+        a, b = Op(), Op()
+        a.accumulate_many([1.0, 2.0])
+        b.accumulate_many([9.0, 11.0])
+        a.combine(b)
+        ro = a.generate()
+        assert ro[0][1] == 2 and ro[1][1] == 2
+        assert ro[0][0] == pytest.approx(1.0 + 4.0)
+        assert ro[1][0] == pytest.approx(1.0 + 1.0)
+
+    def test_identity_not_shared_between_clones(self):
+        Op = self.make_op([0.0])
+        a, b = Op(), Op()
+        a.accumulate(1.0)
+        assert b.value[0][1] == 0, "clones must not share reduction state"

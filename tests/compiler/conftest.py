@@ -1,0 +1,67 @@
+"""Shared fixtures: the k-means reduction in mini-Chapel (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.chapel.domains import Domain
+from repro.chapel.types import REAL, ArrayType, array_of, record
+from repro.chapel.values import from_python
+
+KMEANS_SOURCE = """
+record Centroid { var coord: [1..dim] real; }
+
+class kmeansReduction : ReduceScanOp {
+  var k: int;
+  var dim: int;
+  var centroids: [1..k] Centroid;
+
+  def accumulate(point: [1..dim] real) {
+    var minDist: real = 1.0e300;
+    var minIdx: int = 1;
+    for c in 1..k {
+      var dist: real = 0.0;
+      for d in 1..dim {
+        var diff: real = point[d] - centroids[c].coord[d];
+        dist = dist + diff * diff;
+      }
+      if (dist < minDist) { minDist = dist; minIdx = c; }
+    }
+    roAdd(minIdx - 1, 0, 1.0);
+    for d in 1..dim { roAdd(minIdx - 1, d, point[d]); }
+  }
+}
+"""
+
+SUM_SOURCE = """
+class sumReduction : ReduceScanOp {
+  def accumulate(x: real) {
+    roAdd(0, 0, x);
+    roAdd(0, 1, 1.0);
+  }
+}
+"""
+
+
+@pytest.fixture
+def kmeans_setup():
+    """Compiled inputs for a small k-means: constants, centroids, data."""
+    k, dim = 3, 2
+    constants = {"k": k, "dim": dim}
+    Centroid = record("Centroid", coord=array_of(REAL, dim))
+    cent_t = ArrayType(Domain(k), Centroid)
+    centroids = from_python(
+        cent_t,
+        [{"coord": [0.0, 0.0]}, {"coord": [5.0, 5.0]}, {"coord": [10.0, 0.0]}],
+    )
+    rng = np.random.default_rng(42)
+    data = rng.uniform(0, 10, (60, dim))
+    ro_layout = [(dim + 1, "add")] * k
+    return {
+        "source": KMEANS_SOURCE,
+        "constants": constants,
+        "centroids": centroids,
+        "data": data,
+        "ro_layout": ro_layout,
+        "k": k,
+        "dim": dim,
+    }

@@ -1,0 +1,124 @@
+"""Codegen tests: generated-source structure and golden snippets."""
+
+import pytest
+
+from repro.chapel.parser import parse_program
+from repro.compiler.codegen import CLikeCodegen, PythonCodegen, site_key
+from repro.compiler.lower import lower_reduction
+from repro.compiler.passes import plan_compilation
+
+from .conftest import KMEANS_SOURCE, SUM_SOURCE
+
+
+def sources_for(level, source=KMEANS_SOURCE, constants={"k": 3, "dim": 2}):
+    low = lower_reduction(parse_program(source), constants)
+    plan = plan_compilation(low, level)
+    py = PythonCodegen(low, plan).generate()
+    c = CLikeCodegen(low, plan).generate()
+    return py, c
+
+
+class TestPythonKernelStructure:
+    def test_kernel_signature(self):
+        py, _ = sources_for(0)
+        assert py.startswith("def _kernel(_start, _end, _ro, _env, _C):")
+        assert "for _e in range(_start, _end):" in py
+        assert "_C.elements_processed += 1" in py
+
+    def test_generated_calls_compute_index_per_access(self):
+        py, _ = sources_for(0)
+        # no hoisted rows at opt level 0
+        assert "_row_" not in py
+        assert "_ci(_info_" in py
+
+    def test_opt1_hoists_rows(self):
+        py, _ = sources_for(1)
+        assert "_row_" in py
+        # centroids stay nested at opt-1
+        assert "_v_centroids" in py
+        assert ".coord[" in py
+
+    def test_opt2_incremental_base(self):
+        py, _ = sources_for(2)
+        # incremental strength reduction: base init + per-iteration bump
+        assert "_b_" in py
+        assert "+= 16" in py  # sizeof(Centroid) at dim=2
+        assert "_v_centroids" not in py  # nothing nested remains
+
+    def test_counter_instrumentation_present(self):
+        py, _ = sources_for(2)
+        for counter in ("_C.flops", "_C.linear_reads", "_C.ro_updates",
+                        "_C.index_calls", "_C.index_levels"):
+            assert counter in py, counter
+
+    def test_user_names_mangled(self):
+        py, _ = sources_for(0)
+        assert "u_minDist" in py and "u_dist" in py
+        # constants inlined, not looked up
+        assert "u_k" not in py
+
+    def test_kernels_compile_as_python(self):
+        for level in (0, 1, 2):
+            py, _ = sources_for(level)
+            compile(py, "<test>", "exec")  # must be valid Python
+
+
+class TestCLikeOutput:
+    def test_figure8_style_compute_index(self):
+        _, c = sources_for(0)
+        assert "computeIndex(unitSize_" in c
+        assert "void reduction(reduction_args_t* args)" in c
+
+    def test_opt1_comments_mark_hoists(self):
+        _, c = sources_for(1)
+        assert "hoisted (opt-1)" in c
+
+    def test_opt2_incremental_comment(self):
+        _, c = sources_for(2)
+        assert "computed before the first iteration" in c
+        assert "pre-computed offset per iteration" in c
+
+    def test_ro_updates_marked(self):
+        _, c = sources_for(0)
+        assert "accumulate(" in c and "reduction object update" in c
+
+    def test_scalar_param_sum(self):
+        _, c = sources_for(1, SUM_SOURCE, {})
+        assert "linear_x[computeIndex" in c
+
+
+class TestSiteKeySharing:
+    def test_same_chain_shares_resources(self):
+        low = lower_reduction(parse_program(KMEANS_SOURCE), {"k": 3, "dim": 2})
+        # point[d] appears twice -> same key
+        data_sites = low.data_sites()
+        assert len(data_sites) == 2
+        assert site_key(data_sites[0]) == site_key(data_sites[1])
+
+    def test_generated_loads_each_resource_once(self):
+        py, _ = sources_for(2)
+        assert py.count('_env["info_0"]') == 1
+
+
+class TestFullProgramEmission:
+    def test_figure5_shape(self):
+        """The emitted program has the paper's Figure 5 sections: init,
+        default splitter/combine, reduction, function-pointer registration."""
+        from repro.compiler.translate import compile_reduction
+
+        comp = compile_reduction(KMEANS_SOURCE, {"k": 3, "dim": 2}, opt_level=2)
+        prog = comp.c_program
+        assert "void init(" in prog
+        assert "linearizeIt(chapel_data, computeLinearizeSize(chapel_data))" in prog
+        assert "Using default splitter" in prog
+        assert "Using default combine function" in prog
+        assert "void reduction(reduction_args_t* args)" in prog
+        assert "freeride_register((splitter_t) splitter," in prog
+
+    def test_opt2_linearizes_extras_in_init(self):
+        from repro.compiler.translate import compile_reduction
+
+        o2 = compile_reduction(KMEANS_SOURCE, {"k": 3, "dim": 2}, opt_level=2)
+        o1 = compile_reduction(KMEANS_SOURCE, {"k": 3, "dim": 2}, opt_level=1)
+        assert "linear_centroids = linearizeIt(centroids" in o2.c_program
+        assert "linear_centroids" not in o1.c_program

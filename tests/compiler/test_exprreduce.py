@@ -1,0 +1,186 @@
+"""Tests for built-in reductions over iterative expressions (§IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel.expr import ArrayRef
+from repro.chapel.forall import reduce_expr
+from repro.chapel.types import REAL, array_of
+from repro.chapel.values import ChapelArray
+from repro.compiler.exprreduce import compile_reduce_expr
+from repro.freeride.runtime import FreerideEngine
+from repro.util.errors import CompilerError
+
+
+def chapel(vals):
+    return ChapelArray(array_of(REAL, len(vals))).fill_from(vals)
+
+
+class TestPaperExample:
+    """`min reduce A+B`: the paper's own example of a general reduction."""
+
+    @pytest.mark.parametrize("strategy", ["scalar", "vectorized"])
+    def test_min_reduce_a_plus_b(self, strategy):
+        A = ArrayRef(chapel([3.0, 1.0, 5.0, 2.0]))
+        B = ArrayRef(chapel([2.0, 9.0, 0.0, 2.5]))
+        job = compile_reduce_expr("min", A + B, strategy=strategy)
+        assert job.result_value() == 4.5  # sums: 5, 10, 5, 4.5
+        # and it agrees with the pure-Chapel semantics
+        A2 = ArrayRef(chapel([3.0, 1.0, 5.0, 2.0]))
+        B2 = ArrayRef(chapel([2.0, 9.0, 0.0, 2.5]))
+        assert job.result_value() == reduce_expr("min", A2 + B2)
+
+
+class TestStrategiesAndThreads:
+    @pytest.mark.parametrize("op,ref", [("+", np.sum), ("min", np.min), ("max", np.max)])
+    @pytest.mark.parametrize("strategy", ["scalar", "vectorized"])
+    @pytest.mark.parametrize("threads", [1, 4])
+    def test_ops_match_numpy(self, op, ref, strategy, threads):
+        rng = np.random.default_rng(5)
+        a = rng.uniform(-10, 10, 257)
+        b = rng.uniform(-10, 10, 257)
+        expr = ArrayRef(a) * 2.0 - ArrayRef(b)
+        job = compile_reduce_expr(op, expr, strategy=strategy)
+        got = job.result_value(FreerideEngine(num_threads=threads))
+        assert got == pytest.approx(float(ref(a * 2.0 - b)))
+
+    def test_scalar_and_vectorized_agree(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.uniform(0, 1, 100), rng.uniform(0, 1, 100)
+        expr = lambda: -(ArrayRef(a) + ArrayRef(b)) * 3.0  # noqa: E731
+        s = compile_reduce_expr("max", expr(), strategy="scalar").result_value()
+        v = compile_reduce_expr("max", expr(), strategy="vectorized").result_value()
+        assert s == pytest.approx(v)
+
+    def test_bare_arrays_accepted(self):
+        a = np.arange(10, dtype=np.float64)
+        assert compile_reduce_expr("+", a).result_value() == 45.0
+        assert compile_reduce_expr("+", chapel([1.0, 2.0])).result_value() == 3.0
+
+    def test_multidim_expression(self):
+        a = np.arange(12, dtype=np.float64).reshape(3, 4)
+        b = np.ones((3, 4))
+        job = compile_reduce_expr("+", ArrayRef(a) + ArrayRef(b))
+        assert job.result_value() == float((a + b).sum())
+
+
+class TestCounters:
+    def test_linearization_charged_per_leaf(self):
+        a, b = np.zeros(50), np.zeros(50)
+        job = compile_reduce_expr("+", ArrayRef(a) + ArrayRef(b))
+        assert job.counters.bytes_linearized == 2 * 50 * 8
+
+    def test_scalar_strategy_counts_per_element_reads(self):
+        a = np.zeros(40)
+        job = compile_reduce_expr("+", ArrayRef(a), strategy="scalar")
+        job.run()
+        assert job.counters.linear_reads == 40
+        assert job.counters.index_calls == 40
+        assert job.counters.ro_updates == 40
+
+    def test_vectorized_strategy_folds_per_chunk(self):
+        a = np.zeros(40)
+        job = compile_reduce_expr("+", ArrayRef(a), strategy="vectorized")
+        job.run(FreerideEngine(num_threads=4))
+        assert job.counters.ro_updates <= 4  # one fold per split
+
+
+class TestValidation:
+    def test_unknown_op(self):
+        with pytest.raises(ValueError):
+            compile_reduce_expr("xor", np.zeros(3))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            compile_reduce_expr("+", np.zeros(3), strategy="gpu")
+
+    def test_unreducible(self):
+        with pytest.raises(CompilerError):
+            compile_reduce_expr("+", {"not": "an array"})
+
+    def test_composite_element_arrays_rejected(self):
+        from repro.chapel.domains import Domain
+        from repro.chapel.types import ArrayType, record
+
+        P = record("P", x=REAL)
+        arr = ChapelArray(ArrayType(Domain(3), P))
+        with pytest.raises(CompilerError):
+            compile_reduce_expr("+", ArrayRef(arr))
+
+
+class TestProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vals=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=80,
+        ),
+        op=st.sampled_from(["+", "min", "max"]),
+        threads=st.integers(1, 6),
+    )
+    def test_matches_chapel_semantics(self, vals, op, threads):
+        arr = np.array(vals)
+        job = compile_reduce_expr(op, ArrayRef(arr) + 1.0)
+        got = job.result_value(FreerideEngine(num_threads=threads))
+        want = reduce_expr(op, ArrayRef(arr) + 1.0, num_tasks=threads)
+        assert got == pytest.approx(want, rel=1e-12)
+
+
+class TestLocReductions:
+    """minloc/maxloc reduce — the (value, index) record case of §IV-B."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_minloc_matches_numpy(self, threads):
+        rng = np.random.default_rng(17)
+        a = rng.uniform(-100, 100, 333)
+        job = compile_reduce_expr("minloc", a)
+        value, loc = job.result_value(FreerideEngine(num_threads=threads))
+        assert loc == int(np.argmin(a))
+        assert value == float(a.min())
+
+    @pytest.mark.parametrize("threads", [1, 3])
+    def test_maxloc_over_expression(self, threads):
+        rng = np.random.default_rng(18)
+        a = rng.uniform(0, 1, 100)
+        b = rng.uniform(0, 1, 100)
+        from repro.chapel.expr import ArrayRef
+
+        job = compile_reduce_expr("maxloc", ArrayRef(a) + ArrayRef(b))
+        value, loc = job.result_value(FreerideEngine(num_threads=threads))
+        assert loc == int(np.argmax(a + b))
+        assert value == pytest.approx(float((a + b).max()))
+
+    def test_first_minimum_wins(self):
+        a = np.array([3.0, 1.0, 1.0, 5.0])
+        _, loc = compile_reduce_expr("minloc", a).result_value()
+        assert loc == 1  # numpy argmin tie-break: first occurrence
+
+    def test_chunked_runs_agree(self):
+        rng = np.random.default_rng(19)
+        a = rng.uniform(-5, 5, 200)
+        ref = compile_reduce_expr("minloc", a).result_value()
+        chunked = compile_reduce_expr("minloc", a).result_value(
+            FreerideEngine(num_threads=3, chunk_size=7)
+        )
+        assert chunked == ref
+
+    def test_locking_technique_rejected(self):
+        from repro.util.errors import CompilerError
+
+        job = compile_reduce_expr("minloc", np.arange(10, dtype=np.float64))
+        engine = FreerideEngine(num_threads=2, technique="full_locking")
+        with pytest.raises(CompilerError):
+            job.run(engine)
+
+    def test_matches_chapel_minloc_semantics(self):
+        from repro.chapel.forall import reduce_expr as chapel_reduce
+
+        a = np.array([4.0, -2.0, 7.0, -2.0])
+        value, loc = compile_reduce_expr("minloc", a).result_value()
+        want_value, want_loc = chapel_reduce(
+            "minloc", list(zip(a, range(len(a))))
+        )
+        assert (value, loc) == (want_value, want_loc)

@@ -1,0 +1,185 @@
+"""Tests for elaboration and access-site analysis."""
+
+import pytest
+
+from repro.chapel.parser import parse_program
+from repro.chapel.types import INT, REAL, ArrayType, RecordType
+from repro.compiler.access import FieldStep, IndexStep
+from repro.compiler.lower import elaborate_type, free_vars, lower_reduction
+from repro.chapel.parser import parse_expression
+from repro.util.errors import CompilerError
+
+from .conftest import KMEANS_SOURCE, SUM_SOURCE
+
+
+def lower_kmeans(constants={"k": 3, "dim": 2}):
+    return lower_reduction(parse_program(KMEANS_SOURCE), constants)
+
+
+class TestElaboration:
+    def test_element_type(self):
+        low = lower_kmeans()
+        assert isinstance(low.element_type, ArrayType)
+        assert low.element_type.domain.shape == (2,)
+        assert low.element_type.elt is REAL
+
+    def test_extras_typed(self):
+        low = lower_kmeans()
+        cent_t = low.extra_types["centroids"]
+        assert isinstance(cent_t, ArrayType)
+        assert cent_t.domain.shape == (3,)
+        assert isinstance(cent_t.elt, RecordType)
+        assert cent_t.elt.field_type("coord").domain.shape == (2,)
+
+    def test_constants_change_types(self):
+        low = lower_reduction(parse_program(KMEANS_SOURCE), {"k": 7, "dim": 5})
+        assert low.extra_types["centroids"].domain.shape == (7,)
+        assert low.element_type.domain.shape == (5,)
+
+    def test_missing_constant(self):
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(KMEANS_SOURCE), {"k": 3})
+
+    def test_arith_in_bounds(self):
+        src = """
+        class C : ReduceScanOp {
+          var n: int;
+          def accumulate(x: [1..2*n+1] real) { roAdd(0, 0, x[1]); }
+        }
+        """
+        low = lower_reduction(parse_program(src), {"n": 3})
+        assert low.element_type.domain.shape == (7,)
+
+    def test_empty_domain_rejected(self):
+        src = "class C : R { var n: int; def accumulate(x: [1..n] real) { roAdd(0,0,x[1]); } }"
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(src), {"n": 0})
+
+    def test_unknown_type_name(self):
+        src = "class C : R { def accumulate(x: quux) { roAdd(0,0,1.0); } }"
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(src), {})
+
+
+class TestSites:
+    def test_data_and_extra_sites_found(self):
+        low = lower_kmeans()
+        data = low.data_sites()
+        extras = low.extra_sites()
+        # point[d] appears twice, centroids[c].coord[d] once
+        assert len(data) == 2
+        assert len(extras) == 1
+        assert all(s.root == "point" for s in data)
+        assert extras[0].root == "centroids"
+
+    def test_site_steps(self):
+        low = lower_kmeans()
+        ext = low.extra_sites()[0]
+        kinds = [type(s).__name__ for s in ext.steps]
+        assert kinds == ["IndexStep", "FieldStep", "IndexStep"]
+
+    def test_site_infos_collected(self):
+        low = lower_kmeans()
+        for site in low.sites.values():
+            assert site.info is not None
+        ext = low.extra_sites()[0]
+        assert ext.info.levels == 2  # centroids level + coord level
+        data = low.data_sites()[0]
+        assert data.info.levels == 2  # wrapper (element) level + coord level
+
+    def test_scalar_param_site(self):
+        low = lower_reduction(parse_program(SUM_SOURCE), {})
+        sites = low.data_sites()
+        assert len(sites) == 1
+        assert sites[0].steps == ()
+        assert sites[0].info.levels == 1
+
+    def test_ro_ops_recorded(self):
+        low = lower_kmeans()
+        assert low.ro_ops_used == {"add"}
+
+    def test_member_rooted_extra(self):
+        src = """
+        record Params { var scale: real; }
+        class C : ReduceScanOp {
+          var p: Params;
+          def accumulate(x: real) { roAdd(0, 0, x * p.scale); }
+        }
+        """
+        low = lower_reduction(parse_program(src), {})
+        ext = low.extra_sites()[0]
+        assert isinstance(ext.steps[0], FieldStep)
+        assert ext.info.levels == 1  # synthetic wrapper level only
+
+
+class TestRejections:
+    def template(self, body, consts=None, fields=""):
+        src = f"""
+        class C : ReduceScanOp {{
+          {fields}
+          def accumulate(x: [1..4] real) {{ {body} }}
+        }}
+        """
+        return lower_reduction(parse_program(src), consts or {})
+
+    def test_unknown_name(self):
+        with pytest.raises(CompilerError):
+            self.template("roAdd(0, 0, y);")
+
+    def test_unknown_function(self):
+        with pytest.raises(CompilerError):
+            self.template("frob(x[1]);")
+
+    def test_ro_arity(self):
+        with pytest.raises(CompilerError):
+            self.template("roAdd(0, x[1]);")
+
+    def test_assign_to_non_local(self):
+        with pytest.raises(CompilerError):
+            self.template("x[1] = 3.0;")
+
+    def test_assign_undeclared(self):
+        with pytest.raises(CompilerError):
+            self.template("y = 3.0;")
+
+    def test_return_rejected(self):
+        with pytest.raises(CompilerError):
+            self.template("return;")
+
+    def test_structured_local_rejected(self):
+        with pytest.raises(CompilerError):
+            self.template("var v: [1..3] real;")
+
+    def test_bare_structured_param_rejected(self):
+        with pytest.raises(CompilerError):
+            self.template("roAdd(0, 0, x);")
+
+    def test_non_scalar_access_rejected(self):
+        src = """
+        record R { var a: [1..2] real; }
+        class C : ReduceScanOp {
+          def accumulate(x: [1..2] R) { roAdd(0, 0, x[1].a); }
+        }
+        """
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(src), {})
+
+    def test_two_params_rejected(self):
+        src = "class C : R { def accumulate(x: real, y: real) { roAdd(0,0,x); } }"
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(src), {})
+
+    def test_no_accumulate(self):
+        src = "class C : R { def combine(o: C) { } }"
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program(src), {})
+
+    def test_no_class(self):
+        with pytest.raises(CompilerError):
+            lower_reduction(parse_program("record R { var x: int; }"), {})
+
+
+class TestFreeVars:
+    def test_free_vars(self):
+        e = parse_expression("a[i].b + f(j, k) * 2 - m")
+        assert free_vars(e) == {"a", "i", "j", "k", "m"}

@@ -1,0 +1,313 @@
+"""Tests for Algorithm 3 (computeIndex) and Figure 6 metadata collection.
+
+The central property: for every scalar of a nested structure, the offset
+computed by Algorithm 3 from loop indices equals the packed-layout offset —
+so a reduction over the linearized buffer reads exactly the values the
+original Chapel loop nest reads (the paper's Figure 8 equivalence).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chapel.domains import Domain, Range
+from repro.chapel.types import INT, REAL, ArrayType, array_of, record
+from repro.chapel.values import default_value
+from repro.compiler.access import AccessPath
+from repro.compiler.linearize import linearize_it
+from repro.compiler.mapping import (
+    collect_mapping_info,
+    compute_index,
+    compute_index_chapel,
+    contiguous_run,
+    vectorized_offsets,
+)
+from repro.util.errors import MappingError
+
+
+def paper_types(t=2, n=3, m=4):
+    A = record("A", a1=array_of(REAL, m), a2=INT)
+    B = record("B", b1=ArrayType(Domain(n), A), b2=INT)
+    return ArrayType(Domain(t), B), A, B
+
+
+class TestFigure6Metadata:
+    def test_paper_example_collected_info(self):
+        data_t, A, B = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        # levels = 3
+        assert info.levels == 3
+        # unitSize = {unitSize_B, unitSize_A, sizeof(real)}
+        assert info.unit_size == (B.sizeof, A.sizeof, 8)
+        # unitOffset tables are the records' member-offset tables
+        assert info.unit_offset[0] == ((0, B.field_offset("b2")),)
+        assert info.unit_offset[1] == ((0, A.field_offset("a2")),)
+        assert info.unit_offset[2] == ()
+        # position[0][0] = 0, position[1][0] = 0 (b1 and a1 are first members)
+        assert info.position[0] == (0,)
+        assert info.position[1] == (0,)
+        assert info.trailing_offset == 0
+        assert info.inner_dtype == np.float64
+
+    def test_trailing_member(self):
+        data_t, A, B = paper_types()
+        info = collect_mapping_info(data_t, "[i].b2")
+        assert info.levels == 1
+        assert info.trailing_offset == B.field_offset("b2")
+
+    def test_flat_array(self):
+        info = collect_mapping_info(array_of(REAL, 10), "[i]")
+        assert info.levels == 1
+        assert info.unit_size == (8,)
+        assert info.level_offsets == ()
+        assert info.inner_extent == 10
+
+    def test_requires_array_root(self):
+        with pytest.raises(MappingError):
+            collect_mapping_info(record("P", x=REAL), "[i]")
+
+    def test_requires_scalar_end(self):
+        data_t, *_ = paper_types()
+        with pytest.raises(MappingError):
+            collect_mapping_info(data_t, "[i].b1")
+
+
+class TestComputeIndexFigure8:
+    """The Figure 8 equivalence: nested loop access == linearized access."""
+
+    def test_all_indices_match_nested_access(self):
+        t, n, m = 2, 3, 4
+        data_t, *_ = paper_types(t, n, m)
+        v = default_value(data_t)
+        x = 0.0
+        for i in range(1, t + 1):
+            for j in range(1, n + 1):
+                for k in range(1, m + 1):
+                    v[i].b1[j].a1[k] = x
+                    x += 1.0
+        buf = linearize_it(v, data_t)
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+
+        total_nested = 0.0
+        total_linear = 0.0
+        for i in range(1, t + 1):
+            for j in range(1, n + 1):
+                for k in range(1, m + 1):
+                    total_nested += v[i].b1[j].a1[k]
+                    offset = compute_index_chapel(info, (i, j, k))
+                    total_linear += buf.read_scalar(offset, REAL)
+        assert total_linear == total_nested
+
+    def test_dense_index_formula(self):
+        data_t, A, B = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        # by hand: i*sizeof(B) + off(b1) + j*sizeof(A) + off(a1) + k*8
+        assert compute_index(info, (1, 2, 3)) == B.sizeof + 2 * A.sizeof + 3 * 8
+
+    def test_out_of_range_index(self):
+        data_t, *_ = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        with pytest.raises(MappingError):
+            compute_index(info, (5, 0, 0))
+        with pytest.raises(MappingError):
+            compute_index(info, (0, 0))
+
+    def test_trailing_member_offsets(self):
+        data_t, A, B = paper_types()
+        info = collect_mapping_info(data_t, "[i].b2")
+        assert compute_index(info, (0,)) == B.field_offset("b2")
+        assert compute_index(info, (1,)) == B.sizeof + B.field_offset("b2")
+
+    def test_non_unit_range_low(self):
+        arr_t = ArrayType(Domain(Range(5, 9)), REAL)
+        info = collect_mapping_info(arr_t, "[i]")
+        assert compute_index_chapel(info, (5,)) == 0
+        assert compute_index_chapel(info, (9,)) == 32
+
+    def test_multidim_level(self):
+        mat = array_of(REAL, 3, 4)
+        info = collect_mapping_info(mat, "[r, c]")
+        assert info.levels == 1
+        # row-major: (r, c) -> (r*4 + c) * 8
+        assert compute_index_chapel(info, ((2, 3),)) == ((1 * 4) + 2) * 8
+
+
+class TestVectorizedOffsets:
+    def test_matches_scalar_compute_index(self):
+        data_t, *_ = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        ii, jj, kk = np.meshgrid(np.arange(2), np.arange(3), np.arange(4), indexing="ij")
+        offs = vectorized_offsets(info, [ii.ravel(), jj.ravel(), kk.ravel()])
+        expected = [
+            compute_index(info, (i, j, k))
+            for i in range(2)
+            for j in range(3)
+            for k in range(4)
+        ]
+        assert list(offs) == expected
+
+    def test_wrong_arity(self):
+        data_t, *_ = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        with pytest.raises(MappingError):
+            vectorized_offsets(info, [np.arange(2)])
+
+
+class TestContiguousRun:
+    def test_opt1_base_and_extent(self):
+        data_t, A, B = paper_types(t=2, n=3, m=4)
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        base, count = contiguous_run(info, (1, 2))
+        assert count == 4
+        assert base == compute_index(info, (1, 2, 0))
+        # the run really is contiguous: consecutive k differ by 8 bytes
+        assert compute_index(info, (1, 2, 1)) - base == 8
+
+    def test_view_equals_loop(self):
+        """Reading the run as a numpy view equals the per-index loop."""
+        t, n, m = 2, 2, 5
+        data_t, *_ = paper_types(t, n, m)
+        v = default_value(data_t)
+        for i in range(1, t + 1):
+            for j in range(1, n + 1):
+                for k in range(1, m + 1):
+                    v[i].b1[j].a1[k] = i * 100 + j * 10 + k
+        buf = linearize_it(v, data_t)
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        for i in range(t):
+            for j in range(n):
+                base, count = contiguous_run(info, (i, j))
+                view = buf.typed_view(base, info.inner_dtype, count)
+                loop = [
+                    buf.read_scalar(compute_index(info, (i, j, k)), REAL)
+                    for k in range(m)
+                ]
+                assert list(view) == loop
+
+    def test_rejected_with_trailing_members(self):
+        data_t, *_ = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a2")
+        with pytest.raises(MappingError):
+            contiguous_run(info, (0,))
+
+    def test_wrong_outer_arity(self):
+        data_t, *_ = paper_types()
+        info = collect_mapping_info(data_t, "[i].b1[j].a1[k]")
+        with pytest.raises(MappingError):
+            contiguous_run(info, (0,))
+
+
+# ---- the fundamental property, over random nested shapes ---------------------
+
+
+@st.composite
+def nested_path_types(draw):
+    """Random (root type, path) pairs of 1-3 levels with record wrapping."""
+    levels = draw(st.integers(min_value=1, max_value=3))
+    elt = REAL
+    path = ""
+    # build from the inside out
+    for lvl in reversed(range(levels)):
+        n = draw(st.integers(min_value=1, max_value=4))
+        arr = ArrayType(Domain(n), elt)
+        wrap = draw(st.booleans())
+        var = f"v{lvl}"
+        if wrap and lvl > 0:
+            pad_before = draw(st.booleans())
+            fields = []
+            if pad_before:
+                fields.append(("pad", INT))
+            fields.append(("arr", arr))
+            if draw(st.booleans()):
+                fields.append(("tail", INT))
+            elt = record(f"R{lvl}", **dict(fields))
+            path = f".arr[{var}]" + path
+        else:
+            elt = arr
+            path = f"[{var}]" + path
+    # `elt` is now the root array type, path starts with its index step
+    return elt, path
+
+
+def nested_get(value, info, my_index):
+    """Follow the access path on the *nested* value using dense indices."""
+    from repro.compiler.access import IndexStep
+
+    cur = value
+    level = 0
+    for step in info.path.steps:
+        if isinstance(step, IndexStep):
+            idx = info.domains[level].index_at(my_index[level])
+            cur = cur[idx]
+            level += 1
+        else:
+            cur = getattr(cur, step.name)
+    return cur
+
+
+class TestMappingProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(tp=nested_path_types())
+    def test_compute_index_reads_what_nested_loops_read(self, tp):
+        import itertools
+
+        from repro.chapel.types import scalar_layout
+        from repro.chapel.values import set_path
+
+        root, path_text = tp
+        info = collect_mapping_info(root, path_text)
+        v = default_value(root)
+        for i, slot in enumerate(scalar_layout(root)):
+            set_path(v, slot.path, float(i) if slot.prim is REAL else i)
+        buf = linearize_it(v, root)
+
+        spaces = [range(d.size) for d in info.domains]
+        seen = set()
+        for my_index in itertools.product(*spaces):
+            off = compute_index(info, my_index)
+            # offsets are in-bounds, injective, and read the right scalar
+            assert 0 <= off <= root.sizeof - 8
+            assert off not in seen, "two index tuples map to the same offset"
+            seen.add(off)
+            assert buf.read_scalar(off, REAL) == nested_get(v, info, my_index)
+
+
+class TestStridedDomains:
+    """Strided Chapel ranges pack densely; position_of handles the stride."""
+
+    def test_strided_flat_array(self):
+        arr_t = ArrayType(Domain(Range(1, 9, 2)), REAL)  # indices 1,3,5,7,9
+        info = collect_mapping_info(arr_t, "[i]")
+        assert info.inner_extent == 5
+        for pos, idx in enumerate([1, 3, 5, 7, 9]):
+            assert compute_index_chapel(info, (idx,)) == pos * 8
+
+    def test_strided_nested(self):
+        inner = ArrayType(Domain(Range(0, 6, 3)), REAL)  # 0,3,6 -> 3 elems
+        outer = ArrayType(Domain(Range(2, 4)), inner)  # 2,3,4 -> 3 elems
+        info = collect_mapping_info(outer, "[i][j]")
+        assert info.unit_size == (24, 8)
+        assert compute_index_chapel(info, (3, 6)) == 1 * 24 + 2 * 8
+
+    def test_strided_linearize_roundtrip(self):
+        from repro.chapel.values import default_value, to_python
+        from repro.compiler.linearize import delinearize
+
+        arr_t = ArrayType(Domain(Range(1, 9, 2)), REAL)
+        v = default_value(arr_t)
+        for n, idx in enumerate(Range(1, 9, 2)):
+            v[idx] = float(n) * 1.5
+        buf = linearize_it(v, arr_t)
+        assert buf.nbytes == 40
+        info = collect_mapping_info(arr_t, "[i]")
+        for idx in Range(1, 9, 2):
+            off = compute_index_chapel(info, (idx,))
+            assert buf.read_scalar(off, REAL) == v[idx]
+        assert to_python(delinearize(buf)) == to_python(v)
+
+    def test_off_stride_index_rejected(self):
+        arr_t = ArrayType(Domain(Range(1, 9, 2)), REAL)
+        info = collect_mapping_info(arr_t, "[i]")
+        with pytest.raises(Exception):
+            compute_index_chapel(info, (2,))  # 2 is not on the stride

@@ -1,0 +1,135 @@
+"""Tests for the opt-1 / opt-2 planning passes."""
+
+import pytest
+
+from repro.chapel.parser import parse_program
+from repro.compiler.lower import lower_reduction
+from repro.compiler.passes import plan_compilation
+from repro.util.errors import CompilerError
+
+from .conftest import KMEANS_SOURCE
+
+
+def plans_for(level, source=KMEANS_SOURCE, constants={"k": 3, "dim": 2}):
+    low = lower_reduction(parse_program(source), constants)
+    plan = plan_compilation(low, level)
+    return low, plan
+
+
+def modes_by_kind(low, plan):
+    out = {"data": [], "extra": []}
+    for sp in plan.site_plans.values():
+        out[sp.site.kind].append(sp.mode)
+    return out
+
+
+class TestGeneratedPlan:
+    def test_data_linear_extras_nested(self):
+        low, plan = plans_for(0)
+        modes = modes_by_kind(low, plan)
+        assert set(modes["data"]) == {"linear"}
+        assert set(modes["extra"]) == {"nested"}
+        assert not plan.loop_hoists
+
+
+class TestOpt1Plan:
+    def test_data_hoisted_extras_nested(self):
+        low, plan = plans_for(1)
+        modes = modes_by_kind(low, plan)
+        assert set(modes["data"]) == {"hoisted"}
+        assert set(modes["extra"]) == {"nested"}
+        # point[d] is hoisted in two loops (distance loop + roAdd loop)
+        assert sum(len(v) for v in plan.loop_hoists.values()) == 2
+
+    def test_non_loop_index_not_hoisted(self):
+        src = """
+        class C : ReduceScanOp {
+          var sel: int;
+          def accumulate(x: [1..4] real) {
+            roAdd(0, 0, x[2]);
+          }
+        }
+        """
+        low, plan = plans_for(1, src, {"sel": 1})
+        assert [sp.mode for sp in plan.site_plans.values()] == ["linear"]
+
+    def test_outer_index_dependent_not_hoisted(self):
+        # x[d][d] style: outer index depends on the loop var -> not hoistable
+        src = """
+        class C : ReduceScanOp {
+          def accumulate(x: [1..3] real) {
+            for d in 1..3 {
+              roAdd(0, 0, x[4 - d]);
+            }
+          }
+        }
+        """
+        low, plan = plans_for(1, src, {})
+        # index is 4-d, not the bare loop var -> linear
+        assert [sp.mode for sp in plan.site_plans.values()] == ["linear"]
+
+    def test_trailing_member_not_hoisted(self):
+        src = """
+        record P { var v: real; var tag: int; }
+        class C : ReduceScanOp {
+          def accumulate(x: [1..3] P) {
+            for d in 1..3 {
+              roAdd(0, 0, x[d].v);
+            }
+          }
+        }
+        """
+        low, plan = plans_for(1, src, {})
+        assert [sp.mode for sp in plan.site_plans.values()] == ["linear"]
+
+
+def all_hoists(plan):
+    return [
+        h
+        for table in (plan.loop_hoists, plan.incremental_hoists)
+        for hoists in table.values()
+        for h in hoists
+    ]
+
+
+class TestOpt2Plan:
+    def test_everything_linearized(self):
+        low, plan = plans_for(2)
+        modes = modes_by_kind(low, plan)
+        assert set(modes["data"]) == {"hoisted"}
+        assert set(modes["extra"]) == {"hoisted"}
+        # 2 data hoists + 1 centroids hoist
+        assert len(all_hoists(plan)) == 3
+
+    def test_point_row_climbs_out_of_centroid_loop(self):
+        """Point rows are loop-invariant in c, so they climb out of the
+        centroid loop (classic LICM on top of the paper's opt-1)."""
+        low, plan = plans_for(2)
+        point_hoists = [
+            h for h in all_hoists(plan) if str(h.site.expr) == "point[d]"
+        ]
+        assert {h.loop.var for h in point_hoists} == {"c", "d"}
+        assert all(h.incremental is None for h in point_hoists)
+
+    def test_centroid_row_is_incremental(self):
+        """The centroid row base depends affinely on c, so it becomes the
+        paper's incremental form: start point before the loop, pre-computed
+        offset added per iteration."""
+        low, plan = plans_for(2)
+        cent = [
+            h
+            for h in all_hoists(plan)
+            if str(h.site.expr) == "centroids[c].coord[d]"
+        ]
+        assert len(cent) == 1
+        h = cent[0]
+        assert h.incremental is not None and h.incremental.var == "c"
+        # step = sizeof(Centroid) = dim reals = 16 bytes at dim=2
+        assert h.step_bytes == 16
+
+
+class TestValidation:
+    def test_bad_level(self):
+        low, _ = plans_for(0)
+        with pytest.raises(CompilerError):
+            plan_compilation(low, 3)

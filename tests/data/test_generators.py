@@ -1,0 +1,112 @@
+"""Tests for synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+
+
+class TestKmeansPoints:
+    def test_shape_and_dtype(self):
+        pts = kmeans_points(100, 3)
+        assert pts.shape == (100, 3)
+        assert pts.dtype == np.float64
+
+    def test_deterministic(self):
+        a = kmeans_points(50, 2, seed=5)
+        b = kmeans_points(50, 2, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_data(self):
+        a = kmeans_points(50, 2, seed=5)
+        b = kmeans_points(50, 2, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_blob_structure_is_clusterable(self):
+        """Points drawn from tight blobs must have low within-blob spread."""
+        pts = kmeans_points(500, 2, num_blobs=3, spread=0.01, seed=1)
+        # Variance of the whole cloud far exceeds the blob noise.
+        assert pts.var() > 10 * 0.01**2
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            kmeans_points(0, 2)
+        with pytest.raises(ValueError):
+            kmeans_points(10, 0)
+
+
+class TestInitialCentroids:
+    def test_selects_actual_points(self):
+        pts = kmeans_points(50, 2, seed=2)
+        cents = initial_centroids(pts, 5, seed=3)
+        assert cents.shape == (5, 2)
+        for c in cents:
+            assert any(np.array_equal(c, p) for p in pts)
+
+    def test_distinct(self):
+        pts = kmeans_points(50, 2, seed=2)
+        cents = initial_centroids(pts, 10, seed=3)
+        assert len({tuple(c) for c in cents}) == 10
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            initial_centroids(kmeans_points(3, 2), 5)
+
+    def test_copy_not_view(self):
+        pts = kmeans_points(10, 2, seed=2)
+        cents = initial_centroids(pts, 2, seed=3)
+        cents[0, 0] = 1e9
+        assert pts.max() < 1e9
+
+
+class TestPcaMatrix:
+    def test_shape(self):
+        m = pca_matrix(20, 100)
+        assert m.shape == (20, 100)
+
+    def test_deterministic(self):
+        assert np.array_equal(pca_matrix(8, 30, seed=4), pca_matrix(8, 30, seed=4))
+
+    def test_low_rank_structure(self):
+        """With tiny noise, the top `rank` eigenvalues dominate."""
+        m = pca_matrix(16, 500, rank=3, noise=1e-3, seed=5)
+        centered = m - m.mean(axis=1, keepdims=True)
+        vals = np.linalg.eigvalsh(centered @ centered.T)[::-1]
+        assert vals[2] > 100 * vals[3]
+
+    def test_rank_clamped_to_rows(self):
+        m = pca_matrix(4, 10, rank=100)
+        assert m.shape == (4, 10)
+
+
+class TestDatasetConfigs:
+    def test_paper_sizes(self):
+        from repro.data.datasets import (
+            KMEANS_LARGE_K10,
+            KMEANS_SMALL,
+            PCA_LARGE,
+            PCA_SMALL,
+        )
+
+        assert KMEANS_SMALL.nbytes == 12 * 1024 * 1024
+        assert KMEANS_LARGE_K10.nbytes == 1200 * 1024 * 1024
+        assert KMEANS_SMALL.k == 100 and KMEANS_SMALL.iterations == 10
+        assert PCA_SMALL.rows == 1000 and PCA_SMALL.cols == 10_000
+        assert PCA_LARGE.cols == 100_000
+
+    def test_scaled_preserves_parameters(self):
+        from repro.data.datasets import KMEANS_SMALL
+
+        s = KMEANS_SMALL.scaled(0.001)
+        assert s.k == KMEANS_SMALL.k
+        assert s.dim == KMEANS_SMALL.dim
+        assert s.n_points < KMEANS_SMALL.n_points
+        assert s.n_points >= s.k  # never fewer points than centroids
+
+    def test_generate_matches_config(self):
+        from repro.data.datasets import KMEANS_SMALL, PCA_SMALL
+
+        pts = KMEANS_SMALL.scaled(1 / 4096).generate()
+        assert pts.shape[1] == KMEANS_SMALL.dim
+        mat = PCA_SMALL.scaled_rows(0.01).scaled(0.005).generate()
+        assert mat.shape[0] == 10

@@ -1,0 +1,149 @@
+"""Tests for the Table I procedural API facade."""
+
+import numpy as np
+import pytest
+
+from repro.freeride.api import FreerideContext
+from repro.util.errors import FreerideError
+
+
+class TestTableIWorkflow:
+    """Exercise the init -> register -> run -> read lifecycle of Table I."""
+
+    def test_sum_via_context(self):
+        ctx = FreerideContext(num_threads=4)
+        g = ctx.reduction_object_alloc(num_elems=1)
+
+        def reduction(args):
+            for x in args.data:
+                ctx.accumulate(g, 0, float(x))
+
+        ctx.register_reduction(reduction)
+        ctx.run(np.arange(50, dtype=np.float64))
+        assert ctx.get_intermediate_result(g, 0) == float(np.arange(50).sum())
+
+    def test_multiple_groups_unique_ids(self):
+        ctx = FreerideContext()
+        g0 = ctx.reduction_object_alloc(2)
+        g1 = ctx.reduction_object_alloc(3, op="min")
+        assert (g0, g1) == (0, 1)
+
+        def reduction(args):
+            for x in args.data:
+                ctx.accumulate(g0, 0, float(x))
+                ctx.accumulate(g1, 0, float(x))
+
+        ctx.register_reduction(reduction)
+        ctx.run([5.0, 2.0, 7.0])
+        assert ctx.get_intermediate_result(g0, 0) == 14.0
+        assert ctx.get_intermediate_result(g1, 0) == 2.0
+
+    def test_finalize_registered(self):
+        ctx = FreerideContext()
+        g = ctx.reduction_object_alloc(1)
+        ctx.register_reduction(
+            lambda args: [ctx.accumulate(g, 0, float(x)) for x in args.data]
+        )
+        ctx.register_finalize(lambda ro: ro.get(0, 0) * 2)
+        result = ctx.run([1.0, 2.0])
+        assert result.value == 6.0
+
+    def test_custom_combination_registered(self):
+        ctx = FreerideContext(num_threads=2)
+        g = ctx.reduction_object_alloc(1)
+        seen = []
+
+        def combination(copies):
+            seen.append(len(copies))
+            merged = copies[0].clone_empty()
+            for c in copies:
+                merged.merge_from(c)
+            return merged
+
+        ctx.register_reduction(
+            lambda args: [ctx.accumulate(g, 0, 1.0) for _ in args.data]
+        )
+        ctx.register_combination(combination)
+        ctx.run([1] * 10)
+        assert seen == [2]
+        assert ctx.get_intermediate_result(g, 0) == 10.0
+
+    def test_threads_executor_with_tls_routing(self):
+        ctx = FreerideContext(num_threads=4, executor="threads", chunk_size=13)
+        g = ctx.reduction_object_alloc(1)
+
+        def reduction(args):
+            for x in args.data:
+                ctx.accumulate(g, 0, float(x))
+
+        ctx.register_reduction(reduction)
+        data = np.arange(500, dtype=np.float64)
+        ctx.run(data)
+        assert ctx.get_intermediate_result(g, 0) == float(data.sum())
+
+    def test_extras_passed(self):
+        ctx = FreerideContext(extras={"bias": 100.0})
+        g = ctx.reduction_object_alloc(1)
+        ctx.register_reduction(
+            lambda args: [
+                ctx.accumulate(g, 0, x + args.extras["bias"]) for x in args.data
+            ]
+        )
+        ctx.run([1.0])
+        assert ctx.get_intermediate_result(g, 0) == 101.0
+
+
+class TestLifecycleErrors:
+    def test_accumulate_outside_reduction(self):
+        ctx = FreerideContext()
+        ctx.reduction_object_alloc(1)
+        with pytest.raises(FreerideError):
+            ctx.accumulate(0, 0, 1.0)
+
+    def test_run_without_reduction(self):
+        ctx = FreerideContext()
+        ctx.reduction_object_alloc(1)
+        with pytest.raises(FreerideError):
+            ctx.run([1])
+
+    def test_run_without_alloc(self):
+        ctx = FreerideContext()
+        ctx.register_reduction(lambda args: None)
+        with pytest.raises(FreerideError):
+            ctx.run([1])
+
+    def test_read_before_run(self):
+        ctx = FreerideContext()
+        with pytest.raises(FreerideError):
+            ctx.get_intermediate_result(0, 0)
+        with pytest.raises(FreerideError):
+            ctx.result
+
+    def test_alloc_after_run_rejected(self):
+        ctx = FreerideContext()
+        g = ctx.reduction_object_alloc(1)
+        ctx.register_reduction(
+            lambda args: [ctx.accumulate(g, 0, float(x)) for x in args.data]
+        )
+        ctx.run([1])
+        with pytest.raises(FreerideError):
+            ctx.reduction_object_alloc(1)
+
+
+class TestSplitterRegistration:
+    def test_custom_splitter_through_context(self):
+        from repro.freeride.splitter import Split
+
+        ctx = FreerideContext(num_threads=2)
+        g = ctx.reduction_object_alloc(1)
+
+        def splitter(data, req_units):
+            return [Split(0, 0, len(data), data)]  # one big split
+
+        ctx.register_splitter(splitter)
+        ctx.register_reduction(
+            lambda args: [ctx.accumulate(g, 0, float(x)) for x in args.data]
+        )
+        result = ctx.run([1.0, 2.0, 3.0])
+        assert ctx.get_intermediate_result(g, 0) == 6.0
+        assert result.stats.splits_per_thread[0] == 1

@@ -1,0 +1,90 @@
+"""Unit tests for all-to-one and parallel-merge combination."""
+
+import numpy as np
+import pytest
+
+from repro.freeride.combination import (
+    all_to_one_combine,
+    combine,
+    expected_rounds,
+    parallel_merge_combine,
+)
+from repro.freeride.reduction_object import ReductionObject
+from repro.util.errors import FreerideError
+
+
+def make_copies(n, elems=4, seed=0):
+    base = ReductionObject()
+    base.alloc(elems, "add")
+    base.alloc(1, "min")
+    base.freeze_layout()
+    rng = np.random.default_rng(seed)
+    copies = []
+    for _ in range(n):
+        c = base.clone_empty()
+        c.accumulate_group(0, rng.uniform(0, 10, elems))
+        c.accumulate(1, 0, float(rng.uniform(0, 10)))
+        copies.append(c)
+    return copies
+
+
+def reference_merge(copies):
+    add = np.sum([c.get_group(0) for c in copies], axis=0)
+    mn = min(c.get(1, 0) for c in copies)
+    return add, mn
+
+
+class TestStrategiesAgree:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_all_to_one_matches_reference(self, n):
+        copies = make_copies(n)
+        add_ref, mn_ref = reference_merge(copies)
+        merged, stats = all_to_one_combine(copies)
+        assert np.allclose(merged.get_group(0), add_ref)
+        assert merged.get(1, 0) == pytest.approx(mn_ref)
+        assert stats.merges == n - 1
+        assert stats.rounds == n - 1
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+    def test_parallel_merge_matches_reference(self, n):
+        copies = make_copies(n, seed=7)
+        add_ref, mn_ref = reference_merge(copies)
+        merged, stats = parallel_merge_combine(copies)
+        assert np.allclose(merged.get_group(0), add_ref)
+        assert merged.get(1, 0) == pytest.approx(mn_ref)
+        assert stats.merges == n - 1
+        assert stats.rounds == expected_rounds(n, "parallel_merge")
+
+
+class TestStrategySelection:
+    def test_small_object_uses_all_to_one(self):
+        copies = make_copies(4, elems=4)
+        _, stats = combine(copies, threshold_bytes=1024)
+        assert stats.strategy == "all_to_one"
+
+    def test_large_object_uses_parallel_merge(self):
+        copies = make_copies(4, elems=4096)
+        _, stats = combine(copies, threshold_bytes=1024)
+        assert stats.strategy == "parallel_merge"
+
+    def test_single_copy_trivial(self):
+        copies = make_copies(1)
+        merged, stats = combine(copies)
+        assert merged is copies[0]
+        assert stats.strategy == "trivial"
+
+    def test_empty_rejected(self):
+        with pytest.raises(FreerideError):
+            combine([])
+        with pytest.raises(FreerideError):
+            all_to_one_combine([])
+        with pytest.raises(FreerideError):
+            parallel_merge_combine([])
+
+
+class TestExpectedRounds:
+    def test_values(self):
+        assert expected_rounds(1, "all_to_one") == 0
+        assert expected_rounds(8, "all_to_one") == 7
+        assert expected_rounds(8, "parallel_merge") == 3
+        assert expected_rounds(5, "parallel_merge") == 3

@@ -1,0 +1,187 @@
+"""Unit tests for the FREERIDE reduction object."""
+
+import numpy as np
+import pytest
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.util.errors import ReductionObjectError
+
+
+class TestAlloc:
+    def test_group_ids_are_sequential(self):
+        ro = ReductionObject()
+        assert ro.alloc(3) == 0
+        assert ro.alloc(5) == 1
+        assert ro.num_groups == 2
+        assert ro.size == 8
+
+    def test_alloc_matrix(self):
+        ro = ReductionObject()
+        gids = ro.alloc_matrix(4, 3)
+        assert gids == [0, 1, 2, 3]
+        assert ro.size == 12
+
+    def test_identity_values_per_op(self):
+        ro = ReductionObject()
+        g_add = ro.alloc(1, "add")
+        g_min = ro.alloc(1, "min")
+        g_max = ro.alloc(1, "max")
+        assert ro.get(g_add, 0) == 0.0
+        assert ro.get(g_min, 0) == np.inf
+        assert ro.get(g_max, 0) == -np.inf
+
+    def test_invalid_op(self):
+        with pytest.raises(ReductionObjectError):
+            ReductionObject().alloc(1, "mul")
+
+    def test_invalid_num_elems(self):
+        with pytest.raises(ValueError):
+            ReductionObject().alloc(0)
+
+    def test_alloc_after_freeze_rejected(self):
+        ro = ReductionObject()
+        ro.alloc(1)
+        ro.freeze_layout()
+        with pytest.raises(ReductionObjectError):
+            ro.alloc(1)
+
+    def test_nbytes(self):
+        ro = ReductionObject()
+        ro.alloc(10)
+        assert ro.nbytes == 80
+
+
+class TestAccumulate:
+    def test_add(self):
+        ro = ReductionObject()
+        g = ro.alloc(2)
+        ro.accumulate(g, 0, 1.5)
+        ro.accumulate(g, 0, 2.5)
+        ro.accumulate(g, 1, -1.0)
+        assert ro.get(g, 0) == 4.0
+        assert ro.get(g, 1) == -1.0
+
+    def test_min_max(self):
+        ro = ReductionObject()
+        gmin = ro.alloc(1, "min")
+        gmax = ro.alloc(1, "max")
+        for v in [3.0, 1.0, 2.0]:
+            ro.accumulate(gmin, 0, v)
+            ro.accumulate(gmax, 0, v)
+        assert ro.get(gmin, 0) == 1.0
+        assert ro.get(gmax, 0) == 3.0
+
+    def test_update_count(self):
+        ro = ReductionObject()
+        g = ro.alloc(2)
+        ro.accumulate(g, 0, 1.0)
+        ro.accumulate(g, 1, 1.0)
+        assert ro.update_count == 2
+
+    def test_out_of_range_elem(self):
+        ro = ReductionObject()
+        g = ro.alloc(2)
+        with pytest.raises(ReductionObjectError):
+            ro.accumulate(g, 2, 1.0)
+
+    def test_unallocated_group(self):
+        ro = ReductionObject()
+        with pytest.raises(ReductionObjectError):
+            ro.accumulate(0, 0, 1.0)
+
+    def test_accumulate_group_vectorized(self):
+        ro = ReductionObject()
+        g = ro.alloc(3)
+        ro.accumulate_group(g, np.array([1.0, 2.0, 3.0]))
+        ro.accumulate_group(g, np.array([1.0, 1.0, 1.0]))
+        assert list(ro.get_group(g)) == [2.0, 3.0, 4.0]
+        assert ro.update_count == 6
+
+    def test_accumulate_group_shape_check(self):
+        ro = ReductionObject()
+        g = ro.alloc(3)
+        with pytest.raises(ReductionObjectError):
+            ro.accumulate_group(g, np.zeros(2))
+
+    def test_accumulate_group_min(self):
+        ro = ReductionObject()
+        g = ro.alloc(2, "min")
+        ro.accumulate_group(g, np.array([3.0, 5.0]))
+        ro.accumulate_group(g, np.array([4.0, 2.0]))
+        assert list(ro.get_group(g)) == [3.0, 2.0]
+
+    def test_group_view_is_writable(self):
+        ro = ReductionObject()
+        g = ro.alloc(2)
+        view = ro.group_view(g)
+        view[0] = 9.0
+        assert ro.get(g, 0) == 9.0
+
+    def test_set_overwrites(self):
+        ro = ReductionObject()
+        g = ro.alloc(1, "min")
+        ro.set(g, 0, 5.0)
+        assert ro.get(g, 0) == 5.0
+
+
+class TestMerge:
+    def make_pair(self):
+        base = ReductionObject()
+        base.alloc(2, "add")
+        base.alloc(1, "min")
+        base.freeze_layout()
+        return base, base.clone_empty()
+
+    def test_clone_empty_has_identities(self):
+        base, clone = self.make_pair()
+        assert clone.get(0, 0) == 0.0
+        assert clone.get(1, 0) == np.inf
+        assert base.same_layout(clone)
+
+    def test_merge_respects_group_ops(self):
+        base, clone = self.make_pair()
+        base.accumulate(0, 0, 1.0)
+        base.accumulate(1, 0, 5.0)
+        clone.accumulate(0, 0, 2.0)
+        clone.accumulate(1, 0, 3.0)
+        base.merge_from(clone)
+        assert base.get(0, 0) == 3.0  # add merged
+        assert base.get(1, 0) == 3.0  # min merged
+
+    def test_merge_with_identity_is_noop(self):
+        base, clone = self.make_pair()
+        base.accumulate(0, 1, 7.0)
+        before = base.snapshot()
+        base.merge_from(clone)
+        assert np.array_equal(base.snapshot(), before)
+
+    def test_merge_layout_mismatch(self):
+        a = ReductionObject()
+        a.alloc(2)
+        b = ReductionObject()
+        b.alloc(3)
+        with pytest.raises(ReductionObjectError):
+            a.merge_from(b)
+
+    def test_merge_is_commutative(self):
+        base, _ = self.make_pair()
+        x, y = base.clone_empty(), base.clone_empty()
+        x.accumulate(0, 0, 1.0)
+        x.accumulate(1, 0, 9.0)
+        y.accumulate(0, 0, 2.0)
+        y.accumulate(1, 0, 4.0)
+        xy = base.clone_empty()
+        xy.merge_from(x)
+        xy.merge_from(y)
+        yx = base.clone_empty()
+        yx.merge_from(y)
+        yx.merge_from(x)
+        assert np.array_equal(xy.snapshot(), yx.snapshot())
+
+    def test_groups_iterator(self):
+        ro = ReductionObject()
+        ro.alloc(2)
+        ro.alloc(1)
+        got = dict(ro.groups())
+        assert set(got) == {0, 1}
+        assert len(got[0]) == 2

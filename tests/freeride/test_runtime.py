@@ -1,0 +1,386 @@
+"""Unit and integration tests for the FreerideEngine."""
+
+import numpy as np
+import pytest
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.sharedmem import SharedMemTechnique
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.util.errors import FreerideError
+
+
+def sum_spec():
+    """Sum every element into group 0, elem 0; count into elem 1."""
+
+    def setup(ro: ReductionObject) -> None:
+        ro.alloc(2, "add")
+
+    def reduction(args: ReductionArgs) -> None:
+        for x in args.data:
+            args.ro.accumulate(0, 0, float(x))
+            args.ro.accumulate(0, 1, 1.0)
+
+    def finalize(ro: ReductionObject):
+        return ro.get(0, 0), ro.get(0, 1)
+
+    return ReductionSpec(
+        name="sum", setup_reduction_object=setup, reduction=reduction, finalize=finalize
+    )
+
+
+class TestBasicRun:
+    def test_single_thread_sum(self):
+        result = FreerideEngine(num_threads=1).run(sum_spec(), list(range(10)))
+        assert result.value == (45.0, 10.0)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    @pytest.mark.parametrize("technique", list(SharedMemTechnique))
+    def test_threads_and_techniques_agree(self, threads, technique):
+        data = np.arange(101, dtype=np.float64)
+        result = FreerideEngine(num_threads=threads, technique=technique).run(
+            sum_spec(), data
+        )
+        assert result.value == (float(np.sum(data)), 101.0)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_real_thread_executor(self, threads):
+        data = np.arange(1000, dtype=np.float64)
+        result = FreerideEngine(
+            num_threads=threads, executor="threads", chunk_size=37
+        ).run(sum_spec(), data)
+        assert result.value == (float(np.sum(data)), 1000.0)
+
+    def test_chunked_serial(self):
+        result = FreerideEngine(num_threads=3, chunk_size=4).run(
+            sum_spec(), list(range(10))
+        )
+        assert result.value == (45.0, 10.0)
+
+    def test_empty_data(self):
+        result = FreerideEngine(num_threads=4).run(sum_spec(), [])
+        assert result.value == (0.0, 0.0)
+
+    def test_no_finalize_returns_ro(self):
+        spec = sum_spec()
+        spec.finalize = None
+        result = FreerideEngine().run(spec, [1, 2])
+        assert isinstance(result.value, ReductionObject)
+        assert result.value.get(0, 0) == 3.0
+
+
+class TestStats:
+    def test_elements_per_thread_partition(self):
+        result = FreerideEngine(num_threads=4).run(sum_spec(), list(range(10)))
+        st = result.stats
+        assert sum(st.elements_per_thread) == 10
+        assert st.total_elements == 10
+        assert len(st.elements_per_thread) == 4
+
+    def test_default_splitter_one_split_per_thread(self):
+        result = FreerideEngine(num_threads=4).run(sum_spec(), list(range(100)))
+        assert result.stats.splits_per_thread == [1, 1, 1, 1]
+
+    def test_chunked_splits_counted(self):
+        result = FreerideEngine(num_threads=2, chunk_size=10).run(
+            sum_spec(), list(range(100))
+        )
+        assert sum(result.stats.splits_per_thread) == 10
+
+    def test_ro_updates_counted(self):
+        result = FreerideEngine(num_threads=2).run(sum_spec(), list(range(10)))
+        # 2 accumulates per element, plus merge bookkeeping counts updates
+        assert result.stats.ro_updates >= 20
+
+    def test_phase_seconds_recorded(self):
+        result = FreerideEngine().run(sum_spec(), [1])
+        assert "local" in result.stats.phase_seconds
+        assert "finalize" in result.stats.phase_seconds
+
+    def test_locking_stats_present(self):
+        result = FreerideEngine(
+            num_threads=2, technique="full_locking"
+        ).run(sum_spec(), list(range(10)))
+        assert result.stats.sharedmem.lock_acquisitions == 20
+
+
+class TestMultiNode:
+    @pytest.mark.parametrize("nodes", [2, 3, 4])
+    def test_cluster_sum_matches(self, nodes):
+        data = np.arange(200, dtype=np.float64)
+        result = FreerideEngine(num_threads=2, num_nodes=nodes).run(sum_spec(), data)
+        assert result.value == (float(np.sum(data)), 200.0)
+        assert result.stats.global_combination is not None
+        assert result.stats.global_combination.merges == nodes - 1
+
+    def test_large_ro_uses_parallel_merge_globally(self):
+        def setup(ro):
+            ro.alloc(20000, "add")
+
+        def reduction(args):
+            args.ro.accumulate(0, 0, float(len(args.data)))
+
+        spec = ReductionSpec(
+            name="big", setup_reduction_object=setup, reduction=reduction
+        )
+        result = FreerideEngine(num_threads=1, num_nodes=4).run(
+            spec, list(range(40))
+        )
+        assert result.stats.global_combination.strategy == "parallel_merge"
+        assert result.value.get(0, 0) == 40.0
+
+
+class TestCustomCombination:
+    def test_custom_combination_invoked(self):
+        calls = []
+
+        def setup(ro):
+            ro.alloc(1, "add")
+
+        def reduction(args):
+            for x in args.data:
+                args.ro.accumulate(0, 0, float(x))
+
+        def combination(copies):
+            calls.append(len(copies))
+            merged = copies[0].clone_empty()
+            for c in copies:
+                merged.merge_from(c)
+            return merged
+
+        spec = ReductionSpec(
+            name="custom",
+            setup_reduction_object=setup,
+            reduction=reduction,
+            combination=combination,
+        )
+        result = FreerideEngine(num_threads=3).run(spec, [1, 2, 3, 4])
+        assert calls == [3]
+        assert result.ro.get(0, 0) == 10.0
+
+    def test_custom_combination_bad_return(self):
+        def setup(ro):
+            ro.alloc(1, "add")
+
+        spec = ReductionSpec(
+            name="bad",
+            setup_reduction_object=setup,
+            reduction=lambda args: None,
+            combination=lambda copies: 42,
+        )
+        with pytest.raises(FreerideError):
+            FreerideEngine(num_threads=2).run(spec, [1, 2])
+
+
+class TestValidation:
+    def test_bad_executor(self):
+        with pytest.raises(ValueError):
+            FreerideEngine(executor="mpi")
+
+    def test_bad_threads(self):
+        with pytest.raises(ValueError):
+            FreerideEngine(num_threads=0)
+
+    def test_spec_requires_groups(self):
+        spec = ReductionSpec(
+            name="empty",
+            setup_reduction_object=lambda ro: None,
+            reduction=lambda args: None,
+        )
+        with pytest.raises(FreerideError):
+            FreerideEngine().run(spec, [1])
+
+    def test_spec_rejects_non_callables(self):
+        with pytest.raises(FreerideError):
+            ReductionSpec(name="x", setup_reduction_object=1, reduction=lambda a: None)
+        with pytest.raises(FreerideError):
+            ReductionSpec(name="x", setup_reduction_object=lambda ro: None, reduction=2)
+
+
+class TestExtras:
+    def test_extras_visible_to_reduction(self):
+        def setup(ro):
+            ro.alloc(1, "add")
+
+        def reduction(args):
+            scale = args.extras["scale"]
+            for x in args.data:
+                args.ro.accumulate(0, 0, float(x) * scale)
+
+        spec = ReductionSpec(
+            name="scaled",
+            setup_reduction_object=setup,
+            reduction=reduction,
+            extras={"scale": 10.0},
+        )
+        result = FreerideEngine(num_threads=2).run(spec, [1, 2, 3])
+        assert result.ro.get(0, 0) == 60.0
+
+
+class TestCustomSplitter:
+    def test_custom_splitter_used(self):
+        from repro.freeride.splitter import Split
+
+        calls = []
+
+        def my_splitter(data, req_units):
+            calls.append(req_units)
+            mid = len(data) // 2
+            return [
+                Split(0, 0, mid, data[:mid]),
+                Split(1, mid, len(data), data[mid:]),
+            ]
+
+        engine = FreerideEngine(num_threads=2, splitter=my_splitter)
+        result = engine.run(sum_spec(), list(range(10)))
+        assert result.value == (45.0, 10.0)
+        assert calls == [2]
+
+    def test_bad_partition_rejected(self):
+        from repro.freeride.splitter import Split
+        from repro.util.errors import SplitterError
+
+        def overlapping(data, req_units):
+            return [
+                Split(0, 0, 6, data[:6]),
+                Split(1, 4, 10, data[4:]),  # overlaps the first split
+            ]
+
+        engine = FreerideEngine(splitter=overlapping)
+        with pytest.raises(SplitterError):
+            engine.run(sum_spec(), list(range(10)))
+
+    def test_incomplete_partition_rejected(self):
+        from repro.freeride.splitter import Split
+        from repro.util.errors import SplitterError
+
+        def dropping(data, req_units):
+            return [Split(0, 0, 5, data[:5])]  # loses half the data
+
+        with pytest.raises(SplitterError):
+            FreerideEngine(splitter=dropping).run(sum_spec(), list(range(10)))
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(FreerideError):
+            FreerideEngine(splitter=42)
+
+    def test_non_split_return_rejected(self):
+        from repro.util.errors import SplitterError
+
+        with pytest.raises(SplitterError):
+            FreerideEngine(splitter=lambda d, r: ["nope"]).run(
+                sum_spec(), list(range(4))
+            )
+
+
+class TestErrorPropagation:
+    def failing_spec(self):
+        def setup(ro):
+            ro.alloc(1, "add")
+
+        def reduction(args):
+            raise RuntimeError("kernel exploded")
+
+        return ReductionSpec(
+            name="boom", setup_reduction_object=setup, reduction=reduction
+        )
+
+    def test_serial_executor_propagates(self):
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            FreerideEngine().run(self.failing_spec(), [1, 2, 3])
+
+    def test_threads_executor_propagates(self):
+        engine = FreerideEngine(num_threads=4, executor="threads", chunk_size=1)
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            engine.run(self.failing_spec(), list(range(16)))
+
+    def test_partial_failure_does_not_hang(self):
+        """One chunk fails mid-run; the pool must still shut down."""
+        hits = []
+
+        def setup(ro):
+            ro.alloc(1, "add")
+
+        def reduction(args):
+            hits.append(args.split.split_id)
+            if args.split.split_id == 3:
+                raise ValueError("chunk 3 bad")
+            args.ro.accumulate(0, 0, 1.0)
+
+        spec = ReductionSpec(
+            name="partial", setup_reduction_object=setup, reduction=reduction
+        )
+        engine = FreerideEngine(num_threads=2, executor="threads", chunk_size=2)
+        with pytest.raises(ValueError):
+            engine.run(spec, list(range(20)))
+        assert 3 in hits
+
+
+class TestRunIterative:
+    """The outer sequential loop helper (Figure 4's While())."""
+
+    def make_mean_shift_spec(self, center):
+        """Toy iterative app: move `center` toward the data mean."""
+
+        def setup(ro):
+            ro.alloc(2, "add")  # [sum, count]
+
+        def reduction(args):
+            for x in args.data:
+                args.ro.accumulate(0, 0, float(x))
+                args.ro.accumulate(0, 1, 1.0)
+
+        return ReductionSpec(
+            name="mean-shift", setup_reduction_object=setup, reduction=reduction
+        )
+
+    def test_converges_to_mean(self):
+        data = [2.0, 4.0, 6.0, 8.0]
+        engine = FreerideEngine(num_threads=2)
+
+        def update(result, state):
+            return result.ro.get(0, 0) / result.ro.get(0, 1)
+
+        final, results = engine.run_iterative(
+            self.make_mean_shift_spec, data, iterations=5, update=update, state=0.0
+        )
+        assert final == 5.0
+        assert len(results) == 5
+
+    def test_early_convergence_stops(self):
+        data = [1.0, 3.0]
+        engine = FreerideEngine()
+
+        def update(result, state):
+            return result.ro.get(0, 0) / result.ro.get(0, 1)
+
+        final, results = engine.run_iterative(
+            self.make_mean_shift_spec,
+            data,
+            iterations=10,
+            update=update,
+            state=0.0,
+            converged=lambda old, new: abs(old - new) < 1e-12,
+        )
+        assert final == 2.0
+        assert len(results) == 2  # first moves to the mean, second confirms
+
+    def test_state_passed_to_spec_builder(self):
+        seen = []
+
+        def make_spec(state):
+            seen.append(state)
+            return self.make_mean_shift_spec(state)
+
+        engine = FreerideEngine()
+        engine.run_iterative(
+            make_spec, [1.0], iterations=3,
+            update=lambda r, s: s + 1, state=0,
+        )
+        assert seen == [0, 1, 2]
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            FreerideEngine().run_iterative(
+                self.make_mean_shift_spec, [1.0], 0, lambda r, s: s, 0
+            )

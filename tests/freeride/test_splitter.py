@@ -1,0 +1,90 @@
+"""Unit tests for the FREERIDE splitters."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.freeride.splitter import SplitQueue, chunked_splitter, default_splitter
+from repro.util.errors import SplitterError
+
+
+class TestDefaultSplitter:
+    def test_balanced_partition(self):
+        data = list(range(10))
+        splits = default_splitter(data, 3)
+        assert [len(s) for s in splits] == [4, 3, 3]
+        assert [s.data for s in splits] == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_exact_partition_of_numpy(self):
+        data = np.arange(100)
+        splits = default_splitter(data, 8)
+        recon = np.concatenate([s.data for s in splits])
+        assert np.array_equal(recon, data)
+
+    def test_views_not_copies(self):
+        data = np.arange(10)
+        splits = default_splitter(data, 2)
+        assert splits[0].data.base is data
+
+    def test_more_units_than_data(self):
+        splits = default_splitter([1, 2], 4)
+        assert [len(s) for s in splits] == [1, 1, 0, 0]
+
+    def test_start_end_consistent(self):
+        splits = default_splitter(list(range(17)), 5)
+        for s in splits:
+            assert s.end - s.start == len(s.data)
+
+    def test_invalid_req_units(self):
+        with pytest.raises(ValueError):
+            default_splitter([1], 0)
+
+    def test_unsplittable_data(self):
+        with pytest.raises(SplitterError):
+            default_splitter(42, 2)
+
+
+class TestChunkedSplitter:
+    def test_fixed_chunks(self):
+        splits = chunked_splitter(list(range(10)), 4)
+        assert [len(s) for s in splits] == [4, 4, 2]
+        assert splits[2].data == [8, 9]
+
+    def test_single_chunk(self):
+        splits = chunked_splitter([1, 2], 100)
+        assert len(splits) == 1 and len(splits[0]) == 2
+
+    def test_empty_data(self):
+        splits = chunked_splitter([], 4)
+        assert len(splits) == 1 and len(splits[0]) == 0
+
+    def test_split_ids_sequential(self):
+        splits = chunked_splitter(list(range(9)), 2)
+        assert [s.split_id for s in splits] == [0, 1, 2, 3, 4]
+
+
+class TestSplitQueue:
+    def test_drain_order(self):
+        splits = chunked_splitter(list(range(6)), 2)
+        q = SplitQueue(splits)
+        assert [s.split_id for s in q.drain()] == [0, 1, 2]
+        assert q.take() is None
+
+    def test_concurrent_take_no_duplicates(self):
+        splits = chunked_splitter(list(range(1000)), 1)
+        q = SplitQueue(splits)
+        taken: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            while (s := q.take()) is not None:
+                with lock:
+                    taken.append(s.split_id)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(taken) == list(range(1000))

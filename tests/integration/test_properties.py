@@ -1,0 +1,197 @@
+"""Property-based integration tests over the whole pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import KmeansRunner, kmeans_numpy_reference
+from repro.compiler import compile_reduction
+from repro.freeride.combination import all_to_one_combine, parallel_merge_combine
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.sharedmem import SharedMemTechnique
+
+SUM_SOURCE = """
+class sumReduction : ReduceScanOp {
+  def accumulate(x: real) { roAdd(0, 0, x); roMin(1, 0, x); roMax(2, 0, x); }
+}
+"""
+
+LAYOUT = [(1, "add"), (1, "min"), (1, "max")]
+
+
+@st.composite
+def float_arrays(draw):
+    n = draw(st.integers(min_value=1, max_value=200))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.array(vals, dtype=np.float64)
+
+
+class TestReductionInvariance:
+    """FREERIDE's contract: results are independent of split/thread/technique."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=float_arrays(), threads=st.integers(1, 8), level=st.integers(0, 2))
+    def test_result_independent_of_threads_and_level(self, data, threads, level):
+        comp = compile_reduction(SUM_SOURCE, {}, opt_level=level)
+        bound = comp.bind(data)
+        spec, idx = bound.make_spec(LAYOUT)
+        result = FreerideEngine(num_threads=threads).run(spec, idx)
+        assert result.ro.get(0, 0) == pytest.approx(float(data.sum()), rel=1e-9)
+        assert result.ro.get(1, 0) == float(data.min())
+        assert result.ro.get(2, 0) == float(data.max())
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=float_arrays(),
+        chunk=st.integers(1, 64),
+        technique=st.sampled_from(list(SharedMemTechnique)),
+    )
+    def test_result_independent_of_chunking_and_technique(
+        self, data, chunk, technique
+    ):
+        comp = compile_reduction(SUM_SOURCE, {}, opt_level=2)
+        bound = comp.bind(data)
+        spec, idx = bound.make_spec(LAYOUT)
+        engine = FreerideEngine(num_threads=3, technique=technique, chunk_size=chunk)
+        result = engine.run(spec, idx)
+        assert result.ro.get(0, 0) == pytest.approx(float(data.sum()), rel=1e-9)
+
+
+class TestCombinationProperties:
+    @st.composite
+    @staticmethod
+    def ro_copies(draw):
+        n_copies = draw(st.integers(min_value=1, max_value=9))
+        elems = draw(st.integers(min_value=1, max_value=20))
+        base = ReductionObject()
+        base.alloc(elems, "add")
+        base.alloc(1, "min")
+        base.freeze_layout()
+        copies = []
+        for ci in range(n_copies):
+            c = base.clone_empty()
+            vals = draw(
+                st.lists(
+                    st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=elems,
+                    max_size=elems,
+                )
+            )
+            c.accumulate_group(0, np.array(vals))
+            c.accumulate(1, 0, float(draw(st.integers(-50, 50))))
+            copies.append(c)
+        return copies
+
+    @settings(max_examples=30, deadline=None)
+    @given(copies=ro_copies())
+    def test_all_to_one_equals_parallel_merge(self, copies):
+        import copy as copymod
+
+        a = [copymod.deepcopy(c) for c in copies]
+        b = [copymod.deepcopy(c) for c in copies]
+        merged_a, _ = all_to_one_combine(a)
+        merged_b, _ = parallel_merge_combine(b)
+        assert np.allclose(merged_a.snapshot(), merged_b.snapshot())
+
+
+class TestKmeansProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 1000),
+        k=st.integers(2, 6),
+        threads=st.integers(1, 4),
+    )
+    def test_random_workloads_match_reference(self, seed, k, threads):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-1, 1, (80, 2))
+        cents = points[rng.choice(80, k, replace=False)].copy()
+        expected, _ = kmeans_numpy_reference(points, cents, 2)
+        result = KmeansRunner(k, 2, version="opt-2", num_threads=threads).run(
+            points, cents, 2
+        )
+        assert np.allclose(result.centroids, expected)
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_counts_always_partition_points(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(-1, 1, (60, 3))
+        cents = points[:4].copy()
+        result = KmeansRunner(4, 3, version="manual").run(points, cents, 1)
+        assert result.counts.sum() == 60
+        assert np.all(result.counts >= 0)
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        costs=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=60),
+        threads=st.integers(1, 16),
+    )
+    def test_makespan_bounds(self, costs, threads):
+        """Greedy dynamic scheduling respects the classic bounds:
+        max(avg_load, max_chunk) <= makespan <= avg_load + max_chunk."""
+        from repro.machine.costmodel import CostModel
+        from repro.machine.simmachine import ParallelPhase, SimMachine
+
+        machine = SimMachine(CostModel(clock_hz=1.0), threads)
+        report = machine.run([ParallelPhase("w", tuple(costs))])
+        makespan = report.total_seconds
+        avg = sum(costs) / threads
+        biggest = max(costs)
+        assert makespan >= max(avg, biggest) - 1e-6
+        assert makespan <= avg + biggest + 1e-6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        costs=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40)
+    )
+    def test_more_threads_never_slower(self, costs):
+        from repro.machine.costmodel import CostModel
+        from repro.machine.simmachine import ParallelPhase, SimMachine
+
+        times = [
+            SimMachine(CostModel(clock_hz=1.0), p)
+            .run([ParallelPhase("w", tuple(costs))])
+            .total_seconds
+            for p in (1, 2, 4, 8)
+        ]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+
+class TestMergeAssociativity:
+    @settings(max_examples=25, deadline=None)
+    @given(copies=TestCombinationProperties.ro_copies())
+    def test_merge_associative(self, copies):
+        """(a + b) + c == a + (b + c) for reduction-object merges."""
+        import copy as copymod
+
+        if len(copies) < 3:
+            return
+        a1, b1, c1 = (copymod.deepcopy(c) for c in copies[:3])
+        a2, b2, c2 = (copymod.deepcopy(c) for c in copies[:3])
+        # left association
+        a1.merge_from(b1)
+        a1.merge_from(c1)
+        # right association
+        b2.merge_from(c2)
+        a2.merge_from(b2)
+        assert np.allclose(a1.snapshot(), a2.snapshot())
+
+    @settings(max_examples=25, deadline=None)
+    @given(copies=TestCombinationProperties.ro_copies())
+    def test_identity_is_neutral(self, copies):
+        import copy as copymod
+
+        a = copymod.deepcopy(copies[0])
+        before = a.snapshot()
+        a.merge_from(a.clone_empty())
+        assert np.allclose(a.snapshot(), before)

@@ -1,0 +1,52 @@
+"""Unit tests for operation counters."""
+
+import pytest
+
+from repro.machine.counters import OpCounters
+
+
+class TestOpCounters:
+    def test_add_accumulates_all_fields(self):
+        a = OpCounters(flops=1, linear_reads=2, elements_processed=10)
+        b = OpCounters(flops=3, nested_reads=4, elements_processed=5)
+        a.add(b)
+        assert a.flops == 4
+        assert a.linear_reads == 2
+        assert a.nested_reads == 4
+        assert a.elements_processed == 15
+
+    def test_add_returns_self(self):
+        a = OpCounters()
+        assert a.add(OpCounters(flops=1)) is a
+
+    def test_scaled(self):
+        a = OpCounters(flops=2, index_calls=4)
+        b = a.scaled(2.5)
+        assert b.flops == 5.0 and b.index_calls == 10.0
+        assert a.flops == 2, "scaled must not mutate"
+
+    def test_per_element(self):
+        a = OpCounters(flops=100, elements_processed=50)
+        pe = a.per_element()
+        assert pe.flops == 2.0
+        assert pe.elements_processed == 1.0
+
+    def test_per_element_requires_elements(self):
+        with pytest.raises(ValueError):
+            OpCounters(flops=1).per_element()
+
+    def test_total_ops_excludes_elements(self):
+        a = OpCounters(flops=3, ro_updates=2, elements_processed=100)
+        assert a.total_ops() == 5
+
+    def test_as_dict_roundtrip(self):
+        a = OpCounters(flops=1, bytes_linearized=8)
+        d = a.as_dict()
+        assert d["flops"] == 1 and d["bytes_linearized"] == 8
+        assert OpCounters(**d) == a
+
+    def test_copy_is_independent(self):
+        a = OpCounters(flops=1)
+        b = a.copy()
+        b.flops = 9
+        assert a.flops == 1

@@ -1,0 +1,70 @@
+"""Tests for the Figure 4 structural comparison."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.compare import GeneralizedReduction, compare_structures
+from repro.util.errors import ReproError
+
+
+def histogram_workload(num_bins=4, lo=0.0, hi=1.0):
+    width = (hi - lo) / num_bins
+
+    def process(x):
+        b = min(int((x - lo) / width), num_bins - 1)
+        return b, np.array([1.0, float(x)])  # count and sum per bin
+
+    return GeneralizedReduction(
+        name="histogram", process=process, num_groups=num_bins, num_elems=2
+    )
+
+
+class TestCompareStructures:
+    def test_results_match_and_pairs_counted(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 1, 500)
+        cmp = compare_structures(histogram_workload(), data, num_threads=2)
+        assert cmp.results_match
+        assert cmp.mapreduce_pairs == 500  # one stored pair per element
+        assert cmp.freeride_intermediate_pairs == 0
+        assert cmp.mapreduce_sort_comparisons > 0
+        assert cmp.mapreduce_intermediate_bytes > 0
+
+    def test_outputs_equal_numerically(self):
+        rng = np.random.default_rng(4)
+        data = rng.uniform(0, 1, 200)
+        cmp = compare_structures(histogram_workload(), data)
+        for g, vals in cmp.freeride_output.items():
+            if g in cmp.mapreduce_output:
+                assert np.allclose(vals, cmp.mapreduce_output[g])
+
+    def test_empty_bins_allowed(self):
+        # All data lands in bin 0; other bins stay at identity.
+        data = np.zeros(50)
+        cmp = compare_structures(histogram_workload(), data)
+        assert cmp.results_match
+        assert np.allclose(cmp.freeride_output[3], [0.0, 0.0])
+
+    def test_combiner_reduces_intermediate_pairs(self):
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0, 1, 400)
+        plain = compare_structures(histogram_workload(), data, num_threads=2)
+        combined = compare_structures(
+            histogram_workload(), data, num_threads=2, use_combiner=True
+        )
+        assert plain.results_match and combined.results_match
+        assert combined.mapreduce_sort_comparisons < plain.mapreduce_sort_comparisons
+
+    def test_order_dependent_workload_detected(self):
+        state = {"n": 0}
+
+        def bad_process(x):
+            state["n"] += 1  # depends on processing order across threads
+            return state["n"] % 2, np.array([float(x)])
+
+        workload = GeneralizedReduction(
+            name="bad", process=bad_process, num_groups=2, num_elems=1
+        )
+        data = np.arange(101, dtype=float)
+        with pytest.raises(ReproError):
+            compare_structures(workload, data, num_threads=2)

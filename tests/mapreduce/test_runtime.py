@@ -1,0 +1,106 @@
+"""Unit tests for the Phoenix-style Map-Reduce engine."""
+
+import numpy as np
+import pytest
+
+from repro.mapreduce.runtime import MapReduceEngine
+from repro.util.errors import ReproError
+
+
+def word_count_map(word, emit):
+    emit(word, 1)
+
+
+def word_count_reduce(_key, values):
+    return sum(values)
+
+
+WORDS = ["the", "cat", "sat", "on", "the", "mat", "the", "end"]
+
+
+class TestWordCount:
+    def test_serial(self):
+        result = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS)
+        assert result.output == {
+            "the": 3,
+            "cat": 1,
+            "sat": 1,
+            "on": 1,
+            "mat": 1,
+            "end": 1,
+        }
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_threads_agree(self, threads):
+        serial = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS)
+        parallel = MapReduceEngine(
+            num_threads=threads, executor="threads", chunk_size=2
+        ).run(word_count_map, word_count_reduce, WORDS)
+        assert serial.output == parallel.output
+
+    def test_empty_input(self):
+        result = MapReduceEngine().run(word_count_map, word_count_reduce, [])
+        assert result.output == {}
+        assert result.stats.pairs_emitted == 0
+
+
+class TestStats:
+    def test_pair_accounting(self):
+        result = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS)
+        st = result.stats
+        assert st.total_elements == len(WORDS)
+        assert st.pairs_emitted == len(WORDS)  # one pair per word
+        assert st.distinct_keys == 6
+        assert st.intermediate_bytes > 0
+
+    def test_sort_comparisons_grow_with_input(self):
+        small = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS)
+        big = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS * 50)
+        assert big.stats.sort_comparisons > small.stats.sort_comparisons
+
+    def test_combiner_shrinks_pairs(self):
+        data = WORDS * 10
+        plain = MapReduceEngine(num_threads=2).run(
+            word_count_map, word_count_reduce, data
+        )
+        combined = MapReduceEngine(num_threads=2, use_combiner=True).run(
+            word_count_map, word_count_reduce, data
+        )
+        assert plain.output == combined.output
+        assert combined.stats.pairs_after_combine < plain.stats.pairs_after_combine
+        assert combined.stats.pairs_emitted == plain.stats.pairs_emitted
+
+    def test_phase_seconds(self):
+        result = MapReduceEngine().run(word_count_map, word_count_reduce, WORDS)
+        assert set(result.stats.phase_seconds) >= {"map", "sort_group", "reduce"}
+
+
+class TestMultiEmit:
+    def test_map_can_emit_many_pairs(self):
+        def bigrams(word, emit):
+            for a, b in zip(word, word[1:]):
+                emit(a + b, 1)
+
+        result = MapReduceEngine().run(bigrams, word_count_reduce, ["abab"])
+        assert result.output == {"ab": 2, "ba": 1}
+        assert result.stats.pairs_emitted == 3
+
+    def test_map_can_emit_nothing(self):
+        def evens_only(x, emit):
+            if x % 2 == 0:
+                emit("even", x)
+
+        result = MapReduceEngine().run(
+            evens_only, lambda k, vs: sum(vs), list(range(10))
+        )
+        assert result.output == {"even": 20}
+
+
+class TestValidation:
+    def test_non_callable_rejected(self):
+        with pytest.raises(ReproError):
+            MapReduceEngine().run(1, word_count_reduce, WORDS)
+
+    def test_bad_executor(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(executor="gpu")

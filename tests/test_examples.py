@@ -1,0 +1,54 @@
+"""Every example script must run cleanly end to end.
+
+Examples are the public face of the library; this keeps them from rotting.
+``reproduce_figures.py`` is exercised through the benchmarks instead (it
+regenerates all five figures and takes the longest).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "nested_records.py",
+    "compare_runtimes.py",
+    "userdefined_reductions.py",
+    "pca_analysis.py",
+    "kmeans_clustering.py",
+    "data_mining_suite.py",
+    "cluster_scaling.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs_cleanly(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{script} produced no output"
+
+
+def test_reproduce_figures_accepts_subset():
+    """The figure regenerator runs for a single cheap figure."""
+    path = EXAMPLES_DIR / "reproduce_figures.py"
+    proc = subprocess.run(
+        [sys.executable, str(path), "fig12"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "FIG12" in proc.stdout

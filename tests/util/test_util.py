@@ -1,0 +1,138 @@
+"""Tests for the shared utility modules."""
+
+import logging
+import time
+
+import pytest
+
+from repro.util.errors import (
+    ChapelError,
+    ChapelSyntaxError,
+    CompilerError,
+    FreerideError,
+    LinearizationError,
+    MachineError,
+    MappingError,
+    ReproError,
+)
+from repro.util.logging import get_logger
+from repro.util.timing import PhaseTimer, Stopwatch, timed
+from repro.util.validation import (
+    check_in_range,
+    check_nonnegative_int,
+    check_one_of,
+    check_positive_int,
+    check_sequence_nonempty,
+    require,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ChapelError, ReproError)
+        assert issubclass(FreerideError, ReproError)
+        assert issubclass(LinearizationError, CompilerError)
+        assert issubclass(MappingError, CompilerError)
+        assert issubclass(MachineError, ReproError)
+
+    def test_single_base_catch(self):
+        for exc in (ChapelError, FreerideError, CompilerError, MachineError):
+            with pytest.raises(ReproError):
+                raise exc("x")
+
+    def test_syntax_error_carries_location(self):
+        err = ChapelSyntaxError("bad token", line=3, column=7)
+        assert err.line == 3 and err.column == 7
+        assert "line 3" in str(err)
+
+    def test_syntax_error_without_location(self):
+        assert str(ChapelSyntaxError("oops")) == "oops"
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValueError):
+            require(False, "nope")
+        with pytest.raises(MachineError):
+            require(False, "nope", MachineError)
+
+    def test_positive_int(self):
+        assert check_positive_int(3, "n") == 3
+        for bad in (0, -1, 1.5, True):
+            with pytest.raises(ValueError):
+                check_positive_int(bad, "n")
+
+    def test_nonnegative_int(self):
+        assert check_nonnegative_int(0, "n") == 0
+        with pytest.raises(ValueError):
+            check_nonnegative_int(-1, "n")
+        with pytest.raises(ValueError):
+            check_nonnegative_int(False, "n")
+
+    def test_in_range(self):
+        assert check_in_range(0.5, 0, 1, "x") == 0.5
+        with pytest.raises(ValueError):
+            check_in_range(1.5, 0, 1, "x")
+
+    def test_one_of(self):
+        assert check_one_of("a", ("a", "b"), "x") == "a"
+        with pytest.raises(ValueError):
+            check_one_of("c", ("a", "b"), "x")
+
+    def test_sequence_nonempty(self):
+        assert check_sequence_nonempty([1], "xs") == [1]
+        with pytest.raises(ValueError):
+            check_sequence_nonempty([], "xs")
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        assert first > 0 and sw.elapsed == first
+        sw.start()
+        sw.stop()
+        assert sw.elapsed > first
+
+    def test_stopwatch_misuse(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stopwatch_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0.0 and not sw.running
+
+    def test_phase_timer_accumulates_per_phase(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        with timer.phase("a"):
+            pass
+        assert set(timer.phases) == {"a", "b"}
+        assert timer.total == pytest.approx(sum(timer.phases.values()))
+
+    def test_timed_context(self):
+        with timed() as sw:
+            time.sleep(0.001)
+        assert sw.elapsed > 0 and not sw.running
+
+
+class TestLogging:
+    def test_namespaced(self):
+        assert get_logger().name == "repro"
+        assert get_logger("freeride").name == "repro.freeride"
+
+    def test_is_standard_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)
