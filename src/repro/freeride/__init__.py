@@ -9,6 +9,15 @@ combination; and all-to-one / parallel-merge global combination.
 """
 
 from repro.freeride.api import FreerideContext
+from repro.freeride.faults import (
+    FAIL_FAST,
+    SKIP_AND_REPORT,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    SplitFailureRecord,
+    SplitTimeout,
+)
 from repro.freeride.combination import (
     PARALLEL_MERGE_THRESHOLD_BYTES,
     CombinationStats,
@@ -23,6 +32,7 @@ from repro.freeride.sharedmem import (
     LockingAccessor,
     ReplicatedAccessor,
     ROAccessor,
+    ScratchAccessor,
     SharedMemManager,
     SharedMemStats,
     SharedMemTechnique,
@@ -49,7 +59,15 @@ __all__ = [
     "ROAccessor",
     "ReplicatedAccessor",
     "LockingAccessor",
+    "ScratchAccessor",
     "ELEMS_PER_CACHE_LINE",
+    "FaultPolicy",
+    "FaultInjector",
+    "InjectedFault",
+    "SplitTimeout",
+    "SplitFailureRecord",
+    "FAIL_FAST",
+    "SKIP_AND_REPORT",
     "CombinationStats",
     "combine",
     "all_to_one_combine",

@@ -30,6 +30,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Protocol
 
+from repro.freeride.faults import FaultInjector, FaultPolicy
 from repro.freeride.reduction_object import AccumulateOp, ReductionObject
 from repro.freeride.runtime import FreerideEngine, ReductionResult
 from repro.freeride.sharedmem import SharedMemTechnique
@@ -80,12 +81,16 @@ class FreerideContext:
         executor: str = "serial",
         chunk_size: int | None = None,
         extras: dict[str, Any] | None = None,
+        fault_policy: "FaultPolicy | None" = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self._engine_kwargs: dict[str, Any] = dict(
             num_threads=num_threads,
             technique=technique,
             executor=executor,
             chunk_size=chunk_size,
+            fault_policy=fault_policy,
+            fault_injector=fault_injector,
         )
         self._engine = FreerideEngine(**self._engine_kwargs)
         self._allocs: list[tuple[int, AccumulateOp]] = []

@@ -44,13 +44,24 @@ class CombinationStats:
 
 def all_to_one_combine(
     ros: Sequence[ReductionObject],
+    target: ReductionObject | None = None,
 ) -> tuple[ReductionObject, CombinationStats]:
-    """Sequentially fold every copy into the first one."""
+    """Sequentially fold every copy into ``target``.
+
+    With no ``target`` the result is a fresh copy seeded from ``ros[0]``
+    and the remaining copies are folded in (``len(ros) - 1`` merges).  With
+    a caller-provided ``target`` every copy is folded into it (``len(ros)``
+    merges).  The inputs are never mutated either way.
+    """
     if not ros:
         raise FreerideError("nothing to combine")
     stats = CombinationStats(strategy="all_to_one")
-    target = ros[0]
-    for other in ros[1:]:
+    if target is None:
+        target = ros[0].copy()
+        rest = ros[1:]
+    else:
+        rest = ros
+    for other in rest:
         target.merge_from(other)
         stats.merges += 1
         stats.elements_merged += target.size
@@ -60,43 +71,66 @@ def all_to_one_combine(
 
 def parallel_merge_combine(
     ros: Sequence[ReductionObject],
+    target: ReductionObject | None = None,
 ) -> tuple[ReductionObject, CombinationStats]:
     """Tree merge: pairs merge concurrently, ceil(log2 p) rounds.
 
     The merge work itself is identical to all-to-one; only the critical path
     shrinks.  We perform the merges in tree order so the stats reflect the
-    parallel schedule deterministically.
+    parallel schedule deterministically.  The inputs are never mutated: the
+    left side of each first-touch merge is copied before merging, and a
+    caller-provided ``target`` absorbs the tree's result in one final merge.
     """
     if not ros:
         raise FreerideError("nothing to combine")
     stats = CombinationStats(strategy="parallel_merge")
     live = list(ros)
+    # owned[i] marks tree-private intermediates we are free to mutate;
+    # original inputs are copied the first time they would be a merge target.
+    owned = [False] * len(live)
     while len(live) > 1:
         nxt: list[ReductionObject] = []
+        nxt_owned: list[bool] = []
         for i in range(0, len(live) - 1, 2):
-            live[i].merge_from(live[i + 1])
+            left = live[i] if owned[i] else live[i].copy()
+            left.merge_from(live[i + 1])
             stats.merges += 1
-            stats.elements_merged += live[i].size
-            nxt.append(live[i])
+            stats.elements_merged += left.size
+            nxt.append(left)
+            nxt_owned.append(True)
         if len(live) % 2 == 1:
             nxt.append(live[-1])
-        live = nxt
+            nxt_owned.append(owned[-1])
+        live, owned = nxt, nxt_owned
         stats.rounds += 1
-    return live[0], stats
+    result = live[0]
+    if target is not None:
+        target.merge_from(result)
+        stats.merges += 1
+        stats.elements_merged += target.size
+        stats.rounds += 1
+        return target, stats
+    return result, stats
 
 
 def combine(
     ros: Sequence[ReductionObject],
     threshold_bytes: int = PARALLEL_MERGE_THRESHOLD_BYTES,
+    target: ReductionObject | None = None,
 ) -> tuple[ReductionObject, CombinationStats]:
-    """Pick the strategy by reduction-object size, like the middleware does."""
+    """Pick the strategy by reduction-object size, like the middleware does.
+
+    ``target``, when given, receives the combined result (the local
+    combination merges per-thread copies straight into the run's base
+    reduction object this way); the input copies are left untouched.
+    """
     if not ros:
         raise FreerideError("nothing to combine")
-    if len(ros) == 1:
+    if len(ros) == 1 and target is None:
         return ros[0], CombinationStats(strategy="trivial")
     if ros[0].nbytes >= threshold_bytes:
-        return parallel_merge_combine(ros)
-    return all_to_one_combine(ros)
+        return parallel_merge_combine(ros, target)
+    return all_to_one_combine(ros, target)
 
 
 def expected_rounds(num_copies: int, strategy: str) -> int:

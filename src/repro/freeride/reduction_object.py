@@ -206,6 +206,17 @@ class ReductionObject:
 
     # -- replication and merging ----------------------------------------------
 
+    def copy(self) -> "ReductionObject":
+        """A deep copy: same layout, same element values, same update count.
+
+        The combination phase merges into a copy so its inputs (per-thread
+        or per-node reduction objects) are never mutated.
+        """
+        clone = self.clone_empty()
+        clone._buffer[:] = self._buffer
+        clone.update_count = self.update_count
+        return clone
+
     def clone_empty(self) -> "ReductionObject":
         """A fresh copy with identical layout and identity-valued elements.
 
@@ -236,6 +247,24 @@ class ReductionObject:
             ufunc = _MERGE_UFUNC[meta.op]
             self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
         self.update_count += other.update_count
+
+    def merge_group_from(self, group: int, other: "ReductionObject") -> None:
+        """Merge a single group's elements from another same-layout copy.
+
+        Unlike :meth:`merge_from` this touches one group only and does *not*
+        fold in ``other.update_count`` — the caller accounts for updates
+        once per whole-object commit.  The fault-tolerant locking commit
+        uses this to apply a scratch object group-by-group while holding
+        exactly that group's covering locks.
+        """
+        if not self.same_layout(other):
+            raise ReductionObjectError(
+                "cannot merge reduction objects with different layouts"
+            )
+        meta = self._meta(group)
+        sl = slice(meta.offset, meta.offset + meta.num_elems)
+        ufunc = _MERGE_UFUNC[meta.op]
+        self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
 
     def snapshot(self) -> np.ndarray:
         """Copy of the whole dense buffer (for tests and checkpoints)."""

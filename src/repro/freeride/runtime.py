@@ -24,10 +24,20 @@ finalize.
 Two executors are provided: ``"serial"`` (deterministic round-robin split
 assignment — the mode the simulated machine models) and ``"threads"``
 (a real thread pool pulling splits from a shared queue).
+
+When a :class:`~repro.freeride.faults.FaultPolicy` (or injector) is
+configured, split processing becomes fault tolerant: every attempt runs
+against a fresh per-split *scratch* reduction object that is committed to
+the thread's accessor only on success — atomically merged into the private
+copy (full replication) or applied group-by-group under the lock table
+(locking techniques) — so a failed or retried attempt never leaves partial
+accumulations behind and no element is ever double counted.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -48,9 +58,18 @@ from repro.freeride.combination import (
     CombinationStats,
     combine,
 )
+from repro.freeride.faults import (
+    FAIL_FAST,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+    SplitFailureRecord,
+    SplitTimeout,
+)
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.sharedmem import (
     ROAccessor,
+    ScratchAccessor,
     SharedMemManager,
     SharedMemStats,
     SharedMemTechnique,
@@ -63,7 +82,7 @@ from repro.freeride.splitter import (
     chunked_splitter,
     default_splitter,
 )
-from repro.util.errors import FreerideError, SplitterError
+from repro.util.errors import FaultToleranceError, FreerideError, SplitterError
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_one_of, check_positive_int
 
@@ -87,6 +106,21 @@ class RunStats:
     local_combination: CombinationStats = field(default_factory=CombinationStats)
     global_combination: CombinationStats | None = None
     phase_seconds: dict[str, float] = field(default_factory=dict)
+    # -- fault-tolerance accounting (all zero without a fault policy) ----------
+    #: retry attempts beyond each split's first (includes straggler re-runs)
+    retries: int = 0
+    #: splits abandoned after exhausting retries (``skip_and_report`` only)
+    failed_splits: int = 0
+    #: failures raised by a configured :class:`FaultInjector`
+    injected_faults: int = 0
+    #: splits pushed back to the work queue for another worker (threads)
+    requeues: int = 0
+    #: attempts discarded for exceeding the policy's ``split_timeout``
+    timeouts: int = 0
+    #: per-split attempt counts (max across nodes when split ids repeat)
+    split_attempts: dict[int, int] = field(default_factory=dict)
+    #: one record per abandoned split
+    failures: list[SplitFailureRecord] = field(default_factory=list)
 
 
 @dataclass
@@ -117,6 +151,14 @@ class FreerideEngine:
         full local pipeline on its block of the data).
     parallel_merge_threshold:
         reduction objects at least this many bytes use the parallel merge.
+    fault_policy:
+        enables fault-tolerant split execution (retries with backoff, soft
+        per-split timeouts, straggler re-dispatch, fail-fast or
+        skip-and-report degradation).  ``None`` (the default) keeps the
+        zero-overhead direct path.
+    fault_injector:
+        deterministic seeded failure/delay injection for testing recovery;
+        implies a default :class:`FaultPolicy` if none is given.
     """
 
     def __init__(
@@ -128,6 +170,8 @@ class FreerideEngine:
         num_nodes: int = 1,
         parallel_merge_threshold: int = PARALLEL_MERGE_THRESHOLD_BYTES,
         splitter: "Callable[[Any, int], list[Split]] | None" = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.num_threads = check_positive_int(num_threads, "num_threads")
         self.technique = SharedMemTechnique.parse(technique)
@@ -141,6 +185,12 @@ class FreerideEngine:
             raise FreerideError("splitter must be callable (splitter_t)")
         #: custom ``splitter_t``; None selects the middleware default
         self.splitter = splitter
+        if fault_policy is not None and not isinstance(fault_policy, FaultPolicy):
+            raise FaultToleranceError("fault_policy must be a FaultPolicy or None")
+        if fault_injector is not None and not isinstance(fault_injector, FaultInjector):
+            raise FaultToleranceError("fault_injector must be a FaultInjector or None")
+        self.fault_policy = fault_policy
+        self.fault_injector = fault_injector
 
     # -- public entry ---------------------------------------------------------
 
@@ -153,6 +203,7 @@ class FreerideEngine:
             executor=self.executor,
             technique=self.technique,
         )
+        stats.sharedmem.technique = self.technique
 
         if self.num_nodes == 1:
             with timer.phase("local"):
@@ -167,7 +218,9 @@ class FreerideEngine:
                         spec, node_block.data, stats
                     )
                     stats.sharedmem.add(sm_stats)
+                    stats.local_combination.strategy = lc_stats.strategy
                     stats.local_combination.merges += lc_stats.merges
+                    stats.local_combination.elements_merged += lc_stats.elements_merged
                     stats.local_combination.rounds = max(
                         stats.local_combination.rounds, lc_stats.rounds
                     )
@@ -237,6 +290,47 @@ class FreerideEngine:
         elems = [0] * self.num_threads
         nsplits = [0] * self.num_threads
 
+        fault_tolerant = (
+            self.fault_policy is not None or self.fault_injector is not None
+        )
+        if not fault_tolerant:
+            self._execute_direct(spec, splits, accessors, elems, nsplits)
+        else:
+            self._execute_fault_tolerant(
+                spec, splits, accessors, ro, stats, elems, nsplits
+            )
+
+        stats.total_elements += sum(elems)
+        if not stats.elements_per_thread:
+            stats.elements_per_thread = elems
+            stats.splits_per_thread = nsplits
+        else:
+            stats.elements_per_thread = [
+                a + b for a, b in zip(stats.elements_per_thread, elems)
+            ]
+            stats.splits_per_thread = [
+                a + b for a, b in zip(stats.splits_per_thread, nsplits)
+            ]
+
+        # Local combination — mgr.finish is the single accounting path, so
+        # num_locks / ro_memory_bytes / merge_elements are always reported.
+        return mgr.finish(
+            ro,
+            accessors,
+            combination=spec.combination,
+            parallel_merge_threshold=self.parallel_merge_threshold,
+        )
+
+    # -- direct (zero-overhead) execution --------------------------------------
+
+    def _execute_direct(
+        self,
+        spec: ReductionSpec,
+        splits: list[Split],
+        accessors: list[ROAccessor],
+        elems: list[int],
+        nsplits: list[int],
+    ) -> None:
         def process(thread_id: int, split: Split) -> None:
             args = ReductionArgs(
                 data=split.data,
@@ -268,38 +362,240 @@ class FreerideEngine:
                 for f in futures:
                     f.result()  # propagate worker exceptions
 
-        stats.total_elements += sum(elems)
-        if not stats.elements_per_thread:
-            stats.elements_per_thread = elems
-            stats.splits_per_thread = nsplits
-        else:
-            stats.elements_per_thread = [
-                a + b for a, b in zip(stats.elements_per_thread, elems)
-            ]
-            stats.splits_per_thread = [
-                a + b for a, b in zip(stats.splits_per_thread, nsplits)
-            ]
+    # -- fault-tolerant execution ------------------------------------------------
 
-        # Local combination.
-        sm_stats = SharedMemStats(technique=self.technique)
-        for acc in accessors:
-            sm_stats.add(acc.stats)
-        if self.technique is SharedMemTechnique.FULL_REPLICATION:
-            if spec.combination is not None:
-                combined = spec.combination([acc.ro for acc in accessors])  # type: ignore[attr-defined]
-                if not isinstance(combined, ReductionObject):
-                    raise FreerideError(
-                        "custom combination must return a ReductionObject"
-                    )
-                ro.merge_from(combined)
-                lc_stats = CombinationStats(strategy="custom", merges=len(accessors))
-            else:
-                combined, lc_stats = combine(
-                    [acc.ro for acc in accessors],  # type: ignore[attr-defined]
-                    self.parallel_merge_threshold,
+    def _execute_fault_tolerant(
+        self,
+        spec: ReductionSpec,
+        splits: list[Split],
+        accessors: list[ROAccessor],
+        base_ro: ReductionObject,
+        stats: RunStats,
+        elems: list[int],
+        nsplits: list[int],
+    ) -> None:
+        if spec.combination is not None:
+            raise FaultToleranceError(
+                "fault tolerance requires the middleware default combination: "
+                "a custom combination_t implies reduction-object state the "
+                "engine cannot merge from a per-split scratch copy"
+            )
+        if len({s.split_id for s in splits}) != len(splits):
+            raise FaultToleranceError(
+                "fault tolerance requires unique split ids (retry and "
+                "commit tracking is keyed by split id)"
+            )
+        policy = self.fault_policy or FaultPolicy()
+        injector = self.fault_injector
+        lock = threading.Lock()
+
+        if self.executor == "serial":
+            for i, split in enumerate(splits):
+                if len(split) == 0:
+                    continue
+                tid = i % self.num_threads
+                if self._run_split_with_retries(
+                    spec, split, tid, accessors[tid], base_ro,
+                    policy, injector, stats, lock,
+                ):
+                    elems[tid] += len(split)
+                    nsplits[tid] += 1
+            return
+
+        queue = SplitQueue(splits)
+        abort = threading.Event()
+
+        def worker(thread_id: int) -> None:
+            try:
+                self._ft_worker(
+                    spec, queue, thread_id, accessors[thread_id], base_ro,
+                    policy, injector, stats, lock, elems, nsplits, abort,
                 )
-                ro.merge_from(combined)
-            sm_stats.merge_elements += lc_stats.elements_merged
-        else:
-            lc_stats = CombinationStats(strategy="in_place")
-        return ro, sm_stats, lc_stats
+            except BaseException:
+                # Unblock peers waiting on our in-flight work, then propagate.
+                queue.poison()
+                abort.set()
+                raise
+
+        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
+            futures = [pool.submit(worker, t) for t in range(self.num_threads)]
+            for f in futures:
+                f.result()  # propagate worker exceptions
+        stats.requeues += queue.requeues
+
+    def _ft_worker(
+        self,
+        spec: ReductionSpec,
+        queue: SplitQueue,
+        thread_id: int,
+        accessor: ROAccessor,
+        base_ro: ReductionObject,
+        policy: FaultPolicy,
+        injector: FaultInjector | None,
+        stats: RunStats,
+        lock: threading.Lock,
+        elems: list[int],
+        nsplits: list[int],
+        abort: threading.Event,
+    ) -> None:
+        while not abort.is_set():
+            speculative = False
+            item = queue.claim()
+            if item is None:
+                if policy.straggler_timeout is not None:
+                    item = queue.steal_straggler(policy.straggler_timeout)
+                    speculative = item is not None
+                if item is None:
+                    if queue.poisoned or not queue.outstanding():
+                        return
+                    time.sleep(0.0005)  # wait for in-flight peers
+                    continue
+            split, attempt = item
+            if len(split) == 0:
+                queue.complete(split)
+                continue
+            if attempt > 1:
+                with lock:
+                    stats.retries += 1
+                backoff = policy.backoff_seconds(attempt - 1)
+                if backoff:
+                    time.sleep(backoff)
+            self._note_attempt(stats, lock, split.split_id, attempt)
+            scratch, exc = self._attempt_split(
+                spec, split, thread_id, attempt, base_ro, policy, injector,
+                stats, lock,
+            )
+            if scratch is not None:
+                if queue.complete(split):
+                    accessor.merge_from_scratch(scratch)
+                    elems[thread_id] += len(split)
+                    nsplits[thread_id] += 1
+                continue
+            if speculative:
+                continue  # the original attempt is still in flight
+            if attempt < policy.max_attempts:
+                queue.requeue(split)
+                continue
+            queue.abandon(split)
+            if policy.mode == FAIL_FAST:
+                queue.poison()
+                abort.set()
+                assert exc is not None
+                raise exc
+            with lock:
+                stats.failed_splits += 1
+                stats.failures.append(
+                    SplitFailureRecord(
+                        split_id=split.split_id,
+                        attempts=attempt,
+                        error=repr(exc),
+                        elements_lost=len(split),
+                    )
+                )
+
+    def _run_split_with_retries(
+        self,
+        spec: ReductionSpec,
+        split: Split,
+        thread_id: int,
+        accessor: ROAccessor,
+        base_ro: ReductionObject,
+        policy: FaultPolicy,
+        injector: FaultInjector | None,
+        stats: RunStats,
+        lock: threading.Lock,
+    ) -> bool:
+        """Serial executor: attempt a split until it commits or exhausts.
+
+        Returns True if the split's scratch object was committed.
+        """
+        last_exc: BaseException | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                stats.retries += 1
+                backoff = policy.backoff_seconds(attempt - 1)
+                if backoff:
+                    time.sleep(backoff)
+            self._note_attempt(stats, lock, split.split_id, attempt)
+            scratch, exc = self._attempt_split(
+                spec, split, thread_id, attempt, base_ro, policy, injector,
+                stats, lock,
+            )
+            if scratch is not None:
+                accessor.merge_from_scratch(scratch)
+                return True
+            last_exc = exc
+        if policy.mode == FAIL_FAST:
+            assert last_exc is not None
+            raise last_exc
+        stats.failed_splits += 1
+        stats.failures.append(
+            SplitFailureRecord(
+                split_id=split.split_id,
+                attempts=policy.max_attempts,
+                error=repr(last_exc),
+                elements_lost=len(split),
+            )
+        )
+        return False
+
+    def _attempt_split(
+        self,
+        spec: ReductionSpec,
+        split: Split,
+        thread_id: int,
+        attempt: int,
+        base_ro: ReductionObject,
+        policy: FaultPolicy,
+        injector: FaultInjector | None,
+        stats: RunStats,
+        lock: threading.Lock,
+    ) -> tuple[ReductionObject | None, BaseException | None]:
+        """One processing attempt into a fresh scratch reduction object.
+
+        Returns ``(scratch, None)`` on success or ``(None, error)`` on
+        failure — injected fault, application exception, or soft-timeout
+        overrun.  The scratch object is only handed back on success, so the
+        caller commits all of the attempt's accumulations or none of them.
+        """
+        scratch = base_ro.clone_empty()
+        start = time.monotonic()
+        try:
+            if injector is not None:
+                injector.inject(split.split_id, attempt)
+            spec.reduction(
+                ReductionArgs(
+                    data=split.data,
+                    split=split,
+                    thread_id=thread_id,
+                    ro=ScratchAccessor(scratch),
+                    extras=spec.extras,
+                    attempt=attempt,
+                )
+            )
+        except InjectedFault as exc:
+            with lock:
+                stats.injected_faults += 1
+            return None, exc
+        except Exception as exc:
+            return None, exc
+        if (
+            policy.split_timeout is not None
+            and time.monotonic() - start > policy.split_timeout
+        ):
+            with lock:
+                stats.timeouts += 1
+            return None, SplitTimeout(
+                f"split {split.split_id} attempt {attempt} exceeded the "
+                f"{policy.split_timeout}s per-split timeout"
+            )
+        return scratch, None
+
+    @staticmethod
+    def _note_attempt(
+        stats: RunStats, lock: threading.Lock, split_id: int, attempt: int
+    ) -> None:
+        with lock:
+            stats.split_attempts[split_id] = max(
+                stats.split_attempts.get(split_id, 0), attempt
+            )

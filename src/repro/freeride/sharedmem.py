@@ -28,9 +28,15 @@ from __future__ import annotations
 import enum
 import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
+from repro.freeride.combination import (
+    PARALLEL_MERGE_THRESHOLD_BYTES,
+    CombinationStats,
+    combine,
+)
 from repro.freeride.reduction_object import ReductionObject
 from repro.util.errors import FreerideError
 
@@ -40,6 +46,7 @@ __all__ = [
     "ROAccessor",
     "ReplicatedAccessor",
     "LockingAccessor",
+    "ScratchAccessor",
     "SharedMemManager",
     "ELEMS_PER_CACHE_LINE",
 ]
@@ -86,6 +93,7 @@ class SharedMemStats:
         self.lock_acquisitions += other.lock_acquisitions
         self.private_copies += other.private_copies
         self.merge_elements += other.merge_elements
+        self.num_locks += other.num_locks
         self.ro_memory_bytes += other.ro_memory_bytes
 
 
@@ -98,6 +106,15 @@ class ROAccessor:
         raise NotImplementedError
 
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+        """Commit a per-split scratch reduction object in one atomic step.
+
+        The fault-tolerant engine processes each split attempt into a fresh
+        scratch object and calls this only on success, so a failed or
+        retried attempt never leaves partial accumulations behind.
+        """
         raise NotImplementedError
 
 
@@ -118,6 +135,31 @@ class ReplicatedAccessor(ROAccessor):
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         self.ro.accumulate_group(group, values)
 
+    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+        # The private copy belongs to one thread; a plain merge is atomic
+        # enough (the merge either happens wholly or not at all from the
+        # combination phase's point of view).
+        self.ro.merge_from(scratch)
+
+
+class ScratchAccessor(ROAccessor):
+    """Accessor over a private per-split scratch object — no locks, no stats.
+
+    Handed to the reduction function while a fault policy is active; the
+    engine commits the scratch through the real accessor's
+    :meth:`ROAccessor.merge_from_scratch` only if the attempt succeeds.
+    """
+
+    def __init__(self, scratch_ro: ReductionObject) -> None:
+        self.ro = scratch_ro
+        self.stats = SharedMemStats()
+
+    def accumulate(self, group: int, elem: int, value: float) -> None:
+        self.ro.accumulate(group, elem, value)
+
+    def accumulate_group(self, group: int, values: np.ndarray) -> None:
+        self.ro.accumulate_group(group, values)
+
 
 class _LockTable:
     """Maps (group, elem) cells to lock indices for a locking technique."""
@@ -130,6 +172,8 @@ class _LockTable:
             num_locks = ro.size
         self.num_locks = max(1, num_locks)
         self.locks = [threading.Lock() for _ in range(self.num_locks)]
+        #: guards non-element metadata (e.g. the shared update counter)
+        self.meta_lock = threading.Lock()
         # Precompute each group's element offset to index the flat lock array.
         self._group_offsets = [ro._meta(g).offset for g in range(ro.num_groups)]
 
@@ -185,6 +229,27 @@ class LockingAccessor(ROAccessor):
                 self._table.locks[i].release()
         self.stats.lock_acquisitions += len(acquired)
 
+    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+        # Apply the scratch object group-by-group, each group under its
+        # covering locks (acquired in ascending index order, so concurrent
+        # commits cannot deadlock).  A group merge is one atomic unit: other
+        # threads observe it entirely or not at all.
+        for g in range(self.ro.num_groups):
+            meta = self.ro._meta(g)
+            indices = self._table.group_lock_indices(g, meta.num_elems)
+            acquired = []
+            try:
+                for i in indices:
+                    self._table.locks[i].acquire()
+                    acquired.append(i)
+                self.ro.merge_group_from(g, scratch)
+            finally:
+                for i in reversed(acquired):
+                    self._table.locks[i].release()
+            self.stats.lock_acquisitions += len(acquired)
+        with self._table.meta_lock:
+            self.ro.update_count += scratch.update_count
+
 
 class SharedMemManager:
     """Creates per-thread accessors and finishes the local combination.
@@ -194,7 +259,7 @@ class SharedMemManager:
         mgr = SharedMemManager(technique)
         accessors = mgr.setup(base_ro, num_threads)
         ... each thread t updates accessors[t] ...
-        ro, stats = mgr.finish(base_ro, accessors)
+        ro, sm_stats, lc_stats = mgr.finish(base_ro, accessors)
     """
 
     def __init__(self, technique: SharedMemTechnique | str) -> None:
@@ -216,18 +281,49 @@ class SharedMemManager:
         ]
 
     def finish(
-        self, base_ro: ReductionObject, accessors: list[ROAccessor]
-    ) -> tuple[ReductionObject, SharedMemStats]:
-        """Run the local combination phase; returns (combined RO, stats)."""
+        self,
+        base_ro: ReductionObject,
+        accessors: list[ROAccessor],
+        combination: "Callable[[list[ReductionObject]], ReductionObject] | None" = None,
+        parallel_merge_threshold: int = PARALLEL_MERGE_THRESHOLD_BYTES,
+    ) -> tuple[ReductionObject, SharedMemStats, CombinationStats]:
+        """Run the local combination phase.
+
+        Returns ``(combined RO, shared-memory stats, combination stats)``.
+        This is the single accounting path for local combination — the
+        engine calls it too, so ``num_locks``, ``ro_memory_bytes`` and
+        ``merge_elements`` are reported identically everywhere.
+
+        ``combination``, when given (full replication only), is the
+        application's custom ``combination_t``: it receives the per-thread
+        copies and must return a :class:`ReductionObject`, which is then
+        merged into ``base_ro``.  The per-thread copies are never mutated
+        by the default combination.
+        """
         total = SharedMemStats(technique=self.technique)
         for acc in accessors:
             total.add(acc.stats)
+        # Accessors of a locking technique share one lock table; report the
+        # table size, not the per-accessor sum.
         total.num_locks = max((acc.stats.num_locks for acc in accessors), default=0)
         if self.technique is not SharedMemTechnique.FULL_REPLICATION:
             total.ro_memory_bytes = base_ro.nbytes  # one shared copy
-        if self.technique is SharedMemTechnique.FULL_REPLICATION:
-            for acc in accessors:
-                base_ro.merge_from(acc.ro)  # type: ignore[attr-defined]
-                total.merge_elements += base_ro.size
-        # Locking techniques already updated base_ro in place.
-        return base_ro, total
+            # Locking techniques already updated base_ro in place.
+            return base_ro, total, CombinationStats(strategy="in_place")
+
+        copies = [acc.ro for acc in accessors]  # type: ignore[attr-defined]
+        if combination is not None:
+            combined = combination(copies)
+            if not isinstance(combined, ReductionObject):
+                raise FreerideError("custom combination must return a ReductionObject")
+            base_ro.merge_from(combined)
+            lc_stats = CombinationStats(
+                strategy="custom",
+                merges=len(copies),
+                rounds=1,
+                elements_merged=base_ro.size * len(copies),
+            )
+        else:
+            _, lc_stats = combine(copies, parallel_merge_threshold, target=base_ro)
+        total.merge_elements += lc_stats.elements_merged
+        return base_ro, total, lc_stats

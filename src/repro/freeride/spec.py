@@ -31,6 +31,12 @@ class ReductionArgs:
     Mirrors FREERIDE's ``reduction_args_t``: the split's data, the thread id,
     the reduction-object accessor (whose ``accumulate`` is Table I's
     ``accumulate(int, int, void*)``), and application extras.
+
+    ``attempt`` is 1 for normal execution; under a fault policy it counts
+    the processing attempts of this split (2 on the first retry, ...), so
+    reduction functions and tests can observe recovery.  Reduction functions
+    must stay idempotent per split — a retried attempt runs against a fresh
+    scratch reduction object, but any *external* side effects would repeat.
     """
 
     data: Any
@@ -38,6 +44,7 @@ class ReductionArgs:
     thread_id: int
     ro: ROAccessor
     extras: dict[str, Any] = field(default_factory=dict)
+    attempt: int = 1
 
     def __len__(self) -> int:
         return len(self.split)

@@ -14,6 +14,8 @@ slices), so splitting never copies element data.
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator, Sequence
 
@@ -106,21 +108,46 @@ def _check_partition(splits: Sequence[Split], n: int) -> None:
 
 
 class SplitQueue:
-    """A thread-safe work queue of splits for dynamic scheduling."""
+    """A thread-safe work queue of splits for dynamic scheduling.
+
+    Beyond plain FIFO draining (:meth:`take`), the queue supports the
+    fault-tolerant executor's lifecycle: :meth:`claim` hands out splits with
+    attempt tracking, failed attempts are :meth:`requeue`-d for another
+    worker (retried splits are served before fresh ones), exhausted splits
+    are :meth:`abandon`-ed, and :meth:`steal_straggler` lets an idle worker
+    speculatively duplicate a long-in-flight split — the first finisher
+    commits, via the :meth:`complete` first-completion gate.
+    """
 
     def __init__(self, splits: Sequence[Split]) -> None:
         self._splits = list(splits)
-        self._next = 0
+        self._by_id = {s.split_id: s for s in self._splits}
+        self._pending: deque[Split] = deque(self._splits)
+        self._retry: deque[Split] = deque()
+        self._inflight: dict[int, float] = {}  # split_id -> attempt start
+        self._attempts: dict[int, int] = {}
+        self._done: set[int] = set()
+        self._abandoned: list[int] = []
+        self._poisoned = False
+        self.requeues = 0
         self._lock = threading.Lock()
 
     def take(self) -> Split | None:
-        """Pop the next split, or None when the queue is drained."""
+        """Pop the next split, or None when the queue is drained.
+
+        Retried splits, when present, are served before fresh ones.
+        """
         with self._lock:
-            if self._next >= len(self._splits):
-                return None
-            s = self._splits[self._next]
-            self._next += 1
-            return s
+            return self._pop()
+
+    def _pop(self) -> Split | None:
+        if self._poisoned:
+            return None
+        if self._retry:
+            return self._retry.popleft()
+        if self._pending:
+            return self._pending.popleft()
+        return None
 
     def __len__(self) -> int:
         return len(self._splits)
@@ -129,3 +156,101 @@ class SplitQueue:
         """Iterate remaining splits (single-threaded use)."""
         while (s := self.take()) is not None:
             yield s
+
+    # -- fault-tolerant lifecycle ------------------------------------------------
+
+    def claim(self) -> "tuple[Split, int] | None":
+        """Pop the next split with attempt tracking: ``(split, attempt)``.
+
+        Marks the split in flight.  Returns None when nothing is claimable
+        *right now* — check :meth:`outstanding` to distinguish "drained"
+        from "everything is in flight elsewhere".
+        """
+        with self._lock:
+            s = self._pop()
+            if s is None:
+                return None
+            attempt = self._attempts.get(s.split_id, 0) + 1
+            self._attempts[s.split_id] = attempt
+            self._inflight[s.split_id] = time.monotonic()
+            return s, attempt
+
+    def complete(self, split: Split) -> bool:
+        """Record a successful attempt; True only for the *first* completion.
+
+        Speculative straggler duplicates call this too — exactly one caller
+        sees True and commits its result, the rest discard theirs.
+        """
+        with self._lock:
+            self._inflight.pop(split.split_id, None)
+            if split.split_id in self._done:
+                return False
+            self._done.add(split.split_id)
+            return True
+
+    def requeue(self, split: Split) -> None:
+        """Put a failed split back for another attempt (served first)."""
+        with self._lock:
+            self._inflight.pop(split.split_id, None)
+            if split.split_id in self._done:
+                return  # a speculative duplicate already finished it
+            self._retry.append(split)
+            self.requeues += 1
+
+    def abandon(self, split: Split) -> None:
+        """Give up on a split: mark it terminally failed."""
+        with self._lock:
+            self._inflight.pop(split.split_id, None)
+            if split.split_id not in self._done:
+                self._done.add(split.split_id)
+                self._abandoned.append(split.split_id)
+
+    def steal_straggler(self, threshold_seconds: float) -> "tuple[Split, int] | None":
+        """Speculatively re-dispatch the oldest split in flight for at least
+        ``threshold_seconds``; returns ``(split, attempt)`` or None.
+
+        The stolen split's in-flight clock is reset so the same straggler is
+        not immediately re-stolen by every idle worker.
+        """
+        now = time.monotonic()
+        with self._lock:
+            if self._poisoned:
+                return None
+            oldest_sid, oldest_start = None, now
+            for sid, start in self._inflight.items():
+                if sid in self._done:
+                    continue
+                if now - start >= threshold_seconds and start < oldest_start:
+                    oldest_sid, oldest_start = sid, start
+            if oldest_sid is None:
+                return None
+            self._inflight[oldest_sid] = now
+            attempt = self._attempts.get(oldest_sid, 0) + 1
+            self._attempts[oldest_sid] = attempt
+            return self._by_id[oldest_sid], attempt
+
+    def outstanding(self) -> bool:
+        """Is any split still pending, queued for retry, or in flight?"""
+        with self._lock:
+            return bool(self._retry or self._pending or self._inflight)
+
+    def poison(self) -> None:
+        """Stop handing out work (fail-fast shutdown); claims return None."""
+        with self._lock:
+            self._poisoned = True
+
+    @property
+    def poisoned(self) -> bool:
+        with self._lock:
+            return self._poisoned
+
+    def attempts(self, split_id: int) -> int:
+        """Attempts recorded for a split id (0 if never claimed)."""
+        with self._lock:
+            return self._attempts.get(split_id, 0)
+
+    @property
+    def abandoned(self) -> list[int]:
+        """Split ids given up on, in abandonment order."""
+        with self._lock:
+            return list(self._abandoned)

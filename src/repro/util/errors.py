@@ -17,6 +17,7 @@ __all__ = [
     "FreerideError",
     "ReductionObjectError",
     "SplitterError",
+    "FaultToleranceError",
     "CompilerError",
     "LinearizationError",
     "MappingError",
@@ -66,6 +67,10 @@ class ReductionObjectError(FreerideError):
 
 class SplitterError(FreerideError):
     """The splitter produced an invalid partition of the input data."""
+
+
+class FaultToleranceError(FreerideError):
+    """Invalid fault-tolerance configuration, or an unrecoverable split."""
 
 
 class CompilerError(ReproError):

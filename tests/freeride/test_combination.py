@@ -88,3 +88,73 @@ class TestExpectedRounds:
         assert expected_rounds(8, "all_to_one") == 7
         assert expected_rounds(8, "parallel_merge") == 3
         assert expected_rounds(5, "parallel_merge") == 3
+
+
+def snapshot_all(copies):
+    return [c.snapshot().copy() for c in copies]
+
+
+class TestInputsNotMutated:
+    """Regression: combination used to fold results into copies[0] in place."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 8])
+    def test_all_to_one_leaves_inputs_intact(self, n):
+        copies = make_copies(n)
+        before = snapshot_all(copies)
+        all_to_one_combine(copies)
+        for c, snap in zip(copies, before):
+            assert np.array_equal(c.snapshot(), snap)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_parallel_merge_leaves_inputs_intact(self, n):
+        copies = make_copies(n)
+        before = snapshot_all(copies)
+        parallel_merge_combine(copies)
+        for c, snap in zip(copies, before):
+            assert np.array_equal(c.snapshot(), snap)
+
+    @pytest.mark.parametrize("threshold", [1, 10**9])
+    def test_combine_leaves_inputs_intact(self, threshold):
+        copies = make_copies(4)
+        before = snapshot_all(copies)
+        combine(copies, threshold_bytes=threshold)
+        for c, snap in zip(copies, before):
+            assert np.array_equal(c.snapshot(), snap)
+
+
+class TestTargetSemantics:
+    def test_all_to_one_into_target(self):
+        copies = make_copies(3)
+        target = copies[0].clone_empty()
+        merged, stats = all_to_one_combine(copies, target=target)
+        assert merged is target
+        assert stats.merges == 3  # every copy folded into the target
+        add, mn = reference_merge(copies)
+        assert np.array_equal(target.get_group(0), add)
+        assert target.get(1, 0) == mn
+
+    def test_parallel_merge_into_target(self):
+        copies = make_copies(4)
+        target = copies[0].clone_empty()
+        merged, stats = parallel_merge_combine(copies, target=target)
+        assert merged is target
+        add, mn = reference_merge(copies)
+        assert np.array_equal(target.get_group(0), add)
+        assert target.get(1, 0) == mn
+
+    def test_combine_single_copy_with_target_not_trivial(self):
+        copies = make_copies(1)
+        target = copies[0].clone_empty()
+        merged, stats = combine(copies, target=target)
+        assert merged is target
+        assert merged is not copies[0]
+        assert np.array_equal(merged.snapshot(), copies[0].snapshot())
+
+    def test_strategies_agree_with_target(self):
+        copies = make_copies(5, seed=3)
+        t1 = copies[0].clone_empty()
+        t2 = copies[0].clone_empty()
+        all_to_one_combine(copies, target=t1)
+        parallel_merge_combine(copies, target=t2)
+        # fold and tree associate float additions differently
+        assert np.allclose(t1.snapshot(), t2.snapshot(), rtol=0, atol=1e-12)

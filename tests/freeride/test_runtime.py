@@ -384,3 +384,89 @@ class TestRunIterative:
             FreerideEngine().run_iterative(
                 self.make_mean_shift_spec, [1.0], 0, lambda r, s: s, 0
             )
+
+
+class TestStatsRegressions:
+    """Lock-in for the finish/accounting bugfixes."""
+
+    @pytest.mark.parametrize(
+        "technique",
+        [
+            SharedMemTechnique.FULL_LOCKING,
+            SharedMemTechnique.OPTIMIZED_FULL_LOCKING,
+            SharedMemTechnique.CACHE_SENSITIVE_LOCKING,
+        ],
+    )
+    def test_locking_run_reports_locks_and_memory(self, technique):
+        # Regression: the inline finish in _run_node dropped num_locks and
+        # ro_memory_bytes for the locking techniques (always reported 0).
+        result = FreerideEngine(num_threads=2, technique=technique).run(
+            sum_spec(), np.arange(50, dtype=np.float64)
+        )
+        sm = result.stats.sharedmem
+        assert sm.technique == technique
+        assert sm.num_locks > 0
+        assert sm.ro_memory_bytes > 0
+        assert sm.lock_acquisitions > 0
+
+    def test_replication_run_reports_merge_elements(self):
+        result = FreerideEngine(num_threads=4).run(
+            sum_spec(), np.arange(50, dtype=np.float64)
+        )
+        sm = result.stats.sharedmem
+        assert sm.merge_elements == 4 * result.ro.size
+        assert sm.ro_memory_bytes == 4 * result.ro.nbytes
+
+    def test_multi_node_technique_and_accumulation(self):
+        # Regression: the multi-node loop never set stats.sharedmem.technique
+        # and dropped local_combination.elements_merged.
+        data = np.arange(120, dtype=np.float64)
+        one = FreerideEngine(num_threads=2, num_nodes=1).run(sum_spec(), data)
+        two = FreerideEngine(num_threads=2, num_nodes=2).run(sum_spec(), data)
+        assert two.value == one.value
+        assert two.stats.sharedmem.technique == SharedMemTechnique.FULL_REPLICATION
+        assert two.stats.local_combination.strategy == one.stats.local_combination.strategy
+        # each node merges its 2 thread copies: twice the per-node element count
+        assert (
+            two.stats.local_combination.elements_merged
+            == 2 * one.stats.local_combination.elements_merged
+        )
+        assert two.stats.total_elements == one.stats.total_elements == 120
+
+    def test_multi_node_locking_num_locks_summed(self):
+        # Regression: SharedMemStats.add ignored num_locks, so multi-node
+        # locking runs reported 0 locks.
+        data = np.arange(60, dtype=np.float64)
+        result = FreerideEngine(
+            num_threads=2,
+            num_nodes=3,
+            technique=SharedMemTechnique.FULL_LOCKING,
+        ).run(sum_spec(), data)
+        # one lock per reduction-object element, per node
+        assert result.stats.sharedmem.num_locks == 3 * result.ro.size
+
+    def test_thread_copies_not_mutated_by_combination(self):
+        # Regression: all_to_one_combine folded copies[1:] into copies[0]
+        # in place, corrupting thread 0's private copy.
+        from repro.freeride import runtime as rt
+
+        captured = []
+        original_setup = rt.SharedMemManager.setup
+
+        def capturing_setup(self, ro, num_threads):
+            accessors = original_setup(self, ro, num_threads)
+            captured.extend(accessors)
+            return accessors
+
+        data = np.arange(100, dtype=np.float64)
+        try:
+            rt.SharedMemManager.setup = capturing_setup
+            result = FreerideEngine(num_threads=4).run(sum_spec(), data)
+        finally:
+            rt.SharedMemManager.setup = original_setup
+
+        assert len(captured) == 4
+        per_thread = np.sum([a.ro.snapshot() for a in captured], axis=0)
+        # if any private copy had absorbed its peers, this sum would
+        # double-count and exceed the combined result
+        assert np.array_equal(per_thread, result.ro.snapshot())

@@ -51,7 +51,7 @@ class TestAllTechniquesAgree:
         for t, acc in enumerate(accessors):
             for e in range(3):
                 acc.accumulate(t % 2, e, float(t + e))
-        combined, stats = mgr.finish(ro, accessors)
+        combined, stats, _ = mgr.finish(ro, accessors)
         # thread 0 and 2 hit group 0, thread 1 hits group 1
         assert list(combined.get_group(0)) == [0 + 2, 1 + 3, 2 + 4]
         assert list(combined.get_group(1)) == [1, 2, 3]
@@ -64,7 +64,7 @@ class TestAllTechniquesAgree:
         accessors = mgr.setup(ro, 2)
         accessors[0].accumulate_group(0, np.array([1.0, 2.0, 3.0, 4.0]))
         accessors[1].accumulate_group(0, np.array([10.0, 10.0, 10.0, 10.0]))
-        combined, _ = mgr.finish(ro, accessors)
+        combined, _, _ = mgr.finish(ro, accessors)
         assert list(combined.get_group(0)) == [11.0, 12.0, 13.0, 14.0]
 
     @pytest.mark.parametrize(
@@ -94,7 +94,7 @@ class TestAllTechniquesAgree:
             t.start()
         for t in threads:
             t.join()
-        combined, stats = mgr.finish(ro, accessors)
+        combined, stats, _ = mgr.finish(ro, accessors)
         assert combined.get(0, 0) == num_threads * per_thread
         assert combined.get(0, 1) == 2.0 * num_threads * per_thread
         assert stats.lock_acquisitions == num_threads * per_thread * 2
@@ -105,7 +105,7 @@ class TestStats:
         ro = make_ro()
         mgr = SharedMemManager(SharedMemTechnique.FULL_REPLICATION)
         accessors = mgr.setup(ro, 4)
-        combined, stats = mgr.finish(ro, accessors)
+        combined, stats, _ = mgr.finish(ro, accessors)
         assert stats.private_copies == 4
         assert stats.lock_acquisitions == 0
         assert stats.merge_elements == 4 * ro.size
@@ -160,14 +160,14 @@ class TestMemoryAccounting:
         ro = make_ro(groups=4, elems=8)  # 32 elements = 256 bytes
         mgr = SharedMemManager(SharedMemTechnique.FULL_REPLICATION)
         accessors = mgr.setup(ro, 8)
-        _, stats = mgr.finish(ro, accessors)
+        _, stats, _ = mgr.finish(ro, accessors)
         assert stats.ro_memory_bytes == 8 * 256
 
     def test_locking_shares_one_copy(self):
         ro = make_ro(groups=4, elems=8)
         mgr = SharedMemManager(SharedMemTechnique.FULL_LOCKING)
         accessors = mgr.setup(ro, 8)
-        _, stats = mgr.finish(ro, accessors)
+        _, stats, _ = mgr.finish(ro, accessors)
         assert stats.ro_memory_bytes == 256
 
     def test_memory_tradeoff_visible(self):
@@ -176,7 +176,7 @@ class TestMemoryAccounting:
             ro = make_ro(groups=100, elems=10)
             mgr = SharedMemManager(technique)
             accessors = mgr.setup(ro, threads)
-            _, stats = mgr.finish(ro, accessors)
+            _, stats, _ = mgr.finish(ro, accessors)
             return stats.ro_memory_bytes
 
         repl_8 = footprint(SharedMemTechnique.FULL_REPLICATION, 8)

@@ -88,3 +88,91 @@ class TestSplitQueue:
         for t in threads:
             t.join()
         assert sorted(taken) == list(range(1000))
+
+
+class TestSplitQueueFaultAPI:
+    def make_queue(self, n=6, chunk=2):
+        return SplitQueue(chunked_splitter(list(range(n)), chunk))
+
+    def test_claim_returns_split_and_attempt(self):
+        q = self.make_queue()
+        split, attempt = q.claim()
+        assert split.split_id == 0
+        assert attempt == 1
+
+    def test_complete_first_wins(self):
+        q = self.make_queue()
+        split, _ = q.claim()
+        assert q.complete(split) is True
+        assert q.complete(split) is False  # duplicate commit rejected
+
+    def test_requeue_bumps_attempt(self):
+        q = self.make_queue()
+        split, attempt = q.claim()
+        assert attempt == 1
+        q.requeue(split)
+        assert q.requeues == 1
+        again, attempt2 = q.claim()
+        assert again.split_id == split.split_id  # retries drain first
+        assert attempt2 == 2
+
+    def test_requeue_after_complete_is_ignored(self):
+        q = self.make_queue()
+        split, _ = q.claim()
+        q.complete(split)
+        q.requeue(split)
+        assert q.requeues == 0
+        ids = []
+        while (item := q.claim()) is not None:
+            ids.append(item[0].split_id)
+        assert split.split_id not in ids
+
+    def test_outstanding_tracks_lifecycle(self):
+        q = self.make_queue(n=4, chunk=2)  # 2 splits
+        assert q.outstanding()
+        a, _ = q.claim()
+        b, _ = q.claim()
+        assert q.claim() is None
+        assert q.outstanding()  # both in flight
+        q.complete(a)
+        q.abandon(b)
+        assert not q.outstanding()
+
+    def test_abandon_recorded(self):
+        q = self.make_queue()
+        split, _ = q.claim()
+        q.abandon(split)
+        assert q.abandoned == [split.split_id]
+
+    def test_steal_straggler(self):
+        import time
+
+        q = self.make_queue(n=2, chunk=2)  # 1 split
+        split, _ = q.claim()
+        assert q.steal_straggler(10.0) is None  # not yet a straggler
+        time.sleep(0.02)
+        stolen = q.steal_straggler(0.01)
+        assert stolen is not None
+        s2, attempt = stolen
+        assert s2.split_id == split.split_id
+        assert attempt == 2
+        # the steal reset the in-flight clock
+        assert q.steal_straggler(0.01) is None
+        # only the first completion commits
+        assert q.complete(split) is True
+        assert q.complete(s2) is False
+
+    def test_poison_stops_claims(self):
+        q = self.make_queue()
+        q.poison()
+        assert q.poisoned
+        assert q.claim() is None
+        assert q.take() is None
+
+    def test_attempts_query(self):
+        q = self.make_queue()
+        split, _ = q.claim()
+        assert q.attempts(split.split_id) == 1
+        q.requeue(split)
+        q.claim()
+        assert q.attempts(split.split_id) == 2
