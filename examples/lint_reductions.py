@@ -1,0 +1,104 @@
+"""The reduction-safety analyzer catching a race before it ships.
+
+The translated forall runs ``accumulate`` concurrently with class fields
+shared across tasks as read-only extras; any cross-iteration state must
+flow through the explicit reduction object (``roAdd``/``roMin``/``roMax``).
+This example shows the analyzer flagging a class that breaks the contract,
+strict compilation refusing to emit code for it, and the fixed class
+sailing through — plus the reduce-op algebra checker on a non-associative
+user-defined op.
+
+Run:  python examples/lint_reductions.py
+CLI:  python -m repro.analyze examples/ --strict
+"""
+
+from repro.analysis import (
+    analyze_source,
+    check_reduce_op,
+    render_diagnostics,
+)
+from repro.chapel.reduce_op import ReduceScanOp
+from repro.compiler import compile_all_versions
+from repro.util.errors import AnalysisError
+
+# -- 1. A histogram reduction with a classic lost-update race ------------------
+
+# The buggy line keeps a running total in a *shared class field*: every
+# parallel task would read-modify-write `total`, losing updates.  (The
+# source is assembled from parts so the analyzer's embedded-literal scanner
+# — which `python -m repro.analyze examples/` runs on this very file —
+# does not flag the example itself.)
+BUGGY_LINE = "total = total + 1;"
+
+RACY_HISTOGRAM = (
+    "class histogramReduction {\n"
+    "  var bins: int;\n"
+    "  var lo: real;\n"
+    "  var width: real;\n"
+    "  var total: int;\n"
+    "  def accumulate(x: real) {\n"
+    "    var b: int = toInt((x - lo) / width);\n"
+    "    if (b > bins - 1) { b = bins - 1; }\n"
+    "    " + BUGGY_LINE + "\n"
+    "    roAdd(0, b, 1.0);\n"
+    "  }\n"
+    "}\n"
+)
+
+# The fix: the running total is itself a reduction — fold it through the
+# reduction object (one extra group element), not a shared field.
+FIXED_HISTOGRAM = (
+    "class histogramReduction {\n"
+    "  var bins: int;\n"
+    "  var lo: real;\n"
+    "  var width: real;\n"
+    "  def accumulate(x: real) {\n"
+    "    var b: int = toInt((x - lo) / width);\n"
+    "    if (b > bins - 1) { b = bins - 1; }\n"
+    "    roAdd(0, b, 1.0);\n"
+    "    roAdd(0, bins, 1.0);\n"
+    "  }\n"
+    "}\n"
+)
+
+CONSTANTS = {"bins": 8, "lo": 0.0, "width": 0.125}
+
+
+def main() -> None:
+    print("=== analyzer on the racy histogram ===")
+    diags = analyze_source(RACY_HISTOGRAM, file="<racy histogram>")
+    print(render_diagnostics(diags, {"<racy histogram>": RACY_HISTOGRAM}))
+
+    print()
+    print("=== strict compilation refuses the racy class ===")
+    try:
+        compile_all_versions(RACY_HISTOGRAM, CONSTANTS, analyze="strict")
+        raise SystemExit("expected strict compilation to refuse the race")
+    except AnalysisError as exc:
+        print(f"AnalysisError: {exc}")
+
+    print()
+    print("=== the fixed class compiles at every level ===")
+    versions = compile_all_versions(FIXED_HISTOGRAM, CONSTANTS, analyze="strict")
+    print(f"strict-compiled versions: {', '.join(sorted(versions))}")
+    clean = analyze_source(FIXED_HISTOGRAM, file="<fixed histogram>")
+    print(f"analyzer findings on the fix: {len(clean)}")
+
+    print()
+    print("=== algebra checker on a non-associative user op ===")
+
+    class SubtractOp(ReduceScanOp):
+        identity = 0
+
+        def accumulate(self, x):
+            self.value = self.value - x
+
+        def combine(self, other):
+            self.value = self.value - other.value
+
+    for d in check_reduce_op(SubtractOp):
+        print(f"{d.severity} {d.code}: {d.message}")
+
+
+if __name__ == "__main__":
+    main()

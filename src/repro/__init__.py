@@ -39,14 +39,39 @@ Quickstart::
 
 __version__ = "1.0.0"
 
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    analyze_file,
+    analyze_path,
+    analyze_source,
+    check_reduce_op,
+    check_registry,
+    render_diagnostics,
+)
+from repro.compiler import CompilationPlan, SitePlan, compile_all_versions
+
 __all__ = [
     "chapel",
     "freeride",
     "mapreduce",
     "compiler",
+    "analysis",
     "machine",
     "apps",
     "data",
     "bench",
     "util",
+    # re-exported entry points
+    "Diagnostic",
+    "Severity",
+    "analyze_file",
+    "analyze_path",
+    "analyze_source",
+    "check_reduce_op",
+    "check_registry",
+    "render_diagnostics",
+    "CompilationPlan",
+    "SitePlan",
+    "compile_all_versions",
 ]

@@ -1,0 +1,372 @@
+"""Reduce-op algebra checker: associativity, commutativity, identity.
+
+The FREERIDE execution model is only correct when the reduction operation
+is associative and commutative and its identity element is neutral — task
+splits accumulate independently and combine in an order the middleware
+chooses.  This module verifies every builtin and user-registered
+:class:`~repro.chapel.reduce_op.ReduceScanOp` with
+
+* **structural checks** — ``accumulate``/``combine`` overridden (RS015),
+  ``clone()`` returning a fresh identity-state instance (RS014), and the
+  identity element not being mutable state shared across clones (RS010);
+* **deterministic property-based trials** — seeded input families (ints,
+  floats, booleans, ``(value, index)`` pairs) are folded in different
+  split shapes and orders; any observable difference is an associativity
+  (RS011), commutativity (RS012) or identity (RS013) violation.
+
+Floating-point reductions get special treatment: reassociation that only
+moves the result by rounding noise is reported as the ``RS020`` *warning*
+(parallel results are run-shape-dependent but numerically equivalent),
+while differences beyond tolerance stay hard errors.
+
+All trials are seeded (:data:`TRIAL_SEED`); the checker is deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Iterable, Sequence
+
+from repro.chapel.reduce_op import REDUCE_OPS, ReduceScanOp
+from repro.analysis.diagnostics import Diagnostic, diag
+
+__all__ = [
+    "TRIAL_SEED",
+    "check_reduce_op",
+    "check_registry",
+    "sample_family",
+]
+
+TRIAL_SEED = 0x5EED
+_NUM_TRIALS = 8
+_REL_TOL = 1e-6
+_ABS_TOL = 1e-9
+
+#: Deterministic input families, probed in order; the first one the op's
+#: ``accumulate`` accepts is used for the trials.  Values are chosen to
+#: exercise ties (duplicates), sign changes, non-dyadic floats (so float
+#: reassociation visibly rounds), and index tie-breaking for loc ops.
+_FAMILIES: dict[str, list[Any]] = {
+    "int": [3, -1, 7, 0, 7, 2, -5, 11, 4, 3, -1, 6],
+    "float": [0.1, 2.5, -1.75, 3.7, 0.2, -0.3, 1.1, 4.9, 0.1, -2.2, 5.3, 0.7],
+    "pair": [
+        (3.0, 4),
+        (1.0, 7),
+        (1.0, 2),
+        (5.5, 1),
+        (1.0, 9),
+        (8.25, 3),
+        (3.0, 0),
+        (-2.0, 6),
+        (-2.0, 5),
+        (8.25, 8),
+    ],
+    "bool": [True, False, True, True, False, False, True, False, True, True],
+}
+_FAMILY_ORDER = ("int", "float", "pair", "bool")
+
+
+def sample_family(cls: type[ReduceScanOp]) -> tuple[str, list[Any]] | None:
+    """Pick the first input family the op's accumulate accepts."""
+    fams = accepted_families(cls)
+    if not fams:
+        return None
+    fam = fams[0]
+    return fam, list(_FAMILIES[fam])
+
+
+def accepted_families(cls: type[ReduceScanOp]) -> list[str]:
+    """Every input family the op's accumulate/generate accepts."""
+    out: list[str] = []
+    for fam in _FAMILY_ORDER:
+        xs = _FAMILIES[fam]
+        try:
+            op = cls()
+            for x in xs[:4]:
+                op.accumulate(x)
+            op.generate()
+        except Exception:
+            continue
+        out.append(fam)
+    return out
+
+
+def _values_close(a: Any, b: Any) -> tuple[bool, bool]:
+    """Return (equal_exactly, equal_within_float_tolerance)."""
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        if len(a) != len(b):
+            return False, False
+        exact, close = True, True
+        for x, y in zip(a, b):
+            e, c = _values_close(x, y)
+            exact, close = exact and e, close and c
+        return exact, close
+    if isinstance(a, float) or isinstance(b, float):
+        try:
+            exact = a == b
+            close = math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
+        except TypeError:
+            return False, False
+        return exact, close
+    eq = a == b
+    return eq, eq
+
+
+def _fold(cls: type[ReduceScanOp], xs: Iterable[Any]) -> ReduceScanOp:
+    op = cls()
+    for x in xs:
+        op.accumulate(x)
+    return op
+
+
+def _result(op: ReduceScanOp) -> Any:
+    return op.generate()
+
+
+def _shared_mutable_identity(cls: type[ReduceScanOp]) -> str | None:
+    """Detect an identity that aliases mutable state across clones."""
+    ident = getattr(cls, "identity", None)
+    if isinstance(ident, (list, dict, set, bytearray)):
+        return (
+            f"class-level identity is a shared mutable "
+            f"{type(ident).__name__} instance"
+        )
+    if callable(ident):
+        try:
+            a, b = ident(), ident()
+        except Exception:
+            return None
+        if a is b and isinstance(a, (list, dict, set, bytearray)):
+            return "identity() returns the same mutable object on every call"
+    return None
+
+
+def check_reduce_op(
+    cls: type[ReduceScanOp], name: str | None = None
+) -> list[Diagnostic]:
+    """Run all algebra checks on one ReduceScanOp class."""
+    label = name or cls.__name__
+    diags: list[Diagnostic] = []
+
+    # -- structural -----------------------------------------------------------
+    missing = [
+        m
+        for m in ("accumulate", "combine")
+        if getattr(cls, m, None) is getattr(ReduceScanOp, m)
+    ]
+    if missing:
+        diags.append(
+            diag(
+                "RS015",
+                f"reduction {label!r} does not override {' and '.join(missing)}",
+                subject=label,
+                hint="a ReduceScanOp must implement both the local "
+                "(accumulate) and global (combine) reduction functions",
+            )
+        )
+        return diags  # trials would only raise NotImplementedError
+
+    reason = _shared_mutable_identity(cls)
+    if reason is not None:
+        diags.append(
+            diag(
+                "RS010",
+                f"reduction {label!r}: {reason}; every clone() aliases the "
+                "same accumulator state across tasks",
+                subject=label,
+                hint="use a zero-argument callable building a fresh value, "
+                "e.g. identity = list",
+            )
+        )
+        return diags  # trials over aliased state would double-report
+
+    families = accepted_families(cls)
+    if not families:
+        diags.append(
+            diag(
+                "RS001",
+                f"reduction {label!r}: no sample input family accepted; "
+                "algebra trials skipped",
+                subject=label,
+            )
+        )
+        return diags
+    xs = list(_FAMILIES[families[0]])
+
+    # -- clone freshness -------------------------------------------------------
+    try:
+        seeded = _fold(cls, xs[:3])
+        clone = seeded.clone()
+        fresh_result = _result(cls())
+        exact, close = _values_close(_result(clone), fresh_result)
+        if not close:
+            diags.append(
+                diag(
+                    "RS014",
+                    f"reduction {label!r}: clone() of a non-empty accumulator "
+                    f"yields {_result(clone)!r}, expected the identity state "
+                    f"{fresh_result!r}",
+                    subject=label,
+                    hint="clone() must return a new accumulator at the "
+                    "identity, not a copy of the current state",
+                )
+            )
+    except Exception as exc:  # structural failure surfaces as RS014 too
+        diags.append(
+            diag(
+                "RS014",
+                f"reduction {label!r}: clone() raised {exc!r}",
+                subject=label,
+            )
+        )
+        return diags
+
+    # -- seeded trials ---------------------------------------------------------
+    rng = random.Random(TRIAL_SEED)
+    float_noise = False
+    seen_codes: set[str] = set()
+    for family in families:
+        for _trial in range(_NUM_TRIALS):
+            pool = list(_FAMILIES[family])
+            rng.shuffle(pool)
+            cut1 = rng.randrange(1, len(pool) - 1)
+            cut2 = rng.randrange(cut1 + 1, len(pool))
+            a, b, c = pool[:cut1], pool[cut1:cut2], pool[cut2:]
+            outcomes = (
+                _associativity_trial(cls, label, a, b, c),
+                _commutativity_trial(cls, label, a, b),
+                _identity_trial(cls, label, a),
+            )
+            for out in outcomes:
+                if out is None:
+                    continue
+                kind, d = out
+                if kind == "error":
+                    if d.code not in seen_codes:
+                        seen_codes.add(d.code)
+                        diags.append(d)
+                else:
+                    float_noise = True
+        if seen_codes:
+            break  # one family's hard violations are enough
+
+    if float_noise and not any(d.is_error for d in diags):
+        diags.append(
+            diag(
+                "RS020",
+                f"reduction {label!r} over floats: combine order changes the "
+                "result by rounding noise; parallel runs are numerically "
+                "equivalent but bit-for-bit nondeterministic",
+                subject=label,
+                hint="expected for floating-point + / *; pin num_tasks for "
+                "bit-exact reproducibility",
+            )
+        )
+    return diags
+
+
+def _verdict(
+    code: str, label: str, lhs: Any, rhs: Any, what: str, hint: str
+) -> tuple[str, Diagnostic] | None:
+    exact, close = _values_close(lhs, rhs)
+    if exact:
+        return None
+    if close:
+        return ("noise", diag("RS020", "", subject=label))  # marker only
+    return (
+        "error",
+        diag(
+            code,
+            f"reduction {label!r} is not {what}: {lhs!r} != {rhs!r} on a "
+            f"seeded trial (seed {TRIAL_SEED:#x})",
+            subject=label,
+            hint=hint,
+        ),
+    )
+
+
+def _associativity_trial(
+    cls: type[ReduceScanOp],
+    label: str,
+    a: Sequence[Any],
+    b: Sequence[Any],
+    c: Sequence[Any],
+) -> tuple[str, Diagnostic] | None:
+    left = _fold(cls, a)
+    left.combine(_fold(cls, b))
+    left.combine(_fold(cls, c))  # (A . B) . C
+    bc = _fold(cls, b)
+    bc.combine(_fold(cls, c))
+    right = _fold(cls, a)
+    right.combine(bc)  # A . (B . C)
+    return _verdict(
+        "RS011",
+        label,
+        _result(left),
+        _result(right),
+        "associative",
+        "FREERIDE may combine task states in any grouping; the global "
+        "reduction must not depend on it",
+    )
+
+
+def _commutativity_trial(
+    cls: type[ReduceScanOp], label: str, a: Sequence[Any], b: Sequence[Any]
+) -> tuple[str, Diagnostic] | None:
+    ab = _fold(cls, a)
+    ab.combine(_fold(cls, b))
+    ba = _fold(cls, b)
+    ba.combine(_fold(cls, a))
+    return _verdict(
+        "RS012",
+        label,
+        _result(ab),
+        _result(ba),
+        "commutative",
+        "task states may merge in any order (e.g. all_to_one vs. "
+        "parallel_merge); ties must break on a total order",
+    )
+
+
+def _identity_trial(
+    cls: type[ReduceScanOp], label: str, a: Sequence[Any]
+) -> tuple[str, Diagnostic] | None:
+    seeded = _fold(cls, a)
+    expect = _result(_fold(cls, a))
+    seeded.combine(cls())  # fold in an identity-state task (empty split)
+    out = _verdict(
+        "RS013",
+        label,
+        _result(seeded),
+        expect,
+        "identity-preserving",
+        "combining with a fresh (empty-split) task state must be a no-op",
+    )
+    if out is not None:
+        return out
+    fresh = cls()
+    fresh.combine(_fold(cls, a))  # left identity
+    return _verdict(
+        "RS013",
+        label,
+        _result(fresh),
+        expect,
+        "identity-preserving",
+        "an empty task state combined with a full one must equal the full one",
+    )
+
+
+def check_registry(
+    ops: dict[str, type[ReduceScanOp]] | None = None,
+) -> list[Diagnostic]:
+    """Check every (de-aliased) op in the registry (builtin + registered)."""
+    ops = REDUCE_OPS if ops is None else ops
+    by_cls: dict[type[ReduceScanOp], list[str]] = {}
+    for name, cls in ops.items():
+        by_cls.setdefault(cls, []).append(name)
+    diags: list[Diagnostic] = []
+    for cls, names in by_cls.items():
+        label = f"{cls.__name__} ({', '.join(sorted(names))})"
+        diags.extend(check_reduce_op(cls, name=label))
+    return diags

@@ -1,0 +1,295 @@
+"""Diagnostics framework for the reduction-safety analyzer.
+
+Every check in :mod:`repro.analysis` reports :class:`Diagnostic` records
+with a *stable* code from :data:`CODES` (``RS001``...), a severity, and an
+optional source :class:`Span` taken from the mini-Chapel AST's ``line``/
+``col`` fields.  Codes are stable across releases so CI annotations and
+suppressions can key on them; new checks get new codes, retired checks
+leave their code reserved.
+
+The renderer produces compiler-style output::
+
+    examples/lint_reductions.py:23:5: error RS002: write to shared class
+    field 'total' bypasses the reduction object
+       |     total = total + x;
+       |     ^
+    hint: fold per-element updates through roAdd/roMin/roMax
+
+:func:`render_diagnostics` accepts an optional ``{file: source_text}`` map
+to include the offending source line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Severity",
+    "Span",
+    "Diagnostic",
+    "DiagnosticBag",
+    "CODES",
+    "DEFAULT_SEVERITIES",
+    "diag",
+    "render_diagnostic",
+    "render_diagnostics",
+    "summarize",
+]
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ordered so ``max()`` picks the worst."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Stable diagnostic codes and their one-line titles.
+CODES: dict[str, str] = {
+    # -- general -------------------------------------------------------------
+    "RS000": "mini-Chapel source failed to parse",
+    "RS001": "analysis incomplete: reduction could not be lowered or planned",
+    # -- forall race detector ------------------------------------------------
+    "RS002": "write to shared class field bypasses the reduction object",
+    "RS003": "loop-carried dependence: shared field is read and written across forall iterations",
+    "RS004": "combine discards per-task accumulator state",
+    "RS005": "accumulate parameter aliases a class field",
+    "RS006": "local declaration shadows a class field or the data parameter",
+    "RS007": "dynamic index cannot be bounds-checked statically",
+    "RS008": "accumulate mutates the (shared, linearized) input element",
+    # -- reduce-op algebra checker -------------------------------------------
+    "RS010": "identity element is mutable shared state aliased across clones",
+    "RS011": "combine is not associative over seeded trials",
+    "RS012": "combine is not commutative over seeded trials",
+    "RS013": "identity element is not neutral under combine",
+    "RS014": "clone() does not produce a fresh identity-state accumulator",
+    "RS015": "ReduceScanOp does not override accumulate/combine",
+    "RS020": "floating-point reduction: result depends on reassociation (nondeterministic in parallel)",
+    # -- plan validator ------------------------------------------------------
+    "RS030": "computeIndex out of bounds: index range exceeds the level domain",
+    "RS031": "strength-reduction hoist violates its contiguity invariant",
+    "RS032": "incremental hoist step does not match the layout unit size",
+    "RS033": "compilation plan is inconsistent with the lowered access sites",
+}
+
+#: Default severity per code (overridable per Diagnostic at creation).
+DEFAULT_SEVERITIES: dict[str, Severity] = {
+    "RS000": Severity.ERROR,
+    "RS001": Severity.WARNING,
+    "RS002": Severity.ERROR,
+    "RS003": Severity.ERROR,
+    "RS004": Severity.ERROR,
+    "RS005": Severity.ERROR,
+    "RS006": Severity.WARNING,
+    "RS007": Severity.INFO,
+    "RS008": Severity.ERROR,
+    "RS010": Severity.ERROR,
+    "RS011": Severity.ERROR,
+    "RS012": Severity.ERROR,
+    "RS013": Severity.ERROR,
+    "RS014": Severity.ERROR,
+    "RS015": Severity.ERROR,
+    "RS020": Severity.WARNING,
+    "RS030": Severity.ERROR,
+    "RS031": Severity.ERROR,
+    "RS032": Severity.ERROR,
+    "RS033": Severity.ERROR,
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source position: 1-based line/column, ``0`` meaning unknown."""
+
+    line: int = 0
+    col: int = 0
+    file: str | None = None
+
+    @classmethod
+    def of(cls, node: Any, file: str | None = None) -> "Span":
+        """Span of an AST node (anything exposing ``line``/``col``)."""
+        return cls(
+            line=getattr(node, "line", 0) or 0,
+            col=getattr(node, "col", 0) or 0,
+            file=file,
+        )
+
+    def shifted(self, line_offset: int, file: str | None = None) -> "Span":
+        """Translate an embedded-source span into its host file.
+
+        A mini-Chapel string literal starting on host line ``L`` maps its
+        internal line ``n`` to host line ``L + n - 1``.
+        """
+        if not self.line:
+            return Span(file=file or self.file)
+        return Span(self.line + line_offset, self.col, file or self.file)
+
+    def __str__(self) -> str:
+        place = self.file or "<source>"
+        if self.line:
+            return f"{place}:{self.line}:{self.col or 1}"
+        return place
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, with a stable code and a source span."""
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span = field(default_factory=Span)
+    #: the construct the finding is about (class name, op name, ...)
+    subject: str | None = None
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity >= Severity.ERROR
+
+    @property
+    def title(self) -> str:
+        return CODES[self.code]
+
+    def in_file(self, file: str, line_offset: int = 0) -> "Diagnostic":
+        """Re-home the diagnostic into a host file (embedded sources)."""
+        return replace(self, span=self.span.shifted(line_offset, file))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "file": self.span.file,
+            "line": self.span.line,
+            "col": self.span.col,
+            "subject": self.subject,
+            "hint": self.hint,
+        }
+
+
+def diag(
+    code: str,
+    message: str,
+    *,
+    node: Any = None,
+    file: str | None = None,
+    subject: str | None = None,
+    hint: str | None = None,
+    severity: Severity | None = None,
+) -> Diagnostic:
+    """Build a Diagnostic with the code's default severity."""
+    return Diagnostic(
+        code=code,
+        severity=severity if severity is not None else DEFAULT_SEVERITIES[code],
+        message=message,
+        span=Span.of(node, file) if node is not None else Span(file=file),
+        subject=subject,
+        hint=hint,
+    )
+
+
+class DiagnosticBag:
+    """An ordered, sortable collection of diagnostics."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._items: list[Diagnostic] = list(diagnostics)
+
+    def add(self, d: Diagnostic) -> None:
+        self._items.append(d)
+
+    def extend(self, ds: Iterable[Diagnostic]) -> None:
+        self._items.extend(ds)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity >= Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == Severity.WARNING]
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == Severity.INFO]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity >= Severity.ERROR for d in self._items)
+
+    def max_severity(self) -> Severity | None:
+        return max((d.severity for d in self._items), default=None)
+
+    def sorted(self) -> list[Diagnostic]:
+        """Stable order: file, line, column, code."""
+        return sorted(
+            self._items,
+            key=lambda d: (d.span.file or "", d.span.line, d.span.col, d.code),
+        )
+
+
+def render_diagnostic(
+    d: Diagnostic, sources: Mapping[str, str] | None = None
+) -> str:
+    """Render one diagnostic; includes the source line when available."""
+    head = f"{d.span}: {d.severity} {d.code}: {d.message}"
+    if d.subject:
+        head = f"{head} [{d.subject}]"
+    lines = [head]
+    src = sources.get(d.span.file or "", None) if sources else None
+    if src is not None and d.span.line:
+        src_lines = src.splitlines()
+        if 1 <= d.span.line <= len(src_lines):
+            text = src_lines[d.span.line - 1]
+            lines.append(f"   | {text}")
+            caret_pad = " " * (max(d.span.col, 1) - 1)
+            lines.append(f"   | {caret_pad}^")
+    if d.hint:
+        lines.append(f"hint: {d.hint}")
+    return "\n".join(lines)
+
+
+def render_diagnostics(
+    diagnostics: Iterable[Diagnostic],
+    sources: Mapping[str, str] | None = None,
+) -> str:
+    """Render a batch (sorted) plus a one-line summary."""
+    bag = (
+        diagnostics
+        if isinstance(diagnostics, DiagnosticBag)
+        else DiagnosticBag(diagnostics)
+    )
+    parts = [render_diagnostic(d, sources) for d in bag.sorted()]
+    parts.append(summarize(bag))
+    return "\n".join(parts)
+
+
+def summarize(diagnostics: Iterable[Diagnostic]) -> str:
+    bag = (
+        diagnostics
+        if isinstance(diagnostics, DiagnosticBag)
+        else DiagnosticBag(diagnostics)
+    )
+    return (
+        f"{len(bag.errors)} error(s), {len(bag.warnings)} warning(s), "
+        f"{len(bag.infos)} info(s)"
+    )

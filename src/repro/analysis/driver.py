@@ -1,0 +1,227 @@
+"""Analysis driver: run every check over sources, files and directories.
+
+Entry points, from narrow to wide:
+
+* :func:`analyze_program` — parsed :class:`~repro.chapel.ast.Program`:
+  race-checks every reduction class and, for each class that lowers,
+  validates the compilation plan at every optimization level;
+* :func:`analyze_source` — mini-Chapel source text (parse + the above);
+* :func:`analyze_file` — a ``.chpl``/``.chapel`` file, or a ``.py`` file
+  whose mini-Chapel programs are embedded as string literals (the repo's
+  apps and examples style) — embedded diagnostics are re-homed to host
+  file/line;
+* :func:`analyze_path` — a file or a directory tree, returning an
+  :class:`AnalysisReport`.
+
+Scalar class fields (``k``, ``dim``…) must be compile-time constants to
+lower; when the caller supplies none, :func:`guess_constants` fills in
+small representative values so plan validation can still run.
+"""
+
+from __future__ import annotations
+
+import ast as pyast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.chapel import ast as A
+from repro.chapel.parser import parse_program
+from repro.compiler.lower import lower_reduction
+from repro.compiler.passes import plan_compilation
+from repro.util.errors import ChapelSyntaxError, ReproError
+from repro.analysis.diagnostics import Diagnostic, DiagnosticBag, Span, diag
+from repro.analysis.plancheck import validate_plan
+from repro.analysis.races import check_program_races, uses_ro_intrinsics
+
+__all__ = [
+    "AnalysisReport",
+    "analyze_program",
+    "analyze_source",
+    "analyze_file",
+    "analyze_path",
+    "guess_constants",
+    "iter_chapel_sources",
+]
+
+#: Representative values for scalar class fields when no constants given.
+_GUESS_VALUES = {"int": 2, "real": 1.5, "bool": True}
+
+#: Extensions treated as raw mini-Chapel source.
+CHAPEL_SUFFIXES = (".chpl", ".chapel")
+
+
+def guess_constants(cls: A.ClassDecl) -> dict[str, Any]:
+    """Small representative values for the class's scalar fields.
+
+    Lowering requires every scalar field (``k``, ``dim``, ``bins``…) as a
+    compile-time constant.  For analysis we only need *plausible* values —
+    domain shapes scale with them but the checked invariants do not.
+    """
+    out: dict[str, Any] = {}
+    for f in cls.fields:
+        if isinstance(f.type, A.NamedTypeExpr) and f.type.name in _GUESS_VALUES:
+            out[f.name] = _GUESS_VALUES[f.type.name]
+    return out
+
+
+def analyze_program(
+    program: A.Program,
+    constants: dict[str, Any] | None = None,
+    class_name: str | None = None,
+    file: str | None = None,
+) -> list[Diagnostic]:
+    """Run race detection and plan validation over one parsed program."""
+    diags: list[Diagnostic] = []
+    for cls in program.classes:
+        if class_name is not None and cls.name != class_name:
+            continue
+        cls_diags = list(check_program_races(program, cls.name, file=file))
+        if not uses_ro_intrinsics(cls):
+            # Figure-2 interpreter style: never fed to the compiler, so
+            # there is no plan to validate.
+            diags.extend(cls_diags)
+            continue
+        consts = dict(guess_constants(cls))
+        if constants:
+            consts.update(constants)
+        has_errors = any(d.is_error for d in cls_diags)
+        # The bounds walk is plan-independent; dedupe identical findings
+        # reported by validate_plan at several optimization levels.
+        seen: set[tuple[str, int, int, str]] = set()
+        try:
+            for level in (0, 1, 2):
+                lowered = lower_reduction(program, consts, cls.name)
+                plan = plan_compilation(lowered, level)
+                for d in validate_plan(lowered, plan, file=file):
+                    key = (d.code, d.span.line, d.span.col, d.message)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    cls_diags.append(d)
+        except ReproError as exc:
+            # A class the compiler rejects outright: only worth a warning
+            # when the race detector did not already explain why.
+            if not has_errors:
+                cls_diags.append(
+                    diag(
+                        "RS001",
+                        f"class {cls.name!r} could not be lowered or planned: "
+                        f"{exc}",
+                        node=cls,
+                        file=file,
+                        subject=cls.name,
+                    )
+                )
+        diags.extend(cls_diags)
+    return diags
+
+
+def analyze_source(
+    source: str,
+    file: str | None = None,
+    constants: dict[str, Any] | None = None,
+    class_name: str | None = None,
+) -> list[Diagnostic]:
+    """Parse mini-Chapel source text and analyze it."""
+    try:
+        program = parse_program(source)
+    except ChapelSyntaxError as exc:
+        d = diag("RS000", str(exc), file=file)
+        return [
+            replace(d, span=Span(exc.line, exc.column, file))
+        ]
+    return analyze_program(program, constants, class_name, file=file)
+
+
+def iter_chapel_sources(py_source: str) -> Iterator[tuple[int, str]]:
+    """Embedded mini-Chapel programs in a Python file's string literals.
+
+    Yields ``(line_offset, chapel_source)`` for every string literal that
+    mentions ``ReduceScanOp`` or ``class`` + ``accumulate`` and parses as a
+    mini-Chapel program with at least one class.  ``line_offset`` maps the
+    literal's internal line 1 to its host line (``host = offset + line``).
+    """
+    try:
+        tree = pyast.parse(py_source)
+    except SyntaxError:
+        return
+    for node in pyast.walk(tree):
+        if not (isinstance(node, pyast.Constant) and isinstance(node.value, str)):
+            continue
+        text = node.value
+        if "accumulate" not in text or "class" not in text:
+            continue
+        try:
+            program = parse_program(text)
+        except ReproError:
+            continue
+        if not program.classes:
+            continue
+        # A triple-quoted literal's first source line is the line of the
+        # opening quotes; the literal text itself starts with a newline,
+        # so internal line n sits on host line node.lineno + n - 1.
+        yield node.lineno - 1, text
+
+
+def analyze_file(
+    path: str | Path,
+    constants: dict[str, Any] | None = None,
+) -> list[Diagnostic]:
+    """Analyze one file (raw mini-Chapel, or Python with embedded sources)."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix in CHAPEL_SUFFIXES:
+        return analyze_source(text, file=str(path), constants=constants)
+    diags: list[Diagnostic] = []
+    for line_offset, chapel_src in iter_chapel_sources(text):
+        for d in analyze_source(chapel_src, constants=constants):
+            diags.append(d.in_file(str(path), line_offset))
+    return diags
+
+
+@dataclass
+class AnalysisReport:
+    """Everything :func:`analyze_path` found, plus the sources for rendering."""
+
+    diagnostics: DiagnosticBag = field(default_factory=DiagnosticBag)
+    files_scanned: int = 0
+    files_with_findings: int = 0
+    #: file -> source text (for the renderer's source-line excerpts)
+    sources: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def has_errors(self) -> bool:
+        return self.diagnostics.has_errors
+
+
+def _iter_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        yield path
+        return
+    for sub in sorted(path.rglob("*")):
+        if sub.is_file() and sub.suffix in CHAPEL_SUFFIXES + (".py",):
+            yield sub
+
+
+def analyze_path(
+    path: str | Path,
+    constants: dict[str, Any] | None = None,
+) -> AnalysisReport:
+    """Analyze a file or every analyzable file under a directory."""
+    root = Path(path)
+    report = AnalysisReport()
+    for f in _iter_files(root):
+        try:
+            found = analyze_file(f, constants=constants)
+        except (OSError, UnicodeDecodeError):
+            continue
+        report.files_scanned += 1
+        if found:
+            report.files_with_findings += 1
+            report.diagnostics.extend(found)
+            try:
+                report.sources[str(f)] = f.read_text()
+            except (OSError, UnicodeDecodeError):  # pragma: no cover
+                pass
+    return report

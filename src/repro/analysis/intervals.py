@@ -1,0 +1,177 @@
+"""Exactness-tracking integer interval arithmetic for bounds checking.
+
+The plan validator evaluates index expressions to intervals over the
+compile-time constants and the enclosing loop ranges.  To report an
+out-of-bounds access as an *error* (not a maybe), the interval must be
+**exact**: every integer in ``[lo, hi]`` is actually taken by the
+expression for some iteration.  Affine combinations of distinct loop
+variables and constants are exact; anything involving an unknown name,
+a repeated variable (``d - d``), or real division degrades to inexact or
+unknown — those sites get at most an informational diagnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.chapel import ast as A
+
+__all__ = ["Interval", "eval_interval"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` with ``None`` bounds meaning unknown/unbounded.
+
+    ``exact`` promises every integer in the hull is achieved; ``vars`` are
+    the loop-variable names the value ranges over (used to detect repeated
+    variables, which break exactness of the hull).
+    """
+
+    lo: int | None
+    hi: int | None
+    exact: bool = False
+    vars: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def point(cls, v: int) -> "Interval":
+        return cls(v, v, exact=True)
+
+    @classmethod
+    def unknown(cls) -> "Interval":
+        return cls(None, None, exact=False)
+
+    @property
+    def is_known(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def _combine_exact(self, other: "Interval") -> bool:
+        # A hull of f(x) op g(y) is exact only when both operands are exact
+        # and range over disjoint variables (independence).
+        return self.exact and other.exact and not (self.vars & other.vars)
+
+    def __add__(self, other: "Interval") -> "Interval":
+        if not (self.is_known and other.is_known):
+            return Interval.unknown()
+        return Interval(
+            self.lo + other.lo,  # type: ignore[operator]
+            self.hi + other.hi,  # type: ignore[operator]
+            exact=self._combine_exact(other),
+            vars=self.vars | other.vars,
+        )
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        if not (self.is_known and other.is_known):
+            return Interval.unknown()
+        return Interval(
+            self.lo - other.hi,  # type: ignore[operator]
+            self.hi - other.lo,  # type: ignore[operator]
+            exact=self._combine_exact(other),
+            vars=self.vars | other.vars,
+        )
+
+    def __neg__(self) -> "Interval":
+        if not self.is_known:
+            return Interval.unknown()
+        return Interval(-self.hi, -self.lo, exact=self.exact, vars=self.vars)  # type: ignore[operator]
+
+    def __mul__(self, other: "Interval") -> "Interval":
+        if not (self.is_known and other.is_known):
+            return Interval.unknown()
+        products = [
+            self.lo * other.lo,  # type: ignore[operator]
+            self.lo * other.hi,  # type: ignore[operator]
+            self.hi * other.lo,  # type: ignore[operator]
+            self.hi * other.hi,  # type: ignore[operator]
+        ]
+        # The hull is exact only when one side is a single point (affine
+        # scaling of an exact range keeps endpoints achieved; a true
+        # product of two ranges has holes).
+        one_point = (self.lo == self.hi) or (other.lo == other.hi)
+        return Interval(
+            min(products),
+            max(products),
+            exact=one_point and self._combine_exact(other),
+            vars=self.vars | other.vars,
+        )
+
+    def floordiv_const(self, c: int) -> "Interval":
+        """Division by a positive integer constant (contiguity preserved)."""
+        if not self.is_known or c <= 0:
+            return Interval.unknown()
+        return Interval(
+            self.lo // c, self.hi // c, exact=self.exact, vars=self.vars  # type: ignore[operator]
+        )
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Union hull of two intervals (used for range expressions)."""
+        if not (self.is_known and other.is_known):
+            return Interval.unknown()
+        return Interval(
+            min(self.lo, other.lo),  # type: ignore[type-var]
+            max(self.hi, other.hi),  # type: ignore[type-var]
+            exact=False,
+            vars=self.vars | other.vars,
+        )
+
+    def definitely_outside(self, low: int, high: int) -> bool:
+        """True when some achieved value falls outside ``[low, high]``.
+
+        Requires exactness: on an inexact hull a protruding endpoint may
+        never be achieved, so the answer is "unknown", not "yes".
+        """
+        if not (self.exact and self.is_known):
+            return False
+        return self.lo < low or self.hi > high  # type: ignore[operator]
+
+
+def eval_interval(
+    expr: A.Expr,
+    env: Mapping[str, Interval],
+    constants: Mapping[str, Any] | None = None,
+) -> Interval:
+    """Abstract-evaluate a mini-Chapel expression to an Interval.
+
+    ``env`` maps loop variables (and anything else known) to intervals;
+    ``constants`` supplies compile-time scalar values.
+    """
+    constants = constants or {}
+    if isinstance(expr, A.IntLit):
+        return Interval.point(expr.value)
+    if isinstance(expr, A.BoolLit):
+        return Interval.point(int(expr.value))
+    if isinstance(expr, A.RealLit):
+        return Interval.unknown()
+    if isinstance(expr, A.Ident):
+        if expr.name in env:
+            iv = env[expr.name]
+            # tag with the variable name so repeated uses break exactness
+            if iv.lo != iv.hi:
+                return Interval(
+                    iv.lo, iv.hi, exact=iv.exact, vars=iv.vars | {expr.name}
+                )
+            return iv
+        v = constants.get(expr.name)
+        if isinstance(v, int) and not isinstance(v, bool):
+            return Interval.point(v)
+        return Interval.unknown()
+    if isinstance(expr, A.UnaryOp):
+        inner = eval_interval(expr.operand, env, constants)
+        return -inner if expr.op == "-" else Interval.unknown()
+    if isinstance(expr, A.BinOp):
+        left = eval_interval(expr.left, env, constants)
+        right = eval_interval(expr.right, env, constants)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            if right.is_known and right.lo == right.hi and right.lo > 0:  # type: ignore[operator]
+                return left.floordiv_const(right.lo)  # type: ignore[arg-type]
+            return Interval.unknown()
+        return Interval.unknown()
+    # Index/Member/Call values are data-dependent.
+    return Interval.unknown()

@@ -1,0 +1,317 @@
+"""Plan validator: cross-check optimization plans against layout metadata.
+
+The opt-1/opt-2 passes annotate access sites with hoists and linearization
+modes; the code generator then trusts those annotations.  This validator
+re-derives the invariants independently from the lowered IR
+(:class:`repro.compiler.lower.AccessSite`, the :class:`MappingInfo` layout
+metadata) and the mini-Chapel AST:
+
+``RS030``
+    an index expression's achieved range provably exceeds the level's
+    domain — ``computeIndex`` would address outside the linearized buffer
+    at run time (intervals must be *exact* to fire; see
+    :mod:`repro.analysis.intervals`);
+``RS031``
+    a strength-reduced hoist whose site is not actually contiguous
+    (non-zero trailing offset) or whose hoist loop does not drive the
+    innermost index;
+``RS032``
+    an incremental hoist whose per-iteration byte step disagrees with the
+    layout's ``unitSize`` at the varying level;
+``RS033``
+    plan/IR inconsistencies: sites without a plan, data sites left nested,
+    or extras left nested at opt-2;
+``RS007``
+    (info) a data-dependent index the validator cannot bound statically.
+"""
+
+from __future__ import annotations
+
+from repro.chapel import ast as A
+from repro.compiler.lower import AccessSite, LoweredReduction
+from repro.compiler.passes import CompilationPlan, LoopHoist
+from repro.analysis.diagnostics import Diagnostic, diag
+from repro.analysis.intervals import Interval, eval_interval
+
+__all__ = ["validate_plan"]
+
+
+def _site_wrapped(site: AccessSite) -> bool:
+    """Whether the site's MappingInfo carries a synthetic leading level."""
+    info = site.info
+    assert info is not None
+    return info.levels == len(site.index_exprs) + 1
+
+
+class _BoundsWalker:
+    """Walks the body with a loop-interval environment, checking sites."""
+
+    def __init__(
+        self,
+        lowered: LoweredReduction,
+        file: str | None,
+    ) -> None:
+        self.low = lowered
+        self.file = file
+        self.env: dict[str, Interval] = {}
+        self.diags: list[Diagnostic] = []
+        self._reported_sites: set[int] = set()
+
+    # -- traversal ------------------------------------------------------------
+
+    def walk_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDeclStmt):
+            if stmt.decl.init is not None:
+                self.visit_expr(stmt.decl.init)
+        elif isinstance(stmt, A.Assign):
+            self.visit_expr(stmt.value)
+        elif isinstance(stmt, A.ForStmt):
+            lo = eval_interval(stmt.range.lo, self.env, self.low.constants)
+            hi = eval_interval(stmt.range.hi, self.env, self.low.constants)
+            self.visit_expr(stmt.range.lo)
+            self.visit_expr(stmt.range.hi)
+            if lo.is_known and hi.is_known:
+                rng = Interval(
+                    lo.lo,
+                    hi.hi,
+                    exact=lo.exact and hi.exact,
+                    vars=lo.vars | hi.vars,
+                )
+            else:
+                rng = Interval.unknown()
+            saved = self.env.get(stmt.var)
+            self.env[stmt.var] = rng
+            self.walk_block(stmt.body)
+            if saved is None:
+                self.env.pop(stmt.var, None)
+            else:
+                self.env[stmt.var] = saved
+        elif isinstance(stmt, A.IfStmt):
+            self.visit_expr(stmt.cond)
+            self.walk_block(stmt.then)
+            if stmt.orelse is not None:
+                self.walk_block(stmt.orelse)
+        elif isinstance(stmt, A.ExprStmt):
+            self.visit_expr(stmt.expr)
+        elif isinstance(stmt, A.Block):  # pragma: no cover - not produced
+            self.walk_block(stmt)
+
+    def visit_expr(self, expr: A.Expr) -> None:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            self.check_site(expr, site)
+            for group in site.index_exprs:
+                for ie in group:
+                    self.visit_expr(ie)
+            return
+        if isinstance(expr, A.BinOp):
+            self.visit_expr(expr.left)
+            self.visit_expr(expr.right)
+        elif isinstance(expr, A.UnaryOp):
+            self.visit_expr(expr.operand)
+        elif isinstance(expr, A.Call):
+            for a in expr.args:
+                self.visit_expr(a)
+
+    # -- checks --------------------------------------------------------------
+
+    def check_site(self, expr: A.Expr, site: AccessSite) -> None:
+        info = site.info
+        if info is None or not site.index_exprs:
+            return
+        offset = 1 if _site_wrapped(site) else 0
+        for gi, group in enumerate(site.index_exprs):
+            level = gi + offset
+            if level >= len(info.domains):  # pragma: no cover - lower invariant
+                continue
+            domain = info.domains[level]
+            for dim, ie in enumerate(group):
+                if dim >= domain.rank:  # pragma: no cover - lower invariant
+                    continue
+                rng = domain.ranges[dim]
+                iv = eval_interval(ie, self.env, self.low.constants)
+                if iv.definitely_outside(rng.low, rng.high):
+                    self.diags.append(
+                        diag(
+                            "RS030",
+                            f"index {ie} of {site.kind} access {expr} spans "
+                            f"[{iv.lo}, {iv.hi}] but the level domain is "
+                            f"[{rng.low}..{rng.high}]: computeIndex would "
+                            "address outside the linearized buffer",
+                            node=ie if (ie.line or ie.col) else expr,
+                            file=self.file,
+                            subject=self.low.name,
+                            hint="clamp or rescale the index to the "
+                            "declared domain",
+                        )
+                    )
+                elif not iv.is_known and id(expr) not in self._reported_sites:
+                    self._reported_sites.add(id(expr))
+                    self.diags.append(
+                        diag(
+                            "RS007",
+                            f"index {ie} of {site.kind} access {expr} is "
+                            "data-dependent; bounds cannot be verified "
+                            "statically",
+                            node=ie if (ie.line or ie.col) else expr,
+                            file=self.file,
+                            subject=self.low.name,
+                        )
+                    )
+
+
+def _loop_vars(loop: A.ForStmt) -> set[str]:
+    """The loop's variable plus every nested loop variable."""
+    out = {loop.var}
+    stack: list[A.Stmt] = list(loop.body.stmts)
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, A.ForStmt):
+            out.add(stmt.var)
+            stack.extend(stmt.body.stmts)
+        elif isinstance(stmt, A.IfStmt):
+            stack.extend(stmt.then.stmts)
+            if stmt.orelse is not None:
+                stack.extend(stmt.orelse.stmts)
+        elif isinstance(stmt, A.Block):
+            stack.extend(stmt.stmts)
+    return out
+
+
+def _check_hoist(
+    lowered: LoweredReduction,
+    hoist: LoopHoist,
+    file: str | None,
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    site = hoist.site
+    info = site.info
+    assert info is not None
+    if info.trailing_offset != 0:
+        diags.append(
+            diag(
+                "RS031",
+                f"hoisted access {site.expr} has a trailing member offset of "
+                f"{info.trailing_offset} bytes: its innermost scalars are not "
+                "contiguous, so the hoisted row view reads the wrong fields",
+                node=site.expr,
+                file=file,
+                subject=lowered.name,
+            )
+        )
+    last = site.index_exprs[-1] if site.index_exprs else ()
+    # The row base is emitted just before hoist.loop; the innermost index
+    # must be a bare loop variable bound by that loop or one nested in it
+    # (LICM may have climbed the hoist outward past invariant loops).
+    drives = (
+        len(last) == 1
+        and isinstance(last[0], A.Ident)
+        and last[0].name in _loop_vars(hoist.loop)
+    )
+    if not drives:
+        diags.append(
+            diag(
+                "RS031",
+                f"hoist for {site.expr} is placed on loop "
+                f"{hoist.loop.var!r}, which does not drive the innermost "
+                "index of the access",
+                node=site.expr,
+                file=file,
+                subject=lowered.name,
+            )
+        )
+    if hoist.incremental is not None:
+        offset = 1 if _site_wrapped(site) else 0
+        level = hoist.var_group + offset
+        if not (0 <= level < len(info.unit_size)):
+            diags.append(
+                diag(
+                    "RS032",
+                    f"incremental hoist for {site.expr} varies level "
+                    f"{hoist.var_group}, outside the access's "
+                    f"{info.levels} layout levels",
+                    node=site.expr,
+                    file=file,
+                    subject=lowered.name,
+                )
+            )
+        elif hoist.step_bytes != info.unit_size[level]:
+            diags.append(
+                diag(
+                    "RS032",
+                    f"incremental hoist for {site.expr} steps "
+                    f"{hoist.step_bytes} bytes per iteration of "
+                    f"{hoist.incremental.var!r} but the layout unit size at "
+                    f"that level is {info.unit_size[level]} bytes",
+                    node=site.expr,
+                    file=file,
+                    subject=lowered.name,
+                )
+            )
+    return diags
+
+
+def validate_plan(
+    lowered: LoweredReduction,
+    plan: CompilationPlan,
+    file: str | None = None,
+) -> list[Diagnostic]:
+    """Validate one compilation plan against the lowered reduction."""
+    diags: list[Diagnostic] = []
+
+    # 1. Index bounds against computeIndex's layout metadata (all levels).
+    walker = _BoundsWalker(lowered, file)
+    walker.walk_block(lowered.body)
+    diags.extend(walker.diags)
+
+    # 2. Plan completeness and mode consistency.
+    unplanned = set(lowered.sites) - set(plan.site_plans)
+    if unplanned:
+        exprs = ", ".join(
+            str(lowered.sites[i].expr) for i in sorted(unplanned)
+        )
+        diags.append(
+            diag(
+                "RS033",
+                f"{len(unplanned)} access site(s) have no plan entry: {exprs}",
+                file=file,
+                subject=lowered.name,
+            )
+        )
+    for sp in plan.site_plans.values():
+        if sp.site.kind == "data" and sp.mode == "nested":
+            diags.append(
+                diag(
+                    "RS033",
+                    f"data access {sp.site.expr} planned as 'nested': data "
+                    "always lives in the linearized buffer",
+                    node=sp.site.expr,
+                    file=file,
+                    subject=lowered.name,
+                )
+            )
+        if plan.opt_level >= 2 and sp.site.kind == "extra" and sp.mode == "nested":
+            diags.append(
+                diag(
+                    "RS033",
+                    f"extra access {sp.site.expr} left 'nested' at opt-2: "
+                    "opt-2 linearizes every structured class field",
+                    node=sp.site.expr,
+                    file=file,
+                    subject=lowered.name,
+                )
+            )
+
+    # 3. Hoist invariants (opt-1's strength reduction, incremental form).
+    for hoists in plan.loop_hoists.values():
+        for h in hoists:
+            diags.extend(_check_hoist(lowered, h, file))
+    for hoists in plan.incremental_hoists.values():
+        for h in hoists:
+            diags.extend(_check_hoist(lowered, h, file))
+
+    return diags

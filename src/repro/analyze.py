@@ -1,0 +1,90 @@
+"""``python -m repro.analyze`` — the reduction-safety analyzer CLI.
+
+Usage::
+
+    python -m repro.analyze <file|dir> [<file|dir> ...] [--strict] [--json]
+                            [--no-registry]
+
+Analyzes mini-Chapel reduction classes in ``.chpl``/``.chapel`` files and
+in string literals embedded in ``.py`` files, and (unless ``--no-registry``)
+algebra-checks every builtin/registered ``ReduceScanOp``.
+
+Exit status: ``0`` normally; with ``--strict``, ``1`` when any
+**error**-level diagnostic was reported (warnings and infos never fail the
+run — float-reduction nondeterminism is expected, not a defect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis import (
+    DiagnosticBag,
+    analyze_path,
+    check_registry,
+    render_diagnostics,
+    summarize,
+)
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Reduction-safety analyzer for mini-Chapel sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="files or directories (.chpl/.chapel, or .py with embedded "
+        "mini-Chapel string literals)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any error-level diagnostic is reported",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit diagnostics as a JSON array instead of rendered text",
+    )
+    parser.add_argument(
+        "--no-registry",
+        action="store_true",
+        help="skip the ReduceScanOp registry algebra checks",
+    )
+    args = parser.parse_args(argv)
+
+    bag = DiagnosticBag()
+    sources: dict[str, str] = {}
+    scanned = 0
+    for p in args.paths:
+        report = analyze_path(p)
+        scanned += report.files_scanned
+        bag.extend(report.diagnostics)
+        sources.update(report.sources)
+    if not args.no_registry:
+        bag.extend(check_registry())
+
+    if args.json:
+        print(json.dumps([d.to_dict() for d in bag.sorted()], indent=2))
+    else:
+        if len(bag):
+            print(render_diagnostics(bag, sources))
+        else:
+            print(f"{scanned} file(s) scanned: no findings")
+        if args.strict:
+            print(f"strict mode: {'FAIL' if bag.has_errors else 'ok'}")
+
+    if args.strict and bag.has_errors:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,7 +55,20 @@ RO_INTRINSICS = {"roAdd": "add", "roMin": "min", "roMax": "max"}
 
 @dataclass(frozen=True)
 class Node:
-    """Base class; ``line`` supports diagnostics."""
+    """Base class; ``line``/``col`` carry source positions for diagnostics.
+
+    Positions are keyword-only with ``0`` meaning "unknown", and excluded
+    from equality/repr so structural AST comparisons are unaffected.  The
+    parser fills them in; programmatically-built nodes may leave them unset.
+    """
+
+    line: int = field(default=0, kw_only=True, compare=False, repr=False)
+    col: int = field(default=0, kw_only=True, compare=False, repr=False)
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """``(line, col)`` of the node, ``(0, 0)`` when unknown."""
+        return (self.line, self.col)
 
 
 # ---------------------------------------------------------------- expressions

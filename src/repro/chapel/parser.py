@@ -108,16 +108,18 @@ class Parser:
         return A.Program(records=tuple(records), classes=tuple(classes))
 
     def parse_record(self) -> A.RecordDecl:
-        self.expect("KEYWORD", "record")
+        kw = self.expect("KEYWORD", "record")
         name = self.expect("IDENT").text
         self.expect("LBRACE")
         fields: list[A.VarDecl] = []
         while not self.accept("RBRACE"):
             fields.append(self.parse_var_decl())
-        return A.RecordDecl(name=name, fields=tuple(fields))
+        return A.RecordDecl(
+            name=name, fields=tuple(fields), line=kw.line, col=kw.column
+        )
 
     def parse_class(self) -> A.ClassDecl:
-        self.expect("KEYWORD", "class")
+        kw = self.expect("KEYWORD", "class")
         name = self.expect("IDENT").text
         parent = None
         if self.accept("COLON"):
@@ -138,11 +140,16 @@ class Parser:
                     tok.column,
                 )
         return A.ClassDecl(
-            name=name, parent=parent, fields=tuple(fields), methods=tuple(methods)
+            name=name,
+            parent=parent,
+            fields=tuple(fields),
+            methods=tuple(methods),
+            line=kw.line,
+            col=kw.column,
         )
 
     def parse_var_decl(self) -> A.VarDecl:
-        self.expect("KEYWORD", "var")
+        kw = self.expect("KEYWORD", "var")
         name = self.expect("IDENT").text
         typ = None
         init = None
@@ -153,10 +160,10 @@ class Parser:
         self.expect("SEMI")
         if typ is None and init is None:
             raise ChapelSyntaxError(f"var {name} needs a type or an initializer")
-        return A.VarDecl(name=name, type=typ, init=init)
+        return A.VarDecl(name=name, type=typ, init=init, line=kw.line, col=kw.column)
 
     def parse_method(self) -> A.MethodDecl:
-        self.expect("KEYWORD", "def")
+        kw = self.expect("KEYWORD", "def")
         name = self.expect("IDENT").text
         self.expect("LPAREN")
         params: list[A.Param] = []
@@ -170,7 +177,9 @@ class Parser:
                     break
         self.expect("RPAREN")
         body = self.parse_block()
-        return A.MethodDecl(name=name, params=tuple(params), body=body)
+        return A.MethodDecl(
+            name=name, params=tuple(params), body=body, line=kw.line, col=kw.column
+        )
 
     def parse_type_expr(self) -> A.TypeExpr:
         if self.accept("LBRACKET"):
@@ -200,19 +209,21 @@ class Parser:
 
     def parse_stmt(self) -> A.Stmt:
         if self.check("KEYWORD", "var"):
-            return A.VarDeclStmt(decl=self.parse_var_decl())
+            decl = self.parse_var_decl()
+            return A.VarDeclStmt(decl=decl, line=decl.line, col=decl.col)
         if self.check("KEYWORD", "for"):
             return self.parse_for()
         if self.check("KEYWORD", "if"):
             return self.parse_if()
         if self.check("KEYWORD", "return"):
-            self.advance()
+            kw = self.advance()
             value = None
             if not self.check("SEMI"):
                 value = self.parse_expr()
             self.expect("SEMI")
-            return A.ReturnStmt(value=value)
+            return A.ReturnStmt(value=value, line=kw.line, col=kw.column)
         # assignment or expression statement
+        start = self.peek()
         expr = self.parse_expr()
         tok = self.peek()
         if tok.kind == "OP" and tok.text == "=":
@@ -220,15 +231,23 @@ class Parser:
             value = self.parse_expr()
             self.expect("SEMI")
             self._check_lvalue(expr)
-            return A.Assign(target=expr, value=value, op=None)
+            return A.Assign(
+                target=expr, value=value, op=None, line=start.line, col=start.column
+            )
         if tok.kind == "OP" and tok.text in _COMPOUND_ASSIGN:
             self.advance()
             value = self.parse_expr()
             self.expect("SEMI")
             self._check_lvalue(expr)
-            return A.Assign(target=expr, value=value, op=tok.text[0])
+            return A.Assign(
+                target=expr,
+                value=value,
+                op=tok.text[0],
+                line=start.line,
+                col=start.column,
+            )
         self.expect("SEMI")
-        return A.ExprStmt(expr=expr)
+        return A.ExprStmt(expr=expr, line=start.line, col=start.column)
 
     @staticmethod
     def _check_lvalue(expr: A.Expr) -> None:
@@ -236,15 +255,15 @@ class Parser:
             raise ChapelSyntaxError(f"invalid assignment target {expr}")
 
     def parse_for(self) -> A.ForStmt:
-        self.expect("KEYWORD", "for")
+        kw = self.expect("KEYWORD", "for")
         var = self.expect("IDENT").text
         self.expect("KEYWORD", "in")
         rng = self.parse_range()
         body = self.parse_block()
-        return A.ForStmt(var=var, range=rng, body=body)
+        return A.ForStmt(var=var, range=rng, body=body, line=kw.line, col=kw.column)
 
     def parse_if(self) -> A.IfStmt:
-        self.expect("KEYWORD", "if")
+        kw = self.expect("KEYWORD", "if")
         self.expect("LPAREN")
         cond = self.parse_expr()
         self.expect("RPAREN")
@@ -255,7 +274,9 @@ class Parser:
                 orelse = A.Block(stmts=(self.parse_if(),))
             else:
                 orelse = self.parse_block()
-        return A.IfStmt(cond=cond, then=then, orelse=orelse)
+        return A.IfStmt(
+            cond=cond, then=then, orelse=orelse, line=kw.line, col=kw.column
+        )
 
     # -- expressions -------------------------------------------------------------
 
@@ -270,14 +291,21 @@ class Parser:
                 break
             self.advance()
             right = self.parse_expr(prec + 1)
-            left = A.BinOp(op=tok.text, left=left, right=right)
+            left = A.BinOp(
+                op=tok.text, left=left, right=right, line=left.line, col=left.col
+            )
         return left
 
     def parse_unary(self) -> A.Expr:
+        tok = self.peek()
         if self.accept("OP", "-"):
-            return A.UnaryOp(op="-", operand=self.parse_unary())
+            return A.UnaryOp(
+                op="-", operand=self.parse_unary(), line=tok.line, col=tok.column
+            )
         if self.accept("OP", "!"):
-            return A.UnaryOp(op="!", operand=self.parse_unary())
+            return A.UnaryOp(
+                op="!", operand=self.parse_unary(), line=tok.line, col=tok.column
+            )
         return self.parse_postfix()
 
     def parse_postfix(self) -> A.Expr:
@@ -288,11 +316,13 @@ class Parser:
                 while self.accept("COMMA"):
                     indices.append(self.parse_expr())
                 self.expect("RBRACKET")
-                expr = A.Index(base=expr, indices=tuple(indices))
+                expr = A.Index(
+                    base=expr, indices=tuple(indices), line=expr.line, col=expr.col
+                )
             elif self.check("OP", "."):
                 self.advance()
                 name = self.expect("IDENT").text
-                expr = A.Member(base=expr, name=name)
+                expr = A.Member(base=expr, name=name, line=expr.line, col=expr.col)
             else:
                 return expr
 
@@ -300,13 +330,15 @@ class Parser:
         tok = self.peek()
         if tok.kind == "INT":
             self.advance()
-            return A.IntLit(value=int(tok.text))
+            return A.IntLit(value=int(tok.text), line=tok.line, col=tok.column)
         if tok.kind == "REAL":
             self.advance()
-            return A.RealLit(value=float(tok.text))
+            return A.RealLit(value=float(tok.text), line=tok.line, col=tok.column)
         if tok.kind == "KEYWORD" and tok.text in ("true", "false"):
             self.advance()
-            return A.BoolLit(value=tok.text == "true")
+            return A.BoolLit(
+                value=tok.text == "true", line=tok.line, col=tok.column
+            )
         if tok.kind == "IDENT":
             self.advance()
             if self.check("LPAREN"):
@@ -318,8 +350,10 @@ class Parser:
                         if not self.accept("COMMA"):
                             break
                 self.expect("RPAREN")
-                return A.Call(name=tok.text, args=tuple(args))
-            return A.Ident(name=tok.text)
+                return A.Call(
+                    name=tok.text, args=tuple(args), line=tok.line, col=tok.column
+                )
+            return A.Ident(name=tok.text, line=tok.line, col=tok.column)
         if tok.kind == "LPAREN":
             self.advance()
             inner = self.parse_expr()

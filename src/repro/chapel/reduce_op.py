@@ -204,11 +204,16 @@ class BitwiseXorReduceScanOp(ReduceScanOp):
 
 
 class _LocReduceScanOp(ReduceScanOp):
-    """Shared machinery for minloc/maxloc: elements are (value, index)."""
+    """Shared machinery for minloc/maxloc: elements are (value, index).
+
+    Ties on the value break toward the *lowest index*, as in Chapel; this
+    makes the op commutative (and hence safe under any combine order, which
+    the middleware does not fix).
+    """
 
     identity = None
 
-    def _better(self, a: Any, b: Any) -> bool:
+    def _better(self, a: tuple[Any, Any], b: tuple[Any, Any]) -> bool:
         raise NotImplementedError
 
     def accumulate(self, x: Any) -> None:
@@ -218,7 +223,7 @@ class _LocReduceScanOp(ReduceScanOp):
             raise ChapelError(
                 f"{type(self).__name__} expects (value, index) pairs, got {x!r}"
             )
-        if self.value is None or self._better(val, self.value[0]):
+        if self.value is None or self._better((val, loc), self.value):
             self.value = (val, loc)
 
     def combine(self, other: ReduceScanOp) -> None:
@@ -229,15 +234,15 @@ class _LocReduceScanOp(ReduceScanOp):
 class MinLocReduceScanOp(_LocReduceScanOp):
     """``minloc reduce zip(A, A.domain)`` — minimum value with its index."""
 
-    def _better(self, a: Any, b: Any) -> bool:
-        return a < b
+    def _better(self, a: tuple[Any, Any], b: tuple[Any, Any]) -> bool:
+        return a[0] < b[0] or (a[0] == b[0] and a[1] < b[1])
 
 
 class MaxLocReduceScanOp(_LocReduceScanOp):
     """``maxloc reduce zip(A, A.domain)``."""
 
-    def _better(self, a: Any, b: Any) -> bool:
-        return a > b
+    def _better(self, a: tuple[Any, Any], b: tuple[Any, Any]) -> bool:
+        return a[0] > b[0] or (a[0] == b[0] and a[1] < b[1])
 
 
 #: Registry mapping Chapel reduce-expression spellings to op classes.
@@ -272,8 +277,35 @@ def get_reduce_op(op: str | type[ReduceScanOp] | ReduceScanOp) -> ReduceScanOp:
     raise ChapelError(f"cannot resolve reduction op from {op!r}")
 
 
+def _mutable_shared_identity(cls: type[ReduceScanOp]) -> str | None:
+    """Describe why the identity aliases mutable state across clones."""
+    ident = cls.__dict__.get("identity", cls.identity)
+    if isinstance(ident, (list, dict, set, bytearray)):
+        return f"identity is a shared mutable {type(ident).__name__}"
+    if callable(ident):
+        try:
+            a, b = ident(), ident()
+        except Exception:
+            return None
+        if a is b and isinstance(a, (list, dict, set, bytearray)):
+            return "identity() returns the same mutable object on every call"
+    return None
+
+
 def register_reduce_op(name: str, cls: type[ReduceScanOp]) -> None:
-    """Register a user-defined reduction under a reduce-expression name."""
+    """Register a user-defined reduction under a reduce-expression name.
+
+    Rejects ops whose identity element is mutable state aliased across
+    :meth:`~ReduceScanOp.clone` calls — every task would fold into the
+    same accumulator, corrupting all parallel runs (diagnostic RS010).
+    """
     if not (isinstance(cls, type) and issubclass(cls, ReduceScanOp)):
         raise ChapelError(f"{cls!r} is not a ReduceScanOp subclass")
+    reason = _mutable_shared_identity(cls)
+    if reason is not None:
+        raise ChapelError(
+            f"[RS010] cannot register {name!r}: {reason}; tasks cloned from "
+            "it would share accumulator state. Use a zero-argument callable "
+            "building a fresh value (e.g. identity = list)."
+        )
     REDUCE_OPS[name] = cls

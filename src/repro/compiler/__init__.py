@@ -42,6 +42,8 @@ from repro.compiler.mapping import (
 from repro.compiler.passes import (
     VERSION_NAMES,
     CompilationPlan,
+    LoopHoist,
+    SitePlan,
     plan_compilation,
 )
 from repro.compiler.pipeline import OPT_LEVELS, compile_all_versions
@@ -71,6 +73,8 @@ __all__ = [
     "AccessSite",
     "plan_compilation",
     "CompilationPlan",
+    "SitePlan",
+    "LoopHoist",
     "VERSION_NAMES",
     "compile_reduction",
     "compile_all_versions",

@@ -7,6 +7,7 @@ from typing import Any
 from repro.chapel import ast as A
 from repro.chapel.parser import parse_program
 from repro.compiler.translate import CompiledReduction, compile_reduction
+from repro.util.errors import AnalysisError
 
 __all__ = ["compile_all_versions", "OPT_LEVELS"]
 
@@ -18,15 +19,53 @@ def compile_all_versions(
     source: str | A.Program,
     constants: dict[str, Any],
     class_name: str | None = None,
+    analyze: str | None = None,
 ) -> dict[str, CompiledReduction]:
     """Compile a reduction class at every optimization level.
 
     Returns ``{"generated": ..., "opt-1": ..., "opt-2": ...}``.  The program
     is parsed once; each level gets its own lowering (sites carry per-plan
     annotations).
+
+    ``analyze`` runs the reduction-safety analyzer first:
+
+    * ``None`` (default) — no analysis, behavior unchanged;
+    * ``"warn"`` — render every diagnostic to stderr, compile anyway;
+    * ``"strict"`` — additionally raise :class:`~repro.util.errors.\
+AnalysisError` (refusing to emit code) when any **error**-level
+      diagnostic is reported; warnings/infos never block compilation.
     """
     program = parse_program(source) if isinstance(source, str) else source
+    if analyze is not None:
+        if analyze not in ("warn", "strict"):
+            raise ValueError(
+                f"analyze must be None, 'warn' or 'strict', got {analyze!r}"
+            )
+        _run_analysis(program, constants, class_name, strict=analyze == "strict")
     return {
         name: compile_reduction(program, constants, level, class_name)
         for name, level in OPT_LEVELS.items()
     }
+
+
+def _run_analysis(
+    program: A.Program,
+    constants: dict[str, Any],
+    class_name: str | None,
+    strict: bool,
+) -> None:
+    # Imported here so plain compilation never pays the analysis import.
+    import sys
+
+    from repro.analysis import analyze_program, render_diagnostics
+
+    diags = analyze_program(program, constants, class_name)
+    if diags:
+        print(render_diagnostics(diags), file=sys.stderr)
+    errors = [d for d in diags if d.is_error]
+    if strict and errors:
+        raise AnalysisError(
+            f"refusing to compile: analyzer reported {len(errors)} "
+            f"error(s) ({', '.join(sorted({d.code for d in errors}))})",
+            diagnostics=errors,
+        )

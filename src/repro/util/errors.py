@@ -22,6 +22,7 @@ __all__ = [
     "LinearizationError",
     "MappingError",
     "CodegenError",
+    "AnalysisError",
     "MachineError",
     "BenchmarkError",
 ]
@@ -87,6 +88,18 @@ class MappingError(CompilerError):
 
 class CodegenError(CompilerError):
     """Code generation produced or received an invalid kernel."""
+
+
+class AnalysisError(CompilerError):
+    """Strict-mode compilation refused: the analyzer reported errors.
+
+    Carries the error-level :class:`~repro.analysis.diagnostics.Diagnostic`
+    records in :attr:`diagnostics`.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()) -> None:
+        self.diagnostics = tuple(diagnostics)
+        super().__init__(message)
 
 
 class MachineError(ReproError):

@@ -1,0 +1,162 @@
+"""Reduce-op algebra checker: seeded trials and structural checks."""
+
+from repro.analysis import check_reduce_op, check_registry
+from repro.chapel.reduce_op import REDUCE_OPS, ReduceScanOp
+
+
+def codes(cls):
+    return [d.code for d in check_reduce_op(cls)]
+
+
+class TestBuiltinsPass:
+    def test_registry_has_no_errors(self):
+        errors = [d for d in check_registry() if d.is_error]
+        assert errors == [], [d.message for d in errors]
+
+    def test_float_ops_get_nondeterminism_warning_not_error(self):
+        warned = {
+            d.subject
+            for d in check_registry()
+            if d.code == "RS020" and not d.is_error
+        }
+        assert any("SumReduceScanOp" in s for s in warned)
+        assert any("ProductReduceScanOp" in s for s in warned)
+
+    def test_min_max_are_fully_deterministic(self):
+        from repro.chapel.reduce_op import MaxReduceScanOp, MinReduceScanOp
+
+        assert codes(MinReduceScanOp) == []
+        assert codes(MaxReduceScanOp) == []
+
+    def test_loc_ops_commute_even_on_ties(self):
+        from repro.chapel.reduce_op import MaxLocReduceScanOp, MinLocReduceScanOp
+
+        assert codes(MinLocReduceScanOp) == []
+        assert codes(MaxLocReduceScanOp) == []
+
+
+class TestViolationsCaught:
+    def test_subtraction_is_not_associative(self):
+        class Subtract(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value = self.value - x
+
+            def combine(self, other):
+                self.value = self.value - other.value
+
+        got = codes(Subtract)
+        assert "RS011" in got or "RS012" in got
+        assert all(c in ("RS011", "RS012", "RS013") for c in got)
+
+    def test_first_seen_tiebreak_is_not_commutative(self):
+        # the pre-fix MinLoc behavior: strict < keeps whichever came first
+        class FirstSeenMinLoc(ReduceScanOp):
+            identity = None
+
+            def accumulate(self, x):
+                if self.value is None or x[0] < self.value[0]:
+                    self.value = x
+
+            def combine(self, other):
+                if other.value is not None:
+                    self.accumulate(other.value)
+
+        assert "RS012" in codes(FirstSeenMinLoc)
+
+    def test_wrong_identity_is_rs013(self):
+        class SumFromTen(ReduceScanOp):
+            identity = 10
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+        assert "RS013" in codes(SumFromTen)
+
+    def test_stateful_clone_is_rs014(self):
+        class StickyClone(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+            def clone(self):
+                return self  # keeps accumulated state
+
+        assert "RS014" in codes(StickyClone)
+
+    def test_missing_overrides_is_rs015(self):
+        class Nothing(ReduceScanOp):
+            identity = 0
+
+        assert codes(Nothing) == ["RS015"]
+
+    def test_shared_mutable_identity_is_rs010(self):
+        shared = [0.0, 0.0]
+
+        class SharedState(ReduceScanOp):
+            identity = staticmethod(lambda: shared)
+
+            def accumulate(self, x):
+                self.value[0] += x
+
+            def combine(self, other):
+                self.value[0] += other.value[0]
+
+        assert codes(SharedState) == ["RS010"]
+
+    def test_class_level_list_identity_is_rs010(self):
+        class ListIdentity(ReduceScanOp):
+            identity = [0.0]
+
+            def accumulate(self, x):
+                self.value[0] += x
+
+            def combine(self, other):
+                self.value[0] += other.value[0]
+
+        assert codes(ListIdentity) == ["RS010"]
+
+    def test_fresh_callable_identity_is_fine(self):
+        class FreshList(ReduceScanOp):
+            identity = staticmethod(lambda: [0.0])
+
+            def accumulate(self, x):
+                self.value[0] += x
+
+            def combine(self, other):
+                self.value[0] += other.value[0]
+
+            def generate(self):
+                return self.value[0]
+
+        assert "RS010" not in codes(FreshList)
+
+
+class TestDeterminism:
+    def test_checker_is_deterministic(self):
+        first = [(d.code, d.message) for d in check_registry()]
+        second = [(d.code, d.message) for d in check_registry()]
+        assert first == second
+
+    def test_registered_user_op_is_covered(self):
+        class Weird(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value = self.value - x
+
+            def combine(self, other):
+                self.value = self.value - other.value
+
+        ops = dict(REDUCE_OPS)
+        ops["weird"] = Weird
+        subjects = {d.subject for d in check_registry(ops) if d.is_error}
+        assert any("Weird" in s for s in subjects)

@@ -1,0 +1,132 @@
+"""Unit tests for the diagnostics framework (codes, spans, rendering)."""
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CODES,
+    DEFAULT_SEVERITIES,
+    Diagnostic,
+    DiagnosticBag,
+    Severity,
+    Span,
+    diag,
+    render_diagnostic,
+    render_diagnostics,
+    summarize,
+)
+from repro.chapel.parser import parse_program
+
+
+class TestCatalogue:
+    def test_every_code_has_a_default_severity(self):
+        assert set(CODES) == set(DEFAULT_SEVERITIES)
+
+    def test_codes_are_stable_format(self):
+        for code in CODES:
+            assert code.startswith("RS") and code[2:].isdigit()
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="RS999", severity=Severity.ERROR, message="x")
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestSpan:
+    def test_of_ast_node(self):
+        program = parse_program(
+            "class C {\n  var k: int;\n  def accumulate(x: real) { roAdd(0, 0, x); }\n}\n"
+        )
+        cls = program.classes[0]
+        span = Span.of(cls, file="a.chpl")
+        assert span.line == 1 and span.file == "a.chpl"
+        assert str(span) == f"a.chpl:1:{span.col}"
+
+    def test_shifted_into_host_file(self):
+        # embedded line 3, literal opens on host line 10 -> host line 12
+        span = Span(3, 5).shifted(9, "host.py")
+        assert (span.line, span.col, span.file) == (12, 5, "host.py")
+
+    def test_shifted_unknown_line_stays_unknown(self):
+        span = Span().shifted(9, "host.py")
+        assert span.line == 0 and span.file == "host.py"
+
+    def test_unknown_span_renders_placeholder(self):
+        assert str(Span()) == "<source>"
+
+
+class TestDiagnostic:
+    def test_diag_uses_default_severity(self):
+        assert diag("RS006", "shadow").severity == Severity.WARNING
+        assert diag("RS002", "race").is_error
+
+    def test_severity_override(self):
+        d = diag("RS002", "race", severity=Severity.WARNING)
+        assert not d.is_error
+
+    def test_in_file_rehomes(self):
+        program = parse_program(
+            "class C {\n  var k: int;\n  def accumulate(x: real) { roAdd(0, 0, x); }\n}\n"
+        )
+        d = diag("RS002", "race", node=program.classes[0])
+        moved = d.in_file("apps/kmeans.py", line_offset=20)
+        assert moved.span.file == "apps/kmeans.py"
+        assert moved.span.line == 21
+
+    def test_to_dict_round_trip_fields(self):
+        d = diag("RS003", "carried", file="f.chpl", subject="C", hint="use roAdd")
+        out = d.to_dict()
+        assert out["code"] == "RS003"
+        assert out["severity"] == "error"
+        assert out["subject"] == "C"
+        assert out["hint"] == "use roAdd"
+
+
+class TestBagAndRenderer:
+    def _bag(self):
+        return DiagnosticBag(
+            [
+                diag("RS007", "dyn", file="b.chpl"),
+                diag("RS002", "race", file="a.chpl"),
+                diag("RS006", "shadow", file="a.chpl"),
+            ]
+        )
+
+    def test_partitions(self):
+        bag = self._bag()
+        assert len(bag.errors) == 1
+        assert len(bag.warnings) == 1
+        assert len(bag.infos) == 1
+        assert bag.has_errors
+        assert bag.max_severity() == Severity.ERROR
+
+    def test_sorted_by_file_then_position(self):
+        files = [d.span.file for d in self._bag().sorted()]
+        assert files == ["a.chpl", "a.chpl", "b.chpl"]
+
+    def test_render_includes_source_line_and_caret(self):
+        src = "class C {\n  bad line here;\n}\n"
+        d = Diagnostic(
+            code="RS002",
+            severity=Severity.ERROR,
+            message="race",
+            span=Span(2, 3, "x.chpl"),
+            hint="fix it",
+        )
+        out = render_diagnostic(d, {"x.chpl": src})
+        assert "x.chpl:2:3: error RS002: race" in out
+        assert "bad line here" in out
+        assert "^" in out
+        assert "hint: fix it" in out
+
+    def test_render_batch_ends_with_summary(self):
+        out = render_diagnostics(self._bag())
+        assert out.endswith(summarize(self._bag()))
+        assert "1 error(s), 1 warning(s), 1 info(s)" in out
+
+    def test_empty_bag(self):
+        bag = DiagnosticBag()
+        assert not bag and len(bag) == 0
+        assert bag.max_severity() is None

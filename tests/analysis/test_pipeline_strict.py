@@ -1,0 +1,86 @@
+"""Strict compilation: analyze= gating in compile_all_versions."""
+
+import pytest
+
+from repro.compiler import compile_all_versions
+from repro.util.errors import AnalysisError, ReproError
+
+RACY = """
+class RacyCount {
+  var total: int;
+  def accumulate(x: real) {
+    total = total + 1;
+    roAdd(0, 0, x);
+  }
+}
+"""
+
+CLEAN = """
+class sumReduction : ReduceScanOp {
+  def accumulate(x: real) { roAdd(0, 0, x); }
+}
+"""
+
+
+class TestStrictGate:
+    def test_plain_compilation_unchanged(self):
+        # no analyze= -> racy source fails later in lowering, exactly as
+        # before this analyzer existed (field assignment is rejected), and
+        # clean source compiles all three versions.
+        assert sorted(compile_all_versions(CLEAN, {})) == [
+            "generated",
+            "opt-1",
+            "opt-2",
+        ]
+        with pytest.raises(ReproError):
+            compile_all_versions(RACY, {})
+
+    def test_strict_clean_compiles(self):
+        versions = compile_all_versions(CLEAN, {}, analyze="strict")
+        assert sorted(versions) == ["generated", "opt-1", "opt-2"]
+
+    def test_strict_racy_raises_analysis_error(self):
+        with pytest.raises(AnalysisError) as exc_info:
+            compile_all_versions(RACY, {}, analyze="strict")
+        err = exc_info.value
+        assert err.diagnostics
+        assert all(d.is_error for d in err.diagnostics)
+        assert "RS003" in str(err)
+
+    def test_warn_mode_does_not_block(self, capsys):
+        # warn renders diagnostics but compilation proceeds (and then the
+        # compiler itself rejects the racy class, as in plain mode)
+        with pytest.raises(ReproError) as exc_info:
+            compile_all_versions(RACY, {}, analyze="warn")
+        assert not isinstance(exc_info.value, AnalysisError)
+
+    def test_warn_mode_clean_compiles(self):
+        versions = compile_all_versions(CLEAN, {}, analyze="warn")
+        assert sorted(versions) == ["generated", "opt-1", "opt-2"]
+
+    def test_invalid_analyze_value(self):
+        with pytest.raises(ValueError):
+            compile_all_versions(CLEAN, {}, analyze="paranoid")
+
+    def test_oob_source_blocked_only_by_strict(self):
+        oob = """
+        class OOB {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m {
+              roAdd(0, 0, p[i] * table[i + 1]);
+            }
+          }
+        }
+        """
+        # plain compilation emits code happily; the bug would only surface
+        # as a MappingError at run time
+        assert sorted(compile_all_versions(oob, {"m": 4})) == [
+            "generated",
+            "opt-1",
+            "opt-2",
+        ]
+        with pytest.raises(AnalysisError) as exc_info:
+            compile_all_versions(oob, {"m": 4}, analyze="strict")
+        assert any(d.code == "RS030" for d in exc_info.value.diagnostics)

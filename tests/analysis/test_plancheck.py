@@ -1,0 +1,199 @@
+"""Plan validator: bounds prediction and hoist/plan cross-checks."""
+
+from repro.analysis import analyze_source, validate_plan
+from repro.chapel.parser import parse_program
+from repro.compiler.lower import lower_reduction
+from repro.compiler.passes import plan_compilation
+
+KMEANS = """
+class kmeansReduction {
+  var k: int;
+  var dim: int;
+  var centroids: [1..k][1..dim] real;
+  def accumulate(p: [1..dim] real) {
+    var best: int = 1;
+    var bestDist: real = -1.0;
+    for c in 1..k {
+      var dist: real = 0.0;
+      for d in 1..dim {
+        var diff: real = p[d] - centroids[c][d];
+        dist = dist + diff * diff;
+      }
+      if (bestDist < 0.0) { best = c; bestDist = dist; }
+      if (dist < bestDist) { best = c; bestDist = dist; }
+    }
+    for d in 1..dim { roAdd(best, d, p[d]); }
+    roAdd(best, dim + 1, 1.0);
+  }
+}
+"""
+
+
+def plan_codes(src, constants, level):
+    lowered = lower_reduction(parse_program(src), constants)
+    plan = plan_compilation(lowered, level)
+    return [d.code for d in validate_plan(lowered, plan)]
+
+
+class TestBounds:
+    def test_off_by_one_extra_index_is_rs030(self):
+        src = """
+        class OOB {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m {
+              roAdd(0, 0, p[i] * table[i + 1]);
+            }
+          }
+        }
+        """
+        assert "RS030" in plan_codes(src, {"m": 4}, 0)
+
+    def test_off_by_one_data_index_is_rs030(self):
+        src = """
+        class OOB {
+          var m: int;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m {
+              roAdd(0, 0, p[i - 1]);
+            }
+          }
+        }
+        """
+        assert "RS030" in plan_codes(src, {"m": 4}, 0)
+
+    def test_constant_index_past_domain_is_rs030(self):
+        src = """
+        class OOB {
+          var m: int;
+          def accumulate(p: [1..m] real) {
+            roAdd(0, 0, p[m + 1]);
+          }
+        }
+        """
+        assert "RS030" in plan_codes(src, {"m": 4}, 0)
+
+    def test_in_bounds_loops_are_clean_at_all_levels(self):
+        consts = {"k": 3, "dim": 4}
+        for level in (0, 1, 2):
+            assert plan_codes(KMEANS, consts, level) == []
+
+    def test_scaled_index_within_domain_is_clean(self):
+        src = """
+        class Strided {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m / 2 {
+              roAdd(0, 0, table[i * 2]);
+            }
+          }
+        }
+        """
+        assert plan_codes(src, {"m": 8}, 0) == []
+
+    def test_inexact_interval_never_reports_error(self):
+        # i - i is [0, 0] on a naive interval but involves a repeated
+        # variable; exactness is dropped, so no RS030 may fire even though
+        # the naive hull [1-m, m-1] protrudes.
+        src = """
+        class Repeat {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m {
+              roAdd(0, 0, table[i - i + 1]);
+            }
+          }
+        }
+        """
+        assert "RS030" not in plan_codes(src, {"m": 4}, 0)
+
+
+class TestHoistsAndPlans:
+    def _lower_and_plan(self, level):
+        lowered = lower_reduction(parse_program(KMEANS), {"k": 3, "dim": 4})
+        return lowered, plan_compilation(lowered, level)
+
+    def test_opt1_and_opt2_plans_validate(self):
+        for level in (1, 2):
+            lowered, plan = self._lower_and_plan(level)
+            assert validate_plan(lowered, plan) == []
+
+    def test_corrupted_step_bytes_is_rs032(self):
+        lowered, plan = self._lower_and_plan(2)
+        hoists = [h for hs in plan.incremental_hoists.values() for h in hs]
+        assert hoists, "kmeans at opt-2 must produce an incremental hoist"
+        hoists[0].step_bytes += 4
+        assert "RS032" in [d.code for d in validate_plan(lowered, plan)]
+
+    def test_missing_site_plan_is_rs033(self):
+        lowered, plan = self._lower_and_plan(1)
+        plan.site_plans.pop(next(iter(plan.site_plans)))
+        assert "RS033" in [d.code for d in validate_plan(lowered, plan)]
+
+    def test_data_site_nested_is_rs033(self):
+        lowered, plan = self._lower_and_plan(0)
+        sp = next(
+            p for p in plan.site_plans.values() if p.site.kind == "data"
+        )
+        sp.mode = "nested"
+        assert "RS033" in [d.code for d in validate_plan(lowered, plan)]
+
+    def test_extra_nested_at_opt2_is_rs033(self):
+        lowered, plan = self._lower_and_plan(2)
+        extras = [p for p in plan.site_plans.values() if p.site.kind == "extra"]
+        assert extras
+        extras[0].mode = "nested"
+        assert "RS033" in [d.code for d in validate_plan(lowered, plan)]
+
+    def test_misplaced_hoist_loop_is_rs031(self):
+        lowered, plan = self._lower_and_plan(2)
+        all_hoists = [
+            h
+            for hs in list(plan.loop_hoists.values())
+            + list(plan.incremental_hoists.values())
+            for h in hs
+        ]
+        assert all_hoists
+        # repoint a hoist at a loop that binds none of the access's indices
+        bogus_src = "class X { def accumulate(x: real) { for zz in 1..2 { roAdd(0, 0, x); } } }"
+        bogus_loop = (
+            parse_program(bogus_src).classes[0].method("accumulate").body.stmts[0]
+        )
+        all_hoists[0].loop = bogus_loop
+        assert "RS031" in [d.code for d in validate_plan(lowered, plan)]
+
+
+class TestEndToEndViaAnalyzeSource:
+    def test_oob_found_through_the_driver(self):
+        src = """
+        class OOB {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] real) {
+            for i in 1..m {
+              roAdd(0, 0, p[i] * table[i + 1]);
+            }
+          }
+        }
+        """
+        ds = analyze_source(src)
+        assert [d.code for d in ds if d.is_error] == ["RS030"]
+
+    def test_dynamic_index_is_info_only(self):
+        src = """
+        class Dyn {
+          var m: int;
+          var table: [1..m] real;
+          def accumulate(p: [1..m] int) {
+            for i in 1..m {
+              roAdd(0, 0, table[p[i]]);
+            }
+          }
+        }
+        """
+        ds = analyze_source(src)
+        assert all(not d.is_error for d in ds)
+        assert "RS007" in [d.code for d in ds]

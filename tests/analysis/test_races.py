@@ -1,0 +1,210 @@
+"""Forall race detector: seeded racy fixtures must be flagged; clean code not."""
+
+from repro.analysis import check_program_races
+from repro.analysis.races import uses_ro_intrinsics
+from repro.chapel.parser import parse_program
+
+
+def codes(src, class_name=None):
+    program = parse_program(src)
+    return [d.code for d in check_program_races(program, class_name)]
+
+
+class TestCompiledStyleRaces:
+    """Classes using roAdd/roMin/roMax: fields are shared read-only extras."""
+
+    def test_plain_field_write_is_rs002(self):
+        src = """
+        class C {
+          var flag: int;
+          def accumulate(x: real) {
+            flag = 1;
+            roAdd(0, 0, x);
+          }
+        }
+        """
+        assert codes(src) == ["RS002"]
+
+    def test_read_write_dependence_is_rs003(self):
+        src = """
+        class C {
+          var total: int;
+          def accumulate(x: real) {
+            total = total + 1;
+            roAdd(0, 0, x);
+          }
+        }
+        """
+        assert codes(src) == ["RS003"]
+
+    def test_compound_assign_is_rs003(self):
+        src = """
+        class C {
+          var total: int;
+          def accumulate(x: real) {
+            total += 1;
+            roAdd(0, 0, x);
+          }
+        }
+        """
+        assert "RS003" in codes(src)
+
+    def test_indexed_field_write_is_flagged(self):
+        src = """
+        class C {
+          var bins: int;
+          var counts: [1..bins] int;
+          def accumulate(x: real) {
+            counts[1] = 1;
+            roAdd(0, 0, x);
+          }
+        }
+        """
+        got = codes(src)
+        assert "RS002" in got or "RS003" in got
+
+    def test_param_aliasing_field_is_rs005(self):
+        src = """
+        class C {
+          var x: int;
+          def accumulate(x: real) { roAdd(0, 0, x); }
+        }
+        """
+        assert "RS005" in codes(src)
+
+    def test_local_shadowing_field_is_rs006_warning(self):
+        src = """
+        class C {
+          var k: int;
+          def accumulate(x: real) {
+            var k: real = 0.0;
+            roAdd(0, 0, x + k);
+          }
+        }
+        """
+        program = parse_program(src)
+        ds = check_program_races(program)
+        assert [d.code for d in ds] == ["RS006"]
+        assert not ds[0].is_error
+
+    def test_loop_var_shadowing_param_is_rs006(self):
+        src = """
+        class C {
+          var k: int;
+          def accumulate(x: [1..k] real) {
+            for x in 1..k { roAdd(0, 0, 1.0); }
+          }
+        }
+        """
+        assert "RS006" in codes(src)
+
+    def test_write_through_param_is_rs008(self):
+        src = """
+        class C {
+          var k: int;
+          def accumulate(p: [1..k] real) {
+            p[1] = 0.0;
+            roAdd(0, 0, p[1]);
+          }
+        }
+        """
+        assert "RS008" in codes(src)
+
+    def test_clean_kmeans_style_class_has_no_findings(self):
+        src = """
+        class kmeansReduction {
+          var k: int;
+          var dim: int;
+          var centroids: [1..k][1..dim] real;
+          def accumulate(p: [1..dim] real) {
+            var best: int = 1;
+            var bestDist: real = -1.0;
+            for c in 1..k {
+              var dist: real = 0.0;
+              for d in 1..dim {
+                var diff: real = p[d] - centroids[c][d];
+                dist = dist + diff * diff;
+              }
+              if (bestDist < 0.0) { best = c; bestDist = dist; }
+              if (dist < bestDist) { best = c; bestDist = dist; }
+            }
+            for d in 1..dim { roAdd(best, d, p[d]); }
+            roAdd(best, dim + 1, 1.0);
+          }
+        }
+        """
+        assert codes(src) == []
+
+    def test_diagnostics_carry_source_spans(self):
+        src = """
+        class C {
+          var total: int;
+          def accumulate(x: real) {
+            total = total + 1;
+            roAdd(0, 0, x);
+          }
+        }
+        """
+        (d,) = check_program_races(parse_program(src))
+        assert d.span.line == 5  # the assignment's line
+
+
+class TestFigure2Style:
+    """No RO intrinsics: fields are per-task state; combine must merge them."""
+
+    def test_field_writes_without_combine_is_rs004(self):
+        src = """
+        class SumOp {
+          var value: real;
+          def accumulate(x: real) { value = value + x; }
+        }
+        """
+        assert codes(src) == ["RS004"]
+
+    def test_combine_ignoring_other_is_rs004(self):
+        src = """
+        class SumOp {
+          var value: real;
+          def accumulate(x: real) { value = value + x; }
+          def combine(other: SumOp) { value = value; }
+        }
+        """
+        assert codes(src) == ["RS004"]
+
+    def test_proper_figure2_class_is_clean(self):
+        src = """
+        class SumOp {
+          var value: real;
+          def accumulate(x: real) { value = value + x; }
+          def combine(other: SumOp) { value = value + other.value; }
+        }
+        """
+        assert codes(src) == []
+
+    def test_style_classifier(self):
+        ro = parse_program(
+            "class A { def accumulate(x: real) { roAdd(0, 0, x); } }"
+        ).classes[0]
+        fig2 = parse_program(
+            "class B { var v: real;\n def accumulate(x: real) { v = v + x; } }"
+        ).classes[0]
+        assert uses_ro_intrinsics(ro)
+        assert not uses_ro_intrinsics(fig2)
+
+
+class TestSelection:
+    def test_class_name_filter(self):
+        src = """
+        class Clean { def accumulate(x: real) { roAdd(0, 0, x); } }
+        class Racy {
+          var t: int;
+          def accumulate(x: real) { t = 1; roAdd(0, 0, x); }
+        }
+        """
+        program = parse_program(src)
+        assert check_program_races(program, "Clean") == []
+        assert [d.code for d in check_program_races(program, "Racy")] == ["RS002"]
+
+    def test_non_reduction_class_is_skipped(self):
+        src = "class Meta { var k: int; }"
+        assert codes(src) == []

@@ -1,0 +1,194 @@
+"""Algebraic regression tests for every builtin ReduceScanOp.
+
+FREERIDE combines task-local states in whatever grouping and order the
+middleware picks, so each builtin must be associative, commutative, and
+identity-preserving on representative inputs — including value ties for
+minloc/maxloc, which must break toward the lowest index (Chapel's rule).
+"""
+
+import itertools
+
+import pytest
+
+from repro.chapel.reduce_op import (
+    REDUCE_OPS,
+    MaxLocReduceScanOp,
+    MinLocReduceScanOp,
+    ReduceScanOp,
+    register_reduce_op,
+)
+from repro.util.errors import ChapelError
+
+#: representative inputs per op spelling (ties included on purpose)
+SAMPLES = {
+    "+": [3, -1, 7, 0, 2],
+    "sum": [1.5, 2.25, -0.75, 4.0],
+    "*": [2, 3, -1, 4],
+    "product": [0.5, 2.0, 4.0],
+    "min": [5, 2, 9, 2, 7],
+    "max": [5, 2, 9, 9, 1],
+    "&&": [True, True, False, True],
+    "||": [False, False, True, False],
+    "&": [0b1110, 0b0111, 0b1111],
+    "|": [0b1000, 0b0001, 0b0010],
+    "^": [0b101, 0b110, 0b011],
+    "minloc": [(3.0, 2), (1.0, 5), (1.0, 1), (4.0, 0)],
+    "maxloc": [(3.0, 2), (4.0, 5), (4.0, 1), (1.0, 0)],
+}
+
+
+def fold(cls, xs):
+    op = cls()
+    for x in xs:
+        op.accumulate(x)
+    return op
+
+
+@pytest.mark.parametrize("name", sorted(SAMPLES))
+class TestBuiltinAlgebra:
+    def test_associative(self, name):
+        cls = REDUCE_OPS[name]
+        xs = SAMPLES[name]
+        for cut1 in range(1, len(xs) - 1):
+            for cut2 in range(cut1 + 1, len(xs)):
+                a, b, c = xs[:cut1], xs[cut1:cut2], xs[cut2:]
+                left = fold(cls, a)
+                left.combine(fold(cls, b))
+                left.combine(fold(cls, c))
+                bc = fold(cls, b)
+                bc.combine(fold(cls, c))
+                right = fold(cls, a)
+                right.combine(bc)
+                assert left.generate() == pytest.approx(right.generate())
+
+    def test_commutative(self, name):
+        cls = REDUCE_OPS[name]
+        xs = SAMPLES[name]
+        for cut in range(1, len(xs)):
+            a, b = xs[:cut], xs[cut:]
+            ab = fold(cls, a)
+            ab.combine(fold(cls, b))
+            ba = fold(cls, b)
+            ba.combine(fold(cls, a))
+            assert ab.generate() == pytest.approx(ba.generate())
+
+    def test_identity_is_neutral(self, name):
+        cls = REDUCE_OPS[name]
+        xs = SAMPLES[name]
+        expected = fold(cls, xs).generate()
+        seeded = fold(cls, xs)
+        seeded.combine(cls())  # right identity
+        assert seeded.generate() == pytest.approx(expected)
+        fresh = cls()
+        fresh.combine(fold(cls, xs))  # left identity
+        assert fresh.generate() == pytest.approx(expected)
+
+    def test_order_independent_over_permutations(self, name):
+        cls = REDUCE_OPS[name]
+        xs = SAMPLES[name][:4]
+        results = set()
+        for perm in itertools.permutations(xs):
+            results.add(repr(fold(cls, perm).generate()))
+        if name in ("sum", "product"):
+            # float reassociation may move the result by rounding noise only
+            values = [eval(r) for r in results]
+            assert max(values) == pytest.approx(min(values))
+        else:
+            assert len(results) == 1, results
+
+
+class TestLocTieBreaking:
+    """Chapel semantics: on value ties, the lowest index wins."""
+
+    def test_minloc_tie_prefers_lowest_index(self):
+        op = fold(MinLocReduceScanOp, [(1.0, 5), (1.0, 1), (1.0, 9)])
+        assert op.generate() == (1.0, 1)
+
+    def test_maxloc_tie_prefers_lowest_index(self):
+        op = fold(MaxLocReduceScanOp, [(7.0, 5), (7.0, 1), (7.0, 9)])
+        assert op.generate() == (7.0, 1)
+
+    @pytest.mark.parametrize("cls", [MinLocReduceScanOp, MaxLocReduceScanOp])
+    def test_tie_result_is_combine_order_invariant(self, cls):
+        # the tied extremum lives in two different task splits; either
+        # combine direction must produce the same winner
+        a = fold(cls, [(5.0, 8), (2.0, 3)])
+        b = fold(cls, [(5.0, 2), (2.0, 7)])
+        ab = a.snapshot()
+        ab.combine(b.snapshot())
+        ba = b.snapshot()
+        ba.combine(a.snapshot())
+        assert ab.generate() == ba.generate()
+
+    def test_minloc_tie_across_three_splits(self):
+        splits = [[(4.0, 6)], [(4.0, 2)], [(4.0, 4)]]
+        for perm in itertools.permutations(splits):
+            acc = MinLocReduceScanOp()
+            for split in perm:
+                acc.combine(fold(MinLocReduceScanOp, split))
+            assert acc.generate() == (4.0, 2)
+
+
+class TestRegisterRejectsSharedIdentity:
+    def test_class_level_list_identity_rejected(self):
+        class Bad(ReduceScanOp):
+            identity = [0.0]
+
+            def accumulate(self, x):
+                self.value[0] += x
+
+            def combine(self, other):
+                self.value[0] += other.value[0]
+
+        with pytest.raises(ChapelError, match="RS010"):
+            register_reduce_op("bad_list", Bad)
+        assert "bad_list" not in REDUCE_OPS
+
+    def test_callable_returning_shared_object_rejected(self):
+        shared = {}
+
+        class Bad(ReduceScanOp):
+            identity = staticmethod(lambda: shared)
+
+            def accumulate(self, x):
+                self.value[x] = 1
+
+            def combine(self, other):
+                self.value.update(other.value)
+
+        with pytest.raises(ChapelError, match="RS010"):
+            register_reduce_op("bad_dict", Bad)
+
+    def test_fresh_callable_identity_accepted(self):
+        class Good(ReduceScanOp):
+            identity = staticmethod(list)
+
+            def accumulate(self, x):
+                self.value.append(x)
+
+            def combine(self, other):
+                self.value.extend(other.value)
+
+        register_reduce_op("collect", Good)
+        try:
+            a, b = Good(), Good()
+            a.accumulate(1)
+            assert b.value == [], "clones must not share identity state"
+        finally:
+            del REDUCE_OPS["collect"]
+
+    def test_immutable_identity_accepted(self):
+        class Count(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value += 1
+
+            def combine(self, other):
+                self.value += other.value
+
+        register_reduce_op("count_items", Count)
+        try:
+            assert "count_items" in REDUCE_OPS
+        finally:
+            del REDUCE_OPS["count_items"]

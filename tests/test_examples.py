@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "kmeans_clustering.py",
     "data_mining_suite.py",
     "cluster_scaling.py",
+    "lint_reductions.py",
 ]
 
 
