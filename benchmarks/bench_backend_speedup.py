@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Scalar-vs-batch backend speedup across apps, versions and thread counts.
+
+Runs every application once per (version, backend, thread-count) cell on
+identical data, verifies the batch backend reproduces the scalar results,
+and writes ``benchmarks/results/BENCH_backend.json`` (schema documented in
+``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py           # full
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py --check   # gate
+
+``--check`` exits non-zero if any batch result diverges from its scalar
+twin or if batch is slower than scalar by more than ``--max-slowdown``
+(default 1.5x) in any cell — the CI guard against silent fallback-to-
+scalar regressions.  ``--quick`` shrinks datasets to smoke-test scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.apriori import AprioriRunner
+from repro.apps.em import EmRunner
+from repro.apps.histogram import HistogramRunner
+from repro.apps.kmeans import KmeansRunner
+from repro.apps.pca import PcaRunner
+from repro.compiler.cache import kernel_cache_stats
+from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_backend.json"
+VERSIONS = ("generated", "opt-1", "opt-2")
+SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------- apps
+# Each app entry: sizes per profile and a run(version, backend, threads)
+# callable returning (result_arrays, total_ops).  Data is generated once per
+# app so scalar and batch cells see identical inputs.
+
+
+def _app_kmeans(quick: bool):
+    n = 1_500 if quick else 60_000
+    k, dim, iters = 8, 4, 1
+    points = kmeans_points(n, dim, k, seed=7)
+    cents = initial_centroids(points, k, seed=3)
+
+    def run(version: str, backend: str, threads: int):
+        runner = KmeansRunner(
+            k,
+            dim,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        res = runner.run(points, cents, iterations=iters)
+        return (
+            {"centroids": res.centroids, "counts": res.counts},
+            res.counters.total_ops(),
+        )
+
+    return n, run
+
+
+def _app_histogram(quick: bool):
+    n = 3_000 if quick else 120_000
+    rng = np.random.default_rng(11)
+    data = rng.normal(0.0, 1.0, n)
+
+    def run(version: str, backend: str, threads: int):
+        runner = HistogramRunner(
+            32,
+            -4.0,
+            4.0,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        res = runner.run(data)
+        return {"counts": res.counts, "sums": res.sums}, res.counters.total_ops()
+
+    return n, run
+
+
+def _app_pca(quick: bool):
+    m = 6
+    n = 2_000 if quick else 40_000
+    matrix = pca_matrix(m, n, seed=5)
+
+    def run(version: str, backend: str, threads: int):
+        runner = PcaRunner(
+            m,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        res = runner.run(matrix)
+        return (
+            {"mean": res.mean, "covariance": res.covariance},
+            res.counters.total_ops(),
+        )
+
+    return n, run
+
+
+def _app_em(quick: bool):
+    n = 1_000 if quick else 20_000
+    k, dim, iters = 3, 2, 1
+    rng = np.random.default_rng(13)
+    points = np.concatenate(
+        [rng.normal(c, 0.4, (n // 3 + 1, dim)) for c in (-2.0, 0.0, 2.0)]
+    )[:n]
+
+    def run(version: str, backend: str, threads: int):
+        runner = EmRunner(
+            k,
+            dim,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        res = runner.run(points, iterations=iters, seed=0)
+        return (
+            {"weights": res.weights, "means": res.means, "variances": res.variances},
+            res.counters.total_ops(),
+        )
+
+    return n, run
+
+
+def _app_apriori(quick: bool):
+    n = 800 if quick else 20_000
+    num_items = 12
+    rng = np.random.default_rng(17)
+    transactions = (rng.random((n, num_items)) < 0.35).astype(np.int64)
+
+    def run(version: str, backend: str, threads: int):
+        runner = AprioriRunner(
+            num_items,
+            min_support_frac=0.2,
+            max_size=2,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        res = runner.run(transactions)
+        flat = {}
+        for size, sets in sorted(res.frequent.items()):
+            for items, support in sorted(sets):
+                flat[f"{size}:{items}"] = support
+        keys = sorted(flat)
+        return (
+            {
+                "supports": np.array([flat[kk] for kk in keys], dtype=np.int64),
+                "_keys": keys,
+            },
+            res.counters.total_ops(),
+        )
+
+    return n, run
+
+
+APPS = {
+    "kmeans": _app_kmeans,
+    "histogram": _app_histogram,
+    "pca": _app_pca,
+    "em": _app_em,
+    "apriori": _app_apriori,
+}
+
+
+def _equivalent(scalar: dict, batch: dict) -> bool:
+    if scalar.keys() != batch.keys():
+        return False
+    for key, sval in scalar.items():
+        bval = batch[key]
+        if isinstance(sval, np.ndarray):
+            if sval.dtype.kind in "iu":
+                if not np.array_equal(sval, bval):
+                    return False
+            elif not np.allclose(sval, bval, rtol=1e-9, atol=1e-9):
+                return False
+        elif sval != bval:
+            return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true", help="smoke-test sizes (CI)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on divergence or batch slowdown > --max-slowdown",
+    )
+    ap.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.5,
+        help="fail --check if batch wall time exceeds scalar by this factor",
+    )
+    ap.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=None,
+        help="thread counts to sweep (default: 1 2 quick, 1 2 4 full)",
+    )
+    ap.add_argument(
+        "--apps", nargs="+", default=sorted(APPS), choices=sorted(APPS)
+    )
+    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+    threads_sweep = args.threads or ([1, 2] if args.quick else [1, 2, 4])
+
+    records = []
+    failures: list[str] = []
+    for app_name in args.apps:
+        n_elements, run = APPS[app_name](args.quick)
+        for version in VERSIONS:
+            for threads in threads_sweep:
+                cell = {}
+                for backend in ("scalar", "batch"):
+                    t0 = time.perf_counter()
+                    result, ops = run(version, backend, threads)
+                    wall = time.perf_counter() - t0
+                    cell[backend] = (result, ops, wall)
+                (s_res, s_ops, s_wall) = cell["scalar"]
+                (b_res, b_ops, b_wall) = cell["batch"]
+                speedup = s_wall / b_wall if b_wall > 0 else float("inf")
+                equivalent = _equivalent(s_res, b_res)
+                tag = f"{app_name}/{version}/t{threads}"
+                if not equivalent:
+                    failures.append(f"{tag}: batch result diverges from scalar")
+                if args.check and b_wall > s_wall * args.max_slowdown:
+                    failures.append(
+                        f"{tag}: batch {b_wall:.3f}s > {args.max_slowdown}x "
+                        f"scalar {s_wall:.3f}s"
+                    )
+                records.append(
+                    {
+                        "app": app_name,
+                        "version": version,
+                        "threads": threads,
+                        "n_elements": n_elements,
+                        "scalar_wall_seconds": s_wall,
+                        "batch_wall_seconds": b_wall,
+                        "speedup": speedup,
+                        "scalar_ops": s_ops,
+                        "batch_ops": b_ops,
+                        "equivalent": equivalent,
+                    }
+                )
+                print(
+                    f"{tag:28s} scalar {s_wall:8.3f}s  batch {b_wall:8.3f}s  "
+                    f"speedup {speedup:6.2f}x  ops(s/b) {s_ops:.3g}/{b_ops:.3g}  "
+                    f"{'ok' if equivalent else 'DIVERGED'}"
+                )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": "quick" if args.quick else "full",
+        "thread_counts": threads_sweep,
+        "kernel_cache": kernel_cache_stats(),
+        "results": records,
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.json} ({len(records)} cells)")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,7 +22,7 @@ The package implements, from scratch:
 
 Quickstart::
 
-    from repro.compiler import compile_reduction
+    from repro.compiler import compile_cached
     from repro.freeride import FreerideEngine
     import numpy as np
 
@@ -31,7 +31,7 @@ Quickstart::
       def accumulate(x: real) { roAdd(0, 0, x); }
     }
     '''
-    comp = compile_reduction(src, {}, opt_level=2)
+    comp = compile_cached(src, {}, opt_level=2)
     bound = comp.bind(np.arange(1000, dtype=np.float64))
     spec, idx = bound.make_spec([(1, "add")])
     print(FreerideEngine(num_threads=4).run(spec, idx).ro.get(0, 0))

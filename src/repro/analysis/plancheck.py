@@ -259,8 +259,21 @@ def validate_plan(
     lowered: LoweredReduction,
     plan: CompilationPlan,
     file: str | None = None,
+    backend: str = "scalar",
 ) -> list[Diagnostic]:
-    """Validate one compilation plan against the lowered reduction."""
+    """Validate one compilation plan against the lowered reduction.
+
+    ``backend`` may be ``"scalar"`` or ``"batch"``.  Plans are
+    backend-independent — the batch backend consumes the very same
+    ``SitePlan``/``LoopHoist`` decisions (as strided lane views instead of
+    per-element reads) — so both values run the identical checks; the
+    parameter exists so callers can validate the pair they are about to
+    execute and so future batch-only invariants have a home.
+    """
+    if backend not in ("scalar", "batch"):
+        raise ValueError(
+            f"backend must be 'scalar' or 'batch', got {backend!r}"
+        )
     diags: list[Diagnostic] = []
 
     # 1. Index bounds against computeIndex's layout metadata (all levels).

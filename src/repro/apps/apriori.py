@@ -21,7 +21,7 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.compiler.translate import compile_reduction
+from repro.compiler.cache import compile_cached
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -104,7 +104,12 @@ class AprioriRunner:
         max_size: int = 3,
         version: str = "manual",
         num_threads: int = 1,
+        executor: str = "serial",
+        chunk_size: int | None = None,
+        backend: str = "scalar",
     ) -> None:
+        from repro.compiler.translate import BACKENDS
+
         check_positive_int(num_items, "num_items")
         check_in_range(min_support_frac, 0.0, 1.0, "min_support_frac")
         check_positive_int(max_size, "max_size")
@@ -112,7 +117,10 @@ class AprioriRunner:
         self.min_support_frac = min_support_frac
         self.max_size = max_size
         self.version = check_one_of(version, VERSIONS, "version")
-        self.engine = FreerideEngine(num_threads=num_threads)
+        self.backend = check_one_of(backend, BACKENDS, "backend")
+        self.engine = FreerideEngine(
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+        )
 
     # -- candidate generation (classic apriori join + prune) -------------------
 
@@ -190,7 +198,7 @@ class AprioriRunner:
         num_cand = len(candidates)
         set_size = len(candidates[0])
         level = {"generated": 0, "opt-1": 1, "opt-2": 2}[self.version]
-        compiled = compile_reduction(
+        compiled = compile_cached(
             APRIORI_CHAPEL_SOURCE,
             {
                 "numItems": self.num_items,
@@ -198,6 +206,7 @@ class AprioriRunner:
                 "setSize": set_size,
             },
             opt_level=level,
+            backend=self.backend,
         )
         cand_t = ArrayType(Domain(num_cand), array_of(INT, set_size))
         # candidates hold 1-based item indices in the Chapel view

@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compiler.translate import compile_reduction
+from repro.compiler.cache import compile_cached
+from repro.compiler.translate import BACKENDS
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -111,17 +112,26 @@ class EmRunner:
         dim: int,
         version: str = "manual",
         num_threads: int = 1,
+        executor: str = "serial",
+        chunk_size: int | None = None,
+        backend: str = "scalar",
     ) -> None:
         check_positive_int(k, "k")
         check_positive_int(dim, "dim")
         self.k, self.dim = k, dim
         self.version = check_one_of(version, VERSIONS, "version")
-        self.engine = FreerideEngine(num_threads=num_threads)
+        self.backend = check_one_of(backend, BACKENDS, "backend")
+        self.engine = FreerideEngine(
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+        )
         self.compiled = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
-            self.compiled = compile_reduction(
-                EM_CHAPEL_SOURCE, {"k": k, "dim": dim}, opt_level=level
+            self.compiled = compile_cached(
+                EM_CHAPEL_SOURCE,
+                {"k": k, "dim": dim},
+                opt_level=level,
+                backend=backend,
             )
 
     def ro_layout(self) -> list[tuple[int, str]]:

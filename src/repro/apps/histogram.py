@@ -17,7 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.compiler.translate import compile_reduction
+from repro.compiler.cache import compile_cached
+from repro.compiler.translate import BACKENDS
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -77,6 +78,7 @@ class HistogramRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        backend: str = "scalar",
     ) -> None:
         check_positive_int(bins, "bins")
         if not hi > lo:
@@ -84,16 +86,18 @@ class HistogramRunner:
         self.bins, self.lo, self.hi = bins, float(lo), float(hi)
         self.width = (self.hi - self.lo) / bins
         self.version = check_one_of(version, VERSIONS, "version")
+        self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size
         )
         self.compiled = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
-            self.compiled = compile_reduction(
+            self.compiled = compile_cached(
                 HISTOGRAM_CHAPEL_SOURCE,
                 {"bins": bins, "lo": self.lo, "width": self.width},
                 opt_level=level,
+                backend=backend,
             )
 
     def ro_layout(self) -> list[tuple[int, str]]:

@@ -29,7 +29,8 @@ import numpy as np
 from repro.chapel.domains import Domain
 from repro.chapel.types import REAL, ArrayType, array_of, record
 from repro.chapel.values import ChapelArray, from_python
-from repro.compiler.translate import BoundReduction, CompiledReduction, compile_reduction
+from repro.compiler.cache import compile_cached
+from repro.compiler.translate import BACKENDS, BoundReduction, CompiledReduction
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -229,10 +230,12 @@ class KmeansRunner:
         executor: str = "serial",
         chunk_size: int | None = None,
         technique: str = "full_replication",
+        backend: str = "scalar",
     ) -> None:
         check_positive_int(k, "k")
         check_positive_int(dim, "dim")
         self.version = check_one_of(version, VERSIONS, "version")
+        self.backend = check_one_of(backend, BACKENDS, "backend")
         self.k, self.dim = k, dim
         self.engine = FreerideEngine(
             num_threads=num_threads,
@@ -243,8 +246,11 @@ class KmeansRunner:
         self.compiled: CompiledReduction | None = None
         if version != "manual":
             opt_level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
-            self.compiled = compile_reduction(
-                KMEANS_CHAPEL_SOURCE, {"k": k, "dim": dim}, opt_level=opt_level
+            self.compiled = compile_cached(
+                KMEANS_CHAPEL_SOURCE,
+                {"k": k, "dim": dim},
+                opt_level=opt_level,
+                backend=backend,
             )
 
     def run(

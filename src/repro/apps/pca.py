@@ -30,7 +30,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.compiler.translate import CompiledReduction, compile_reduction
+from repro.compiler.cache import compile_cached
+from repro.compiler.translate import BACKENDS, CompiledReduction
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -199,10 +200,12 @@ class PcaRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        backend: str = "scalar",
     ) -> None:
         check_positive_int(m, "m")
         self.m = m
         self.version = check_one_of(version, VERSIONS, "version")
+        self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size
         )
@@ -210,11 +213,11 @@ class PcaRunner:
         self.cov_compiled: CompiledReduction | None = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
-            self.mean_compiled = compile_reduction(
-                PCA_MEAN_SOURCE, {"m": m}, opt_level=level
+            self.mean_compiled = compile_cached(
+                PCA_MEAN_SOURCE, {"m": m}, opt_level=level, backend=backend
             )
-            self.cov_compiled = compile_reduction(
-                PCA_COV_SOURCE, {"m": m}, opt_level=level
+            self.cov_compiled = compile_cached(
+                PCA_COV_SOURCE, {"m": m}, opt_level=level, backend=backend
             )
 
     def run(self, matrix: np.ndarray) -> PcaResult:

@@ -30,7 +30,7 @@ from repro.apps.pca import (
     manual_mean_spec,
     mean_ro_layout,
 )
-from repro.compiler.translate import compile_reduction
+from repro.compiler.cache import compile_cached
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.freeride.runtime import FreerideEngine
 from repro.machine.counters import OpCounters
@@ -134,7 +134,7 @@ def _measure_pca_at(version: str, m: int, sample_n: int, seed: int) -> tuple[OpC
             _compute_only(counters_cov, sample_n),
         )
     level = _OPT_LEVEL[version]
-    mean_comp = compile_reduction(PCA_MEAN_SOURCE, {"m": m}, opt_level=level)
+    mean_comp = compile_cached(PCA_MEAN_SOURCE, {"m": m}, opt_level=level)
     bound = mean_comp.bind(columns)
     spec, idx = bound.make_spec(mean_ro_layout(m))
     res = engine.run(spec, idx)
@@ -143,7 +143,7 @@ def _measure_pca_at(version: str, m: int, sample_n: int, seed: int) -> tuple[OpC
     from repro.chapel.types import REAL, array_of
     from repro.chapel.values import from_python
 
-    cov_comp = compile_reduction(PCA_COV_SOURCE, {"m": m}, opt_level=level)
+    cov_comp = compile_cached(PCA_COV_SOURCE, {"m": m}, opt_level=level)
     mean_value = from_python(array_of(REAL, m), list(map(float, mean)))
     cov_bound = cov_comp.bind(columns, {"mean": mean_value})
     spec2, idx2 = cov_bound.make_spec(cov_ro_layout(m))

@@ -11,12 +11,22 @@ Submodules map to the paper's §IV:
 * :mod:`repro.compiler.passes` — the opt-1 (strength reduction) and opt-2
   (auxiliary linearization) transformations;
 * :mod:`repro.compiler.codegen` — instrumented Python kernels + C-like text;
+* :mod:`repro.compiler.batch` — the vectorized split-level NumPy backend
+  ("opt-3") with scalar fallback;
+* :mod:`repro.compiler.cache` — process-wide compiled-kernel memoization;
 * :mod:`repro.compiler.translate` / :mod:`repro.compiler.pipeline` — the
   end-to-end driver producing FREERIDE-runnable specs;
 * :mod:`repro.compiler.interp` — the reference interpreter (semantic oracle).
 """
 
 from repro.compiler.access import AccessPath, FieldStep, IndexStep
+from repro.compiler.batch import BatchCodegen, BatchUnsupported
+from repro.compiler.cache import (
+    clear_kernel_cache,
+    compile_cached,
+    kernel_cache_stats,
+    plan_fingerprint,
+)
 from repro.compiler.exprreduce import ReduceExprJob, compile_reduce_expr
 from repro.compiler.interp import interpret_accumulate, interpret_over
 from repro.compiler.linearize import (
@@ -48,6 +58,7 @@ from repro.compiler.passes import (
 )
 from repro.compiler.pipeline import OPT_LEVELS, compile_all_versions
 from repro.compiler.translate import (
+    BACKENDS,
     BoundReduction,
     CompiledReduction,
     compile_reduction,
@@ -79,8 +90,15 @@ __all__ = [
     "compile_reduction",
     "compile_all_versions",
     "OPT_LEVELS",
+    "BACKENDS",
     "CompiledReduction",
     "BoundReduction",
+    "BatchCodegen",
+    "BatchUnsupported",
+    "compile_cached",
+    "clear_kernel_cache",
+    "kernel_cache_stats",
+    "plan_fingerprint",
     "interpret_accumulate",
     "interpret_over",
     "compile_reduce_expr",

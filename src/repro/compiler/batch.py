@@ -1,0 +1,580 @@
+"""Batch (vectorized) code generation — the "opt-3" execution backend.
+
+The scalar backend (:class:`~repro.compiler.codegen.PythonCodegen`) walks the
+linearized buffers one element at a time through an interpreted Python
+kernel, so wall-clock time is dominated by interpreter overhead rather than
+the memory behaviour the paper measures.  The dense layout produced by
+Algorithms 1-2 is exactly what array-level execution wants:
+:class:`BatchCodegen` emits a *split-level* NumPy kernel
+
+.. code-block:: python
+
+    def _batch_kernel(_start, _end, _ro, _env, _C):
+        # processes global elements [_start, _end) in whole-array steps
+
+with the same calling convention as the scalar ``_kernel``, where the
+element dimension is carried as ``(_end - _start,)``-shaped lane arrays:
+
+* **data accesses** become strided views over the linearized buffer — a 1-D
+  lane view per linear access site (stride = element size), a 2-D
+  ``(lanes, run)`` row view per hoisted site (reusing the ``SitePlan`` /
+  ``LoopHoist`` decisions of the compilation plan, including incremental
+  base bumping);
+* **extra accesses** are element-invariant, so they stay scalar and are
+  evaluated once per batch (nested Chapel chains included) — each lane sees
+  the same value the scalar kernel would read;
+* **conditionals** on element-dependent values are converted to masks: both
+  branch bodies are evaluated for all lanes and assignments merge through
+  ``np.where``, preserving the scalar kernel's lowest-index tie-breaking;
+* **reduction-object updates** go through
+  :meth:`~repro.freeride.reduction_object.ReductionObject.accumulate_batch`
+  (``ufunc.at`` under the hood), which folds duplicate cells in lane order —
+  bit-for-bit equal to the scalar element order for integer reductions;
+* **operation counting** stays per batch: every statement's static
+  :class:`~repro.compiler.codegen._Cost` counts are multiplied by the
+  *active lane count* at that structural position, so the ledger a batch
+  run produces equals the scalar ledger exactly.
+
+Constructs the emitter cannot vectorize — element-dependent loop ranges or
+element-dependent access-site indices — raise :class:`BatchUnsupported`;
+the translator then falls back to the scalar kernel for the whole
+reduction and logs the reason (per-site mixing would break the counter
+parity above).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.chapel import ast as A
+from repro.compiler.codegen import PythonCodegen, _Cost, site_key
+from repro.compiler.lower import LoweredReduction, AccessSite
+from repro.compiler.passes import CompilationPlan, SitePlan
+from repro.util.errors import CodegenError
+
+__all__ = ["BatchCodegen", "BatchUnsupported", "BATCH_NAMESPACE"]
+
+
+class BatchUnsupported(Exception):
+    """The batch emitter cannot vectorize this reduction; fall back to scalar."""
+
+
+# ---------------------------------------------------------------- runtime lib
+# Helpers injected into the namespace the batch kernel source is exec'd in.
+# They accept scalars and lane arrays alike, so element-invariant
+# subexpressions stay cheap Python scalars.
+
+
+def _land(a, b):
+    return np.logical_and(a, b)
+
+
+def _lor(a, b):
+    return np.logical_or(a, b)
+
+
+def _lnot(a):
+    return np.logical_not(a)
+
+
+def _vmin(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.minimum(a, b)
+    return min(a, b)
+
+
+def _vmax(a, b):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return np.maximum(a, b)
+    return max(a, b)
+
+
+def _toint(x):
+    # np.int64 truncates toward zero, matching Python's int().
+    if isinstance(x, np.ndarray):
+        return x.astype(np.int64)
+    return int(x)
+
+
+def _vfloor(x):
+    return np.floor(x) if isinstance(x, np.ndarray) else math.floor(x)
+
+
+def _vsqrt(x):
+    return np.sqrt(x) if isinstance(x, np.ndarray) else math.sqrt(x)
+
+
+def _vexp(x):
+    return np.exp(x) if isinstance(x, np.ndarray) else math.exp(x)
+
+
+def _vlog(x):
+    return np.log(x) if isinstance(x, np.ndarray) else math.log(x)
+
+
+def _msel(mask, new, old):
+    """Masked assignment merge: lanes where ``mask`` holds take ``new``."""
+    return np.where(mask, new, old)
+
+
+def _mand(mask, cond):
+    """Narrow the current mask by a lane condition (``mask`` may be None)."""
+    cond = np.asarray(cond, dtype=bool)
+    return cond if mask is None else (mask & cond)
+
+
+def _mcount(mask, n):
+    """Active lane count under ``mask`` (full width when mask is None)."""
+    return int(n) if mask is None else int(np.count_nonzero(mask))
+
+
+def _errstate():
+    # Masked-off lanes still evaluate both branch bodies; their garbage
+    # (division by zero, log of non-positives, ...) is discarded by the
+    # np.where merges, so the transient FP warnings are suppressed.
+    return np.errstate(divide="ignore", invalid="ignore", over="ignore")
+
+
+#: Exec namespace for generated batch kernels.
+BATCH_NAMESPACE = {
+    "_np": np,
+    "_land": _land,
+    "_lor": _lor,
+    "_lnot": _lnot,
+    "_vmin": _vmin,
+    "_vmax": _vmax,
+    "_toint": _toint,
+    "_vfloor": _vfloor,
+    "_vsqrt": _vsqrt,
+    "_vexp": _vexp,
+    "_vlog": _vlog,
+    "_msel": _msel,
+    "_mand": _mand,
+    "_mcount": _mcount,
+    "_errstate": _errstate,
+}
+
+_BATCH_BINOPS = {
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "==": "==",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+}
+
+_BATCH_BUILTINS = {
+    "abs": "abs",
+    "sqrt": "_vsqrt",
+    "min": "_vmin",
+    "max": "_vmax",
+    "floor": "_vfloor",
+    "toInt": "_toint",
+    "exp": "_vexp",
+    "log": "_vlog",
+}
+
+
+# -------------------------------------------------------------- taint analysis
+
+
+class _Taint:
+    """Which locals may vary across lanes (flow-insensitive fixpoint).
+
+    A value is *lane-varying* ("tainted") when it transitively depends on a
+    data-site read, or is assigned under a lane-varying condition (the
+    ``np.where`` merge makes the target an array).  Loop variables are never
+    tainted — a lane-varying loop *range* is unvectorizable and reported as
+    the fallback reason instead, as is a lane-varying access-site index.
+    """
+
+    def __init__(self, lowered: LoweredReduction) -> None:
+        self.low = lowered
+        self.tainted: set[str] = set()
+        self.reason: str | None = None
+
+    def run(self) -> None:
+        for _ in range(len(self.low.locals) + 2):
+            before = set(self.tainted)
+            self._walk_block(self.low.body, ctx=False)
+            if self.tainted == before:
+                break
+
+    def _flag(self, reason: str) -> None:
+        if self.reason is None:
+            self.reason = reason
+
+    def expr_tainted(self, expr: A.Expr) -> bool:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            if site.kind == "data":
+                return True
+            return any(
+                self.expr_tainted(ie) for group in site.index_exprs for ie in group
+            )
+        if isinstance(expr, A.Ident):
+            return expr.name in self.tainted
+        if isinstance(expr, A.BinOp):
+            return self.expr_tainted(expr.left) or self.expr_tainted(expr.right)
+        if isinstance(expr, A.UnaryOp):
+            return self.expr_tainted(expr.operand)
+        if isinstance(expr, A.Call):
+            return any(self.expr_tainted(a) for a in expr.args)
+        return False
+
+    def check_site_indices(self, expr: A.Expr, site: AccessSite) -> None:
+        for group in site.index_exprs:
+            for ie in group:
+                if self.expr_tainted(ie):
+                    self._flag(
+                        f"index {ie} of {site.kind} access {expr} is "
+                        "element-dependent (gather not vectorized)"
+                    )
+
+    def _walk_block(self, block: A.Block, ctx: bool) -> None:
+        for stmt in block.stmts:
+            self._walk_stmt(stmt, ctx)
+
+    def _walk_stmt(self, stmt: A.Stmt, ctx: bool) -> None:
+        if isinstance(stmt, A.VarDeclStmt):
+            d = stmt.decl
+            if ctx or (d.init is not None and self.expr_tainted(d.init)):
+                self.tainted.add(d.name)
+        elif isinstance(stmt, A.Assign):
+            if ctx or self.expr_tainted(stmt.value):
+                self.tainted.add(stmt.target.name)  # lower guarantees Ident
+        elif isinstance(stmt, A.ForStmt):
+            if self.expr_tainted(stmt.range.lo) or self.expr_tainted(stmt.range.hi):
+                self._flag(
+                    f"range of loop {stmt.var!r} is element-dependent; "
+                    "lanes would iterate different trip counts"
+                )
+            self._walk_block(stmt.body, ctx)
+        elif isinstance(stmt, A.IfStmt):
+            inner = ctx or self.expr_tainted(stmt.cond)
+            self._walk_block(stmt.then, inner)
+            if stmt.orelse is not None:
+                self._walk_block(stmt.orelse, inner)
+        elif isinstance(stmt, A.Block):  # pragma: no cover - not produced
+            self._walk_block(stmt, ctx)
+
+
+# ------------------------------------------------------------------ generator
+
+
+class BatchCodegen(PythonCodegen):
+    """Emit the split-level NumPy kernel for one compilation plan.
+
+    Shares site-key assignment, dense-position computation and the static
+    cost model with :class:`PythonCodegen`; every emitted cost line is
+    multiplied by the active lane count at that position so batch and
+    scalar runs produce identical :class:`OpCounters` ledgers.
+    """
+
+    def __init__(self, lowered: LoweredReduction, plan: CompilationPlan) -> None:
+        super().__init__(lowered, plan)
+        self.taint = _Taint(lowered)
+        self.mask = "None"  # current mask expression ("None" = all lanes)
+        self.lane = "_n0"  # current active-lane-count variable
+        self._next_mask = 0
+
+    # -- cost ----------------------------------------------------------------
+
+    def _emit_cost(self, cost: _Cost) -> None:
+        if not cost.counts:
+            return
+        parts = [
+            f"_C.{k} += {v} * {self.lane}" for k, v in sorted(cost.counts.items())
+        ]
+        self._w("; ".join(parts))
+
+    # -- expressions ----------------------------------------------------------
+
+    def emit_expr(self, expr: A.Expr, cost: _Cost) -> str:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            self.taint.check_site_indices(expr, site)
+            if self.taint.reason is not None:
+                raise BatchUnsupported(self.taint.reason)
+            return self.emit_site(expr, site, cost)
+        if isinstance(expr, A.BinOp):
+            left = self.emit_expr(expr.left, cost)
+            right = self.emit_expr(expr.right, cost)
+            cost.bump("flops")
+            if expr.op == "&&":
+                return f"_land({left}, {right})"
+            if expr.op == "||":
+                return f"_lor({left}, {right})"
+            return f"({left} {_BATCH_BINOPS[expr.op]} {right})"
+        if isinstance(expr, A.UnaryOp):
+            inner = self.emit_expr(expr.operand, cost)
+            cost.bump("flops")
+            return f"(-{inner})" if expr.op == "-" else f"_lnot({inner})"
+        if isinstance(expr, A.Call):
+            if expr.name in A.RO_INTRINSICS:
+                raise CodegenError(
+                    f"{expr.name} is a statement-level intrinsic, not an expression"
+                )
+            fn = _BATCH_BUILTINS[expr.name]
+            args = ", ".join(self.emit_expr(a, cost) for a in expr.args)
+            cost.bump("flops")
+            return f"{fn}({args})"
+        return super().emit_expr(expr, cost)
+
+    # -- access sites ---------------------------------------------------------
+
+    def _emit_nested(self, site: AccessSite, cost: _Cost) -> str:
+        if site.kind == "data":  # pragma: no cover - plans always linearize data
+            raise BatchUnsupported(
+                f"data access {site.expr} planned as nested (not linearized)"
+            )
+        return super()._emit_nested(site, cost)
+
+    def _inner_offset_code(self, site: AccessSite, cost: _Cost) -> str:
+        """Element-local byte offset (the scalar backend adds ``_e*_esz``)."""
+        kid = self._key_id(site)
+        dense = self._dense_level_exprs(site, cost)
+        cost.bump("index_calls")
+        cost.bump("index_levels", site.info.levels)  # type: ignore[union-attr]
+        return f"_ci(_info_{kid}, ({', '.join(dense)},))"
+
+    def _emit_linear(self, site: AccessSite, cost: _Cost) -> str:
+        kid = self._key_id(site)
+        cost.bump("linear_reads")
+        inner = self._inner_offset_code(site, cost)
+        if site.kind == "data":
+            # one strided lane view: lane i reads element (_start+i)'s scalar
+            return f"_lanes_{kid}({inner})"
+        return f"_rd_{kid}({inner})"
+
+    def _emit_hoisted(self, site: AccessSite, plan: SitePlan, cost: _Cost) -> str:
+        inner = site.index_exprs[-1][0]
+        rng = site.info.domains[-1].ranges[0]  # type: ignore[union-attr]
+        idx = self.emit_expr(inner, cost)
+        if rng.low != 0:
+            idx = f"{idx} - {rng.low}"
+        cost.bump("linear_reads")
+        if site.kind == "data":
+            return f"_row_{plan.hoist_id}[:, {idx}]"
+        return f"_row_{plan.hoist_id}[{idx}]"
+
+    def _hoist_base_inner(
+        self, site: AccessSite, cost: _Cost, override_groups: dict[int, str]
+    ) -> str:
+        kid = self._key_id(site)
+        overrides = dict(override_groups)
+        overrides[len(site.index_exprs) - 1] = "0"
+        dense = self._dense_level_exprs(site, cost, overrides)
+        cost.bump("index_calls")
+        cost.bump("index_levels", site.info.levels)  # type: ignore[union-attr]
+        return f"_ci(_info_{kid}, ({', '.join(dense)},))"
+
+    def emit_hoist_preamble(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.loop_hoists.get(id(loop), []):
+            site = hoist.site
+            self.taint.check_site_indices(site.expr, site)
+            if self.taint.reason is not None:
+                raise BatchUnsupported(self.taint.reason)
+            cost = _Cost()
+            base = self._hoist_base_inner(site, cost, {})
+            kid = self._key_id(site)
+            self._emit_cost(cost)
+            if site.kind == "data":
+                self._w(f"_row_{hoist.hoist_id} = _rows_{kid}({base})")
+            else:
+                self._w(f"_row_{hoist.hoist_id} = _tv_{kid}({base})")
+
+    def emit_incremental_inits(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            site = hoist.site
+            self.taint.check_site_indices(site.expr, site)
+            if self.taint.reason is not None:
+                raise BatchUnsupported(self.taint.reason)
+            cost = _Cost()
+            rng = site.info.domains[  # type: ignore[union-attr]
+                hoist.var_group + (1 if self._site_wrapped(site) else 0)
+            ].ranges[0]
+            lo_code = self.emit_expr(loop.range.lo, cost)
+            start = f"({lo_code} - {rng.low})" if rng.low != 0 else lo_code
+            base = self._hoist_base_inner(site, cost, {hoist.var_group: start})
+            self._emit_cost(cost)
+            self._w(f"_b_{hoist.hoist_id} = {base}")
+
+    def emit_incremental_tops(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            kid = self._key_id(hoist.site)
+            cost = _Cost()
+            cost.bump("flops")  # the base bump
+            self._emit_cost(cost)
+            if hoist.site.kind == "data":
+                self._w(f"_row_{hoist.hoist_id} = _rows_{kid}(_b_{hoist.hoist_id})")
+            else:
+                self._w(f"_row_{hoist.hoist_id} = _tv_{kid}(_b_{hoist.hoist_id})")
+            self._w(f"_b_{hoist.hoist_id} += {hoist.step_bytes}")
+
+    # -- statements ----------------------------------------------------------
+
+    def _assign(self, target: str, value: str) -> None:
+        """Assign under the current mask (np.where merge when masked).
+
+        Never emits an in-place array update: lane arrays may alias the
+        linearized data buffer (strided views), so every assignment rebinds
+        to a fresh value.
+        """
+        if self.mask == "None":
+            self._w(f"{target} = {value}")
+        else:
+            self._w(f"{target} = _msel({self.mask}, {value}, {target})")
+
+    def emit_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDeclStmt):
+            d = stmt.decl
+            cost = _Cost()
+            init = self.emit_expr(d.init, cost) if d.init is not None else "0"
+            self._emit_cost(cost)
+            # A declaration is unconditional even under a mask: the DSL
+            # scopes the local to this branch, so inactive lanes' garbage
+            # can never escape the mask region.
+            self._w(f"{self._mangle(d.name)} = {init}")
+        elif isinstance(stmt, A.Assign):
+            cost = _Cost()
+            value = self.emit_expr(stmt.value, cost)
+            target = self._mangle(stmt.target.name)  # lower guarantees Ident
+            if stmt.op is not None:
+                cost.bump("flops")
+                value = f"({target} {stmt.op} {value})"
+            self._emit_cost(cost)
+            self._assign(target, value)
+        elif isinstance(stmt, A.ForStmt):
+            if self.taint.expr_tainted(stmt.range.lo) or self.taint.expr_tainted(
+                stmt.range.hi
+            ):
+                raise BatchUnsupported(
+                    f"range of loop {stmt.var!r} is element-dependent; "
+                    "lanes would iterate different trip counts"
+                )
+            cost = _Cost()
+            lo = self.emit_expr(stmt.range.lo, cost)
+            hi = self.emit_expr(stmt.range.hi, cost)
+            self._emit_cost(cost)
+            self.emit_hoist_preamble(stmt)
+            self.emit_incremental_inits(stmt)
+            self._w(f"for {self._mangle(stmt.var)} in range({lo}, {hi} + 1):")
+            self.indent += 1
+            self.emit_incremental_tops(stmt)
+            self.emit_block(stmt.body)
+            self.indent -= 1
+        elif isinstance(stmt, A.IfStmt):
+            if not self.taint.expr_tainted(stmt.cond):
+                # element-invariant condition: a plain Python branch
+                cost = _Cost()
+                cond = self.emit_expr(stmt.cond, cost)
+                self._emit_cost(cost)
+                self._w(f"if {cond}:")
+                self.indent += 1
+                self.emit_block(stmt.then)
+                self.indent -= 1
+                if stmt.orelse is not None:
+                    self._w("else:")
+                    self.indent += 1
+                    self.emit_block(stmt.orelse)
+                    self.indent -= 1
+                return
+            self._emit_masked_if(stmt)
+        elif isinstance(stmt, A.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, A.Call) and expr.name in A.RO_INTRINSICS:
+                cost = _Cost()
+                args = [self.emit_expr(a, cost) for a in expr.args]
+                cost.bump("ro_updates")
+                self._emit_cost(cost)
+                op = A.RO_INTRINSICS[expr.name]
+                self._w(
+                    f"_ro.accumulate_batch({args[0]}, {args[1]}, {args[2]}, "
+                    f"{op!r}, {self.mask}, _n0)"
+                )
+            else:
+                cost = _Cost()
+                code = self.emit_expr(expr, cost)
+                self._emit_cost(cost)
+                self._w(code)
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot emit statement {stmt!r}")
+
+    def _emit_masked_if(self, stmt: A.IfStmt) -> None:
+        """Element-dependent condition: evaluate both branches under masks."""
+        n = self._next_mask
+        self._next_mask += 1
+        cost = _Cost()
+        cond = self.emit_expr(stmt.cond, cost)
+        self._emit_cost(cost)
+        self._w(f"_c{n} = {cond}")
+        outer_mask, outer_lane = self.mask, self.lane
+        for suffix, mask_expr, body in (
+            ("t", f"_mand({outer_mask}, _c{n})", stmt.then),
+            ("f", f"_mand({outer_mask}, _lnot(_c{n}))", stmt.orelse),
+        ):
+            if body is None:
+                continue
+            mvar, nvar = f"_m{n}{suffix}", f"_n{n}{suffix}"
+            self._w(f"{mvar} = {mask_expr}")
+            self._w(f"{nvar} = _mcount({mvar}, _n0)")
+            self._w(f"if {nvar}:")
+            self.indent += 1
+            self.mask, self.lane = mvar, nvar
+            self.emit_block(body)
+            self.mask, self.lane = outer_mask, outer_lane
+            self.indent -= 1
+
+    # -- whole kernel ---------------------------------------------------------
+
+    def generate(self) -> str:
+        self.taint.run()
+        if self.taint.reason is not None:
+            raise BatchUnsupported(self.taint.reason)
+        self.lines = []
+        self.indent = 0
+        self.mask, self.lane = "None", "_n0"
+        self._next_mask = 0
+        self._w("def _batch_kernel(_start, _end, _ro, _env, _C):")
+        self.indent += 1
+        self._w("if _end <= _start:")
+        self._w("    return")
+        self._w('_ci = _env["compute_index"]')
+        emitted: set[str] = set()
+        for site in self.low.sites.values():
+            key = site_key(site)
+            kid = self.keys[key]
+            if key in emitted:
+                continue
+            emitted.add(key)
+            plan_modes = {
+                p.mode
+                for p in self.plan.site_plans.values()
+                if site_key(p.site) == key
+            }
+            if plan_modes & {"linear", "hoisted"}:
+                self._w(f'_info_{kid} = _env["info_{kid}"]')
+                if site.kind == "data":
+                    self._w(f'_mklanes_{kid} = _env["lanes_{kid}"]')
+                    self._w(f'_mkrows_{kid} = _env["rows_{kid}"]')
+                    self._w(f"_lanes_{kid} = lambda _o: _mklanes_{kid}(_start, _n0, _o)")
+                    self._w(f"_rows_{kid} = lambda _o: _mkrows_{kid}(_start, _n0, _o)")
+                else:
+                    self._w(f'_rd_{kid} = _env["read_{kid}"]')
+                    self._w(f'_tv_{kid} = _env["view_{kid}"]')
+            if "nested" in plan_modes:
+                self._w(f'_v_{site.root} = _env["val_{site.root}"]')
+        self._w("_n0 = _end - _start")
+        self._w("_C.elements_processed += _n0")
+        self._w("with _errstate():")
+        self.indent += 1
+        self.emit_block(self.low.body)
+        return "\n".join(self.lines) + "\n"

@@ -1,0 +1,122 @@
+"""Process-wide compiled-kernel cache.
+
+``compile_reduction`` re-lowers, re-plans and re-``exec``'s kernel source on
+every call; apps and benchmarks compile the same program again and again
+(apriori even recompiles per counting pass).  :func:`compile_cached`
+memoizes the finished :class:`~repro.compiler.translate.CompiledReduction`
+keyed by ``(program digest, version, backend)`` and records the plan
+fingerprint alongside each entry, matching the paper's one-time
+translation cost model.  Cached objects hold no bound data — binding
+happens per dataset on the shared compiled object — so reuse across
+callers is safe.
+
+Hit/miss totals are exposed via :func:`kernel_cache_stats`; the engine
+snapshots the hit counter into ``RunStats.kernel_cache_hits`` so a run
+reports how much recompilation it avoided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from typing import Any
+
+from repro.chapel import ast as A
+from repro.compiler.passes import CompilationPlan
+from repro.compiler.translate import BACKENDS, CompiledReduction, compile_reduction
+
+__all__ = [
+    "compile_cached",
+    "clear_kernel_cache",
+    "kernel_cache_stats",
+    "plan_fingerprint",
+    "program_digest",
+]
+
+_lock = threading.Lock()
+_cache: dict[tuple[str, int, str], tuple[str, CompiledReduction]] = {}
+_hits = 0
+_misses = 0
+
+
+def program_digest(
+    source: str | A.Program,
+    constants: dict[str, Any],
+    class_name: str | None = None,
+) -> str:
+    """Stable digest of one compilation request (program + constants)."""
+    text = source if isinstance(source, str) else repr(source)
+    payload = "\n".join(
+        [
+            text,
+            json.dumps(constants, sort_keys=True, default=repr),
+            class_name or "",
+        ]
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def plan_fingerprint(plan: CompilationPlan) -> str:
+    """Digest of the plan's decisions (site modes + hoist structure)."""
+    parts = [f"opt{plan.opt_level}"]
+    for sp in plan.site_plans.values():
+        parts.append(f"{sp.site.expr}:{sp.site.kind}:{sp.mode}:{sp.hoist_id}")
+    for hoists in list(plan.loop_hoists.values()) + list(
+        plan.incremental_hoists.values()
+    ):
+        for h in hoists:
+            parts.append(
+                f"h{h.hoist_id}:{h.site.expr}:{h.incremental}:{h.step_bytes}"
+            )
+    return hashlib.sha256("\n".join(sorted(parts)).encode()).hexdigest()[:16]
+
+
+def compile_cached(
+    source: str | A.Program,
+    constants: dict[str, Any],
+    opt_level: int = 0,
+    class_name: str | None = None,
+    backend: str = "scalar",
+) -> CompiledReduction:
+    """Like :func:`compile_reduction`, but memoized process-wide.
+
+    The cache key is ``(program digest, opt_level, backend)``; each entry
+    stores the resulting plan's fingerprint so distinct plans can never
+    alias (a digest pins source + constants, which fully determine the
+    plan at a given level — the fingerprint is verified on every hit).
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    global _hits, _misses
+    key = (program_digest(source, constants, class_name), opt_level, backend)
+    with _lock:
+        entry = _cache.get(key)
+        if entry is not None:
+            _hits += 1
+            return entry[1]
+    compiled = compile_reduction(source, constants, opt_level, class_name, backend)
+    fingerprint = plan_fingerprint(compiled.plan)
+    with _lock:
+        entry = _cache.get(key)
+        if entry is not None:  # lost a compile race; keep the first
+            _hits += 1
+            return entry[1]
+        _misses += 1
+        _cache[key] = (fingerprint, compiled)
+    return compiled
+
+
+def kernel_cache_stats() -> dict[str, int]:
+    """Process-wide totals: ``{"hits": ..., "misses": ..., "entries": ...}``."""
+    with _lock:
+        return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+
+
+def clear_kernel_cache() -> None:
+    """Drop all cached kernels and reset the hit/miss counters (tests)."""
+    global _hits, _misses
+    with _lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0

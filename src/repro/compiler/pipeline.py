@@ -6,7 +6,8 @@ from typing import Any
 
 from repro.chapel import ast as A
 from repro.chapel.parser import parse_program
-from repro.compiler.translate import CompiledReduction, compile_reduction
+from repro.compiler.cache import compile_cached
+from repro.compiler.translate import BACKENDS, CompiledReduction
 from repro.util.errors import AnalysisError
 
 __all__ = ["compile_all_versions", "OPT_LEVELS"]
@@ -20,12 +21,20 @@ def compile_all_versions(
     constants: dict[str, Any],
     class_name: str | None = None,
     analyze: str | None = None,
+    backend: str = "scalar",
 ) -> dict[str, CompiledReduction]:
     """Compile a reduction class at every optimization level.
 
     Returns ``{"generated": ..., "opt-1": ..., "opt-2": ...}``.  The program
     is parsed once; each level gets its own lowering (sites carry per-plan
-    annotations).
+    annotations).  Compiles go through the process-wide kernel cache, so
+    repeated calls with identical (source, constants, backend) reuse the
+    already-exec'd kernels.
+
+    ``backend`` selects the execution strategy for every level:
+    ``"scalar"`` (per-element interpreted kernels, default) or ``"batch"``
+    (split-level NumPy kernels with scalar fallback — see
+    :mod:`repro.compiler.batch`).
 
     ``analyze`` runs the reduction-safety analyzer first:
 
@@ -35,6 +44,8 @@ def compile_all_versions(
 AnalysisError` (refusing to emit code) when any **error**-level
       diagnostic is reported; warnings/infos never block compilation.
     """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     program = parse_program(source) if isinstance(source, str) else source
     if analyze is not None:
         if analyze not in ("warn", "strict"):
@@ -43,7 +54,7 @@ AnalysisError` (refusing to emit code) when any **error**-level
             )
         _run_analysis(program, constants, class_name, strict=analyze == "strict")
     return {
-        name: compile_reduction(program, constants, level, class_name)
+        name: compile_cached(program, constants, level, class_name, backend)
         for name, level in OPT_LEVELS.items()
     }
 

@@ -31,6 +31,7 @@ from repro.chapel.domains import Domain
 from repro.chapel.parser import parse_program
 from repro.chapel.types import ArrayType, ChapelType, PrimitiveType
 from repro.chapel.values import ChapelArray
+from repro.compiler.batch import BATCH_NAMESPACE, BatchCodegen, BatchUnsupported
 from repro.compiler.codegen import CLikeCodegen, PythonCodegen, site_key
 from repro.compiler.linearize import LinearizedBuffer, linearize_it
 from repro.compiler.lower import LoweredReduction, lower_reduction
@@ -40,8 +41,15 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
 from repro.util.errors import CompilerError
+from repro.util.logging import get_logger
 
-__all__ = ["CompiledReduction", "BoundReduction", "compile_reduction"]
+__all__ = ["CompiledReduction", "BoundReduction", "compile_reduction", "BACKENDS"]
+
+#: Supported execution backends: per-element interpretation vs whole-split
+#: NumPy vectorization (see :mod:`repro.compiler.batch`).
+BACKENDS = ("scalar", "batch")
+
+_log = get_logger("compiler.batch")
 
 
 def _make_reader(raw: np.ndarray, dtype: np.dtype) -> Callable[[int], Any]:
@@ -62,6 +70,43 @@ def _make_viewer(raw: np.ndarray, dtype: np.dtype, extent: int) -> Callable[[int
     return view
 
 
+def _make_lane_reader(
+    raw: np.ndarray, dtype: np.dtype, elem_size: int
+) -> Callable[[int, int, int], np.ndarray]:
+    """Batch backend: 1-D strided view, one scalar per element of a split.
+
+    ``lanes(start, n, inner)[i]`` is the value the scalar kernel reads at
+    byte ``(start + i) * elem_size + inner`` — the same data-site scalar,
+    for all ``n`` elements of the split at once.
+    """
+    dt = np.dtype(dtype)
+
+    def lanes(start: int, n: int, inner: int) -> np.ndarray:
+        return np.ndarray(
+            (n,), dt, buffer=raw, offset=start * elem_size + inner, strides=(elem_size,)
+        )
+
+    return lanes
+
+
+def _make_lane_viewer(
+    raw: np.ndarray, dtype: np.dtype, elem_size: int, extent: int
+) -> Callable[[int, int, int], np.ndarray]:
+    """Batch backend: 2-D ``(n, extent)`` view — one hoisted row per element."""
+    dt = np.dtype(dtype)
+
+    def rows(start: int, n: int, inner: int) -> np.ndarray:
+        return np.ndarray(
+            (n, extent),
+            dt,
+            buffer=raw,
+            offset=start * elem_size + inner,
+            strides=(elem_size, dt.itemsize),
+        )
+
+    return rows
+
+
 @dataclass
 class CompiledReduction:
     """One optimization level of one reduction class, ready to bind."""
@@ -72,10 +117,19 @@ class CompiledReduction:
     c_source: str
     kernel: Callable
     keys: dict[str, int]
+    backend: str = "scalar"
+    batch_source: str | None = None
+    batch_kernel: Callable | None = None
+    batch_fallback_reason: str | None = None
 
     @property
     def opt_level(self) -> int:
         return self.plan.opt_level
+
+    @property
+    def effective_kernel(self) -> Callable:
+        """The kernel runs actually dispatch: batch when vectorized, else scalar."""
+        return self.batch_kernel if self.batch_kernel is not None else self.kernel
 
     @property
     def version_name(self) -> str:
@@ -202,6 +256,14 @@ class CompiledReduction:
                 env[f"view_{kid}"] = _make_viewer(
                     data_buf.raw, info.inner_dtype, info.inner_extent
                 )
+                if self.batch_kernel is not None:
+                    esz = self.lowered.element_type.sizeof
+                    env[f"lanes_{kid}"] = _make_lane_reader(
+                        data_buf.raw, info.inner_dtype, esz
+                    )
+                    env[f"rows_{kid}"] = _make_lane_viewer(
+                        data_buf.raw, info.inner_dtype, esz, info.inner_extent
+                    )
             # linear extras are installed by update_extras
 
     # -- compiled artifacts ---------------------------------------------------------
@@ -269,7 +331,7 @@ class BoundReduction:
 
     def run_serial(self, ro: Any) -> None:
         """Run the kernel over all elements with a bare accessor (tests)."""
-        self.compiled.kernel(0, self.n_elements, ro, self.env, self.counters)
+        self.compiled.effective_kernel(0, self.n_elements, ro, self.env, self.counters)
 
     # -- FREERIDE integration ------------------------------------------------------------
 
@@ -278,8 +340,14 @@ class BoundReduction:
         ro_layout: Sequence[tuple[int, str]],
         finalize: Callable[[ReductionObject], Any] | None = None,
     ) -> tuple[ReductionSpec, range]:
-        """Build a FREERIDE spec; the engine data is the element index range."""
-        kernel = self.compiled.kernel
+        """Build a FREERIDE spec; the engine data is the element index range.
+
+        The spec closes over :attr:`CompiledReduction.effective_kernel`, so
+        the engine dispatches the batch kernel per split (under both the
+        serial and threaded executors) whenever the batch backend compiled,
+        and the scalar kernel otherwise.
+        """
+        kernel = self.compiled.effective_kernel
         env = self.env
         counters = self.counters
         layout = list(ro_layout)
@@ -312,8 +380,20 @@ def compile_reduction(
     constants: dict[str, Any],
     opt_level: int = 0,
     class_name: str | None = None,
+    backend: str = "scalar",
 ) -> CompiledReduction:
-    """Compile a mini-Chapel reduction class at one optimization level."""
+    """Compile a mini-Chapel reduction class at one optimization level.
+
+    ``backend`` selects the execution strategy: ``"scalar"`` (default)
+    emits only the per-element interpreted kernel; ``"batch"`` additionally
+    emits the split-level NumPy kernel and dispatches it everywhere the
+    scalar kernel would run.  If the batch emitter cannot vectorize the
+    reduction, compilation falls back to the scalar kernel for the whole
+    reduction and records (and logs) the reason in
+    :attr:`CompiledReduction.batch_fallback_reason`.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     program = parse_program(source) if isinstance(source, str) else source
     lowered = lower_reduction(program, constants, class_name)
     plan = plan_compilation(lowered, opt_level)
@@ -322,6 +402,33 @@ def compile_reduction(
     c_source = CLikeCodegen(lowered, plan).generate()
     namespace: dict[str, Any] = {}
     exec(compile(python_source, f"<kernel:{lowered.name}:opt{opt_level}>", "exec"), namespace)
+
+    batch_source: str | None = None
+    batch_kernel: Callable | None = None
+    batch_fallback_reason: str | None = None
+    if backend == "batch":
+        try:
+            batch_source = BatchCodegen(lowered, plan).generate()
+        except BatchUnsupported as exc:
+            batch_fallback_reason = str(exc)
+            _log.warning(
+                "batch backend fell back to scalar for %s [opt%d]: %s",
+                lowered.name,
+                opt_level,
+                batch_fallback_reason,
+            )
+        else:
+            batch_ns: dict[str, Any] = dict(BATCH_NAMESPACE)
+            exec(
+                compile(
+                    batch_source,
+                    f"<batch-kernel:{lowered.name}:opt{opt_level}>",
+                    "exec",
+                ),
+                batch_ns,
+            )
+            batch_kernel = batch_ns["_batch_kernel"]
+
     return CompiledReduction(
         lowered=lowered,
         plan=plan,
@@ -329,4 +436,8 @@ def compile_reduction(
         c_source=c_source,
         kernel=namespace["_kernel"],
         keys=dict(pygen.keys),
+        backend=backend,
+        batch_source=batch_source,
+        batch_kernel=batch_kernel,
+        batch_fallback_reason=batch_fallback_reason,
     )

@@ -86,6 +86,8 @@ class ReductionObject:
         self._finalized_layout = False
         #: number of accumulate() calls, for runtime statistics
         self.update_count: int = 0
+        # lazy per-group lookup arrays for the batch update path
+        self._batch_tables: tuple[np.ndarray, np.ndarray, list[str]] | None = None
 
     # -- layout -------------------------------------------------------------
 
@@ -108,6 +110,7 @@ class ReductionObject:
         self._buffer = np.concatenate(
             [self._buffer, np.full(num_elems, _IDENTITY[op])]
         )
+        self._batch_tables = None
         return gid
 
     def alloc_matrix(self, num_groups: int, num_elems: int, op: AccumulateOp = "add") -> list[int]:
@@ -178,6 +181,97 @@ class ReductionObject:
         ufunc = _MERGE_UFUNC[meta.op]
         self._buffer[sl] = ufunc(self._buffer[sl], values)
         self.update_count += meta.num_elems
+
+    def _group_tables(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Dense per-group ``(offsets, num_elems, ops)`` lookup arrays."""
+        if self._batch_tables is None:
+            offsets = np.array([m.offset for m in self._groups], dtype=np.int64)
+            nelems = np.array([m.num_elems for m in self._groups], dtype=np.int64)
+            ops = [m.op for m in self._groups]
+            self._batch_tables = (offsets, nelems, ops)
+        return self._batch_tables
+
+    def batch_cells(
+        self,
+        groups: "np.ndarray | int",
+        elems: "np.ndarray | int",
+        values: "np.ndarray | float",
+        op: AccumulateOp,
+        mask: np.ndarray | None = None,
+        lanes: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and flatten a batch update into ``(flat_indices, values)``.
+
+        ``groups``/``elems``/``values`` broadcast against each other (and to
+        ``lanes`` entries when all are scalar); ``mask`` drops inactive lanes
+        before validation, so a lane a scalar kernel would never execute can
+        hold any garbage.  Every surviving lane must address an allocated
+        cell of a group whose accumulate op is ``op``.
+        """
+        if op not in ACCUMULATE_OPS:
+            raise ReductionObjectError(f"unknown accumulate op {op!r}")
+        g = np.asarray(groups, dtype=np.int64)
+        e = np.asarray(elems, dtype=np.int64)
+        v = np.asarray(values, dtype=np.float64)
+        shapes = [g.shape, e.shape, v.shape]
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            shapes.append(mask.shape)
+        target = np.broadcast_shapes(*shapes)
+        if target == ():
+            target = (1 if lanes is None else lanes,)
+        g = np.broadcast_to(g, target).ravel()
+        e = np.broadcast_to(e, target).ravel()
+        v = np.broadcast_to(v, target).ravel()
+        if mask is not None:
+            m = np.broadcast_to(mask, target).ravel()
+            g, e, v = g[m], e[m], v[m]
+        if g.size == 0:
+            return g, v
+        offsets, nelems, ops = self._group_tables()
+        if g.min() < 0 or g.max() >= len(offsets):
+            raise ReductionObjectError(
+                f"batch update addresses group outside [0, {len(offsets)})"
+            )
+        if np.any(e < 0) or np.any(e >= nelems[g]):
+            raise ReductionObjectError(
+                "batch update addresses an element outside its group"
+            )
+        bad = {ops[int(gi)] for gi in np.unique(g)} - {op}
+        if bad:
+            raise ReductionObjectError(
+                f"batch {op!r} update hits groups declared with op {sorted(bad)}"
+            )
+        return offsets[g] + e, v
+
+    def apply_batch(self, indices: np.ndarray, values: np.ndarray, op: AccumulateOp) -> None:
+        """Apply pre-validated flat-cell updates (see :meth:`batch_cells`).
+
+        ``ufunc.at`` folds duplicate indices in lane order, so an additive
+        cell touched by many lanes matches the scalar element-order result.
+        """
+        if indices.size == 0:
+            return
+        _MERGE_UFUNC[op].at(self._buffer, indices, values)
+        self.update_count += int(indices.size)
+
+    def accumulate_batch(
+        self,
+        groups: "np.ndarray | int",
+        elems: "np.ndarray | int",
+        values: "np.ndarray | float",
+        op: AccumulateOp = "add",
+        mask: np.ndarray | None = None,
+        lanes: int | None = None,
+    ) -> None:
+        """Vectorized accumulate over per-lane ``(group, elem, value)`` triples.
+
+        Semantically ``accumulate(groups[i], elems[i], values[i])`` for every
+        active lane ``i`` (in lane order); counts one update per active lane.
+        This is the reduction-object half of the batch kernel backend.
+        """
+        idx, v = self.batch_cells(groups, elems, values, op, mask, lanes)
+        self.apply_batch(idx, v, op)
 
     def get(self, group: int, elem: int) -> float:
         """Read one element — Table I's ``get_intermediate_result``."""

@@ -102,6 +102,9 @@ class RunStats:
     splits_per_thread: list[int] = field(default_factory=list)
     ro_updates: int = 0
     ro_size: int = 0
+    #: process-wide compiled-kernel cache hits observed by the end of this
+    #: run (see :func:`repro.compiler.cache.kernel_cache_stats`)
+    kernel_cache_hits: int = 0
     sharedmem: SharedMemStats = field(default_factory=SharedMemStats)
     local_combination: CombinationStats = field(default_factory=CombinationStats)
     global_combination: CombinationStats | None = None
@@ -191,11 +194,46 @@ class FreerideEngine:
             raise FaultToleranceError("fault_injector must be a FaultInjector or None")
         self.fault_policy = fault_policy
         self.fault_injector = fault_injector
+        # one persistent worker pool, shared by every run() of this engine
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # -- worker-pool lifecycle -------------------------------------------------
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        """The engine's persistent thread pool (created on first use).
+
+        Reusing one pool across outer-sequential-loop iterations avoids
+        rebuilding ``num_threads`` OS threads on every :meth:`run` call —
+        the FREERIDE daemon threads live for the whole computation.
+        """
+        if self._closed:
+            raise FreerideError("engine is closed; create a new FreerideEngine")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_threads, thread_name_prefix="freeride"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool.  Idempotent."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "FreerideEngine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- public entry ---------------------------------------------------------
 
     def run(self, spec: ReductionSpec, data: Any) -> ReductionResult:
         """Execute one reduction pass over ``data``."""
+        if self._closed:
+            raise FreerideError("engine is closed; create a new FreerideEngine")
         timer = PhaseTimer()
         stats = RunStats(
             num_threads=self.num_threads,
@@ -231,6 +269,10 @@ class FreerideEngine:
 
         stats.ro_updates = ro.update_count
         stats.ro_size = ro.size
+        # imported lazily: the compiler package imports freeride, not vice versa
+        from repro.compiler.cache import kernel_cache_stats
+
+        stats.kernel_cache_hits = kernel_cache_stats()["hits"]
 
         with timer.phase("finalize"):
             value: Any = spec.finalize(ro) if spec.finalize is not None else ro
@@ -357,10 +399,10 @@ class FreerideEngine:
                         continue
                     process(thread_id, s)
 
-            with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
-                futures = [pool.submit(worker, t) for t in range(self.num_threads)]
-                for f in futures:
-                    f.result()  # propagate worker exceptions
+            pool = self._get_pool()
+            futures = [pool.submit(worker, t) for t in range(self.num_threads)]
+            for f in futures:
+                f.result()  # propagate worker exceptions
 
     # -- fault-tolerant execution ------------------------------------------------
 
@@ -417,10 +459,10 @@ class FreerideEngine:
                 abort.set()
                 raise
 
-        with ThreadPoolExecutor(max_workers=self.num_threads) as pool:
-            futures = [pool.submit(worker, t) for t in range(self.num_threads)]
-            for f in futures:
-                f.result()  # propagate worker exceptions
+        pool = self._get_pool()
+        futures = [pool.submit(worker, t) for t in range(self.num_threads)]
+        for f in futures:
+            f.result()  # propagate worker exceptions
         stats.requeues += queue.requeues
 
     def _ft_worker(

@@ -108,6 +108,19 @@ class ROAccessor:
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         raise NotImplementedError
 
+    def accumulate_batch(
+        self,
+        groups,
+        elems,
+        values,
+        op: str = "add",
+        mask: np.ndarray | None = None,
+        lanes: int | None = None,
+    ) -> None:
+        """Vectorized per-lane updates (see
+        :meth:`ReductionObject.accumulate_batch`); used by batch kernels."""
+        raise NotImplementedError
+
     def merge_from_scratch(self, scratch: ReductionObject) -> None:
         """Commit a per-split scratch reduction object in one atomic step.
 
@@ -135,6 +148,9 @@ class ReplicatedAccessor(ROAccessor):
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         self.ro.accumulate_group(group, values)
 
+    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+        self.ro.accumulate_batch(groups, elems, values, op, mask, lanes)
+
     def merge_from_scratch(self, scratch: ReductionObject) -> None:
         # The private copy belongs to one thread; a plain merge is atomic
         # enough (the merge either happens wholly or not at all from the
@@ -159,6 +175,9 @@ class ScratchAccessor(ROAccessor):
 
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         self.ro.accumulate_group(group, values)
+
+    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+        self.ro.accumulate_batch(groups, elems, values, op, mask, lanes)
 
 
 class _LockTable:
@@ -224,6 +243,28 @@ class LockingAccessor(ROAccessor):
                 self._table.locks[i].acquire()
                 acquired.append(i)
             self.ro.accumulate_group(group, values)
+        finally:
+            for i in reversed(acquired):
+                self._table.locks[i].release()
+        self.stats.lock_acquisitions += len(acquired)
+
+    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+        idx, v = self.ro.batch_cells(groups, elems, values, op, mask, lanes)
+        if idx.size == 0:
+            return
+        # Cover every touched cell's lock, acquired in ascending index order
+        # (deadlock-free against concurrent batch updates and commits), then
+        # apply the whole batch and release in reverse.
+        if self._table.technique is SharedMemTechnique.CACHE_SENSITIVE_LOCKING:
+            lock_indices = np.unique(idx // ELEMS_PER_CACHE_LINE)
+        else:
+            lock_indices = np.unique(idx)
+        acquired = []
+        try:
+            for i in lock_indices.tolist():
+                self._table.locks[i].acquire()
+                acquired.append(i)
+            self.ro.apply_batch(idx, v, op)
         finally:
             for i in reversed(acquired):
                 self._table.locks[i].release()

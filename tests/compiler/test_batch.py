@@ -1,0 +1,174 @@
+"""Tests for the batch (vectorized) codegen backend."""
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import HISTOGRAM_CHAPEL_SOURCE
+from repro.apps.kmeans import (
+    KMEANS_CHAPEL_SOURCE,
+    centroids_to_chapel,
+    kmeans_ro_layout,
+)
+from repro.compiler.batch import BATCH_NAMESPACE, BatchCodegen, BatchUnsupported
+from repro.chapel.parser import parse_program
+from repro.compiler.lower import lower_reduction
+from repro.compiler.passes import plan_compilation
+from repro.compiler.translate import compile_reduction
+from repro.freeride.reduction_object import ReductionObject
+
+
+#: Extra indexed by a value read from the dataset — an element-dependent
+#: gather the batch emitter refuses to vectorize.
+GATHER_SOURCE = """
+class gatherReduction : ReduceScanOp {
+  var n: int;
+  var table: [1..n] real;
+
+  def accumulate(x: [1..2] int) {
+    roAdd(0, 0, table[x[1]]);
+  }
+}
+"""
+
+#: Loop whose trip count depends on the element — also unvectorizable.
+DYNLOOP_SOURCE = """
+class dynloopReduction : ReduceScanOp {
+  var n: int;
+
+  def accumulate(x: [1..2] int) {
+    var m: int = x[1];
+    for i in 1..m {
+      roAdd(0, 0, 1.0);
+    }
+  }
+}
+"""
+
+HIST_CONSTS = {"bins": 8, "lo": -2.0, "width": 0.5}
+
+
+class TestBatchSource:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_histogram_emits_masked_batch_kernel(self, level):
+        lowered = lower_reduction(parse_program(HISTOGRAM_CHAPEL_SOURCE), HIST_CONSTS)
+        plan = plan_compilation(lowered, level)
+        src = BatchCodegen(lowered, plan).generate()
+        assert src.startswith("def _batch_kernel(_start, _end, _ro, _env, _C):")
+        # the clamp ifs are element-dependent -> masked merges, batch RO update
+        assert "_msel(" in src
+        assert "_mand(" in src
+        assert "_ro.accumulate_batch(" in src
+        # counter lines scale by the active lane count, never a bare bump
+        assert "_C.flops += " in src
+        for line in src.splitlines():
+            if "_C." in line and "elements_processed" not in line:
+                assert "* _n" in line, line
+        # source must exec against the batch helper namespace
+        ns = dict(BATCH_NAMESPACE)
+        exec(compile(src, "<test>", "exec"), ns)
+        assert callable(ns["_batch_kernel"])
+
+    def test_untainted_if_stays_plain_branch(self):
+        lowered = lower_reduction(parse_program(KMEANS_CHAPEL_SOURCE), {"k": 2, "dim": 2})
+        plan = plan_compilation(lowered, 2)
+        src = BatchCodegen(lowered, plan).generate()
+        # the k-means distance test is element-dependent -> masked
+        assert "_msel(" in src
+        # lane reads must never be mutated in place (they alias the buffer)
+        for line in src.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("u_"):
+                assert "+=" not in stripped and "-=" not in stripped, line
+
+
+class TestFallback:
+    def test_gather_raises_batch_unsupported(self):
+        lowered = lower_reduction(parse_program(GATHER_SOURCE), {"n": 4})
+        plan = plan_compilation(lowered, 2)
+        with pytest.raises(BatchUnsupported, match="element-dependent"):
+            BatchCodegen(lowered, plan).generate()
+
+    def test_dynamic_loop_raises_batch_unsupported(self):
+        lowered = lower_reduction(parse_program(DYNLOOP_SOURCE), {"n": 4})
+        plan = plan_compilation(lowered, 0)
+        with pytest.raises(BatchUnsupported, match="trip counts"):
+            BatchCodegen(lowered, plan).generate()
+
+    def test_compile_falls_back_to_scalar_whole_kernel(self):
+        compiled = compile_reduction(GATHER_SOURCE, {"n": 4}, 2, backend="batch")
+        assert compiled.backend == "batch"
+        assert compiled.batch_kernel is None
+        assert compiled.batch_source is None
+        assert "element-dependent" in compiled.batch_fallback_reason
+        assert compiled.effective_kernel is compiled.kernel
+
+    def test_fallback_kernel_still_correct(self):
+        from repro.chapel.types import REAL, array_of
+        from repro.chapel.values import from_python
+
+        table = [10.0, 20.0, 30.0]
+        data = np.array([[1, 0], [3, 0], [2, 0], [1, 0]], dtype=np.int64)
+        results = []
+        for backend in ("scalar", "batch"):
+            compiled = compile_reduction(
+                GATHER_SOURCE, {"n": 3}, 2, backend=backend
+            )
+            bound = compiled.bind(
+                data, {"table": from_python(array_of(REAL, 3), table)}
+            )
+            ro = ReductionObject()
+            ro.alloc(1, "add")
+            bound.run_serial(ro)
+            results.append(ro.get(0, 0))
+        assert results[0] == results[1] == 10.0 + 30.0 + 20.0 + 10.0
+
+    def test_fallback_logged(self, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.compiler.batch"):
+            compile_reduction(GATHER_SOURCE, {"n": 4}, 1, backend="batch")
+        assert any("fell back to scalar" in r.message for r in caplog.records)
+
+
+class TestBackendSelection:
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            compile_reduction(HISTOGRAM_CHAPEL_SOURCE, HIST_CONSTS, 0, backend="simd")
+
+    def test_scalar_backend_has_no_batch_kernel(self):
+        compiled = compile_reduction(HISTOGRAM_CHAPEL_SOURCE, HIST_CONSTS, 0)
+        assert compiled.backend == "scalar"
+        assert compiled.batch_kernel is None
+        assert compiled.effective_kernel is compiled.kernel
+
+    def test_batch_backend_dispatches_batch_kernel(self):
+        compiled = compile_reduction(
+            HISTOGRAM_CHAPEL_SOURCE, HIST_CONSTS, 0, backend="batch"
+        )
+        assert compiled.batch_kernel is not None
+        assert compiled.batch_fallback_reason is None
+        assert compiled.effective_kernel is compiled.batch_kernel
+
+
+class TestCounterParity:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_kmeans_counters_identical(self, level):
+        rng = np.random.default_rng(0)
+        k, dim, n = 3, 2, 64
+        points = rng.random((n, dim))
+        cents = rng.random((k, dim))
+        ledgers = []
+        snapshots = []
+        for backend in ("scalar", "batch"):
+            compiled = compile_reduction(
+                KMEANS_CHAPEL_SOURCE, {"k": k, "dim": dim}, level, backend=backend
+            )
+            bound = compiled.bind(points, {"centroids": centroids_to_chapel(cents)})
+            ro = ReductionObject()
+            for num, op in kmeans_ro_layout(k, dim):
+                ro.alloc(num, op)
+            bound.run_serial(ro)
+            ledgers.append(bound.counters.as_dict())
+            snapshots.append(ro.snapshot())
+        assert ledgers[0] == ledgers[1]
+        assert np.allclose(snapshots[0], snapshots[1])

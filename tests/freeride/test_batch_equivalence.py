@@ -1,0 +1,170 @@
+"""Scalar <-> batch backend equivalence across apps, versions and executors.
+
+Every cell runs the same program on the same data through the full engine
+(splitter -> local reduction -> combination) under both backends and
+asserts identical reduction objects (exact for integer reductions,
+``allclose`` for float apps), identical ``elements_merged``/group counts
+and identical ``ro_updates`` in :class:`RunStats`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chapel.domains import Domain
+from repro.chapel.types import INT, REAL, ArrayType, array_of
+from repro.chapel.values import from_python
+from repro.compiler.translate import compile_reduction
+from repro.freeride.runtime import FreerideEngine
+
+N = 240  # elements per app: small enough that scalar "generated" stays fast
+
+
+def _kmeans_case():
+    from repro.apps.kmeans import KMEANS_CHAPEL_SOURCE, centroids_to_chapel
+
+    rng = np.random.default_rng(0)
+    k, dim = 3, 2
+    data = rng.random((N, dim))
+    extras = {"centroids": centroids_to_chapel(rng.random((k, dim)))}
+    layout = [(dim + 2, "add")] * k
+    return KMEANS_CHAPEL_SOURCE, {"k": k, "dim": dim}, data, extras, layout, False
+
+
+def _histogram_case():
+    rng = np.random.default_rng(1)
+    from repro.apps.histogram import HISTOGRAM_CHAPEL_SOURCE
+
+    consts = {"bins": 8, "lo": -3.0, "width": 0.75}
+    return HISTOGRAM_CHAPEL_SOURCE, consts, rng.normal(0, 1, N), {}, [(2, "add")] * 8, False
+
+
+def _pca_case():
+    from repro.apps.pca import PCA_COV_SOURCE
+
+    rng = np.random.default_rng(2)
+    m = 4
+    data = rng.random((N, m))
+    mean = data.mean(axis=0)
+    extras = {"mean": from_python(array_of(REAL, m), list(map(float, mean)))}
+    return PCA_COV_SOURCE, {"m": m}, data, extras, [(m, "add")] * m, False
+
+
+def _em_case():
+    from repro.apps.em import EM_CHAPEL_SOURCE
+
+    rng = np.random.default_rng(3)
+    k, dim = 3, 2
+    data = rng.random((N, dim))
+    m_t = ArrayType(Domain(k), array_of(REAL, dim))
+    extras = {
+        "weights": from_python(array_of(REAL, k), [1.0 / k] * k),
+        "means": from_python(m_t, rng.random((k, dim)).tolist()),
+        "variances": from_python(m_t, np.full((k, dim), 0.5).tolist()),
+    }
+    return EM_CHAPEL_SOURCE, {"k": k, "dim": dim}, data, extras, [(1 + 2 * dim, "add")] * k, False
+
+
+def _apriori_case():
+    from repro.apps.apriori import APRIORI_CHAPEL_SOURCE
+
+    rng = np.random.default_rng(4)
+    num_items, num_cand, set_size = 8, 5, 2
+    data = (rng.random((N, num_items)) < 0.4).astype(np.int64)
+    cands = []
+    while len(cands) < num_cand:
+        c = tuple(sorted(1 + int(x) for x in rng.choice(num_items, set_size, replace=False)))
+        if c not in cands:
+            cands.append(c)
+    cand_t = ArrayType(Domain(num_cand), array_of(INT, set_size))
+    extras = {"candidates": from_python(cand_t, [list(c) for c in cands])}
+    consts = {"numItems": num_items, "numCand": num_cand, "setSize": set_size}
+    return APRIORI_CHAPEL_SOURCE, consts, data, extras, [(num_cand, "add")], True
+
+
+CASES = {
+    "kmeans": _kmeans_case,
+    "histogram": _histogram_case,
+    "pca": _pca_case,
+    "em": _em_case,
+    "apriori": _apriori_case,
+}
+
+
+def _run(source, consts, data, extras, layout, level, backend, executor):
+    compiled = compile_reduction(source, consts, level, backend=backend)
+    bound = compiled.bind(data, extras)
+    spec, idx = bound.make_spec(layout)
+    with FreerideEngine(
+        num_threads=2 if executor == "threads" else 1,
+        executor=executor,
+        chunk_size=64,
+    ) as engine:
+        result = engine.run(spec, idx)
+    return result, bound.counters
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+@pytest.mark.parametrize("level", [0, 1, 2], ids=["generated", "opt-1", "opt-2"])
+@pytest.mark.parametrize("app", sorted(CASES))
+def test_backend_equivalence(app, level, executor):
+    source, consts, data, extras, layout, integral = CASES[app]()
+    s_result, s_counters = _run(
+        source, consts, data, extras, layout, level, "scalar", executor
+    )
+    b_result, b_counters = _run(
+        source, consts, data, extras, layout, level, "batch", executor
+    )
+    s_ro, b_ro = s_result.ro, b_result.ro
+
+    assert s_ro.num_groups == b_ro.num_groups
+    for gid in range(s_ro.num_groups):
+        s_vals, b_vals = s_ro.get_group(gid), b_ro.get_group(gid)
+        if integral:
+            assert np.array_equal(s_vals, b_vals), f"group {gid}"
+        else:
+            assert np.allclose(s_vals, b_vals), f"group {gid}"
+
+    s_stats, b_stats = s_result.stats, b_result.stats
+    assert s_stats.ro_updates == b_stats.ro_updates
+    assert s_stats.total_elements == b_stats.total_elements
+    assert (
+        s_stats.local_combination.elements_merged
+        == b_stats.local_combination.elements_merged
+    )
+    assert s_counters.as_dict() == b_counters.as_dict()
+
+
+@pytest.mark.parametrize("executor", ["serial", "threads"])
+def test_forced_fallback_matches_scalar(executor):
+    """A program the batch emitter rejects must still run (scalar kernel)."""
+    source = """
+class gatherReduction : ReduceScanOp {
+  var n: int;
+  var table: [1..n] real;
+
+  def accumulate(x: [1..2] int) {
+    roAdd(0, 0, table[x[1]]);
+  }
+}
+"""
+    rng = np.random.default_rng(5)
+    data = np.column_stack(
+        [rng.integers(1, 4, N), np.zeros(N, dtype=np.int64)]
+    ).astype(np.int64)
+    extras = {"table": from_python(array_of(REAL, 3), [1.0, 10.0, 100.0])}
+    results = []
+    for backend in ("scalar", "batch"):
+        compiled = compile_reduction(source, {"n": 3}, 2, backend=backend)
+        if backend == "batch":
+            assert compiled.batch_kernel is None
+            assert "element-dependent" in compiled.batch_fallback_reason
+        bound = compiled.bind(data, extras)
+        spec, idx = bound.make_spec([(1, "add")])
+        with FreerideEngine(
+            num_threads=2 if executor == "threads" else 1,
+            executor=executor,
+            chunk_size=64,
+        ) as engine:
+            results.append(engine.run(spec, idx))
+    assert results[0].ro.get(0, 0) == results[1].ro.get(0, 0)
+    assert results[0].stats.ro_updates == results[1].stats.ro_updates

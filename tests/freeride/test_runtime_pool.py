@@ -1,0 +1,102 @@
+"""Tests for the persistent thread pool and engine lifecycle."""
+
+import pytest
+
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.util.errors import FreerideError
+
+
+def sum_spec():
+    def setup(ro: ReductionObject) -> None:
+        ro.alloc(1, "add")
+
+    def reduction(args: ReductionArgs) -> None:
+        for x in args.data:
+            args.ro.accumulate(0, 0, float(x))
+
+    def finalize(ro: ReductionObject):
+        return ro.get(0, 0)
+
+    return ReductionSpec(
+        name="sum", setup_reduction_object=setup, reduction=reduction, finalize=finalize
+    )
+
+
+class TestPersistentPool:
+    def test_pool_reused_across_runs(self):
+        engine = FreerideEngine(num_threads=2, executor="threads")
+        try:
+            engine.run(sum_spec(), [1, 2, 3])
+            pool = engine._pool
+            assert pool is not None
+            engine.run(sum_spec(), [4, 5, 6])
+            assert engine._pool is pool
+        finally:
+            engine.close()
+
+    def test_serial_executor_never_spins_up_pool(self):
+        engine = FreerideEngine(num_threads=2, executor="serial")
+        try:
+            engine.run(sum_spec(), [1, 2, 3])
+            assert engine._pool is None
+        finally:
+            engine.close()
+
+    def test_results_correct_across_many_runs(self):
+        with FreerideEngine(num_threads=3, executor="threads") as engine:
+            for i in range(5):
+                result = engine.run(sum_spec(), list(range(10 + i)))
+                assert result.value == sum(range(10 + i))
+
+    def test_close_is_idempotent(self):
+        engine = FreerideEngine(num_threads=2, executor="threads")
+        engine.run(sum_spec(), [1])
+        engine.close()
+        engine.close()
+
+    def test_closed_engine_raises(self):
+        engine = FreerideEngine(num_threads=2, executor="threads")
+        engine.close()
+        with pytest.raises(FreerideError, match="closed"):
+            engine.run(sum_spec(), [1, 2])
+
+    def test_context_manager_closes(self):
+        with FreerideEngine(num_threads=2, executor="threads") as engine:
+            engine.run(sum_spec(), [1, 2])
+        assert engine._closed
+        with pytest.raises(FreerideError, match="closed"):
+            engine.run(sum_spec(), [3])
+
+    def test_pool_threads_named(self):
+        import threading
+
+        names = set()
+
+        def spy(args: ReductionArgs) -> None:
+            names.add(threading.current_thread().name)
+
+        spec = ReductionSpec(
+            name="spy",
+            setup_reduction_object=lambda ro: ro.alloc(1, "add"),
+            reduction=spy,
+        )
+        with FreerideEngine(num_threads=2, executor="threads") as engine:
+            engine.run(spec, list(range(8)))
+        assert any(n.startswith("freeride") for n in names)
+
+    def test_fault_tolerant_path_uses_persistent_pool(self):
+        from repro.freeride.faults import FaultPolicy
+
+        engine = FreerideEngine(
+            num_threads=2, executor="threads", fault_policy=FaultPolicy()
+        )
+        try:
+            result = engine.run(sum_spec(), list(range(20)))
+            assert result.value == sum(range(20))
+            pool = engine._pool
+            engine.run(sum_spec(), list(range(20)))
+            assert engine._pool is pool
+        finally:
+            engine.close()
