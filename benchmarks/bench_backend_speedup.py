@@ -35,6 +35,7 @@ from repro.apps.kmeans import KmeansRunner
 from repro.apps.pca import PcaRunner
 from repro.compiler.cache import kernel_cache_stats
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+from repro.obs import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_backend.json"
 VERSIONS = ("generated", "opt-1", "opt-2")
@@ -223,9 +224,20 @@ def main(argv: list[str] | None = None) -> int:
         "--apps", nargs="+", default=sorted(APPS), choices=sorted(APPS)
     )
     ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    ap.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also write a Chrome trace (Perfetto-loadable) of the whole "
+        "sweep to PATH; inspect with `python -m repro.trace report PATH`",
+    )
     args = ap.parse_args(argv)
     threads_sweep = args.threads or ([1, 2] if args.quick else [1, 2, 4])
 
+    tracer = Tracer() if args.trace else None
+    bench_tracer = tracer if tracer is not None else NULL_TRACER
+    prev_tracer = set_tracer(tracer) if tracer is not None else None
     records = []
     failures: list[str] = []
     for app_name in args.apps:
@@ -234,9 +246,17 @@ def main(argv: list[str] | None = None) -> int:
             for threads in threads_sweep:
                 cell = {}
                 for backend in ("scalar", "batch"):
-                    t0 = time.perf_counter()
-                    result, ops = run(version, backend, threads)
-                    wall = time.perf_counter() - t0
+                    with bench_tracer.span(
+                        "bench.cell",
+                        cat="bench",
+                        app=app_name,
+                        version=version,
+                        threads=threads,
+                        backend=backend,
+                    ):
+                        t0 = time.perf_counter()
+                        result, ops = run(version, backend, threads)
+                        wall = time.perf_counter() - t0
                     cell[backend] = (result, ops, wall)
                 (s_res, s_ops, s_wall) = cell["scalar"]
                 (b_res, b_ops, b_wall) = cell["batch"]
@@ -280,6 +300,19 @@ def main(argv: list[str] | None = None) -> int:
     args.json.parent.mkdir(parents=True, exist_ok=True)
     args.json.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.json} ({len(records)} cells)")
+
+    if tracer is not None:
+        set_tracer(prev_tracer)
+        write_chrome_trace(
+            args.trace,
+            tracer,
+            metadata={
+                "bench": "backend_speedup",
+                "profile": payload["profile"],
+                "apps": args.apps,
+            },
+        )
+        print(f"wrote trace {args.trace} ({len(tracer.records())} records)")
 
     if failures:
         print("\nFAILURES:", file=sys.stderr)

@@ -1,0 +1,71 @@
+"""Traced k-means — end-to-end observability walkthrough.
+
+Runs the opt-2 compiled k-means under the ``threads`` executor with the
+tracer enabled, writes a Chrome ``trace_event`` JSON (open it in Perfetto
+or chrome://tracing), and prints the same per-phase / per-thread summary
+that ``python -m repro.trace report <file>`` produces from the file.
+
+Run:  PYTHONPATH=src python examples/trace_kmeans.py [out.json]
+
+The trace contains compiler-phase spans (parse/lower/plan/codegen),
+linearization spans, one ``engine.run`` span per k-means iteration, one
+``split`` span per (split, attempt) with worker-thread attribution, and
+local-combination spans — everything docs/OBSERVABILITY.md describes.
+"""
+
+import sys
+
+from repro.apps import KmeansRunner
+from repro.compiler.cache import clear_kernel_cache
+from repro.data import initial_centroids, kmeans_points
+from repro.obs import (
+    format_report,
+    summarize_trace,
+    to_chrome_trace,
+    tracing,
+    write_chrome_trace,
+)
+
+N_POINTS, DIM, K, ITERATIONS = 4_000, 4, 8, 3
+
+
+def main(out_path: str = "kmeans_trace.json") -> int:
+    # start cold so the trace shows the full compile pipeline, not a cache hit
+    clear_kernel_cache()
+    points = kmeans_points(N_POINTS, DIM, num_blobs=K, seed=7)
+    cents0 = initial_centroids(points, K, seed=8)
+
+    with tracing() as tracer:
+        runner = KmeansRunner(
+            K,
+            DIM,
+            version="opt-2",
+            num_threads=4,
+            executor="threads",
+            chunk_size=N_POINTS // 16,
+        )
+        result = runner.run(points, cents0, ITERATIONS)
+
+    write_chrome_trace(
+        out_path,
+        tracer,
+        metadata={
+            "app": "kmeans",
+            "version": "opt-2",
+            "n_points": N_POINTS,
+            "k": K,
+            "iterations": ITERATIONS,
+        },
+    )
+    print(f"converged in {ITERATIONS} iterations; inertia={result.inertia:.3f}")
+    print(f"wrote {out_path} ({len(tracer.records())} records)\n")
+
+    chrome = to_chrome_trace(tracer)
+    print(format_report(summarize_trace(chrome["traceEvents"])))
+    print(f"\nopen {out_path} in https://ui.perfetto.dev or run:")
+    print(f"  python -m repro.trace report {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

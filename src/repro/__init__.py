@@ -18,7 +18,10 @@ The package implements, from scratch:
 * :mod:`repro.data` — deterministic dataset generators at the paper's
   scales;
 * :mod:`repro.bench` — the figure-regeneration harness (Figures 9–13 and
-  ablations).
+  ablations);
+* :mod:`repro.obs` — end-to-end tracing and metrics: per-split spans,
+  compiler-event stream, Chrome-trace export, and the
+  ``python -m repro.trace`` report CLI (see ``docs/OBSERVABILITY.md``).
 
 Quickstart::
 
@@ -50,6 +53,7 @@ from repro.analysis import (
     render_diagnostics,
 )
 from repro.compiler import CompilationPlan, SitePlan, compile_all_versions
+from repro.obs import Tracer, get_tracer, set_tracer, trace_to, tracing
 
 __all__ = [
     "chapel",
@@ -61,6 +65,7 @@ __all__ = [
     "apps",
     "data",
     "bench",
+    "obs",
     "util",
     # re-exported entry points
     "Diagnostic",
@@ -74,4 +79,9 @@ __all__ = [
     "CompilationPlan",
     "SitePlan",
     "compile_all_versions",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+    "trace_to",
 ]

@@ -26,6 +26,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_in_range, check_one_of, check_positive_int
 
@@ -107,6 +108,7 @@ class AprioriRunner:
         executor: str = "serial",
         chunk_size: int | None = None,
         backend: str = "scalar",
+        tracer: "Tracer | None" = None,
     ) -> None:
         from repro.compiler.translate import BACKENDS
 
@@ -119,7 +121,8 @@ class AprioriRunner:
         self.version = check_one_of(version, VERSIONS, "version")
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
-            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size,
+            tracer=tracer,
         )
 
     # -- candidate generation (classic apriori join + prune) -------------------

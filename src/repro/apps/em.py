@@ -25,6 +25,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
 
@@ -115,6 +116,7 @@ class EmRunner:
         executor: str = "serial",
         chunk_size: int | None = None,
         backend: str = "scalar",
+        tracer: "Tracer | None" = None,
     ) -> None:
         check_positive_int(k, "k")
         check_positive_int(dim, "dim")
@@ -122,7 +124,8 @@ class EmRunner:
         self.version = check_one_of(version, VERSIONS, "version")
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
-            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size,
+            tracer=tracer,
         )
         self.compiled = None
         if version != "manual":

@@ -23,6 +23,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
 
@@ -79,6 +80,7 @@ class HistogramRunner:
         executor: str = "serial",
         chunk_size: int | None = None,
         backend: str = "scalar",
+        tracer: "Tracer | None" = None,
     ) -> None:
         check_positive_int(bins, "bins")
         if not hi > lo:
@@ -88,7 +90,8 @@ class HistogramRunner:
         self.version = check_one_of(version, VERSIONS, "version")
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
-            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size,
+            tracer=tracer,
         )
         self.compiled = None
         if version != "manual":

@@ -34,6 +34,7 @@ from repro.compiler.translate import BACKENDS, BoundReduction, CompiledReduction
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.obs.tracer import Tracer
 from repro.machine.counters import OpCounters
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
@@ -231,6 +232,7 @@ class KmeansRunner:
         chunk_size: int | None = None,
         technique: str = "full_replication",
         backend: str = "scalar",
+        tracer: "Tracer | None" = None,
     ) -> None:
         check_positive_int(k, "k")
         check_positive_int(dim, "dim")
@@ -242,6 +244,7 @@ class KmeansRunner:
             executor=executor,
             chunk_size=chunk_size,
             technique=technique,
+            tracer=tracer,
         )
         self.compiled: CompiledReduction | None = None
         if version != "manual":

@@ -36,6 +36,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
 
@@ -201,13 +202,15 @@ class PcaRunner:
         executor: str = "serial",
         chunk_size: int | None = None,
         backend: str = "scalar",
+        tracer: "Tracer | None" = None,
     ) -> None:
         check_positive_int(m, "m")
         self.m = m
         self.version = check_one_of(version, VERSIONS, "version")
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
-            num_threads=num_threads, executor=executor, chunk_size=chunk_size
+            num_threads=num_threads, executor=executor, chunk_size=chunk_size,
+            tracer=tracer,
         )
         self.mean_compiled: CompiledReduction | None = None
         self.cov_compiled: CompiledReduction | None = None

@@ -11,8 +11,10 @@ happens per dataset on the shared compiled object — so reuse across
 callers is safe.
 
 Hit/miss totals are exposed via :func:`kernel_cache_stats`; the engine
-snapshots the hit counter into ``RunStats.kernel_cache_hits`` so a run
-reports how much recompilation it avoided.
+snapshots the hit counter before and after each run and reports the
+*per-run delta* as ``RunStats.kernel_cache_hits``, so back-to-back runs
+never inherit each other's hits.  With tracing enabled every hit/miss
+also emits a ``kernel_cache.hit`` / ``kernel_cache.miss`` trace event.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from typing import Any
 from repro.chapel import ast as A
 from repro.compiler.passes import CompilationPlan
 from repro.compiler.translate import BACKENDS, CompiledReduction, compile_reduction
+from repro.obs.tracer import get_tracer
 
 __all__ = [
     "compile_cached",
@@ -89,11 +92,17 @@ def compile_cached(
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
     global _hits, _misses
+    tracer = get_tracer()
     key = (program_digest(source, constants, class_name), opt_level, backend)
     with _lock:
         entry = _cache.get(key)
         if entry is not None:
             _hits += 1
+            if tracer.enabled:
+                tracer.event(
+                    "kernel_cache.hit", cat="cache", digest=key[0][:12],
+                    opt_level=opt_level, backend=backend,
+                )
             return entry[1]
     compiled = compile_reduction(source, constants, opt_level, class_name, backend)
     fingerprint = plan_fingerprint(compiled.plan)
@@ -104,6 +113,11 @@ def compile_cached(
             return entry[1]
         _misses += 1
         _cache[key] = (fingerprint, compiled)
+    if tracer.enabled:
+        tracer.event(
+            "kernel_cache.miss", cat="cache", digest=key[0][:12],
+            opt_level=opt_level, backend=backend, reduction=compiled.name,
+        )
     return compiled
 
 

@@ -8,6 +8,7 @@ from repro.chapel import ast as A
 from repro.chapel.parser import parse_program
 from repro.compiler.cache import compile_cached
 from repro.compiler.translate import BACKENDS, CompiledReduction
+from repro.obs.tracer import get_tracer
 from repro.util.errors import AnalysisError
 
 __all__ = ["compile_all_versions", "OPT_LEVELS"]
@@ -46,17 +47,21 @@ AnalysisError` (refusing to emit code) when any **error**-level
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    program = parse_program(source) if isinstance(source, str) else source
-    if analyze is not None:
-        if analyze not in ("warn", "strict"):
-            raise ValueError(
-                f"analyze must be None, 'warn' or 'strict', got {analyze!r}"
-            )
-        _run_analysis(program, constants, class_name, strict=analyze == "strict")
-    return {
-        name: compile_cached(program, constants, level, class_name, backend)
-        for name, level in OPT_LEVELS.items()
-    }
+    with get_tracer().span(
+        "compile_all_versions", cat="compiler", backend=backend,
+        analyze=analyze or "off",
+    ):
+        program = parse_program(source) if isinstance(source, str) else source
+        if analyze is not None:
+            if analyze not in ("warn", "strict"):
+                raise ValueError(
+                    f"analyze must be None, 'warn' or 'strict', got {analyze!r}"
+                )
+            _run_analysis(program, constants, class_name, strict=analyze == "strict")
+        return {
+            name: compile_cached(program, constants, level, class_name, backend)
+            for name, level in OPT_LEVELS.items()
+        }
 
 
 def _run_analysis(

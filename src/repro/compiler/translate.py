@@ -40,6 +40,7 @@ from repro.compiler.passes import VERSION_NAMES, CompilationPlan, plan_compilati
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.tracer import get_tracer
 from repro.util.errors import CompilerError
 from repro.util.logging import get_logger
 
@@ -179,7 +180,11 @@ class CompiledReduction:
         """
         counters = OpCounters()
         elem_t = self.lowered.element_type
-        data_buf, n = self._linearize_data(data, elem_t, counters, n_elements)
+        with get_tracer().span(
+            "linearize_data", cat="linearize", reduction=self.name
+        ) as span:
+            data_buf, n = self._linearize_data(data, elem_t, counters, n_elements)
+            span.set(n_elements=n, bytes=data_buf.nbytes)
 
         env: dict[str, Any] = {
             "compute_index": compute_index,
@@ -306,10 +311,16 @@ class BoundReduction:
         linear_roots = comp._linear_extra_roots()
         nested_roots = comp._nested_extra_roots()
         buffers: dict[str, LinearizedBuffer] = {}
+        tracer = get_tracer()
         for root in linear_roots:
             value = extras[root]
             etype = comp.lowered.extra_types[root]
-            buffers[root] = linearize_it(value, etype, self.counters)
+            with tracer.span(
+                "linearize_extras", cat="linearize",
+                reduction=comp.name, extra=root,
+            ) as span:
+                buffers[root] = linearize_it(value, etype, self.counters)
+                span.set(bytes=buffers[root].nbytes)
         for root in nested_roots:
             self.env[f"val_{root}"] = extras[root]
 
@@ -394,40 +405,65 @@ def compile_reduction(
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-    program = parse_program(source) if isinstance(source, str) else source
-    lowered = lower_reduction(program, constants, class_name)
-    plan = plan_compilation(lowered, opt_level)
-    pygen = PythonCodegen(lowered, plan)
-    python_source = pygen.generate()
-    c_source = CLikeCodegen(lowered, plan).generate()
-    namespace: dict[str, Any] = {}
-    exec(compile(python_source, f"<kernel:{lowered.name}:opt{opt_level}>", "exec"), namespace)
-
-    batch_source: str | None = None
-    batch_kernel: Callable | None = None
-    batch_fallback_reason: str | None = None
-    if backend == "batch":
-        try:
-            batch_source = BatchCodegen(lowered, plan).generate()
-        except BatchUnsupported as exc:
-            batch_fallback_reason = str(exc)
-            _log.warning(
-                "batch backend fell back to scalar for %s [opt%d]: %s",
-                lowered.name,
-                opt_level,
-                batch_fallback_reason,
-            )
-        else:
-            batch_ns: dict[str, Any] = dict(BATCH_NAMESPACE)
+    tracer = get_tracer()
+    with tracer.span(
+        "compile", cat="compiler", opt_level=opt_level, backend=backend
+    ) as compile_span:
+        with tracer.span("parse", cat="compiler"):
+            program = parse_program(source) if isinstance(source, str) else source
+        with tracer.span("lower", cat="compiler"):
+            lowered = lower_reduction(program, constants, class_name)
+        compile_span.set(reduction=lowered.name)
+        with tracer.span("plan", cat="compiler", reduction=lowered.name):
+            plan = plan_compilation(lowered, opt_level)
+        with tracer.span("codegen", cat="compiler", reduction=lowered.name):
+            pygen = PythonCodegen(lowered, plan)
+            python_source = pygen.generate()
+            c_source = CLikeCodegen(lowered, plan).generate()
+            namespace: dict[str, Any] = {}
             exec(
                 compile(
-                    batch_source,
-                    f"<batch-kernel:{lowered.name}:opt{opt_level}>",
-                    "exec",
+                    python_source, f"<kernel:{lowered.name}:opt{opt_level}>", "exec"
                 ),
-                batch_ns,
+                namespace,
             )
-            batch_kernel = batch_ns["_batch_kernel"]
+
+        batch_source: str | None = None
+        batch_kernel: Callable | None = None
+        batch_fallback_reason: str | None = None
+        if backend == "batch":
+            with tracer.span(
+                "batch_codegen", cat="compiler", reduction=lowered.name
+            ) as batch_span:
+                try:
+                    batch_source = BatchCodegen(lowered, plan).generate()
+                except BatchUnsupported as exc:
+                    batch_fallback_reason = str(exc)
+                    batch_span.set(fallback=True)
+                    _log.warning(
+                        "batch backend fell back to scalar for %s [opt%d]: %s",
+                        lowered.name,
+                        opt_level,
+                        batch_fallback_reason,
+                    )
+                    tracer.event(
+                        "batch_fallback",
+                        cat="compiler",
+                        reduction=lowered.name,
+                        opt_level=opt_level,
+                        reason=batch_fallback_reason,
+                    )
+                else:
+                    batch_ns: dict[str, Any] = dict(BATCH_NAMESPACE)
+                    exec(
+                        compile(
+                            batch_source,
+                            f"<batch-kernel:{lowered.name}:opt{opt_level}>",
+                            "exec",
+                        ),
+                        batch_ns,
+                    )
+                    batch_kernel = batch_ns["_batch_kernel"]
 
     return CompiledReduction(
         lowered=lowered,

@@ -82,6 +82,8 @@ from repro.freeride.splitter import (
     chunked_splitter,
     default_splitter,
 )
+from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.obs.tracer import NullTracer, Tracer, get_tracer
 from repro.util.errors import FaultToleranceError, FreerideError, SplitterError
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_one_of, check_positive_int
@@ -102,9 +104,14 @@ class RunStats:
     splits_per_thread: list[int] = field(default_factory=list)
     ro_updates: int = 0
     ro_size: int = 0
-    #: process-wide compiled-kernel cache hits observed by the end of this
-    #: run (see :func:`repro.compiler.cache.kernel_cache_stats`)
+    #: compiled-kernel cache hits observed *during this run* (the delta of
+    #: :func:`repro.compiler.cache.kernel_cache_stats` across the run, so
+    #: back-to-back runs never inherit each other's hits)
     kernel_cache_hits: int = 0
+    #: :meth:`repro.obs.MetricsRegistry.snapshot` of the run's metrics
+    #: (split-duration histograms, RO contention, ...); empty when tracing
+    #: is disabled — the metrics pipeline lives off the hot path
+    metrics: dict[str, Any] = field(default_factory=dict)
     sharedmem: SharedMemStats = field(default_factory=SharedMemStats)
     local_combination: CombinationStats = field(default_factory=CombinationStats)
     global_combination: CombinationStats | None = None
@@ -162,6 +169,14 @@ class FreerideEngine:
     fault_injector:
         deterministic seeded failure/delay injection for testing recovery;
         implies a default :class:`FaultPolicy` if none is given.
+    tracer:
+        an explicit :class:`~repro.obs.Tracer` for this engine's runs.
+        ``None`` (the default) resolves the process-wide tracer
+        (:func:`repro.obs.get_tracer`) at every :meth:`run`, so
+        ``with tracing(): ...`` around existing code just works.  When the
+        resolved tracer is disabled the engine installs **no** per-split
+        instrumentation — the execution path is byte-for-byte the
+        pre-observability one.
     """
 
     def __init__(
@@ -175,6 +190,7 @@ class FreerideEngine:
         splitter: "Callable[[Any, int], list[Split]] | None" = None,
         fault_policy: FaultPolicy | None = None,
         fault_injector: FaultInjector | None = None,
+        tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.num_threads = check_positive_int(num_threads, "num_threads")
         self.technique = SharedMemTechnique.parse(technique)
@@ -194,6 +210,10 @@ class FreerideEngine:
             raise FaultToleranceError("fault_injector must be a FaultInjector or None")
         self.fault_policy = fault_policy
         self.fault_injector = fault_injector
+        if tracer is not None and not isinstance(tracer, (Tracer, NullTracer)):
+            raise FreerideError("tracer must be a Tracer, NullTracer or None")
+        #: explicit tracer; None falls back to the global tracer per run
+        self.tracer = tracer
         # one persistent worker pool, shared by every run() of this engine
         self._pool: ThreadPoolExecutor | None = None
         self._closed = False
@@ -234,6 +254,8 @@ class FreerideEngine:
         """Execute one reduction pass over ``data``."""
         if self._closed:
             raise FreerideError("engine is closed; create a new FreerideEngine")
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        metrics = MetricsRegistry() if tracer.enabled else None
         timer = PhaseTimer()
         stats = RunStats(
             num_threads=self.num_threads,
@@ -242,43 +264,102 @@ class FreerideEngine:
             technique=self.technique,
         )
         stats.sharedmem.technique = self.technique
-
-        if self.num_nodes == 1:
-            with timer.phase("local"):
-                ro, sm_stats, lc_stats = self._run_node(spec, data, stats)
-            stats.sharedmem = sm_stats
-            stats.local_combination = lc_stats
-        else:
-            node_ros: list[ReductionObject] = []
-            with timer.phase("local"):
-                for node_block in default_splitter(data, self.num_nodes):
-                    node_ro, sm_stats, lc_stats = self._run_node(
-                        spec, node_block.data, stats
-                    )
-                    stats.sharedmem.add(sm_stats)
-                    stats.local_combination.strategy = lc_stats.strategy
-                    stats.local_combination.merges += lc_stats.merges
-                    stats.local_combination.elements_merged += lc_stats.elements_merged
-                    stats.local_combination.rounds = max(
-                        stats.local_combination.rounds, lc_stats.rounds
-                    )
-                    node_ros.append(node_ro)
-            with timer.phase("global_combination"):
-                ro, g_stats = combine(node_ros, self.parallel_merge_threshold)
-                stats.global_combination = g_stats
-
-        stats.ro_updates = ro.update_count
-        stats.ro_size = ro.size
         # imported lazily: the compiler package imports freeride, not vice versa
         from repro.compiler.cache import kernel_cache_stats
 
-        stats.kernel_cache_hits = kernel_cache_stats()["hits"]
+        cache_hits_before = kernel_cache_stats()["hits"]
 
-        with timer.phase("finalize"):
-            value: Any = spec.finalize(ro) if spec.finalize is not None else ro
+        with tracer.span(
+            "engine.run",
+            cat="engine",
+            spec=spec.name,
+            executor=self.executor,
+            num_threads=self.num_threads,
+            num_nodes=self.num_nodes,
+            technique=self.technique.value,
+        ) as run_span:
+            if self.num_nodes == 1:
+                with timer.phase("local"), tracer.span("local", cat="phase"):
+                    ro, sm_stats, lc_stats = self._run_node(
+                        spec, data, stats, tracer, metrics, node=0
+                    )
+                stats.sharedmem = sm_stats
+                stats.local_combination = lc_stats
+            else:
+                node_ros: list[ReductionObject] = []
+                with timer.phase("local"), tracer.span("local", cat="phase"):
+                    for node_id, node_block in enumerate(
+                        default_splitter(data, self.num_nodes)
+                    ):
+                        node_ro, sm_stats, lc_stats = self._run_node(
+                            spec, node_block.data, stats, tracer, metrics,
+                            node=node_id,
+                        )
+                        stats.sharedmem.add(sm_stats)
+                        stats.local_combination.strategy = lc_stats.strategy
+                        stats.local_combination.merges += lc_stats.merges
+                        stats.local_combination.elements_merged += (
+                            lc_stats.elements_merged
+                        )
+                        stats.local_combination.rounds = max(
+                            stats.local_combination.rounds, lc_stats.rounds
+                        )
+                        node_ros.append(node_ro)
+                with timer.phase("global_combination"), tracer.span(
+                    "global_combination", cat="phase"
+                ):
+                    with tracer.span(
+                        "global_combination", cat="combination",
+                        num_nodes=self.num_nodes,
+                    ) as g_span:
+                        ro, g_stats = combine(node_ros, self.parallel_merge_threshold)
+                        g_span.set(
+                            strategy=g_stats.strategy,
+                            merges=g_stats.merges,
+                            rounds=g_stats.rounds,
+                            elements_merged=g_stats.elements_merged,
+                        )
+                    stats.global_combination = g_stats
+
+            stats.ro_updates = ro.update_count
+            stats.ro_size = ro.size
+            stats.kernel_cache_hits = kernel_cache_stats()["hits"] - cache_hits_before
+
+            with timer.phase("finalize"), tracer.span("finalize", cat="phase"):
+                value: Any = spec.finalize(ro) if spec.finalize is not None else ro
+            run_span.set(
+                total_elements=stats.total_elements,
+                ro_updates=stats.ro_updates,
+                kernel_cache_hits=stats.kernel_cache_hits,
+            )
 
         stats.phase_seconds = timer.as_dict()
+        if metrics is not None:
+            self._finish_metrics(metrics, stats)
         return ReductionResult(value=value, ro=ro, stats=stats)
+
+    @staticmethod
+    def _finish_metrics(metrics: MetricsRegistry, stats: RunStats) -> None:
+        """Fold the run's aggregate counters into the registry and snapshot."""
+        metrics.gauge("engine.num_threads").set(stats.num_threads)
+        metrics.gauge("engine.num_nodes").set(stats.num_nodes)
+        metrics.counter("engine.elements").inc(stats.total_elements)
+        metrics.counter("ro.updates").inc(stats.ro_updates)
+        metrics.counter("ro.lock_acquisitions").inc(
+            stats.sharedmem.lock_acquisitions
+        )
+        for name, value in (
+            ("faults.retries", stats.retries),
+            ("faults.failed_splits", stats.failed_splits),
+            ("faults.injected", stats.injected_faults),
+            ("faults.requeues", stats.requeues),
+            ("faults.timeouts", stats.timeouts),
+        ):
+            if value:
+                metrics.counter(name).inc(value)
+        for phase, seconds in stats.phase_seconds.items():
+            metrics.histogram("engine.phase_seconds." + phase).observe(seconds)
+        stats.metrics = metrics.snapshot()
 
     def run_iterative(
         self,
@@ -315,7 +396,13 @@ class FreerideEngine:
     # -- one node's local pipeline ---------------------------------------------
 
     def _run_node(
-        self, spec: ReductionSpec, data: Any, stats: RunStats
+        self,
+        spec: ReductionSpec,
+        data: Any,
+        stats: RunStats,
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
     ) -> tuple[ReductionObject, SharedMemStats, CombinationStats]:
         ro = spec.build_reduction_object()
         mgr = SharedMemManager(self.technique)
@@ -336,10 +423,13 @@ class FreerideEngine:
             self.fault_policy is not None or self.fault_injector is not None
         )
         if not fault_tolerant:
-            self._execute_direct(spec, splits, accessors, elems, nsplits)
+            self._execute_direct(
+                spec, splits, accessors, elems, nsplits, tracer, metrics, node
+            )
         else:
             self._execute_fault_tolerant(
-                spec, splits, accessors, ro, stats, elems, nsplits
+                spec, splits, accessors, ro, stats, elems, nsplits,
+                tracer, metrics, node,
             )
 
         stats.total_elements += sum(elems)
@@ -356,12 +446,23 @@ class FreerideEngine:
 
         # Local combination — mgr.finish is the single accounting path, so
         # num_locks / ro_memory_bytes / merge_elements are always reported.
-        return mgr.finish(
-            ro,
-            accessors,
-            combination=spec.combination,
-            parallel_merge_threshold=self.parallel_merge_threshold,
-        )
+        with tracer.span(
+            "local_combination", cat="combination", node=node,
+            technique=self.technique.value,
+        ) as span:
+            ro, sm_stats, lc_stats = mgr.finish(
+                ro,
+                accessors,
+                combination=spec.combination,
+                parallel_merge_threshold=self.parallel_merge_threshold,
+            )
+            span.set(
+                strategy=lc_stats.strategy,
+                merges=lc_stats.merges,
+                rounds=lc_stats.rounds,
+                elements_merged=lc_stats.elements_merged,
+            )
+        return ro, sm_stats, lc_stats
 
     # -- direct (zero-overhead) execution --------------------------------------
 
@@ -372,6 +473,9 @@ class FreerideEngine:
         accessors: list[ROAccessor],
         elems: list[int],
         nsplits: list[int],
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
     ) -> None:
         def process(thread_id: int, split: Split) -> None:
             args = ReductionArgs(
@@ -384,6 +488,33 @@ class FreerideEngine:
             spec.reduction(args)
             elems[thread_id] += len(split)
             nsplits[thread_id] += 1
+
+        # Tracing wraps the plain closure only when enabled: the disabled
+        # path installs zero per-split instrumentation (not even a branch
+        # inside `process`), keeping the hot loop identical to before.
+        if tracer.enabled:
+            assert metrics is not None
+            plain_process = process
+            split_seconds = metrics.histogram("engine.split_seconds")
+            contention = metrics.histogram(
+                "ro.lock_acquisitions_per_split", DEFAULT_COUNT_BUCKETS
+            )
+
+            def process(thread_id: int, split: Split) -> None:
+                acc_stats = accessors[thread_id].stats
+                locks_before = acc_stats.lock_acquisitions
+                with tracer.span(
+                    "split",
+                    cat="split",
+                    split_id=split.split_id,
+                    thread_id=thread_id,
+                    node=node,
+                    elements=len(split),
+                ) as span:
+                    plain_process(thread_id, split)
+                    span.set(outcome="ok")
+                split_seconds.observe(span.duration or 0.0)
+                contention.observe(acc_stats.lock_acquisitions - locks_before)
 
         if self.executor == "serial":
             for i, split in enumerate(splits):
@@ -415,6 +546,9 @@ class FreerideEngine:
         stats: RunStats,
         elems: list[int],
         nsplits: list[int],
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
     ) -> None:
         if spec.combination is not None:
             raise FaultToleranceError(
@@ -438,7 +572,7 @@ class FreerideEngine:
                 tid = i % self.num_threads
                 if self._run_split_with_retries(
                     spec, split, tid, accessors[tid], base_ro,
-                    policy, injector, stats, lock,
+                    policy, injector, stats, lock, tracer, metrics, node,
                 ):
                     elems[tid] += len(split)
                     nsplits[tid] += 1
@@ -452,6 +586,7 @@ class FreerideEngine:
                 self._ft_worker(
                     spec, queue, thread_id, accessors[thread_id], base_ro,
                     policy, injector, stats, lock, elems, nsplits, abort,
+                    tracer, metrics, node,
                 )
             except BaseException:
                 # Unblock peers waiting on our in-flight work, then propagate.
@@ -479,6 +614,9 @@ class FreerideEngine:
         elems: list[int],
         nsplits: list[int],
         abort: threading.Event,
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
     ) -> None:
         while not abort.is_set():
             speculative = False
@@ -487,6 +625,12 @@ class FreerideEngine:
                 if policy.straggler_timeout is not None:
                     item = queue.steal_straggler(policy.straggler_timeout)
                     speculative = item is not None
+                    if speculative and tracer.enabled:
+                        tracer.event(
+                            "split.steal", cat="fault",
+                            split_id=item[0].split_id, thread_id=thread_id,
+                            node=node,
+                        )
                 if item is None:
                     if queue.poisoned or not queue.outstanding():
                         return
@@ -505,7 +649,7 @@ class FreerideEngine:
             self._note_attempt(stats, lock, split.split_id, attempt)
             scratch, exc = self._attempt_split(
                 spec, split, thread_id, attempt, base_ro, policy, injector,
-                stats, lock,
+                stats, lock, tracer, metrics, node,
             )
             if scratch is not None:
                 if queue.complete(split):
@@ -517,8 +661,20 @@ class FreerideEngine:
                 continue  # the original attempt is still in flight
             if attempt < policy.max_attempts:
                 queue.requeue(split)
+                if tracer.enabled:
+                    tracer.event(
+                        "split.requeue", cat="fault",
+                        split_id=split.split_id, attempt=attempt,
+                        thread_id=thread_id, node=node,
+                    )
                 continue
             queue.abandon(split)
+            if tracer.enabled:
+                tracer.event(
+                    "split.abandon", cat="fault",
+                    split_id=split.split_id, attempts=attempt,
+                    thread_id=thread_id, node=node, error=repr(exc),
+                )
             if policy.mode == FAIL_FAST:
                 queue.poison()
                 abort.set()
@@ -546,6 +702,9 @@ class FreerideEngine:
         injector: FaultInjector | None,
         stats: RunStats,
         lock: threading.Lock,
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
     ) -> bool:
         """Serial executor: attempt a split until it commits or exhausts.
 
@@ -561,7 +720,7 @@ class FreerideEngine:
             self._note_attempt(stats, lock, split.split_id, attempt)
             scratch, exc = self._attempt_split(
                 spec, split, thread_id, attempt, base_ro, policy, injector,
-                stats, lock,
+                stats, lock, tracer, metrics, node,
             )
             if scratch is not None:
                 accessor.merge_from_scratch(scratch)
@@ -582,6 +741,59 @@ class FreerideEngine:
         return False
 
     def _attempt_split(
+        self,
+        spec: ReductionSpec,
+        split: Split,
+        thread_id: int,
+        attempt: int,
+        base_ro: ReductionObject,
+        policy: FaultPolicy,
+        injector: FaultInjector | None,
+        stats: RunStats,
+        lock: threading.Lock,
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
+    ) -> tuple[ReductionObject | None, BaseException | None]:
+        """One processing attempt; traced as one span per attempt."""
+        if not tracer.enabled:
+            return self._attempt_split_core(
+                spec, split, thread_id, attempt, base_ro, policy, injector,
+                stats, lock,
+            )
+        assert metrics is not None
+        with tracer.span(
+            "split",
+            cat="split",
+            split_id=split.split_id,
+            thread_id=thread_id,
+            node=node,
+            attempt=attempt,
+            elements=len(split),
+        ) as span:
+            scratch, exc = self._attempt_split_core(
+                spec, split, thread_id, attempt, base_ro, policy, injector,
+                stats, lock,
+            )
+            if scratch is not None:
+                span.set(outcome="ok")
+            else:
+                span.set(outcome="failed", error=repr(exc))
+        metrics.histogram("engine.split_seconds").observe(span.duration or 0.0)
+        if scratch is None:
+            if isinstance(exc, InjectedFault):
+                tracer.event(
+                    "fault.injected", cat="fault", split_id=split.split_id,
+                    attempt=attempt, thread_id=thread_id, node=node,
+                )
+            elif isinstance(exc, SplitTimeout):
+                tracer.event(
+                    "fault.timeout", cat="fault", split_id=split.split_id,
+                    attempt=attempt, thread_id=thread_id, node=node,
+                )
+        return scratch, exc
+
+    def _attempt_split_core(
         self,
         spec: ReductionSpec,
         split: Split,

@@ -1,0 +1,247 @@
+"""Trace exporters: JSONL event logs and Chrome ``trace_event`` JSON.
+
+Two interchange formats:
+
+* **JSONL** — one record per line, timestamps in *seconds* since the
+  tracer epoch, exactly the in-memory record shape (``Span.as_dict`` /
+  ``Event.as_dict``).  Greppable, streamable, loss-free.
+* **Chrome trace** — the ``trace_event`` JSON-object format understood by
+  Perfetto and ``chrome://tracing``: a ``{"traceEvents": [...]}`` object
+  whose events use *microsecond* timestamps, ``ph: "X"`` complete events
+  for spans, ``ph: "i"`` instants, and ``ph: "M"`` thread-name metadata.
+
+:func:`validate_chrome_trace` is a dependency-free structural check of the
+subset of the format we emit (used by tests and the CI trace-smoke step).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.obs.tracer import Event, Span, Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "load_jsonl",
+    "load_trace",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+]
+
+#: ``pid`` reported in exported traces (one process; a fixed label keeps
+#: traces from different runs diff-able).
+TRACE_PID = 1
+
+_RecordLike = "Span | Event | dict[str, Any]"
+
+
+def _as_dict(rec: Any) -> dict[str, Any]:
+    if isinstance(rec, (Span, Event)):
+        return rec.as_dict()
+    if isinstance(rec, dict):
+        return rec
+    raise TypeError(f"cannot export record of type {type(rec).__name__}")
+
+
+def _coerce_records(source: Any) -> list[dict[str, Any]]:
+    if isinstance(source, Tracer):
+        return [r.as_dict() for r in source.records()]
+    return [_as_dict(r) for r in source]
+
+
+def to_chrome_trace(
+    source: "Tracer | Iterable[Any]",
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Convert records (or a whole tracer) to a Chrome trace JSON object.
+
+    OS thread idents are compacted to small ``tid`` integers in
+    first-seen order, and each thread contributes one ``ph: "M"``
+    ``thread_name`` metadata event so Perfetto labels the lanes.
+    """
+    records = _coerce_records(source)
+    tid_map: dict[int, int] = {}
+    thread_names: dict[int, str] = {}
+    events: list[dict[str, Any]] = []
+    for rec in records:
+        raw_tid = int(rec.get("tid", 0))
+        tid = tid_map.setdefault(raw_tid, len(tid_map))
+        thread_names.setdefault(tid, str(rec.get("thread", "")) or f"thread-{tid}")
+        ev: dict[str, Any] = {
+            "name": str(rec.get("name", "")),
+            "cat": str(rec.get("cat", "")) or "repro",
+            "ph": str(rec.get("ph", "i")),
+            "ts": float(rec.get("ts", 0.0)) * 1e6,
+            "pid": TRACE_PID,
+            "tid": tid,
+        }
+        if ev["ph"] == "X":
+            ev["dur"] = float(rec.get("dur", 0.0)) * 1e6
+        elif ev["ph"] == "i":
+            ev["s"] = "t"  # thread-scoped instant
+        args = rec.get("args") or {}
+        if args:
+            ev["args"] = {k: _jsonable(v) for k, v in args.items()}
+        events.append(ev)
+    meta_events = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in sorted(thread_names.items())
+    ]
+    out: dict[str, Any] = {
+        "traceEvents": meta_events + events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        out["otherData"] = {k: _jsonable(v) for k, v in metadata.items()}
+    return out
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON coercion for span args (numpy scalars, enums, ...)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalar
+    if callable(item):
+        try:
+            return _jsonable(item())
+        except Exception:
+            pass
+    v = getattr(value, "value", None)  # enum
+    if isinstance(v, (bool, int, float, str)):
+        return v
+    return str(value)
+
+
+def write_chrome_trace(
+    path: str | Path,
+    source: "Tracer | Iterable[Any]",
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write a Chrome ``trace_event`` JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome_trace(source, metadata), indent=1))
+    return path
+
+
+def write_jsonl(path: str | Path, source: "Tracer | Iterable[Any]") -> Path:
+    """Write one JSON record per line (timestamps in seconds)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for rec in _coerce_records(source):
+            fh.write(json.dumps({k: _jsonable(v) for k, v in rec.items()}))
+            fh.write("\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Load a JSONL event log back into record dicts."""
+    records = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Load either export format into *Chrome-format* event dicts.
+
+    JSONL records (second-denominated) are converted through
+    :func:`to_chrome_trace`; Chrome JSON files are returned as their
+    ``traceEvents`` list.  The report CLI consumes this.
+    """
+    path = Path(path)
+    text = path.read_text()
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict) and "traceEvents" in obj:
+            return list(obj["traceEvents"])
+        if isinstance(obj, list):
+            return obj
+    # fall through: JSONL (one object per line)
+    return to_chrome_trace(load_jsonl(path))["traceEvents"]
+
+
+# -- validation ----------------------------------------------------------------
+
+_KNOWN_PHASES = {"X", "i", "I", "M", "B", "E", "C", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(obj: Any) -> list[str]:
+    """Structural validation of a Chrome trace object; returns error strings.
+
+    Accepts the JSON-object format (``{"traceEvents": [...]}``) or the
+    bare-array format.  An empty list means the trace is valid.
+    """
+    errors: list[str] = []
+    if isinstance(obj, dict):
+        events = obj.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level 'traceEvents' must be a list"]
+    elif isinstance(obj, list):
+        events = obj
+    else:
+        return [f"trace must be an object or array, got {type(obj).__name__}"]
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: event must be an object")
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str) or ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown or missing 'ph' {ph!r}")
+            continue
+        if ph in ("X", "i", "I", "B", "E", "C"):
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"{where}: 'ts' must be a non-negative number")
+            if not isinstance(ev.get("name"), str) or not ev.get("name"):
+                errors.append(f"{where}: 'name' must be a non-empty string")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: 'X' event needs non-negative 'dur'")
+        if ph == "M" and ev.get("name") not in (
+            "thread_name",
+            "process_name",
+            "thread_sort_index",
+            "process_sort_index",
+        ):
+            errors.append(f"{where}: unknown metadata event {ev.get('name')!r}")
+        for key in ("pid", "tid"):
+            if key in ev and not isinstance(ev[key], int):
+                errors.append(f"{where}: {key!r} must be an integer")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def validate_chrome_trace_file(path: str | Path) -> list[str]:
+    """Validate a trace file on disk (parse errors become one error entry)."""
+    try:
+        obj = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot parse {path}: {exc}"]
+    return validate_chrome_trace(obj)

@@ -1,0 +1,197 @@
+"""Thread-safe metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments.  The
+engine creates one per traced run, workers record into it (split-duration
+latency histograms, reduction-object contention), and the finished
+snapshot is attached to ``RunStats.metrics`` — so every run carries the
+fine-grained distribution data the coarse counters cannot express (a
+straggler split is invisible in a sum, obvious in a histogram tail).
+
+Histograms use *fixed* bucket bounds chosen at creation time (no dynamic
+rebinning): observation is O(log #buckets) via bisection and the snapshot
+is directly comparable across runs with the same bounds.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+]
+
+#: Latency bounds (seconds) sized for split durations: 50µs .. 10s.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+    2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Count bounds for discrete quantities (lock acquisitions, updates/split).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000,
+)
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``bounds`` are inclusive upper bounds in ascending order; one implicit
+    overflow bucket (``+inf``) catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds: Iterable[float]) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if not self.bounds:
+            raise ValueError(f"histogram {self.name!r} needs at least one bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram {self.name!r} bounds must be strictly ascending"
+            )
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(self.bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        idx = bisect_left(self.bounds, v)  # bounds are inclusive upper bounds
+        with self._lock:
+            self._counts[idx] += 1
+            self.count += 1
+            self.total += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+
+    @property
+    def counts(self) -> list[int]:
+        """Per-bucket counts; the last entry is the ``+inf`` overflow."""
+        with self._lock:
+            return list(self._counts)
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count if self.count else 0.0,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    Asking for an existing name returns the same instrument; asking for a
+    name registered as a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Any:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(existing).__name__}, "
+                        f"not a {kind.__name__}"
+                    )
+                return existing
+            created = factory()
+            self._metrics[name] = created
+            return created
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, bounds: Iterable[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+
+    def snapshot(self) -> dict[str, Any]:
+        """``{"counters": {...}, "gauges": {...}, "histograms": {...}}``."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, m in sorted(metrics.items()):
+            if isinstance(m, Counter):
+                out["counters"][name] = m.value
+            elif isinstance(m, Gauge):
+                out["gauges"][name] = m.value
+            else:
+                out["histograms"][name] = m.snapshot()
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,162 @@
+"""Trace analysis: replay an exported trace into summary tables.
+
+Consumes Chrome-format events (see :func:`repro.obs.export.load_trace`)
+and produces the decomposition the paper's figures use — time per engine
+phase, work per thread, compiler-stage costs — so a trace file answers
+"where did the time go" without opening a trace viewer.
+
+``python -m repro.trace report <file>`` renders :func:`format_report`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["ThreadSummary", "TraceReport", "summarize_trace", "format_report"]
+
+
+@dataclass
+class ThreadSummary:
+    """Per-worker split accounting (one row of the per-thread table)."""
+
+    label: str
+    splits: int = 0  # committed/successful attempts
+    attempts: int = 0  # all attempts, including retries
+    retries: int = 0  # attempts beyond a split's first
+    failures: int = 0  # attempts that did not succeed
+    elements: int = 0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class TraceReport:
+    """Aggregated view of one trace file."""
+
+    #: seconds per engine phase (cat == "phase"), e.g. local / finalize
+    phases: dict[str, float] = field(default_factory=dict)
+    #: per-thread split work (cat == "split"), keyed by worker label
+    threads: dict[str, ThreadSummary] = field(default_factory=dict)
+    #: seconds + call counts per compiler/linearize stage
+    compiler: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: seconds + counts per combination span
+    combination: dict[str, tuple[int, float]] = field(default_factory=dict)
+    #: instant-event tallies by name
+    events: dict[str, int] = field(default_factory=dict)
+    #: engine.run span count (= reduction passes in the trace)
+    runs: int = 0
+    total_spans: int = 0
+    total_events: int = 0
+
+
+def _thread_label(ev: dict[str, Any]) -> str:
+    args = ev.get("args") or {}
+    if "thread_id" in args:
+        return f"thread {args['thread_id']}"
+    return f"tid {ev.get('tid', '?')}"
+
+
+def summarize_trace(events: Iterable[dict[str, Any]]) -> TraceReport:
+    """Aggregate Chrome-format events (µs timestamps) into a report."""
+    report = TraceReport()
+    tallies: TallyCounter[str] = TallyCounter()
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "i":
+            report.total_events += 1
+            tallies[str(ev.get("name", ""))] += 1
+            continue
+        if ph != "X":
+            continue
+        report.total_spans += 1
+        name = str(ev.get("name", ""))
+        cat = str(ev.get("cat", ""))
+        dur_s = float(ev.get("dur", 0.0)) / 1e6
+        if cat == "phase":
+            report.phases[name] = report.phases.get(name, 0.0) + dur_s
+        elif cat == "split":
+            args = ev.get("args") or {}
+            t = report.threads.setdefault(
+                _thread_label(ev), ThreadSummary(label=_thread_label(ev))
+            )
+            t.attempts += 1
+            t.busy_seconds += dur_s
+            outcome = args.get("outcome", "ok")
+            if outcome == "ok":
+                t.splits += 1
+                t.elements += int(args.get("elements", 0))
+            else:
+                t.failures += 1
+            if int(args.get("attempt", 1)) > 1:
+                t.retries += 1
+        elif cat in ("compiler", "linearize", "cache"):
+            count, secs = report.compiler.get(name, (0, 0.0))
+            report.compiler[name] = (count + 1, secs + dur_s)
+        elif cat == "combination":
+            count, secs = report.combination.get(name, (0, 0.0))
+            report.combination[name] = (count + 1, secs + dur_s)
+        elif cat == "engine" and name == "engine.run":
+            report.runs += 1
+    report.events = dict(sorted(tallies.items()))
+    return report
+
+
+def _fmt_seconds(s: float) -> str:
+    return f"{s:.6f}"
+
+
+def format_report(report: TraceReport) -> str:
+    """Render the per-phase / per-thread / compiler tables as text."""
+    lines: list[str] = []
+    lines.append(
+        f"trace: {report.total_spans} spans, {report.total_events} events, "
+        f"{report.runs} engine run(s)"
+    )
+
+    if report.phases:
+        lines.append("")
+        lines.append("engine phases (cat=phase)")
+        lines.append(f"  {'phase':<24} {'seconds':>12}")
+        total = 0.0
+        for name, secs in sorted(report.phases.items()):
+            lines.append(f"  {name:<24} {_fmt_seconds(secs):>12}")
+            total += secs
+        lines.append(f"  {'total':<24} {_fmt_seconds(total):>12}")
+
+    if report.threads:
+        lines.append("")
+        lines.append("per-thread split work (cat=split)")
+        header = (
+            f"  {'worker':<12} {'splits':>7} {'attempts':>9} {'retries':>8} "
+            f"{'failed':>7} {'elements':>10} {'busy_s':>12}"
+        )
+        lines.append(header)
+        for label in sorted(report.threads):
+            t = report.threads[label]
+            lines.append(
+                f"  {label:<12} {t.splits:>7} {t.attempts:>9} {t.retries:>8} "
+                f"{t.failures:>7} {t.elements:>10} {_fmt_seconds(t.busy_seconds):>12}"
+            )
+
+    if report.compiler:
+        lines.append("")
+        lines.append("compiler & linearization (cat=compiler|linearize|cache)")
+        lines.append(f"  {'stage':<24} {'calls':>7} {'seconds':>12}")
+        for name, (count, secs) in sorted(report.compiler.items()):
+            lines.append(f"  {name:<24} {count:>7} {_fmt_seconds(secs):>12}")
+
+    if report.combination:
+        lines.append("")
+        lines.append("combination (cat=combination)")
+        lines.append(f"  {'span':<24} {'count':>7} {'seconds':>12}")
+        for name, (count, secs) in sorted(report.combination.items()):
+            lines.append(f"  {name:<24} {count:>7} {_fmt_seconds(secs):>12}")
+
+    if report.events:
+        lines.append("")
+        lines.append("events")
+        for name, count in report.events.items():
+            lines.append(f"  {name:<32} {count:>7}")
+
+    return "\n".join(lines)

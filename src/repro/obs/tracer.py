@@ -1,0 +1,317 @@
+"""Low-overhead tracing primitives (spans, instant events, a global tracer).
+
+The tracer answers the question the paper's Figures 9-13 answer with their
+phase decompositions — *where did the time go* — at the granularity the
+engine and compiler actually work at: one span per split attempt, per
+compiler stage, per combination phase; one instant event per notable
+occurrence (cache hit, batch fallback, injected fault, requeue).
+
+Design constraints:
+
+* **Off the hot path when disabled.**  The disabled tracer is
+  :data:`NULL_TRACER`, whose ``enabled`` attribute is ``False``; hot loops
+  (per-split processing) check that one attribute once per executor setup
+  and install *no* instrumentation at all, so a run with tracing disabled
+  executes the exact pre-observability code path.  ``NullTracer.span`` also
+  returns a shared no-op context manager, so cold-path call sites may call
+  it unconditionally.
+* **Thread-safe.**  Spans/events are recorded from engine worker threads;
+  every append takes the tracer's lock (the append itself is tiny — the
+  expensive work, formatting and export, happens after the run).
+* **Monotonic, run-relative timestamps.**  All timestamps are
+  ``time.perf_counter()`` seconds relative to the tracer's ``epoch``, so a
+  trace is self-consistent regardless of wall-clock adjustments.
+
+Records are either :class:`Span` (``ph == "X"`` — complete, has a
+duration) or :class:`Event` (``ph == "i"`` — instant).  Both carry the OS
+thread ident and thread name for per-thread attribution; engine spans add
+the *logical* worker id in ``args["thread_id"]``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "Event",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+@dataclass
+class Event:
+    """An instant occurrence (Chrome ``ph: "i"``)."""
+
+    name: str
+    ts: float  # seconds since the tracer's epoch
+    cat: str = ""
+    tid: int = 0
+    thread: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    ph: str = "i"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ph": "i",
+            "name": self.name,
+            "cat": self.cat,
+            "ts": self.ts,
+            "tid": self.tid,
+            "thread": self.thread,
+            "args": dict(self.args),
+        }
+
+
+@dataclass
+class Span:
+    """A completed interval (Chrome ``ph: "X"``, a *complete* event)."""
+
+    name: str
+    ts: float  # start, seconds since the tracer's epoch
+    dur: float  # seconds
+    cat: str = ""
+    tid: int = 0
+    thread: str = ""
+    args: dict[str, Any] = field(default_factory=dict)
+
+    ph: str = "X"
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "ph": "X",
+            "name": self.name,
+            "cat": self.cat,
+            "ts": self.ts,
+            "dur": self.dur,
+            "tid": self.tid,
+            "thread": self.thread,
+            "args": dict(self.args),
+        }
+
+
+class _SpanHandle:
+    """Context manager measuring one span; records on exit.
+
+    ``set(**kw)`` attaches extra args discovered mid-span (e.g. the
+    combination strategy, an attempt's outcome).
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "duration")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._cat = cat
+        self._args = args
+        self._start: float | None = None
+        self.duration: float | None = None
+
+    def set(self, **kwargs: Any) -> "_SpanHandle":
+        self._args.update(kwargs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        end = time.perf_counter()
+        assert self._start is not None, "span exited without entering"
+        if exc_type is not None and "error" not in self._args:
+            self._args["error"] = repr(exc)
+        self.duration = end - self._start
+        t = self._tracer
+        cur = threading.current_thread()
+        t._record(
+            Span(
+                name=self._name,
+                ts=self._start - t.epoch,
+                dur=self.duration,
+                cat=self._cat,
+                tid=cur.ident or 0,
+                thread=cur.name,
+                args=self._args,
+            )
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span: safe to enter/exit/annotate, records nothing."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    ``enabled`` is ``False`` so hot paths can skip instrumentation
+    entirely; cold paths may still call :meth:`span`/:meth:`event`
+    unconditionally and pay only an empty method call.
+    """
+
+    enabled = False
+    epoch = 0.0
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, cat: str = "", **args: Any) -> None:
+        return None
+
+    def records(self) -> list[Span | Event]:
+        return []
+
+    def spans(self) -> list[Span]:
+        return []
+
+    def events(self) -> list[Event]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+#: The process-wide disabled tracer (a singleton; identity-comparable).
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects :class:`Span` and :class:`Event` records in memory.
+
+    Parameters
+    ----------
+    max_records:
+        optional cap on the number of stored records; once reached, new
+        records are counted in :attr:`dropped` instead of stored (a trace
+        of a runaway loop should not exhaust memory).
+    """
+
+    enabled = True
+
+    def __init__(self, max_records: int | None = None) -> None:
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be >= 0 or None")
+        self.epoch = time.perf_counter()
+        self.max_records = max_records
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._records: list[Span | Event] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    def span(self, name: str, cat: str = "", **args: Any) -> _SpanHandle:
+        """Start a span; use as a context manager.
+
+        ::
+
+            with tracer.span("split", cat="split", split_id=3) as sp:
+                ...
+                sp.set(outcome="ok")
+        """
+        return _SpanHandle(self, name, cat, args)
+
+    def event(self, name: str, cat: str = "", **args: Any) -> None:
+        """Record an instant event at the current time."""
+        cur = threading.current_thread()
+        self._record(
+            Event(
+                name=name,
+                ts=self.now(),
+                cat=cat,
+                tid=cur.ident or 0,
+                thread=cur.name,
+                args=args,
+            )
+        )
+
+    def _record(self, rec: Span | Event) -> None:
+        with self._lock:
+            if self.max_records is not None and len(self._records) >= self.max_records:
+                self.dropped += 1
+                return
+            self._records.append(rec)
+
+    # -- inspection ----------------------------------------------------------
+
+    def records(self) -> list[Span | Event]:
+        """A snapshot copy of everything recorded so far."""
+        with self._lock:
+            return list(self._records)
+
+    def spans(self) -> list[Span]:
+        return [r for r in self.records() if isinstance(r, Span)]
+
+    def events(self) -> list[Event]:
+        return [r for r in self.records() if isinstance(r, Event)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+            self.dropped = 0
+
+
+# -- the process-wide active tracer ------------------------------------------
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently active tracer (:data:`NULL_TRACER` when disabled)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer; returns the previous one.
+
+    ``None`` disables tracing (installs :data:`NULL_TRACER`).
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Enable tracing for a ``with`` block; restores the previous tracer.
+
+    ::
+
+        with tracing() as t:
+            engine.run(spec, data)
+        write_chrome_trace("run.json", t)
+    """
+    t = tracer if tracer is not None else Tracer()
+    previous = set_tracer(t)
+    try:
+        yield t
+    finally:
+        set_tracer(previous)

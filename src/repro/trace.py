@@ -1,0 +1,118 @@
+"""``python -m repro.trace`` — trace-file tooling.
+
+Subcommands::
+
+    python -m repro.trace report <trace>          # per-phase/per-thread tables
+    python -m repro.trace validate <trace>        # Chrome trace schema check
+    python -m repro.trace convert <in.jsonl> <out.json>   # JSONL -> Chrome
+
+``report`` and ``validate`` accept either export format (Chrome
+``trace_event`` JSON or the JSONL event log); ``convert`` turns a JSONL
+log into a Chrome trace loadable in Perfetto / ``chrome://tracing``.
+
+Exit status: ``0`` on success; ``validate`` exits ``1`` when the trace is
+structurally invalid (each problem is printed on its own line).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs import (
+    format_report,
+    load_jsonl,
+    load_trace,
+    summarize_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = ["main"]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    events = load_trace(args.trace)
+    print(format_report(summarize_trace(events)))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    stripped = text.lstrip()
+    try:
+        if stripped.startswith("{") or stripped.startswith("["):
+            obj = json.loads(text)
+            if isinstance(obj, dict) and "traceEvents" not in obj:
+                # a one-record JSONL file also parses as a JSON object;
+                # mirror load_trace and validate through the conversion
+                obj = to_chrome_trace(load_jsonl(path))
+        else:  # JSONL: validate through the Chrome conversion
+            obj = to_chrome_trace(load_jsonl(path))
+    except (json.JSONDecodeError, TypeError) as exc:
+        print(f"cannot parse {path}: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_chrome_trace(obj)
+    if errors:
+        for err in errors:
+            print(err, file=sys.stderr)
+        print(f"{path}: INVALID ({len(errors)} problem(s))", file=sys.stderr)
+        return 1
+    n = len(obj["traceEvents"]) if isinstance(obj, dict) else len(obj)
+    print(f"{path}: valid Chrome trace ({n} events)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    records = load_jsonl(args.source)
+    out = Path(args.dest)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(to_chrome_trace(records), indent=1))
+    print(f"wrote {out} ({len(records)} records)")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect, validate and convert repro trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser(
+        "report",
+        help="print the per-phase / per-thread / compiler breakdown",
+    )
+    p_report.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_validate = sub.add_parser(
+        "validate", help="schema-check a Chrome trace (exit 1 when invalid)"
+    )
+    p_validate.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+    p_validate.set_defaults(func=_cmd_validate)
+
+    p_convert = sub.add_parser(
+        "convert", help="convert a JSONL event log to a Chrome trace"
+    )
+    p_convert.add_argument("source", help="JSONL event log")
+    p_convert.add_argument("dest", help="output Chrome trace JSON path")
+    p_convert.set_defaults(func=_cmd_convert)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `... report trace.json | head`
+        sys.exit(0)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -47,9 +48,16 @@ class PhaseTimer:
     Mirrors the phase decomposition the paper discusses (linearization,
     local reduction, combination) so real runs can report the same
     breakdown the simulator produces.
+
+    Thread-safe: concurrent ``phase`` blocks (e.g. worker-thread span
+    recording) accumulate under a lock, so no update is ever lost to a
+    racing read-modify-write of :attr:`phases`.
     """
 
     phases: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -57,16 +65,18 @@ class PhaseTimer:
         try:
             yield
         finally:
-            self.phases[name] = self.phases.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.phases[name] = self.phases.get(name, 0.0) + elapsed
 
     @property
     def total(self) -> float:
-        return sum(self.phases.values())
+        with self._lock:
+            return sum(self.phases.values())
 
     def as_dict(self) -> dict[str, float]:
-        return dict(self.phases)
+        with self._lock:
+            return dict(self.phases)
 
 
 @contextmanager

@@ -94,15 +94,40 @@ class TestPipelineIntegration:
         with pytest.raises(ValueError, match="backend"):
             compile_all_versions(HISTOGRAM_CHAPEL_SOURCE, CONSTS, backend="gpu")
 
-    def test_run_stats_snapshot_cache_hits(self):
+    def test_run_stats_report_per_run_cache_hit_delta(self):
+        # kernel_cache_hits is the *delta* over one run() call: hits from
+        # runner construction (compile time) or earlier runs must not leak
+        # into a run that performed no compilation itself.
         import numpy as np
 
         from repro.apps.histogram import HistogramRunner
 
         data = np.linspace(0.0, 1.0, 64)
         HistogramRunner(4, 0.0, 1.0, version="opt-2").run(data)
-        result2 = HistogramRunner(4, 0.0, 1.0, version="opt-2")
+        result2 = HistogramRunner(4, 0.0, 1.0, version="opt-2")  # cache hit here
+        assert kernel_cache_stats()["hits"] >= 1
         stats = result2.engine.run(*_spec_for(result2, data))
+        assert stats.stats.kernel_cache_hits == 0  # no compiles during the run
+
+    def test_run_stats_count_hits_during_the_run(self):
+        import numpy as np
+
+        from repro.freeride.runtime import FreerideEngine
+        from repro.freeride.spec import ReductionSpec
+
+        compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1)  # warm the cache
+
+        def reduction(args):
+            # a reduction that recompiles per split (apriori-style)
+            compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1)
+            args.ro.accumulate(0, 0, float(len(args.split)))
+
+        spec = ReductionSpec(
+            name="recompiling",
+            setup_reduction_object=lambda ro: ro.alloc(1, "add"),
+            reduction=reduction,
+        )
+        stats = FreerideEngine(num_threads=1).run(spec, np.arange(8.0))
         assert stats.stats.kernel_cache_hits >= 1
 
     def test_string_and_parsed_program_share_an_entry(self):

@@ -1,0 +1,171 @@
+"""Exporter tests: Chrome conversion, schema validation, JSONL roundtrip."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    TRACE_PID,
+    load_jsonl,
+    load_trace,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.tracer import Event, Span, Tracer
+
+
+def sample_records():
+    return [
+        Span(name="split", ts=0.001, dur=0.002, cat="split", tid=111,
+             thread="worker-0", args={"split_id": 0, "elements": 10}),
+        Span(name="split", ts=0.003, dur=0.001, cat="split", tid=222,
+             thread="worker-1", args={"split_id": 1, "elements": 10}),
+        Event(name="cache.hit", ts=0.004, cat="cache", tid=111,
+              thread="worker-0", args={"digest": "abc"}),
+    ]
+
+
+class TestToChromeTrace:
+    def test_object_shape_and_units(self):
+        obj = to_chrome_trace(sample_records())
+        events = obj["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 2
+        # seconds -> microseconds
+        assert xs[0]["ts"] == pytest.approx(1000.0)
+        assert xs[0]["dur"] == pytest.approx(2000.0)
+        assert all(e["pid"] == TRACE_PID for e in xs)
+
+    def test_tid_compaction_first_seen_order(self):
+        obj = to_chrome_trace(sample_records())
+        xs = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        assert [e["tid"] for e in xs] == [0, 1]
+
+    def test_thread_name_metadata_events_lead(self):
+        events = to_chrome_trace(sample_records())["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(metas) == 2
+        assert events[: len(metas)] == metas  # metadata first
+        assert {m["args"]["name"] for m in metas} == {"worker-0", "worker-1"}
+
+    def test_instants_are_thread_scoped(self):
+        events = to_chrome_trace(sample_records())["traceEvents"]
+        (inst,) = [e for e in events if e["ph"] == "i"]
+        assert inst["s"] == "t"
+        assert inst["name"] == "cache.hit"
+
+    def test_metadata_lands_in_other_data(self):
+        obj = to_chrome_trace(sample_records(), metadata={"app": "kmeans", "k": 8})
+        assert obj["otherData"] == {"app": "kmeans", "k": 8}
+
+    def test_args_coerced_to_jsonable(self):
+        rec = Span(name="s", ts=0.0, dur=0.0, args={
+            "np_scalar": np.float64(1.5),
+            "np_int": np.int64(7),
+            "tup": (1, 2),
+            "nested": {"x": np.int32(3)},
+        })
+        obj = to_chrome_trace([rec])
+        args = [e for e in obj["traceEvents"] if e["ph"] == "X"][0]["args"]
+        assert args == {"np_scalar": 1.5, "np_int": 7, "tup": [1, 2],
+                        "nested": {"x": 3}}
+        json.dumps(obj)  # the whole trace must serialize
+
+    def test_accepts_tracer_and_plain_dicts(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        from_tracer = to_chrome_trace(t)
+        from_dicts = to_chrome_trace([r.as_dict() for r in t.records()])
+        assert from_tracer["traceEvents"] == from_dicts["traceEvents"]
+
+    def test_rejects_unknown_record_types(self):
+        with pytest.raises(TypeError):
+            to_chrome_trace([42])
+
+
+class TestValidation:
+    def test_emitted_traces_are_valid(self):
+        assert validate_chrome_trace(to_chrome_trace(sample_records())) == []
+
+    def test_bare_array_format_accepted(self):
+        events = to_chrome_trace(sample_records())["traceEvents"]
+        assert validate_chrome_trace(events) == []
+
+    @pytest.mark.parametrize(
+        "obj, fragment",
+        [
+            (42, "object or array"),
+            ({"traceEvents": "nope"}, "must be a list"),
+            ({"traceEvents": [17]}, "must be an object"),
+            ({"traceEvents": [{"ph": "Z", "name": "x"}]}, "unknown or missing 'ph'"),
+            ({"traceEvents": [{"name": "x"}]}, "unknown or missing 'ph'"),
+            ({"traceEvents": [{"ph": "X", "name": "x", "ts": -1.0, "dur": 1}]},
+             "non-negative"),
+            ({"traceEvents": [{"ph": "X", "name": "", "ts": 0.0, "dur": 1}]},
+             "non-empty"),
+            ({"traceEvents": [{"ph": "X", "name": "x", "ts": 0.0}]},
+             "needs non-negative 'dur'"),
+            ({"traceEvents": [{"ph": "M", "name": "mystery_meta"}]},
+             "unknown metadata"),
+            ({"traceEvents": [{"ph": "i", "name": "x", "ts": 0.0, "tid": "seven"}]},
+             "'tid' must be an integer"),
+            ({"traceEvents": [{"ph": "i", "name": "x", "ts": 0.0, "args": []}]},
+             "'args' must be an object"),
+        ],
+    )
+    def test_invalid_shapes_are_reported(self, obj, fragment):
+        errors = validate_chrome_trace(obj)
+        assert errors, f"expected errors for {obj!r}"
+        assert any(fragment in e for e in errors)
+
+    def test_file_validator_reports_parse_errors(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        errors = validate_chrome_trace_file(bad)
+        assert len(errors) == 1 and "cannot parse" in errors[0]
+
+    def test_file_validator_on_written_trace(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", sample_records())
+        assert validate_chrome_trace_file(path) == []
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip_preserves_records(self, tmp_path):
+        path = write_jsonl(tmp_path / "log.jsonl", sample_records())
+        back = load_jsonl(path)
+        assert [r["name"] for r in back] == ["split", "split", "cache.hit"]
+        assert back[0]["ph"] == "X" and back[0]["dur"] == pytest.approx(0.002)
+        assert back[2]["ph"] == "i"
+        # seconds-denominated in JSONL (not microseconds)
+        assert back[0]["ts"] == pytest.approx(0.001)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ph": "i", "name": "a", "ts": 0.0}\n\n')
+        assert len(load_jsonl(path)) == 1
+
+
+class TestLoadTrace:
+    def test_loads_chrome_object_format(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "t.json", sample_records())
+        events = load_trace(path)
+        assert validate_chrome_trace(events) == []
+        assert any(e["ph"] == "X" for e in events)
+
+    def test_loads_bare_array_format(self, tmp_path):
+        events = to_chrome_trace(sample_records())["traceEvents"]
+        path = tmp_path / "arr.json"
+        path.write_text(json.dumps(events))
+        assert load_trace(path) == events
+
+    def test_loads_jsonl_by_converting(self, tmp_path):
+        path = write_jsonl(tmp_path / "log.jsonl", sample_records())
+        events = load_trace(path)
+        assert validate_chrome_trace(events) == []
+        xs = [e for e in events if e["ph"] == "X"]
+        assert xs[0]["ts"] == pytest.approx(1000.0)  # converted to microseconds

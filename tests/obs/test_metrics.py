@@ -1,0 +1,122 @@
+"""Metrics unit tests: instruments, bucket math, registry semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("c").inc(-1)
+
+    def test_concurrent_increments_lose_nothing(self):
+        c = Counter("c")
+        n_threads, n_each = 8, 500
+
+        def work():
+            for _ in range(n_each):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_each
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1)
+        g.set(-7.5)
+        assert g.value == -7.5
+
+
+class TestHistogram:
+    def test_bucket_placement_inclusive_upper_bounds(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 5.0))
+        h.observe(0.5)  # <= 1.0   -> bucket 0
+        h.observe(1.0)  # == bound -> bucket 0 (inclusive)
+        h.observe(1.5)  # <= 2.0   -> bucket 1
+        h.observe(5.0)  # == bound -> bucket 2
+        h.observe(100)  # overflow -> bucket 3
+        assert h.counts == [2, 1, 1, 1]
+
+    def test_summary_stats(self):
+        h = Histogram("h", bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 3.5):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(6.0)
+        assert snap["min"] == 0.5 and snap["max"] == 3.5
+        assert snap["mean"] == pytest.approx(2.0)
+        assert snap["bounds"] == [1.0, 10.0]
+        assert sum(snap["counts"]) == 3
+
+    def test_empty_snapshot(self):
+        snap = Histogram("h", bounds=(1.0,)).snapshot()
+        assert snap["count"] == 0 and snap["mean"] == 0.0
+        assert snap["min"] is None and snap["max"] is None
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError, match="at least one bound"):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("h", bounds=(1.0, 1.0))
+
+    def test_default_bucket_families_are_valid(self):
+        # the module-level defaults must satisfy the constructor's invariants
+        Histogram("lat", DEFAULT_LATENCY_BUCKETS)
+        Histogram("cnt", DEFAULT_COUNT_BUCKETS)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("x") is r.counter("x")
+        assert r.gauge("y") is r.gauge("y")
+        assert r.histogram("z") is r.histogram("z")
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError, match="Counter"):
+            r.gauge("x")
+        with pytest.raises(TypeError):
+            r.histogram("x")
+
+    def test_snapshot_shape(self):
+        r = MetricsRegistry()
+        r.counter("a.count").inc(3)
+        r.gauge("b.gauge").set(1.5)
+        r.histogram("c.hist", bounds=(1.0,)).observe(0.5)
+        snap = r.snapshot()
+        assert snap["counters"] == {"a.count": 3.0}
+        assert snap["gauges"] == {"b.gauge": 1.5}
+        assert snap["histograms"]["c.hist"]["count"] == 1
+
+    def test_clear_empties_registry(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.clear()
+        assert r.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}

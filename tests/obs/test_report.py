@@ -1,0 +1,92 @@
+"""Report tests: aggregation of Chrome-format events into summary tables."""
+
+import pytest
+
+from repro.obs.report import format_report, summarize_trace
+
+
+def x(name, cat, dur_us, args=None, tid=0):
+    return {"ph": "X", "name": name, "cat": cat, "ts": 0.0, "dur": dur_us,
+            "tid": tid, "args": args or {}}
+
+
+def i(name, cat="", args=None):
+    return {"ph": "i", "name": name, "cat": cat, "ts": 0.0, "args": args or {}}
+
+
+SYNTHETIC = [
+    {"ph": "M", "name": "thread_name", "tid": 0, "args": {"name": "main"}},
+    x("engine.run", "engine", 5_000_000),
+    x("local", "phase", 3_000_000),
+    x("local", "phase", 1_000_000),
+    x("finalize", "phase", 500_000),
+    x("split", "split", 1_000_000, {"thread_id": 0, "elements": 100}),
+    x("split", "split", 1_000_000,
+      {"thread_id": 1, "elements": 50, "outcome": "failed", "attempt": 1}),
+    x("split", "split", 2_000_000,
+      {"thread_id": 1, "elements": 50, "outcome": "ok", "attempt": 2}),
+    x("parse", "compiler", 100_000),
+    x("linearize_data", "linearize", 200_000),
+    x("local_combination", "combination", 50_000),
+    i("kernel_cache.hit", "cache"),
+    i("kernel_cache.hit", "cache"),
+    i("fault.injected", "fault"),
+]
+
+
+class TestSummarize:
+    def test_phases_summed_in_seconds(self):
+        rep = summarize_trace(SYNTHETIC)
+        assert rep.phases == {"local": pytest.approx(4.0),
+                              "finalize": pytest.approx(0.5)}
+
+    def test_run_count_and_totals(self):
+        rep = summarize_trace(SYNTHETIC)
+        assert rep.runs == 1
+        assert rep.total_spans == 10  # every X event
+        assert rep.total_events == 3  # every i event
+
+    def test_per_thread_attribution(self):
+        rep = summarize_trace(SYNTHETIC)
+        t0, t1 = rep.threads["thread 0"], rep.threads["thread 1"]
+        assert (t0.splits, t0.attempts, t0.retries, t0.failures) == (1, 1, 0, 0)
+        assert t0.elements == 100
+        assert t0.busy_seconds == pytest.approx(1.0)
+        # thread 1: first attempt failed, retry succeeded
+        assert (t1.splits, t1.attempts, t1.retries, t1.failures) == (1, 2, 1, 1)
+        assert t1.elements == 50  # only committed attempts count elements
+        assert t1.busy_seconds == pytest.approx(3.0)
+
+    def test_missing_thread_id_falls_back_to_tid(self):
+        rep = summarize_trace([x("split", "split", 1, tid=9)])
+        assert "tid 9" in rep.threads
+
+    def test_compiler_and_combination_tables(self):
+        rep = summarize_trace(SYNTHETIC)
+        assert rep.compiler["parse"] == (1, pytest.approx(0.1))
+        assert rep.compiler["linearize_data"] == (1, pytest.approx(0.2))
+        assert rep.combination["local_combination"] == (1, pytest.approx(0.05))
+
+    def test_event_tallies(self):
+        rep = summarize_trace(SYNTHETIC)
+        assert rep.events == {"kernel_cache.hit": 2, "fault.injected": 1}
+
+    def test_empty_trace(self):
+        rep = summarize_trace([])
+        assert rep.total_spans == 0 and rep.total_events == 0
+        assert rep.phases == {} and rep.threads == {}
+
+
+class TestFormat:
+    def test_tables_render(self):
+        text = format_report(summarize_trace(SYNTHETIC))
+        assert "engine phases (cat=phase)" in text
+        assert "per-thread split work" in text
+        assert "compiler & linearization" in text
+        assert "combination (cat=combination)" in text
+        assert "kernel_cache.hit" in text
+        assert "thread 1" in text
+
+    def test_empty_report_is_one_line(self):
+        text = format_report(summarize_trace([]))
+        assert text == "trace: 0 spans, 0 events, 0 engine run(s)"

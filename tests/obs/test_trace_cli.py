@@ -1,0 +1,108 @@
+"""``python -m repro.trace`` CLI tests, including the traced-k-means
+end-to-end acceptance path (trace file -> validate -> report)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.kmeans import KmeansRunner
+from repro.data.generators import initial_centroids, kmeans_points
+from repro.obs import tracing, write_chrome_trace, write_jsonl
+from repro.trace import main
+
+
+@pytest.fixture(scope="module")
+def traced_kmeans(tmp_path_factory):
+    """One traced opt-2 k-means run under the threads executor."""
+    tmp = tmp_path_factory.mktemp("trace_cli")
+    points = kmeans_points(400, 3, seed=5)
+    cents = initial_centroids(points, 4, seed=6)
+    with tracing() as tracer:
+        runner = KmeansRunner(
+            4, 3, version="opt-2", num_threads=2, executor="threads",
+            chunk_size=50,
+        )
+        result = runner.run(points, cents, iterations=2)
+    chrome = write_chrome_trace(tmp / "kmeans.json", tracer)
+    jsonl = write_jsonl(tmp / "kmeans.jsonl", tracer)
+    return tracer, result, chrome, jsonl
+
+
+class TestEndToEnd:
+    def test_trace_has_split_and_phase_spans(self, traced_kmeans):
+        tracer, _, _, _ = traced_kmeans
+        cats = {s.cat for s in tracer.spans()}
+        assert {"engine", "phase", "split", "combination"} <= cats
+        workers = {
+            s.args["thread_id"] for s in tracer.spans() if s.cat == "split"
+        }
+        assert workers <= {0, 1} and workers
+
+    def test_validate_accepts_the_trace(self, traced_kmeans, capsys):
+        _, _, chrome, _ = traced_kmeans
+        assert main(["validate", str(chrome)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_report_matches_run_stats(self, traced_kmeans, capsys):
+        _, result, chrome, _ = traced_kmeans
+        assert main(["report", str(chrome)]) == 0
+        out = capsys.readouterr().out
+        assert "engine phases (cat=phase)" in out
+        assert "per-thread split work" in out
+        assert "2 engine run(s)" in out
+        # the report's local-phase total must agree with RunStats
+        from repro.obs import load_trace, summarize_trace
+
+        rep = summarize_trace(load_trace(chrome))
+        stats_local = sum(
+            s.phase_seconds.get("local", 0.0)
+            for s in result.per_iteration_stats
+        )
+        assert rep.phases["local"] == pytest.approx(stats_local, abs=0.1)
+
+    def test_report_reads_jsonl_too(self, traced_kmeans, capsys):
+        _, _, _, jsonl = traced_kmeans
+        assert main(["report", str(jsonl)]) == 0
+        assert "per-thread split work" in capsys.readouterr().out
+
+    def test_convert_jsonl_to_chrome(self, traced_kmeans, tmp_path, capsys):
+        _, _, _, jsonl = traced_kmeans
+        out = tmp_path / "converted.json"
+        assert main(["convert", str(jsonl), str(out)]) == 0
+        assert main(["validate", str(out)]) == 0
+
+
+class TestValidateFailures:
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_unparseable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{broken")
+        assert main(["validate", str(bad)]) == 1
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_structurally_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "invalid.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z", "name": "x"}]}))
+        assert main(["validate", str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "INVALID" in err and "unknown or missing 'ph'" in err
+
+    def test_invalid_jsonl_converts_then_validates(self, tmp_path, capsys):
+        # JSONL goes through to_chrome_trace; valid records validate fine
+        log = tmp_path / "ok.jsonl"
+        log.write_text('{"ph": "i", "name": "e", "ts": 0.0}\n')
+        assert main(["validate", str(log)]) == 0
+
+
+class TestCliPlumbing:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,223 @@
+"""Tracer unit tests: recording, nesting, the null fast path, the registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanRecording:
+    def test_span_records_on_exit(self):
+        t = Tracer()
+        with t.span("work", cat="phase", split_id=3):
+            pass
+        (span,) = t.spans()
+        assert span.name == "work"
+        assert span.cat == "phase"
+        assert span.args == {"split_id": 3}
+        assert span.ph == "X"
+        assert span.dur >= 0.0
+        assert span.ts >= 0.0
+        assert span.tid == threading.current_thread().ident
+        assert span.thread == threading.current_thread().name
+
+    def test_nothing_recorded_before_exit(self):
+        t = Tracer()
+        with t.span("open"):
+            assert t.records() == []
+        assert len(t.records()) == 1
+
+    def test_set_attaches_args_mid_span(self):
+        t = Tracer()
+        with t.span("s", cat="split", a=1) as sp:
+            sp.set(outcome="ok", b=2)
+        (span,) = t.spans()
+        assert span.args == {"a": 1, "outcome": "ok", "b": 2}
+
+    def test_span_handle_exposes_duration(self):
+        t = Tracer()
+        with t.span("s") as sp:
+            assert sp.duration is None
+        assert sp.duration is not None and sp.duration >= 0.0
+        assert sp.duration == t.spans()[0].dur
+
+    def test_exception_recorded_as_error_arg_and_reraised(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("boom"):
+                raise ValueError("bad")
+        (span,) = t.spans()
+        assert "ValueError" in span.args["error"]
+
+    def test_explicit_error_arg_not_overwritten(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("boom", error="mine"):
+                raise RuntimeError("other")
+        assert t.spans()[0].args["error"] == "mine"
+
+    def test_nested_spans_both_recorded(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.spans()  # inner exits (records) first
+        assert [inner.name, outer.name] == ["inner", "outer"]
+        assert outer.dur >= inner.dur
+        assert outer.ts <= inner.ts
+
+
+class TestEventRecording:
+    def test_event_records_instantly(self):
+        t = Tracer()
+        t.event("cache.hit", cat="cache", digest="abc")
+        (ev,) = t.events()
+        assert isinstance(ev, Event)
+        assert ev.ph == "i"
+        assert ev.name == "cache.hit"
+        assert ev.args == {"digest": "abc"}
+
+    def test_spans_and_events_interleave_in_order(self):
+        t = Tracer()
+        t.event("first")
+        with t.span("mid"):
+            pass
+        t.event("last")
+        names = [r.name for r in t.records()]
+        assert names == ["first", "mid", "last"]
+
+    def test_now_is_monotonic_from_epoch(self):
+        t = Tracer()
+        a = t.now()
+        b = t.now()
+        assert 0.0 <= a <= b
+
+
+class TestCapAndClear:
+    def test_max_records_drops_beyond_cap(self):
+        t = Tracer(max_records=2)
+        for i in range(5):
+            t.event(f"e{i}")
+        assert len(t.records()) == 2
+        assert t.dropped == 3
+
+    def test_clear_resets_records_and_dropped(self):
+        t = Tracer(max_records=1)
+        t.event("a")
+        t.event("b")
+        t.clear()
+        assert t.records() == [] and t.dropped == 0
+        t.event("c")  # capacity available again
+        assert len(t.records()) == 1
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(max_records=-1)
+
+    def test_concurrent_recording_loses_nothing(self):
+        t = Tracer()
+        n_threads, n_each = 8, 100
+
+        def work(k):
+            for i in range(n_each):
+                t.event(f"t{k}.{i}")
+                with t.span(f"s{k}.{i}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(k,)) for k in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(t.records()) == n_threads * n_each * 2
+        assert len(t.events()) == n_threads * n_each
+        assert len(t.spans()) == n_threads * n_each
+
+
+class TestNullTracer:
+    def test_disabled_and_records_nothing(self):
+        nt = NullTracer()
+        assert nt.enabled is False
+        with nt.span("x", cat="y", z=1) as sp:
+            sp.set(anything="goes")
+        nt.event("e", cat="c")
+        assert nt.records() == []
+        assert nt.spans() == []
+        assert nt.events() == []
+        nt.clear()  # no-op, must not raise
+
+    def test_span_handle_is_shared_singleton(self):
+        nt = NullTracer()
+        assert nt.span("a") is nt.span("b")
+
+    def test_null_span_swallows_nothing(self):
+        with pytest.raises(KeyError):
+            with NULL_TRACER.span("x"):
+                raise KeyError("propagates")
+
+
+class TestGlobalRegistry:
+    def test_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_returns_previous_and_none_disables(self):
+        t = Tracer()
+        prev = set_tracer(t)
+        try:
+            assert get_tracer() is t
+        finally:
+            assert set_tracer(None) is t
+        assert get_tracer() is NULL_TRACER
+        set_tracer(prev)
+
+    def test_tracing_installs_and_restores(self):
+        before = get_tracer()
+        with tracing() as t:
+            assert isinstance(t, Tracer)
+            assert get_tracer() is t
+        assert get_tracer() is before
+
+    def test_tracing_accepts_existing_tracer(self):
+        mine = Tracer()
+        with tracing(mine) as t:
+            assert t is mine
+            assert get_tracer() is mine
+
+    def test_tracing_restores_on_exception(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing():
+                raise RuntimeError
+        assert get_tracer() is before
+
+
+class TestRecordShapes:
+    def test_span_as_dict(self):
+        s = Span(name="n", ts=1.5, dur=0.5, cat="c", tid=7, thread="w", args={"a": 1})
+        assert s.as_dict() == {
+            "ph": "X",
+            "name": "n",
+            "cat": "c",
+            "ts": 1.5,
+            "dur": 0.5,
+            "tid": 7,
+            "thread": "w",
+            "args": {"a": 1},
+        }
+
+    def test_event_as_dict(self):
+        e = Event(name="n", ts=2.0, cat="c", tid=3, thread="w", args={})
+        d = e.as_dict()
+        assert d["ph"] == "i" and d["ts"] == 2.0 and "dur" not in d

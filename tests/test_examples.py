@@ -53,3 +53,19 @@ def test_reproduce_figures_accepts_subset():
     )
     assert proc.returncode == 0, proc.stderr
     assert "FIG12" in proc.stdout
+
+
+def test_trace_kmeans_writes_valid_trace(tmp_path):
+    """The observability walkthrough runs and emits a valid Chrome trace."""
+    from repro.obs import validate_chrome_trace_file
+
+    out = tmp_path / "kmeans_trace.json"
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "trace_kmeans.py"), str(out)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "per-thread split work" in proc.stdout
+    assert validate_chrome_trace_file(out) == []

@@ -128,6 +128,29 @@ class TestTiming:
             time.sleep(0.001)
         assert sw.elapsed > 0 and not sw.running
 
+    def test_phase_timer_concurrent_accumulation_loses_nothing(self):
+        # Many threads hammering the same phase name: every interval must be
+        # accumulated (the read-modify-write of phases[name] is locked).
+        import threading
+
+        timer = PhaseTimer()
+        n_threads, n_iters, tick = 8, 20, 0.001
+
+        def work():
+            for _ in range(n_iters):
+                with timer.phase("shared"):
+                    time.sleep(tick)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # a lost update would discard a thread's accumulated intervals,
+        # pulling the sum below the provable floor of n*iters*tick
+        assert timer.phases["shared"] >= n_threads * n_iters * tick
+        assert timer.total == pytest.approx(sum(timer.as_dict().values()))
+
 
 class TestLogging:
     def test_namespaced(self):
