@@ -1,0 +1,280 @@
+#!/usr/bin/env python
+"""Thread- and process-executor scaling curves (paper Figs. 6-9).
+
+Sweeps k-means and PCA over the compiled versions (``generated``,
+``opt-1``, ``opt-2`` and ``batch`` = opt-2 on the NumPy batch backend),
+worker counts and both parallel executors, timing each cell against a
+serial baseline of the same version on identical data.  Each cell is run
+once untimed (pool spin-up, kernel compilation, shared-memory publish)
+and then once timed, mirroring the paper's steady-state measurements.
+Writes ``benchmarks/results/BENCH_scaling.json`` (schema documented in
+``benchmarks/README.md``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_scaling.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_scaling.py --quick --check \
+        --executors process --workers 2
+
+``--check`` exits non-zero if any cell's results diverge from the serial
+baseline, or if a *process* cell is slower than serial by more than
+``--max-slowdown`` (default 1.0x) — the CI guard that the process
+executor actually pays for its IPC.  The gate is meaningful only on
+multi-core runners; ``cpu_count`` is recorded in the JSON so single-core
+artifacts are not misread as scaling failures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.kmeans import KmeansRunner
+from repro.apps.pca import PcaRunner
+from repro.compiler.cache import kernel_cache_stats
+from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+from repro.freeride.procexec import pick_start_method
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_scaling.json"
+SCHEMA_VERSION = 1
+
+#: Benchmark "version" -> (runner version, backend).  ``batch`` is the
+#: opt-2 kernel executed split-at-a-time on the vectorized backend.
+VERSIONS: dict[str, tuple[str, str]] = {
+    "generated": ("generated", "scalar"),
+    "opt-1": ("opt-1", "scalar"),
+    "opt-2": ("opt-2", "scalar"),
+    "batch": ("opt-2", "batch"),
+}
+
+
+# --------------------------------------------------------------------- apps
+# Each app entry: sizes per profile and a run(version, backend, executor,
+# workers) callable returning a dict of result arrays.  Data is generated
+# once per app so every cell sees identical inputs.
+
+
+def _app_kmeans(quick: bool):
+    n = 3_000 if quick else 60_000
+    k, dim, iters = 8, 4, 1
+    points = kmeans_points(n, dim, k, seed=7)
+    cents = initial_centroids(points, k, seed=3)
+
+    def run(version: str, backend: str, executor: str, workers: int):
+        runner = KmeansRunner(
+            k,
+            dim,
+            version=version,
+            num_threads=workers,
+            executor=executor,
+            backend=backend,
+        )
+        try:
+            runner.run(points, cents, iterations=iters)  # warmup
+            t0 = time.perf_counter()
+            res = runner.run(points, cents, iterations=iters)
+            wall = time.perf_counter() - t0
+        finally:
+            runner.close()
+        return {"centroids": res.centroids, "counts": res.counts}, wall
+
+    return n, run
+
+
+def _app_pca(quick: bool):
+    m = 6
+    n = 8_000 if quick else 40_000
+    matrix = pca_matrix(m, n, seed=5)
+
+    def run(version: str, backend: str, executor: str, workers: int):
+        runner = PcaRunner(
+            m,
+            version=version,
+            num_threads=workers,
+            executor=executor,
+            backend=backend,
+        )
+        try:
+            runner.run(matrix)  # warmup
+            t0 = time.perf_counter()
+            res = runner.run(matrix)
+            wall = time.perf_counter() - t0
+        finally:
+            runner.close()
+        return {"mean": res.mean, "covariance": res.covariance}, wall
+
+    return n, run
+
+
+APPS = {
+    "kmeans": _app_kmeans,
+    "pca": _app_pca,
+}
+
+
+def _equivalent(baseline: dict, cell: dict) -> bool:
+    if baseline.keys() != cell.keys():
+        return False
+    for key, sval in baseline.items():
+        cval = cell[key]
+        if sval.dtype.kind in "iu":
+            if not np.array_equal(sval, cval):
+                return False
+        elif not np.allclose(sval, cval, rtol=1e-9, atol=1e-9):
+            return False
+    return True
+
+
+def _print_table(records: list[dict], worker_counts: list[int]) -> None:
+    """Relative-speedup table in the shape of the paper's Figs. 6-9."""
+    header = "  ".join(f"{w:>2}w" + " " * 4 for w in worker_counts)
+    for executor in sorted({r["executor"] for r in records}):
+        print(f"\nspeedup vs 1-worker serial ({executor} executor):")
+        print(f"  {'app/version':24s}  {header}")
+        rows = sorted(
+            {(r["app"], r["version"]) for r in records if r["executor"] == executor}
+        )
+        for app, version in rows:
+            cells = []
+            for w in worker_counts:
+                match = [
+                    r
+                    for r in records
+                    if r["app"] == app
+                    and r["version"] == version
+                    and r["executor"] == executor
+                    and r["workers"] == w
+                ]
+                cells.append(
+                    f"{match[0]['speedup_vs_serial']:6.2f}x" if match else "      -"
+                )
+            print(f"  {app + '/' + version:24s}  {'  '.join(cells)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true", help="smoke-test sizes (CI)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on divergence or a process-cell slowdown "
+        "beyond --max-slowdown",
+    )
+    ap.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=1.0,
+        help="fail --check if a process cell's wall time exceeds the serial "
+        "baseline by this factor",
+    )
+    ap.add_argument(
+        "--min-gate-seconds",
+        type=float,
+        default=0.05,
+        help="serial baselines shorter than this are exempt from the "
+        "slowdown gate (fixed dispatch overhead dominates sub-50ms cells); "
+        "divergence is still checked",
+    )
+    ap.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=None,
+        help="worker counts to sweep (default: 1 2 4 quick, 1 2 4 8 full)",
+    )
+    ap.add_argument(
+        "--executors",
+        nargs="+",
+        default=["threads", "process"],
+        choices=["threads", "process"],
+    )
+    ap.add_argument(
+        "--apps", nargs="+", default=sorted(APPS), choices=sorted(APPS)
+    )
+    ap.add_argument(
+        "--versions", nargs="+", default=list(VERSIONS), choices=list(VERSIONS)
+    )
+    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+    worker_counts = args.workers or ([1, 2, 4] if args.quick else [1, 2, 4, 8])
+
+    records = []
+    failures: list[str] = []
+    for app_name in args.apps:
+        n_elements, run = APPS[app_name](args.quick)
+        for bench_version in args.versions:
+            version, backend = VERSIONS[bench_version]
+            baseline, serial_wall = run(version, backend, "serial", 1)
+            print(
+                f"{app_name}/{bench_version:10s} serial baseline "
+                f"{serial_wall:8.3f}s"
+            )
+            for executor in args.executors:
+                for workers in worker_counts:
+                    result, wall = run(version, backend, executor, workers)
+                    speedup = serial_wall / wall if wall > 0 else float("inf")
+                    equivalent = _equivalent(baseline, result)
+                    tag = f"{app_name}/{bench_version}/{executor}/w{workers}"
+                    if not equivalent:
+                        failures.append(f"{tag}: diverges from serial baseline")
+                    if (
+                        args.check
+                        and executor == "process"
+                        and serial_wall >= args.min_gate_seconds
+                        and wall > serial_wall * args.max_slowdown
+                    ):
+                        failures.append(
+                            f"{tag}: {wall:.3f}s > {args.max_slowdown}x "
+                            f"serial {serial_wall:.3f}s"
+                        )
+                    records.append(
+                        {
+                            "app": app_name,
+                            "version": bench_version,
+                            "backend": backend,
+                            "executor": executor,
+                            "workers": workers,
+                            "n_elements": n_elements,
+                            "wall_seconds": wall,
+                            "serial_wall_seconds": serial_wall,
+                            "speedup_vs_serial": speedup,
+                            "equivalent": equivalent,
+                        }
+                    )
+                    print(
+                        f"{tag:36s} {wall:8.3f}s  speedup {speedup:6.2f}x  "
+                        f"{'ok' if equivalent else 'DIVERGED'}"
+                    )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "mp_start_method": pick_start_method(),
+        "worker_counts": worker_counts,
+        "executors": args.executors,
+        "kernel_cache": kernel_cache_stats(),
+        "results": records,
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    _print_table(records, worker_counts)
+    print(f"\nwrote {args.json} ({len(records)} cells)")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

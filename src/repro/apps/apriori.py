@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import combinations
 
+from typing import Any
+
 import numpy as np
 
 from repro.compiler.cache import compile_cached
@@ -226,6 +228,16 @@ class AprioriRunner:
         return result.ro.get_group(0)
 
     # -- the level-wise driver ------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the engine's worker pools and shared-memory segments."""
+        self.engine.close()
+
+    def __enter__(self) -> "AprioriRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def run(self, transactions: np.ndarray) -> AprioriResult:
         transactions = np.ascontiguousarray(transactions, dtype=np.int64)

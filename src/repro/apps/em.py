@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 import numpy as np
 
 from repro.compiler.cache import compile_cached
@@ -184,6 +186,16 @@ class EmRunner:
             name="em-manual", setup_reduction_object=setup, reduction=reduction
         )
         return self.engine.run(spec, points).ro
+
+    def close(self) -> None:
+        """Release the engine's worker pools and shared-memory segments."""
+        self.engine.close()
+
+    def __enter__(self) -> "EmRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # -- the outer sequential loop ------------------------------------------------
 

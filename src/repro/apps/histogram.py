@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Any
+
 import numpy as np
 
 from repro.compiler.cache import compile_cached
@@ -105,6 +107,16 @@ class HistogramRunner:
 
     def ro_layout(self) -> list[tuple[int, str]]:
         return [(2, "add")] * self.bins  # [count, sum] per bin
+
+    def close(self) -> None:
+        """Release the engine's worker pools and shared-memory segments."""
+        self.engine.close()
+
+    def __enter__(self) -> "HistogramRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def run(self, data: np.ndarray) -> HistogramResult:
         data = np.ascontiguousarray(data, dtype=np.float64).reshape(-1)

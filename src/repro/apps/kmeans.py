@@ -256,6 +256,16 @@ class KmeansRunner:
                 backend=backend,
             )
 
+    def close(self) -> None:
+        """Release the engine's worker pools and shared-memory segments."""
+        self.engine.close()
+
+    def __enter__(self) -> "KmeansRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
     def run(
         self,
         points: np.ndarray,

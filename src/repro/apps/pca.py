@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 import numpy as np
 
 from repro.compiler.cache import compile_cached
@@ -222,6 +224,16 @@ class PcaRunner:
             self.cov_compiled = compile_cached(
                 PCA_COV_SOURCE, {"m": m}, opt_level=level, backend=backend
             )
+
+    def close(self) -> None:
+        """Release the engine's worker pools and shared-memory segments."""
+        self.engine.close()
+
+    def __enter__(self) -> "PcaRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     def run(self, matrix: np.ndarray) -> PcaResult:
         """``matrix`` is (rows=m, cols=n); elements are columns."""

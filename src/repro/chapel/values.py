@@ -168,6 +168,17 @@ class ChapelRecord:
     def field(self, name: str) -> Any:
         return getattr(self, name)
 
+    # ``__slots__`` plus the guarded ``__setattr__`` breaks pickle's default
+    # slot-state restore (it setattrs before ``_fields`` exists); records
+    # must pickle cleanly because process-mode kernel extras carry them.
+    def __getstate__(self) -> tuple[Any, dict[str, Any]]:
+        return (self.type, object.__getattribute__(self, "_fields"))
+
+    def __setstate__(self, state: tuple[Any, dict[str, Any]]) -> None:
+        typ, fields = state
+        object.__setattr__(self, "type", typ)
+        object.__setattr__(self, "_fields", fields)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ChapelRecord):
             return NotImplemented

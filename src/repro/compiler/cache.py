@@ -28,9 +28,11 @@ from repro.chapel import ast as A
 from repro.compiler.passes import CompilationPlan
 from repro.compiler.translate import BACKENDS, CompiledReduction, compile_reduction
 from repro.obs.tracer import get_tracer
+from repro.util.errors import CompilerError
 
 __all__ = [
     "compile_cached",
+    "compile_for_digest",
     "clear_kernel_cache",
     "kernel_cache_stats",
     "plan_fingerprint",
@@ -119,6 +121,32 @@ def compile_cached(
             opt_level=opt_level, backend=backend, reduction=compiled.name,
         )
     return compiled
+
+
+def compile_for_digest(
+    digest: str,
+    source: str | A.Program,
+    constants: dict[str, Any],
+    opt_level: int = 0,
+    class_name: str | None = None,
+    backend: str = "scalar",
+) -> CompiledReduction:
+    """Worker-process entry: compile through the cache, verifying ``digest``.
+
+    A process-mode worker receives the parent's program digest alongside the
+    source and constants; recomputing and checking it here guarantees the
+    worker keys into *its* process-wide cache exactly where the parent keyed
+    into its own — a payload whose source/constants drifted from its digest
+    (a serialization bug, not a user error) fails loudly instead of
+    compiling a different kernel than the parent measured.
+    """
+    actual = program_digest(source, constants, class_name)
+    if actual != digest:
+        raise CompilerError(
+            f"kernel payload digest mismatch: expected {digest[:12]}..., "
+            f"source+constants hash to {actual[:12]}..."
+        )
+    return compile_cached(source, constants, opt_level, class_name, backend)
 
 
 def kernel_cache_stats() -> dict[str, int]:

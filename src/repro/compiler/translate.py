@@ -38,7 +38,7 @@ from repro.compiler.lower import LoweredReduction, lower_reduction
 from repro.compiler.mapping import MappingInfo, compute_index
 from repro.compiler.passes import VERSION_NAMES, CompilationPlan, plan_compilation
 from repro.freeride.reduction_object import ReductionObject
-from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.freeride.spec import KernelSpec, ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
 from repro.obs.tracer import get_tracer
 from repro.util.errors import CompilerError
@@ -122,10 +122,30 @@ class CompiledReduction:
     batch_source: str | None = None
     batch_kernel: Callable | None = None
     batch_fallback_reason: str | None = None
+    #: the compilation request this object came from (source program,
+    #: constants, class name) — what a worker process needs to rebuild the
+    #: identical kernel through its own process-wide cache
+    origin_source: Any = field(default=None, repr=False)
+    origin_constants: dict[str, Any] | None = field(default=None, repr=False)
+    origin_class_name: str | None = field(default=None, repr=False)
+    _origin_digest: str | None = field(default=None, repr=False)
 
     @property
     def opt_level(self) -> int:
         return self.plan.opt_level
+
+    @property
+    def origin_digest(self) -> str | None:
+        """Stable digest of the origin request (None without origin info)."""
+        if self.origin_source is None:
+            return None
+        if self._origin_digest is None:
+            from repro.compiler.cache import program_digest
+
+            self._origin_digest = program_digest(
+                self.origin_source, self.origin_constants or {}, self.origin_class_name
+            )
+        return self._origin_digest
 
     @property
     def effective_kernel(self) -> Callable:
@@ -293,6 +313,11 @@ class BoundReduction:
     n_elements: int
     data_buf: LinearizedBuffer
     extras_values: dict[str, Any] = field(default_factory=dict)
+    #: bumped on every (re)bind of extras; process-mode workers cache their
+    #: bound kernel per dataset and re-run ``update_extras`` only when the
+    #: parent's epoch moved (one small pickle per k-means iteration, not per
+    #: split)
+    extras_epoch: int = 0
 
     def update_extras(self, extras: dict[str, Any]) -> None:
         """(Re)bind extra values — e.g. new centroids each k-means iteration.
@@ -337,6 +362,7 @@ class BoundReduction:
             self.env[f"view_{kid}"] = _make_viewer(
                 buf.raw, info.inner_dtype, info.inner_extent
             )
+        self.extras_epoch += 1
 
     # -- direct execution (tests) -----------------------------------------------------
 
@@ -377,11 +403,35 @@ class BoundReduction:
                 return
             kernel(indices[0], indices[-1] + 1, args.ro, env, counters)
 
+        comp = self.compiled
+        kernel_spec = None
+        if comp.origin_source is not None:
+            # The picklable twin of this spec: everything a worker process
+            # needs to recompile the kernel (through its own cache) and bind
+            # it against the shared-memory dataset, plus parent-side handles
+            # (raw buffer, live counter ledger) the engine uses directly.
+            kernel_spec = KernelSpec(
+                digest=comp.origin_digest,
+                source=comp.origin_source,
+                constants=dict(comp.origin_constants or {}),
+                opt_level=comp.opt_level,
+                backend=comp.backend,
+                class_name=comp.origin_class_name,
+                ro_layout=tuple((int(n), str(op)) for n, op in layout),
+                n_elements=self.n_elements,
+                dataset_type=self.data_buf.typ,
+                extras=dict(self.extras_values),
+                extras_epoch=self.extras_epoch,
+                data_raw=self.data_buf.raw,
+                counters=counters,
+            )
+
         spec = ReductionSpec(
             name=f"{self.compiled.name}-{self.compiled.version_name}",
             setup_reduction_object=setup,
             reduction=reduction,
             finalize=finalize,
+            kernel_spec=kernel_spec,
         )
         return spec, range(self.n_elements)
 
@@ -476,4 +526,7 @@ def compile_reduction(
         batch_source=batch_source,
         batch_kernel=batch_kernel,
         batch_fallback_reason=batch_fallback_reason,
+        origin_source=source,
+        origin_constants=dict(constants),
+        origin_class_name=class_name,
     )

@@ -1,0 +1,329 @@
+"""Worker-process side of the ``"process"`` executor.
+
+The process executor extends FREERIDE's full-replication technique across
+address spaces: the parent publishes the linearized dataset into a POSIX
+shared-memory segment once per engine, and every task shipped to a worker is
+just a compact picklable payload — the kernel's
+:class:`~repro.freeride.spec.KernelSpec` fields plus ``(segment name,
+nbytes)`` and ``(split_id, start, stop)`` descriptors.  Nothing element-sized
+ever crosses the process boundary.
+
+Workers keep two process-local caches:
+
+* the ordinary process-wide kernel cache
+  (:func:`repro.compiler.cache.compile_for_digest`): each worker recompiles a
+  program once, on its first task for that digest;
+* a bound-kernel cache keyed by ``(digest, opt level, backend, data
+  segment)``: the shared dataset is attached and bound once, and extras
+  (e.g. k-means centroids) are re-bound only when the parent's
+  ``extras_epoch`` moved — one small re-linearization per outer-loop
+  iteration, exactly like the in-process executors.
+
+Two task shapes exist, mirroring the engine's two execution paths:
+
+:func:`run_block_task`
+    the direct (no-fault) path.  One task per worker per run; the worker
+    processes its statically assigned splits (``splits[w::W]``, the same
+    deterministic round-robin the serial executor uses) and accumulates
+    straight into its replica slot of a parent-created shared-memory
+    reduction-object segment — the zero-copy transport of results.
+
+:func:`run_split_task`
+    the fault-tolerant path.  One task per split *attempt*; the worker
+    processes into a private scratch reduction object and returns its buffer
+    without committing — the parent owns the
+    :class:`~repro.freeride.splitter.SplitQueue` and its exactly-once
+    ``complete()`` gate, so speculative straggler duplicates are discarded
+    there just as in thread mode.
+
+Both return per-task :class:`~repro.machine.counters.OpCounters` deltas and
+(when tracing) :class:`~repro.obs.tracer.Span`/``Event`` records stamped with
+the worker pid, which the parent folds into the run's ledger and trace.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any
+
+import numpy as np
+
+from repro.freeride.faults import InjectedFault, SplitTimeout
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.sharedmem import (
+    ReplicatedAccessor,
+    ScratchAccessor,
+    SharedMemTechnique,
+    attach_shm_segment,
+    close_shm_segment,
+)
+from repro.machine.counters import OpCounters
+from repro.obs.tracer import Event, Span
+
+__all__ = [
+    "create_process_pool",
+    "pick_start_method",
+    "run_block_task",
+    "run_split_task",
+]
+
+#: Environment override for the pool's multiprocessing start method.
+START_METHOD_ENV = "REPRO_MP_START_METHOD"
+
+
+def pick_start_method() -> str:
+    """``fork`` where available (fast, inherits the parent's modules), else
+    ``spawn`` (Windows, macOS default); ``REPRO_MP_START_METHOD`` overrides."""
+    available = multiprocessing.get_all_start_methods()
+    override = os.environ.get(START_METHOD_ENV)
+    if override:
+        if override not in available:
+            raise ValueError(
+                f"{START_METHOD_ENV}={override!r} is not available here; "
+                f"choose from {available}"
+            )
+        return override
+    return "fork" if "fork" in available else "spawn"
+
+
+def create_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """A persistent worker-process pool for one engine."""
+    ctx = multiprocessing.get_context(pick_start_method())
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=ctx)
+
+
+# -- worker-side caches ---------------------------------------------------------
+#
+# Module globals: each worker process gets its own copies.  Entries live for
+# the worker's lifetime (the pool is persistent per engine); segments the
+# parent unlinks stay mapped here until the worker exits, which is safe on
+# every platform with POSIX shared memory.
+
+_DATA_SEGMENTS: dict[str, tuple[Any, np.ndarray]] = {}
+_BOUND_CACHE: dict[tuple[str, int, str, str], list[Any]] = {}
+
+
+def _attached_raw(name: str, nbytes: int) -> np.ndarray:
+    """Attach (once) the parent's dataset segment; returns the uint8 view."""
+    entry = _DATA_SEGMENTS.get(name)
+    if entry is None:
+        shm = attach_shm_segment(name)
+        raw = np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)
+        _DATA_SEGMENTS[name] = entry = (shm, raw)
+    return entry[1]
+
+
+def _bound_for(task: dict[str, Any]):
+    """The task's kernel, bound against the shared dataset (cached)."""
+    # Imported here, not at module top: the freeride package must stay
+    # importable without pulling in the compiler (layering), and only
+    # process-mode workers ever reach this path.
+    from repro.compiler.cache import compile_for_digest
+    from repro.compiler.linearize import LinearizedBuffer
+
+    key = (task["digest"], task["opt_level"], task["backend"], task["data_shm"])
+    entry = _BOUND_CACHE.get(key)
+    if entry is None:
+        compiled = compile_for_digest(
+            task["digest"],
+            task["source"],
+            task["constants"],
+            opt_level=task["opt_level"],
+            class_name=task["class_name"],
+            backend=task["backend"],
+        )
+        raw = _attached_raw(task["data_shm"], task["data_nbytes"])
+        buf = LinearizedBuffer(typ=task["dataset_type"], raw=raw)
+        bound = compiled.bind(buf, task["extras"], n_elements=task["n_elements"])
+        _BOUND_CACHE[key] = entry = [bound, task["extras_epoch"]]
+    elif entry[1] != task["extras_epoch"]:
+        entry[0].update_extras(task["extras"])
+        entry[1] = task["extras_epoch"]
+    return entry[0]
+
+
+def _worker_name() -> str:
+    return f"freeride-worker-{os.getpid()}"
+
+
+def _split_span(
+    task: dict[str, Any],
+    sid: int,
+    thread_id: int,
+    elements: int,
+    start_pc: float,
+    dur: float,
+    **extra: Any,
+) -> Span:
+    """A ``split`` span in the parent tracer's timebase, pid-attributed."""
+    pid = os.getpid()
+    return Span(
+        name="split",
+        ts=start_pc - task["trace_epoch"],
+        dur=dur,
+        cat="split",
+        tid=pid,
+        thread=_worker_name(),
+        args={
+            "split_id": sid,
+            "thread_id": thread_id,
+            "node": task["node"],
+            "elements": elements,
+            "worker_pid": pid,
+            **extra,
+        },
+    )
+
+
+def run_block_task(task: dict[str, Any]) -> dict[str, Any]:
+    """Direct path: process this worker's splits into its replica slot.
+
+    The parent created one shared segment holding ``num_threads``
+    contiguous reduction-object replicas; this worker's accumulations land
+    directly in slot ``task["slot"]`` — no result pickling, no copies.
+    """
+    bound = _bound_for(task)
+    kernel = bound.compiled.effective_kernel
+    env = bound.env
+    slot = task["slot"]
+    ro_floats = task["ro_floats"]
+
+    ro_shm = attach_shm_segment(task["ro_shm"])
+    view = np.ndarray(
+        (ro_floats,), dtype=np.float64, buffer=ro_shm.buf, offset=slot * ro_floats * 8
+    )
+    ro = ReductionObject.from_layout(task["ro_layout"], buffer=view)
+    accessor = ReplicatedAccessor(ro, SharedMemTechnique.FULL_REPLICATION)
+    counters = OpCounters()
+    epoch = task["trace_epoch"]
+    records: list[Span] = []
+    elements = 0
+    nsplits = 0
+    durations: list[float] = []
+    for sid, start, stop in task["splits"]:
+        if stop <= start:
+            continue
+        t0 = time.perf_counter()
+        kernel(start, stop, accessor, env, counters)
+        dur = time.perf_counter() - t0
+        elements += stop - start
+        nsplits += 1
+        durations.append(dur)
+        if epoch is not None:
+            records.append(
+                _split_span(task, sid, slot, stop - start, t0, dur, outcome="ok")
+            )
+    result = {
+        "slot": slot,
+        "elements": elements,
+        "nsplits": nsplits,
+        "update_count": ro.update_count,
+        "counters": counters,
+        "records": records,
+        "durations": durations,
+        "pid": os.getpid(),
+    }
+    # Drop every view over the segment before closing the worker's mapping
+    # (the parent still owns the segment and will unlink it after merging).
+    del accessor, ro, view
+    close_shm_segment(ro_shm)
+    return result
+
+
+def run_split_task(task: dict[str, Any]) -> dict[str, Any]:
+    """Fault-tolerant path: one attempt of one split into a scratch object.
+
+    Mirrors the thread executor's ``_attempt_split_core``: the injector
+    fires first, the kernel accumulates into a private scratch reduction
+    object, and a soft per-attempt timeout discards completed-but-late
+    work.  Nothing is committed here — the scratch buffer is returned and
+    the parent merges it only if the split's exactly-once completion gate
+    accepts it.  Counter deltas are returned for *every* outcome, matching
+    thread mode where a failed attempt's kernel work still hits the ledger.
+    """
+    bound = _bound_for(task)
+    kernel = bound.compiled.effective_kernel
+    env = bound.env
+    sid, start, stop = task["split"]
+    attempt = task["attempt"]
+    injector = task["injector"]
+    scratch = ReductionObject.from_layout(task["ro_layout"])
+    counters = OpCounters()
+    epoch = task["trace_epoch"]
+
+    outcome = "ok"
+    exc_obj: BaseException | None = None
+    t0 = time.perf_counter()
+    mono0 = time.monotonic()
+    try:
+        if injector is not None:
+            injector.inject(sid, attempt)
+        kernel(start, stop, ScratchAccessor(scratch), env, counters)
+    except InjectedFault as exc:
+        outcome, exc_obj = "injected", exc
+    except Exception as exc:
+        outcome, exc_obj = "error", exc
+    elapsed = time.monotonic() - mono0
+    timeout = task["split_timeout"]
+    if outcome == "ok" and timeout is not None and elapsed > timeout:
+        exc_obj = SplitTimeout(
+            f"split {sid} attempt {attempt} exceeded the "
+            f"{timeout}s per-split timeout"
+        )
+        outcome = "timeout"
+    dur = time.perf_counter() - t0
+
+    records: list[Span | Event] = []
+    if epoch is not None:
+        span_extra: dict[str, Any] = {"attempt": attempt}
+        if outcome == "ok":
+            span_extra["outcome"] = "ok"
+        else:
+            span_extra["outcome"] = "failed"
+            span_extra["error"] = repr(exc_obj)
+        records.append(
+            _split_span(task, sid, task["lane"], stop - start, t0, dur, **span_extra)
+        )
+        event_name = {"injected": "fault.injected", "timeout": "fault.timeout"}.get(
+            outcome
+        )
+        if event_name is not None:
+            records.append(
+                Event(
+                    name=event_name,
+                    ts=time.perf_counter() - epoch,
+                    cat="fault",
+                    tid=os.getpid(),
+                    thread=_worker_name(),
+                    args={
+                        "split_id": sid,
+                        "attempt": attempt,
+                        "thread_id": task["lane"],
+                        "node": task["node"],
+                        "worker_pid": os.getpid(),
+                    },
+                )
+            )
+
+    exc_bytes: bytes | None = None
+    if exc_obj is not None:
+        try:
+            exc_bytes = pickle.dumps(exc_obj)
+        except Exception:
+            exc_bytes = None  # parent falls back to the repr
+
+    return {
+        "outcome": outcome,
+        "error": repr(exc_obj) if exc_obj is not None else None,
+        "exception": exc_bytes,
+        "buffer": scratch._buffer.tobytes() if outcome == "ok" else None,
+        "update_count": scratch.update_count,
+        "counters": counters,
+        "records": records,
+        "duration": dur,
+        "pid": os.getpid(),
+    }

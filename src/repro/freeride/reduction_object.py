@@ -19,7 +19,7 @@ copies mergeable in any order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -297,6 +297,56 @@ class ReductionObject:
         """Iterate ``(group_id, values_copy)`` pairs."""
         for meta in self._groups:
             yield meta.group_id, self.get_group(meta.group_id)
+
+    def layout(self) -> list[tuple[int, AccumulateOp]]:
+        """The ``(num_elems, op)`` sequence that rebuilds this layout."""
+        return [(m.num_elems, m.op) for m in self._groups]
+
+    @classmethod
+    def from_layout(
+        cls,
+        layout: "Sequence[tuple[int, AccumulateOp]]",
+        buffer: np.ndarray | None = None,
+        initialize: bool = True,
+    ) -> "ReductionObject":
+        """Build a frozen-layout reduction object directly from a layout.
+
+        Unlike repeated :meth:`alloc` calls this never reallocates the
+        element buffer, so ``buffer`` may be an *external* float64 array —
+        e.g. a slice of a ``multiprocessing.shared_memory`` segment — and
+        all accumulations land in that storage.  With ``initialize=False``
+        the buffer's existing contents are kept (the parent process wraps a
+        worker-filled shared segment without clobbering it); a freshly
+        allocated object is always initialized to the ops' identities.
+        """
+        ro = cls()
+        offset = 0
+        for num_elems, op in layout:
+            check_positive_int(num_elems, "num_elems")
+            if op not in ACCUMULATE_OPS:
+                raise ReductionObjectError(f"unknown accumulate op {op!r}")
+            ro._groups.append(_GroupMeta(len(ro._groups), num_elems, op, offset))
+            offset += num_elems
+        if not ro._groups:
+            raise ReductionObjectError("layout must allocate at least one group")
+        if buffer is None:
+            ro._buffer = np.empty(offset, dtype=np.float64)
+            initialize = True
+        else:
+            buf = np.asarray(buffer)
+            if buf.dtype != np.float64 or buf.ndim != 1 or buf.size != offset:
+                raise ReductionObjectError(
+                    f"external buffer must be a flat float64 array of "
+                    f"{offset} elements, got dtype={buf.dtype} shape={buf.shape}"
+                )
+            ro._buffer = buf
+        if initialize:
+            for meta in ro._groups:
+                ro._buffer[meta.offset : meta.offset + meta.num_elems] = _IDENTITY[
+                    meta.op
+                ]
+        ro.freeze_layout()
+        return ro
 
     # -- replication and merging ----------------------------------------------
 

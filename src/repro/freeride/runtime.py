@@ -21,9 +21,14 @@ next), perform the local combination (per shared-memory technique), the
 global combination (across nodes, all-to-one or parallel merge), and
 finalize.
 
-Two executors are provided: ``"serial"`` (deterministic round-robin split
-assignment — the mode the simulated machine models) and ``"threads"``
-(a real thread pool pulling splits from a shared queue).
+Three executors are provided: ``"serial"`` (deterministic round-robin split
+assignment — the mode the simulated machine models), ``"threads"`` (a real
+thread pool pulling splits from a shared queue), and ``"process"`` (a
+persistent worker-process pool sidestepping the GIL: the linearized dataset
+is published into shared memory once per engine, workers attach it zero-copy
+and accumulate into per-worker reduction-object replicas in a second shared
+segment — full replication extended across address spaces; see
+:mod:`repro.freeride.procexec`).
 
 When a :class:`~repro.freeride.faults.FaultPolicy` (or injector) is
 configured, split processing becomes fault tolerant: every attempt runs
@@ -36,11 +41,20 @@ accumulations behind and no element is ever double counted.
 
 from __future__ import annotations
 
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+import weakref
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Any, Callable
+
+import numpy as np
 
 
 def _validate_custom_splits(splits: "list[Split]", data: Any) -> None:
@@ -70,9 +84,12 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.sharedmem import (
     ROAccessor,
     ScratchAccessor,
+    SharedBufferCache,
     SharedMemManager,
     SharedMemStats,
     SharedMemTechnique,
+    close_shm_segment,
+    create_shm_segment,
 )
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.freeride.splitter import (
@@ -81,6 +98,7 @@ from repro.freeride.splitter import (
     _check_partition,
     chunked_splitter,
     default_splitter,
+    split_descriptors,
 )
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from repro.obs.tracer import NullTracer, Tracer, get_tracer
@@ -142,6 +160,36 @@ class ReductionResult:
     stats: RunStats
 
 
+class _EngineResources:
+    """An engine's OS-level resources, releasable without the engine.
+
+    Split out of :class:`FreerideEngine` so a ``weakref.finalize`` can shut
+    everything down when the engine is garbage collected or the interpreter
+    exits — an application that leaks an engine without calling ``close()``
+    must not hang shutdown on live pool workers or leave ``/dev/shm``
+    segments behind (``weakref.finalize`` callbacks run via ``atexit``
+    *before* threading/multiprocessing teardown, so an orderly
+    ``shutdown(wait=True)`` is still possible there).
+    """
+
+    __slots__ = ("thread_pool", "process_pool", "segments")
+
+    def __init__(self) -> None:
+        self.thread_pool: ThreadPoolExecutor | None = None
+        self.process_pool: ProcessPoolExecutor | None = None
+        #: shared-memory copies of published datasets (process executor)
+        self.segments = SharedBufferCache()
+
+    def release(self) -> None:
+        if self.thread_pool is not None:
+            self.thread_pool.shutdown(wait=True)
+            self.thread_pool = None
+        if self.process_pool is not None:
+            self.process_pool.shutdown(wait=True)
+            self.process_pool = None
+        self.segments.close()
+
+
 class FreerideEngine:
     """Runs :class:`~repro.freeride.spec.ReductionSpec` applications.
 
@@ -152,7 +200,10 @@ class FreerideEngine:
     technique:
         shared-memory technique for reduction-object updates.
     executor:
-        ``"serial"`` or ``"threads"``.
+        ``"serial"``, ``"threads"`` or ``"process"``.  The process executor
+        requires full replication and compiled reductions (specs built by
+        :meth:`~repro.compiler.translate.BoundReduction.make_spec`); see
+        ``docs/PERFORMANCE.md`` for how to choose.
     chunk_size:
         if given, the input is cut into fixed-size chunks pulled dynamically;
         otherwise the default splitter produces one block per thread.
@@ -194,7 +245,18 @@ class FreerideEngine:
     ) -> None:
         self.num_threads = check_positive_int(num_threads, "num_threads")
         self.technique = SharedMemTechnique.parse(technique)
-        self.executor = check_one_of(executor, ("serial", "threads"), "executor")
+        self.executor = check_one_of(
+            executor, ("serial", "threads", "process"), "executor"
+        )
+        if (
+            self.executor == "process"
+            and self.technique is not SharedMemTechnique.FULL_REPLICATION
+        ):
+            raise FreerideError(
+                "the process executor supports only the full_replication "
+                "technique: a lock table cannot guard one reduction object "
+                "across address spaces"
+            )
         if chunk_size is not None:
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
@@ -214,11 +276,21 @@ class FreerideEngine:
             raise FreerideError("tracer must be a Tracer, NullTracer or None")
         #: explicit tracer; None falls back to the global tracer per run
         self.tracer = tracer
-        # one persistent worker pool, shared by every run() of this engine
-        self._pool: ThreadPoolExecutor | None = None
+        # Persistent worker pools (threads or processes) plus published
+        # shared-memory segments, shared by every run() of this engine.  The
+        # finalizer releases them even if close() is never called.
+        self._res = _EngineResources()
+        self._finalizer = weakref.finalize(
+            self, _EngineResources.release, self._res
+        )
         self._closed = False
 
     # -- worker-pool lifecycle -------------------------------------------------
+
+    @property
+    def _pool(self) -> ThreadPoolExecutor | None:
+        """The persistent thread pool (``None`` until the first threaded run)."""
+        return self._res.thread_pool
 
     def _get_pool(self) -> ThreadPoolExecutor:
         """The engine's persistent thread pool (created on first use).
@@ -229,18 +301,32 @@ class FreerideEngine:
         """
         if self._closed:
             raise FreerideError("engine is closed; create a new FreerideEngine")
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
+        if self._res.thread_pool is None:
+            self._res.thread_pool = ThreadPoolExecutor(
                 max_workers=self.num_threads, thread_name_prefix="freeride"
             )
-        return self._pool
+        return self._res.thread_pool
+
+    def _get_process_pool(self) -> ProcessPoolExecutor:
+        """The engine's persistent worker-process pool (created on first use).
+
+        Like the thread pool, it lives for the whole computation: workers
+        keep their compiled-kernel and attached-segment caches warm across
+        outer-loop iterations.
+        """
+        if self._closed:
+            raise FreerideError("engine is closed; create a new FreerideEngine")
+        if self._res.process_pool is None:
+            # imported lazily: only process-mode engines pay for it
+            from repro.freeride.procexec import create_process_pool
+
+            self._res.process_pool = create_process_pool(self.num_threads)
+        return self._res.process_pool
 
     def close(self) -> None:
-        """Shut down the persistent worker pool.  Idempotent."""
+        """Release the worker pools and shared-memory segments.  Idempotent."""
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._finalizer()
 
     def __enter__(self) -> "FreerideEngine":
         return self
@@ -423,8 +509,20 @@ class FreerideEngine:
             self.fault_policy is not None or self.fault_injector is not None
         )
         if not fault_tolerant:
-            self._execute_direct(
-                spec, splits, accessors, elems, nsplits, tracer, metrics, node
+            if self.executor == "process":
+                self._execute_process_direct(
+                    spec, splits, accessors, elems, nsplits, tracer, metrics,
+                    node,
+                )
+            else:
+                self._execute_direct(
+                    spec, splits, accessors, elems, nsplits, tracer, metrics,
+                    node,
+                )
+        elif self.executor == "process":
+            self._execute_process_ft(
+                spec, splits, accessors, stats, elems, nsplits,
+                tracer, metrics, node,
             )
         else:
             self._execute_fault_tolerant(
@@ -550,17 +648,7 @@ class FreerideEngine:
         metrics: MetricsRegistry | None,
         node: int,
     ) -> None:
-        if spec.combination is not None:
-            raise FaultToleranceError(
-                "fault tolerance requires the middleware default combination: "
-                "a custom combination_t implies reduction-object state the "
-                "engine cannot merge from a per-split scratch copy"
-            )
-        if len({s.split_id for s in splits}) != len(splits):
-            raise FaultToleranceError(
-                "fault tolerance requires unique split ids (retry and "
-                "commit tracking is keyed by split id)"
-            )
+        self._validate_ft_spec(spec, splits)
         policy = self.fault_policy or FaultPolicy()
         injector = self.fault_injector
         lock = threading.Lock()
@@ -853,3 +941,306 @@ class FreerideEngine:
             stats.split_attempts[split_id] = max(
                 stats.split_attempts.get(split_id, 0), attempt
             )
+
+    @staticmethod
+    def _validate_ft_spec(spec: ReductionSpec, splits: "list[Split]") -> None:
+        if spec.combination is not None:
+            raise FaultToleranceError(
+                "fault tolerance requires the middleware default combination: "
+                "a custom combination_t implies reduction-object state the "
+                "engine cannot merge from a per-split scratch copy"
+            )
+        if len({s.split_id for s in splits}) != len(splits):
+            raise FaultToleranceError(
+                "fault tolerance requires unique split ids (retry and "
+                "commit tracking is keyed by split id)"
+            )
+
+    # -- process-pool execution ----------------------------------------------------
+
+    def _process_payload(
+        self, spec: ReductionSpec, tracer: "Tracer | NullTracer", node: int
+    ) -> dict[str, Any]:
+        """The picklable task base shared by every worker task of one run.
+
+        Publishes the spec's linearized dataset into the engine's
+        shared-memory segment cache (a no-op after the first run over the
+        same buffer) and flattens the :class:`~repro.freeride.spec.KernelSpec`
+        into plain dict fields — workers receive segment *names*, never
+        element data.
+        """
+        kspec = spec.kernel_spec
+        if kspec is None:
+            raise FreerideError(
+                "the process executor requires a compiled reduction: build "
+                "the spec with BoundReduction.make_spec (a hand-written "
+                "ReductionSpec closure cannot be shipped to worker processes)"
+            )
+        name, nbytes = self._res.segments.publish(kspec.data_raw)
+        return {
+            "digest": kspec.digest,
+            "source": kspec.source,
+            "constants": kspec.constants,
+            "opt_level": kspec.opt_level,
+            "backend": kspec.backend,
+            "class_name": kspec.class_name,
+            "data_shm": name,
+            "data_nbytes": nbytes,
+            "dataset_type": kspec.dataset_type,
+            "n_elements": kspec.n_elements,
+            "extras": kspec.extras,
+            "extras_epoch": kspec.extras_epoch,
+            "ro_layout": list(kspec.ro_layout),
+            "trace_epoch": tracer.epoch if tracer.enabled else None,
+            "node": node,
+        }
+
+    def _execute_process_direct(
+        self,
+        spec: ReductionSpec,
+        splits: list[Split],
+        accessors: list[ROAccessor],
+        elems: list[int],
+        nsplits: list[int],
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
+    ) -> None:
+        """Direct path across processes: one block task per worker.
+
+        Splits are assigned statically — worker ``w`` gets ``splits[w::W]``,
+        the exact round-robin the serial executor walks — so the per-replica
+        accumulation order (and therefore every float result, bit for bit)
+        matches serial execution.  Workers accumulate into their replica slot
+        of one shared reduction-object segment; the parent copies each slot
+        into the matching accessor's private copy and lets the ordinary
+        ``mgr.finish`` combination tree take over.
+        """
+        from repro.freeride import procexec
+
+        payload = self._process_payload(spec, tracer, node)
+        descriptors = split_descriptors(splits)
+        ro_layout = payload["ro_layout"]
+        ro_floats = sum(n for n, _ in ro_layout)
+        width = self.num_threads
+        pool = self._get_process_pool()
+        seg = create_shm_segment(width * ro_floats * 8)
+        view: np.ndarray | None = None
+        try:
+            futures = [
+                pool.submit(
+                    procexec.run_block_task,
+                    {
+                        **payload,
+                        "slot": w,
+                        "ro_floats": ro_floats,
+                        "ro_shm": seg.name,
+                        "splits": descriptors[w::width],
+                    },
+                )
+                for w in range(width)
+            ]
+            results = [f.result() for f in futures]
+            view = np.ndarray(
+                (width * ro_floats,), dtype=np.float64, buffer=seg.buf
+            )
+            counters = spec.kernel_spec.counters if spec.kernel_spec else None
+            split_seconds = contention = None
+            if tracer.enabled:
+                assert metrics is not None
+                split_seconds = metrics.histogram("engine.split_seconds")
+                contention = metrics.histogram(
+                    "ro.lock_acquisitions_per_split", DEFAULT_COUNT_BUCKETS
+                )
+            for res in results:
+                w = res["slot"]
+                replica = accessors[w].ro  # type: ignore[attr-defined]
+                replica._buffer[:] = view[w * ro_floats : (w + 1) * ro_floats]
+                replica.update_count = res["update_count"]
+                elems[w] += res["elements"]
+                nsplits[w] += res["nsplits"]
+                if counters is not None:
+                    counters.add(res["counters"])
+                if tracer.enabled:
+                    tracer.ingest(res["records"])
+                    for dur in res["durations"]:
+                        split_seconds.observe(dur)
+                        contention.observe(0)  # replication: lock-free
+        finally:
+            # the view must die before the mapping can be released
+            del view
+            close_shm_segment(seg, unlink=True)
+
+    def _execute_process_ft(
+        self,
+        spec: ReductionSpec,
+        splits: list[Split],
+        accessors: list[ROAccessor],
+        stats: RunStats,
+        elems: list[int],
+        nsplits: list[int],
+        tracer: "Tracer | NullTracer",
+        metrics: MetricsRegistry | None,
+        node: int,
+    ) -> None:
+        """Fault-tolerant path across processes: one task per split attempt.
+
+        The parent drives the same :class:`SplitQueue` lifecycle the thread
+        executor runs inside its workers — claim, straggler steal, retry
+        with backoff, requeue, abandon — but dispatches each attempt as a
+        worker task over ``num_threads`` lanes.  Results are committed
+        through the exactly-once completion gate into the lane's accessor,
+        so speculative duplicates and failed attempts never touch the
+        reduction object; counter deltas from *failed* attempts still reach
+        the ledger, matching thread-mode accounting.
+        """
+        from repro.freeride import procexec
+
+        self._validate_ft_spec(spec, splits)
+        payload = self._process_payload(spec, tracer, node)
+        policy = self.fault_policy or FaultPolicy()
+        lock = threading.Lock()
+        queue = SplitQueue(splits)
+        desc_by_id = {d[0]: d for d in split_descriptors(splits)}
+        ro_layout = payload["ro_layout"]
+        counters = spec.kernel_spec.counters if spec.kernel_spec else None
+        pool = self._get_process_pool()
+        free = list(range(self.num_threads))
+        inflight: dict[Any, tuple[Split, int, bool, int]] = {}
+        split_seconds = (
+            metrics.histogram("engine.split_seconds")
+            if tracer.enabled and metrics is not None
+            else None
+        )
+
+        while True:
+            while free:
+                lane = free[0]
+                speculative = False
+                item = queue.claim()
+                if item is None and policy.straggler_timeout is not None:
+                    item = queue.steal_straggler(policy.straggler_timeout)
+                    speculative = item is not None
+                    if speculative and tracer.enabled:
+                        tracer.event(
+                            "split.steal", cat="fault",
+                            split_id=item[0].split_id, thread_id=lane,
+                            node=node,
+                        )
+                if item is None:
+                    break
+                split, attempt = item
+                if len(split) == 0:
+                    queue.complete(split)
+                    continue
+                free.pop(0)
+                if attempt > 1:
+                    with lock:
+                        stats.retries += 1
+                    backoff = policy.backoff_seconds(attempt - 1)
+                    if backoff:
+                        time.sleep(backoff)
+                self._note_attempt(stats, lock, split.split_id, attempt)
+                fut = pool.submit(
+                    procexec.run_split_task,
+                    {
+                        **payload,
+                        "lane": lane,
+                        "split": desc_by_id[split.split_id],
+                        "attempt": attempt,
+                        "injector": self.fault_injector,
+                        "split_timeout": policy.split_timeout,
+                    },
+                )
+                inflight[fut] = (split, attempt, speculative, lane)
+            if not inflight:
+                if queue.poisoned or not queue.outstanding():
+                    break
+                time.sleep(0.0005)  # a requeue may still be racing in
+                continue
+            done, _ = futures_wait(
+                inflight, timeout=0.05, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                split, attempt, speculative, lane = inflight.pop(fut)
+                free.append(lane)
+                res = fut.result()  # worker-process crashes propagate here
+                if counters is not None:
+                    counters.add(res["counters"])
+                if tracer.enabled:
+                    tracer.ingest(res["records"])
+                    if split_seconds is not None:
+                        split_seconds.observe(res["duration"])
+                outcome = res["outcome"]
+                if outcome == "ok":
+                    if queue.complete(split):
+                        scratch = ReductionObject.from_layout(
+                            ro_layout,
+                            buffer=np.frombuffer(
+                                res["buffer"], dtype=np.float64
+                            ).copy(),
+                            initialize=False,
+                        )
+                        scratch.update_count = res["update_count"]
+                        accessors[lane].merge_from_scratch(scratch)
+                        elems[lane] += len(split)
+                        nsplits[lane] += 1
+                    continue
+                if outcome == "injected":
+                    with lock:
+                        stats.injected_faults += 1
+                elif outcome == "timeout":
+                    with lock:
+                        stats.timeouts += 1
+                if speculative:
+                    continue  # the original attempt is still in flight
+                if attempt < policy.max_attempts:
+                    queue.requeue(split)
+                    if tracer.enabled:
+                        tracer.event(
+                            "split.requeue", cat="fault",
+                            split_id=split.split_id, attempt=attempt,
+                            thread_id=lane, node=node,
+                        )
+                    continue
+                queue.abandon(split)
+                if tracer.enabled:
+                    tracer.event(
+                        "split.abandon", cat="fault",
+                        split_id=split.split_id, attempts=attempt,
+                        thread_id=lane, node=node, error=res["error"],
+                    )
+                if policy.mode == FAIL_FAST:
+                    queue.poison()
+                    raise self._rebuild_worker_error(res)
+                with lock:
+                    stats.failed_splits += 1
+                    stats.failures.append(
+                        SplitFailureRecord(
+                            split_id=split.split_id,
+                            attempts=attempt,
+                            error=res["error"],
+                            elements_lost=len(split),
+                        )
+                    )
+        stats.requeues += queue.requeues
+
+    @staticmethod
+    def _rebuild_worker_error(res: dict[str, Any]) -> BaseException:
+        """The worker's original exception, rebuilt in the parent.
+
+        Fail-fast mode re-raises what the split actually hit (e.g.
+        :class:`InjectedFault`, :class:`SplitTimeout`), exactly like the
+        in-process executors; an unpicklable exception degrades to a
+        :class:`FaultToleranceError` carrying its repr.
+        """
+        if res.get("exception") is not None:
+            try:
+                exc = pickle.loads(res["exception"])
+                if isinstance(exc, BaseException):
+                    return exc
+            except Exception:
+                pass
+        return FaultToleranceError(
+            f"split failed in worker process {res.get('pid')}: {res.get('error')}"
+        )

@@ -21,7 +21,42 @@ from repro.freeride.sharedmem import ROAccessor
 from repro.freeride.splitter import Split
 from repro.util.errors import FreerideError
 
-__all__ = ["ReductionArgs", "ReductionSpec"]
+__all__ = ["ReductionArgs", "ReductionSpec", "KernelSpec"]
+
+
+@dataclass
+class KernelSpec:
+    """A compact, picklable description of a compiled reduction kernel.
+
+    The ``"process"`` executor cannot ship a :class:`ReductionSpec` to
+    worker processes — its callables close over live numpy views and the
+    parent's environment.  Instead, ``BoundReduction.make_spec`` attaches
+    one of these: workers receive only the program (digest + source +
+    constants + version + backend), re-key it into their own process-wide
+    kernel cache (compiled once per worker on first miss), and rebind it
+    against the shared-memory copy of the linearized dataset.
+
+    ``data_raw`` and ``counters`` are *parent-side only* — the raw dataset
+    buffer the engine publishes into shared memory, and the bound kernel's
+    live :class:`~repro.machine.counters.OpCounters` ledger into which the
+    engine folds the per-split counter deltas workers ship back.  Neither
+    is ever pickled; the per-task payloads carry segment descriptors and
+    fresh counter objects instead.
+    """
+
+    digest: str
+    source: Any
+    constants: dict[str, Any]
+    opt_level: int
+    backend: str
+    class_name: str | None
+    ro_layout: tuple[tuple[int, str], ...]
+    n_elements: int
+    dataset_type: Any
+    extras: dict[str, Any]
+    extras_epoch: int
+    data_raw: Any = field(repr=False, default=None)
+    counters: Any = field(repr=False, default=None)
 
 
 @dataclass
@@ -70,6 +105,10 @@ class ReductionSpec:
     ``extras``
         read-only application state visible to the reduction function
         (e.g. the current centroids).  Must not be mutated during a run.
+    ``kernel_spec``
+        present only on specs built by ``BoundReduction.make_spec``: the
+        picklable :class:`KernelSpec` the ``"process"`` executor ships to
+        worker processes instead of the closures above.
     """
 
     name: str
@@ -78,6 +117,7 @@ class ReductionSpec:
     combination: Callable[[list[ReductionObject]], ReductionObject] | None = None
     finalize: Callable[[ReductionObject], Any] | None = None
     extras: dict[str, Any] = field(default_factory=dict)
+    kernel_spec: KernelSpec | None = None
 
     def __post_init__(self) -> None:
         if not callable(self.setup_reduction_object):
@@ -88,6 +128,8 @@ class ReductionSpec:
             raise FreerideError("combination must be callable or None")
         if self.finalize is not None and not callable(self.finalize):
             raise FreerideError("finalize must be callable or None")
+        if self.kernel_spec is not None and not isinstance(self.kernel_spec, KernelSpec):
+            raise FreerideError("kernel_spec must be a KernelSpec or None")
 
     def build_reduction_object(self) -> ReductionObject:
         """Allocate and initialize a fresh reduction object for a run."""

@@ -24,7 +24,13 @@ import numpy as np
 from repro.util.errors import SplitterError
 from repro.util.validation import check_positive_int
 
-__all__ = ["Split", "default_splitter", "chunked_splitter", "SplitQueue"]
+__all__ = [
+    "Split",
+    "default_splitter",
+    "chunked_splitter",
+    "split_descriptors",
+    "SplitQueue",
+]
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,28 @@ def chunked_splitter(data: Any, chunk_size: int) -> list[Split]:
         splits = [Split(0, 0, 0, _slice(data, 0, 0))]
     _check_partition(splits, n)
     return splits
+
+
+def split_descriptors(splits: Sequence[Split]) -> list[tuple[int, int, int]]:
+    """Compact picklable ``(split_id, start, stop)`` descriptors.
+
+    The process executor ships these instead of :class:`Split` objects —
+    workers index the shared-memory dataset directly, so a few integers per
+    split are the entire dispatch payload.  Requires unit-step index-range
+    split data, which is what compiled reductions run over (their engine
+    data is the element index range).
+    """
+    out: list[tuple[int, int, int]] = []
+    for s in splits:
+        d = s.data
+        if not isinstance(d, range) or d.step != 1:
+            raise SplitterError(
+                "process dispatch requires splits over a unit-step element "
+                "index range (compiled reductions); got split data of type "
+                f"{type(d).__name__}"
+            )
+        out.append((s.split_id, d.start, d.stop))
+    return out
 
 
 def _check_partition(splits: Sequence[Split], n: int) -> None:

@@ -34,7 +34,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 __all__ = [
     "Event",
@@ -182,6 +182,9 @@ class NullTracer:
     def event(self, name: str, cat: str = "", **args: Any) -> None:
         return None
 
+    def ingest(self, records: "Iterable[Span | Event]") -> int:
+        return 0
+
     def records(self) -> list[Span | Event]:
         return []
 
@@ -258,6 +261,33 @@ class Tracer:
                 self.dropped += 1
                 return
             self._records.append(rec)
+
+    def ingest(self, records: "Iterable[Span | Event]") -> int:
+        """Append pre-built records; returns how many were stored.
+
+        Process-mode workers build their :class:`Span`/:class:`Event`
+        records locally (timestamps relative to this tracer's epoch —
+        ``perf_counter`` shares its clock across processes on the platforms
+        the process executor supports, ``tid`` set to the worker pid) and
+        ship them back with each result; the engine merges them here so one
+        trace covers the whole process tree.  Respects ``max_records``.
+        """
+        n = 0
+        with self._lock:
+            for rec in records:
+                if not isinstance(rec, (Span, Event)):
+                    raise TypeError(
+                        f"can only ingest Span or Event records, got {type(rec)!r}"
+                    )
+                if (
+                    self.max_records is not None
+                    and len(self._records) >= self.max_records
+                ):
+                    self.dropped += 1
+                    continue
+                self._records.append(rec)
+                n += 1
+        return n
 
     # -- inspection ----------------------------------------------------------
 

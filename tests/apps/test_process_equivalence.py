@@ -1,0 +1,169 @@
+"""serial == threads == process across all five apps and compiled versions.
+
+The process executor must produce the same ReductionResult as the
+in-process executors for every application, version and — where faults are
+injected — recovery path.  Inputs are integer-valued (and PCA's column
+count a power of two) so compiled accumulations are exact and comparisons
+can be strict equality; EM's responsibilities involve ``exp``/``log``, so
+it compares to tight tolerance instead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.apriori import AprioriRunner, generate_transactions
+from repro.apps.em import EmRunner
+from repro.apps.histogram import HistogramRunner
+from repro.apps.kmeans import KmeansRunner
+from repro.apps.pca import PcaRunner
+from repro.freeride.faults import FaultInjector, FaultPolicy
+
+EXECUTORS = ("serial", "threads", "process")
+VERSIONS = ("generated", "opt-1", "opt-2")
+
+rng = np.random.default_rng(42)
+KM_POINTS = rng.integers(-40, 40, size=(240, 3)).astype(np.float64)
+KM_INIT = KM_POINTS[:4].copy()
+PCA_MATRIX = rng.integers(-9, 9, size=(5, 64)).astype(np.float64)  # n = 2**6
+EM_POINTS = np.vstack(
+    [
+        rng.normal(-4.0, 1.0, size=(80, 2)),
+        rng.normal(4.0, 1.0, size=(80, 2)),
+    ]
+)
+BASKETS = generate_transactions(120, 10, seed=3)
+HIST_DATA = (np.arange(500, dtype=np.float64) * 7) % 64
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+class TestAllAppsAllExecutors:
+    def run_each(self, make_runner, run):
+        out = {}
+        for executor in EXECUTORS:
+            runner = make_runner(executor)
+            try:
+                out[executor] = run(runner)
+            finally:
+                runner.close()
+        return out
+
+    def test_kmeans(self, version):
+        out = self.run_each(
+            lambda ex: KmeansRunner(
+                k=4, dim=3, version=version, num_threads=2, executor=ex
+            ),
+            lambda r: r.run(KM_POINTS, KM_INIT, iterations=2),
+        )
+        for executor in ("threads", "process"):
+            assert np.array_equal(
+                out["serial"].centroids, out[executor].centroids
+            ), executor
+            assert np.array_equal(out["serial"].counts, out[executor].counts)
+            assert (
+                out["serial"].counters.as_dict()
+                == out[executor].counters.as_dict()
+            )
+
+    def test_pca(self, version):
+        out = self.run_each(
+            lambda ex: PcaRunner(
+                m=5, version=version, num_threads=2, executor=ex
+            ),
+            lambda r: r.run(PCA_MATRIX),
+        )
+        for executor in ("threads", "process"):
+            assert np.array_equal(out["serial"].mean, out[executor].mean)
+            assert np.array_equal(
+                out["serial"].covariance, out[executor].covariance
+            )
+
+    def test_em(self, version):
+        out = self.run_each(
+            lambda ex: EmRunner(
+                k=2, dim=2, version=version, num_threads=2, executor=ex
+            ),
+            lambda r: r.run(EM_POINTS, iterations=2, seed=0),
+        )
+        for executor in ("threads", "process"):
+            for field in ("weights", "means", "variances"):
+                np.testing.assert_allclose(
+                    getattr(out["serial"], field),
+                    getattr(out[executor], field),
+                    rtol=1e-12,
+                    err_msg=f"{executor}:{field}",
+                )
+
+    def test_apriori(self, version):
+        out = self.run_each(
+            lambda ex: AprioriRunner(
+                num_items=10, min_support_frac=0.3, max_size=3,
+                version=version, num_threads=2, executor=ex,
+            ),
+            lambda r: r.run(BASKETS),
+        )
+        for executor in ("threads", "process"):
+            assert out["serial"].frequent == out[executor].frequent
+
+    def test_histogram(self, version):
+        out = self.run_each(
+            lambda ex: HistogramRunner(
+                bins=16, lo=0.0, hi=64.0, version=version,
+                num_threads=2, executor=ex,
+            ),
+            lambda r: r.run(HIST_DATA),
+        )
+        for executor in ("threads", "process"):
+            assert np.array_equal(out["serial"].counts, out[executor].counts)
+            assert np.array_equal(out["serial"].sums, out[executor].sums)
+
+
+class TestEquivalenceUnderFaults:
+    """Recovery must also be executor-independent (same injected faults)."""
+
+    def run_with_faults(self, executor):
+        runner = HistogramRunner(
+            bins=16, lo=0.0, hi=64.0, version="opt-2",
+            num_threads=2, executor=executor, chunk_size=60,
+        )
+        runner.engine.fault_injector = FaultInjector(
+            seed=5, fail_rate=0.5, fail_attempts=1
+        )
+        runner.engine.fault_policy = FaultPolicy(max_retries=2, backoff_base=0.0)
+        try:
+            return runner.run(HIST_DATA)
+        finally:
+            runner.close()
+
+    def test_histogram_recovery_matches(self):
+        results = {ex: self.run_with_faults(ex) for ex in EXECUTORS}
+        for executor in ("threads", "process"):
+            assert np.array_equal(
+                results["serial"].counts, results[executor].counts
+            )
+            assert np.array_equal(
+                results["serial"].sums, results[executor].sums
+            )
+
+    def test_kmeans_recovery_matches(self):
+        out = {}
+        for executor in EXECUTORS:
+            runner = KmeansRunner(
+                k=4, dim=3, version="opt-2", num_threads=2,
+                executor=executor, chunk_size=60,
+            )
+            runner.engine.fault_injector = FaultInjector(
+                seed=1, fail_rate=0.5, fail_attempts=1
+            )
+            runner.engine.fault_policy = FaultPolicy(
+                max_retries=2, backoff_base=0.0
+            )
+            try:
+                out[executor] = runner.run(KM_POINTS, KM_INIT, iterations=2)
+            finally:
+                runner.close()
+        for executor in ("threads", "process"):
+            assert np.array_equal(
+                out["serial"].centroids, out[executor].centroids
+            )
+            stats = out[executor].per_iteration_stats[0]
+            assert stats.injected_faults > 0  # faults actually fired

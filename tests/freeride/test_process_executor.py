@@ -1,0 +1,230 @@
+"""The ``"process"`` executor: equivalence, stats parity, faults, cleanup.
+
+Integer-valued float64 data keeps every accumulation exact, so combined
+reduction objects must be bitwise identical across serial, thread and
+process execution regardless of how splits land on workers.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import HISTOGRAM_CHAPEL_SOURCE
+from repro.compiler.cache import compile_cached
+from repro.freeride.faults import (
+    FAIL_FAST,
+    SKIP_AND_REPORT,
+    FaultInjector,
+    FaultPolicy,
+    InjectedFault,
+)
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.sharedmem import attach_shm_segment
+from repro.freeride.spec import ReductionSpec
+from repro.obs.tracer import Tracer, tracing
+from repro.util.errors import FreerideError
+
+BINS = 8
+DATA = np.arange(331, dtype=np.float64) % 97  # integer-valued, uneven splits
+LO, HI = 0.0, 97.0
+WIDTH = (HI - LO) / BINS
+LAYOUT = [(2, "add")] * BINS
+
+
+def make_bound():
+    compiled = compile_cached(
+        HISTOGRAM_CHAPEL_SOURCE,
+        {"bins": BINS, "lo": LO, "width": WIDTH},
+        opt_level=2,
+    )
+    return compiled.bind(DATA)
+
+
+def run_once(executor, threads=2, **engine_kwargs):
+    bound = make_bound()
+    spec, idx = bound.make_spec(LAYOUT)
+    engine = FreerideEngine(num_threads=threads, executor=executor, **engine_kwargs)
+    try:
+        result = engine.run(spec, idx)
+    finally:
+        engine.close()
+    return result, bound
+
+
+class TestProcessDirect:
+    def test_matches_serial_bitwise(self):
+        serial, _ = run_once("serial")
+        proc, _ = run_once("process")
+        assert np.array_equal(serial.ro.snapshot(), proc.ro.snapshot())
+
+    def test_matches_threads_bitwise(self):
+        threaded, _ = run_once("threads", chunk_size=40)
+        proc, _ = run_once("process", chunk_size=40)
+        assert np.array_equal(threaded.ro.snapshot(), proc.ro.snapshot())
+
+    def test_runstats_parity(self):
+        serial, _ = run_once("serial")
+        proc, _ = run_once("process")
+        s, p = serial.stats, proc.stats
+        assert p.executor == "process"
+        assert p.total_elements == s.total_elements
+        assert p.elements_per_thread == s.elements_per_thread
+        assert p.splits_per_thread == s.splits_per_thread
+        assert p.ro_updates == s.ro_updates
+        assert p.sharedmem.private_copies == s.sharedmem.private_copies
+
+    def test_op_counters_parity(self):
+        _, serial_bound = run_once("serial")
+        _, proc_bound = run_once("process")
+        assert serial_bound.counters.as_dict() == proc_bound.counters.as_dict()
+
+    def test_multi_node_process(self):
+        serial, _ = run_once("serial", threads=2)
+        proc, _ = run_once("process", threads=2, num_nodes=2)
+        assert np.array_equal(serial.ro.snapshot(), proc.ro.snapshot())
+
+
+class TestProcessValidation:
+    def test_locking_technique_rejected(self):
+        with pytest.raises(FreerideError, match="full_replication"):
+            FreerideEngine(executor="process", technique="full_locking")
+
+    def test_manual_spec_rejected(self):
+        spec = ReductionSpec(
+            name="manual",
+            setup_reduction_object=lambda ro: ro.alloc(1, "add"),
+            reduction=lambda args: None,
+        )
+        engine = FreerideEngine(executor="process")
+        try:
+            with pytest.raises(FreerideError, match="compiled reduction"):
+                engine.run(spec, np.arange(10.0))
+        finally:
+            engine.close()
+
+
+class TestSegmentLifecycle:
+    def test_dataset_published_once_across_runs(self):
+        bound = make_bound()
+        engine = FreerideEngine(num_threads=2, executor="process")
+        try:
+            for _ in range(3):
+                spec, idx = bound.make_spec(LAYOUT)
+                engine.run(spec, idx)
+            assert len(engine._res.segments) == 1
+        finally:
+            engine.close()
+
+    def test_no_shm_leak_after_close(self):
+        bound = make_bound()
+        engine = FreerideEngine(num_threads=2, executor="process")
+        spec, idx = bound.make_spec(LAYOUT)
+        engine.run(spec, idx)
+        names = engine._res.segments.names()
+        assert names
+        engine.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                attach_shm_segment(name)
+
+    def test_close_idempotent_and_blocks_reuse(self):
+        engine = FreerideEngine(executor="process")
+        engine.close()
+        engine.close()
+        bound = make_bound()
+        spec, idx = bound.make_spec(LAYOUT)
+        with pytest.raises(FreerideError, match="closed"):
+            engine.run(spec, idx)
+
+
+class TestProcessFaultTolerance:
+    def run_ft(self, executor, mode=SKIP_AND_REPORT, fail_attempts=1, retries=2):
+        bound = make_bound()
+        spec, idx = bound.make_spec(LAYOUT)
+        engine = FreerideEngine(
+            num_threads=2,
+            executor=executor,
+            chunk_size=40,
+            fault_policy=FaultPolicy(
+                max_retries=retries, backoff_base=0.0, mode=mode
+            ),
+            fault_injector=FaultInjector(
+                seed=11, fail_rate=0.4, fail_attempts=fail_attempts
+            ),
+        )
+        try:
+            result = engine.run(spec, idx)
+        finally:
+            engine.close()
+        return result, bound
+
+    def test_recovers_and_matches_serial(self):
+        serial, _ = self.run_ft("serial")
+        proc, _ = self.run_ft("process")
+        assert np.array_equal(serial.ro.snapshot(), proc.ro.snapshot())
+        assert proc.stats.failed_splits == 0
+        assert proc.stats.injected_faults == serial.stats.injected_faults
+        assert proc.stats.retries == serial.stats.retries
+        assert proc.stats.split_attempts == serial.stats.split_attempts
+
+    def test_queue_accounting_matches_threads(self):
+        threaded, threaded_bound = self.run_ft("threads")
+        proc, proc_bound = self.run_ft("process")
+        assert np.array_equal(threaded.ro.snapshot(), proc.ro.snapshot())
+        assert proc.stats.requeues == threaded.stats.requeues
+        assert proc.stats.injected_faults == threaded.stats.injected_faults
+        # failed-attempt kernel work still reaches the ledger in both modes
+        assert (
+            proc_bound.counters.as_dict() == threaded_bound.counters.as_dict()
+        )
+
+    def test_fail_fast_raises_original_exception(self):
+        with pytest.raises(InjectedFault):
+            self.run_ft("process", mode=FAIL_FAST, fail_attempts=99, retries=0)
+
+    def test_skip_and_report_records_failures(self):
+        proc, _ = self.run_ft("process", fail_attempts=99, retries=1)
+        assert proc.stats.failed_splits > 0
+        assert len(proc.stats.failures) == proc.stats.failed_splits
+        for rec in proc.stats.failures:
+            assert rec.elements_lost > 0
+            assert "InjectedFault" in rec.error
+
+
+class TestProcessTracing:
+    def test_worker_spans_merged_into_parent_trace(self):
+        bound = make_bound()
+        spec, idx = bound.make_spec(LAYOUT)
+        tracer = Tracer()
+        engine = FreerideEngine(num_threads=2, executor="process")
+        try:
+            with tracing(tracer):
+                result = engine.run(spec, idx)
+        finally:
+            engine.close()
+        split_spans = [s for s in tracer.spans() if s.name == "split"]
+        assert split_spans
+        worker_pids = {s.args["worker_pid"] for s in split_spans}
+        assert worker_pids and os.getpid() not in worker_pids
+        for s in split_spans:
+            assert s.tid == s.args["worker_pid"]
+            assert s.args["outcome"] == "ok"
+            assert 0 <= s.ts <= s.ts + s.dur
+        hists = result.stats.metrics["histograms"]
+        assert hists["engine.split_seconds"]["count"] == len(split_spans)
+
+
+class TestSpawnStartMethod:
+    def test_spawn_workers_match_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        serial, _ = run_once("serial")
+        proc, _ = run_once("process")
+        assert np.array_equal(serial.ro.snapshot(), proc.ro.snapshot())
+
+    def test_unknown_start_method_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "warp")
+        from repro.freeride.procexec import pick_start_method
+
+        with pytest.raises(ValueError, match="REPRO_MP_START_METHOD"):
+            pick_start_method()

@@ -1,0 +1,155 @@
+"""SplitQueue lifecycle invariants under real multi-worker contention.
+
+The fault-tolerant executors (threads in-process, the process executor's
+parent dispatch loop) rely on three guarantees the earlier single-threaded
+tests never stressed: ``claim``/``requeue`` hand each split to exactly one
+worker at a time, ``complete`` commits exactly once per split however many
+speculative duplicates race it, and ``steal_straggler`` never resurrects a
+finished split.
+"""
+
+import threading
+import time
+from collections import Counter
+
+import numpy as np
+
+from repro.freeride.splitter import SplitQueue, default_splitter
+
+DATA = np.arange(400.0)
+
+
+def make_queue(num_splits=40):
+    splits = default_splitter(DATA, num_splits)
+    return SplitQueue(splits), splits
+
+
+class TestClaimRequeueContention:
+    def test_every_split_commits_exactly_once(self):
+        """8 workers, every attempt of every split fails once then succeeds."""
+        queue, splits = make_queue()
+        commits = Counter()
+        attempts_seen = Counter()
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                item = queue.claim()
+                if item is None:
+                    if not queue.outstanding():
+                        return
+                    time.sleep(0.0002)
+                    continue
+                split, attempt = item
+                with lock:
+                    attempts_seen[split.split_id] += 1
+                if attempt == 1:
+                    queue.requeue(split)
+                    continue
+                if queue.complete(split):
+                    with lock:
+                        commits[split.split_id] += 1
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+
+        ids = {s.split_id for s in splits}
+        assert set(commits) == ids
+        assert all(c == 1 for c in commits.values())
+        # one failed and one successful attempt per split
+        assert all(attempts_seen[i] == 2 for i in ids)
+        assert queue.requeues == len(ids)
+        assert all(queue.attempts(i) == 2 for i in ids)
+        assert not queue.outstanding()
+
+    def test_concurrent_claims_never_alias(self):
+        """No two workers may hold the same split simultaneously."""
+        queue, _ = make_queue()
+        holding: set[int] = set()
+        overlaps: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            while True:
+                item = queue.claim()
+                if item is None:
+                    if not queue.outstanding():
+                        return
+                    time.sleep(0.0002)
+                    continue
+                split, attempt = item
+                with lock:
+                    if split.split_id in holding:
+                        overlaps.append(split.split_id)
+                    holding.add(split.split_id)
+                time.sleep(0.0005)  # widen the overlap window
+                with lock:
+                    holding.discard(split.split_id)
+                if attempt < 3:
+                    queue.requeue(split)
+                else:
+                    queue.complete(split)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        assert overlaps == []
+
+
+class TestStragglerSteal:
+    def test_speculative_duplicates_commit_once(self):
+        """Everyone steals the same straggler; exactly one commit wins."""
+        queue, splits = make_queue(4)
+        claimed = [queue.claim() for _ in range(4)]
+        assert all(c is not None for c in claimed)
+        time.sleep(0.02)
+
+        wins = Counter()
+        lock = threading.Lock()
+
+        def thief():
+            item = queue.steal_straggler(0.0)
+            if item is None:
+                return
+            split, _ = item
+            if queue.complete(split):
+                with lock:
+                    wins[split.split_id] += 1
+
+        threads = [threading.Thread(target=thief) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        # thieves may steal different stragglers, but each split commits once
+        assert all(c == 1 for c in wins.values())
+        # the original workers' completions of stolen splits are rejected
+        for split, _ in claimed:
+            if split.split_id in wins:
+                assert queue.complete(split) is False
+
+    def test_steal_resets_inflight_clock(self):
+        queue, _ = make_queue(2)
+        queue.claim()
+        time.sleep(0.02)
+        first = queue.steal_straggler(0.01)
+        assert first is not None
+        # immediately after a steal the straggler is young again
+        assert queue.steal_straggler(0.01) is None
+
+    def test_finished_splits_are_never_stolen(self):
+        queue, _ = make_queue(3)
+        done = []
+        while (item := queue.claim()) is not None:
+            queue.complete(item[0])
+            done.append(item[0].split_id)
+        assert len(done) == 3
+        time.sleep(0.02)
+        assert queue.steal_straggler(0.0) is None
