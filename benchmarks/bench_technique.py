@@ -1,0 +1,293 @@
+#!/usr/bin/env python
+"""Shared-memory technique comparison across all five paper apps.
+
+Runs every app under ``full_replication``, ``cache_sensitive_locking``,
+``colored`` (conflict-free wave scheduling) and ``auto`` (adaptive
+selection) on the thread executor, against a serial full-replication
+baseline on identical data.  Beyond wall time, each cell records the
+technique the engine *actually* ran (``technique_effective``), its lock
+traffic and reduction-object footprint, and — for auto — the recorded
+decision.  Writes ``benchmarks/results/BENCH_technique.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_technique.py           # full
+    PYTHONPATH=src python benchmarks/bench_technique.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_technique.py --quick --check
+
+``--check`` exits non-zero if any cell diverges from its serial
+baseline, if a colored cell took a lock or paid replication's memory
+bill, or if an auto cell failed to record its decision.  No timing gate:
+technique overheads are machine-modeled, wall clocks here are
+informational.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.apriori import AprioriRunner, generate_transactions
+from repro.apps.em import EmRunner
+from repro.apps.histogram import HistogramRunner
+from repro.apps.kmeans import KmeansRunner
+from repro.apps.pca import PcaRunner
+from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
+from repro.freeride.sharedmem import SharedMemTechnique
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_technique.json"
+SCHEMA_VERSION = 1
+
+TECHNIQUES = ("full_replication", "cache_sensitive_locking", "colored", "auto")
+
+
+# --------------------------------------------------------------------- apps
+# Each app entry: a factory(quick) returning (n_elements, run) where
+# run(technique, executor, workers) -> (results dict, RunStats, wall).
+# Data is generated once per app so every cell sees identical inputs.
+
+
+def _app_kmeans(quick: bool):
+    n = 4_000 if quick else 60_000
+    k, dim, iters = 8, 4, 2
+    points = kmeans_points(n, dim, k, seed=7)
+    cents = initial_centroids(points, k, seed=3)
+
+    def run(technique: str, executor: str, workers: int):
+        with KmeansRunner(
+            k, dim, version="opt-2", num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(points, cents, iterations=iters)
+            wall = time.perf_counter() - t0
+        outs = {"centroids": res.centroids, "counts": res.counts}
+        return outs, res.per_iteration_stats[-1], wall
+
+    return n, run
+
+
+def _app_pca(quick: bool):
+    m = 6
+    n = 10_000 if quick else 40_000
+    matrix = pca_matrix(m, n, seed=5)
+
+    def run(technique: str, executor: str, workers: int):
+        with PcaRunner(
+            m, version="opt-2", num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(matrix)
+            wall = time.perf_counter() - t0
+        return {"mean": res.mean, "covariance": res.covariance}, res.cov_stats, wall
+
+    return m * n, run
+
+
+def _app_em(quick: bool):
+    n = 600 if quick else 8_000
+    rng = np.random.default_rng(11)
+    points = np.vstack(
+        [
+            rng.normal(-4.0, 1.0, size=(n // 2, 2)),
+            rng.normal(4.0, 1.0, size=(n - n // 2, 2)),
+        ]
+    )
+
+    def run(technique: str, executor: str, workers: int):
+        with EmRunner(
+            k=2, dim=2, version="opt-2", num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(points, iterations=2, seed=0)
+            wall = time.perf_counter() - t0
+            stats = runner.last_run_stats
+        outs = {"weights": res.weights, "means": res.means,
+                "variances": res.variances}
+        return outs, stats, wall
+
+    return n, run
+
+
+def _app_apriori(quick: bool):
+    n = 400 if quick else 5_000
+    baskets = generate_transactions(n, 12, seed=3)
+
+    def run(technique: str, executor: str, workers: int):
+        with AprioriRunner(
+            num_items=12, min_support_frac=0.25, max_size=3,
+            version="opt-2", num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(baskets)
+            wall = time.perf_counter() - t0
+            stats = runner.last_run_stats
+        return {"frequent": res.frequent}, stats, wall
+
+    return n, run
+
+
+def _app_histogram(quick: bool):
+    n = 20_000 if quick else 400_000
+    data = (np.arange(n, dtype=np.float64) * 7919) % 256
+
+    def run(technique: str, executor: str, workers: int):
+        with HistogramRunner(
+            bins=64, lo=0.0, hi=256.0, num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(data)
+            wall = time.perf_counter() - t0
+            stats = runner.last_run_stats
+        return {"counts": res.counts, "sums": res.sums}, stats, wall
+
+    return n, run
+
+
+APPS = {
+    "kmeans": _app_kmeans,
+    "pca": _app_pca,
+    "em": _app_em,
+    "apriori": _app_apriori,
+    "histogram": _app_histogram,
+}
+
+
+def _equivalent(baseline: dict, cell: dict) -> bool:
+    if baseline.keys() != cell.keys():
+        return False
+    for key, sval in baseline.items():
+        cval = cell[key]
+        if isinstance(sval, dict):
+            if sval != cval:
+                return False
+        elif np.asarray(sval).dtype.kind in "iu":
+            if not np.array_equal(sval, cval):
+                return False
+        elif not np.allclose(sval, cval, rtol=1e-9, atol=1e-9):
+            return False
+    return True
+
+
+def _check_cell(tag: str, technique: str, stats, failures: list[str]) -> None:
+    """Technique-specific invariants the CI gate enforces per cell."""
+    sm = stats.sharedmem
+    if technique == "colored":
+        if stats.technique_effective is not SharedMemTechnique.COLORED:
+            failures.append(
+                f"{tag}: fell back to {stats.technique_effective.value} "
+                f"({(stats.technique_decision or {}).get('reason', 'no reason')})"
+            )
+            return
+        if sm.lock_acquisitions or sm.num_locks:
+            failures.append(f"{tag}: colored run took locks")
+        if sm.ro_memory_bytes != stats.ro_size * 8:
+            failures.append(f"{tag}: colored run replicated the RO")
+    elif technique == "auto":
+        d = stats.technique_decision
+        if d is None or not d.get("reason"):
+            failures.append(f"{tag}: auto decision not recorded")
+        elif d["chosen"] != stats.technique_effective.value:
+            failures.append(f"{tag}: decision/effective mismatch")
+
+
+def _print_table(records: list[dict]) -> None:
+    print(f"\n{'app':10s} {'technique':24s} {'wall':>9s} {'locks':>9s} "
+          f"{'ro bytes':>10s}  effective")
+    for r in records:
+        print(
+            f"{r['app']:10s} {r['technique']:24s} {r['wall_seconds']:8.3f}s "
+            f"{r['lock_acquisitions']:9d} {r['ro_memory_bytes']:10d}  "
+            f"{r['technique_effective']}"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true", help="smoke-test sizes (CI)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on divergence or a broken technique invariant",
+    )
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument(
+        "--apps", nargs="+", default=sorted(APPS), choices=sorted(APPS)
+    )
+    ap.add_argument(
+        "--techniques", nargs="+", default=list(TECHNIQUES),
+        choices=list(TECHNIQUES),
+    )
+    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    args = ap.parse_args(argv)
+
+    records = []
+    failures: list[str] = []
+    for app_name in sorted(args.apps):
+        n_elements, run = APPS[app_name](args.quick)
+        baseline, _, serial_wall = run("full_replication", "serial", 1)
+        print(f"{app_name:10s} serial baseline {serial_wall:8.3f}s")
+        for technique in args.techniques:
+            tag = f"{app_name}/{technique}"
+            result, stats, wall = run(technique, "threads", args.workers)
+            equivalent = _equivalent(baseline, result)
+            if not equivalent:
+                failures.append(f"{tag}: diverges from serial baseline")
+            if args.check:
+                _check_cell(tag, technique, stats, failures)
+            sm = stats.sharedmem
+            records.append(
+                {
+                    "app": app_name,
+                    "technique": technique,
+                    "technique_effective": stats.technique_effective.value,
+                    "workers": args.workers,
+                    "n_elements": n_elements,
+                    "wall_seconds": wall,
+                    "serial_wall_seconds": serial_wall,
+                    "equivalent": equivalent,
+                    "num_locks": sm.num_locks,
+                    "lock_acquisitions": sm.lock_acquisitions,
+                    "ro_memory_bytes": sm.ro_memory_bytes,
+                    "coloring": stats.coloring,
+                    "decision": stats.technique_decision,
+                }
+            )
+            print(
+                f"{tag:36s} {wall:8.3f}s  locks {sm.lock_acquisitions:8d}  "
+                f"{'ok' if equivalent else 'DIVERGED'}"
+            )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "techniques": list(args.techniques),
+        "results": records,
+    }
+    args.json.parent.mkdir(parents=True, exist_ok=True)
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    _print_table(records)
+    print(f"\nwrote {args.json} ({len(records)} cells)")
+
+    if failures:
+        print("\nFAILURES:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -109,10 +109,11 @@ class AprioriRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
     ) -> None:
-        from repro.compiler.translate import BACKENDS
+        from repro.compiler.translate import BACKENDS, kernel_technique
 
         check_positive_int(num_items, "num_items")
         check_in_range(min_support_frac, 0.0, 1.0, "min_support_frac")
@@ -124,8 +125,12 @@ class AprioriRunner:
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
-            tracer=tracer,
+            technique=technique, tracer=tracer,
         )
+        #: kernel variant every counting pass compiles with
+        self.kernel_technique = kernel_technique(technique)
+        #: RunStats of the most recent counting pass (None before the first)
+        self.last_run_stats = None
 
     # -- candidate generation (classic apriori join + prune) -------------------
 
@@ -188,6 +193,7 @@ class AprioriRunner:
             name="apriori-manual", setup_reduction_object=setup, reduction=reduction
         )
         result = self.engine.run(spec, transactions)
+        self.last_run_stats = result.stats
         return result.ro.get_group(0)
 
     def _count_compiled(
@@ -212,6 +218,7 @@ class AprioriRunner:
             },
             opt_level=level,
             backend=self.backend,
+            technique=self.kernel_technique,
         )
         cand_t = ArrayType(Domain(num_cand), array_of(INT, set_size))
         # candidates hold 1-based item indices in the Chapel view
@@ -224,6 +231,7 @@ class AprioriRunner:
         )
         spec, idx = bound.make_spec([(num_cand, "add")])
         result = self.engine.run(spec, idx)
+        self.last_run_stats = result.stats
         counters.add(bound.counters)
         return result.ro.get_group(0)
 

@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.compiler.cache import compile_cached
-from repro.compiler.translate import BACKENDS
+from repro.compiler.translate import BACKENDS, kernel_technique
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -117,6 +117,7 @@ class EmRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
     ) -> None:
@@ -127,8 +128,10 @@ class EmRunner:
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
-            tracer=tracer,
+            technique=technique, tracer=tracer,
         )
+        #: RunStats of the most recent engine pass (None before the first)
+        self.last_run_stats = None
         self.compiled = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
@@ -137,6 +140,7 @@ class EmRunner:
                 {"k": k, "dim": dim},
                 opt_level=level,
                 backend=backend,
+                technique=kernel_technique(technique),
             )
 
     def ro_layout(self) -> list[tuple[int, str]]:
@@ -155,7 +159,9 @@ class EmRunner:
         v_val = from_python(m_t, [list(map(float, row)) for row in variances])
         bound.update_extras({"weights": w_val, "means": m_val, "variances": v_val})
         spec, idx = bound.make_spec(self.ro_layout())
-        return self.engine.run(spec, idx).ro
+        result = self.engine.run(spec, idx)
+        self.last_run_stats = result.stats
+        return result.ro
 
     def _pass_manual(self, points, weights, means, variances, counters):
         k, dim = self.k, self.dim
@@ -185,7 +191,9 @@ class EmRunner:
         spec = ReductionSpec(
             name="em-manual", setup_reduction_object=setup, reduction=reduction
         )
-        return self.engine.run(spec, points).ro
+        result = self.engine.run(spec, points)
+        self.last_run_stats = result.stats
+        return result.ro
 
     def close(self) -> None:
         """Release the engine's worker pools and shared-memory segments."""

@@ -20,7 +20,7 @@ from typing import Any
 import numpy as np
 
 from repro.compiler.cache import compile_cached
-from repro.compiler.translate import BACKENDS
+from repro.compiler.translate import BACKENDS, kernel_technique
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -81,6 +81,7 @@ class HistogramRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
     ) -> None:
@@ -93,8 +94,10 @@ class HistogramRunner:
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
-            tracer=tracer,
+            technique=technique, tracer=tracer,
         )
+        #: RunStats of the most recent engine run (None before the first)
+        self.last_run_stats = None
         self.compiled = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
@@ -103,6 +106,7 @@ class HistogramRunner:
                 {"bins": bins, "lo": self.lo, "width": self.width},
                 opt_level=level,
                 backend=backend,
+                technique=kernel_technique(technique),
             )
 
     def ro_layout(self) -> list[tuple[int, str]]:
@@ -125,6 +129,7 @@ class HistogramRunner:
         bound = self.compiled.bind(data)
         spec, idx = bound.make_spec(self.ro_layout())
         result = self.engine.run(spec, idx)
+        self.last_run_stats = result.stats
         return self._collect(result.ro, self.version, bound.counters)
 
     def _run_manual(self, data: np.ndarray) -> HistogramResult:
@@ -154,6 +159,7 @@ class HistogramRunner:
             name="histogram-manual", setup_reduction_object=setup, reduction=reduction
         )
         result = self.engine.run(spec, data)
+        self.last_run_stats = result.stats
         return self._collect(result.ro, "manual", counters)
 
     def _collect(

@@ -30,7 +30,12 @@ from repro.chapel.domains import Domain
 from repro.chapel.types import REAL, ArrayType, array_of, record
 from repro.chapel.values import ChapelArray, from_python
 from repro.compiler.cache import compile_cached
-from repro.compiler.translate import BACKENDS, BoundReduction, CompiledReduction
+from repro.compiler.translate import (
+    BACKENDS,
+    BoundReduction,
+    CompiledReduction,
+    kernel_technique,
+)
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -254,6 +259,7 @@ class KmeansRunner:
                 {"k": k, "dim": dim},
                 opt_level=opt_level,
                 backend=backend,
+                technique=kernel_technique(technique),
             )
 
     def close(self) -> None:

@@ -33,7 +33,7 @@ from typing import Any
 import numpy as np
 
 from repro.compiler.cache import compile_cached
-from repro.compiler.translate import BACKENDS, CompiledReduction
+from repro.compiler.translate import BACKENDS, CompiledReduction, kernel_technique
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
@@ -203,6 +203,7 @@ class PcaRunner:
         num_threads: int = 1,
         executor: str = "serial",
         chunk_size: int | None = None,
+        technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
     ) -> None:
@@ -212,17 +213,20 @@ class PcaRunner:
         self.backend = check_one_of(backend, BACKENDS, "backend")
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
-            tracer=tracer,
+            technique=technique, tracer=tracer,
         )
         self.mean_compiled: CompiledReduction | None = None
         self.cov_compiled: CompiledReduction | None = None
         if version != "manual":
             level = {"generated": 0, "opt-1": 1, "opt-2": 2}[version]
+            kt = kernel_technique(technique)
             self.mean_compiled = compile_cached(
-                PCA_MEAN_SOURCE, {"m": m}, opt_level=level, backend=backend
+                PCA_MEAN_SOURCE, {"m": m}, opt_level=level, backend=backend,
+                technique=kt,
             )
             self.cov_compiled = compile_cached(
-                PCA_COV_SOURCE, {"m": m}, opt_level=level, backend=backend
+                PCA_COV_SOURCE, {"m": m}, opt_level=level, backend=backend,
+                technique=kt,
             )
 
     def close(self) -> None:

@@ -114,6 +114,10 @@ def simulate_profile(
     sizes = _chunk_sizes(n_elements, num_chunks)
 
     replication = config.technique is SharedMemTechnique.FULL_REPLICATION
+    # colored waves update the shared RO lock-free (like replication) but
+    # keep a single copy (like the locking techniques), so the two gates
+    # below are deliberately distinct
+    lock_free = replication or config.technique is SharedMemTechnique.COLORED
 
     for _ in range(iterations):
         if profile.extras_bytes_per_iteration:
@@ -129,7 +133,7 @@ def simulate_profile(
             )
         for pw in profile.phases:
             per_elem = pw.per_element.copy()
-            if not replication:
+            if not lock_free:
                 # every reduction-object update takes a (possibly contended)
                 # lock under the locking techniques
                 factor = lock_contention_factor(

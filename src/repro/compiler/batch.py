@@ -278,12 +278,23 @@ class BatchCodegen(PythonCodegen):
     scalar runs produce identical :class:`OpCounters` ledgers.
     """
 
-    def __init__(self, lowered: LoweredReduction, plan: CompilationPlan) -> None:
+    def __init__(
+        self,
+        lowered: LoweredReduction,
+        plan: CompilationPlan,
+        exclusive: bool = False,
+    ) -> None:
         super().__init__(lowered, plan)
         self.taint = _Taint(lowered)
         self.mask = "None"  # current mask expression ("None" = all lanes)
         self.lane = "_n0"  # current active-lane-count variable
         self._next_mask = 0
+        #: COLORED-technique variant: emit the ``exclusive=True`` hint on
+        #: every accumulate_batch call.  The caller (the engine's wave
+        #: schedule) guarantees no concurrent access to the touched cells;
+        #: accessors that synchronize anyway ignore the hint, so a colored
+        #: kernel stays correct under every accessor.
+        self.exclusive = exclusive
 
     # -- cost ----------------------------------------------------------------
 
@@ -496,9 +507,10 @@ class BatchCodegen(PythonCodegen):
                 cost.bump("ro_updates")
                 self._emit_cost(cost)
                 op = A.RO_INTRINSICS[expr.name]
+                hint = ", exclusive=True" if self.exclusive else ""
                 self._w(
                     f"_ro.accumulate_batch({args[0]}, {args[1]}, {args[2]}, "
-                    f"{op!r}, {self.mask}, _n0)"
+                    f"{op!r}, {self.mask}, _n0{hint})"
                 )
             else:
                 cost = _Cost()

@@ -4,11 +4,14 @@
 every call; apps and benchmarks compile the same program again and again
 (apriori even recompiles per counting pass).  :func:`compile_cached`
 memoizes the finished :class:`~repro.compiler.translate.CompiledReduction`
-keyed by ``(program digest, version, backend)`` and records the plan
-fingerprint alongside each entry, matching the paper's one-time
-translation cost model.  Cached objects hold no bound data — binding
-happens per dataset on the shared compiled object — so reuse across
-callers is safe.
+keyed by ``(program digest, version, backend, technique)`` and records the
+plan fingerprint alongside each entry, matching the paper's one-time
+translation cost model.  The kernel *technique* is part of the key because
+the COLORED variant emits a different accumulate path (the ``exclusive``
+hint) from the same program — without it, a kernel compiled for one
+technique could be served to another (cross-technique cache poisoning).
+Cached objects hold no bound data — binding happens per dataset on the
+shared compiled object — so reuse across callers is safe.
 
 Hit/miss totals are exposed via :func:`kernel_cache_stats`; the engine
 snapshots the hit counter before and after each run and reports the
@@ -26,7 +29,12 @@ from typing import Any
 
 from repro.chapel import ast as A
 from repro.compiler.passes import CompilationPlan
-from repro.compiler.translate import BACKENDS, CompiledReduction, compile_reduction
+from repro.compiler.translate import (
+    BACKENDS,
+    KERNEL_TECHNIQUES,
+    CompiledReduction,
+    compile_reduction,
+)
 from repro.obs.tracer import get_tracer
 from repro.util.errors import CompilerError
 
@@ -34,13 +42,14 @@ __all__ = [
     "compile_cached",
     "compile_for_digest",
     "clear_kernel_cache",
+    "entry_fingerprint",
     "kernel_cache_stats",
     "plan_fingerprint",
     "program_digest",
 ]
 
 _lock = threading.Lock()
-_cache: dict[tuple[str, int, str], tuple[str, CompiledReduction]] = {}
+_cache: dict[tuple[str, int, str, str], tuple[str, CompiledReduction]] = {}
 _hits = 0
 _misses = 0
 
@@ -83,19 +92,31 @@ def compile_cached(
     opt_level: int = 0,
     class_name: str | None = None,
     backend: str = "scalar",
+    technique: str = "generic",
 ) -> CompiledReduction:
     """Like :func:`compile_reduction`, but memoized process-wide.
 
-    The cache key is ``(program digest, opt_level, backend)``; each entry
-    stores the resulting plan's fingerprint so distinct plans can never
-    alias (a digest pins source + constants, which fully determine the
-    plan at a given level — the fingerprint is verified on every hit).
+    The cache key is ``(program digest, opt_level, backend, technique)``;
+    each entry stores the resulting plan's fingerprint — extended for
+    colored entries with the group-bounds fingerprint, which determines the
+    wave layout — so distinct compilation outcomes can never alias (a
+    digest pins source + constants, which fully determine plan and bounds
+    at a given level; the fingerprint is verified on every hit).
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if technique not in KERNEL_TECHNIQUES:
+        raise ValueError(
+            f"technique must be one of {KERNEL_TECHNIQUES}, got {technique!r}"
+        )
     global _hits, _misses
     tracer = get_tracer()
-    key = (program_digest(source, constants, class_name), opt_level, backend)
+    key = (
+        program_digest(source, constants, class_name),
+        opt_level,
+        backend,
+        technique,
+    )
     with _lock:
         entry = _cache.get(key)
         if entry is not None:
@@ -103,11 +124,13 @@ def compile_cached(
             if tracer.enabled:
                 tracer.event(
                     "kernel_cache.hit", cat="cache", digest=key[0][:12],
-                    opt_level=opt_level, backend=backend,
+                    opt_level=opt_level, backend=backend, technique=technique,
                 )
             return entry[1]
-    compiled = compile_reduction(source, constants, opt_level, class_name, backend)
-    fingerprint = plan_fingerprint(compiled.plan)
+    compiled = compile_reduction(
+        source, constants, opt_level, class_name, backend, technique
+    )
+    fingerprint = entry_fingerprint(compiled)
     with _lock:
         entry = _cache.get(key)
         if entry is not None:  # lost a compile race; keep the first
@@ -118,9 +141,23 @@ def compile_cached(
     if tracer.enabled:
         tracer.event(
             "kernel_cache.miss", cat="cache", digest=key[0][:12],
-            opt_level=opt_level, backend=backend, reduction=compiled.name,
+            opt_level=opt_level, backend=backend, technique=technique,
+            reduction=compiled.name,
         )
     return compiled
+
+
+def entry_fingerprint(compiled: CompiledReduction) -> str:
+    """Fingerprint stored with a cache entry.
+
+    Plan fingerprint for generic kernels; colored kernels append the
+    group-bounds fingerprint, since the bounds determine the wave layout
+    the kernel's ``exclusive`` hint relies on.
+    """
+    fp = plan_fingerprint(compiled.plan)
+    if compiled.technique == "colored" and compiled.group_bounds is not None:
+        fp = f"{fp}:{compiled.group_bounds.fingerprint()}"
+    return fp
 
 
 def compile_for_digest(
@@ -130,6 +167,7 @@ def compile_for_digest(
     opt_level: int = 0,
     class_name: str | None = None,
     backend: str = "scalar",
+    technique: str = "generic",
 ) -> CompiledReduction:
     """Worker-process entry: compile through the cache, verifying ``digest``.
 
@@ -146,7 +184,9 @@ def compile_for_digest(
             f"kernel payload digest mismatch: expected {digest[:12]}..., "
             f"source+constants hash to {actual[:12]}..."
         )
-    return compile_cached(source, constants, opt_level, class_name, backend)
+    return compile_cached(
+        source, constants, opt_level, class_name, backend, technique
+    )
 
 
 def kernel_cache_stats() -> dict[str, int]:

@@ -33,6 +33,7 @@ from repro.chapel.types import ArrayType, ChapelType, PrimitiveType
 from repro.chapel.values import ChapelArray
 from repro.compiler.batch import BATCH_NAMESPACE, BatchCodegen, BatchUnsupported
 from repro.compiler.codegen import CLikeCodegen, PythonCodegen, site_key
+from repro.compiler.groupbounds import analyze_group_bounds
 from repro.compiler.linearize import LinearizedBuffer, linearize_it
 from repro.compiler.lower import LoweredReduction, lower_reduction
 from repro.compiler.mapping import MappingInfo, compute_index
@@ -44,11 +45,33 @@ from repro.obs.tracer import get_tracer
 from repro.util.errors import CompilerError
 from repro.util.logging import get_logger
 
-__all__ = ["CompiledReduction", "BoundReduction", "compile_reduction", "BACKENDS"]
+__all__ = [
+    "CompiledReduction",
+    "BoundReduction",
+    "compile_reduction",
+    "kernel_technique",
+    "BACKENDS",
+    "KERNEL_TECHNIQUES",
+]
 
 #: Supported execution backends: per-element interpretation vs whole-split
 #: NumPy vectorization (see :mod:`repro.compiler.batch`).
 BACKENDS = ("scalar", "batch")
+
+#: Supported kernel variants (see ``compile_reduction``'s ``technique``).
+KERNEL_TECHNIQUES = ("generic", "colored")
+
+
+def kernel_technique(technique: Any) -> str:
+    """The kernel variant to compile for an engine technique request.
+
+    Only an explicit ``"colored"`` request compiles the colored variant
+    (batch accumulates carry the ``exclusive`` hint); every other value —
+    including ``"auto"``, which resolves per run and may still execute
+    colored via the generic kernel — maps to ``"generic"``.  Accepts a
+    string or a ``SharedMemTechnique``.
+    """
+    return "colored" if str(getattr(technique, "value", technique)) == "colored" else "generic"
 
 _log = get_logger("compiler.batch")
 
@@ -119,6 +142,14 @@ class CompiledReduction:
     kernel: Callable
     keys: dict[str, int]
     backend: str = "scalar"
+    #: kernel variant: ``"generic"`` runs under every accessor;
+    #: ``"colored"`` additionally emits the ``exclusive`` hint on batch
+    #: RO updates for the COLORED technique's lock-free direct path
+    technique: str = "generic"
+    #: flow-sensitive bounds on the group index of every RO update site
+    #: (:func:`repro.compiler.groupbounds.analyze_group_bounds`); the
+    #: engine's split coloring consumes this via the spec
+    group_bounds: Any = field(default=None, repr=False)
     batch_source: str | None = None
     batch_kernel: Callable | None = None
     batch_fallback_reason: str | None = None
@@ -422,6 +453,7 @@ class BoundReduction:
                 dataset_type=self.data_buf.typ,
                 extras=dict(self.extras_values),
                 extras_epoch=self.extras_epoch,
+                technique=comp.technique,
                 data_raw=self.data_buf.raw,
                 counters=counters,
             )
@@ -432,6 +464,7 @@ class BoundReduction:
             reduction=reduction,
             finalize=finalize,
             kernel_spec=kernel_spec,
+            group_bounds=comp.group_bounds,
         )
         return spec, range(self.n_elements)
 
@@ -442,6 +475,7 @@ def compile_reduction(
     opt_level: int = 0,
     class_name: str | None = None,
     backend: str = "scalar",
+    technique: str = "generic",
 ) -> CompiledReduction:
     """Compile a mini-Chapel reduction class at one optimization level.
 
@@ -452,9 +486,19 @@ def compile_reduction(
     reduction, compilation falls back to the scalar kernel for the whole
     reduction and records (and logs) the reason in
     :attr:`CompiledReduction.batch_fallback_reason`.
+
+    ``technique`` selects the kernel variant: ``"generic"`` (default) runs
+    under every shared-memory accessor; ``"colored"`` emits the
+    ``exclusive`` hint on batch RO updates for the COLORED technique.  Both
+    variants are semantically identical — the hint only documents that the
+    caller's wave schedule guarantees exclusive access.
     """
     if backend not in BACKENDS:
         raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    if technique not in KERNEL_TECHNIQUES:
+        raise ValueError(
+            f"technique must be one of {KERNEL_TECHNIQUES}, got {technique!r}"
+        )
     tracer = get_tracer()
     with tracer.span(
         "compile", cat="compiler", opt_level=opt_level, backend=backend
@@ -486,7 +530,9 @@ def compile_reduction(
                 "batch_codegen", cat="compiler", reduction=lowered.name
             ) as batch_span:
                 try:
-                    batch_source = BatchCodegen(lowered, plan).generate()
+                    batch_source = BatchCodegen(
+                        lowered, plan, exclusive=(technique == "colored")
+                    ).generate()
                 except BatchUnsupported as exc:
                     batch_fallback_reason = str(exc)
                     batch_span.set(fallback=True)
@@ -523,6 +569,8 @@ def compile_reduction(
         kernel=namespace["_kernel"],
         keys=dict(pygen.keys),
         backend=backend,
+        technique=technique,
+        group_bounds=analyze_group_bounds(lowered),
         batch_source=batch_source,
         batch_kernel=batch_kernel,
         batch_fallback_reason=batch_fallback_reason,

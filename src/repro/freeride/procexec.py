@@ -104,7 +104,7 @@ def create_process_pool(max_workers: int) -> ProcessPoolExecutor:
 # every platform with POSIX shared memory.
 
 _DATA_SEGMENTS: dict[str, tuple[Any, np.ndarray]] = {}
-_BOUND_CACHE: dict[tuple[str, int, str, str], list[Any]] = {}
+_BOUND_CACHE: dict[tuple[str, int, str, str, str], list[Any]] = {}
 
 
 def _attached_raw(name: str, nbytes: int) -> np.ndarray:
@@ -125,7 +125,14 @@ def _bound_for(task: dict[str, Any]):
     from repro.compiler.cache import compile_for_digest
     from repro.compiler.linearize import LinearizedBuffer
 
-    key = (task["digest"], task["opt_level"], task["backend"], task["data_shm"])
+    technique = task.get("technique", "generic")
+    key = (
+        task["digest"],
+        task["opt_level"],
+        task["backend"],
+        technique,
+        task["data_shm"],
+    )
     entry = _BOUND_CACHE.get(key)
     if entry is None:
         compiled = compile_for_digest(
@@ -135,6 +142,7 @@ def _bound_for(task: dict[str, Any]):
             opt_level=task["opt_level"],
             class_name=task["class_name"],
             backend=task["backend"],
+            technique=technique,
         )
         raw = _attached_raw(task["data_shm"], task["data_nbytes"])
         buf = LinearizedBuffer(typ=task["dataset_type"], raw=raw)

@@ -263,12 +263,17 @@ class ReductionObject:
         op: AccumulateOp = "add",
         mask: np.ndarray | None = None,
         lanes: int | None = None,
+        exclusive: bool = False,
     ) -> None:
         """Vectorized accumulate over per-lane ``(group, elem, value)`` triples.
 
         Semantically ``accumulate(groups[i], elems[i], values[i])`` for every
         active lane ``i`` (in lane order); counts one update per active lane.
         This is the reduction-object half of the batch kernel backend.
+        ``exclusive`` (a COLORED-kernel hint, see
+        :meth:`repro.freeride.sharedmem.ROAccessor.accumulate_batch`) is
+        accepted for signature compatibility and ignored — a bare reduction
+        object always has a single owner.
         """
         idx, v = self.batch_cells(groups, elems, values, op, mask, lanes)
         self.apply_batch(idx, v, op)

@@ -106,7 +106,24 @@ from repro.util.errors import FaultToleranceError, FreerideError, SplitterError
 from repro.util.timing import PhaseTimer
 from repro.util.validation import check_one_of, check_positive_int
 
-__all__ = ["RunStats", "ReductionResult", "FreerideEngine"]
+__all__ = [
+    "RunStats",
+    "ReductionResult",
+    "FreerideEngine",
+    "REPLICATION_BUDGET_BYTES",
+    "CONTENTION_FEEDBACK_THRESHOLD",
+]
+
+#: ``technique="auto"``: replicating the reduction object across threads
+#: beyond this many total bytes (``ro.nbytes * num_threads``) is considered
+#: too expensive and the selector prefers a single-copy technique.
+REPLICATION_BUDGET_BYTES = 64 * 1024 * 1024
+
+#: ``technique="auto"``: when replication is over budget and the previous
+#: traced run's ``ro.lock_acquisitions_per_split`` histogram averaged more
+#: than this many acquisitions per split, the selector prefers colored
+#: waves (when colorable) over cache-sensitive locking.
+CONTENTION_FEEDBACK_THRESHOLD = 8.0
 
 
 @dataclass
@@ -116,7 +133,21 @@ class RunStats:
     num_threads: int = 1
     num_nodes: int = 1
     executor: str = "serial"
+    #: the technique the run actually executed (always effective, never the
+    #: request — a coerced or fallen-back run reports what really happened)
     technique: SharedMemTechnique = SharedMemTechnique.FULL_REPLICATION
+    #: what the caller asked for: a technique value or ``"auto"``
+    technique_requested: str = SharedMemTechnique.FULL_REPLICATION.value
+    #: alias of :attr:`technique`, spelled out so a reader comparing request
+    #: vs. outcome never has to guess which one ``technique`` means
+    technique_effective: SharedMemTechnique = SharedMemTechnique.FULL_REPLICATION
+    #: why the effective technique differs from the request (``auto``
+    #: selection or colored fallback): ``{requested, chosen, reason,
+    #: inputs}``; ``None`` when the request was honored verbatim
+    technique_decision: dict[str, Any] | None = None
+    #: wave-schedule summary when the run executed colored
+    #: (:meth:`repro.freeride.coloring.SplitColoring.as_dict`), else ``None``
+    coloring: dict[str, Any] | None = None
     total_elements: int = 0
     elements_per_thread: list[int] = field(default_factory=list)
     splits_per_thread: list[int] = field(default_factory=list)
@@ -198,7 +229,14 @@ class FreerideEngine:
     num_threads:
         threads per node ("One thread is allocated on one CPU" in §V).
     technique:
-        shared-memory technique for reduction-object updates.
+        shared-memory technique for reduction-object updates, or ``"auto"``
+        to let the engine pick one per run from the reduction object's
+        size, the splits' provable group footprints and (when tracing)
+        lock-contention feedback; the choice is recorded in
+        ``RunStats.technique_decision`` and as a ``technique.decision``
+        trace event.  ``"colored"`` requests conflict-free wave execution
+        and falls back to full replication (recording why) when no exact
+        plan-time group bounds are available.
     executor:
         ``"serial"``, ``"threads"`` or ``"process"``.  The process executor
         requires full replication and compiled reductions (specs built by
@@ -244,19 +282,37 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer | None" = None,
     ) -> None:
         self.num_threads = check_positive_int(num_threads, "num_threads")
-        self.technique = SharedMemTechnique.parse(technique)
+        raw = (
+            technique.value
+            if isinstance(technique, SharedMemTechnique)
+            else str(technique)
+        )
+        if raw == "auto":
+            #: ``None`` marks adaptive selection: every run resolves the
+            #: effective technique from the spec/splits/reduction object
+            self.technique: SharedMemTechnique | None = None
+        else:
+            self.technique = SharedMemTechnique.parse(technique)
+        #: the caller's request, verbatim (``"auto"`` or a technique value)
+        self.technique_requested: str = raw if raw == "auto" else self.technique.value
         self.executor = check_one_of(
             executor, ("serial", "threads", "process"), "executor"
         )
         if (
             self.executor == "process"
+            and self.technique is not None
             and self.technique is not SharedMemTechnique.FULL_REPLICATION
         ):
             raise FreerideError(
                 "the process executor supports only the full_replication "
                 "technique: a lock table cannot guard one reduction object "
-                "across address spaces"
+                "across address spaces (and colored waves cannot barrier "
+                "them); use technique='full_replication' or 'auto'"
             )
+        #: mean ``ro.lock_acquisitions_per_split`` of this engine's most
+        #: recent *traced* run — the ``auto`` selector's contention feedback.
+        #: ``None`` until a traced run populates the histogram.
+        self._last_lock_contention: float | None = None
         if chunk_size is not None:
             check_positive_int(chunk_size, "chunk_size")
         self.chunk_size = chunk_size
@@ -340,16 +396,33 @@ class FreerideEngine:
         """Execute one reduction pass over ``data``."""
         if self._closed:
             raise FreerideError("engine is closed; create a new FreerideEngine")
+        if (
+            self.executor == "process"
+            and self.technique is not None
+            and self.technique is not SharedMemTechnique.FULL_REPLICATION
+        ):
+            # also checked at construction; re-checked here so an engine
+            # whose .technique was mutated after init fails loudly instead
+            # of running full replication while stamping the stats with the
+            # technique it did *not* use
+            raise FreerideError(
+                "the process executor supports only the full_replication "
+                "technique (got {0!r}); use 'full_replication' or 'auto'"
+                .format(self.technique.value)
+            )
         tracer = self.tracer if self.tracer is not None else get_tracer()
         metrics = MetricsRegistry() if tracer.enabled else None
         timer = PhaseTimer()
+        initial = self.technique or SharedMemTechnique.FULL_REPLICATION
         stats = RunStats(
             num_threads=self.num_threads,
             num_nodes=self.num_nodes,
             executor=self.executor,
-            technique=self.technique,
+            technique=initial,
+            technique_requested=self.technique_requested,
+            technique_effective=initial,
         )
-        stats.sharedmem.technique = self.technique
+        stats.sharedmem.technique = initial
         # imported lazily: the compiler package imports freeride, not vice versa
         from repro.compiler.cache import kernel_cache_stats
 
@@ -362,7 +435,7 @@ class FreerideEngine:
             executor=self.executor,
             num_threads=self.num_threads,
             num_nodes=self.num_nodes,
-            technique=self.technique.value,
+            technique=self.technique_requested,
         ) as run_span:
             if self.num_nodes == 1:
                 with timer.phase("local"), tracer.span("local", cat="phase"):
@@ -417,6 +490,7 @@ class FreerideEngine:
                 total_elements=stats.total_elements,
                 ro_updates=stats.ro_updates,
                 kernel_cache_hits=stats.kernel_cache_hits,
+                technique_effective=stats.technique_effective.value,
             )
 
         stats.phase_seconds = timer.as_dict()
@@ -424,9 +498,14 @@ class FreerideEngine:
             self._finish_metrics(metrics, stats)
         return ReductionResult(value=value, ro=ro, stats=stats)
 
-    @staticmethod
-    def _finish_metrics(metrics: MetricsRegistry, stats: RunStats) -> None:
-        """Fold the run's aggregate counters into the registry and snapshot."""
+    def _finish_metrics(self, metrics: MetricsRegistry, stats: RunStats) -> None:
+        """Fold the run's aggregate counters into the registry and snapshot.
+
+        Also harvests the run's ``ro.lock_acquisitions_per_split``
+        distribution into :attr:`_last_lock_contention`, the ``auto``
+        selector's feedback signal — untraced runs record nothing, so the
+        feedback simply goes stale rather than being zeroed.
+        """
         metrics.gauge("engine.num_threads").set(stats.num_threads)
         metrics.gauge("engine.num_nodes").set(stats.num_nodes)
         metrics.counter("engine.elements").inc(stats.total_elements)
@@ -446,6 +525,11 @@ class FreerideEngine:
         for phase, seconds in stats.phase_seconds.items():
             metrics.histogram("engine.phase_seconds." + phase).observe(seconds)
         stats.metrics = metrics.snapshot()
+        contention = metrics.histogram(
+            "ro.lock_acquisitions_per_split", DEFAULT_COUNT_BUCKETS
+        )
+        if contention.count:
+            self._last_lock_contention = contention.mean
 
     def run_iterative(
         self,
@@ -491,9 +575,9 @@ class FreerideEngine:
         node: int,
     ) -> tuple[ReductionObject, SharedMemStats, CombinationStats]:
         ro = spec.build_reduction_object()
-        mgr = SharedMemManager(self.technique)
-        accessors = mgr.setup(ro, self.num_threads)
 
+        # Splits before the shared-memory manager: technique resolution
+        # (auto selection, colored wave layout) needs the split list.
         if self.splitter is not None:
             splits = self.splitter(data, self.num_threads)
             _validate_custom_splits(splits, data)
@@ -501,6 +585,12 @@ class FreerideEngine:
             splits = chunked_splitter(data, self.chunk_size)
         else:
             splits = default_splitter(data, self.num_threads)
+
+        technique, coloring = self._resolve_technique(
+            spec, splits, ro, stats, tracer, node
+        )
+        mgr = SharedMemManager(technique)
+        accessors = mgr.setup(ro, self.num_threads)
 
         elems = [0] * self.num_threads
         nsplits = [0] * self.num_threads
@@ -517,7 +607,7 @@ class FreerideEngine:
             else:
                 self._execute_direct(
                     spec, splits, accessors, elems, nsplits, tracer, metrics,
-                    node,
+                    node, coloring,
                 )
         elif self.executor == "process":
             self._execute_process_ft(
@@ -527,7 +617,7 @@ class FreerideEngine:
         else:
             self._execute_fault_tolerant(
                 spec, splits, accessors, ro, stats, elems, nsplits,
-                tracer, metrics, node,
+                tracer, metrics, node, coloring,
             )
 
         stats.total_elements += sum(elems)
@@ -546,7 +636,7 @@ class FreerideEngine:
         # num_locks / ro_memory_bytes / merge_elements are always reported.
         with tracer.span(
             "local_combination", cat="combination", node=node,
-            technique=self.technique.value,
+            technique=technique.value,
         ) as span:
             ro, sm_stats, lc_stats = mgr.finish(
                 ro,
@@ -562,6 +652,164 @@ class FreerideEngine:
             )
         return ro, sm_stats, lc_stats
 
+    # -- technique resolution (auto selection + colored wave layout) -----------
+
+    def _resolve_technique(
+        self,
+        spec: ReductionSpec,
+        splits: "list[Split]",
+        ro: ReductionObject,
+        stats: RunStats,
+        tracer: "Tracer | NullTracer",
+        node: int,
+    ) -> "tuple[SharedMemTechnique, Any]":
+        """The technique this node's pipeline actually runs, plus its wave
+        schedule (a :class:`~repro.freeride.coloring.SplitColoring`, or
+        ``None`` for every non-colored technique).
+
+        Explicit requests pass through untouched except ``"colored"``, which
+        degrades to full replication — with the reason recorded — when no
+        exact group bounds exist.  ``"auto"`` delegates to
+        :meth:`_auto_select`.  Node 0 stamps the run stats (multi-node runs
+        see the same spec, so the per-node choice only differs in degenerate
+        splitter setups, and the paper's model is one technique per run).
+        """
+        decision: dict[str, Any] | None = None
+        coloring = None
+        if self.technique is None:  # "auto"
+            chosen, coloring, decision = self._auto_select(spec, splits, ro)
+        elif self.technique is SharedMemTechnique.COLORED:
+            coloring = self._try_coloring(spec, splits, ro)
+            if coloring is None:
+                chosen = SharedMemTechnique.FULL_REPLICATION
+                decision = {
+                    "requested": self.technique_requested,
+                    "chosen": chosen.value,
+                    "reason": (
+                        "colored requires an exact plan-time group set for "
+                        "every split (spec.group_bounds hook or compiler "
+                        "bounds); none were available — falling back to "
+                        "full replication"
+                    ),
+                    "inputs": self._decision_inputs(splits, ro, None),
+                }
+            else:
+                chosen = SharedMemTechnique.COLORED
+        else:
+            chosen = self.technique
+        if node == 0:
+            stats.technique = chosen
+            stats.technique_effective = chosen
+            stats.sharedmem.technique = chosen
+            stats.technique_decision = decision
+            stats.coloring = coloring.as_dict() if coloring is not None else None
+        if decision is not None and tracer.enabled:
+            tracer.event(
+                "technique.decision", cat="engine", node=node,
+                requested=decision["requested"], chosen=decision["chosen"],
+                reason=decision["reason"], **decision["inputs"],
+            )
+        return chosen, coloring
+
+    def _auto_select(
+        self, spec: ReductionSpec, splits: "list[Split]", ro: ReductionObject
+    ) -> "tuple[SharedMemTechnique, Any, dict[str, Any]]":
+        """Static heuristic for ``technique="auto"``; returns
+        ``(technique, coloring | None, decision record)``.
+
+        In order: the process executor can only replicate (coerce, honestly
+        recorded); genuinely parallel colored waves beat everything (single
+        RO, zero locks, no replica merges); an over-budget replication
+        footprint forces a single-copy technique — colored if the previous
+        traced run showed real lock contention, else cache-sensitive
+        locking; small reduction objects default to full replication, the
+        paper's fastest technique when memory allows.
+        """
+        coloring = (
+            None
+            if self.executor == "process"
+            else self._try_coloring(spec, splits, ro)
+        )
+        inputs = self._decision_inputs(splits, ro, coloring)
+        if self.executor == "process":
+            chosen = SharedMemTechnique.FULL_REPLICATION
+            reason = (
+                "process executor supports only full_replication; coercing"
+            )
+        elif coloring is not None and coloring.max_wave_width >= 2:
+            chosen = SharedMemTechnique.COLORED
+            reason = (
+                "exact group bounds admit parallel lock-free waves "
+                f"(max wave width {coloring.max_wave_width})"
+            )
+        elif inputs["replication_bytes"] > REPLICATION_BUDGET_BYTES:
+            if (
+                coloring is not None
+                and self._last_lock_contention is not None
+                and self._last_lock_contention > CONTENTION_FEEDBACK_THRESHOLD
+            ):
+                chosen = SharedMemTechnique.COLORED
+                reason = (
+                    "replication is over the memory budget and the previous "
+                    "traced run averaged "
+                    f"{self._last_lock_contention:.1f} lock acquisitions per "
+                    "split; serialized colored waves avoid both"
+                )
+            else:
+                chosen = SharedMemTechnique.CACHE_SENSITIVE_LOCKING
+                reason = (
+                    "replicating the reduction object "
+                    f"({inputs['replication_bytes']} bytes across "
+                    f"{self.num_threads} threads) exceeds the "
+                    f"{REPLICATION_BUDGET_BYTES}-byte budget"
+                )
+        else:
+            chosen = SharedMemTechnique.FULL_REPLICATION
+            reason = "reduction object is small enough to replicate per thread"
+        if chosen is not SharedMemTechnique.COLORED:
+            coloring = None
+        decision = {
+            "requested": "auto",
+            "chosen": chosen.value,
+            "reason": reason,
+            "inputs": inputs,
+        }
+        return chosen, coloring, decision
+
+    @staticmethod
+    def _try_coloring(
+        spec: ReductionSpec, splits: "list[Split]", ro: ReductionObject
+    ) -> Any:
+        """A wave schedule for these splits, or ``None`` if bounds are inexact."""
+        # imported lazily: coloring pulls in the compiler's bounds analysis,
+        # and the freeride package must stay importable without the compiler
+        from repro.freeride.coloring import color_splits, resolve_group_sets
+
+        group_sets, source = resolve_group_sets(spec, splits, ro.num_groups)
+        if group_sets is None:
+            return None
+        return color_splits(group_sets, source=source)
+
+    def _decision_inputs(
+        self, splits: "list[Split]", ro: ReductionObject, coloring: Any
+    ) -> dict[str, Any]:
+        """Every signal the ``auto`` heuristic reads, recorded verbatim so a
+        decision can be replayed from its stats alone."""
+        return {
+            "ro_bytes": ro.nbytes,
+            "num_groups": ro.num_groups,
+            "num_threads": self.num_threads,
+            "num_splits": len(splits),
+            "executor": self.executor,
+            "colorable": coloring is not None,
+            "max_wave_width": (
+                coloring.max_wave_width if coloring is not None else 0
+            ),
+            "replication_bytes": ro.nbytes * self.num_threads,
+            "replication_budget": REPLICATION_BUDGET_BYTES,
+            "lock_contention_mean": self._last_lock_contention,
+        }
+
     # -- direct (zero-overhead) execution --------------------------------------
 
     def _execute_direct(
@@ -574,6 +822,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        coloring: Any = None,
     ) -> None:
         def process(thread_id: int, split: Split) -> None:
             args = ReductionArgs(
@@ -615,10 +864,45 @@ class FreerideEngine:
                 contention.observe(acc_stats.lock_acquisitions - locks_before)
 
         if self.executor == "serial":
-            for i, split in enumerate(splits):
-                if len(split) == 0:
+            if coloring is not None:
+                # Wave order, not split order: within a wave no two splits
+                # share a group, so a cell's update sequence is the same
+                # here as under the threaded colored schedule — serial and
+                # threaded colored runs produce bit-identical floats.
+                for wave in coloring.waves:
+                    for i in wave:
+                        if len(splits[i]) == 0:
+                            continue
+                        process(i % self.num_threads, splits[i])
+            else:
+                for i, split in enumerate(splits):
+                    if len(split) == 0:
+                        continue
+                    process(i % self.num_threads, split)
+        elif coloring is not None:
+            # Colored waves: every split of one wave updates the single
+            # shared reduction object lock-free (disjoint proven group
+            # sets); the f.result() join is the inter-wave barrier.
+            pool = self._get_pool()
+            for wave in coloring.waves:
+                live = [i for i in wave if len(splits[i]) > 0]
+                if not live:
                     continue
-                process(i % self.num_threads, split)
+                if len(live) == 1:
+                    process(live[0] % self.num_threads, splits[live[0]])
+                    continue
+                queue = SplitQueue([splits[i] for i in live])
+
+                def worker(thread_id: int, q: SplitQueue = queue) -> None:
+                    while (s := q.take()) is not None:
+                        process(thread_id, s)
+
+                futures = [
+                    pool.submit(worker, t)
+                    for t in range(min(self.num_threads, len(live)))
+                ]
+                for f in futures:
+                    f.result()  # barrier between waves + propagate errors
         else:
             queue = SplitQueue(splits)
 
@@ -647,23 +931,76 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        coloring: Any = None,
     ) -> None:
         self._validate_ft_spec(spec, splits)
         policy = self.fault_policy or FaultPolicy()
         injector = self.fault_injector
         lock = threading.Lock()
+        # Colored runs commit each split's scratch restricted to its proven
+        # group set: untouched groups stay out of the merge, so concurrent
+        # commits within a wave never read-modify-write the same shared cell.
+        commit_groups = (
+            {splits[i].split_id: coloring.group_sets[i] for i in range(len(splits))}
+            if coloring is not None
+            else None
+        )
 
         if self.executor == "serial":
-            for i, split in enumerate(splits):
+            order = (
+                [i for wave in coloring.waves for i in wave]
+                if coloring is not None
+                else range(len(splits))
+            )
+            for i in order:
+                split = splits[i]
                 if len(split) == 0:
                     continue
                 tid = i % self.num_threads
                 if self._run_split_with_retries(
                     spec, split, tid, accessors[tid], base_ro,
                     policy, injector, stats, lock, tracer, metrics, node,
+                    commit_groups,
                 ):
                     elems[tid] += len(split)
                     nsplits[tid] += 1
+            return
+
+        if coloring is not None:
+            # One queue per wave, drained to completion before the next
+            # starts: a retried or stolen split can only be re-dispatched
+            # within its own wave, so the requeue path respects wave order.
+            pool = self._get_pool()
+            for wave in coloring.waves:
+                live = [i for i in wave if len(splits[i]) > 0]
+                if not live:
+                    continue
+                wave_queue = SplitQueue([splits[i] for i in live])
+                wave_abort = threading.Event()
+
+                def worker(
+                    thread_id: int,
+                    q: SplitQueue = wave_queue,
+                    a: threading.Event = wave_abort,
+                ) -> None:
+                    try:
+                        self._ft_worker(
+                            spec, q, thread_id, accessors[thread_id], base_ro,
+                            policy, injector, stats, lock, elems, nsplits, a,
+                            tracer, metrics, node, commit_groups,
+                        )
+                    except BaseException:
+                        q.poison()
+                        a.set()
+                        raise
+
+                futures = [
+                    pool.submit(worker, t)
+                    for t in range(min(self.num_threads, len(live)))
+                ]
+                for f in futures:
+                    f.result()  # barrier between waves + propagate errors
+                stats.requeues += wave_queue.requeues
             return
 
         queue = SplitQueue(splits)
@@ -705,6 +1042,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        commit_groups: "dict[int, frozenset[int]] | None" = None,
     ) -> None:
         while not abort.is_set():
             speculative = False
@@ -741,7 +1079,12 @@ class FreerideEngine:
             )
             if scratch is not None:
                 if queue.complete(split):
-                    accessor.merge_from_scratch(scratch)
+                    groups = (
+                        commit_groups.get(split.split_id)
+                        if commit_groups is not None
+                        else None
+                    )
+                    accessor.merge_from_scratch(scratch, groups=groups)
                     elems[thread_id] += len(split)
                     nsplits[thread_id] += 1
                 continue
@@ -793,6 +1136,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        commit_groups: "dict[int, frozenset[int]] | None" = None,
     ) -> bool:
         """Serial executor: attempt a split until it commits or exhausts.
 
@@ -811,7 +1155,12 @@ class FreerideEngine:
                 stats, lock, tracer, metrics, node,
             )
             if scratch is not None:
-                accessor.merge_from_scratch(scratch)
+                groups = (
+                    commit_groups.get(split.split_id)
+                    if commit_groups is not None
+                    else None
+                )
+                accessor.merge_from_scratch(scratch, groups=groups)
                 return True
             last_exc = exc
         if policy.mode == FAIL_FAST:
@@ -990,6 +1339,7 @@ class FreerideEngine:
             "n_elements": kspec.n_elements,
             "extras": kspec.extras,
             "extras_epoch": kspec.extras_epoch,
+            "technique": kspec.technique,
             "ro_layout": list(kspec.ro_layout),
             "trace_epoch": tracer.epoch if tracer.enabled else None,
             "node": node,

@@ -18,18 +18,27 @@ defines the techniques we reproduce:
 ``CACHE_SENSITIVE_LOCKING``
     one lock per cache block of elements (8 float64 elements per 64-byte
     line), reducing the number of locks and false sharing.
+``COLORED``
+    one shared copy with *neither* locks nor replicas: the engine colors the
+    splits at plan time so that splits running concurrently are provably
+    conflict-free (their RO group sets are disjoint — the PyOP2 iteration-set
+    coloring argument), and executes them wave by wave.  Requires exact
+    plan-time group bounds (see :mod:`repro.compiler.groupbounds` and
+    :mod:`repro.freeride.coloring`); the engine falls back to another
+    technique when the bounds are inexact.
 
-All four produce identical reduction results; they differ in synchronization
-counts and (in the simulated machine) cost.
+All techniques produce identical reduction results; they differ in
+synchronization counts, memory footprint and (in the simulated machine) cost.
 """
 
 from __future__ import annotations
 
 import enum
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory as mp_shm
-from typing import Callable
+from typing import Callable, Iterable
 
 import numpy as np
 
@@ -38,7 +47,11 @@ from repro.freeride.combination import (
     CombinationStats,
     combine,
 )
-from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.reduction_object import (
+    ACCUMULATE_OPS,
+    _MERGE_UFUNC,
+    ReductionObject,
+)
 from repro.util.errors import FreerideError
 
 __all__ = [
@@ -47,6 +60,7 @@ __all__ = [
     "ROAccessor",
     "ReplicatedAccessor",
     "LockingAccessor",
+    "ColoredAccessor",
     "ScratchAccessor",
     "SharedMemManager",
     "SharedBufferCache",
@@ -67,6 +81,7 @@ class SharedMemTechnique(enum.Enum):
     FULL_LOCKING = "full_locking"
     OPTIMIZED_FULL_LOCKING = "optimized_full_locking"
     CACHE_SENSITIVE_LOCKING = "cache_sensitive_locking"
+    COLORED = "colored"
 
     @classmethod
     def parse(cls, value: "SharedMemTechnique | str") -> "SharedMemTechnique":
@@ -121,17 +136,34 @@ class ROAccessor:
         op: str = "add",
         mask: np.ndarray | None = None,
         lanes: int | None = None,
+        exclusive: bool = False,
     ) -> None:
         """Vectorized per-lane updates (see
-        :meth:`ReductionObject.accumulate_batch`); used by batch kernels."""
+        :meth:`ReductionObject.accumulate_batch`); used by batch kernels.
+
+        ``exclusive=True`` is a *hint* emitted by kernels compiled for the
+        COLORED technique: the caller guarantees wave-exclusive access to
+        every touched cell, so no synchronization is required.  Accessors
+        that synchronize anyway (the locking family) simply ignore it —
+        a mispaired kernel/accessor combination stays correct, just slower.
+        """
         raise NotImplementedError
 
-    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+    def merge_from_scratch(
+        self,
+        scratch: ReductionObject,
+        groups: "Iterable[int] | None" = None,
+    ) -> None:
         """Commit a per-split scratch reduction object in one atomic step.
 
         The fault-tolerant engine processes each split attempt into a fresh
         scratch object and calls this only on success, so a failed or
         retried attempt never leaves partial accumulations behind.
+
+        ``groups``, when given, restricts the commit to those group ids —
+        the COLORED technique commits only the groups its coloring proved
+        the split can touch, so concurrent same-wave commits never
+        read-modify-write a group both left untouched.
         """
         raise NotImplementedError
 
@@ -153,13 +185,16 @@ class ReplicatedAccessor(ROAccessor):
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         self.ro.accumulate_group(group, values)
 
-    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+    def accumulate_batch(
+        self, groups, elems, values, op="add", mask=None, lanes=None, exclusive=False
+    ) -> None:
         self.ro.accumulate_batch(groups, elems, values, op, mask, lanes)
 
-    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+    def merge_from_scratch(self, scratch: ReductionObject, groups=None) -> None:
         # The private copy belongs to one thread; a plain merge is atomic
         # enough (the merge either happens wholly or not at all from the
-        # combination phase's point of view).
+        # combination phase's point of view).  ``groups`` needs no handling:
+        # the scratch's untouched groups hold merge identities.
         self.ro.merge_from(scratch)
 
 
@@ -181,8 +216,64 @@ class ScratchAccessor(ROAccessor):
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
         self.ro.accumulate_group(group, values)
 
-    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+    def accumulate_batch(
+        self, groups, elems, values, op="add", mask=None, lanes=None, exclusive=False
+    ) -> None:
         self.ro.accumulate_batch(groups, elems, values, op, mask, lanes)
+
+
+class ColoredAccessor(ROAccessor):
+    """Conflict-free coloring: direct updates to the shared copy, no locks.
+
+    Safe only under the engine's wave schedule — splits updating through
+    these accessors concurrently have disjoint group sets, so no two
+    threads ever touch the same cell.  The one piece of state the waves
+    *would* share is the reduction object's ``update_count``; each accessor
+    therefore counts its own updates locally and
+    :meth:`SharedMemManager.finish` folds them into the shared object after
+    the last wave.
+    """
+
+    def __init__(self, shared_ro: ReductionObject, technique: SharedMemTechnique) -> None:
+        self.ro = shared_ro
+        self.stats = SharedMemStats(technique=technique)
+        #: accessor-local update tally, folded into the shared RO at finish()
+        self.updates = 0
+
+    def accumulate(self, group: int, elem: int, value: float) -> None:
+        meta, idx = self.ro._cell(group, elem)
+        ACCUMULATE_OPS[meta.op](self.ro._buffer, idx, value)
+        self.updates += 1
+
+    def accumulate_group(self, group: int, values: np.ndarray) -> None:
+        meta = self.ro._meta(group)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (meta.num_elems,):
+            raise FreerideError(
+                f"group {group} expects {meta.num_elems} values, got {values.shape}"
+            )
+        sl = slice(meta.offset, meta.offset + meta.num_elems)
+        ufunc = _MERGE_UFUNC[meta.op]
+        self.ro._buffer[sl] = ufunc(self.ro._buffer[sl], values)
+        self.updates += meta.num_elems
+
+    def accumulate_batch(
+        self, groups, elems, values, op="add", mask=None, lanes=None, exclusive=False
+    ) -> None:
+        idx, v = self.ro.batch_cells(groups, elems, values, op, mask, lanes)
+        if idx.size == 0:
+            return
+        _MERGE_UFUNC[op].at(self.ro._buffer, idx, v)
+        self.updates += int(idx.size)
+
+    def merge_from_scratch(self, scratch: ReductionObject, groups=None) -> None:
+        # Commit only the groups the coloring proved this split touches:
+        # a full merge would read-modify-write groups concurrent same-wave
+        # commits also leave untouched, racing on their cells.
+        gids = range(self.ro.num_groups) if groups is None else groups
+        for g in gids:
+            self.ro.merge_group_from(g, scratch)
+        self.updates += scratch.update_count
 
 
 class _LockTable:
@@ -253,7 +344,11 @@ class LockingAccessor(ROAccessor):
                 self._table.locks[i].release()
         self.stats.lock_acquisitions += len(acquired)
 
-    def accumulate_batch(self, groups, elems, values, op="add", mask=None, lanes=None) -> None:
+    def accumulate_batch(
+        self, groups, elems, values, op="add", mask=None, lanes=None, exclusive=False
+    ) -> None:
+        # ``exclusive`` is deliberately ignored: a kernel compiled for the
+        # colored technique stays correct under a locking accessor.
         idx, v = self.ro.batch_cells(groups, elems, values, op, mask, lanes)
         if idx.size == 0:
             return
@@ -275,12 +370,13 @@ class LockingAccessor(ROAccessor):
                 self._table.locks[i].release()
         self.stats.lock_acquisitions += len(acquired)
 
-    def merge_from_scratch(self, scratch: ReductionObject) -> None:
+    def merge_from_scratch(self, scratch: ReductionObject, groups=None) -> None:
         # Apply the scratch object group-by-group, each group under its
         # covering locks (acquired in ascending index order, so concurrent
         # commits cannot deadlock).  A group merge is one atomic unit: other
         # threads observe it entirely or not at all.
-        for g in range(self.ro.num_groups):
+        gids = range(self.ro.num_groups) if groups is None else sorted(groups)
+        for g in gids:
             meta = self.ro._meta(g)
             indices = self._table.group_lock_indices(g, meta.num_elems)
             acquired = []
@@ -320,6 +416,14 @@ class SharedMemManager:
                 ReplicatedAccessor(base_ro.clone_empty(), self.technique)
                 for _ in range(num_threads)
             ]
+        if self.technique is SharedMemTechnique.COLORED:
+            # One shared copy, zero locks — safe only under a wave schedule
+            # (the engine guarantees concurrently-running splits touch
+            # disjoint group sets).
+            return [
+                ColoredAccessor(base_ro, self.technique)
+                for _ in range(num_threads)
+            ]
         table = _LockTable(base_ro, self.technique)
         return [
             LockingAccessor(base_ro, table, self.technique)
@@ -352,9 +456,14 @@ class SharedMemManager:
         # Accessors of a locking technique share one lock table; report the
         # table size, not the per-accessor sum.
         total.num_locks = max((acc.stats.num_locks for acc in accessors), default=0)
+        if self.technique is SharedMemTechnique.COLORED:
+            # Fold the accessor-local update tallies the wave schedule kept
+            # off the shared object (see ColoredAccessor).
+            for acc in accessors:
+                base_ro.update_count += getattr(acc, "updates", 0)
         if self.technique is not SharedMemTechnique.FULL_REPLICATION:
             total.ro_memory_bytes = base_ro.nbytes  # one shared copy
-            # Locking techniques already updated base_ro in place.
+            # Locking and colored techniques already updated base_ro in place.
             return base_ro, total, CombinationStats(strategy="in_place")
 
         copies = [acc.ro for acc in accessors]  # type: ignore[attr-defined]
@@ -435,19 +544,23 @@ def close_shm_segment(shm: mp_shm.SharedMemory, unlink: bool = False) -> None:
 
 
 class SharedBufferCache:
-    """Publishes read-only numpy buffers into shared memory, once per array.
+    """Publishes read-only numpy buffers into shared memory, once per content.
 
     The process executor ships only ``(segment name, nbytes)`` descriptors
     per run; the actual bytes cross the process boundary exactly once per
-    distinct source array, however many runs (outer-loop iterations) reuse
-    it.  Keyed by the source array's ``(address, nbytes)``; a strong
-    reference to the source is kept so its address cannot be recycled by
-    another array while the entry is alive.  Owned by one engine and
+    distinct buffer *content*, however many runs (outer-loop iterations)
+    reuse it.  Keyed by a SHA-256 digest of the bytes rather than the source
+    array's address: ``run_iterative`` re-linearizes the dataset into a
+    fresh array every pass, so address-keying would republish identical data
+    as a new segment per iteration (unbounded ``/dev/shm`` growth over
+    k-means' ~20 passes), and an address key would also need a strong
+    reference pinning every source array alive.  Hashing costs ~1 ms per
+    couple of MB — noise next to a segment copy.  Owned by one engine and
     released by ``engine.close()`` (or the engine's exit finalizer).
     """
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[int, int], tuple[mp_shm.SharedMemory, np.ndarray]] = {}
+        self._entries: dict[str, mp_shm.SharedMemory] = {}
         self._lock = threading.Lock()
 
     def publish(self, arr: np.ndarray) -> tuple[str, int]:
@@ -455,17 +568,18 @@ class SharedBufferCache:
         arr = np.asarray(arr)
         if not arr.flags["C_CONTIGUOUS"]:
             raise FreerideError("can only publish C-contiguous buffers")
-        key = (arr.__array_interface__["data"][0], arr.nbytes)
+        flat = arr.reshape(-1).view(np.uint8)
+        key = hashlib.sha256(flat).hexdigest()
         with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
+            shm = self._entries.get(key)
+            if shm is None:
                 shm = create_shm_segment(arr.nbytes)
                 if arr.nbytes:
                     dst = np.ndarray((arr.nbytes,), dtype=np.uint8, buffer=shm.buf)
-                    dst[:] = arr.reshape(-1).view(np.uint8)
+                    dst[:] = flat
                     del dst
-                self._entries[key] = entry = (shm, arr)
-            return entry[0].name, arr.nbytes
+                self._entries[key] = shm
+            return shm.name, arr.nbytes
 
     def __len__(self) -> int:
         with self._lock:
@@ -474,11 +588,11 @@ class SharedBufferCache:
     def names(self) -> list[str]:
         """Names of the live segments (tests assert they vanish on close)."""
         with self._lock:
-            return [shm.name for shm, _ in self._entries.values()]
+            return [shm.name for shm in self._entries.values()]
 
     def close(self) -> None:
         """Unlink and close every published segment.  Idempotent."""
         with self._lock:
             entries, self._entries = list(self._entries.values()), {}
-        for shm, _ in entries:
+        for shm in entries:
             close_shm_segment(shm, unlink=True)

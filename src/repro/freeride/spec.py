@@ -55,6 +55,10 @@ class KernelSpec:
     dataset_type: Any
     extras: dict[str, Any]
     extras_epoch: int
+    #: kernel variant the program was compiled for — ``"generic"`` or
+    #: ``"colored"`` (the colored variant's batch path passes the
+    #: ``exclusive`` hint); part of the worker-side kernel-cache key
+    technique: str = "generic"
     data_raw: Any = field(repr=False, default=None)
     counters: Any = field(repr=False, default=None)
 
@@ -109,6 +113,14 @@ class ReductionSpec:
         present only on specs built by ``BoundReduction.make_spec``: the
         picklable :class:`KernelSpec` the ``"process"`` executor ships to
         worker processes instead of the closures above.
+    ``group_bounds``
+        how the COLORED technique learns which reduction-object groups each
+        split's updates can touch.  Either a callable
+        ``(split, num_groups) -> iterable of group ids | None`` for
+        reductions whose footprint varies per split, or a
+        :class:`~repro.compiler.groupbounds.GroupBounds` result attached by
+        the compiler (``BoundReduction.make_spec`` does this automatically).
+        ``None`` means unknown — the engine then falls back from colored.
     """
 
     name: str
@@ -118,6 +130,7 @@ class ReductionSpec:
     finalize: Callable[[ReductionObject], Any] | None = None
     extras: dict[str, Any] = field(default_factory=dict)
     kernel_spec: KernelSpec | None = None
+    group_bounds: Any = None
 
     def __post_init__(self) -> None:
         if not callable(self.setup_reduction_object):

@@ -72,7 +72,7 @@ class CostModel:
             return self.cycles_per_lock_optimized
         if technique is SharedMemTechnique.CACHE_SENSITIVE_LOCKING:
             return self.cycles_per_lock_cache_sensitive
-        return 0.0  # full replication takes no locks
+        return 0.0  # full replication and colored waves take no locks
 
     def cycles(
         self,

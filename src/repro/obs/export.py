@@ -87,6 +87,11 @@ def to_chrome_trace(
         if args:
             ev["args"] = {k: _jsonable(v) for k, v in args.items()}
         events.append(ev)
+    # Chrome/Perfetto tolerate out-of-order events but some trace_event
+    # consumers (and diffs between runs) do not: emit spans/instants in
+    # timestamp order.  The sort is stable, so records sharing a timestamp
+    # keep their original (emission) order.
+    events.sort(key=lambda ev: ev["ts"])
     meta_events = [
         {
             "name": "thread_name",

@@ -84,8 +84,14 @@ class Gauge:
 class Histogram:
     """Fixed-bucket histogram: counts of observations per upper bound.
 
-    ``bounds`` are inclusive upper bounds in ascending order; one implicit
-    overflow bucket (``+inf``) catches everything beyond the last bound.
+    ``bounds`` are **inclusive** upper bounds in ascending order
+    (Prometheus-style ``le``); one implicit overflow bucket (``+inf``)
+    catches everything beyond the last bound.  A value exactly equal to a
+    bound lands in *that* bound's bucket: with bounds ``(0, 1, 2)``,
+    ``observe(1.0)`` increments the ``le=1`` bucket, not ``le=2``.  This is
+    load-bearing for count-valued histograms — ``observe(0)`` of a
+    lock-free split must land in the ``le=0`` bucket so "zero contention"
+    is distinguishable from "contention in (0, 1]".
     """
 
     __slots__ = ("name", "bounds", "_lock", "_counts", "count", "total", "min", "max")

@@ -6,6 +6,7 @@ from repro.apps.histogram import HISTOGRAM_CHAPEL_SOURCE
 from repro.compiler.cache import (
     clear_kernel_cache,
     compile_cached,
+    entry_fingerprint,
     kernel_cache_stats,
     plan_fingerprint,
     program_digest,
@@ -49,6 +50,49 @@ class TestCompileCached:
         assert a is not b
         assert a.batch_kernel is None
         assert b.batch_kernel is not None
+
+    def test_distinct_techniques_are_distinct_entries(self):
+        """Cross-technique cache-poisoning regression: the same program
+        compiled generic and colored must never alias — the colored kernel's
+        batch accumulates carry the ``exclusive`` hint the generic one lacks,
+        and serving one where the other was requested would silently change
+        the emitted accumulate path."""
+        generic = compile_cached(
+            HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2, backend="batch"
+        )
+        colored = compile_cached(
+            HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2, backend="batch",
+            technique="colored",
+        )
+        assert generic is not colored
+        assert kernel_cache_stats()["entries"] == 2
+        assert generic.technique == "generic"
+        assert colored.technique == "colored"
+        assert "exclusive=True" in colored.batch_source
+        assert "exclusive=True" not in generic.batch_source
+        # asking again for each technique hits its own entry
+        assert compile_cached(
+            HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2, backend="batch"
+        ) is generic
+        assert compile_cached(
+            HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2, backend="batch",
+            technique="colored",
+        ) is colored
+
+    def test_colored_entry_fingerprint_includes_group_bounds(self):
+        generic = compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1)
+        colored = compile_cached(
+            HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1, technique="colored"
+        )
+        assert entry_fingerprint(generic) == plan_fingerprint(generic.plan)
+        assert entry_fingerprint(colored) == (
+            plan_fingerprint(colored.plan)
+            + ":" + colored.group_bounds.fingerprint()
+        )
+
+    def test_invalid_technique_rejected(self):
+        with pytest.raises(ValueError, match="technique"):
+            compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, technique="nope")
 
     def test_invalid_backend_rejected(self):
         with pytest.raises(ValueError, match="backend"):

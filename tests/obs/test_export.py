@@ -87,6 +87,34 @@ class TestToChromeTrace:
         with pytest.raises(TypeError):
             to_chrome_trace([42])
 
+    def test_events_sorted_by_ts_regardless_of_record_order(self):
+        """Chrome's viewer mis-nests spans emitted out of timestamp order;
+        concurrent workers record in completion order, so the exporter
+        must sort.  Metadata events still lead."""
+        shuffled = [
+            Event(name="late", ts=0.009, cat="x", tid=1, thread="w-0"),
+            Span(name="mid", ts=0.005, dur=0.001, cat="x", tid=1,
+                 thread="w-0"),
+            Span(name="early", ts=0.001, dur=0.001, cat="x", tid=2,
+                 thread="w-1"),
+        ]
+        events = to_chrome_trace(shuffled)["traceEvents"]
+        metas = [e for e in events if e["ph"] == "M"]
+        body = events[len(metas):]
+        assert all(e["ph"] == "M" for e in events[: len(metas)])
+        assert [e["name"] for e in body] == ["early", "mid", "late"]
+        ts = [e["ts"] for e in body]
+        assert ts == sorted(ts)
+
+    def test_sort_is_stable_for_equal_timestamps(self):
+        tied = [
+            Span(name=f"s{i}", ts=0.002, dur=0.001, tid=1, thread="w")
+            for i in range(4)
+        ]
+        events = to_chrome_trace(tied)["traceEvents"]
+        body = [e for e in events if e["ph"] == "X"]
+        assert [e["name"] for e in body] == ["s0", "s1", "s2", "s3"]
+
 
 class TestValidation:
     def test_emitted_traces_are_valid(self):

@@ -89,6 +89,23 @@ class TestHistogram:
         Histogram("lat", DEFAULT_LATENCY_BUCKETS)
         Histogram("cnt", DEFAULT_COUNT_BUCKETS)
 
+    def test_zero_observation_lands_in_le_zero_bucket(self):
+        """Prometheus `le` semantics: with a 0 bound, observe(0) must count
+        in the le=0 bucket, not spill to le=1 (a contention histogram full
+        of lock-free runs would otherwise look contended)."""
+        h = Histogram("h", bounds=(0.0, 1.0, 2.0))
+        h.observe(0)
+        h.observe(0.0)
+        assert h.counts == [2, 0, 0, 0]
+
+    def test_boundary_values_never_spill_upward(self):
+        h = Histogram("cnt", DEFAULT_COUNT_BUCKETS)
+        for bound in DEFAULT_COUNT_BUCKETS:
+            h2 = Histogram("h2", DEFAULT_COUNT_BUCKETS)
+            h2.observe(bound)
+            idx = DEFAULT_COUNT_BUCKETS.index(bound)
+            assert h2.counts[idx] == 1, f"observe({bound}) left its le bucket"
+
 
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instrument(self):
