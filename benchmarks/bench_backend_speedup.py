@@ -13,9 +13,11 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --check   # gate
 
 ``--check`` exits non-zero if any batch result diverges from its scalar
-twin or if batch is slower than scalar by more than ``--max-slowdown``
-(default 1.5x) in any cell — the CI guard against silent fallback-to-
-scalar regressions.  ``--quick`` shrinks datasets to smoke-test scale.
+twin, if batch is slower than scalar by more than ``--max-slowdown``
+(default 1.5x) in any cell, or if a ``GATHER_APPS`` cell (windowed at
+opt-2, whose scale lookup the effect analysis proves bounded) fell back
+to the scalar kernel — the CI guards against silent fallback-to-scalar
+regressions.  ``--quick`` shrinks datasets to smoke-test scale.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from repro.apps.em import EmRunner
 from repro.apps.histogram import HistogramRunner
 from repro.apps.kmeans import KmeansRunner
 from repro.apps.pca import PcaRunner
+from repro.apps.windowed import WindowedRunner
 from repro.compiler.cache import kernel_cache_stats
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.obs import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
@@ -174,12 +177,52 @@ def _app_apriori(quick: bool):
     return n, run
 
 
+#: ``app -> version`` cells where the batch kernel must NOT have fallen
+#: back to scalar: the windowed scale lookup is a lane-varying gather the
+#: effect analysis proves bounded, so opt-2/batch must vectorize it.
+GATHER_APPS = {"windowed": "opt-2"}
+
+#: ``"app/version" -> batch_fallback_reason`` observed by the batch cells
+#: of gather-gated apps (``None`` = the NumPy kernel ran, no fallback).
+_BATCH_FALLBACKS: dict[str, "str | None"] = {}
+
+
+def _app_windowed(quick: bool):
+    n = 4_096 if quick else 131_072
+    window = 256 if quick else 2_048
+    num_windows = n // window
+    scale = np.linspace(0.5, 1.5, 8)
+    data = np.random.default_rng(19).uniform(0.0, 1.0, n)
+
+    def run(version: str, backend: str, threads: int):
+        runner = WindowedRunner(
+            window,
+            num_windows,
+            scale,
+            0.0,
+            1.0,
+            version=version,
+            num_threads=threads,
+            executor="threads" if threads > 1 else "serial",
+            backend=backend,
+        )
+        if backend == "batch":
+            _BATCH_FALLBACKS[f"windowed/{version}"] = (
+                runner.compiled.batch_fallback_reason
+            )
+        res = runner.run(data)
+        return {"counts": res.counts, "sums": res.sums}, res.counters.total_ops()
+
+    return n, run
+
+
 APPS = {
     "kmeans": _app_kmeans,
     "histogram": _app_histogram,
     "pca": _app_pca,
     "em": _app_em,
     "apriori": _app_apriori,
+    "windowed": _app_windowed,
 }
 
 
@@ -282,12 +325,26 @@ def main(argv: list[str] | None = None) -> int:
                         "scalar_ops": s_ops,
                         "batch_ops": b_ops,
                         "equivalent": equivalent,
+                        "batch_fallback_reason": _BATCH_FALLBACKS.get(
+                            f"{app_name}/{version}"
+                        ),
                     }
                 )
                 print(
                     f"{tag:28s} scalar {s_wall:8.3f}s  batch {b_wall:8.3f}s  "
                     f"speedup {speedup:6.2f}x  ops(s/b) {s_ops:.3g}/{b_ops:.3g}  "
                     f"{'ok' if equivalent else 'DIVERGED'}"
+                )
+
+    if args.check:
+        for app, version in GATHER_APPS.items():
+            if app not in args.apps:
+                continue
+            key = f"{app}/{version}"
+            reason = _BATCH_FALLBACKS.get(key, "batch cell never ran")
+            if reason is not None:
+                failures.append(
+                    f"{key}: batch kernel fell back to scalar ({reason})"
                 )
 
     payload = {

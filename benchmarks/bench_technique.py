@@ -1,13 +1,14 @@
 #!/usr/bin/env python
-"""Shared-memory technique comparison across all five paper apps.
+"""Shared-memory technique comparison across the paper apps + windowed.
 
 Runs every app under ``full_replication``, ``cache_sensitive_locking``,
 ``colored`` (conflict-free wave scheduling) and ``auto`` (adaptive
 selection) on the thread executor, against a serial full-replication
 baseline on identical data.  Beyond wall time, each cell records the
 technique the engine *actually* ran (``technique_effective``), its lock
-traffic and reduction-object footprint, and — for auto — the recorded
-decision.  Writes ``benchmarks/results/BENCH_technique.json``.
+traffic, reduction-object footprint, wave layout and split alignment,
+and — for auto — the recorded decision.  Writes
+``benchmarks/results/BENCH_technique.json``.
 
 Usage::
 
@@ -17,9 +18,11 @@ Usage::
 
 ``--check`` exits non-zero if any cell diverges from its serial
 baseline, if a colored cell took a lock or paid replication's memory
-bill, or if an auto cell failed to record its decision.  No timing gate:
-technique overheads are machine-modeled, wall clocks here are
-informational.
+bill, if a colored wave is narrower than the app's ratchet in
+``MIN_WAVE_WIDTH`` (the guard against the split-parametric effect
+analysis regressing to whole-run intervals), or if an auto cell failed
+to record its decision.  No timing gate: technique overheads are
+machine-modeled, wall clocks here are informational.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from repro.apps.em import EmRunner
 from repro.apps.histogram import HistogramRunner
 from repro.apps.kmeans import KmeansRunner
 from repro.apps.pca import PcaRunner
+from repro.apps.windowed import WindowedRunner
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.freeride.sharedmem import SharedMemTechnique
 
@@ -45,6 +49,12 @@ RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_technique.json"
 SCHEMA_VERSION = 1
 
 TECHNIQUES = ("full_replication", "cache_sensitive_locking", "colored", "auto")
+
+#: Colored wave-width ratchet per app (default 1 = any schedule).  The
+#: windowed kernel's group index is split-parametric, so win-aligned
+#: splits must color into genuinely parallel waves — width < 2 means the
+#: effect analysis degraded to whole-run intervals and serialized the run.
+MIN_WAVE_WIDTH = {"windowed": 2}
 
 
 # --------------------------------------------------------------------- apps
@@ -154,12 +164,35 @@ def _app_histogram(quick: bool):
     return n, run
 
 
+def _app_windowed(quick: bool):
+    n = 32_768 if quick else 262_144
+    window = 512 if quick else 4_096
+    num_windows = n // window
+    scale = np.linspace(0.5, 1.5, 8)
+    data = np.random.default_rng(23).uniform(0.0, 1.0, n)
+
+    def run(technique: str, executor: str, workers: int):
+        with WindowedRunner(
+            window, num_windows, scale, 0.0, 1.0,
+            version="opt-2", num_threads=workers,
+            executor=executor, technique=technique,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(data)
+            wall = time.perf_counter() - t0
+            stats = runner.last_run_stats
+        return {"counts": res.counts, "sums": res.sums}, stats, wall
+
+    return n, run
+
+
 APPS = {
     "kmeans": _app_kmeans,
     "pca": _app_pca,
     "em": _app_em,
     "apriori": _app_apriori,
     "histogram": _app_histogram,
+    "windowed": _app_windowed,
 }
 
 
@@ -179,7 +212,9 @@ def _equivalent(baseline: dict, cell: dict) -> bool:
     return True
 
 
-def _check_cell(tag: str, technique: str, stats, failures: list[str]) -> None:
+def _check_cell(
+    tag: str, app: str, technique: str, stats, failures: list[str]
+) -> None:
     """Technique-specific invariants the CI gate enforces per cell."""
     sm = stats.sharedmem
     if technique == "colored":
@@ -193,6 +228,13 @@ def _check_cell(tag: str, technique: str, stats, failures: list[str]) -> None:
             failures.append(f"{tag}: colored run took locks")
         if sm.ro_memory_bytes != stats.ro_size * 8:
             failures.append(f"{tag}: colored run replicated the RO")
+        floor = MIN_WAVE_WIDTH.get(app, 1)
+        width = (stats.coloring or {}).get("max_wave_width", 0)
+        if width < floor:
+            failures.append(
+                f"{tag}: colored wave width {width} is below the "
+                f"ratchet ({floor})"
+            )
     elif technique == "auto":
         d = stats.technique_decision
         if d is None or not d.get("reason"):
@@ -244,7 +286,7 @@ def main(argv: list[str] | None = None) -> int:
             if not equivalent:
                 failures.append(f"{tag}: diverges from serial baseline")
             if args.check:
-                _check_cell(tag, technique, stats, failures)
+                _check_cell(tag, app_name, technique, stats, failures)
             sm = stats.sharedmem
             records.append(
                 {
@@ -260,6 +302,7 @@ def main(argv: list[str] | None = None) -> int:
                     "lock_acquisitions": sm.lock_acquisitions,
                     "ro_memory_bytes": sm.ro_memory_bytes,
                     "coloring": stats.coloring,
+                    "split_alignment": stats.split_alignment,
                     "decision": stats.technique_decision,
                 }
             )

@@ -8,6 +8,13 @@ Static checks over mini-Chapel reduction classes, the lowered IR, and the
 * :mod:`~repro.analysis.races` — the forall race detector;
 * :mod:`~repro.analysis.algebra` — associativity / commutativity /
   identity checks for reduce ops (seeded, deterministic);
+* :mod:`~repro.analysis.affine` — the shared symbolic range engine
+  (:class:`Bounds` intervals with exactness, affine :class:`Form` terms of
+  the element index);
+* :mod:`~repro.analysis.effects` — the unified effect analysis: one
+  abstract interpretation of a lowered accumulate body yielding
+  split-parametric access summaries (group footprints per element range,
+  bounded-gather proofs, RS1xx diagnostics);
 * :mod:`~repro.analysis.plancheck` — cross-checks compilation plans
   against ``computeIndex`` layout metadata;
 * :mod:`~repro.analysis.driver` — file/directory front end used by
@@ -27,6 +34,13 @@ from repro.analysis.diagnostics import (
     summarize,
 )
 from repro.analysis.intervals import Interval, eval_interval
+from repro.analysis.affine import TOP, Bounds, Form
+from repro.analysis.effects import (
+    ELEM_RANGE,
+    AccumulateEffect,
+    EffectSummary,
+    analyze_effects,
+)
 from repro.analysis.races import check_class_races, check_program_races
 from repro.analysis.algebra import (
     TRIAL_SEED,
@@ -57,6 +71,13 @@ __all__ = [
     "summarize",
     "Interval",
     "eval_interval",
+    "TOP",
+    "Bounds",
+    "Form",
+    "ELEM_RANGE",
+    "AccumulateEffect",
+    "EffectSummary",
+    "analyze_effects",
     "check_class_races",
     "check_program_races",
     "TRIAL_SEED",

@@ -1,0 +1,658 @@
+"""Affine symbolic forms over the element index — the shared range engine.
+
+Every static analysis in this repo ultimately asks the same question:
+*what values can this index expression take?*  Before this module existed
+there were three independent answers — the ``_Iv`` intervals in
+``repro.compiler.groupbounds``, the boolean taint in
+``repro.compiler.batch`` and the exactness intervals in
+``repro.analysis.plancheck`` — each with its own blind spots.  This module
+is the single abstract domain behind all of them (driven by the
+interpreter in :mod:`repro.analysis.effects`).
+
+Two layers:
+
+:class:`Bounds`
+    a numeric interval with *independently* optional endpoints (condition
+    narrowing produces half-open intervals), an exactness bit (every value
+    in the hull is achieved for some execution) and the variable set the
+    value ranges over (repeated variables break exactness of a hull).
+
+:class:`Form`
+    a small symbolic expression over one distinguished symbol — the
+    **element index** ``e`` — closed under ``+ - *``, real division,
+    ``toInt``/``floor`` truncation, modulo and ``min``/``max`` clamping.
+    A form is *split-parametric*: :meth:`Form.eval` maps any interval of
+    element indices to the interval of values the expression takes over
+    it, so a per-split footprint is one evaluation, not a re-analysis.
+    Data-dependent subexpressions collapse to :data:`UNKNOWN` leaves that
+    still carry whatever bounds clamps and comparisons have pinned down.
+
+The clamp algebra is what fixes the historical one-sided-clamp widening:
+``max(0, x)`` narrows to ``[0, +inf)`` and a later ``min(·, hi)`` composes
+into an exact ``[0, hi]`` instead of widening straight to unbounded.
+:meth:`Form.alignment` exposes the element-period of ``e // k`` and
+``e % k`` shapes, which the runtime uses to align split boundaries so
+colored waves stay conflict-free (see ``repro.freeride.splitter``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+__all__ = [
+    "Bounds",
+    "Form",
+    "TOP",
+    "ELEM",
+    "const",
+    "unknown",
+    "f_add",
+    "f_sub",
+    "f_mul",
+    "f_neg",
+    "f_div",
+    "f_mod",
+    "f_toint",
+    "f_floor",
+    "f_abs",
+    "f_min",
+    "f_max",
+    "f_clamp",
+]
+
+_ELEM_VAR = "$e"
+
+
+# ---------------------------------------------------------------------- Bounds
+
+
+@dataclass(frozen=True)
+class Bounds:
+    """``[lo, hi]`` with optional endpoints, exactness and variable set."""
+
+    lo: float | int | None
+    hi: float | int | None
+    exact: bool = False
+    vars: frozenset[str] = field(default_factory=frozenset)
+
+    @classmethod
+    def point(cls, v: float | int) -> "Bounds":
+        return cls(v, v, exact=True)
+
+    @classmethod
+    def top(cls) -> "Bounds":
+        return cls(None, None, exact=False)
+
+    @property
+    def bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    @property
+    def is_point(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def _exact_with(self, other: "Bounds") -> bool:
+        # A hull of f(x) op g(y) is exact only when both operands are exact
+        # and range over disjoint variables (independence).
+        return self.exact and other.exact and not (self.vars & other.vars)
+
+    def add(self, other: "Bounds") -> "Bounds":
+        return Bounds(
+            None if self.lo is None or other.lo is None else self.lo + other.lo,
+            None if self.hi is None or other.hi is None else self.hi + other.hi,
+            exact=self._exact_with(other),
+            vars=self.vars | other.vars,
+        )
+
+    def sub(self, other: "Bounds") -> "Bounds":
+        return self.add(other.neg())
+
+    def neg(self) -> "Bounds":
+        return Bounds(
+            None if self.hi is None else -self.hi,
+            None if self.lo is None else -self.lo,
+            exact=self.exact,
+            vars=self.vars,
+        )
+
+    def mul(self, other: "Bounds") -> "Bounds":
+        if not (self.bounded and other.bounded):
+            return Bounds(None, None, vars=self.vars | other.vars)
+        products = [
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        ]
+        # Scaling by ±1 or 0 keeps every value achieved; any other factor
+        # leaves holes, and a product of two proper ranges always does.
+        one_point = self.is_point or other.is_point
+        unit = (self.is_point and abs(self.lo) <= 1) or (
+            other.is_point and abs(other.lo) <= 1
+        )
+        return Bounds(
+            min(products),
+            max(products),
+            exact=one_point and unit and self._exact_with(other),
+            vars=self.vars | other.vars,
+        )
+
+    def div_const(self, c: float | int) -> "Bounds":
+        """Real division by a nonzero constant (exactness lost: holes)."""
+        if c == 0:
+            return Bounds.top()
+        lo, hi = (self.lo, self.hi) if c > 0 else (self.hi, self.lo)
+        return Bounds(
+            None if lo is None else lo / c,
+            None if hi is None else hi / c,
+            exact=False,
+            vars=self.vars,
+        )
+
+    def floordiv_const(self, c: int) -> "Bounds":
+        """Floor division by a positive integer constant.
+
+        Contiguity (hence exactness) is preserved: ``//`` maps a contiguous
+        integer range onto a contiguous integer range.
+        """
+        if c <= 0:
+            return Bounds.top()
+        return Bounds(
+            None if self.lo is None else math.floor(self.lo) // c,
+            None if self.hi is None else math.floor(self.hi) // c,
+            exact=self.exact,
+            vars=self.vars,
+        )
+
+    def mod_const(self, c: int) -> "Bounds":
+        """Python-semantics ``% c`` for a positive integer constant."""
+        if c <= 0:
+            return Bounds.top()
+        if self.bounded:
+            lo, hi = math.floor(self.lo), math.floor(self.hi)
+            if hi - lo + 1 <= c and lo % c <= hi % c:
+                # The range fits inside one modulus window: residues are the
+                # same contiguous run, exactness preserved.
+                return Bounds(lo % c, hi % c, exact=self.exact, vars=self.vars)
+            # Wraps at least once: every residue is achieved iff the input
+            # covers >= c consecutive integers exactly.
+            return Bounds(
+                0, c - 1, exact=self.exact and hi - lo + 1 >= c, vars=self.vars
+            )
+        return Bounds(0, c - 1, exact=False, vars=self.vars)
+
+    def trunc(self, known_int: bool) -> "Bounds":
+        """Truncation toward zero (``toInt``); monotone non-decreasing."""
+        if known_int:
+            return self
+        return Bounds(
+            None if self.lo is None else math.trunc(self.lo),
+            None if self.hi is None else math.trunc(self.hi),
+            exact=False,  # a real range need not hit every integer
+            vars=self.vars,
+        )
+
+    def floor(self, known_int: bool) -> "Bounds":
+        if known_int:
+            return self
+        return Bounds(
+            None if self.lo is None else math.floor(self.lo),
+            None if self.hi is None else math.floor(self.hi),
+            exact=False,
+            vars=self.vars,
+        )
+
+    def clamp_lo(self, bound: float | int | None) -> "Bounds":
+        """Narrow to ``value >= bound``; clamping preserves exactness."""
+        if bound is None:
+            return self
+        lo = bound if self.lo is None else max(self.lo, bound)
+        hi = self.hi if self.hi is None else max(self.hi, bound)
+        return Bounds(lo, hi, exact=self.exact, vars=self.vars)
+
+    def clamp_hi(self, bound: float | int | None) -> "Bounds":
+        if bound is None:
+            return self
+        hi = bound if self.hi is None else min(self.hi, bound)
+        lo = self.lo if self.lo is None else min(self.lo, bound)
+        return Bounds(lo, hi, exact=self.exact, vars=self.vars)
+
+    def meet_lo(self, bound: float | int | None) -> "Bounds":
+        """Condition narrowing ``value >= bound`` (no value is moved, so the
+        upper end and exactness survive; an emptied interval stays empty)."""
+        if bound is None:
+            return self
+        lo = bound if self.lo is None else max(self.lo, bound)
+        return Bounds(lo, self.hi, exact=self.exact, vars=self.vars)
+
+    def meet_hi(self, bound: float | int | None) -> "Bounds":
+        if bound is None:
+            return self
+        hi = bound if self.hi is None else min(self.hi, bound)
+        return Bounds(self.lo, hi, exact=self.exact, vars=self.vars)
+
+    def join(self, other: "Bounds") -> "Bounds":
+        """Lattice join (smallest interval containing both)."""
+        return Bounds(
+            None if self.lo is None or other.lo is None
+            else min(self.lo, other.lo),
+            None if self.hi is None or other.hi is None
+            else max(self.hi, other.hi),
+            exact=False,
+            vars=self.vars | other.vars,
+        )
+
+    def min_with(self, other: "Bounds") -> "Bounds":
+        lo = (
+            None if self.lo is None or other.lo is None
+            else min(self.lo, other.lo)
+        )
+        hi = (
+            self.hi if other.hi is None
+            else other.hi if self.hi is None
+            else min(self.hi, other.hi)
+        )
+        return Bounds(lo, hi, exact=self._exact_with(other),
+                      vars=self.vars | other.vars)
+
+    def max_with(self, other: "Bounds") -> "Bounds":
+        return self.neg().min_with(other.neg()).neg()
+
+    def abs_(self) -> "Bounds":
+        if not self.bounded:
+            lo = 0 if (self.lo is None and self.hi is None) else None
+            if self.lo is not None and self.lo >= 0:
+                return self
+            return Bounds(0 if self.hi is not None and self.hi >= 0 else lo,
+                          None, exact=False, vars=self.vars)
+        if self.lo >= 0:
+            return self
+        if self.hi <= 0:
+            return self.neg()
+        return Bounds(0, max(-self.lo, self.hi), exact=self.exact,
+                      vars=self.vars)
+
+    def definitely_outside(self, low: int, high: int) -> bool:
+        """True when some *achieved* value falls outside ``[low, high]``.
+
+        Requires exactness on the protruding side — on an inexact hull a
+        protruding endpoint may never be achieved.
+        """
+        if not self.exact:
+            return False
+        if self.lo is not None and self.hi is not None and self.lo > self.hi:
+            return False  # empty (dead path): touches nothing
+        return (self.lo is not None and self.lo < low) or (
+            self.hi is not None and self.hi > high
+        )
+
+    def contained_in(self, low: int, high: int) -> bool:
+        """True when **every** possible value lies inside ``[low, high]``.
+
+        Needs only boundedness, not exactness — an over-approximation that
+        fits is a proof of containment.
+        """
+        return (
+            self.lo is not None
+            and self.hi is not None
+            and self.lo >= low
+            and self.hi <= high
+        )
+
+    def __str__(self) -> str:
+        lo = "-inf" if self.lo is None else f"{self.lo:g}"
+        hi = "+inf" if self.hi is None else f"{self.hi:g}"
+        return f"[{lo}, {hi}]{'' if self.exact else '~'}"
+
+
+TOP = Bounds.top()
+
+
+# ------------------------------------------------------------------------ Form
+
+
+@dataclass(frozen=True)
+class Form:
+    """A symbolic value: one node of the affine-form expression tree.
+
+    ``kind`` is one of ``const``, ``elem``, ``unknown``, ``add``, ``mul``,
+    ``neg``, ``div``, ``mod``, ``toint``, ``floor``, ``abs``, ``min``,
+    ``max``, ``clamp``.  Leaves: ``const`` carries ``value``; ``unknown``
+    carries ``bounds`` (whatever clamps/comparisons pinned down) and
+    ``int_typed``; ``elem`` is the element index (int, >= 0).  ``clamp``
+    carries constant ``lo``/``hi``; ``mod``/``div`` with a constant
+    right-hand side carry it in ``value``.
+    """
+
+    kind: str
+    operands: tuple["Form", ...] = ()
+    value: float | int | None = None
+    lo: float | int | None = None
+    hi: float | int | None = None
+    bounds: Bounds = TOP
+    int_typed: bool = True
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return self.kind == "const"
+
+    @property
+    def is_int(self) -> bool:
+        if self.kind == "const":
+            return isinstance(self.value, int)
+        if self.kind in ("elem", "toint", "floor", "mod"):
+            return True
+        if self.kind == "unknown":
+            return self.int_typed
+        if self.kind == "div":
+            return False
+        return all(op.is_int for op in self.operands)
+
+    @property
+    def depends_on_elem(self) -> bool:
+        if self.kind == "elem":
+            return True
+        return any(op.depends_on_elem for op in self.operands)
+
+    @property
+    def is_affine_elem(self) -> bool:
+        """Whether the form is built from ``e``, constants, clamps, ``//``
+        and ``%`` — i.e. evaluates tightly over any split range."""
+        if self.kind in ("const", "elem"):
+            return True
+        if self.kind == "unknown":
+            return False
+        return all(op.is_affine_elem for op in self.operands)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval(self, elem: Bounds) -> Bounds:
+        """Interval of values over the element-index interval ``elem``."""
+        if self.kind == "const":
+            return Bounds.point(self.value)
+        if self.kind == "elem":
+            if elem.is_point:
+                return elem
+            return replace(elem, vars=elem.vars | {_ELEM_VAR})
+        if self.kind == "unknown":
+            return self.bounds
+        if self.kind == "add":
+            return self.operands[0].eval(elem).add(self.operands[1].eval(elem))
+        if self.kind == "mul":
+            return self.operands[0].eval(elem).mul(self.operands[1].eval(elem))
+        if self.kind == "neg":
+            return self.operands[0].eval(elem).neg()
+        if self.kind == "div":
+            inner = self.operands[0].eval(elem)
+            if self.value is not None:
+                return inner.div_const(self.value)
+            return Bounds(None, None, vars=inner.vars)
+        if self.kind == "mod":
+            return self.operands[0].eval(elem).mod_const(self.value)
+        if self.kind in ("toint", "floor"):
+            inner = self.operands[0]
+            # toInt(x / c) and floor(x / c) over a non-negative integer
+            # numerator are floor division: contiguity (exactness) survives.
+            if (
+                inner.kind == "div"
+                and inner.value is not None
+                and isinstance(inner.value, int)
+                and inner.value > 0
+                and inner.operands[0].is_int
+            ):
+                num = inner.operands[0].eval(elem)
+                if self.kind == "floor" or (num.lo is not None and num.lo >= 0):
+                    return num.floordiv_const(inner.value)
+            iv = inner.eval(elem)
+            return iv.trunc(inner.is_int) if self.kind == "toint" else iv.floor(
+                inner.is_int
+            )
+        if self.kind == "abs":
+            return self.operands[0].eval(elem).abs_()
+        if self.kind == "min":
+            return self.operands[0].eval(elem).min_with(
+                self.operands[1].eval(elem)
+            )
+        if self.kind == "max":
+            return self.operands[0].eval(elem).max_with(
+                self.operands[1].eval(elem)
+            )
+        if self.kind == "clamp":
+            return self.operands[0].eval(elem).clamp_lo(self.lo).clamp_hi(
+                self.hi
+            )
+        raise AssertionError(f"unhandled form kind {self.kind!r}")
+
+    # -- runtime hints -------------------------------------------------------
+
+    def alignment(self) -> Optional[int]:
+        """The element-period of the form, when it has one.
+
+        ``e // k`` and ``e % k`` shapes (possibly clamped or shifted by a
+        constant) change value only at multiples of ``k``; split boundaries
+        aligned to ``k`` therefore keep per-split footprints disjoint.
+        """
+        if self.kind == "clamp":
+            return self.operands[0].alignment()
+        if self.kind in ("toint", "floor"):
+            inner = self.operands[0]
+            if (
+                inner.kind == "div"
+                and isinstance(inner.value, int)
+                and inner.value > 0
+                and inner.operands[0].kind == "elem"
+            ):
+                return inner.value
+            return self.operands[0].alignment()
+        if self.kind == "mod" and self.operands[0].kind == "elem":
+            return self.value
+        if self.kind == "add":
+            a, b = self.operands
+            if a.is_const and not a.depends_on_elem:
+                return b.alignment()
+            if b.is_const and not b.depends_on_elem:
+                return a.alignment()
+        if self.kind in ("min", "max"):
+            a, b = self.operands
+            if not a.depends_on_elem:
+                return b.alignment()
+            if not b.depends_on_elem:
+                return a.alignment()
+        return None
+
+    # -- rendering -----------------------------------------------------------
+
+    def describe(self) -> str:
+        """Stable, human-readable rendering (diagnostics + fingerprints)."""
+        k = self.kind
+        if k == "const":
+            return f"{self.value:g}" if isinstance(self.value, float) else str(
+                self.value
+            )
+        if k == "elem":
+            return "e"
+        if k == "unknown":
+            return f"?{self.bounds}"
+        if k == "add":
+            return f"({self.operands[0].describe()} + {self.operands[1].describe()})"
+        if k == "mul":
+            return f"({self.operands[0].describe()} * {self.operands[1].describe()})"
+        if k == "neg":
+            return f"(-{self.operands[0].describe()})"
+        if k == "div":
+            rhs = (
+                f"{self.value:g}" if isinstance(self.value, float)
+                else str(self.value)
+            ) if self.value is not None else "?"
+            return f"({self.operands[0].describe()} / {rhs})"
+        if k == "mod":
+            return f"({self.operands[0].describe()} % {self.value})"
+        if k in ("toint", "floor", "abs"):
+            return f"{k}({self.operands[0].describe()})"
+        if k in ("min", "max"):
+            return (
+                f"{k}({self.operands[0].describe()}, "
+                f"{self.operands[1].describe()})"
+            )
+        if k == "clamp":
+            parts = [self.operands[0].describe()]
+            if self.lo is not None:
+                parts.append(f"lo={self.lo}")
+            if self.hi is not None:
+                parts.append(f"hi={self.hi}")
+            return f"clamp({', '.join(parts)})"
+        raise AssertionError(f"unhandled form kind {k!r}")
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+ELEM = Form("elem")
+
+
+def const(v: float | int) -> Form:
+    return Form("const", value=v)
+
+
+def unknown(bounds: Bounds = TOP, int_typed: bool = False) -> Form:
+    return Form("unknown", bounds=bounds, int_typed=int_typed)
+
+
+def _const_val(f: Form) -> float | int | None:
+    return f.value if f.kind == "const" else None
+
+
+# Smart constructors: fold constants, keep clamp chains flat, and collapse
+# anything structurally dead to a leaf so forms stay small.
+
+
+def f_add(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if av is not None and bv is not None:
+        return const(av + bv)
+    if av == 0:
+        return b
+    if bv == 0:
+        return a
+    return Form("add", (a, b))
+
+
+def f_sub(a: Form, b: Form) -> Form:
+    return f_add(a, f_neg(b))
+
+
+def f_neg(a: Form) -> Form:
+    v = _const_val(a)
+    if v is not None:
+        return const(-v)
+    if a.kind == "neg":
+        return a.operands[0]
+    return Form("neg", (a,))
+
+
+def f_mul(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if av is not None and bv is not None:
+        return const(av * bv)
+    if av == 1:
+        return b
+    if bv == 1:
+        return a
+    if av == 0 or bv == 0:
+        return const(0)
+    return Form("mul", (a, b))
+
+
+def f_div(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if bv is not None and bv != 0:
+        if av is not None:
+            return const(av / bv)
+        return Form("div", (a,), value=bv)
+    return Form("div", (a, b))
+
+
+def f_mod(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if isinstance(bv, int) and bv > 0:
+        if isinstance(av, int):
+            return const(av % bv)
+        return Form("mod", (a,), value=bv)
+    return unknown(int_typed=a.is_int and b.is_int)
+
+
+def f_toint(a: Form) -> Form:
+    v = _const_val(a)
+    if v is not None:
+        return const(math.trunc(v))
+    if a.is_int:
+        return a
+    return Form("toint", (a,))
+
+
+def f_floor(a: Form) -> Form:
+    v = _const_val(a)
+    if v is not None:
+        return const(math.floor(v))
+    if a.is_int:
+        return a
+    return Form("floor", (a,))
+
+
+def f_abs(a: Form) -> Form:
+    v = _const_val(a)
+    if v is not None:
+        return const(abs(v))
+    return Form("abs", (a,))
+
+
+def f_min(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if av is not None and bv is not None:
+        return const(min(av, bv))
+    if bv is not None:
+        return f_clamp(a, None, bv)
+    if av is not None:
+        return f_clamp(b, None, av)
+    return Form("min", (a, b))
+
+
+def f_max(a: Form, b: Form) -> Form:
+    av, bv = _const_val(a), _const_val(b)
+    if av is not None and bv is not None:
+        return const(max(av, bv))
+    if bv is not None:
+        return f_clamp(a, bv, None)
+    if av is not None:
+        return f_clamp(b, av, None)
+    return Form("max", (a, b))
+
+
+def f_clamp(a: Form, lo: float | int | None, hi: float | int | None) -> Form:
+    """``max(lo, min(a, hi))`` — clamp chains fold into one node, which is
+    exactly the one-sided-clamp composition the old interval analysis lost:
+    ``f_clamp(f_clamp(x, 0, None), None, 7)`` is one ``clamp(x, lo=0, hi=7)``.
+    """
+    if a.kind == "clamp":
+        new_lo, new_hi = a.lo, a.hi
+        if lo is not None:
+            new_lo = lo if new_lo is None else max(new_lo, lo)
+            if new_hi is not None:
+                new_hi = max(new_hi, lo)  # outer max wins over inner hi
+        if hi is not None:
+            new_hi = hi if new_hi is None else min(new_hi, hi)
+            if new_lo is not None:
+                new_lo = min(new_lo, hi)
+        return f_clamp(a.operands[0], new_lo, new_hi)
+    v = _const_val(a)
+    if v is not None:
+        if lo is not None:
+            v = max(v, lo)
+        if hi is not None:
+            v = min(v, hi)
+        return const(v)
+    if lo is None and hi is None:
+        return a
+    return Form("clamp", (a,), lo=lo, hi=hi)

@@ -76,6 +76,10 @@ CODES: dict[str, str] = {
     "RS031": "strength-reduction hoist violates its contiguity invariant",
     "RS032": "incremental hoist step does not match the layout unit size",
     "RS033": "compilation plan is inconsistent with the lowered access sites",
+    # -- symbolic effect analysis --------------------------------------------
+    "RS100": "reduction-object group index provably out of bounds",
+    "RS101": "dead accumulate site: guarding condition is statically false",
+    "RS102": "group index is neither affine in the element index nor bounded",
 }
 
 #: Default severity per code (overridable per Diagnostic at creation).
@@ -100,6 +104,9 @@ DEFAULT_SEVERITIES: dict[str, Severity] = {
     "RS031": Severity.ERROR,
     "RS032": Severity.ERROR,
     "RS033": Severity.ERROR,
+    "RS100": Severity.ERROR,
+    "RS101": Severity.WARNING,
+    "RS102": Severity.WARNING,
 }
 
 

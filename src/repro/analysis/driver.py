@@ -70,8 +70,16 @@ def analyze_program(
     constants: dict[str, Any] | None = None,
     class_name: str | None = None,
     file: str | None = None,
+    effects: bool = False,
 ) -> list[Diagnostic]:
-    """Run race detection and plan validation over one parsed program."""
+    """Run race detection and plan validation over one parsed program.
+
+    With ``effects=True``, additionally runs the symbolic effect analysis
+    (:func:`repro.analysis.effects.analyze_effects`) per class and reports
+    its RS1xx diagnostics — provably out-of-bounds group indices (RS100),
+    dead accumulate sites (RS101), non-affine unbounded group indices
+    (RS102).
+    """
     diags: list[Diagnostic] = []
     for cls in program.classes:
         if class_name is not None and cls.name != class_name:
@@ -90,6 +98,15 @@ def analyze_program(
         # reported by validate_plan at several optimization levels.
         seen: set[tuple[str, int, int, str]] = set()
         try:
+            if effects:
+                from repro.analysis.effects import analyze_effects
+
+                lowered = lower_reduction(program, consts, cls.name)
+                for d in analyze_effects(lowered, file=file).diagnostics:
+                    key = (d.code, d.span.line, d.span.col, d.message)
+                    if key not in seen:
+                        seen.add(key)
+                        cls_diags.append(d)
             for level in (0, 1, 2):
                 lowered = lower_reduction(program, consts, cls.name)
                 plan = plan_compilation(lowered, level)
@@ -122,6 +139,7 @@ def analyze_source(
     file: str | None = None,
     constants: dict[str, Any] | None = None,
     class_name: str | None = None,
+    effects: bool = False,
 ) -> list[Diagnostic]:
     """Parse mini-Chapel source text and analyze it."""
     try:
@@ -131,7 +149,9 @@ def analyze_source(
         return [
             replace(d, span=Span(exc.line, exc.column, file))
         ]
-    return analyze_program(program, constants, class_name, file=file)
+    return analyze_program(
+        program, constants, class_name, file=file, effects=effects
+    )
 
 
 def iter_chapel_sources(py_source: str) -> Iterator[tuple[int, str]]:
@@ -167,15 +187,18 @@ def iter_chapel_sources(py_source: str) -> Iterator[tuple[int, str]]:
 def analyze_file(
     path: str | Path,
     constants: dict[str, Any] | None = None,
+    effects: bool = False,
 ) -> list[Diagnostic]:
     """Analyze one file (raw mini-Chapel, or Python with embedded sources)."""
     path = Path(path)
     text = path.read_text()
     if path.suffix in CHAPEL_SUFFIXES:
-        return analyze_source(text, file=str(path), constants=constants)
+        return analyze_source(
+            text, file=str(path), constants=constants, effects=effects
+        )
     diags: list[Diagnostic] = []
     for line_offset, chapel_src in iter_chapel_sources(text):
-        for d in analyze_source(chapel_src, constants=constants):
+        for d in analyze_source(chapel_src, constants=constants, effects=effects):
             diags.append(d.in_file(str(path), line_offset))
     return diags
 
@@ -207,13 +230,14 @@ def _iter_files(path: Path) -> Iterable[Path]:
 def analyze_path(
     path: str | Path,
     constants: dict[str, Any] | None = None,
+    effects: bool = False,
 ) -> AnalysisReport:
     """Analyze a file or every analyzable file under a directory."""
     root = Path(path)
     report = AnalysisReport()
     for f in _iter_files(root):
         try:
-            found = analyze_file(f, constants=constants)
+            found = analyze_file(f, constants=constants, effects=effects)
         except (OSError, UnicodeDecodeError):
             continue
         report.files_scanned += 1

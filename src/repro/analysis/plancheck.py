@@ -9,8 +9,8 @@ metadata) and the mini-Chapel AST:
 ``RS030``
     an index expression's achieved range provably exceeds the level's
     domain — ``computeIndex`` would address outside the linearized buffer
-    at run time (intervals must be *exact* to fire; see
-    :mod:`repro.analysis.intervals`);
+    at run time (bounds must be *exact* to fire; see
+    :mod:`repro.analysis.affine`);
 ``RS031``
     a strength-reduced hoist whose site is not actually contiguous
     (non-zero trailing offset) or whose hoist loop does not drive the
@@ -31,7 +31,7 @@ from repro.chapel import ast as A
 from repro.compiler.lower import AccessSite, LoweredReduction
 from repro.compiler.passes import CompilationPlan, LoopHoist
 from repro.analysis.diagnostics import Diagnostic, diag
-from repro.analysis.intervals import Interval, eval_interval
+from repro.analysis.effects import ELEM_RANGE, analyze_effects
 
 __all__ = ["validate_plan"]
 
@@ -43,86 +43,25 @@ def _site_wrapped(site: AccessSite) -> bool:
     return info.levels == len(site.index_exprs) + 1
 
 
-class _BoundsWalker:
-    """Walks the body with a loop-interval environment, checking sites."""
+def _check_site_bounds(
+    lowered: LoweredReduction, file: str | None
+) -> list[Diagnostic]:
+    """RS030/RS007 for every access-site index, via the effect analysis.
 
-    def __init__(
-        self,
-        lowered: LoweredReduction,
-        file: str | None,
-    ) -> None:
-        self.low = lowered
-        self.file = file
-        self.env: dict[str, Interval] = {}
-        self.diags: list[Diagnostic] = []
-        self._reported_sites: set[int] = set()
-
-    # -- traversal ------------------------------------------------------------
-
-    def walk_block(self, block: A.Block) -> None:
-        for stmt in block.stmts:
-            self.walk_stmt(stmt)
-
-    def walk_stmt(self, stmt: A.Stmt) -> None:
-        if isinstance(stmt, A.VarDeclStmt):
-            if stmt.decl.init is not None:
-                self.visit_expr(stmt.decl.init)
-        elif isinstance(stmt, A.Assign):
-            self.visit_expr(stmt.value)
-        elif isinstance(stmt, A.ForStmt):
-            lo = eval_interval(stmt.range.lo, self.env, self.low.constants)
-            hi = eval_interval(stmt.range.hi, self.env, self.low.constants)
-            self.visit_expr(stmt.range.lo)
-            self.visit_expr(stmt.range.hi)
-            if lo.is_known and hi.is_known:
-                rng = Interval(
-                    lo.lo,
-                    hi.hi,
-                    exact=lo.exact and hi.exact,
-                    vars=lo.vars | hi.vars,
-                )
-            else:
-                rng = Interval.unknown()
-            saved = self.env.get(stmt.var)
-            self.env[stmt.var] = rng
-            self.walk_block(stmt.body)
-            if saved is None:
-                self.env.pop(stmt.var, None)
-            else:
-                self.env[stmt.var] = saved
-        elif isinstance(stmt, A.IfStmt):
-            self.visit_expr(stmt.cond)
-            self.walk_block(stmt.then)
-            if stmt.orelse is not None:
-                self.walk_block(stmt.orelse)
-        elif isinstance(stmt, A.ExprStmt):
-            self.visit_expr(stmt.expr)
-        elif isinstance(stmt, A.Block):  # pragma: no cover - not produced
-            self.walk_block(stmt)
-
-    def visit_expr(self, expr: A.Expr) -> None:
-        site = self.low.sites.get(id(expr))
-        if site is not None:
-            self.check_site(expr, site)
-            for group in site.index_exprs:
-                for ie in group:
-                    self.visit_expr(ie)
-            return
-        if isinstance(expr, A.BinOp):
-            self.visit_expr(expr.left)
-            self.visit_expr(expr.right)
-        elif isinstance(expr, A.UnaryOp):
-            self.visit_expr(expr.operand)
-        elif isinstance(expr, A.Call):
-            for a in expr.args:
-                self.visit_expr(a)
-
-    # -- checks --------------------------------------------------------------
-
-    def check_site(self, expr: A.Expr, site: AccessSite) -> None:
+    One flow-sensitive abstract interpretation
+    (:func:`repro.analysis.effects.analyze_effects`) records a symbolic
+    form per index occurrence; each form is evaluated over the full
+    element range and compared against ``computeIndex``'s layout metadata.
+    Unreached occurrences (statically dead branches) record no form and
+    are skipped — dead code addresses nothing.
+    """
+    diags: list[Diagnostic] = []
+    summary = analyze_effects(lowered, file=file)
+    reported_rs007: set[int] = set()
+    for sid, site in lowered.sites.items():
         info = site.info
         if info is None or not site.index_exprs:
-            return
+            continue
         offset = 1 if _site_wrapped(site) else 0
         for gi, group in enumerate(site.index_exprs):
             level = gi + offset
@@ -133,35 +72,42 @@ class _BoundsWalker:
                 if dim >= domain.rank:  # pragma: no cover - lower invariant
                     continue
                 rng = domain.ranges[dim]
-                iv = eval_interval(ie, self.env, self.low.constants)
+                iv = summary.index_bounds(sid, gi, dim, ELEM_RANGE)
+                if iv is None:
+                    continue
                 if iv.definitely_outside(rng.low, rng.high):
-                    self.diags.append(
+                    diags.append(
                         diag(
                             "RS030",
-                            f"index {ie} of {site.kind} access {expr} spans "
-                            f"[{iv.lo}, {iv.hi}] but the level domain is "
+                            f"index {ie} of {site.kind} access {site.expr} "
+                            f"spans {iv} but the level domain is "
                             f"[{rng.low}..{rng.high}]: computeIndex would "
                             "address outside the linearized buffer",
-                            node=ie if (ie.line or ie.col) else expr,
-                            file=self.file,
-                            subject=self.low.name,
+                            node=ie if (ie.line or ie.col) else site.expr,
+                            file=file,
+                            subject=lowered.name,
                             hint="clamp or rescale the index to the "
                             "declared domain",
                         )
                     )
-                elif not iv.is_known and id(expr) not in self._reported_sites:
-                    self._reported_sites.add(id(expr))
-                    self.diags.append(
+                elif (
+                    iv.lo is None
+                    and iv.hi is None
+                    and sid not in reported_rs007
+                ):
+                    reported_rs007.add(sid)
+                    diags.append(
                         diag(
                             "RS007",
-                            f"index {ie} of {site.kind} access {expr} is "
-                            "data-dependent; bounds cannot be verified "
+                            f"index {ie} of {site.kind} access {site.expr} "
+                            "is data-dependent; bounds cannot be verified "
                             "statically",
-                            node=ie if (ie.line or ie.col) else expr,
-                            file=self.file,
-                            subject=self.low.name,
+                            node=ie if (ie.line or ie.col) else site.expr,
+                            file=file,
+                            subject=lowered.name,
                         )
                     )
+    return diags
 
 
 def _loop_vars(loop: A.ForStmt) -> set[str]:
@@ -277,9 +223,7 @@ def validate_plan(
     diags: list[Diagnostic] = []
 
     # 1. Index bounds against computeIndex's layout metadata (all levels).
-    walker = _BoundsWalker(lowered, file)
-    walker.walk_block(lowered.body)
-    diags.extend(walker.diags)
+    diags.extend(_check_site_bounds(lowered, file))
 
     # 2. Plan completeness and mode consistency.
     unplanned = set(lowered.sites) - set(plan.site_plans)

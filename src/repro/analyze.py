@@ -3,15 +3,23 @@
 Usage::
 
     python -m repro.analyze <file|dir> [<file|dir> ...] [--strict] [--json]
-                            [--no-registry]
+                            [--effects] [--no-registry]
 
 Analyzes mini-Chapel reduction classes in ``.chpl``/``.chapel`` files and
 in string literals embedded in ``.py`` files, and (unless ``--no-registry``)
-algebra-checks every builtin/registered ``ReduceScanOp``.
+algebra-checks every builtin/registered ``ReduceScanOp``.  ``--effects``
+additionally runs the symbolic effect analysis and reports its RS1xx
+findings (RS100 provable out-of-bounds group index, RS101 dead accumulate,
+RS102 non-affine unbounded group index).
 
-Exit status: ``0`` normally; with ``--strict``, ``1`` when any
-**error**-level diagnostic was reported (warnings and infos never fail the
-run — float-reduction nondeterminism is expected, not a defect).
+Exit status (stable — scripts and CI may rely on these):
+
+* ``0`` — analysis ran; without ``--strict`` always, with ``--strict`` only
+  when no **error**-level diagnostic was reported (warnings and infos never
+  fail the run — float-reduction nondeterminism is expected, not a defect);
+* ``1`` — ``--strict`` and at least one error-level diagnostic;
+* ``2`` — usage or I/O error: bad flags (via argparse) or a named path
+  that does not exist.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis import (
@@ -54,17 +63,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="emit diagnostics as a JSON array instead of rendered text",
     )
     parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="also run the symbolic effect analysis and report RS1xx "
+        "findings (provable OOB group index, dead accumulate, non-affine "
+        "group index)",
+    )
+    parser.add_argument(
         "--no-registry",
         action="store_true",
         help="skip the ReduceScanOp registry algebra checks",
     )
     args = parser.parse_args(argv)
 
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+
     bag = DiagnosticBag()
     sources: dict[str, str] = {}
     scanned = 0
     for p in args.paths:
-        report = analyze_path(p)
+        report = analyze_path(p, effects=args.effects)
         scanned += report.files_scanned
         bag.extend(report.diagnostics)
         sources.update(report.sources)

@@ -29,6 +29,11 @@ from repro.apps.apriori import (
     generate_transactions,
 )
 from repro.apps.em import EM_CHAPEL_SOURCE, EmResult, EmRunner
+from repro.apps.windowed import (
+    WINDOWED_CHAPEL_SOURCE,
+    WindowedResult,
+    WindowedRunner,
+)
 
 __all__ = [
     "KMEANS_CHAPEL_SOURCE",
@@ -54,4 +59,7 @@ __all__ = [
     "EM_CHAPEL_SOURCE",
     "EmRunner",
     "EmResult",
+    "WINDOWED_CHAPEL_SOURCE",
+    "WindowedRunner",
+    "WindowedResult",
 ]

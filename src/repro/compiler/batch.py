@@ -48,11 +48,16 @@ import math
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.chapel import ast as A
 from repro.compiler.codegen import PythonCodegen, _Cost, site_key
 from repro.compiler.lower import LoweredReduction, AccessSite
 from repro.compiler.passes import CompilationPlan, SitePlan
 from repro.util.errors import CodegenError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.analysis.effects import EffectSummary
 
 __all__ = ["BatchCodegen", "BatchUnsupported", "BATCH_NAMESPACE"]
 
@@ -189,16 +194,34 @@ class _Taint:
     """Which locals may vary across lanes (flow-insensitive fixpoint).
 
     A value is *lane-varying* ("tainted") when it transitively depends on a
-    data-site read, or is assigned under a lane-varying condition (the
-    ``np.where`` merge makes the target an array).  Loop variables are never
-    tainted — a lane-varying loop *range* is unvectorizable and reported as
-    the fallback reason instead, as is a lane-varying access-site index.
+    data-site read or the ``elemIdx()`` intrinsic, or is assigned under a
+    lane-varying condition (the ``np.where`` merge makes the target an
+    array).  Loop variables are never tainted — a lane-varying loop
+    *range* is unvectorizable and reported as the fallback reason instead.
+
+    A lane-varying access-site index used to force the same whole-kernel
+    fallback.  With an effect ``summary`` attached, a tainted index whose
+    symbolic summary proves containment in the site's declared innermost
+    extent is instead recorded as a **bounded-gather proof** — the emitter
+    vectorizes that access with a grouped ``np.take`` (see
+    :meth:`BatchCodegen._emit_gather_linear`); only refuted gathers still
+    fall back, with the refutation recorded.
     """
 
-    def __init__(self, lowered: LoweredReduction) -> None:
+    def __init__(
+        self,
+        lowered: LoweredReduction,
+        summary: "EffectSummary | None" = None,
+        plan: CompilationPlan | None = None,
+    ) -> None:
         self.low = lowered
+        self.summary = summary
+        self.plan = plan
         self.tainted: set[str] = set()
         self.reason: str | None = None
+        #: ``id(site.expr) -> proof record`` for every tainted index that
+        #: was checked against its extent (proven and refuted alike)
+        self.gather_proofs: dict[int, dict] = {}
 
     def run(self) -> None:
         for _ in range(len(self.low.locals) + 2):
@@ -226,17 +249,101 @@ class _Taint:
         if isinstance(expr, A.UnaryOp):
             return self.expr_tainted(expr.operand)
         if isinstance(expr, A.Call):
+            if expr.name == "elemIdx":
+                return True
             return any(self.expr_tainted(a) for a in expr.args)
         return False
 
     def check_site_indices(self, expr: A.Expr, site: AccessSite) -> None:
         for group in site.index_exprs:
             for ie in group:
-                if self.expr_tainted(ie):
-                    self._flag(
-                        f"index {ie} of {site.kind} access {expr} is "
-                        "element-dependent (gather not vectorized)"
-                    )
+                if not self.expr_tainted(ie):
+                    continue
+                proof = self._prove_gather(expr, site)
+                if proof is not None and proof["proven"]:
+                    continue
+                detail = "" if proof is None else f": {proof['reason']}"
+                self._flag(
+                    f"index {ie} of {site.kind} access {expr} is "
+                    f"element-dependent (gather not vectorized){detail}"
+                )
+
+    def proven_gather(self, site: AccessSite) -> dict | None:
+        """The successful proof record for ``site``, or None."""
+        proof = self.gather_proofs.get(id(site.expr))
+        if proof is not None and proof["proven"]:
+            return proof
+        return None
+
+    def _prove_gather(self, expr: A.Expr, site: AccessSite) -> dict | None:
+        """Try to prove a tainted index is a bounded gather.
+
+        Returns the cached proof record — ``proven`` True plus the bounds
+        and extent that justify a vectorized ``np.take``, or ``proven``
+        False with the refutation reason.  Returns None when no effect
+        summary is attached (legacy whole-kernel fallback).
+        """
+        if self.summary is None:
+            return None
+        sid = id(expr)
+        if sid in self.gather_proofs:
+            return self.gather_proofs[sid]
+        proof = self._build_gather_proof(expr, site)
+        self.gather_proofs[sid] = proof
+        return proof
+
+    def _build_gather_proof(self, expr: A.Expr, site: AccessSite) -> dict:
+        from repro.analysis.effects import ELEM_RANGE
+
+        record: dict = {
+            "site": str(expr),
+            "root": site.root,
+            "kind": site.kind,
+            "proven": False,
+            "reason": None,
+        }
+
+        def refute(reason: str) -> dict:
+            record["reason"] = reason
+            return record
+
+        if site.kind != "extra":
+            return refute(
+                "only read-only extra inputs can gather (data lanes are "
+                "strided views)"
+            )
+        if site.info is None:
+            return refute("site has no linearized layout info")
+        mode = (
+            self.plan.plan_for(id(expr)).mode if self.plan is not None else None
+        )
+        if mode != "linear":
+            return refute(
+                f"site planned as {mode!r}; a gather needs a linearized "
+                "(non-hoisted) extra access"
+            )
+        groups = site.index_exprs
+        if any(self.expr_tainted(ie) for g in groups[:-1] for ie in g):
+            return refute("a non-innermost index is lane-varying")
+        if len(groups[-1]) != 1:
+            return refute("innermost level is multi-dimensional")
+        inner = groups[-1][0]
+        bounds = self.summary.index_bounds(
+            id(expr), len(groups) - 1, 0, ELEM_RANGE
+        )
+        rng = site.info.domains[-1].ranges[0]
+        record["extent"] = f"[{rng.low}..{rng.high}]"
+        if bounds is None:
+            return refute("no symbolic summary recorded for the index")
+        record["bounds"] = str(bounds)
+        if not bounds.contained_in(rng.low, rng.high):
+            return refute(
+                f"index summary {bounds} is not provably contained in the "
+                f"declared extent [{rng.low}..{rng.high}]"
+            )
+        record["proven"] = True
+        record["index"] = str(inner)
+        return record
 
     def _walk_block(self, block: A.Block, ctx: bool) -> None:
         for stmt in block.stmts:
@@ -266,6 +373,45 @@ class _Taint:
             self._walk_block(stmt, ctx)
 
 
+def _uses_elem_idx(node: object) -> bool:
+    """Whether any expression under ``node`` calls the elemIdx() intrinsic."""
+    if isinstance(node, A.Call):
+        if node.name == "elemIdx":
+            return True
+        return any(_uses_elem_idx(a) for a in node.args)
+    if isinstance(node, A.Block):
+        return any(_uses_elem_idx(s) for s in node.stmts)
+    if isinstance(node, A.VarDeclStmt):
+        return node.decl.init is not None and _uses_elem_idx(node.decl.init)
+    if isinstance(node, A.Assign):
+        return _uses_elem_idx(node.value)
+    if isinstance(node, A.ForStmt):
+        return (
+            _uses_elem_idx(node.range.lo)
+            or _uses_elem_idx(node.range.hi)
+            or _uses_elem_idx(node.body)
+        )
+    if isinstance(node, A.IfStmt):
+        return (
+            _uses_elem_idx(node.cond)
+            or _uses_elem_idx(node.then)
+            or (node.orelse is not None and _uses_elem_idx(node.orelse))
+        )
+    if isinstance(node, A.ExprStmt):
+        return _uses_elem_idx(node.expr)
+    if isinstance(node, A.BinOp):
+        return _uses_elem_idx(node.left) or _uses_elem_idx(node.right)
+    if isinstance(node, A.UnaryOp):
+        return _uses_elem_idx(node.operand)
+    if isinstance(node, A.Index):
+        return _uses_elem_idx(node.base) or any(
+            _uses_elem_idx(i) for i in node.indices
+        )
+    if isinstance(node, A.Member):
+        return _uses_elem_idx(node.base)
+    return False
+
+
 # ------------------------------------------------------------------ generator
 
 
@@ -283,9 +429,10 @@ class BatchCodegen(PythonCodegen):
         lowered: LoweredReduction,
         plan: CompilationPlan,
         exclusive: bool = False,
+        summary: "EffectSummary | None" = None,
     ) -> None:
         super().__init__(lowered, plan)
-        self.taint = _Taint(lowered)
+        self.taint = _Taint(lowered, summary, plan)
         self.mask = "None"  # current mask expression ("None" = all lanes)
         self.lane = "_n0"  # current active-lane-count variable
         self._next_mask = 0
@@ -333,6 +480,8 @@ class BatchCodegen(PythonCodegen):
                 raise CodegenError(
                     f"{expr.name} is a statement-level intrinsic, not an expression"
                 )
+            if expr.name == "elemIdx":
+                return "_ev"
             fn = _BATCH_BUILTINS[expr.name]
             args = ", ".join(self.emit_expr(a, cost) for a in expr.args)
             cost.bump("flops")
@@ -358,12 +507,43 @@ class BatchCodegen(PythonCodegen):
 
     def _emit_linear(self, site: AccessSite, cost: _Cost) -> str:
         kid = self._key_id(site)
+        proof = self.taint.proven_gather(site)
+        if proof is not None:
+            return self._emit_gather_linear(site, cost)
         cost.bump("linear_reads")
         inner = self._inner_offset_code(site, cost)
         if site.kind == "data":
             # one strided lane view: lane i reads element (_start+i)'s scalar
             return f"_lanes_{kid}({inner})"
         return f"_rd_{kid}({inner})"
+
+    def _emit_gather_linear(self, site: AccessSite, cost: _Cost) -> str:
+        """Vectorize a proven bounded gather over an extra input.
+
+        The innermost index is lane-varying but its effect summary is
+        contained in the declared extent, so the access becomes one
+        ``np.take`` over the innermost run starting at the (scalar,
+        lane-invariant) base offset of the outer levels.  The ``np.clip``
+        never changes a live lane's index — containment is proven — it
+        only keeps the garbage indices of masked-off lanes in range before
+        their values are discarded by the ``np.where`` merges.
+
+        Cost parity with the scalar backend holds because the base offset
+        skips exactly the innermost index expression that ``emit_expr``
+        then accounts for separately.
+        """
+        kid = self._key_id(site)
+        cost.bump("linear_reads")
+        base = self._hoist_base_inner(site, cost, {})
+        inner = site.index_exprs[-1][0]
+        rng = site.info.domains[-1].ranges[0]  # type: ignore[union-attr]
+        idx = self.emit_expr(inner, cost)
+        if rng.low != 0:
+            idx = f"({idx} - {rng.low})"
+        return (
+            f"_np.take(_tv_{kid}({base}), "
+            f"_np.clip({idx}, 0, {rng.high - rng.low}))"
+        )
 
     def _emit_hoisted(self, site: AccessSite, plan: SitePlan, cost: _Cost) -> str:
         inner = site.index_exprs[-1][0]
@@ -585,6 +765,9 @@ class BatchCodegen(PythonCodegen):
             if "nested" in plan_modes:
                 self._w(f'_v_{site.root} = _env["val_{site.root}"]')
         self._w("_n0 = _end - _start")
+        if _uses_elem_idx(self.low.body):
+            # global 0-based element index per lane (the elemIdx() intrinsic)
+            self._w("_ev = _np.arange(_start, _end)")
         self._w("_C.elements_processed += _n0")
         self._w("with _errstate():")
         self.indent += 1

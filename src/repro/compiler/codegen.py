@@ -142,6 +142,8 @@ class PythonCodegen:
                 raise CodegenError(
                     f"{expr.name} is a statement-level intrinsic, not an expression"
                 )
+            if expr.name == "elemIdx":
+                return "_e"
             fn = _MATH_BUILTINS[expr.name]
             args = ", ".join(self.emit_expr(a, cost) for a in expr.args)
             cost.bump("flops")
@@ -478,6 +480,8 @@ class CLikeCodegen:
         if isinstance(expr, A.UnaryOp):
             return f"({expr.op}{self.emit_expr(expr.operand)})"
         if isinstance(expr, A.Call):
+            if expr.name == "elemIdx":
+                return "e"
             args = ", ".join(self.emit_expr(a) for a in expr.args)
             return f"{expr.name}({args})"
         raise CodegenError(f"cannot emit {expr!r}")  # pragma: no cover

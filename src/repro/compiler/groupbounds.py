@@ -6,108 +6,43 @@ updates can possibly touch.  Two splits whose group sets are disjoint can
 then update the one shared reduction object concurrently with no locks and
 no per-thread replicas — the PyOP2-style conflict-free coloring argument.
 
-This module answers the compile-time half of that question: a small
-flow-sensitive abstract interpretation over the lowered accumulate body
-computes an integer interval for the first argument of every
-``roAdd``/``roMin``/``roMax`` intrinsic call.  The analysis understands
+This module is now a thin consumer of the unified symbolic effect
+analysis (:mod:`repro.analysis.effects`): one abstract interpretation of
+the lowered accumulate body yields a **split-parametric** summary — an
+affine :class:`~repro.analysis.affine.Form` of the element index per
+``roAdd``/``roMin``/``roMax`` call — and :class:`GroupBounds` carries it
+forward so that
 
-* integer literals, integer constants and ``+``/``-``/``*`` arithmetic;
-* ``for`` loops (the loop variable ranges over the loop bounds' interval;
-  the body is iterated to a fixpoint so accumulator-style updates widen
-  soundly);
-* conditionals, including **condition narrowing** for comparisons against
-  declared-``int`` variables — which is what bounds histogram's clamp
-  pattern ``if (b < 0) { b = 0; } if (b > bins - 1) { b = bins - 1; }``
-  to ``[0, bins - 1]`` even though ``b`` starts as an unbounded
-  ``toInt(...)`` result.
+* :meth:`GroupBounds.groups` answers the whole-run question the old
+  interval analysis answered (which groups can *any* element touch), and
+* :meth:`GroupBounds.groups_for_range` answers the per-split question
+  (which groups can elements ``[start, end)`` touch), which is what lets
+  compiler-bounded apps color into genuinely wide waves instead of every
+  split conflicting with every other;
+* :attr:`GroupBounds.alignment` exposes the element-period of
+  ``elemIdx()``-derived group forms (``e // k`` windows change group only
+  at multiples of ``k``) as a split-boundary hint for
+  :func:`repro.freeride.splitter.aligned_splits`.
 
-Anything else (reals, calls, data reads, division) is *unbounded*; a single
-unbounded group index makes the whole result inexact and the engine falls
-back to a replica- or lock-based technique.  The analysis is deliberately
-conservative: it may report a wider interval than any execution realizes,
-never a narrower one.
+The shared engine also fixes the historical one-sided-clamp widening:
+``max(0, b)`` narrows to ``[0, +inf)`` and composes with a later
+``min(b, hi)`` into ``[0, hi]`` instead of widening straight to
+unbounded.  The analysis remains deliberately conservative: it may report
+a wider footprint than any execution realizes, never a narrower one.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.chapel import ast as A
 from repro.compiler.lower import LoweredReduction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (types only)
+    from repro.analysis.effects import EffectSummary
+
 __all__ = ["GroupBounds", "analyze_group_bounds"]
-
-#: Fixpoint iteration cap for loop bodies; variables still changing after
-#: this many rounds are widened to unbounded.
-_MAX_LOOP_ITERATIONS = 8
-
-
-@dataclass(frozen=True)
-class _Iv:
-    """An integer interval with independently optional bounds.
-
-    ``None`` means unbounded on that side — unlike
-    :class:`repro.analysis.intervals.Interval`, which requires both ends
-    known, half-open intervals are first-class here because condition
-    narrowing produces them (``b >= 0`` pins only the lower bound).
-    """
-
-    lo: int | None
-    hi: int | None
-
-    @property
-    def bounded(self) -> bool:
-        return self.lo is not None and self.hi is not None
-
-    def add(self, other: "_Iv") -> "_Iv":
-        return _Iv(
-            None if self.lo is None or other.lo is None else self.lo + other.lo,
-            None if self.hi is None or other.hi is None else self.hi + other.hi,
-        )
-
-    def sub(self, other: "_Iv") -> "_Iv":
-        return _Iv(
-            None if self.lo is None or other.hi is None else self.lo - other.hi,
-            None if self.hi is None or other.lo is None else self.hi - other.lo,
-        )
-
-    def mul(self, other: "_Iv") -> "_Iv":
-        if not (self.bounded and other.bounded):
-            return _TOP
-        products = [
-            self.lo * other.lo, self.lo * other.hi,
-            self.hi * other.lo, self.hi * other.hi,
-        ]
-        return _Iv(min(products), max(products))
-
-    def neg(self) -> "_Iv":
-        return _Iv(
-            None if self.hi is None else -self.hi,
-            None if self.lo is None else -self.lo,
-        )
-
-    def join(self, other: "_Iv") -> "_Iv":
-        """Smallest interval containing both (the lattice join)."""
-        return _Iv(
-            None if self.lo is None or other.lo is None else min(self.lo, other.lo),
-            None if self.hi is None or other.hi is None else max(self.hi, other.hi),
-        )
-
-    def clamp_hi(self, bound: int | None) -> "_Iv":
-        if bound is None:
-            return self
-        hi = bound if self.hi is None else min(self.hi, bound)
-        return _Iv(self.lo, hi)
-
-    def clamp_lo(self, bound: int | None) -> "_Iv":
-        if bound is None:
-            return self
-        lo = bound if self.lo is None else max(self.lo, bound)
-        return _Iv(lo, self.hi)
-
-
-_TOP = _Iv(None, None)
 
 
 @dataclass(frozen=True)
@@ -119,6 +54,10 @@ class GroupBounds:
     ``sites`` counts the intrinsic calls analyzed — zero sites is bounded
     and touches no groups.  ``reason`` documents why an inexact result is
     inexact (for stats and trace events).
+
+    ``summary`` is the underlying effect summary; ``alignment`` is the
+    combined element-period of the group forms (``None`` when no
+    element-dependent form exposes one).
     """
 
     bounded: bool
@@ -126,6 +65,10 @@ class GroupBounds:
     hi: int | None
     sites: int
     reason: str | None = None
+    alignment: int | None = None
+    summary: "EffectSummary | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def groups(self, num_groups: int) -> frozenset[int] | None:
         """The touched group ids, clipped to the allocated layout.
@@ -141,221 +84,51 @@ class GroupBounds:
         hi = min(num_groups - 1, self.hi)
         return frozenset(range(lo, hi + 1))
 
+    def groups_for_range(
+        self, start: int, end: int, num_groups: int
+    ) -> frozenset[int] | None:
+        """Group ids elements ``[start, end)`` can touch (split footprint).
+
+        Falls back to the whole-run :meth:`groups` set when no effect
+        summary is attached (e.g. a :class:`GroupBounds` deserialized from
+        an older spec).  Returns ``None`` when the bounds are inexact.
+        """
+        if not self.bounded:
+            return None
+        if self.summary is None:
+            return self.groups(num_groups)
+        out = self.summary.groups_for_range(start, end, num_groups)
+        if out is None:  # pragma: no cover - bounded implies per-range too
+            return self.groups(num_groups)
+        return out
+
     def fingerprint(self) -> str:
-        """Stable digest of the bounds (folded into kernel-cache entries)."""
+        """Stable digest of the bounds (folded into kernel-cache entries).
+
+        Includes the symbolic forms: two reductions with the same hull but
+        different per-split footprints must not share colored kernel-cache
+        entries.
+        """
         text = f"{self.bounded}:{self.lo}:{self.hi}:{self.sites}"
+        if self.summary is not None:
+            text += f":{self.summary.fingerprint()}:{self.alignment}"
         return hashlib.sha256(text.encode()).hexdigest()[:12]
-
-
-class _Analyzer:
-    """One flow-sensitive walk over an accumulate body."""
-
-    def __init__(self, constants: dict[str, object]) -> None:
-        self.constants = {
-            k: int(v)
-            for k, v in constants.items()
-            if isinstance(v, int) and not isinstance(v, bool)
-        }
-        #: variables declared ``: int`` (plus loop vars) — the only ones
-        #: condition narrowing may touch, since the ±1 adjustments for
-        #: strict comparisons assume integer semantics
-        self.int_vars: set[str] = set()
-        self.record = True
-        self.site_bounds: list[_Iv] = []
-
-    # -- expressions ---------------------------------------------------------
-
-    def eval(self, expr: A.Expr, env: dict[str, _Iv]) -> _Iv:
-        if isinstance(expr, A.IntLit):
-            return _Iv(expr.value, expr.value)
-        if isinstance(expr, A.Ident):
-            if expr.name in env:
-                return env[expr.name]
-            if expr.name in self.constants:
-                c = self.constants[expr.name]
-                return _Iv(c, c)
-            return _TOP
-        if isinstance(expr, A.BinOp):
-            left = self.eval(expr.left, env)
-            right = self.eval(expr.right, env)
-            if expr.op == "+":
-                return left.add(right)
-            if expr.op == "-":
-                return left.sub(right)
-            if expr.op == "*":
-                return left.mul(right)
-            return _TOP  # division, modulo, comparisons, logical ops
-        if isinstance(expr, A.UnaryOp) and expr.op == "-":
-            return self.eval(expr.operand, env).neg()
-        # reals, calls, data/extra reads, member chains: unbounded
-        return _TOP
-
-    # -- condition narrowing --------------------------------------------------
-
-    def narrow(
-        self, cond: A.Expr, truth: bool, env: dict[str, _Iv]
-    ) -> dict[str, _Iv]:
-        """Refine ``env`` under ``cond == truth`` (new dict, input unshared)."""
-        env = dict(env)
-        self._narrow_into(cond, truth, env)
-        return env
-
-    def _narrow_into(self, cond: A.Expr, truth: bool, env: dict[str, _Iv]) -> None:
-        if isinstance(cond, A.UnaryOp) and cond.op == "!":
-            self._narrow_into(cond.operand, not truth, env)
-            return
-        if not isinstance(cond, A.BinOp):
-            return
-        if cond.op == "&&" and truth:
-            self._narrow_into(cond.left, True, env)
-            self._narrow_into(cond.right, True, env)
-            return
-        if cond.op == "||" and not truth:
-            self._narrow_into(cond.left, False, env)
-            self._narrow_into(cond.right, False, env)
-            return
-        if cond.op not in ("<", "<=", ">", ">=", "=="):
-            return
-        # Normalize to <var> <op> <expr>; handle the mirrored form too.
-        if isinstance(cond.left, A.Ident) and cond.left.name in self.int_vars:
-            self._narrow_var(cond.left.name, cond.op, cond.right, truth, env)
-        if isinstance(cond.right, A.Ident) and cond.right.name in self.int_vars:
-            mirrored = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
-            self._narrow_var(
-                cond.right.name, mirrored[cond.op], cond.left, truth, env
-            )
-
-    def _narrow_var(
-        self,
-        name: str,
-        op: str,
-        bound_expr: A.Expr,
-        truth: bool,
-        env: dict[str, _Iv],
-    ) -> None:
-        bound = self.eval(bound_expr, env)
-        iv = env.get(name, _TOP)
-        if not truth:
-            negated = {"<": ">=", "<=": ">", ">": "<=", ">=": "<"}
-            if op == "==":  # != gives no interval refinement
-                return
-            op = negated[op]
-        if op == "<":
-            iv = iv.clamp_hi(None if bound.hi is None else bound.hi - 1)
-        elif op == "<=":
-            iv = iv.clamp_hi(bound.hi)
-        elif op == ">":
-            iv = iv.clamp_lo(None if bound.lo is None else bound.lo + 1)
-        elif op == ">=":
-            iv = iv.clamp_lo(bound.lo)
-        elif op == "==":
-            iv = iv.clamp_lo(bound.lo).clamp_hi(bound.hi)
-        env[name] = iv
-
-    # -- statements -----------------------------------------------------------
-
-    def block(self, block: A.Block, env: dict[str, _Iv]) -> dict[str, _Iv]:
-        for stmt in block.stmts:
-            env = self.stmt(stmt, env)
-        return env
-
-    def stmt(self, stmt: A.Stmt, env: dict[str, _Iv]) -> dict[str, _Iv]:
-        if isinstance(stmt, A.VarDeclStmt):
-            decl = stmt.decl
-            if (
-                isinstance(decl.type, A.NamedTypeExpr)
-                and decl.type.name == "int"
-            ):
-                self.int_vars.add(decl.name)
-            env = dict(env)
-            env[decl.name] = (
-                self.eval(decl.init, env) if decl.init is not None else _TOP
-            )
-            return env
-        if isinstance(stmt, A.Assign):
-            if not isinstance(stmt.target, A.Ident):
-                return env  # array-element stores carry no group index
-            value = self.eval(stmt.value, env)
-            if stmt.op is not None:
-                cur = env.get(stmt.target.name, _TOP)
-                value = {
-                    "+": cur.add, "-": cur.sub, "*": cur.mul,
-                }.get(stmt.op, lambda _v: _TOP)(value)
-            env = dict(env)
-            env[stmt.target.name] = value
-            return env
-        if isinstance(stmt, A.IfStmt):
-            then_env = self.block(stmt.then, self.narrow(stmt.cond, True, env))
-            else_env = self.narrow(stmt.cond, False, env)
-            if stmt.orelse is not None:
-                else_env = self.block(stmt.orelse, else_env)
-            return self._join_envs(then_env, else_env)
-        if isinstance(stmt, A.ForStmt):
-            return self._for(stmt, env)
-        if isinstance(stmt, A.ExprStmt):
-            expr = stmt.expr
-            if (
-                self.record
-                and isinstance(expr, A.Call)
-                and expr.name in A.RO_INTRINSICS
-                and expr.args
-            ):
-                self.site_bounds.append(self.eval(expr.args[0], env))
-            return env
-        if isinstance(stmt, A.Block):  # pragma: no cover - not produced
-            return self.block(stmt, env)
-        return env  # ReturnStmt and friends: no bindings change
-
-    def _for(self, stmt: A.ForStmt, env: dict[str, _Iv]) -> dict[str, _Iv]:
-        self.int_vars.add(stmt.var)
-        lo = self.eval(stmt.range.lo, env)
-        hi = self.eval(stmt.range.hi, env)
-        loop_iv = _Iv(lo.lo, hi.hi)
-
-        # Fixpoint over the body WITHOUT recording sites: intermediate
-        # environments may be narrower than the loop invariant, and sites
-        # must only ever be recorded under the invariant.
-        recording, self.record = self.record, False
-        cur = dict(env)
-        converged = False
-        for _ in range(_MAX_LOOP_ITERATIONS):
-            inner = dict(cur)
-            inner[stmt.var] = loop_iv
-            out = self.block(stmt.body, inner)
-            out.pop(stmt.var, None)
-            new = self._join_envs(cur, out)
-            if new == cur:
-                converged = True
-                break
-            cur = new
-        if not converged:
-            for name in set(cur) | set(env):
-                if cur.get(name) != env.get(name):
-                    cur[name] = _TOP
-        self.record = recording
-
-        # One final pass under the stable invariant records the sites (and
-        # re-applies the body's effect once, which the invariant absorbs).
-        inner = dict(cur)
-        inner[stmt.var] = loop_iv
-        out = self.block(stmt.body, inner)
-        out.pop(stmt.var, None)
-        return self._join_envs(cur, out)
-
-    @staticmethod
-    def _join_envs(a: dict[str, _Iv], b: dict[str, _Iv]) -> dict[str, _Iv]:
-        """Pointwise join; a variable bound on only one path is unbounded."""
-        return {k: a[k].join(b[k]) for k in a.keys() & b.keys()}
 
 
 def analyze_group_bounds(lowered: LoweredReduction) -> GroupBounds:
     """Bound the group index of every RO intrinsic in ``lowered``'s body."""
-    analyzer = _Analyzer(lowered.constants)
-    analyzer.block(lowered.body, {})
-    sites = analyzer.site_bounds
+    # Imported lazily: repro.analysis.effects pulls in the analysis package,
+    # which this compiler-side module must not require at import time.
+    from repro.analysis.effects import ELEM_RANGE, analyze_effects
+
+    summary = analyze_effects(lowered)
+    sites = summary.accumulates
     if not sites:
-        return GroupBounds(bounded=True, lo=None, hi=None, sites=0)
-    inexact = [iv for iv in sites if not iv.bounded]
+        return GroupBounds(
+            bounded=True, lo=None, hi=None, sites=0, summary=summary
+        )
+    intervals = [eff.group_bounds(ELEM_RANGE) for eff in sites]
+    inexact = [iv for iv in intervals if not iv.bounded]
     if inexact:
         return GroupBounds(
             bounded=False,
@@ -366,11 +139,27 @@ def analyze_group_bounds(lowered: LoweredReduction) -> GroupBounds:
                 f"{len(inexact)} of {len(sites)} reduction-object update "
                 "sites have an unbounded group index"
             ),
+            summary=summary,
         )
-    total = sites[0]
-    for iv in sites[1:]:
+    total = intervals[0]
+    for iv in intervals[1:]:
         total = total.join(iv)
     assert total.lo is not None and total.hi is not None
     return GroupBounds(
-        bounded=True, lo=total.lo, hi=total.hi, sites=len(sites)
+        bounded=True,
+        lo=_ceil_int(total.lo),
+        hi=_floor_int(total.hi),
+        sites=len(sites),
+        alignment=summary.alignment(),
+        summary=summary,
     )
+
+
+def _ceil_int(v: float | int) -> int:
+    i = int(v)
+    return i if i >= v else i + 1
+
+
+def _floor_int(v: float | int) -> int:
+    i = int(v)
+    return i if i <= v else i - 1

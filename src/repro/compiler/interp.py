@@ -61,9 +61,11 @@ class _Interp:
         element: Any,
         extras: dict[str, Any],
         ro: ReductionObject,
+        elem_index: int = 0,
     ) -> None:
         self.low = lowered
         self.ro = ro
+        self.elem_index = elem_index
         self.scopes: list[dict[str, Any]] = [
             {lowered.param_name: element, **extras, **lowered.constants}
         ]
@@ -151,6 +153,8 @@ class _Interp:
         if isinstance(expr, A.Call):
             if expr.name in _RO_METHODS:
                 raise CompilerError(f"{expr.name} is only valid as a statement")
+            if expr.name == "elemIdx":
+                return self.elem_index
             fn = _MATH[expr.name]
             return fn(*(self.eval(a) for a in expr.args))
         raise CompilerError(f"interpreter: unsupported expression {expr!r}")
@@ -161,9 +165,14 @@ def interpret_accumulate(
     element: Any,
     extras: dict[str, Any],
     ro: ReductionObject,
+    elem_index: int = 0,
 ) -> None:
-    """Run the accumulate body for one element."""
-    interp = _Interp(lowered, element, extras, ro)
+    """Run the accumulate body for one element.
+
+    ``elem_index`` is the element's 0-based dataset position, observable
+    from the DSL via the ``elemIdx()`` intrinsic.
+    """
+    interp = _Interp(lowered, element, extras, ro, elem_index=elem_index)
     interp.exec_block(lowered.body)
 
 
@@ -188,6 +197,6 @@ def interpret_over(
         iterable = elements.elements()
     else:
         iterable = elements
-    for element in iterable:
-        interpret_accumulate(lowered, element, extras, ro)
+    for i, element in enumerate(iterable):
+        interpret_accumulate(lowered, element, extras, ro, elem_index=i)
     return ro

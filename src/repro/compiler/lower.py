@@ -336,6 +336,11 @@ class _BodyAnalyzer:
                         f"{expr.name} takes (group, element, value); got {len(expr.args)} args"
                     )
                 self.low.ro_ops_used.add(A.RO_INTRINSICS[expr.name])
+            elif expr.name == "elemIdx":
+                if expr.args:
+                    raise CompilerError(
+                        f"elemIdx takes no arguments; got {len(expr.args)}"
+                    )
             elif expr.name not in self._MATH_BUILTINS:
                 raise CompilerError(f"unknown function {expr.name!r}")
             for a in expr.args:

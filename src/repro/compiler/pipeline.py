@@ -75,7 +75,7 @@ def _run_analysis(
 
     from repro.analysis import analyze_program, render_diagnostics
 
-    diags = analyze_program(program, constants, class_name)
+    diags = analyze_program(program, constants, class_name, effects=True)
     if diags:
         print(render_diagnostics(diags), file=sys.stderr)
     errors = [d for d in diags if d.is_error]

@@ -522,6 +522,10 @@ def compile_reduction(
                 namespace,
             )
 
+        # One effect analysis drives both the group-bounds hull (coloring)
+        # and the batch emitter's bounded-gather proofs.
+        group_bounds = analyze_group_bounds(lowered)
+
         batch_source: str | None = None
         batch_kernel: Callable | None = None
         batch_fallback_reason: str | None = None
@@ -529,10 +533,14 @@ def compile_reduction(
             with tracer.span(
                 "batch_codegen", cat="compiler", reduction=lowered.name
             ) as batch_span:
+                batchgen = BatchCodegen(
+                    lowered,
+                    plan,
+                    exclusive=(technique == "colored"),
+                    summary=group_bounds.summary,
+                )
                 try:
-                    batch_source = BatchCodegen(
-                        lowered, plan, exclusive=(technique == "colored")
-                    ).generate()
+                    batch_source = batchgen.generate()
                 except BatchUnsupported as exc:
                     batch_fallback_reason = str(exc)
                     batch_span.set(fallback=True)
@@ -560,6 +568,19 @@ def compile_reduction(
                         batch_ns,
                     )
                     batch_kernel = batch_ns["_batch_kernel"]
+                for proof in batchgen.taint.gather_proofs.values():
+                    tracer.event(
+                        "batch_gather_proof" if proof["proven"]
+                        else "batch_gather_refuted",
+                        cat="compiler",
+                        reduction=lowered.name,
+                        opt_level=opt_level,
+                        **{
+                            k: v
+                            for k, v in proof.items()
+                            if k != "proven" and v is not None
+                        },
+                    )
 
     return CompiledReduction(
         lowered=lowered,
@@ -570,7 +591,7 @@ def compile_reduction(
         keys=dict(pygen.keys),
         backend=backend,
         technique=technique,
-        group_bounds=analyze_group_bounds(lowered),
+        group_bounds=group_bounds,
         batch_source=batch_source,
         batch_kernel=batch_kernel,
         batch_fallback_reason=batch_fallback_reason,

@@ -14,13 +14,19 @@ Group sets come from one of two sources, in priority order:
    ``(split, num_groups) -> iterable of group ids | None`` (``None`` means
    "unknown for this split").  This is the hook for reductions whose group
    footprint genuinely varies per split (e.g. pre-partitioned inputs).
-2. the compiler's flow-sensitive analysis
+2. the compiler's symbolic effect analysis
    (:func:`repro.compiler.groupbounds.analyze_group_bounds`), attached to
-   specs built from compiled reductions.  The analysis bounds the group
-   index of every RO intrinsic over *any* element, so every split gets the
-   same set — the coloring then degenerates to one split per wave, which
-   still delivers the technique's memory/lock-freedom guarantees (a single
-   shared RO, zero lock acquisitions) at replication-free cost.
+   specs built from compiled reductions.  The attached
+   :class:`~repro.compiler.groupbounds.GroupBounds` carries the
+   split-parametric effect summary, so each split's footprint is evaluated
+   over just its own element range
+   (:meth:`~repro.compiler.groupbounds.GroupBounds.groups_for_range`):
+   reductions whose group index is a function of the element index (e.g.
+   ``elemIdx() / window``) get genuinely disjoint per-split sets and color
+   into wide waves.  When every group form is element-independent the
+   footprints coincide and the coloring degenerates to one split per wave,
+   which still delivers the technique's memory/lock-freedom guarantees (a
+   single shared RO, zero lock acquisitions) at replication-free cost.
 
 If no source yields exact sets for every split, coloring is impossible and
 the caller falls back to a replica- or lock-based technique.
@@ -96,10 +102,13 @@ def resolve_group_sets(
             sets.append(gs)
         return sets, "spec_hook"
     if isinstance(hook, GroupBounds):
-        groups = hook.groups(num_groups)
-        if groups is None:
-            return None, None
-        return [groups] * len(splits), "compiler"
+        sets = []
+        for split in splits:
+            groups = hook.groups_for_range(split.start, split.end, num_groups)
+            if groups is None:
+                return None, None
+            sets.append(groups)
+        return sets, "compiler"
     return None, None
 
 

@@ -96,6 +96,7 @@ from repro.freeride.splitter import (
     Split,
     SplitQueue,
     _check_partition,
+    aligned_splits,
     chunked_splitter,
     default_splitter,
     split_descriptors,
@@ -148,6 +149,10 @@ class RunStats:
     #: wave-schedule summary when the run executed colored
     #: (:meth:`repro.freeride.coloring.SplitColoring.as_dict`), else ``None``
     coloring: dict[str, Any] | None = None
+    #: element alignment the default splitter snapped split boundaries to
+    #: (the effect analysis' ``GroupBounds.alignment`` wave hint); ``None``
+    #: when the run used unaligned splits
+    split_alignment: int | None = None
     total_elements: int = 0
     elements_per_thread: list[int] = field(default_factory=list)
     splits_per_thread: list[int] = field(default_factory=list)
@@ -578,13 +583,20 @@ class FreerideEngine:
 
         # Splits before the shared-memory manager: technique resolution
         # (auto selection, colored wave layout) needs the split list.
+        alignment_used: int | None = None
         if self.splitter is not None:
             splits = self.splitter(data, self.num_threads)
             _validate_custom_splits(splits, data)
         elif self.chunk_size is not None:
             splits = chunked_splitter(data, self.chunk_size)
         else:
-            splits = default_splitter(data, self.num_threads)
+            alignment_used = self._wave_alignment(spec)
+            if alignment_used is not None:
+                splits = aligned_splits(data, self.num_threads, alignment_used)
+            else:
+                splits = default_splitter(data, self.num_threads)
+        if node == 0:
+            stats.split_alignment = alignment_used
 
         technique, coloring = self._resolve_technique(
             spec, splits, ro, stats, tracer, node
@@ -651,6 +663,30 @@ class FreerideEngine:
                 elements_merged=lc_stats.elements_merged,
             )
         return ro, sm_stats, lc_stats
+
+    def _wave_alignment(self, spec: ReductionSpec) -> int | None:
+        """Split-boundary alignment from the effect analysis, if applicable.
+
+        Only the default splitter under a coloring-capable technique
+        (``colored`` or ``auto`` on an in-process executor) snaps
+        boundaries: the alignment is the element-period of the kernel's
+        ``elemIdx()``-derived group forms, and honoring it keeps per-split
+        footprints disjoint so waves color wide.
+        """
+        if self.executor == "process":
+            return None
+        if not (
+            self.technique is None
+            or self.technique is SharedMemTechnique.COLORED
+        ):
+            return None
+        gb = getattr(spec, "group_bounds", None)
+        if gb is None or callable(gb):
+            return None
+        alignment = getattr(gb, "alignment", None)
+        if not isinstance(alignment, int) or alignment <= 1:
+            return None
+        return alignment
 
     # -- technique resolution (auto selection + colored wave layout) -----------
 

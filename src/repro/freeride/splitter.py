@@ -28,6 +28,7 @@ __all__ = [
     "Split",
     "default_splitter",
     "chunked_splitter",
+    "aligned_splits",
     "split_descriptors",
     "SplitQueue",
 ]
@@ -78,6 +79,35 @@ def default_splitter(data: Any, req_units: int) -> list[Split]:
         size = base + (1 if t < extra else 0)
         splits.append(Split(t, start, start + size, _slice(data, start, start + size)))
         start += size
+    _check_partition(splits, n)
+    return splits
+
+
+def aligned_splits(data: Any, req_units: int, alignment: int) -> list[Split]:
+    """Block-partition with split boundaries snapped to ``alignment``.
+
+    The effect analysis exposes the element-period of ``elemIdx()``-derived
+    group forms as :attr:`~repro.compiler.groupbounds.GroupBounds.alignment`
+    (``e // k`` changes group only at multiples of ``k``).  Snapping each
+    boundary to the nearest multiple keeps any one alignment window inside a
+    single split, so per-split group footprints stay disjoint and the
+    COLORED technique colors wide waves instead of chaining splits that
+    straddle a window.  Degenerates to near-balanced blocks — boundaries
+    move by at most ``alignment/2`` elements from the even partition.
+    """
+    check_positive_int(req_units, "req_units")
+    check_positive_int(alignment, "alignment")
+    n = _data_len(data)
+    bounds = [0]
+    for t in range(1, req_units):
+        ideal = n * t / req_units
+        snapped = int(round(ideal / alignment)) * alignment
+        bounds.append(min(max(snapped, bounds[-1]), n))
+    bounds.append(n)
+    splits = [
+        Split(i, a, b, _slice(data, a, b))
+        for i, (a, b) in enumerate(zip(bounds, bounds[1:]))
+    ]
     _check_partition(splits, n)
     return splits
 

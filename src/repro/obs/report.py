@@ -10,6 +10,7 @@ phase, work per thread, compiler-stage costs — so a trace file answers
 
 from __future__ import annotations
 
+import textwrap
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Any, Iterable
@@ -44,6 +45,14 @@ class TraceReport:
     combination: dict[str, tuple[int, float]] = field(default_factory=dict)
     #: instant-event tallies by name
     events: dict[str, int] = field(default_factory=dict)
+    #: ``technique.decision`` event args in trace order — one record per
+    #: run where the engine had to decide (``auto``) or degrade a request
+    #: (``colored`` without exact group bounds); carries requested/chosen,
+    #: the reason, and every heuristic input
+    decisions: list[dict[str, Any]] = field(default_factory=list)
+    #: ``batch_gather_proof`` / ``batch_gather_refuted`` event args — the
+    #: batch backend's verdict per lane-varying access-site index
+    gathers: list[dict[str, Any]] = field(default_factory=list)
     #: engine.run span count (= reduction passes in the trace)
     runs: int = 0
     total_spans: int = 0
@@ -65,7 +74,14 @@ def summarize_trace(events: Iterable[dict[str, Any]]) -> TraceReport:
         ph = ev.get("ph")
         if ph == "i":
             report.total_events += 1
-            tallies[str(ev.get("name", ""))] += 1
+            name = str(ev.get("name", ""))
+            tallies[name] += 1
+            if name == "technique.decision":
+                report.decisions.append(dict(ev.get("args") or {}))
+            elif name in ("batch_gather_proof", "batch_gather_refuted"):
+                rec = dict(ev.get("args") or {})
+                rec["proven"] = name == "batch_gather_proof"
+                report.gathers.append(rec)
             continue
         if ph != "X":
             continue
@@ -152,6 +168,46 @@ def format_report(report: TraceReport) -> str:
         lines.append(f"  {'span':<24} {'count':>7} {'seconds':>12}")
         for name, (count, secs) in sorted(report.combination.items()):
             lines.append(f"  {name:<24} {count:>7} {_fmt_seconds(secs):>12}")
+
+    if report.decisions:
+        lines.append("")
+        lines.append("technique decisions (event=technique.decision)")
+        for d in report.decisions:
+            node = d.get("node", 0)
+            lines.append(
+                f"  node {node}: requested {d.get('requested', '?')!r}"
+                f" -> ran {d.get('chosen', '?')!r}"
+            )
+            inputs = [
+                f"{key}={d[key]}"
+                for key in (
+                    "colorable",
+                    "max_wave_width",
+                    "num_splits",
+                    "replication_bytes",
+                    "lock_contention_mean",
+                )
+                if d.get(key) is not None
+            ]
+            if inputs:
+                lines.append(f"    inputs: {', '.join(inputs)}")
+            for wrapped in textwrap.wrap(str(d.get("reason", "")), width=66):
+                lines.append(f"    {wrapped}")
+
+    if report.gathers:
+        lines.append("")
+        lines.append("batch gather proofs (event=batch_gather_proof|_refuted)")
+        for g in report.gathers:
+            verdict = "vectorized" if g.get("proven") else "refuted"
+            lines.append(f"  {g.get('site', '?')}: {verdict}")
+            if g.get("proven"):
+                detail = f"    index {g.get('index')} bounded {g.get('bounds')}"
+                if g.get("extent") is not None:
+                    detail += f" within extent {g.get('extent')}"
+                lines.append(detail)
+            else:
+                for wrapped in textwrap.wrap(str(g.get("reason", "")), width=66):
+                    lines.append(f"    {wrapped}")
 
     if report.events:
         lines.append("")

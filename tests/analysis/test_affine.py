@@ -1,0 +1,159 @@
+"""The shared symbolic range engine: Bounds intervals and affine Forms.
+
+Exactness is the load-bearing bit — ``definitely_outside`` may only fire
+on intervals whose endpoints are provably *achieved*, while
+``contained_in`` needs mere boundedness.  These tests pin both
+directions, plus the one-sided-clamp composition fix: ``max(0, x)``
+followed by ``min(x, hi)`` must fold to one bounded clamp instead of
+staying half-open.
+"""
+
+import pytest
+
+from repro.analysis.affine import (
+    ELEM,
+    TOP,
+    Bounds,
+    const,
+    f_add,
+    f_clamp,
+    f_div,
+    f_max,
+    f_min,
+    f_mod,
+    f_mul,
+    f_sub,
+    f_toint,
+    unknown,
+)
+
+
+class TestBounds:
+    def test_point_is_exact(self):
+        b = Bounds.point(5)
+        assert (b.lo, b.hi, b.exact) == (5, 5, True)
+
+    def test_add_keeps_exactness_for_independent_operands(self):
+        a = Bounds(0, 3, exact=True)
+        c = Bounds.point(2)
+        assert a.add(c) == Bounds(2, 5, exact=True)
+
+    def test_add_of_shared_variable_drops_exactness(self):
+        # e + (-e) is [−hi, hi] as a hull but only 0 is achieved: the
+        # dependent-variable rule must drop exactness.
+        e = ELEM.eval(Bounds(0, 7, exact=True))
+        hull = e.add(e.neg())
+        assert not hull.exact
+        assert not hull.definitely_outside(0, 0)
+
+    def test_floordiv_preserves_contiguity(self):
+        b = Bounds(0, 15, exact=True).floordiv_const(4)
+        assert b == Bounds(0, 3, exact=True)
+
+    def test_real_div_drops_exactness(self):
+        assert not Bounds(0, 8, exact=True).div_const(2).exact
+
+    def test_mod_within_one_window_keeps_run(self):
+        b = Bounds(9, 11, exact=True).mod_const(8)
+        assert (b.lo, b.hi, b.exact) == (1, 3, True)
+
+    def test_mod_wrapping_full_cycle_is_exact(self):
+        assert Bounds(0, 7, exact=True).mod_const(4) == Bounds(
+            0, 3, exact=True
+        )
+
+    def test_mod_partial_wrap_is_inexact(self):
+        b = Bounds(3, 5, exact=True).mod_const(4)
+        assert (b.lo, b.hi) == (0, 3) and not b.exact
+
+    def test_definitely_outside_requires_exactness(self):
+        assert Bounds(-1, 5, exact=True).definitely_outside(0, 9)
+        assert not Bounds(-1, 5, exact=False).definitely_outside(0, 9)
+
+    def test_contained_in_needs_only_boundedness(self):
+        assert Bounds(0, 5, exact=False).contained_in(0, 9)
+        assert not Bounds(0, None, exact=True).contained_in(0, 9)
+        assert not Bounds(0, 10, exact=True).contained_in(0, 9)
+
+    def test_empty_interval_touches_nothing(self):
+        assert not Bounds(5, 2, exact=True).definitely_outside(0, 1)
+
+    def test_str_marks_inexact_hulls(self):
+        assert str(Bounds(2, 5, exact=True)) == "[2, 5]"
+        assert str(Bounds(0, None, exact=False)) == "[0, +inf]~"
+
+
+class TestForm:
+    def test_elem_scaled_and_shifted(self):
+        f = f_add(f_mul(ELEM, const(2)), const(1))
+        assert f.eval(Bounds(0, 4, exact=True)).contained_in(1, 9)
+
+    def test_toint_of_div_is_floordiv(self):
+        # toInt(e / 4) over e in [0, 15] is e // 4: exact [0, 3].
+        f = f_toint(f_div(ELEM, const(4)))
+        b = f.eval(Bounds(0, 15, exact=True))
+        assert b == Bounds(0, 3, exact=True, vars=b.vars)
+
+    def test_alignment_of_window_form(self):
+        f = f_clamp(f_toint(f_div(ELEM, const(64))), None, 7)
+        assert f.alignment() == 64
+        assert f_mod(ELEM, const(16)).alignment() == 16
+        assert f_add(f_toint(f_div(ELEM, const(8))), const(3)).alignment() == 8
+
+    def test_unknown_carries_its_bounds(self):
+        f = unknown(Bounds(0, 9), int_typed=True)
+        assert f.eval(TOP) == Bounds(0, 9)
+        assert not f.is_affine_elem
+
+
+class TestClampComposition:
+    """Satellite regression: the one-sided-clamp widening fix."""
+
+    def test_two_statement_clamp_folds_to_bounded(self):
+        # max(0, x) then min(·, 7): the old interval analysis kept the
+        # half-open [0, +inf) and never recovered the upper bound.
+        x = unknown(int_typed=True)
+        lower = f_max(x, const(0))
+        both = f_min(lower, const(7))
+        assert both.kind == "clamp" and (both.lo, both.hi) == (0, 7)
+        assert both.eval(TOP).contained_in(0, 7)
+
+    def test_opposite_order_also_folds(self):
+        x = unknown(int_typed=True)
+        f = f_max(f_min(x, const(7)), const(0))
+        assert f.eval(TOP) == Bounds(0, 7, exact=f.eval(TOP).exact)
+
+    def test_outer_lo_wins_over_inner_hi(self):
+        # max(5, min(x, 3)) is constant 5 territory: hi must lift to 5.
+        x = unknown(int_typed=True)
+        f = f_max(f_min(x, const(3)), const(5))
+        b = f.eval(TOP)
+        assert (b.lo, b.hi) == (5, 5)
+
+    def test_clamp_preserves_exactness(self):
+        f = f_clamp(ELEM, 2, 5)
+        assert f.eval(Bounds(0, 9, exact=True)).exact
+
+    @pytest.mark.parametrize("lo,hi", [(0, 7), (1, 1), (-3, 4)])
+    def test_clamp_eval_matches_python_semantics(self, lo, hi):
+        f = f_clamp(ELEM, lo, hi)
+        b = f.eval(Bounds(0, 9, exact=True))
+        vals = {min(max(e, lo), hi) for e in range(10)}
+        assert b.lo == min(vals) and b.hi == max(vals)
+
+
+class TestConstFolding:
+    def test_arith_folds(self):
+        assert f_add(const(2), const(3)).value == 5
+        assert f_mul(const(2), const(3)).value == 6
+        assert f_sub(const(2), const(3)).value == -1
+        assert f_toint(const(2.7)).value == 2
+
+    def test_identities_collapse(self):
+        assert f_add(ELEM, const(0)) is ELEM
+        assert f_mul(ELEM, const(1)) is ELEM
+        assert f_mul(ELEM, const(0)).value == 0
+
+    def test_describe_is_stable(self):
+        f = f_clamp(f_toint(f_div(ELEM, const(4))), 0, 7)
+        assert f.describe() == "clamp(toint((e / 4)), lo=0, hi=7)"

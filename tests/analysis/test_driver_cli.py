@@ -160,6 +160,73 @@ class TestCli:
         assert "RS020" in capsys.readouterr().out
 
 
+#: Provably out-of-bounds group index: RS100 (error) under ``--effects``.
+OOB = """
+class oobReduction : ReduceScanOp {
+  def accumulate(x: real) {
+    roAdd(0 - 2, 0, x);
+  }
+}
+"""
+
+
+class TestEffectsCli:
+    def test_effects_flag_surfaces_rs1xx(self, tmp_path, capsys):
+        f = tmp_path / "oob.chpl"
+        f.write_text(OOB)
+        rc = analyze_main([str(f), "--effects", "--no-registry"])
+        assert rc == 0  # non-strict never fails
+        assert "RS100" in capsys.readouterr().out
+
+    def test_without_flag_rs1xx_is_silent(self, tmp_path, capsys):
+        f = tmp_path / "oob.chpl"
+        f.write_text(OOB)
+        analyze_main([str(f), "--no-registry"])
+        assert "RS100" not in capsys.readouterr().out
+
+    def test_strict_effects_exits_one_on_error(self, tmp_path):
+        f = tmp_path / "oob.chpl"
+        f.write_text(OOB)
+        assert analyze_main(
+            [str(f), "--strict", "--effects", "--no-registry"]
+        ) == 1
+
+    def test_effects_warning_does_not_fail_strict(self, tmp_path, capsys):
+        f = tmp_path / "dead.chpl"
+        f.write_text(
+            "class deadReduction : ReduceScanOp {\n"
+            "  def accumulate(x: real) {\n"
+            "    if (1 > 2) { roAdd(0, 0, 1.0); }\n"
+            "    roAdd(0, 1, x);\n"
+            "  }\n"
+            "}\n"
+        )
+        rc = analyze_main([str(f), "--strict", "--effects", "--no-registry"])
+        assert rc == 0
+        assert "RS101" in capsys.readouterr().out
+
+    def test_effects_json_round_trips(self, tmp_path, capsys):
+        f = tmp_path / "oob.chpl"
+        f.write_text(OOB)
+        rc = analyze_main([str(f), "--json", "--effects", "--no-registry"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "RS100" in [d["code"] for d in payload]
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        rc = analyze_main([str(tmp_path / "nope.chpl")])
+        assert rc == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_shipped_sources_pass_strict_effects(self):
+        # the CI job's exact invocation must stay green on shipped kernels
+        rc = analyze_main(
+            [str(REPO_ROOT / "examples"), str(REPO_ROOT / "src" / "repro" / "apps"),
+             "--strict", "--effects"]
+        )
+        assert rc == 0
+
+
 class TestParseFailure:
     def test_rs000_with_position(self):
         ds = analyze_source("class {", file="bad.chpl")

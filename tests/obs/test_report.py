@@ -77,6 +77,70 @@ class TestSummarize:
         assert rep.phases == {} and rep.threads == {}
 
 
+DECISION = i(
+    "technique.decision",
+    "engine",
+    {
+        "node": 0,
+        "requested": "colored",
+        "chosen": "full_replication",
+        "reason": "colored requires an exact plan-time group set for every "
+        "split; none were available — falling back to full replication",
+        "colorable": False,
+        "max_wave_width": 0,
+        "num_splits": 4,
+        "replication_bytes": 4096,
+    },
+)
+
+GATHER_OK = i(
+    "batch_gather_proof",
+    "compiler",
+    {"site": "scale[(b + 1)]", "root": "scale", "kind": "extra",
+     "index": "(b + 1)", "bounds": "[1, 6]~", "extent": "[1..6]"},
+)
+
+GATHER_NO = i(
+    "batch_gather_refuted",
+    "compiler",
+    {"site": "table[j]", "root": "table", "kind": "extra",
+     "reason": "a non-innermost index is lane-varying"},
+)
+
+
+class TestDecisions:
+    def test_decision_args_captured_in_order(self):
+        rep = summarize_trace([DECISION, DECISION])
+        assert len(rep.decisions) == 2
+        assert rep.decisions[0]["requested"] == "colored"
+        assert rep.decisions[0]["chosen"] == "full_replication"
+
+    def test_gather_verdicts_captured(self):
+        rep = summarize_trace([GATHER_OK, GATHER_NO])
+        assert [g["proven"] for g in rep.gathers] == [True, False]
+        assert rep.gathers[1]["reason"] == "a non-innermost index is lane-varying"
+
+    def test_decision_section_renders_fallback_reason(self):
+        text = format_report(summarize_trace([DECISION]))
+        assert "technique decisions" in text
+        assert "requested 'colored' -> ran 'full_replication'" in text
+        assert "falling back to full replication" in text
+        assert "max_wave_width=0" in text
+
+    def test_gather_section_renders_both_verdicts(self):
+        text = format_report(summarize_trace([GATHER_OK, GATHER_NO]))
+        assert "batch gather proofs" in text
+        assert "scale[(b + 1)]: vectorized" in text
+        assert "index (b + 1) bounded [1, 6]~ within extent [1..6]" in text
+        assert "table[j]: refuted" in text
+        assert "a non-innermost index is lane-varying" in text
+
+    def test_sections_absent_without_events(self):
+        text = format_report(summarize_trace(SYNTHETIC))
+        assert "technique decisions" not in text
+        assert "batch gather proofs" not in text
+
+
 class TestFormat:
     def test_tables_render(self):
         text = format_report(summarize_trace(SYNTHETIC))
