@@ -2,22 +2,31 @@
 """Scalar-vs-batch backend speedup across apps, versions and thread counts.
 
 Runs every application once per (version, backend, thread-count) cell on
-identical data, verifies the batch backend reproduces the scalar results,
-and writes ``benchmarks/results/BENCH_backend.json`` (schema documented in
-``benchmarks/README.md``).
+identical data, verifies every compiled backend reproduces the scalar
+results, and writes ``benchmarks/results/BENCH_backend.json`` — or
+``BENCH_native.json`` when the sweep includes the native backend (both
+schemas documented in ``benchmarks/README.md``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py           # full
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --quick   # CI
     PYTHONPATH=src python benchmarks/bench_backend_speedup.py --check   # gate
+    PYTHONPATH=src python benchmarks/bench_backend_speedup.py \
+        --quick --check --backends scalar batch native           # JIT tier
 
-``--check`` exits non-zero if any batch result diverges from its scalar
-twin, if batch is slower than scalar by more than ``--max-slowdown``
-(default 1.5x) in any cell, or if a ``GATHER_APPS`` cell (windowed at
-opt-2, whose scale lookup the effect analysis proves bounded) fell back
-to the scalar kernel — the CI guards against silent fallback-to-scalar
-regressions.  ``--quick`` shrinks datasets to smoke-test scale.
+``--check`` exits non-zero if any compiled result diverges from its
+scalar twin, if batch is slower than scalar by more than
+``--max-slowdown`` (default 1.5x) in any cell, or if a ``GATHER_APPS``
+cell (windowed at opt-2, whose scale lookup the effect analysis proves
+bounded) fell back to the scalar kernel — the CI guards against silent
+fallback-to-scalar regressions.  With ``native`` in ``--backends`` it
+additionally requires the ``NATIVE_GATE_APPS`` cells (windowed and
+histogram at opt-2) to run the JIT kernel and to be no slower than batch
+by more than ``--native-max-slowdown``.  Native cells get one untimed
+warm-up run so the timed run measures steady state, not the one-time C
+compile (which the on-disk cache amortizes across processes anyway).
+``--quick`` shrinks datasets to smoke-test scale.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.obs import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_backend.json"
+NATIVE_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_native.json"
 VERSIONS = ("generated", "opt-1", "opt-2")
 SCHEMA_VERSION = 1
 
@@ -67,6 +77,8 @@ def _app_kmeans(quick: bool):
             backend=backend,
         )
         res = runner.run(points, cents, iterations=iters)
+        if backend == "native":
+            _record_native(runner, "kmeans", version)
         return (
             {"centroids": res.centroids, "counts": res.counts},
             res.counters.total_ops(),
@@ -90,6 +102,8 @@ def _app_histogram(quick: bool):
             executor="threads" if threads > 1 else "serial",
             backend=backend,
         )
+        if backend == "native":
+            _record_native(runner, "histogram", version)
         res = runner.run(data)
         return {"counts": res.counts, "sums": res.sums}, res.counters.total_ops()
 
@@ -109,6 +123,8 @@ def _app_pca(quick: bool):
             executor="threads" if threads > 1 else "serial",
             backend=backend,
         )
+        if backend == "native":
+            _record_native(runner, "pca", version)
         res = runner.run(matrix)
         return (
             {"mean": res.mean, "covariance": res.covariance},
@@ -135,6 +151,8 @@ def _app_em(quick: bool):
             executor="threads" if threads > 1 else "serial",
             backend=backend,
         )
+        if backend == "native":
+            _record_native(runner, "em", version)
         res = runner.run(points, iterations=iters, seed=0)
         return (
             {"weights": res.weights, "means": res.means, "variances": res.variances},
@@ -177,6 +195,29 @@ def _app_apriori(quick: bool):
     return n, run
 
 
+#: ``app -> version`` cells where the native JIT kernel must NOT have
+#: fallen back: at opt-2 both kernels are fully linearized, so a recorded
+#: ``native_fallback_reason`` there means the C emitter regressed.
+NATIVE_GATE_APPS = {"windowed": "opt-2", "histogram": "opt-2"}
+
+#: ``"app/version" -> native_fallback_reason`` observed by the native
+#: cells (``None`` = the JIT kernel ran).
+_NATIVE_FALLBACKS: dict[str, "str | None"] = {}
+
+
+def _record_native(runner, app: str, version: str) -> None:
+    """Stash the native downgrade reason, if any kernel recorded one."""
+    reasons = [
+        getattr(runner, attr).native_fallback_reason
+        for attr in ("compiled", "mean_compiled", "cov_compiled")
+        if getattr(runner, attr, None) is not None
+    ]
+    if reasons:
+        _NATIVE_FALLBACKS[f"{app}/{version}"] = next(
+            (r for r in reasons if r), None
+        )
+
+
 #: ``app -> version`` cells where the batch kernel must NOT have fallen
 #: back to scalar: the windowed scale lookup is a lane-varying gather the
 #: effect analysis proves bounded, so opt-2/batch must vectorize it.
@@ -210,6 +251,8 @@ def _app_windowed(quick: bool):
             _BATCH_FALLBACKS[f"windowed/{version}"] = (
                 runner.compiled.batch_fallback_reason
             )
+        if backend == "native":
+            _record_native(runner, "windowed", version)
         res = runner.run(data)
         return {"counts": res.counts, "sums": res.sums}, res.counters.total_ops()
 
@@ -257,6 +300,20 @@ def main(argv: list[str] | None = None) -> int:
         help="fail --check if batch wall time exceeds scalar by this factor",
     )
     ap.add_argument(
+        "--native-max-slowdown",
+        type=float,
+        default=1.1,
+        help="fail --check if a NATIVE_GATE_APPS native cell's wall time "
+        "exceeds its batch twin by this factor",
+    )
+    ap.add_argument(
+        "--backends",
+        nargs="+",
+        default=["scalar", "batch"],
+        choices=["scalar", "batch", "native"],
+        help="backends to sweep; scalar is always included as the baseline",
+    )
+    ap.add_argument(
         "--threads",
         type=int,
         nargs="+",
@@ -277,6 +334,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
     threads_sweep = args.threads or ([1, 2] if args.quick else [1, 2, 4])
+    backends = list(dict.fromkeys(["scalar"] + args.backends))
+    with_native = "native" in backends
+    if with_native and args.json == RESULTS_PATH:
+        args.json = NATIVE_RESULTS_PATH
 
     tracer = Tracer() if args.trace else None
     bench_tracer = tracer if tracer is not None else NULL_TRACER
@@ -288,7 +349,12 @@ def main(argv: list[str] | None = None) -> int:
         for version in VERSIONS:
             for threads in threads_sweep:
                 cell = {}
-                for backend in ("scalar", "batch"):
+                for backend in backends:
+                    if backend == "native":
+                        # Untimed warm-up: the first native run pays the
+                        # one-time JIT compile (or disk-cache dlopen); the
+                        # timed run below measures steady-state execution.
+                        run(version, backend, threads)
                     with bench_tracer.span(
                         "bench.cell",
                         cat="bench",
@@ -302,41 +368,81 @@ def main(argv: list[str] | None = None) -> int:
                         wall = time.perf_counter() - t0
                     cell[backend] = (result, ops, wall)
                 (s_res, s_ops, s_wall) = cell["scalar"]
-                (b_res, b_ops, b_wall) = cell["batch"]
-                speedup = s_wall / b_wall if b_wall > 0 else float("inf")
-                equivalent = _equivalent(s_res, b_res)
                 tag = f"{app_name}/{version}/t{threads}"
-                if not equivalent:
-                    failures.append(f"{tag}: batch result diverges from scalar")
-                if args.check and b_wall > s_wall * args.max_slowdown:
-                    failures.append(
-                        f"{tag}: batch {b_wall:.3f}s > {args.max_slowdown}x "
-                        f"scalar {s_wall:.3f}s"
-                    )
-                records.append(
-                    {
-                        "app": app_name,
-                        "version": version,
-                        "threads": threads,
-                        "n_elements": n_elements,
-                        "scalar_wall_seconds": s_wall,
-                        "batch_wall_seconds": b_wall,
-                        "speedup": speedup,
-                        "scalar_ops": s_ops,
-                        "batch_ops": b_ops,
-                        "equivalent": equivalent,
-                        "batch_fallback_reason": _BATCH_FALLBACKS.get(
+                record = {
+                    "app": app_name,
+                    "version": version,
+                    "threads": threads,
+                    "n_elements": n_elements,
+                    "scalar_wall_seconds": s_wall,
+                    "scalar_ops": s_ops,
+                }
+                line = f"{tag:28s} scalar {s_wall:8.3f}s"
+                if "batch" in cell:
+                    (b_res, b_ops, b_wall) = cell["batch"]
+                    speedup = s_wall / b_wall if b_wall > 0 else float("inf")
+                    equivalent = _equivalent(s_res, b_res)
+                    if not equivalent:
+                        failures.append(
+                            f"{tag}: batch result diverges from scalar"
+                        )
+                    if args.check and b_wall > s_wall * args.max_slowdown:
+                        failures.append(
+                            f"{tag}: batch {b_wall:.3f}s > "
+                            f"{args.max_slowdown}x scalar {s_wall:.3f}s"
+                        )
+                    record.update(
+                        batch_wall_seconds=b_wall,
+                        speedup=speedup,
+                        batch_ops=b_ops,
+                        equivalent=equivalent,
+                        batch_fallback_reason=_BATCH_FALLBACKS.get(
                             f"{app_name}/{version}"
                         ),
-                    }
-                )
-                print(
-                    f"{tag:28s} scalar {s_wall:8.3f}s  batch {b_wall:8.3f}s  "
-                    f"speedup {speedup:6.2f}x  ops(s/b) {s_ops:.3g}/{b_ops:.3g}  "
-                    f"{'ok' if equivalent else 'DIVERGED'}"
-                )
+                    )
+                    line += (
+                        f"  batch {b_wall:8.3f}s  speedup {speedup:6.2f}x"
+                        f"  {'ok' if equivalent else 'DIVERGED'}"
+                    )
+                if "native" in cell:
+                    (n_res, n_ops, n_wall) = cell["native"]
+                    n_speedup = s_wall / n_wall if n_wall > 0 else float("inf")
+                    n_equivalent = _equivalent(s_res, n_res)
+                    n_fallback = _NATIVE_FALLBACKS.get(
+                        f"{app_name}/{version}"
+                    )
+                    if not n_equivalent:
+                        failures.append(
+                            f"{tag}: native result diverges from scalar"
+                        )
+                    record.update(
+                        native_wall_seconds=n_wall,
+                        native_speedup=n_speedup,
+                        native_ops=n_ops,
+                        native_equivalent=n_equivalent,
+                        native_fallback_reason=n_fallback,
+                    )
+                    line += (
+                        f"  native {n_wall:8.3f}s ({n_speedup:6.2f}x)"
+                        f"  {'ok' if n_equivalent else 'DIVERGED'}"
+                        f"{'  [fell back]' if n_fallback else ''}"
+                    )
+                    if (
+                        args.check
+                        and "batch" in cell
+                        and app_name in NATIVE_GATE_APPS
+                        and version == NATIVE_GATE_APPS[app_name]
+                        and n_wall > cell["batch"][2] * args.native_max_slowdown
+                    ):
+                        failures.append(
+                            f"{tag}: native {n_wall:.3f}s > "
+                            f"{args.native_max_slowdown}x batch "
+                            f"{cell['batch'][2]:.3f}s"
+                        )
+                records.append(record)
+                print(line)
 
-    if args.check:
+    if args.check and "batch" in backends:
         for app, version in GATHER_APPS.items():
             if app not in args.apps:
                 continue
@@ -346,11 +452,22 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(
                     f"{key}: batch kernel fell back to scalar ({reason})"
                 )
+    if args.check and with_native:
+        for app, version in NATIVE_GATE_APPS.items():
+            if app not in args.apps:
+                continue
+            key = f"{app}/{version}"
+            reason = _NATIVE_FALLBACKS.get(key, "native cell never ran")
+            if reason is not None:
+                failures.append(
+                    f"{key}: native kernel fell back ({reason})"
+                )
 
     payload = {
         "schema_version": SCHEMA_VERSION,
         "profile": "quick" if args.quick else "full",
         "thread_counts": threads_sweep,
+        "backends": backends,
         "kernel_cache": kernel_cache_stats(),
         "results": records,
     }

@@ -13,11 +13,21 @@ technique could be served to another (cross-technique cache poisoning).
 Cached objects hold no bound data — binding happens per dataset on the
 shared compiled object — so reuse across callers is safe.
 
+The in-memory cache is the first tier of a two-tier lookup: entries are
+kept in an **LRU** ordered dict bounded at :func:`kernel_cache_capacity`
+entries (``set_kernel_cache_capacity`` to resize; evictions are counted
+and reported per run as ``RunStats.kernel_cache_evictions``).  The second
+tier is the *on-disk* native-kernel cache (:mod:`repro.compiler.native`):
+an evicted or cold-started ``backend="native"`` entry recompiles its
+Python/batch parts but finds the compiled shared library on disk and
+dlopens it without invoking the toolchain.
+
 Hit/miss totals are exposed via :func:`kernel_cache_stats`; the engine
-snapshots the hit counter before and after each run and reports the
-*per-run delta* as ``RunStats.kernel_cache_hits``, so back-to-back runs
-never inherit each other's hits.  With tracing enabled every hit/miss
-also emits a ``kernel_cache.hit`` / ``kernel_cache.miss`` trace event.
+snapshots the counters before and after each run and reports the
+*per-run deltas* as ``RunStats.kernel_cache_hits`` /
+``RunStats.kernel_cache_evictions``, so back-to-back runs never inherit
+each other's totals.  With tracing enabled every hit/miss also emits a
+``kernel_cache.hit`` / ``kernel_cache.miss`` trace event.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
+from collections import OrderedDict
 from typing import Any
 
 from repro.chapel import ast as A
@@ -43,15 +54,48 @@ __all__ = [
     "compile_for_digest",
     "clear_kernel_cache",
     "entry_fingerprint",
+    "kernel_cache_capacity",
     "kernel_cache_stats",
     "plan_fingerprint",
     "program_digest",
+    "set_kernel_cache_capacity",
 ]
 
 _lock = threading.Lock()
-_cache: dict[tuple[str, int, str, str], tuple[str, CompiledReduction]] = {}
+_cache: OrderedDict[
+    tuple[str, int, str, str], tuple[str, CompiledReduction]
+] = OrderedDict()
 _hits = 0
 _misses = 0
+_evictions = 0
+#: Default LRU bound — generous for every realistic app mix (apps compile a
+#: handful of (version, backend, technique) variants), small enough that a
+#: sweep over thousands of distinct programs cannot hold every kernel alive.
+_DEFAULT_CAPACITY = 128
+_capacity = _DEFAULT_CAPACITY
+
+
+def kernel_cache_capacity() -> int:
+    """The current LRU bound on the in-memory kernel cache."""
+    with _lock:
+        return _capacity
+
+
+def set_kernel_cache_capacity(capacity: int) -> int:
+    """Resize the LRU bound (evicting immediately if shrinking).
+
+    Returns the previous capacity.  ``capacity`` must be >= 1.
+    """
+    global _capacity, _evictions
+    if capacity < 1:
+        raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+    with _lock:
+        previous = _capacity
+        _capacity = capacity
+        while len(_cache) > _capacity:
+            _cache.popitem(last=False)
+            _evictions += 1
+    return previous
 
 
 def program_digest(
@@ -121,6 +165,7 @@ def compile_cached(
         entry = _cache.get(key)
         if entry is not None:
             _hits += 1
+            _cache.move_to_end(key)  # LRU: a hit refreshes recency
             if tracer.enabled:
                 tracer.event(
                     "kernel_cache.hit", cat="cache", digest=key[0][:12],
@@ -131,13 +176,18 @@ def compile_cached(
         source, constants, opt_level, class_name, backend, technique
     )
     fingerprint = entry_fingerprint(compiled)
+    global _evictions
     with _lock:
         entry = _cache.get(key)
         if entry is not None:  # lost a compile race; keep the first
             _hits += 1
+            _cache.move_to_end(key)
             return entry[1]
         _misses += 1
         _cache[key] = (fingerprint, compiled)
+        while len(_cache) > _capacity:
+            _cache.popitem(last=False)
+            _evictions += 1
     if tracer.enabled:
         tracer.event(
             "kernel_cache.miss", cat="cache", digest=key[0][:12],
@@ -190,15 +240,28 @@ def compile_for_digest(
 
 
 def kernel_cache_stats() -> dict[str, int]:
-    """Process-wide totals: ``{"hits": ..., "misses": ..., "entries": ...}``."""
+    """Process-wide totals: hits, misses, evictions, entries, capacity."""
     with _lock:
-        return {"hits": _hits, "misses": _misses, "entries": len(_cache)}
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "evictions": _evictions,
+            "entries": len(_cache),
+            "capacity": _capacity,
+        }
 
 
 def clear_kernel_cache() -> None:
-    """Drop all cached kernels and reset the hit/miss counters (tests)."""
-    global _hits, _misses
+    """Drop all cached kernels and reset the counters (tests).
+
+    The capacity is reset to the default; the on-disk native-kernel cache
+    is untouched (delete its directory, or point ``REPRO_KERNEL_CACHE``
+    elsewhere, to cold-start the second tier too).
+    """
+    global _hits, _misses, _evictions, _capacity
     with _lock:
         _cache.clear()
         _hits = 0
         _misses = 0
+        _evictions = 0
+        _capacity = _DEFAULT_CAPACITY

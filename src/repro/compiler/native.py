@@ -1,0 +1,1156 @@
+"""Native-code backend: lowered kernel IR -> C -> shared library (JIT).
+
+The third compiled backend (``backend="native"``).  :class:`NativeCodegen`
+walks the same lowered reduction + compilation plan the Python and batch
+emitters consume and emits one self-contained C translation unit per
+kernel version, mirroring the instrumented Python kernel *exactly*:
+
+* the same SitePlan/LoopHoist decisions realize every access site
+  (``computeIndex`` inlined as a constant-folded affine byte offset,
+  hoisted rows as base pointers, incremental bases bumped per iteration);
+* the same static per-statement :class:`~repro.compiler.codegen._Cost`
+  bumps land in a ``double`` counter array folded back into the
+  :class:`~repro.machine.counters.OpCounters` ledger after each call, so
+  OpCounters parity with the scalar kernel is structural, not accidental;
+* reduction-object updates accumulate into a preallocated per-split
+  *scratch* buffer (identity-initialized, with the same group/element/op
+  validation the scalar path performs) that the Python wrapper commits
+  through the accessor's ``merge_from_scratch``/``merge_from`` — the
+  existing combine tree — after the C call returns.
+
+Because the C call runs through cffi's ABI mode, the GIL is released for
+the whole split, so ``executor="thread"`` finally scales, and
+element-dependent branches and bounded gathers that force the batch
+backend whole-kernel scalar compile to ordinary C control flow.
+
+Compiled artifacts are **cached on disk** per
+``(format version, toolchain fingerprint, C source)`` under
+``~/.cache/repro-kernels/`` (override with ``REPRO_KERNEL_CACHE``), so a
+warm start dlopens the existing shared library and never invokes the
+toolchain.  The C compiler is probed once per process (override with
+``REPRO_CC``); a missing or broken toolchain downgrades every native
+request to the batch/scalar path with a single warning and a single
+``native_fallback`` trace event.
+
+Semantics notes (all chosen to match the *scalar* Python kernel):
+
+* ``/`` is always double division (Python 3 true division);
+* ``%`` uses Python's sign convention for both ints and doubles;
+* ``floor``/``toInt`` return integers (``math.floor`` / ``int()``);
+* for-loop bounds are evaluated once, and the loop variable is driven by
+  a hidden iterator so assignments to it inside the body cannot change
+  the iteration (Python ``range`` semantics);
+* out-of-range mapping indices and invalid reduction-object updates
+  return an error code that the wrapper raises as the same exception
+  type the scalar path would (:class:`~repro.util.errors.MappingError` /
+  :class:`~repro.util.errors.ReductionObjectError`); checks proven
+  redundant by the PR 7 effect summaries are elided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass, fields as dc_fields
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.chapel import ast as A
+from repro.compiler.codegen import _Cost, site_key
+from repro.compiler.lower import AccessSite, LoweredReduction
+from repro.compiler.passes import CompilationPlan, SitePlan
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.sharedmem import ROAccessor
+from repro.machine.counters import OpCounters
+from repro.obs.tracer import get_tracer
+from repro.util.errors import CodegenError, MappingError, ReductionObjectError
+from repro.util.logging import get_logger
+
+__all__ = [
+    "NATIVE_FORMAT_VERSION",
+    "NativeCodegen",
+    "NativeKernel",
+    "NativeUnsupported",
+    "compile_native",
+    "kernel_cache_dir",
+    "make_native_kernel",
+    "probe_toolchain",
+    "reset_toolchain_probe",
+]
+
+_log = get_logger("compiler.native")
+
+#: Bump on any change to the generated C's calling convention or layout —
+#: part of every on-disk cache key, so stale artifacts are never dlopen'd.
+NATIVE_FORMAT_VERSION = 1
+
+#: Environment overrides.
+CC_ENV = "REPRO_CC"
+CACHE_ENV = "REPRO_KERNEL_CACHE"
+
+#: OpCounters field order — the index layout of the C ``_C`` array.
+_COUNTER_FIELDS: tuple[str, ...] = tuple(f.name for f in dc_fields(OpCounters))
+_CIDX = {name: i for i, name in enumerate(_COUNTER_FIELDS)}
+_IDX_RO_UPDATES = _CIDX["ro_updates"]
+
+#: Accumulate-op codes shared between the C kernel and the wrapper tables.
+_OP_CODES = {"add": 0, "min": 1, "max": 2}
+
+#: Kernel return codes (0 = success).
+_RC_MAP_OOB = 10  # computeIndex level position out of range
+_RC_ROW_OOB = 11  # hoisted row index out of range
+_RC_RO_GROUP = 20  # RO group id out of range
+_RC_RO_ELEM = 21  # RO element id out of range for its group
+_RC_RO_OP = 22  # RO update op does not match the group's declared op
+
+_SYMBOL_SENTINEL = "__NATIVE_SYMBOL__"
+
+
+class NativeUnsupported(Exception):
+    """The native emitter cannot compile this kernel (fall back instead).
+
+    ``toolchain`` marks process-wide failures (no C compiler, cffi
+    missing) that should be reported once, not once per kernel.
+    """
+
+    def __init__(self, message: str, toolchain: bool = False) -> None:
+        super().__init__(message)
+        self.toolchain = toolchain
+
+
+# --------------------------------------------------------------- C prelude
+
+_C_PRELUDE = r"""#include <math.h>
+#include <string.h>
+
+static double _ld_f64(const unsigned char *p) { double v; memcpy(&v, p, 8); return v; }
+static double _ld_f32(const unsigned char *p) { float v; memcpy(&v, p, 4); return (double)v; }
+static long long _ld_i64(const unsigned char *p) { long long v; memcpy(&v, p, 8); return v; }
+static long long _ld_i32(const unsigned char *p) { int v; memcpy(&v, p, 4); return (long long)v; }
+static long long _ld_u64(const unsigned char *p) { unsigned long long v; memcpy(&v, p, 8); return (long long)v; }
+static long long _ld_u8(const unsigned char *p) { return (long long)*p; }
+static long long _imod(long long a, long long b) {
+    long long r; if (b == 0) return 0; r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b; return r;
+}
+static double _fmodpy(double a, double b) {
+    double r = fmod(a, b);
+    if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b; return r;
+}
+static long long _minll(long long a, long long b) { return a < b ? a : b; }
+static long long _maxll(long long a, long long b) { return a > b ? a : b; }
+static double _mind(double a, double b) { return a < b ? a : b; }
+static double _maxd(double a, double b) { return a > b ? a : b; }
+static long long _absll(long long a) { return a < 0 ? -a : a; }
+"""
+
+#: ``(dtype kind, itemsize) -> (loader fn, value type)``.
+_LOADERS = {
+    ("f", 8): ("_ld_f64", "d"),
+    ("f", 4): ("_ld_f32", "d"),
+    ("i", 8): ("_ld_i64", "i"),
+    ("i", 4): ("_ld_i32", "i"),
+    ("u", 8): ("_ld_u64", "i"),
+    ("u", 1): ("_ld_u8", "i"),
+}
+
+_CMP_OPS = {"==", "!=", "<", "<=", ">", ">="}
+
+
+def _join(a: str, b: str) -> str:
+    """Numeric type join: double absorbs int."""
+    return "d" if "d" in (a, b) else "i"
+
+
+def _c_literal(value: Any) -> tuple[str, str]:
+    """A Python constant as a C literal + its value type."""
+    if isinstance(value, bool):
+        return ("1" if value else "0"), "i"
+    if isinstance(value, int):
+        return f"{value}LL", "i"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "(0.0/0.0)", "d"
+        if value == float("inf"):
+            return "(1.0/0.0)", "d"
+        if value == float("-inf"):
+            return "(-1.0/0.0)", "d"
+        return repr(value), "d"
+    raise NativeUnsupported(f"cannot emit constant {value!r} as C")
+
+
+class NativeCodegen:
+    """Emit the C kernel for one compilation plan.
+
+    Mirrors :class:`~repro.compiler.codegen.PythonCodegen` statement by
+    statement — same traversal, same cost-bump placement, same site-plan
+    realization — so the counter ledgers of the two kernels agree exactly.
+    ``summary`` (the PR 7 effect summary) proves index bounds; proven
+    levels skip their runtime range check.
+    """
+
+    def __init__(
+        self,
+        lowered: LoweredReduction,
+        plan: CompilationPlan,
+        summary: Any = None,
+    ) -> None:
+        self.low = lowered
+        self.plan = plan
+        self.summary = summary
+        self.lines: list[str] = []
+        self.indent = 0
+        self.keys: dict[str, int] = {}
+        for site in lowered.sites.values():
+            self.keys.setdefault(site_key(site), len(self.keys))
+        self.local_types: dict[str, str] = {}
+        self._tmp = 0  # unique suffix for statement-expression locals
+        self.buf_order: list[int] = []
+
+    # -- small helpers ------------------------------------------------------
+
+    def _w(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def _mangle(self, name: str) -> str:
+        return f"u_{name}"
+
+    def _key_id(self, site: AccessSite) -> int:
+        return self.keys[site_key(site)]
+
+    def _next_tmp(self) -> int:
+        self._tmp += 1
+        return self._tmp
+
+    def _cost_lines(self, cost: _Cost, indent: str) -> list[str]:
+        if not cost.counts:
+            return []
+        parts = [
+            f"_C[{_CIDX[k]}] += {v};" for k, v in sorted(cost.counts.items())
+        ]
+        return [indent + " ".join(parts)]
+
+    def _flush_cost(self, cost: _Cost) -> None:
+        self.lines.extend(self._cost_lines(cost, "    " * self.indent))
+
+    # -- local type inference -----------------------------------------------
+
+    def _infer_local_types(self) -> None:
+        """Fixpoint: a local is ``long long`` unless any binding is real."""
+        types: dict[str, str] = {name: "i" for name in self.low.locals}
+
+        def seed(stmt: A.Stmt) -> None:
+            if isinstance(stmt, A.VarDeclStmt):
+                d = stmt.decl
+                if isinstance(d.type, A.NamedTypeExpr) and d.type.name == "real":
+                    types[d.name] = "d"
+            elif isinstance(stmt, A.ForStmt):
+                for s in stmt.body.stmts:
+                    seed(s)
+            elif isinstance(stmt, A.IfStmt):
+                for s in stmt.then.stmts:
+                    seed(s)
+                if stmt.orelse is not None:
+                    for s in stmt.orelse.stmts:
+                        seed(s)
+
+        for s in self.low.body.stmts:
+            seed(s)
+
+        def walk(stmt: A.Stmt) -> bool:
+            changed = False
+            if isinstance(stmt, A.VarDeclStmt):
+                d = stmt.decl
+                t = self._type_of(d.init, types) if d.init is not None else "i"
+                joined = _join(types.get(d.name, "i"), t)
+                if joined != types.get(d.name):
+                    types[d.name] = joined
+                    changed = True
+            elif isinstance(stmt, A.Assign):
+                name = stmt.target.name  # lower guarantees Ident
+                t = self._type_of(stmt.value, types)
+                if stmt.op == "/":
+                    t = "d"
+                joined = _join(types.get(name, "i"), t)
+                if joined != types.get(name):
+                    types[name] = joined
+                    changed = True
+            elif isinstance(stmt, A.ForStmt):
+                for s in stmt.body.stmts:
+                    changed |= walk(s)
+            elif isinstance(stmt, A.IfStmt):
+                for s in stmt.then.stmts:
+                    changed |= walk(s)
+                if stmt.orelse is not None:
+                    for s in stmt.orelse.stmts:
+                        changed |= walk(s)
+            return changed
+
+        while any(walk(s) for s in self.low.body.stmts):
+            pass
+        self.local_types = types
+
+    def _type_of(self, expr: A.Expr, types: dict[str, str]) -> str:
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            return "d" if np.dtype(site.scalar.dtype).kind == "f" else "i"
+        if isinstance(expr, A.IntLit):
+            return "i"
+        if isinstance(expr, A.RealLit):
+            return "d"
+        if isinstance(expr, A.BoolLit):
+            return "i"
+        if isinstance(expr, A.Ident):
+            if expr.name in self.low.constants:
+                v = self.low.constants[expr.name]
+                return "d" if isinstance(v, float) else "i"
+            return types.get(expr.name, "i")
+        if isinstance(expr, A.BinOp):
+            if expr.op in _CMP_OPS or expr.op in ("&&", "||"):
+                return "i"
+            if expr.op == "/":
+                return "d"
+            return _join(
+                self._type_of(expr.left, types), self._type_of(expr.right, types)
+            )
+        if isinstance(expr, A.UnaryOp):
+            if expr.op == "-":
+                return self._type_of(expr.operand, types)
+            return "i"
+        if isinstance(expr, A.Call):
+            if expr.name == "elemIdx":
+                return "i"
+            if expr.name in ("sqrt", "exp", "log"):
+                return "d"
+            if expr.name in ("floor", "toInt"):
+                return "i"
+            if expr.name == "abs":
+                return self._type_of(expr.args[0], types)
+            if expr.name in ("min", "max"):
+                t = "i"
+                for a in expr.args:
+                    t = _join(t, self._type_of(a, types))
+                return t
+        return "i"
+
+    # -- expressions --------------------------------------------------------
+
+    def emit_expr(self, expr: A.Expr, cost: _Cost) -> tuple[str, str]:
+        """Returns ``(C code, value type)`` with ``"i"``/``"d"`` types."""
+        site = self.low.sites.get(id(expr))
+        if site is not None:
+            return self.emit_site(expr, site, cost)
+        if isinstance(expr, A.IntLit):
+            return _c_literal(expr.value)
+        if isinstance(expr, A.RealLit):
+            return _c_literal(expr.value)
+        if isinstance(expr, A.BoolLit):
+            return _c_literal(expr.value)
+        if isinstance(expr, A.Ident):
+            name = expr.name
+            if name in self.low.constants:
+                return _c_literal(self.low.constants[name])
+            return self._mangle(name), self.local_types.get(name, "i")
+        if isinstance(expr, A.BinOp):
+            left, lt = self.emit_expr(expr.left, cost)
+            right, rt = self.emit_expr(expr.right, cost)
+            cost.bump("flops")
+            op = expr.op
+            if op == "/":
+                return f"((double)({left}) / (double)({right}))", "d"
+            if op == "%":
+                if _join(lt, rt) == "i":
+                    return f"_imod({left}, {right})", "i"
+                return f"_fmodpy((double)({left}), (double)({right}))", "d"
+            if op in _CMP_OPS or op in ("&&", "||"):
+                return f"({left} {op} {right})", "i"
+            return f"({left} {op} {right})", _join(lt, rt)
+        if isinstance(expr, A.UnaryOp):
+            inner, it = self.emit_expr(expr.operand, cost)
+            cost.bump("flops")
+            if expr.op == "-":
+                return f"(-({inner}))", it
+            return f"(!({inner}))", "i"
+        if isinstance(expr, A.Call):
+            return self._emit_call(expr, cost)
+        raise CodegenError(f"cannot emit expression {expr!r}")  # pragma: no cover
+
+    def _emit_call(self, expr: A.Call, cost: _Cost) -> tuple[str, str]:
+        if expr.name in A.RO_INTRINSICS:
+            raise CodegenError(
+                f"{expr.name} is a statement-level intrinsic, not an expression"
+            )
+        if expr.name == "elemIdx":
+            return "_e", "i"
+        args = [self.emit_expr(a, cost) for a in expr.args]
+        cost.bump("flops")
+        name = expr.name
+        if name in ("sqrt", "exp", "log"):
+            code, _ = args[0]
+            return f"{name}((double)({code}))", "d"
+        if name == "floor":
+            code, t = args[0]
+            if t == "i":  # math.floor of an int is the int itself
+                return f"({code})", "i"
+            return f"((long long)floor({code}))", "i"
+        if name == "toInt":
+            code, t = args[0]
+            if t == "i":
+                return f"({code})", "i"
+            return f"((long long)({code}))", "i"  # C cast truncates like int()
+        if name == "abs":
+            code, t = args[0]
+            if t == "d":
+                return f"fabs({code})", "d"
+            return f"_absll({code})", "i"
+        if name in ("min", "max"):
+            t = "i"
+            for _, at in args:
+                t = _join(t, at)
+            fn = {"min": {"i": "_minll", "d": "_mind"},
+                  "max": {"i": "_maxll", "d": "_maxd"}}[name][t]
+            cast = "(double)" if t == "d" else ""
+            out = f"{cast}({args[0][0]})"
+            for code, _ in args[1:]:
+                out = f"{fn}({out}, {cast}({code}))"
+            return out, t
+        raise NativeUnsupported(f"unsupported builtin {name!r} in native backend")
+
+    # -- access sites -------------------------------------------------------
+
+    @staticmethod
+    def _site_wrapped(site: AccessSite) -> bool:
+        from repro.compiler.access import IndexStep
+
+        if site.kind == "data":
+            return True
+        return not (site.steps and isinstance(site.steps[0], IndexStep))
+
+    def _loader(self, site: AccessSite) -> tuple[str, str, int]:
+        info = site.info
+        assert info is not None
+        dt = np.dtype(info.inner_dtype)
+        entry = _LOADERS.get((dt.kind, dt.itemsize))
+        if entry is None:
+            raise NativeUnsupported(
+                f"no native loader for dtype {dt} at site {site.expr}"
+            )
+        return entry[0], entry[1], dt.itemsize
+
+    def _group_proven(self, site: AccessSite, gi: int) -> bool:
+        """True when every dim of index group ``gi`` has proven bounds."""
+        if self.summary is None:
+            return False
+        info = site.info
+        assert info is not None
+        wrapped = self._site_wrapped(site)
+        dom = info.domains[gi + (1 if wrapped else 0)]
+        group = site.index_exprs[gi]
+        try:
+            for dim, rng in enumerate(dom.ranges[: len(group)]):
+                bounds = self.summary.index_bounds(id(site.expr), gi, dim)
+                if not bounds.contained_in(rng.low, rng.high):
+                    return False
+        except Exception:  # summary gaps degrade to a runtime check
+            return False
+        return True
+
+    def _dense_level_exprs(
+        self,
+        site: AccessSite,
+        cost: _Cost,
+        override_groups: dict[int, str] | None = None,
+    ) -> list[tuple[str, bool]]:
+        """Per-level ``(dense position code, needs_runtime_check)`` pairs."""
+        info = site.info
+        assert info is not None
+        dense: list[tuple[str, bool]] = []
+        level_domains = list(info.domains)
+        wrapped = self._site_wrapped(site)
+        groups = list(site.index_exprs)
+        if wrapped:
+            dense.append(("0", False))
+            level_domains = level_domains[1:]
+        for gi, (dom, group) in enumerate(zip(level_domains, groups)):
+            if override_groups is not None and gi in override_groups:
+                code = override_groups[gi]
+                dense.append((code, code != "0"))
+                continue
+            terms = []
+            for dim, (rng, ie) in enumerate(zip(dom.ranges, group)):
+                code, t = self.emit_expr(ie, cost)
+                if t == "d":
+                    code = f"((long long)({code}))"
+                if rng.low != 0:
+                    code = f"({code} - {rng.low})"
+                scale = 1
+                for later in dom.ranges[dim + 1:]:
+                    scale *= len(later)
+                terms.append(code if scale == 1 else f"{code} * {scale}")
+            dense.append(
+                (" + ".join(terms) if terms else "0", not self._group_proven(site, gi))
+            )
+        return dense
+
+    def _offset_code(
+        self,
+        site: AccessSite,
+        cost: _Cost,
+        override_groups: dict[int, str] | None = None,
+    ) -> str:
+        """Inline ``computeIndex``: a statement expression yielding the
+        byte offset, with the same per-level range checks Algorithm 3
+        performs (elided when the effect summary proves them)."""
+        info = site.info
+        assert info is not None
+        dense = self._dense_level_exprs(site, cost, override_groups)
+        tmp = self._next_tmp()
+        stmts: list[str] = []
+        terms: list[str] = []
+        const = info.trailing_offset + sum(info.level_offsets)
+        for i, (code, check) in enumerate(dense):
+            var = f"_x{tmp}_{i}"
+            stmts.append(f"long long {var} = {code};")
+            if check:
+                size = info.domains[i].size
+                stmts.append(
+                    f"if ({var} < 0 || {var} >= {size}) return {_RC_MAP_OOB};"
+                )
+            if info.unit_size[i] == 1:
+                terms.append(var)
+            else:
+                terms.append(f"{var} * {info.unit_size[i]}")
+        value = " + ".join(terms) if terms else "0"
+        if const:
+            value = f"{value} + {const}"
+        out = f"({{ {' '.join(stmts)} {value}; }})"
+        if site.kind == "data":
+            out = f"(_e * {self.low.element_type.sizeof} + {out})"
+        cost.bump("index_calls")
+        cost.bump("index_levels", info.levels)
+        return out
+
+    def emit_site(
+        self, expr: A.Expr, site: AccessSite, cost: _Cost
+    ) -> tuple[str, str]:
+        plan = self.plan.plan_for(id(expr))
+        if plan.mode == "nested":
+            raise NativeUnsupported(
+                f"nested access {site.expr} (un-linearized extra at opt level "
+                f"{self.plan.opt_level}); native backend needs linear/hoisted "
+                "sites — use opt-2 or the batch/scalar path"
+            )
+        if plan.mode == "linear":
+            return self._emit_linear(site, cost)
+        if plan.mode == "hoisted":
+            return self._emit_hoisted(site, plan, cost)
+        raise CodegenError(f"unknown site mode {plan.mode!r}")  # pragma: no cover
+
+    def _emit_linear(self, site: AccessSite, cost: _Cost) -> tuple[str, str]:
+        kid = self._key_id(site)
+        loader, vtype, _ = self._loader(site)
+        off = self._offset_code(site, cost)
+        cost.bump("linear_reads")
+        return f"{loader}(_buf_{kid} + {off})", vtype
+
+    def _emit_hoisted(
+        self, site: AccessSite, plan: SitePlan, cost: _Cost
+    ) -> tuple[str, str]:
+        inner = site.index_exprs[-1][0]
+        info = site.info
+        assert info is not None
+        rng = info.domains[-1].ranges[0]
+        loader, vtype, itemsize = self._loader(site)
+        idx, t = self.emit_expr(inner, cost)
+        if t == "d":
+            idx = f"((long long)({idx}))"
+        if rng.low != 0:
+            idx = f"({idx} - {rng.low})"
+        cost.bump("linear_reads")
+        extent = info.inner_extent
+        if self._group_proven(site, len(site.index_exprs) - 1):
+            access = f"{loader}(_row_{plan.hoist_id} + ({idx}) * {itemsize})"
+        else:
+            tmp = self._next_tmp()
+            # numpy row-view semantics: one negative wrap, then bounds check
+            access = (
+                f"({{ long long _h{tmp} = {idx}; "
+                f"if (_h{tmp} < 0) _h{tmp} += {extent}; "
+                f"if (_h{tmp} < 0 || _h{tmp} >= {extent}) return {_RC_ROW_OOB}; "
+                f"{loader}(_row_{plan.hoist_id} + _h{tmp} * {itemsize}); }})"
+            )
+        return access, vtype
+
+    def _hoist_base_code(
+        self, site: AccessSite, cost: _Cost, override_groups: dict[int, str]
+    ) -> str:
+        overrides = dict(override_groups)
+        overrides[len(site.index_exprs) - 1] = "0"  # base of the innermost run
+        return self._offset_code(site, cost, overrides)
+
+    def emit_hoist_preamble(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.loop_hoists.get(id(loop), []):
+            cost = _Cost()
+            base = self._hoist_base_code(hoist.site, cost, {})
+            kid = self._key_id(hoist.site)
+            self._flush_cost(cost)
+            self._w(f"_row_{hoist.hoist_id} = _buf_{kid} + {base};")
+
+    def emit_incremental_inits(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            site = hoist.site
+            cost = _Cost()
+            info = site.info
+            assert info is not None
+            rng = info.domains[
+                hoist.var_group + (1 if self._site_wrapped(site) else 0)
+            ].ranges[0]
+            lo_code, t = self.emit_expr(loop.range.lo, cost)
+            if t == "d":
+                lo_code = f"((long long)({lo_code}))"
+            start = f"({lo_code} - {rng.low})" if rng.low != 0 else lo_code
+            base = self._hoist_base_code(site, cost, {hoist.var_group: start})
+            self._flush_cost(cost)
+            self._w(f"_b_{hoist.hoist_id} = {base};")
+
+    def emit_incremental_tops(self, loop: A.ForStmt) -> None:
+        for hoist in self.plan.incremental_hoists.get(id(loop), []):
+            kid = self._key_id(hoist.site)
+            cost = _Cost()
+            cost.bump("flops")  # the base bump
+            self._flush_cost(cost)
+            self._w(f"_row_{hoist.hoist_id} = _buf_{kid} + _b_{hoist.hoist_id};")
+            self._w(f"_b_{hoist.hoist_id} += {hoist.step_bytes};")
+
+    # -- statements ---------------------------------------------------------
+
+    def emit_block(self, block: A.Block) -> None:
+        for stmt in block.stmts:
+            self.emit_stmt(stmt)
+
+    def emit_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDeclStmt):
+            d = stmt.decl
+            cost = _Cost()
+            if d.init is not None:
+                init, _ = self.emit_expr(d.init, cost)
+            else:
+                init = "0"
+            self._flush_cost(cost)
+            self._w(f"{self._mangle(d.name)} = {init};")
+        elif isinstance(stmt, A.Assign):
+            cost = _Cost()
+            value, _ = self.emit_expr(stmt.value, cost)
+            target = self._mangle(stmt.target.name)
+            if stmt.op is not None:
+                cost.bump("flops")
+                self._flush_cost(cost)
+                if stmt.op == "/":  # true division even for int targets
+                    self._w(f"{target} = (double)({target}) / (double)({value});")
+                else:
+                    self._w(f"{target} {stmt.op}= {value};")
+            else:
+                self._flush_cost(cost)
+                self._w(f"{target} = {value};")
+        elif isinstance(stmt, A.ForStmt):
+            cost = _Cost()
+            lo, lt = self.emit_expr(stmt.range.lo, cost)
+            hi, ht = self.emit_expr(stmt.range.hi, cost)
+            if lt == "d":
+                lo = f"((long long)({lo}))"
+            if ht == "d":
+                hi = f"((long long)({hi}))"
+            self._flush_cost(cost)
+            self.emit_hoist_preamble(stmt)
+            self.emit_incremental_inits(stmt)
+            tmp = self._next_tmp()
+            var = self._mangle(stmt.var)
+            # Bounds evaluated once and a hidden iterator drives the loop,
+            # so body assignments to the loop variable cannot change the
+            # iteration — exactly Python's ``for v in range(lo, hi + 1)``.
+            self._w(f"{{ long long _lo{tmp} = {lo}; long long _hi{tmp} = {hi};")
+            self.indent += 1
+            self._w(
+                f"for (long long _it{tmp} = _lo{tmp}; _it{tmp} <= _hi{tmp}; "
+                f"_it{tmp}++) {{"
+            )
+            self.indent += 1
+            self._w(f"{var} = _it{tmp};")
+            self.emit_incremental_tops(stmt)
+            self.emit_block(stmt.body)
+            self.indent -= 1
+            self._w("}")
+            self.indent -= 1
+            self._w("}")
+        elif isinstance(stmt, A.IfStmt):
+            cost = _Cost()
+            cond, _ = self.emit_expr(stmt.cond, cost)
+            self._flush_cost(cost)
+            self._w(f"if ({cond}) {{")
+            self.indent += 1
+            self.emit_block(stmt.then)
+            self.indent -= 1
+            if stmt.orelse is not None:
+                self._w("} else {")
+                self.indent += 1
+                self.emit_block(stmt.orelse)
+                self.indent -= 1
+            self._w("}")
+        elif isinstance(stmt, A.ExprStmt):
+            expr = stmt.expr
+            if isinstance(expr, A.Call) and expr.name in A.RO_INTRINSICS:
+                self._emit_ro_update(expr)
+            else:
+                cost = _Cost()
+                code, _ = self.emit_expr(expr, cost)
+                self._flush_cost(cost)
+                self._w(f"(void)({code});")
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot emit statement {stmt!r}")
+
+    def _emit_ro_update(self, expr: A.Call) -> None:
+        """``roAdd/roMin/roMax(group, elem, value)`` into the scratch buffer,
+        with the same validation ``ReductionObject.accumulate`` performs."""
+        cost = _Cost()
+        (g, gt), (e, et), (v, _) = (self.emit_expr(a, cost) for a in expr.args)
+        if gt == "d":
+            g = f"((long long)({g}))"
+        if et == "d":
+            e = f"((long long)({e}))"
+        opcode = _OP_CODES[A.RO_INTRINSICS[expr.name]]
+        cost.bump("ro_updates")
+        self._flush_cost(cost)
+        tmp = self._next_tmp()
+        self._w(f"{{ long long _g{tmp} = {g}; long long _el{tmp} = {e}; "
+                f"double _v{tmp} = (double)({v});")
+        self.indent += 1
+        self._w(f"if (_g{tmp} < 0 || _g{tmp} >= _ro_groups) return {_RC_RO_GROUP};")
+        self._w(f"if (_el{tmp} < 0 || _el{tmp} >= _ro_n[_g{tmp}]) return {_RC_RO_ELEM};")
+        self._w(f"if (_ro_op[_g{tmp}] != {opcode}) return {_RC_RO_OP};")
+        self._w(f"{{ double *_cell = _scr + _ro_off[_g{tmp}] + _el{tmp};")
+        if opcode == _OP_CODES["add"]:
+            self._w(f"  *_cell += _v{tmp}; }}")
+        elif opcode == _OP_CODES["min"]:
+            self._w(f"  if (_v{tmp} < *_cell) *_cell = _v{tmp}; }}")
+        else:
+            self._w(f"  if (_v{tmp} > *_cell) *_cell = _v{tmp}; }}")
+        self._w(f"_touched[_g{tmp}] = 1;")
+        self.indent -= 1
+        self._w("}")
+
+    # -- whole kernel -------------------------------------------------------
+
+    def generate(self) -> str:
+        """The full translation unit (symbol still the sentinel token)."""
+        self._infer_local_types()
+
+        # Native needs every site realized over a linearized buffer.
+        used_kids: set[int] = set()
+        for plan in self.plan.site_plans.values():
+            if plan.mode == "nested":
+                # raise with the same message emit_site would
+                self.emit_site(plan.site.expr, plan.site, _Cost())
+            used_kids.add(self._key_id(plan.site))
+        self.buf_order = sorted(used_kids)
+        buf_pos = {kid: i for i, kid in enumerate(self.buf_order)}
+
+        self.lines = []
+        self.indent = 0
+        self._w(f"/* {self.low.name}: native FREERIDE kernel, "
+                f"opt level {self.plan.opt_level} */")
+        self._w(f"/* counter slots: "
+                + ", ".join(f"{i}={n}" for i, n in enumerate(_COUNTER_FIELDS))
+                + " */")
+        self._w(f"long long {_SYMBOL_SENTINEL}(")
+        self._w("    long long _start, long long _end,")
+        self._w("    const unsigned char **_bufs, double *_scr,")
+        self._w("    const long long *_ro_off, const long long *_ro_n,")
+        self._w("    const long long *_ro_op, long long _ro_groups,")
+        self._w("    unsigned char *_touched, double *_C)")
+        self._w("{")
+        self.indent += 1
+        for kid in self.buf_order:
+            self._w(f"const unsigned char *_buf_{kid} = _bufs[{buf_pos[kid]}];")
+        for name in sorted(self.low.locals):
+            ctype = "double" if self.local_types.get(name) == "d" else "long long"
+            init = "0.0" if ctype == "double" else "0"
+            self._w(f"{ctype} {self._mangle(name)} = {init};")
+        hoists = [
+            h
+            for hs in list(self.plan.loop_hoists.values())
+            + list(self.plan.incremental_hoists.values())
+            for h in hs
+        ]
+        for hoist in sorted(hoists, key=lambda h: h.hoist_id):
+            self._w(f"const unsigned char *_row_{hoist.hoist_id} = 0;")
+            if hoist.incremental is not None:
+                self._w(f"long long _b_{hoist.hoist_id} = 0;")
+        self._w("(void)_bufs; (void)_scr; (void)_ro_off; (void)_ro_n;")
+        self._w("(void)_ro_op; (void)_ro_groups; (void)_touched;")
+        self._w("for (long long _e = _start; _e < _end; _e++) {")
+        self.indent += 1
+        self._w(f"_C[{_CIDX['elements_processed']}] += 1;")
+        self.emit_block(self.low.body)
+        self.indent -= 1
+        self._w("}")
+        self._w("return 0;")
+        self.indent -= 1
+        self._w("}")
+        return _C_PRELUDE + "\n" + "\n".join(self.lines) + "\n"
+
+
+# ----------------------------------------------------------- toolchain probe
+
+_probe_lock = threading.Lock()
+_probe_state: dict[str, Any] | None = None
+_toolchain_event_pending = True
+
+
+def probe_toolchain() -> dict[str, Any]:
+    """Probe the C toolchain once per process.
+
+    Returns ``{"ok", "cc", "fingerprint", "reason"}``.  ``REPRO_CC``
+    overrides the compiler (default ``cc``).  A failed probe logs one
+    warning; :func:`take_toolchain_event` lets the compiler emit exactly
+    one ``native_fallback`` trace event for it.
+    """
+    global _probe_state
+    with _probe_lock:
+        if _probe_state is not None:
+            return _probe_state
+        cc = os.environ.get(CC_ENV) or "cc"
+        state: dict[str, Any] = {
+            "ok": False, "cc": cc, "fingerprint": "", "reason": None,
+        }
+        try:
+            import cffi  # noqa: F401
+        except ImportError:
+            state["reason"] = "cffi is not installed"
+        else:
+            try:
+                version = subprocess.run(
+                    [cc, "--version"], capture_output=True, text=True, timeout=30
+                )
+                if version.returncode != 0:
+                    raise OSError(version.stderr.strip() or "cc --version failed")
+                with tempfile.TemporaryDirectory(prefix="repro-cc-probe-") as td:
+                    src = Path(td) / "probe.c"
+                    out = Path(td) / "probe.so"
+                    src.write_text("int repro_probe(void) { return 42; }\n")
+                    run = subprocess.run(
+                        [cc, "-O2", "-shared", "-fPIC", "-o", str(out), str(src)],
+                        capture_output=True, text=True, timeout=60,
+                    )
+                    if run.returncode != 0 or not out.exists():
+                        raise OSError(run.stderr.strip() or "probe compile failed")
+                state["ok"] = True
+                state["fingerprint"] = hashlib.sha256(
+                    f"{cc}\n{version.stdout.splitlines()[0] if version.stdout else ''}".encode()
+                ).hexdigest()[:16]
+            except (OSError, subprocess.SubprocessError, IndexError) as exc:
+                state["reason"] = f"C compiler {cc!r} unusable: {exc}"
+        if not state["ok"]:
+            _log.warning(
+                "native backend disabled for this process: %s "
+                "(set %s to point at a working compiler)",
+                state["reason"], CC_ENV,
+            )
+        _probe_state = state
+        return state
+
+
+def take_toolchain_event() -> bool:
+    """True exactly once per process — gates the toolchain fallback event."""
+    global _toolchain_event_pending
+    with _probe_lock:
+        if _toolchain_event_pending:
+            _toolchain_event_pending = False
+            return True
+        return False
+
+
+def reset_toolchain_probe() -> None:
+    """Forget the probe result and event gate (tests only)."""
+    global _probe_state, _toolchain_event_pending
+    with _probe_lock:
+        _probe_state = None
+        _toolchain_event_pending = True
+
+
+# ------------------------------------------------------------- disk cache
+
+def kernel_cache_dir() -> Path:
+    """The on-disk kernel cache directory (``REPRO_KERNEL_CACHE`` override)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-kernels"
+
+
+_dlopen_lock = threading.Lock()
+_dlopen_cache: dict[tuple[str, str], tuple[Any, Any]] = {}
+_compile_locks: dict[str, threading.Lock] = {}
+
+
+def _compile_lock_for(symbol: str) -> threading.Lock:
+    with _dlopen_lock:
+        return _compile_locks.setdefault(symbol, threading.Lock())
+
+
+def _dlopen(so_path: Path, symbol: str) -> tuple[Any, Any]:
+    """dlopen + symbol lookup, cached per (path, symbol) process-wide."""
+    import cffi
+
+    key = (str(so_path), symbol)
+    with _dlopen_lock:
+        entry = _dlopen_cache.get(key)
+        if entry is not None:
+            return entry
+    ffi = cffi.FFI()
+    ffi.cdef(
+        f"long long {symbol}(long long, long long, const unsigned char **, "
+        "double *, const long long *, const long long *, const long long *, "
+        "long long, unsigned char *, double *);"
+    )
+    lib = ffi.dlopen(str(so_path))
+    fn = getattr(lib, symbol)
+    with _dlopen_lock:
+        _dlopen_cache[key] = (ffi, fn)
+    return ffi, fn
+
+
+@dataclass
+class NativeKernel:
+    """A compiled-to-machine-code kernel plus everything to invoke it."""
+
+    source: str
+    symbol: str
+    so_path: Path
+    buf_order: tuple[int, ...]
+    ffi: Any
+    fn: Any
+    #: True when this process ran the C compiler (False = disk-cache hit)
+    compiled: bool
+
+
+def compile_native(
+    lowered: LoweredReduction,
+    plan: CompilationPlan,
+    summary: Any = None,
+) -> NativeKernel:
+    """Emit, (maybe) compile and dlopen the native kernel.
+
+    The disk key is ``sha256(format version | toolchain fingerprint |
+    C source)``; a warm start finds ``<key>.so`` already present and only
+    dlopens it — zero toolchain invocations, asserted by the warm-start
+    tests via the absence of ``native_compile`` trace spans.
+
+    Raises :class:`NativeUnsupported` (caller records the fallback).
+    """
+    probe = probe_toolchain()
+    if not probe["ok"]:
+        raise NativeUnsupported(probe["reason"], toolchain=True)
+
+    gen = NativeCodegen(lowered, plan, summary=summary)
+    template = gen.generate()
+
+    digest = hashlib.sha256(
+        f"v{NATIVE_FORMAT_VERSION}|{probe['fingerprint']}|{template}".encode()
+    ).hexdigest()
+    symbol = f"repro_native_{digest[:16]}"
+    source = template.replace(_SYMBOL_SENTINEL, symbol)
+
+    cache_dir = kernel_cache_dir()
+    so_path = cache_dir / f"{symbol}.so"
+    tracer = get_tracer()
+    compiled = False
+    with _compile_lock_for(symbol):
+        if so_path.exists():
+            tracer.event(
+                "native_cache.hit", cat="cache",
+                reduction=lowered.name, opt_level=plan.opt_level,
+                digest=digest[:12], path=str(so_path),
+            )
+        else:
+            tracer.event(
+                "native_cache.miss", cat="cache",
+                reduction=lowered.name, opt_level=plan.opt_level,
+                digest=digest[:12],
+            )
+            cache_dir.mkdir(parents=True, exist_ok=True)
+            c_path = cache_dir / f"{symbol}.c"
+            with tracer.span(
+                "native_compile", cat="compiler",
+                reduction=lowered.name, opt_level=plan.opt_level,
+                cc=probe["cc"],
+            ):
+                tmp_c = cache_dir / f".{symbol}.{os.getpid()}.c"
+                tmp_so = cache_dir / f".{symbol}.{os.getpid()}.so"
+                try:
+                    tmp_c.write_text(source)
+                    run = subprocess.run(
+                        [probe["cc"], "-O3", "-fPIC", "-shared",
+                         "-o", str(tmp_so), str(tmp_c), "-lm"],
+                        capture_output=True, text=True, timeout=120,
+                    )
+                    if run.returncode != 0 or not tmp_so.exists():
+                        raise NativeUnsupported(
+                            "C compilation failed: "
+                            + (run.stderr.strip()[:500] or "unknown error")
+                        )
+                    # Atomic publish: concurrent processes race benignly.
+                    os.replace(tmp_c, c_path)
+                    os.replace(tmp_so, so_path)
+                    compiled = True
+                except (OSError, subprocess.SubprocessError) as exc:
+                    raise NativeUnsupported(f"C compilation failed: {exc}")
+                finally:
+                    for leftover in (tmp_c, tmp_so):
+                        try:
+                            leftover.unlink()
+                        except OSError:
+                            pass
+        ffi, fn = _dlopen(so_path, symbol)
+    return NativeKernel(
+        source=source,
+        symbol=symbol,
+        so_path=so_path,
+        buf_order=tuple(gen.buf_order),
+        ffi=ffi,
+        fn=fn,
+        compiled=compiled,
+    )
+
+
+# ------------------------------------------------------------ Python wrapper
+
+_layout_lock = threading.Lock()
+_layout_tables: dict[tuple, tuple] = {}
+
+
+def _tables_for(layout: list[tuple[int, str]]) -> tuple:
+    """Dense int64 ``(offsets, nelems, opcodes)`` + identity vector."""
+    key = tuple(layout)
+    with _layout_lock:
+        entry = _layout_tables.get(key)
+        if entry is not None:
+            return entry
+    offs, nelems, ops, ident = [], [], [], []
+    offset = 0
+    identities = {"add": 0.0, "min": np.inf, "max": -np.inf}
+    for num_elems, op in layout:
+        if op not in _OP_CODES:
+            raise ReductionObjectError(f"unknown accumulate op {op!r}")
+        offs.append(offset)
+        nelems.append(num_elems)
+        ops.append(_OP_CODES[op])
+        ident.extend([identities[op]] * num_elems)
+        offset += num_elems
+    entry = (
+        np.ascontiguousarray(offs, dtype=np.int64),
+        np.ascontiguousarray(nelems, dtype=np.int64),
+        np.ascontiguousarray(ops, dtype=np.int64),
+        np.ascontiguousarray(ident, dtype=np.float64),
+    )
+    with _layout_lock:
+        return _layout_tables.setdefault(key, entry)
+
+
+_RC_MESSAGES = {
+    _RC_MAP_OOB: (MappingError, "computeIndex position out of range"),
+    _RC_ROW_OOB: (MappingError, "hoisted row index out of range"),
+    _RC_RO_GROUP: (ReductionObjectError, "group not allocated"),
+    _RC_RO_ELEM: (ReductionObjectError, "element out of range for its group"),
+    _RC_RO_OP: (ReductionObjectError, "update op does not match the group's op"),
+}
+
+
+def make_native_kernel(native: NativeKernel, name: str) -> Callable:
+    """The ``_kernel(_start, _end, _ro, _env, _C)`` twin of the C function.
+
+    Per call: reset the thread-local scratch/touched/counter buffers, run
+    the C kernel (GIL released by cffi for the whole split), fold the
+    counter array into the ledger, and commit the scratch through the
+    accessor's atomic ``merge_from_scratch`` (restricted to the touched
+    groups, as the colored technique requires) or a plain ``merge_from``
+    for bare reduction objects and per-attempt scratch accessors.
+    """
+    ffi = native.ffi
+    fn = native.fn
+    buf_order = native.buf_order
+    buf_names = [f"buf_{kid}" for kid in buf_order]
+    tls = threading.local()
+
+    def _native_kernel(_start, _end, _ro, _env, _C):
+        ro_obj = _ro if isinstance(_ro, ReductionObject) else _ro.ro
+        layout = ro_obj.layout()
+        offs, nelems, ops, ident = _tables_for(layout)
+
+        store = getattr(tls, "store", None)
+        if store is None:
+            store = tls.store = {}
+        key = tuple(layout)
+        bufs3 = store.get(key)
+        if bufs3 is None:
+            bufs3 = store[key] = (
+                np.empty(ident.size, dtype=np.float64),
+                np.empty(len(layout), dtype=np.uint8),
+                np.empty(len(_COUNTER_FIELDS), dtype=np.float64),
+            )
+        scratch, touched, counters = bufs3
+        scratch[:] = ident
+        touched[:] = 0
+        counters[:] = 0.0
+
+        data_bufs = [_env[n] for n in buf_names]  # kept alive across the call
+        c_bufs = ffi.new("const unsigned char *[]", max(1, len(data_bufs)))
+        for i, b in enumerate(data_bufs):
+            c_bufs[i] = ffi.cast("const unsigned char *", b.ctypes.data)
+
+        rc = fn(
+            int(_start),
+            int(_end),
+            c_bufs,
+            ffi.cast("double *", scratch.ctypes.data),
+            ffi.cast("const long long *", offs.ctypes.data),
+            ffi.cast("const long long *", nelems.ctypes.data),
+            ffi.cast("const long long *", ops.ctypes.data),
+            len(layout),
+            ffi.cast("unsigned char *", touched.ctypes.data),
+            ffi.cast("double *", counters.ctypes.data),
+        )
+        if rc != 0:
+            exc_type, msg = _RC_MESSAGES.get(
+                rc, (RuntimeError, f"native kernel error {rc}")
+            )
+            raise exc_type(f"native kernel {name}: {msg}")
+
+        for i, field in enumerate(_COUNTER_FIELDS):
+            setattr(_C, field, getattr(_C, field) + float(counters[i]))
+
+        updates = int(counters[_IDX_RO_UPDATES])
+        if updates == 0:
+            return
+        scratch_ro = ReductionObject.from_layout(
+            layout, buffer=scratch, initialize=False
+        )
+        scratch_ro.update_count = updates
+        if isinstance(_ro, ReductionObject):
+            _ro.merge_from(scratch_ro)
+            return
+        if type(_ro).merge_from_scratch is not ROAccessor.merge_from_scratch:
+            groups = [int(g) for g in np.nonzero(touched)[0]]
+            _ro.merge_from_scratch(scratch_ro, groups=groups)
+        else:
+            # e.g. ScratchAccessor under the fault-tolerant engine: fold
+            # into the per-attempt scratch; the engine commits on success.
+            ro_obj.merge_from(scratch_ro)
+
+    _native_kernel.__name__ = "_native_kernel"
+    _native_kernel.native = native  # type: ignore[attr-defined]
+    return _native_kernel

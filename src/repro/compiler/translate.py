@@ -54,9 +54,10 @@ __all__ = [
     "KERNEL_TECHNIQUES",
 ]
 
-#: Supported execution backends: per-element interpretation vs whole-split
-#: NumPy vectorization (see :mod:`repro.compiler.batch`).
-BACKENDS = ("scalar", "batch")
+#: Supported execution backends: per-element interpretation, whole-split
+#: NumPy vectorization (see :mod:`repro.compiler.batch`), or JIT-compiled
+#: C over the linearized buffers (see :mod:`repro.compiler.native`).
+BACKENDS = ("scalar", "batch", "native")
 
 #: Supported kernel variants (see ``compile_reduction``'s ``technique``).
 KERNEL_TECHNIQUES = ("generic", "colored")
@@ -153,6 +154,12 @@ class CompiledReduction:
     batch_source: str | None = None
     batch_kernel: Callable | None = None
     batch_fallback_reason: str | None = None
+    #: JIT native backend (``backend="native"``): the generated C source,
+    #: the dlopen'd kernel behind the standard 5-arg calling convention,
+    #: and the recorded reason when the request downgraded to batch/scalar
+    native_source: str | None = None
+    native_kernel: Callable | None = None
+    native_fallback_reason: str | None = None
     #: the compilation request this object came from (source program,
     #: constants, class name) — what a worker process needs to rebuild the
     #: identical kernel through its own process-wide cache
@@ -180,8 +187,18 @@ class CompiledReduction:
 
     @property
     def effective_kernel(self) -> Callable:
-        """The kernel runs actually dispatch: batch when vectorized, else scalar."""
+        """The kernel runs actually dispatch: native when JIT-compiled, then
+        batch when vectorized, else the interpreted scalar kernel."""
+        if self.native_kernel is not None:
+            return self.native_kernel
         return self.batch_kernel if self.batch_kernel is not None else self.kernel
+
+    @property
+    def effective_backend(self) -> str:
+        """Which tier :attr:`effective_kernel` actually dispatches to."""
+        if self.native_kernel is not None:
+            return "native"
+        return "batch" if self.batch_kernel is not None else "scalar"
 
     @property
     def version_name(self) -> str:
@@ -308,6 +325,7 @@ class CompiledReduction:
                 info = site.info
                 assert info is not None
                 env[f"info_{kid}"] = info
+                env[f"buf_{kid}"] = data_buf.raw  # native backend reads it raw
                 env[f"read_{kid}"] = _make_reader(data_buf.raw, info.inner_dtype)
                 env[f"view_{kid}"] = _make_viewer(
                     data_buf.raw, info.inner_dtype, info.inner_extent
@@ -389,6 +407,7 @@ class BoundReduction:
             assert info is not None
             buf = buffers[site.root]
             self.env[f"info_{kid}"] = info
+            self.env[f"buf_{kid}"] = buf.raw  # native backend reads it raw
             self.env[f"read_{kid}"] = _make_reader(buf.raw, info.inner_dtype)
             self.env[f"view_{kid}"] = _make_viewer(
                 buf.raw, info.inner_dtype, info.inner_extent
@@ -485,7 +504,15 @@ def compile_reduction(
     scalar kernel would run.  If the batch emitter cannot vectorize the
     reduction, compilation falls back to the scalar kernel for the whole
     reduction and records (and logs) the reason in
-    :attr:`CompiledReduction.batch_fallback_reason`.
+    :attr:`CompiledReduction.batch_fallback_reason`.  ``"native"`` JIT
+    compiles the kernel to machine code via the system C compiler
+    (:mod:`repro.compiler.native`; ``.so`` artifacts persist in an
+    on-disk cache keyed by format version + toolchain fingerprint, so a
+    warm start only dlopens).  A kernel the C emitter refuses — or an
+    unusable toolchain — downgrades to the batch tier (then scalar) with
+    the reason in :attr:`CompiledReduction.native_fallback_reason`; every
+    compile records a ``kernel_backend`` trace event with the requested
+    vs. effective backend.
 
     ``technique`` selects the kernel variant: ``"generic"`` (default) runs
     under every shared-memory accessor; ``"colored"`` emits the
@@ -522,14 +549,69 @@ def compile_reduction(
                 namespace,
             )
 
-        # One effect analysis drives both the group-bounds hull (coloring)
-        # and the batch emitter's bounded-gather proofs.
+        # One effect analysis drives the group-bounds hull (coloring), the
+        # batch emitter's bounded-gather proofs, and the native emitter's
+        # bounds-check elision.
         group_bounds = analyze_group_bounds(lowered)
+
+        native_source: str | None = None
+        native_kernel: Callable | None = None
+        native_fallback_reason: str | None = None
+        if backend == "native":
+            from repro.compiler import native as native_mod
+
+            with tracer.span(
+                "native_codegen", cat="compiler", reduction=lowered.name
+            ) as native_span:
+                try:
+                    nk = native_mod.compile_native(
+                        lowered, plan, summary=group_bounds.summary
+                    )
+                except native_mod.NativeUnsupported as exc:
+                    native_fallback_reason = str(exc)
+                    native_span.set(fallback=True)
+                    if exc.toolchain:
+                        # the probe already warned once; emit exactly one
+                        # process-wide native_fallback event for it too
+                        if native_mod.take_toolchain_event():
+                            tracer.event(
+                                "native_fallback",
+                                cat="compiler",
+                                reduction=lowered.name,
+                                opt_level=opt_level,
+                                reason=native_fallback_reason,
+                                toolchain=True,
+                            )
+                    else:
+                        _log.warning(
+                            "native backend fell back for %s [opt%d]: %s",
+                            lowered.name,
+                            opt_level,
+                            native_fallback_reason,
+                        )
+                        tracer.event(
+                            "native_fallback",
+                            cat="compiler",
+                            reduction=lowered.name,
+                            opt_level=opt_level,
+                            reason=native_fallback_reason,
+                            toolchain=False,
+                        )
+                else:
+                    native_source = nk.source
+                    native_kernel = native_mod.make_native_kernel(
+                        nk, lowered.name
+                    )
+                    native_span.set(
+                        cache_hit=not nk.compiled, symbol=nk.symbol
+                    )
 
         batch_source: str | None = None
         batch_kernel: Callable | None = None
         batch_fallback_reason: str | None = None
-        if backend == "batch":
+        # The batch kernel is the fallback tier for a downgraded native
+        # request, so branch-heavy kernels still vectorize what they can.
+        if backend == "batch" or (backend == "native" and native_kernel is None):
             with tracer.span(
                 "batch_codegen", cat="compiler", reduction=lowered.name
             ) as batch_span:
@@ -582,6 +664,21 @@ def compile_reduction(
                         },
                     )
 
+    effective = (
+        "native"
+        if native_kernel is not None
+        else ("batch" if batch_kernel is not None else "scalar")
+    )
+    tracer.event(
+        "kernel_backend",
+        cat="compiler",
+        reduction=lowered.name,
+        opt_level=opt_level,
+        requested=backend,
+        effective=effective,
+        reason=native_fallback_reason or batch_fallback_reason,
+    )
+
     return CompiledReduction(
         lowered=lowered,
         plan=plan,
@@ -595,6 +692,9 @@ def compile_reduction(
         batch_source=batch_source,
         batch_kernel=batch_kernel,
         batch_fallback_reason=batch_fallback_reason,
+        native_source=native_source,
+        native_kernel=native_kernel,
+        native_fallback_reason=native_fallback_reason,
         origin_source=source,
         origin_constants=dict(constants),
         origin_class_name=class_name,

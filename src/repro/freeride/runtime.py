@@ -162,6 +162,9 @@ class RunStats:
     #: :func:`repro.compiler.cache.kernel_cache_stats` across the run, so
     #: back-to-back runs never inherit each other's hits)
     kernel_cache_hits: int = 0
+    #: LRU evictions from the bounded in-memory kernel cache during this
+    #: run (same per-run delta convention as :attr:`kernel_cache_hits`)
+    kernel_cache_evictions: int = 0
     #: :meth:`repro.obs.MetricsRegistry.snapshot` of the run's metrics
     #: (split-duration histograms, RO contention, ...); empty when tracing
     #: is disabled — the metrics pipeline lives off the hot path
@@ -431,7 +434,7 @@ class FreerideEngine:
         # imported lazily: the compiler package imports freeride, not vice versa
         from repro.compiler.cache import kernel_cache_stats
 
-        cache_hits_before = kernel_cache_stats()["hits"]
+        cache_stats_before = kernel_cache_stats()
 
         with tracer.span(
             "engine.run",
@@ -487,7 +490,13 @@ class FreerideEngine:
 
             stats.ro_updates = ro.update_count
             stats.ro_size = ro.size
-            stats.kernel_cache_hits = kernel_cache_stats()["hits"] - cache_hits_before
+            cache_stats_after = kernel_cache_stats()
+            stats.kernel_cache_hits = (
+                cache_stats_after["hits"] - cache_stats_before["hits"]
+            )
+            stats.kernel_cache_evictions = (
+                cache_stats_after["evictions"] - cache_stats_before["evictions"]
+            )
 
             with timer.phase("finalize"), tracer.span("finalize", cat="phase"):
                 value: Any = spec.finalize(ro) if spec.finalize is not None else ro

@@ -53,6 +53,14 @@ class TraceReport:
     #: ``batch_gather_proof`` / ``batch_gather_refuted`` event args — the
     #: batch backend's verdict per lane-varying access-site index
     gathers: list[dict[str, Any]] = field(default_factory=list)
+    #: ``kernel_backend`` event args in trace order — one record per
+    #: compiled kernel with the requested vs. effective backend tier
+    #: (native/batch/scalar) and the recorded fallback reason, if any
+    backends: list[dict[str, Any]] = field(default_factory=list)
+    #: ``native_cache.hit`` / ``native_cache.miss`` event args — one per
+    #: native compile request, distinguishing a disk-cache dlopen from a
+    #: fresh toolchain invocation
+    native_cache: list[dict[str, Any]] = field(default_factory=list)
     #: engine.run span count (= reduction passes in the trace)
     runs: int = 0
     total_spans: int = 0
@@ -82,6 +90,12 @@ def summarize_trace(events: Iterable[dict[str, Any]]) -> TraceReport:
                 rec = dict(ev.get("args") or {})
                 rec["proven"] = name == "batch_gather_proof"
                 report.gathers.append(rec)
+            elif name == "kernel_backend":
+                report.backends.append(dict(ev.get("args") or {}))
+            elif name in ("native_cache.hit", "native_cache.miss"):
+                rec = dict(ev.get("args") or {})
+                rec["hit"] = name == "native_cache.hit"
+                report.native_cache.append(rec)
             continue
         if ph != "X":
             continue
@@ -207,6 +221,34 @@ def format_report(report: TraceReport) -> str:
                 lines.append(detail)
             else:
                 for wrapped in textwrap.wrap(str(g.get("reason", "")), width=66):
+                    lines.append(f"    {wrapped}")
+
+    if report.backends:
+        lines.append("")
+        lines.append("kernel backend decisions (event=kernel_backend)")
+        # the last native_cache verdict per (reduction, opt_level) tells a
+        # reader whether the native tier compiled or attached from disk
+        cache_by_key: dict[tuple[Any, Any], str] = {}
+        for c in report.native_cache:
+            cache_by_key[(c.get("reduction"), c.get("opt_level"))] = (
+                "disk-cache hit" if c.get("hit") else "compiled"
+            )
+        for b in report.backends:
+            requested = b.get("requested", "?")
+            effective = b.get("effective", "?")
+            line = (
+                f"  {b.get('reduction', '?')} [opt{b.get('opt_level', '?')}]: "
+                f"requested {requested!r} -> ran {effective!r}"
+            )
+            if effective == "native":
+                verdict = cache_by_key.get(
+                    (b.get("reduction"), b.get("opt_level"))
+                )
+                if verdict:
+                    line += f" ({verdict})"
+            lines.append(line)
+            if b.get("reason"):
+                for wrapped in textwrap.wrap(str(b["reason"]), width=66):
                     lines.append(f"    {wrapped}")
 
     if report.events:

@@ -27,7 +27,10 @@ class TestCompileCached:
     def test_second_compile_is_a_hit_and_same_object(self):
         a = compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2)
         stats = kernel_cache_stats()
-        assert stats == {"hits": 0, "misses": 1, "entries": 1}
+        assert stats == {
+            "hits": 0, "misses": 1, "evictions": 0, "entries": 1,
+            "capacity": 128,
+        }
         b = compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 2)
         assert b is a
         assert kernel_cache_stats()["hits"] == 1
@@ -42,7 +45,10 @@ class TestCompileCached:
         a = compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1)
         b = compile_cached(HISTOGRAM_CHAPEL_SOURCE, {**CONSTS, "bins": 8}, 1)
         assert a is not b
-        assert kernel_cache_stats() == {"hits": 0, "misses": 2, "entries": 2}
+        assert kernel_cache_stats() == {
+            "hits": 0, "misses": 2, "evictions": 0, "entries": 2,
+            "capacity": 128,
+        }
 
     def test_distinct_backends_are_distinct_entries(self):
         a = compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 1, backend="scalar")
@@ -101,7 +107,10 @@ class TestCompileCached:
     def test_clear_resets_everything(self):
         compile_cached(HISTOGRAM_CHAPEL_SOURCE, CONSTS, 0)
         clear_kernel_cache()
-        assert kernel_cache_stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert kernel_cache_stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+            "capacity": 128,
+        }
 
 
 class TestDigests:
@@ -130,9 +139,15 @@ class TestDigests:
 class TestPipelineIntegration:
     def test_compile_all_versions_uses_cache(self):
         compile_all_versions(HISTOGRAM_CHAPEL_SOURCE, CONSTS)
-        assert kernel_cache_stats() == {"hits": 0, "misses": 3, "entries": 3}
+        assert kernel_cache_stats() == {
+            "hits": 0, "misses": 3, "evictions": 0, "entries": 3,
+            "capacity": 128,
+        }
         compile_all_versions(HISTOGRAM_CHAPEL_SOURCE, CONSTS)
-        assert kernel_cache_stats() == {"hits": 3, "misses": 3, "entries": 3}
+        assert kernel_cache_stats() == {
+            "hits": 3, "misses": 3, "evictions": 0, "entries": 3,
+            "capacity": 128,
+        }
 
     def test_pipeline_backend_validation(self):
         with pytest.raises(ValueError, match="backend"):
