@@ -21,8 +21,17 @@ baseline, if a colored cell took a lock or paid replication's memory
 bill, if a colored wave is narrower than the app's ratchet in
 ``MIN_WAVE_WIDTH`` (the guard against the split-parametric effect
 analysis regressing to whole-run intervals), or if an auto cell failed
-to record its decision.  No timing gate: technique overheads are
-machine-modeled, wall clocks here are informational.
+to record its decision.  No timing gate on the technique grid:
+technique overheads are machine-modeled, wall clocks here are
+informational.
+
+The grid is followed by a **profile-guided** section: a histogram over
+sorted data runs cold into a temp profile store (replication +
+footprint observation), then re-runs warm.  The re-run must color from
+the persisted footprints (``coloring source="profile"``), and under
+``--check`` its wall time must not regress past ``--profile-slack``
+times the cold replication run — the one timing ratchet here, since
+profile-guided coloring exists purely to beat the cold-start choice.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -243,6 +253,96 @@ def _check_cell(
             failures.append(f"{tag}: decision/effective mismatch")
 
 
+def _profile_guided_histogram(
+    quick: bool,
+    workers: int,
+    store_root: Path,
+    check: bool,
+    slack: float,
+    failures: list[str],
+) -> list[dict]:
+    """Cold replication run into a store, then a warm profile-guided re-run.
+
+    Sorted data makes contiguous splits touch disjoint bin ranges, so the
+    observed footprints color into genuinely parallel waves on the re-run
+    — the case profile-guided execution exists for.
+    """
+    n = 16_384 if quick else 262_144
+    data = np.sort(((np.arange(n, dtype=np.int64) * 7919) % 256).astype(np.float64))
+
+    def run(technique: str):
+        with HistogramRunner(
+            bins=64, lo=0.0, hi=256.0, num_threads=workers,
+            executor="threads", technique=technique,
+            profile_store=store_root,
+        ) as runner:
+            t0 = time.perf_counter()
+            res = runner.run(data)
+            wall = time.perf_counter() - t0
+            stats = runner.last_run_stats
+        return {"counts": res.counts, "sums": res.sums}, stats, wall
+
+    cold_out, cold_stats, cold_wall = run("full_replication")
+    warm_out, warm_stats, warm_wall = run("auto")
+    coloring = warm_stats.coloring or {}
+    decision = warm_stats.technique_decision or {}
+    sm = warm_stats.sharedmem
+
+    records = [
+        {
+            "app": "histogram",
+            "technique": "profiled_colored",
+            "technique_effective": warm_stats.technique_effective.value,
+            "workers": workers,
+            "n_elements": n,
+            "wall_seconds": warm_wall,
+            "serial_wall_seconds": cold_wall,
+            "equivalent": _equivalent(cold_out, warm_out),
+            "num_locks": sm.num_locks,
+            "lock_acquisitions": sm.lock_acquisitions,
+            "ro_memory_bytes": sm.ro_memory_bytes,
+            "coloring": warm_stats.coloring,
+            "split_alignment": warm_stats.split_alignment,
+            "decision": decision,
+            "cold_wall_seconds": cold_wall,
+            "profile_store": str(store_root),
+        }
+    ]
+    tag = "histogram/profiled_colored"
+    print(
+        f"\nprofile-guided (store: {store_root})\n"
+        f"{'histogram/cold_replication':36s} {cold_wall:8.3f}s  "
+        f"decision source={(cold_stats.technique_decision or {}).get('source')}\n"
+        f"{tag:36s} {warm_wall:8.3f}s  "
+        f"coloring source={coloring.get('source')} "
+        f"width={coloring.get('max_wave_width')}"
+    )
+    if not records[0]["equivalent"]:
+        failures.append(f"{tag}: diverges from its cold replication run")
+    if check:
+        if coloring.get("source") != "profile":
+            failures.append(
+                f"{tag}: warm re-run did not color from the profile store "
+                f"(coloring source {coloring.get('source')!r})"
+            )
+        elif coloring.get("max_wave_width", 0) < 2:
+            failures.append(
+                f"{tag}: profiled wave width "
+                f"{coloring.get('max_wave_width')} is not parallel"
+            )
+        if decision.get("source") != "profiled":
+            failures.append(
+                f"{tag}: decision source {decision.get('source')!r}, "
+                "expected 'profiled'"
+            )
+        if warm_wall > cold_wall * slack:
+            failures.append(
+                f"{tag}: profiled re-run {warm_wall:.3f}s regressed past "
+                f"{slack:.2f}x the cold replication run ({cold_wall:.3f}s)"
+            )
+    return records
+
+
 def _print_table(records: list[dict]) -> None:
     print(f"\n{'app':10s} {'technique':24s} {'wall':>9s} {'locks':>9s} "
           f"{'ro bytes':>10s}  effective")
@@ -271,6 +371,16 @@ def main(argv: list[str] | None = None) -> int:
         choices=list(TECHNIQUES),
     )
     ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    ap.add_argument(
+        "--store", type=Path, default=None,
+        help="profile-store directory for the profile-guided section "
+             "(default: a fresh temp directory)",
+    )
+    ap.add_argument(
+        "--profile-slack", type=float, default=1.5,
+        help="--check ratchet: profiled histogram re-run must finish "
+             "within this factor of its cold replication run",
+    )
     args = ap.parse_args(argv)
 
     records = []
@@ -310,6 +420,15 @@ def main(argv: list[str] | None = None) -> int:
                 f"{tag:36s} {wall:8.3f}s  locks {sm.lock_acquisitions:8d}  "
                 f"{'ok' if equivalent else 'DIVERGED'}"
             )
+
+    if "histogram" in args.apps:
+        store_root = args.store or Path(tempfile.mkdtemp(prefix="repro-bench-")) / "store"
+        records.extend(
+            _profile_guided_histogram(
+                args.quick, args.workers, store_root,
+                args.check, args.profile_slack, failures,
+            )
+        )
 
     payload = {
         "schema_version": SCHEMA_VERSION,

@@ -1,0 +1,138 @@
+"""Profile store smoke — record, re-run profile-guided, detect regressions.
+
+Runs k-means and histogram twice against a profile store:
+
+1. **Cold runs** populate the store (the histogram's data-dependent bin
+   index is statically colorable only into serial waves, so the engine
+   falls back to replication and *observes* per-split footprints).
+2. A snapshot of the cold store is taken for later comparison.
+3. **Warm runs** repeat the same programs.  The histogram re-run must now
+   color from the persisted footprints (``coloring source="profile"``)
+   into genuinely parallel lock-free waves, bit-identical results.
+4. ``python -m repro.profile diff`` compares the cold snapshot against
+   the full store (expected: no regression), then against a doctored
+   snapshot with a 100x injected slowdown (expected: exit 1).
+
+Run:  PYTHONPATH=src python examples/profile_smoke.py [store-dir]
+
+Exit status is non-zero if any of the above expectations fail.
+"""
+
+import json
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.histogram import HistogramRunner
+from repro.apps.kmeans import KmeansRunner
+from repro.data import initial_centroids, kmeans_points
+from repro.profile import DIFF_OK, DIFF_REGRESSION
+from repro.profile import main as profile_cli
+
+BINS, N_HIST = 64, 65_536
+N_POINTS, DIM, K = 4_000, 4, 8
+
+
+def _hist_data() -> np.ndarray:
+    # sorted integer-valued doubles: contiguous splits touch disjoint bin
+    # ranges, so observed footprints color into wide waves on the re-run
+    return np.sort(((np.arange(N_HIST) * 7919) % 256).astype(np.float64))
+
+
+def _run_suite(store: Path) -> HistogramRunner:
+    points = kmeans_points(N_POINTS, DIM, num_blobs=K, seed=7)
+    cents0 = initial_centroids(points, K, seed=8)
+    km = KmeansRunner(
+        K, DIM, version="opt-2", num_threads=4, executor="threads",
+        profile_store=store,
+    )
+    km.run(points, cents0, iterations=2)
+
+    hist = HistogramRunner(
+        bins=BINS, lo=0.0, hi=256.0, version="opt-2", num_threads=4,
+        executor="threads", technique="auto", profile_store=store,
+    )
+    hist.run(_hist_data())
+    return hist
+
+
+def _inject_slowdown(src: Path, dst: Path, factor: float = 100.0) -> None:
+    """Copy a store, multiplying every recorded wall time by ``factor``."""
+    dst.mkdir(parents=True, exist_ok=True)
+    for seg in sorted(src.glob("segment-*.jsonl")):
+        out_lines = []
+        for line in seg.read_text().splitlines():
+            rec = json.loads(line)
+            rec["wall_seconds"] = rec.get("wall_seconds", 0.0) * factor
+            out_lines.append(json.dumps(rec))
+        (dst / seg.name).write_text("\n".join(out_lines) + "\n")
+
+
+def main(store_dir: str | None = None) -> int:
+    root = Path(store_dir) if store_dir else Path(tempfile.mkdtemp()) / "store"
+    if root.exists():
+        shutil.rmtree(root)
+
+    print(f"== cold runs (store: {root}) ==")
+    cold_hist = _run_suite(root)
+    cold_stats = cold_hist.last_run_stats
+    print(
+        f"histogram cold: technique={cold_stats.technique_effective.value} "
+        f"decision source={cold_stats.technique_decision['source']}"
+    )
+    snapshot = root.parent / (root.name + "-cold")
+    if snapshot.exists():
+        shutil.rmtree(snapshot)
+    shutil.copytree(root, snapshot)
+
+    print("\n== warm runs (profile-guided) ==")
+    warm_hist = _run_suite(root)
+    stats = warm_hist.last_run_stats
+    coloring = stats.coloring or {}
+    decision = stats.technique_decision or {}
+    print(
+        f"histogram warm: technique={stats.technique_effective.value} "
+        f"coloring source={coloring.get('source')} "
+        f"max wave width={coloring.get('max_wave_width')}"
+    )
+    if coloring.get("source") != "profile":
+        print("FAIL: warm histogram did not color from the profile store",
+              file=sys.stderr)
+        return 1
+    if coloring.get("max_wave_width", 0) < 2:
+        print("FAIL: profiled coloring is not genuinely parallel",
+              file=sys.stderr)
+        return 1
+    if decision.get("source") != "profiled":
+        print("FAIL: technique decision does not credit the profile store",
+              file=sys.stderr)
+        return 1
+
+    print("\n== store report ==")
+    profile_cli(["report", str(root)])
+
+    print("\n== diff: cold snapshot vs full store (expect: ok) ==")
+    code = profile_cli(["diff", str(snapshot), str(root), "--threshold", "10"])
+    if code != DIFF_OK:
+        print(f"FAIL: unexpected regression verdict (exit {code})",
+              file=sys.stderr)
+        return 1
+
+    print("\n== diff vs doctored 100x-slower snapshot (expect: regression) ==")
+    slow = root.parent / (root.name + "-slow")
+    _inject_slowdown(snapshot, slow)
+    code = profile_cli(["diff", str(snapshot), str(slow)])
+    if code != DIFF_REGRESSION:
+        print(f"FAIL: injected slowdown not flagged (exit {code})",
+              file=sys.stderr)
+        return 1
+
+    print("\nprofile smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else None))

@@ -28,6 +28,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.profilestore import ProfileStore
 from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_in_range, check_one_of, check_positive_int
@@ -112,6 +113,7 @@ class AprioriRunner:
         technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         from repro.compiler.translate import BACKENDS, kernel_technique
 
@@ -126,6 +128,7 @@ class AprioriRunner:
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
             technique=technique, tracer=tracer,
+            profile_store=profile_store,
         )
         #: kernel variant every counting pass compiles with
         self.kernel_technique = kernel_technique(technique)

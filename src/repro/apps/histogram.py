@@ -25,6 +25,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.profilestore import ProfileStore
 from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
@@ -84,6 +85,7 @@ class HistogramRunner:
         technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         check_positive_int(bins, "bins")
         if not hi > lo:
@@ -95,6 +97,7 @@ class HistogramRunner:
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
             technique=technique, tracer=tracer,
+            profile_store=profile_store,
         )
         #: RunStats of the most recent engine run (None before the first)
         self.last_run_stats = None

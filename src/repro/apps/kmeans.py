@@ -39,6 +39,7 @@ from repro.compiler.translate import (
 from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
+from repro.obs.profilestore import ProfileStore
 from repro.obs.tracer import Tracer
 from repro.machine.counters import OpCounters
 from repro.util.errors import ReproError
@@ -238,6 +239,7 @@ class KmeansRunner:
         technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         check_positive_int(k, "k")
         check_positive_int(dim, "dim")
@@ -250,6 +252,7 @@ class KmeansRunner:
             chunk_size=chunk_size,
             technique=technique,
             tracer=tracer,
+            profile_store=profile_store,
         )
         self.compiled: CompiledReduction | None = None
         if version != "manual":

@@ -38,6 +38,7 @@ from repro.freeride.reduction_object import ReductionObject
 from repro.freeride.runtime import FreerideEngine, RunStats
 from repro.freeride.spec import ReductionArgs, ReductionSpec
 from repro.machine.counters import OpCounters
+from repro.obs.profilestore import ProfileStore
 from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
@@ -206,6 +207,7 @@ class PcaRunner:
         technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         check_positive_int(m, "m")
         self.m = m
@@ -214,6 +216,7 @@ class PcaRunner:
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
             technique=technique, tracer=tracer,
+            profile_store=profile_store,
         )
         self.mean_compiled: CompiledReduction | None = None
         self.cov_compiled: CompiledReduction | None = None

@@ -43,6 +43,7 @@ from repro.compiler.cache import compile_cached
 from repro.compiler.translate import BACKENDS, kernel_technique
 from repro.freeride.runtime import FreerideEngine
 from repro.machine.counters import OpCounters
+from repro.obs.profilestore import ProfileStore
 from repro.obs.tracer import Tracer
 from repro.util.errors import ReproError
 from repro.util.validation import check_one_of, check_positive_int
@@ -114,6 +115,7 @@ class WindowedRunner:
         technique: str = "full_replication",
         backend: str = "scalar",
         tracer: "Tracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         check_positive_int(window, "window")
         check_positive_int(num_windows, "num_windows")
@@ -130,6 +132,7 @@ class WindowedRunner:
         self.engine = FreerideEngine(
             num_threads=num_threads, executor=executor, chunk_size=chunk_size,
             technique=technique, tracer=tracer,
+            profile_store=profile_store,
         )
         #: RunStats of the most recent engine run (None before the first)
         self.last_run_stats = None

@@ -473,6 +473,12 @@ class BoundReduction:
                 extras=dict(self.extras_values),
                 extras_epoch=self.extras_epoch,
                 technique=comp.technique,
+                effective_backend=comp.effective_backend,
+                native_disk_hit=(
+                    not comp.native_kernel.native.compiled
+                    if comp.native_kernel is not None
+                    else None
+                ),
                 data_raw=self.data_buf.raw,
                 counters=counters,
             )

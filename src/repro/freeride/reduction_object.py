@@ -415,6 +415,26 @@ class ReductionObject:
         ufunc = _MERGE_UFUNC[meta.op]
         self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
 
+    def touched_groups(self) -> frozenset[int]:
+        """Groups holding at least one element that left its op identity.
+
+        The profile store's footprint observation runs each split into a
+        fresh scratch object and calls this at commit time: any group whose
+        elements all still equal the op identity (0 for add, ±inf for
+        min/max) was — as far as the merge is concerned — untouched.  An
+        update that accumulated *exactly* the identity is invisible here,
+        which is safe for footprint purposes: merging an identity is a
+        value no-op, so omitting that group from the observed footprint
+        cannot change any committed result.
+        """
+        touched: list[int] = []
+        for meta in self._groups:
+            sl = self._buffer[meta.offset : meta.offset + meta.num_elems]
+            ident = _IDENTITY[meta.op]
+            if np.any(sl != ident):
+                touched.append(meta.group_id)
+        return frozenset(touched)
+
     def snapshot(self) -> np.ndarray:
         """Copy of the whole dense buffer (for tests and checkpoints)."""
         return self._buffer.copy()

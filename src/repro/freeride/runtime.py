@@ -102,6 +102,15 @@ from repro.freeride.splitter import (
     split_descriptors,
 )
 from repro.obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from repro.obs.profilestore import (
+    MAX_FOOTPRINT_CELLS,
+    ProfileStore,
+    RunProfile,
+    resolve_store,
+    shape_class,
+    split_layout_fingerprint,
+    summarize_durations,
+)
 from repro.obs.tracer import NullTracer, Tracer, get_tracer
 from repro.util.errors import FaultToleranceError, FreerideError, SplitterError
 from repro.util.timing import PhaseTimer
@@ -274,6 +283,20 @@ class FreerideEngine:
         resolved tracer is disabled the engine installs **no** per-split
         instrumentation — the execution path is byte-for-byte the
         pre-observability one.
+    profile_store:
+        persistent run-history recording and profile-guided execution
+        (:mod:`repro.obs.profilestore`).  ``None``/``False`` (the default)
+        disables the store entirely — zero store reads or writes anywhere,
+        and the per-split hot path is untouched.  ``True`` opens the
+        default store (``~/.cache/repro-profiles`` or
+        ``$REPRO_PROFILE_STORE``); a path opens that directory; an
+        existing :class:`~repro.obs.profilestore.ProfileStore` is used
+        as-is.  With a store attached, every run appends one
+        :class:`~repro.obs.profilestore.RunProfile`; ``technique="auto"``
+        consults the store's history for this program, and kernels whose
+        group footprints the effect analysis cannot bound (histogram)
+        have their footprints *observed* at commit time so warm re-runs
+        color into conflict-free waves (``coloring source="profile"``).
     """
 
     def __init__(
@@ -288,6 +311,7 @@ class FreerideEngine:
         fault_policy: FaultPolicy | None = None,
         fault_injector: FaultInjector | None = None,
         tracer: "Tracer | NullTracer | None" = None,
+        profile_store: "ProfileStore | str | bool | None" = None,
     ) -> None:
         self.num_threads = check_positive_int(num_threads, "num_threads")
         raw = (
@@ -340,6 +364,12 @@ class FreerideEngine:
             raise FreerideError("tracer must be a Tracer, NullTracer or None")
         #: explicit tracer; None falls back to the global tracer per run
         self.tracer = tracer
+        #: persistent run-history store; None keeps the store fully disabled
+        self.profile_store = resolve_store(profile_store)
+        #: in-memory footprint cache: (digest, split fingerprint) -> map of
+        #: (start, end) -> observed group set.  Lets the second run of one
+        #: engine lifetime go profile-colored without re-reading the store.
+        self._footprint_cache: dict[tuple[str, str], dict] = {}
         # Persistent worker pools (threads or processes) plus published
         # shared-memory segments, shared by every run() of this engine.  The
         # finalizer releases them even if close() is never called.
@@ -421,6 +451,13 @@ class FreerideEngine:
         tracer = self.tracer if self.tracer is not None else get_tracer()
         metrics = MetricsRegistry() if tracer.enabled else None
         timer = PhaseTimer()
+        kspec = spec.kernel_spec
+        digest = kspec.digest if kspec is not None else None
+        # Per-run profile context — built ONLY when a store is attached, so
+        # the disabled path performs zero store work (one None check here).
+        profile_ctx: dict[str, Any] | None = None
+        if self.profile_store is not None:
+            profile_ctx = {"wall_start": time.perf_counter(), "digest": digest}
         initial = self.technique or SharedMemTechnique.FULL_REPLICATION
         stats = RunStats(
             num_threads=self.num_threads,
@@ -444,11 +481,13 @@ class FreerideEngine:
             num_threads=self.num_threads,
             num_nodes=self.num_nodes,
             technique=self.technique_requested,
+            digest=digest,
         ) as run_span:
             if self.num_nodes == 1:
                 with timer.phase("local"), tracer.span("local", cat="phase"):
                     ro, sm_stats, lc_stats = self._run_node(
-                        spec, data, stats, tracer, metrics, node=0
+                        spec, data, stats, tracer, metrics, node=0,
+                        profile_ctx=profile_ctx,
                     )
                 stats.sharedmem = sm_stats
                 stats.local_combination = lc_stats
@@ -460,7 +499,7 @@ class FreerideEngine:
                     ):
                         node_ro, sm_stats, lc_stats = self._run_node(
                             spec, node_block.data, stats, tracer, metrics,
-                            node=node_id,
+                            node=node_id, profile_ctx=profile_ctx,
                         )
                         stats.sharedmem.add(sm_stats)
                         stats.local_combination.strategy = lc_stats.strategy
@@ -510,6 +549,8 @@ class FreerideEngine:
         stats.phase_seconds = timer.as_dict()
         if metrics is not None:
             self._finish_metrics(metrics, stats)
+        if profile_ctx is not None:
+            self._append_profile(spec, stats, profile_ctx)
         return ReductionResult(value=value, ro=ro, stats=stats)
 
     def _finish_metrics(self, metrics: MetricsRegistry, stats: RunStats) -> None:
@@ -587,6 +628,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        profile_ctx: "dict[str, Any] | None" = None,
     ) -> tuple[ReductionObject, SharedMemStats, CombinationStats]:
         ro = spec.build_reduction_object()
 
@@ -606,9 +648,11 @@ class FreerideEngine:
                 splits = default_splitter(data, self.num_threads)
         if node == 0:
             stats.split_alignment = alignment_used
+        if profile_ctx is not None and node == 0:
+            profile_ctx["split_ranges"] = [(s.start, s.end) for s in splits]
 
         technique, coloring = self._resolve_technique(
-            spec, splits, ro, stats, tracer, node
+            spec, splits, ro, stats, tracer, node, profile_ctx
         )
         mgr = SharedMemManager(technique)
         accessors = mgr.setup(ro, self.num_threads)
@@ -619,27 +663,44 @@ class FreerideEngine:
         fault_tolerant = (
             self.fault_policy is not None or self.fault_injector is not None
         )
+        obs_ctx = (
+            self._observation_ctx(
+                spec, splits, ro, technique, coloring, fault_tolerant,
+                profile_ctx, node,
+            )
+            if profile_ctx is not None
+            else None
+        )
         if not fault_tolerant:
             if self.executor == "process":
                 self._execute_process_direct(
                     spec, splits, accessors, elems, nsplits, tracer, metrics,
-                    node,
+                    node, profile_ctx,
                 )
             else:
                 self._execute_direct(
                     spec, splits, accessors, elems, nsplits, tracer, metrics,
-                    node, coloring,
+                    node, coloring, obs_ctx,
                 )
         elif self.executor == "process":
             self._execute_process_ft(
                 spec, splits, accessors, stats, elems, nsplits,
-                tracer, metrics, node,
+                tracer, metrics, node, profile_ctx,
             )
         else:
             self._execute_fault_tolerant(
                 spec, splits, accessors, ro, stats, elems, nsplits,
                 tracer, metrics, node, coloring,
             )
+        if obs_ctx is not None:
+            assert profile_ctx is not None
+            profile_ctx["footprints"] = obs_ctx["footprints"]
+            profile_ctx["footprint_conflicts"] = obs_ctx["conflicts"]
+            if obs_ctx["conflicts"] and tracer.enabled:
+                tracer.event(
+                    "profile.footprint_conflict", cat="engine", node=node,
+                    conflicts=obs_ctx["conflicts"],
+                )
 
         stats.total_elements += sum(elems)
         if not stats.elements_per_thread:
@@ -707,6 +768,7 @@ class FreerideEngine:
         stats: RunStats,
         tracer: "Tracer | NullTracer",
         node: int,
+        profile_ctx: "dict[str, Any] | None" = None,
     ) -> "tuple[SharedMemTechnique, Any]":
         """The technique this node's pipeline actually runs, plus its wave
         schedule (a :class:`~repro.freeride.coloring.SplitColoring`, or
@@ -718,13 +780,33 @@ class FreerideEngine:
         :meth:`_auto_select`.  Node 0 stamps the run stats (multi-node runs
         see the same spec, so the per-node choice only differs in degenerate
         splitter setups, and the paper's model is one technique per run).
+
+        With a profile store attached and a coloring-capable request
+        (``"auto"`` or ``"colored"``), persisted history joins the inputs:
+        observed footprints become the coloring's ``source="profile"`` tier
+        and past lock-contention outcomes feed the ``auto`` heuristic.
         """
         decision: dict[str, Any] | None = None
         coloring = None
+        profiled = history = profile_key = None
+        if (
+            profile_ctx is not None
+            and profile_ctx.get("digest") is not None
+            and (
+                self.technique is None
+                or self.technique is SharedMemTechnique.COLORED
+            )
+        ):
+            profiled, history, profile_key = self._profile_plan(
+                splits, profile_ctx
+            )
         if self.technique is None:  # "auto"
-            chosen, coloring, decision = self._auto_select(spec, splits, ro)
+            chosen, coloring, decision = self._auto_select(
+                spec, splits, ro,
+                profiled=profiled, history=history, profile_key=profile_key,
+            )
         elif self.technique is SharedMemTechnique.COLORED:
-            coloring = self._try_coloring(spec, splits, ro)
+            coloring = self._try_coloring(spec, splits, ro, profiled=profiled)
             if coloring is None:
                 chosen = SharedMemTechnique.FULL_REPLICATION
                 decision = {
@@ -740,6 +822,20 @@ class FreerideEngine:
                 }
             else:
                 chosen = SharedMemTechnique.COLORED
+                if coloring.source == "profile":
+                    decision = {
+                        "requested": self.technique_requested,
+                        "chosen": chosen.value,
+                        "reason": (
+                            "static bounds color at best serial waves, but "
+                            "the profile store holds observed footprints "
+                            "for this program and split layout — coloring "
+                            "wider from profiled footprints"
+                        ),
+                        "inputs": self._decision_inputs(splits, ro, coloring),
+                        "source": "profiled",
+                        "profile_key": profile_key,
+                    }
         else:
             chosen = self.technique
         if node == 0:
@@ -749,33 +845,50 @@ class FreerideEngine:
             stats.technique_decision = decision
             stats.coloring = coloring.as_dict() if coloring is not None else None
         if decision is not None and tracer.enabled:
+            extra: dict[str, Any] = {}
+            if "source" in decision:
+                extra["source"] = decision["source"]
+            if decision.get("profile_key") is not None:
+                extra["profile_key"] = decision["profile_key"]
             tracer.event(
                 "technique.decision", cat="engine", node=node,
                 requested=decision["requested"], chosen=decision["chosen"],
-                reason=decision["reason"], **decision["inputs"],
+                reason=decision["reason"], **extra, **decision["inputs"],
             )
         return chosen, coloring
 
     def _auto_select(
-        self, spec: ReductionSpec, splits: "list[Split]", ro: ReductionObject
+        self,
+        spec: ReductionSpec,
+        splits: "list[Split]",
+        ro: ReductionObject,
+        profiled: "dict[tuple[int, int], frozenset[int]] | None" = None,
+        history: "list[dict[str, Any]] | None" = None,
+        profile_key: "dict[str, str] | None" = None,
     ) -> "tuple[SharedMemTechnique, Any, dict[str, Any]]":
-        """Static heuristic for ``technique="auto"``; returns
+        """Heuristic for ``technique="auto"``; returns
         ``(technique, coloring | None, decision record)``.
 
         In order: the process executor can only replicate (coerce, honestly
         recorded); genuinely parallel colored waves beat everything (single
         RO, zero locks, no replica merges); an over-budget replication
         footprint forces a single-copy technique — colored if the previous
-        traced run showed real lock contention, else cache-sensitive
-        locking; small reduction objects default to full replication, the
-        paper's fastest technique when memory allows.
+        traced run (or, failing that, persisted store history) showed real
+        lock contention, else cache-sensitive locking; small reduction
+        objects default to full replication, the paper's fastest technique
+        when memory allows.
+
+        The decision record carries ``source`` — ``"static"`` when only the
+        cold-start heuristic spoke, ``"profiled"`` when store history
+        (observed footprints or persisted contention) decided the outcome.
         """
         coloring = (
             None
             if self.executor == "process"
-            else self._try_coloring(spec, splits, ro)
+            else self._try_coloring(spec, splits, ro, profiled=profiled)
         )
         inputs = self._decision_inputs(splits, ro, coloring)
+        source = "static"
         if self.executor == "process":
             chosen = SharedMemTechnique.FULL_REPLICATION
             reason = (
@@ -783,21 +896,47 @@ class FreerideEngine:
             )
         elif coloring is not None and coloring.max_wave_width >= 2:
             chosen = SharedMemTechnique.COLORED
-            reason = (
-                "exact group bounds admit parallel lock-free waves "
-                f"(max wave width {coloring.max_wave_width})"
-            )
+            if coloring.source == "profile":
+                source = "profiled"
+                reason = (
+                    "observed footprints from the profile store color this "
+                    "split layout into parallel lock-free waves "
+                    f"(max wave width {coloring.max_wave_width})"
+                )
+            else:
+                reason = (
+                    "exact group bounds admit parallel lock-free waves "
+                    f"(max wave width {coloring.max_wave_width})"
+                )
         elif inputs["replication_bytes"] > REPLICATION_BUDGET_BYTES:
+            contention = self._last_lock_contention
+            contention_source = "session"
+            if contention is None and history:
+                means = [
+                    r["lock_contention_mean"]
+                    for r in history
+                    if isinstance(r.get("lock_contention_mean"), (int, float))
+                ]
+                if means:
+                    contention = sum(means) / len(means)
+                    contention_source = "profile"
+                    inputs["lock_contention_mean"] = contention
             if (
                 coloring is not None
-                and self._last_lock_contention is not None
-                and self._last_lock_contention > CONTENTION_FEEDBACK_THRESHOLD
+                and contention is not None
+                and contention > CONTENTION_FEEDBACK_THRESHOLD
             ):
                 chosen = SharedMemTechnique.COLORED
+                if contention_source == "profile" or coloring.source == "profile":
+                    source = "profiled"
+                witness = (
+                    "persisted run history"
+                    if contention_source == "profile"
+                    else "the previous traced run"
+                )
                 reason = (
-                    "replication is over the memory budget and the previous "
-                    "traced run averaged "
-                    f"{self._last_lock_contention:.1f} lock acquisitions per "
+                    f"replication is over the memory budget and {witness} "
+                    f"averaged {contention:.1f} lock acquisitions per "
                     "split; serialized colored waves avoid both"
                 )
             else:
@@ -818,22 +957,52 @@ class FreerideEngine:
             "chosen": chosen.value,
             "reason": reason,
             "inputs": inputs,
+            "source": source,
         }
+        if profile_key is not None:
+            decision["profile_key"] = profile_key
         return chosen, coloring, decision
 
     @staticmethod
     def _try_coloring(
-        spec: ReductionSpec, splits: "list[Split]", ro: ReductionObject
+        spec: ReductionSpec,
+        splits: "list[Split]",
+        ro: ReductionObject,
+        profiled: "dict[tuple[int, int], frozenset[int]] | None" = None,
     ) -> Any:
-        """A wave schedule for these splits, or ``None`` if bounds are inexact."""
+        """A wave schedule for these splits, or ``None`` if bounds are inexact.
+
+        When a profiled footprint map is supplied, the profiled schedule is
+        preferred over the static one only when it colors strictly *wider*
+        waves: a conservative static bound (histogram's "any split may
+        touch any bin") is exact but degenerates to one split per wave,
+        and the observed footprints are exactly what recovers the lost
+        parallelism.  A static schedule that already colors wide keeps its
+        proof — profiled sets are predictions, never preferred on a tie.
+        """
         # imported lazily: coloring pulls in the compiler's bounds analysis,
         # and the freeride package must stay importable without the compiler
         from repro.freeride.coloring import color_splits, resolve_group_sets
 
         group_sets, source = resolve_group_sets(spec, splits, ro.num_groups)
-        if group_sets is None:
-            return None
-        return color_splits(group_sets, source=source)
+        coloring = (
+            color_splits(group_sets, source=source)
+            if group_sets is not None
+            else None
+        )
+        if profiled is not None:
+            # spec=None skips the static tiers: only the profiled map speaks
+            prof_sets, prof_source = resolve_group_sets(
+                None, splits, ro.num_groups, profiled=profiled
+            )
+            if prof_sets is not None:
+                prof_coloring = color_splits(prof_sets, source=prof_source)
+                if (
+                    coloring is None
+                    or prof_coloring.max_wave_width > coloring.max_wave_width
+                ):
+                    coloring = prof_coloring
+        return coloring
 
     def _decision_inputs(
         self, splits: "list[Split]", ro: ReductionObject, coloring: Any
@@ -855,6 +1024,232 @@ class FreerideEngine:
             "lock_contention_mean": self._last_lock_contention,
         }
 
+    # -- profile store integration (plan-time only, never the hot path) --------
+
+    def _profile_plan(
+        self, splits: "list[Split]", profile_ctx: "dict[str, Any]"
+    ) -> "tuple[dict | None, list[dict[str, Any]] | None, dict[str, str]]":
+        """Store history for this run's ``(digest, layout, shape)`` key.
+
+        Returns ``(profiled footprint map, history records, profile key)``.
+        The footprint map is only fetched when this run could actually
+        execute a profile-colored schedule (in-process, single node, no
+        fault machinery); history is only read for ``"auto"`` requests,
+        which are the sole consumer.  Both are plan-time reads — nothing
+        here runs per split.
+        """
+        store = self.profile_store
+        assert store is not None
+        digest: str = profile_ctx["digest"]
+        ranges = [(s.start, s.end) for s in splits]
+        fingerprint = split_layout_fingerprint(ranges)
+        shape = shape_class(sum(len(s) for s in splits), self.num_threads)
+        profile_key = {
+            "digest": digest,
+            "split_fingerprint": fingerprint,
+            "shape_class": shape,
+        }
+        profile_ctx.setdefault("profile_key", profile_key)
+        profiled = None
+        if (
+            self.executor != "process"
+            and self.num_nodes == 1
+            and self.fault_policy is None
+            and self.fault_injector is None
+        ):
+            profiled = self._footprint_cache.get((digest, fingerprint))
+            if profiled is None:
+                profiled = store.latest_footprints(digest, fingerprint)
+                if profiled is not None:
+                    self._footprint_cache[(digest, fingerprint)] = profiled
+        history = None
+        if self.technique is None:  # only "auto" consumes history
+            history = store.history(digest, shape)
+        return profiled, history, profile_key
+
+    def _observation_ctx(
+        self,
+        spec: ReductionSpec,
+        splits: "list[Split]",
+        ro: ReductionObject,
+        technique: SharedMemTechnique,
+        coloring: Any,
+        fault_tolerant: bool,
+        profile_ctx: "dict[str, Any]",
+        node: int,
+    ) -> "dict[str, Any] | None":
+        """Decide whether this run observes per-split group footprints.
+
+        Footprints are observed in exactly two situations: (a) the run is
+        executing full replication and no static tier colors the kernel
+        into *parallel* waves — the histogram shape, where only
+        observation can ever widen the schedule — or (b) the run is
+        already profile-colored, so re-recording keeps the stored
+        footprints fresh (self-healing after a data change).  Observation
+        is gated to the plain in-process direct path on a single node: the
+        process executor, fault machinery and multi-node runs keep their
+        existing execution byte-for-byte.
+        """
+        if (
+            node != 0
+            or self.num_nodes != 1
+            or self.executor == "process"
+            or fault_tolerant
+            or profile_ctx.get("digest") is None
+        ):
+            return None
+        profile_colored = coloring is not None and coloring.source == "profile"
+        if not profile_colored:
+            if technique is SharedMemTechnique.COLORED:
+                # a degenerate colored schedule executes one split at a
+                # time, so scratch observation is race-free; a statically
+                # wide schedule never needs profiling
+                if coloring is not None and coloring.max_wave_width >= 2:
+                    return None
+            elif technique is not SharedMemTechnique.FULL_REPLICATION:
+                return None
+            else:
+                # only observe kernels whose static schedule is serial (or
+                # absent) — a statically wide coloring never needs profiling
+                static = self._try_coloring(spec, splits, ro)
+                if static is not None and static.max_wave_width >= 2:
+                    return None
+        return {
+            # zero-length splits never execute; their footprint is empty
+            "footprints": {
+                (s.start, s.end): frozenset() for s in splits if len(s) == 0
+            },
+            "base_ro": ro,
+            "lock": threading.Lock(),
+            # profiled footprints are predictions, not proofs: commits of
+            # profile-colored splits are serialized on this single lock so
+            # a stale footprint can cost time but never correctness
+            "commit_lock": threading.Lock() if profile_colored else None,
+            "predicted": (
+                {
+                    splits[i].split_id: coloring.group_sets[i]
+                    for i in range(len(splits))
+                }
+                if profile_colored
+                else None
+            ),
+            "conflicts": 0,
+        }
+
+    def _append_profile(
+        self, spec: ReductionSpec, stats: RunStats,
+        profile_ctx: "dict[str, Any]",
+    ) -> None:
+        """Record one :class:`RunProfile` for the finished run.
+
+        One record per :meth:`run` call — process-executor runs fold their
+        workers' split durations into this single record rather than
+        appending per worker.  Store I/O failures degrade to a warning:
+        profiling must never fail a computation that already succeeded.
+        """
+        try:
+            kspec = spec.kernel_spec
+            digest = profile_ctx.get("digest")
+            ranges = profile_ctx.get("split_ranges") or []
+            fingerprint = split_layout_fingerprint(ranges) if ranges else None
+            durations = profile_ctx.get("worker_durations")
+            split_seconds = summarize_durations(durations) if durations else None
+            contention_mean = None
+            hists = stats.metrics.get("histograms", {}) if stats.metrics else {}
+            if split_seconds is None:
+                snap = hists.get("engine.split_seconds")
+                if snap and snap.get("count"):
+                    split_seconds = {
+                        "count": snap["count"],
+                        "mean": snap["mean"],
+                        "p50": None,
+                        "p95": None,
+                        "max": snap["max"],
+                    }
+            csnap = hists.get("ro.lock_acquisitions_per_split")
+            if csnap and csnap.get("count"):
+                contention_mean = csnap["mean"]
+            footprints = None
+            observed = profile_ctx.get("footprints")
+            if observed is not None and ranges:
+                complete = all((a, b) in observed for a, b in ranges)
+                cells = sum(len(g) for g in observed.values())
+                if complete and cells <= MAX_FOOTPRINT_CELLS:
+                    footprints = [
+                        [a, b, sorted(observed[(a, b)])] for a, b in ranges
+                    ]
+                    if digest is not None and fingerprint is not None:
+                        self._footprint_cache[(digest, fingerprint)] = {
+                            (a, b): frozenset(observed[(a, b)])
+                            for a, b in ranges
+                        }
+            decision = stats.technique_decision
+            faults = {
+                key: value
+                for key in (
+                    "retries", "failed_splits", "injected_faults",
+                    "requeues", "timeouts",
+                )
+                if (value := getattr(stats, key))
+            }
+            native_cache = None
+            if kspec is not None and kspec.native_disk_hit is not None:
+                native_cache = {
+                    "hits": int(kspec.native_disk_hit),
+                    "misses": int(not kspec.native_disk_hit),
+                }
+            profile = RunProfile(
+                digest=digest,
+                spec_name=spec.name,
+                shape_class=shape_class(
+                    stats.total_elements, self.num_threads
+                ),
+                split_fingerprint=fingerprint,
+                opt_level=kspec.opt_level if kspec is not None else None,
+                backend=kspec.backend if kspec is not None else None,
+                effective_backend=(
+                    kspec.effective_backend if kspec is not None else None
+                ),
+                executor=self.executor,
+                workers=self.num_threads,
+                num_nodes=self.num_nodes,
+                n_elements=stats.total_elements,
+                num_splits=len(ranges),
+                split_alignment=stats.split_alignment,
+                technique_requested=stats.technique_requested,
+                technique_effective=stats.technique_effective.value,
+                decision=(
+                    {
+                        "chosen": decision["chosen"],
+                        "reason": decision["reason"],
+                        "source": decision.get("source", "static"),
+                    }
+                    if decision is not None
+                    else None
+                ),
+                coloring=stats.coloring,
+                wall_seconds=time.perf_counter() - profile_ctx["wall_start"],
+                phase_seconds=dict(stats.phase_seconds),
+                split_seconds=split_seconds,
+                lock_acquisitions=stats.sharedmem.lock_acquisitions,
+                lock_contention_mean=contention_mean,
+                kernel_cache_hits=stats.kernel_cache_hits,
+                kernel_cache_evictions=stats.kernel_cache_evictions,
+                native_cache=native_cache,
+                faults=faults,
+                footprints=footprints,
+            )
+            assert self.profile_store is not None
+            self.profile_store.append(profile)
+        except OSError as exc:
+            import warnings
+
+            warnings.warn(
+                f"profile store append failed: {exc!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
     # -- direct (zero-overhead) execution --------------------------------------
 
     def _execute_direct(
@@ -868,18 +1263,61 @@ class FreerideEngine:
         metrics: MetricsRegistry | None,
         node: int,
         coloring: Any = None,
+        obs_ctx: "dict[str, Any] | None" = None,
     ) -> None:
-        def process(thread_id: int, split: Split) -> None:
-            args = ReductionArgs(
-                data=split.data,
-                split=split,
-                thread_id=thread_id,
-                ro=accessors[thread_id],
-                extras=spec.extras,
-            )
-            spec.reduction(args)
-            elems[thread_id] += len(split)
-            nsplits[thread_id] += 1
+        if obs_ctx is None:
+            def process(thread_id: int, split: Split) -> None:
+                args = ReductionArgs(
+                    data=split.data,
+                    split=split,
+                    thread_id=thread_id,
+                    ro=accessors[thread_id],
+                    extras=spec.extras,
+                )
+                spec.reduction(args)
+                elems[thread_id] += len(split)
+                nsplits[thread_id] += 1
+        else:
+            # Footprint observation (profile store attached): every split
+            # runs into a fresh scratch reduction object so its touched
+            # group set can be read off before the commit.  Profile-colored
+            # runs additionally serialize their full-scratch commits on one
+            # lock — the profiled footprint is a *prediction*, so the wave
+            # schedule's disjointness is treated as a performance hint,
+            # never a correctness requirement; a mis-predicted split is
+            # counted and its fresh footprint re-recorded.
+            base_ro = obs_ctx["base_ro"]
+            footprints = obs_ctx["footprints"]
+            fp_lock = obs_ctx["lock"]
+            commit_lock = obs_ctx["commit_lock"]
+            predicted = obs_ctx["predicted"]
+
+            def process(thread_id: int, split: Split) -> None:
+                scratch = base_ro.clone_empty()
+                spec.reduction(
+                    ReductionArgs(
+                        data=split.data,
+                        split=split,
+                        thread_id=thread_id,
+                        ro=ScratchAccessor(scratch),
+                        extras=spec.extras,
+                    )
+                )
+                groups = scratch.touched_groups()
+                if predicted is None:
+                    accessors[thread_id].merge_from_scratch(scratch)
+                else:
+                    stale = not groups <= predicted.get(
+                        split.split_id, frozenset()
+                    )
+                    with commit_lock:
+                        accessors[thread_id].merge_from_scratch(scratch)
+                with fp_lock:
+                    footprints[(split.start, split.end)] = groups
+                    if predicted is not None and stale:
+                        obs_ctx["conflicts"] += 1
+                elems[thread_id] += len(split)
+                nsplits[thread_id] += 1
 
         # Tracing wraps the plain closure only when enabled: the disabled
         # path installs zero per-split instrumentation (not even a branch
@@ -1400,6 +1838,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        profile_ctx: "dict[str, Any] | None" = None,
     ) -> None:
         """Direct path across processes: one block task per worker.
 
@@ -1456,6 +1895,12 @@ class FreerideEngine:
                 nsplits[w] += res["nsplits"]
                 if counters is not None:
                     counters.add(res["counters"])
+                if profile_ctx is not None:
+                    # fold every worker's split durations into this run's
+                    # single profile record (one RunProfile per engine run)
+                    profile_ctx.setdefault("worker_durations", []).extend(
+                        res["durations"]
+                    )
                 if tracer.enabled:
                     tracer.ingest(res["records"])
                     for dur in res["durations"]:
@@ -1477,6 +1922,7 @@ class FreerideEngine:
         tracer: "Tracer | NullTracer",
         metrics: MetricsRegistry | None,
         node: int,
+        profile_ctx: "dict[str, Any] | None" = None,
     ) -> None:
         """Fault-tolerant path across processes: one task per split attempt.
 
@@ -1562,6 +2008,10 @@ class FreerideEngine:
                 res = fut.result()  # worker-process crashes propagate here
                 if counters is not None:
                     counters.add(res["counters"])
+                if profile_ctx is not None:
+                    profile_ctx.setdefault("worker_durations", []).append(
+                        res["duration"]
+                    )
                 if tracer.enabled:
                     tracer.ingest(res["records"])
                     if split_seconds is not None:

@@ -59,6 +59,14 @@ class KernelSpec:
     #: ``"colored"`` (the colored variant's batch path passes the
     #: ``exclusive`` hint); part of the worker-side kernel-cache key
     technique: str = "generic"
+    #: the backend tier the compiled kernel actually dispatches to in the
+    #: parent after fallbacks (native/batch/scalar) — recorded into
+    #: persisted run profiles so history lookups can tell tiers apart
+    effective_backend: str = "scalar"
+    #: for native-tier kernels: True when the ``.so`` came from the on-disk
+    #: kernel cache, False when this process ran the C compiler; ``None``
+    #: for non-native tiers (also surfaced in persisted run profiles)
+    native_disk_hit: bool | None = None
     data_raw: Any = field(repr=False, default=None)
     counters: Any = field(repr=False, default=None)
 

@@ -13,7 +13,10 @@ The observability layer the engine, compiler, apps and benchmarks share:
   dependency-free schema validator;
 * :mod:`repro.obs.report` — replay a trace into the per-phase /
   per-thread decomposition the paper's figures use
-  (``python -m repro.trace report <file>``).
+  (``python -m repro.trace report <file>``);
+* :mod:`repro.obs.profilestore` — the persistent cross-process run
+  history behind profile-guided execution and regression diffs
+  (``python -m repro.profile``).
 
 Quickstart::
 
@@ -48,6 +51,18 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profilestore import (
+    MAX_FOOTPRINT_CELLS,
+    PROFILE_SCHEMA_VERSION,
+    REPRO_PROFILE_STORE_ENV,
+    ProfileStore,
+    RunProfile,
+    default_store_root,
+    resolve_store,
+    shape_class,
+    split_layout_fingerprint,
+    summarize_durations,
 )
 from repro.obs.report import (
     ThreadSummary,
@@ -93,6 +108,16 @@ __all__ = [
     "TraceReport",
     "summarize_trace",
     "format_report",
+    "ProfileStore",
+    "RunProfile",
+    "default_store_root",
+    "resolve_store",
+    "shape_class",
+    "split_layout_fingerprint",
+    "summarize_durations",
+    "PROFILE_SCHEMA_VERSION",
+    "REPRO_PROFILE_STORE_ENV",
+    "MAX_FOOTPRINT_CELLS",
 ]
 
 

@@ -1,0 +1,386 @@
+"""Persistent run-history profiles — the store behind profile-guided runs.
+
+PR 4's tracer observes one engine lifetime and forgets everything at
+process exit.  This module is the cross-lifetime memory: every traced or
+untraced :meth:`~repro.freeride.runtime.FreerideEngine.run` with a store
+attached appends one compact :class:`RunProfile` record — program digest,
+technique decision, wall/phase times, split-duration summary, cache and
+fault counters, and (for kernels whose group footprints are
+data-dependent) the *observed* per-split group footprints sampled at
+commit time.  On a later run — possibly in a different process, days
+later — the engine consults this history:
+
+* ``technique="auto"`` keys into ``(digest, shape_class)`` and lets
+  persisted lock-contention and wave-width outcomes override the
+  cold-start heuristic;
+* observed footprints feed :func:`repro.freeride.coloring.resolve_group_sets`
+  as the ``source="profile"`` tier, so a histogram whose bin index the
+  effect analysis cannot bound statically still colors into conflict-free
+  waves on re-runs (the PyOP2 shape: per-kernel plans cached on disk keyed
+  by digest);
+* ``python -m repro.profile`` renders reports, diffs two snapshots for
+  regressions, and garbage-collects old records.
+
+Storage layout
+--------------
+One directory (default ``~/.cache/repro-profiles``, overridden by the
+``REPRO_PROFILE_STORE`` environment variable or an explicit path) holding
+append-only JSONL *segments*, one per writing process
+(``segment-<host>-<pid>.jsonl``).  A writer never touches another
+process's segment, and each record is appended with a single
+``O_APPEND`` write, so concurrent engines — threads or separate
+processes — never interleave bytes within a record.  Readers merge all
+segments, sort by timestamp, and *skip* partial trailing lines (a writer
+killed mid-append) with a counted warning rather than crashing.
+
+The store is entirely opt-in: an engine constructed without one performs
+zero store reads or writes, and nothing in this module is imported on the
+engine's per-split hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from hashlib import sha256
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "PROFILE_SCHEMA_VERSION",
+    "REPRO_PROFILE_STORE_ENV",
+    "MAX_FOOTPRINT_CELLS",
+    "RunProfile",
+    "ProfileStore",
+    "default_store_root",
+    "resolve_store",
+    "shape_class",
+    "split_layout_fingerprint",
+    "summarize_durations",
+]
+
+PROFILE_SCHEMA_VERSION = 1
+
+#: environment override for the store root directory
+REPRO_PROFILE_STORE_ENV = "REPRO_PROFILE_STORE"
+
+#: footprints are a *compact* sample: if the total number of recorded
+#: (split, group) memberships would exceed this, the profile stores no
+#: footprints at all — a footprint that dense would not color into useful
+#: waves anyway, and the store must stay cheap to append and scan
+MAX_FOOTPRINT_CELLS = 65536
+
+
+def default_store_root() -> Path:
+    """The store directory: ``$REPRO_PROFILE_STORE`` or ``~/.cache/repro-profiles``."""
+    env = os.environ.get(REPRO_PROFILE_STORE_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-profiles"
+
+
+def shape_class(n_elements: int, num_threads: int) -> str:
+    """The dataset-shape bucket used to key history lookups.
+
+    Exact element counts rarely repeat across runs (k-means on 60 000 vs
+    59 999 points is the same workload); the class buckets ``n_elements``
+    to its power-of-two ceiling and appends the thread count, so history
+    matches runs of the same *scale* and parallelism.
+    """
+    n = max(1, int(n_elements))
+    ceil = 1 << (n - 1).bit_length()
+    return f"n{ceil}/t{int(num_threads)}"
+
+
+def split_layout_fingerprint(ranges: Sequence[tuple[int, int]]) -> str:
+    """Stable digest of a split layout's ``(start, end)`` pairs.
+
+    Observed footprints are per-split; replaying them on a later run is
+    only meaningful when that run cuts the data into the *same* splits, so
+    footprint reuse is keyed by this fingerprint in addition to the
+    program digest.
+    """
+    text = ";".join(f"{int(a)}:{int(b)}" for a, b in ranges)
+    return sha256(text.encode()).hexdigest()[:16]
+
+
+def summarize_durations(durations: Iterable[float]) -> dict[str, float] | None:
+    """Compact ``{count, mean, p50, p95, max}`` summary of split durations."""
+    vals = sorted(float(d) for d in durations)
+    if not vals:
+        return None
+
+    def pct(q: float) -> float:
+        return vals[min(len(vals) - 1, int(q * len(vals)))]
+
+    return {
+        "count": len(vals),
+        "mean": sum(vals) / len(vals),
+        "p50": pct(0.50),
+        "p95": pct(0.95),
+        "max": vals[-1],
+    }
+
+
+@dataclass
+class RunProfile:
+    """One engine run's persisted record (a single JSONL line).
+
+    Everything is JSON-native so a record survives schema-blind readers;
+    ``footprints`` is a list of ``[start, end, [group ids...]]`` triples in
+    split order (``None`` when the run observed none).
+    """
+
+    schema: int = PROFILE_SCHEMA_VERSION
+    ts: float = 0.0
+    # -- identity / keying ------------------------------------------------
+    digest: str | None = None
+    spec_name: str = ""
+    shape_class: str = ""
+    split_fingerprint: str | None = None
+    # -- configuration ----------------------------------------------------
+    opt_level: int | None = None
+    backend: str | None = None
+    effective_backend: str | None = None
+    executor: str = "serial"
+    workers: int = 1
+    num_nodes: int = 1
+    n_elements: int = 0
+    num_splits: int = 0
+    split_alignment: int | None = None
+    # -- technique outcome ------------------------------------------------
+    technique_requested: str = ""
+    technique_effective: str = ""
+    decision: dict[str, Any] | None = None
+    coloring: dict[str, Any] | None = None
+    # -- timings ----------------------------------------------------------
+    wall_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    split_seconds: dict[str, float] | None = None
+    # -- synchronization / caches / faults --------------------------------
+    lock_acquisitions: int = 0
+    lock_contention_mean: float | None = None
+    kernel_cache_hits: int = 0
+    kernel_cache_evictions: int = 0
+    native_cache: dict[str, int] | None = None
+    faults: dict[str, int] = field(default_factory=dict)
+    # -- observed group footprints ----------------------------------------
+    footprints: list[list[Any]] | None = None
+
+    def to_line(self) -> str:
+        """The record as one newline-terminated JSONL line."""
+        return json.dumps(asdict(self), separators=(",", ":")) + "\n"
+
+
+class ProfileStore:
+    """Append-only on-disk run history (see module docstring).
+
+    Thread- and process-safe by construction: each process appends to its
+    own segment with atomic ``O_APPEND`` writes; readers merge segments.
+    """
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_store_root()
+        #: partial/undecodable lines skipped by the most recent load()
+        self.skipped_lines = 0
+        self._segment_fd: int | None = None
+        self._segment_path: Path | None = None
+        self._pid = os.getpid()
+
+    # -- writing ----------------------------------------------------------
+
+    def segment_path(self) -> Path:
+        """This process's private segment file."""
+        host = socket.gethostname().split(".")[0] or "host"
+        return self.root / f"segment-{host}-{os.getpid()}.jsonl"
+
+    def append(self, profile: RunProfile) -> Path:
+        """Append one record atomically; returns the segment written to."""
+        if profile.ts == 0.0:
+            profile.ts = time.time()
+        line = profile.to_line().encode("utf-8")
+        fd = self._fd()
+        # a single write(2) on an O_APPEND descriptor: concurrent appends
+        # from other processes/threads cannot interleave within the record
+        os.write(fd, line)
+        assert self._segment_path is not None
+        return self._segment_path
+
+    def _fd(self) -> int:
+        # the fd is cached per process; after a fork the child must open
+        # its own segment, never inherit (and append into) the parent's
+        if self._segment_fd is not None and self._pid == os.getpid():
+            return self._segment_fd
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.segment_path()
+        self._segment_fd = os.open(
+            path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._segment_path = path
+        self._pid = os.getpid()
+        return self._segment_fd
+
+    def close(self) -> None:
+        """Close the writer fd (appends reopen it on demand).  Idempotent."""
+        if self._segment_fd is not None and self._pid == os.getpid():
+            try:
+                os.close(self._segment_fd)
+            except OSError:
+                pass
+        self._segment_fd = None
+        self._segment_path = None
+
+    # -- reading ----------------------------------------------------------
+
+    def segments(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("segment-*.jsonl"))
+
+    def load(
+        self,
+        digest: str | None = None,
+        shape: str | None = None,
+        last: int | None = None,
+    ) -> list[dict[str, Any]]:
+        """All records (oldest first), optionally filtered and truncated.
+
+        Partial trailing lines — a writer killed mid-append — and
+        undecodable lines are skipped; the count lands in
+        :attr:`skipped_lines` and a single warning reports it.
+        """
+        records: list[dict[str, Any]] = []
+        skipped = 0
+        for seg in self.segments():
+            try:
+                raw = seg.read_bytes()
+            except OSError:
+                continue
+            for line in raw.split(b"\n"):
+                if not line.strip():
+                    continue
+                try:
+                    rec = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    skipped += 1
+                    continue
+                if not isinstance(rec, dict):
+                    skipped += 1
+                    continue
+                records.append(rec)
+        self.skipped_lines = skipped
+        if skipped:
+            warnings.warn(
+                f"profile store {self.root}: skipped {skipped} partial or "
+                "corrupt line(s) (a writer may have been interrupted "
+                "mid-append)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        if digest is not None:
+            records = [r for r in records if r.get("digest") == digest]
+        if shape is not None:
+            records = [r for r in records if r.get("shape_class") == shape]
+        records.sort(key=lambda r: (r.get("ts") or 0.0))
+        if last is not None and last >= 0:
+            records = records[len(records) - min(last, len(records)):]
+        return records
+
+    def history(
+        self, digest: str | None, shape: str, last: int = 10
+    ) -> list[dict[str, Any]]:
+        """The most recent ``last`` records for one ``(digest, shape_class)`` key."""
+        if digest is None:
+            return []
+        return self.load(digest=digest, shape=shape, last=last)
+
+    def latest_footprints(
+        self, digest: str | None, split_fingerprint: str
+    ) -> "dict[tuple[int, int], frozenset[int]] | None":
+        """Observed per-split group sets from the newest matching record.
+
+        Returns ``{(start, end): groups}`` keyed by each split's element
+        range, or ``None`` when no record of this digest carries footprints
+        for exactly this split layout.
+        """
+        if digest is None:
+            return None
+        for rec in reversed(self.load(digest=digest)):
+            if rec.get("split_fingerprint") != split_fingerprint:
+                continue
+            fps = rec.get("footprints")
+            if not fps:
+                continue
+            try:
+                return {
+                    (int(start), int(end)): frozenset(int(g) for g in groups)
+                    for start, end, groups in fps
+                }
+            except (TypeError, ValueError):
+                continue
+        return None
+
+    # -- retention ---------------------------------------------------------
+
+    def gc(
+        self, max_age_days: float | None = None, keep: int | None = None
+    ) -> tuple[int, int]:
+        """Drop old records; returns ``(kept, dropped)``.
+
+        ``max_age_days`` drops records older than that; ``keep`` bounds the
+        survivor count (newest win).  Survivors are compacted into a fresh
+        segment owned by this process and every old segment is removed —
+        concurrent writers keep appending to *their* segments untouched,
+        so at worst a record written during the rewrite survives alongside
+        the compacted file.
+        """
+        records = self.load()
+        total = len(records)
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            records = [r for r in records if (r.get("ts") or 0.0) >= cutoff]
+        if keep is not None and keep >= 0:
+            records = records[len(records) - min(keep, len(records)):]
+        old_segments = self.segments()
+        self.close()
+        if records:
+            self.root.mkdir(parents=True, exist_ok=True)
+            compacted = self.root / (
+                f"segment-gc-{os.getpid()}-{int(time.time() * 1000)}.jsonl"
+            )
+            with open(compacted, "w", encoding="utf-8") as fh:
+                for rec in records:
+                    fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
+        for seg in old_segments:
+            try:
+                seg.unlink()
+            except OSError:
+                pass
+        return len(records), total - len(records)
+
+
+def resolve_store(
+    store: "ProfileStore | str | Path | bool | None",
+) -> ProfileStore | None:
+    """Coerce an engine's ``profile_store`` argument into a store (or None).
+
+    ``None``/``False`` disable profiling entirely; ``True`` opens the
+    default root (env override honored); a path opens that directory; an
+    existing :class:`ProfileStore` passes through.
+    """
+    if store is None or store is False:
+        return None
+    if store is True:
+        return ProfileStore()
+    if isinstance(store, ProfileStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return ProfileStore(store)
+    raise TypeError(
+        "profile_store must be a ProfileStore, path, bool or None, "
+        f"got {type(store).__name__}"
+    )

@@ -15,7 +15,13 @@ from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-__all__ = ["ThreadSummary", "TraceReport", "summarize_trace", "format_report"]
+__all__ = [
+    "ThreadSummary",
+    "TraceReport",
+    "summarize_trace",
+    "format_report",
+    "format_profile_join",
+]
 
 
 @dataclass
@@ -63,6 +69,10 @@ class TraceReport:
     native_cache: list[dict[str, Any]] = field(default_factory=list)
     #: engine.run span count (= reduction passes in the trace)
     runs: int = 0
+    #: one record per ``engine.run`` span: its args (spec, executor,
+    #: technique, program ``digest``) plus ``seconds`` — the join key for
+    #: comparing a trace against persisted profile-store history
+    run_spans: list[dict[str, Any]] = field(default_factory=list)
     total_spans: int = 0
     total_events: int = 0
 
@@ -128,6 +138,9 @@ def summarize_trace(events: Iterable[dict[str, Any]]) -> TraceReport:
             report.combination[name] = (count + 1, secs + dur_s)
         elif cat == "engine" and name == "engine.run":
             report.runs += 1
+            rec = dict(ev.get("args") or {})
+            rec["seconds"] = dur_s
+            report.run_spans.append(rec)
     report.events = dict(sorted(tallies.items()))
     return report
 
@@ -257,4 +270,63 @@ def format_report(report: TraceReport) -> str:
         for name, count in report.events.items():
             lines.append(f"  {name:<32} {count:>7}")
 
+    return "\n".join(lines)
+
+
+def format_profile_join(report: TraceReport, store: Any, last: int = 10) -> str:
+    """Join a trace's ``engine.run`` spans against profile-store history.
+
+    ``store`` is a :class:`repro.obs.profilestore.ProfileStore`.  Each run
+    span carrying a program ``digest`` is compared against the median wall
+    time of the last ``last`` persisted records of the same digest — "this
+    run vs what this program usually costs on this machine".
+    """
+    lines: list[str] = [f"profile-store comparison (store: {store.root})"]
+    if not report.run_spans:
+        lines.append("  trace holds no engine.run spans")
+        return "\n".join(lines)
+    for rec in report.run_spans:
+        spec = rec.get("spec", "?")
+        digest = rec.get("digest")
+        seconds = rec.get("seconds", 0.0)
+        if not digest:
+            lines.append(
+                f"  {spec}: {seconds:.6f}s — no program digest in the trace "
+                "(hand-written spec?); cannot join against history"
+            )
+            continue
+        history = [
+            r for r in store.load(digest=digest, last=last)
+            if isinstance(r.get("wall_seconds"), (int, float))
+        ]
+        label = f"{spec} [{digest[:12]}]"
+        if not history:
+            lines.append(
+                f"  {label}: {seconds:.6f}s — no persisted history for this "
+                "program"
+            )
+            continue
+        walls = sorted(r["wall_seconds"] for r in history)
+        mid = len(walls) // 2
+        median = (
+            walls[mid]
+            if len(walls) % 2
+            else (walls[mid - 1] + walls[mid]) / 2.0
+        )
+        delta = (seconds - median) / median * 100.0 if median > 0 else 0.0
+        lines.append(
+            f"  {label}: this run {seconds:.6f}s vs median "
+            f"{median:.6f}s of last {len(history)} -> {delta:+.1f}%"
+        )
+        latest = history[-1]
+        decision = latest.get("decision") or {}
+        coloring = latest.get("coloring") or {}
+        detail = (
+            f"    latest record: technique {latest.get('technique_effective', '?')}"
+        )
+        if decision.get("source"):
+            detail += f" (decision source {decision['source']})"
+        if coloring.get("max_wave_width") is not None:
+            detail += f", max wave width {coloring['max_wave_width']}"
+        lines.append(detail)
     return "\n".join(lines)

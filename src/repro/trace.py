@@ -3,6 +3,8 @@
 Subcommands::
 
     python -m repro.trace report <trace>          # per-phase/per-thread tables
+    python -m repro.trace report <trace> --profile [STORE]
+                                                  # + join vs profile store
     python -m repro.trace validate <trace>        # Chrome trace schema check
     python -m repro.trace convert <in.jsonl> <out.json>   # JSONL -> Chrome
 
@@ -36,7 +38,17 @@ __all__ = ["main"]
 
 def _cmd_report(args: argparse.Namespace) -> int:
     events = load_trace(args.trace)
-    print(format_report(summarize_trace(events)))
+    report = summarize_trace(events)
+    print(format_report(report))
+    if args.profile is not None:
+        # imported lazily: the store is opt-in tooling, plain reports must
+        # not touch it
+        from repro.obs.profilestore import ProfileStore, default_store_root
+        from repro.obs.report import format_profile_join
+
+        store = ProfileStore(args.profile or default_store_root())
+        print()
+        print(format_profile_join(report, store))
     return 0
 
 
@@ -92,6 +104,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print the per-phase / per-thread / compiler breakdown",
     )
     p_report.add_argument("trace", help="trace file (Chrome JSON or JSONL)")
+    p_report.add_argument(
+        "--profile", nargs="?", const="", default=None, metavar="STORE",
+        help="join engine runs against profile-store history (optional "
+             "store directory; default: $REPRO_PROFILE_STORE or "
+             "~/.cache/repro-profiles)",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_validate = sub.add_parser(

@@ -1,0 +1,229 @@
+"""Profile-guided execution: observe on cold runs, color on warm re-runs.
+
+The histogram's bin index ``toInt((x - lo) / width)`` is data-dependent, so
+the effect analysis can only bound it to "any split may touch any bin" —
+exact but degenerate (one split per wave).  With a profile store attached,
+a cold run observes each split's real footprint at commit time and a warm
+re-run colors those footprints into genuinely parallel waves
+(``coloring source="profile"``), bit-identical to serial replication.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.histogram import HistogramRunner
+from repro.obs import tracing
+from repro.obs.profilestore import ProfileStore
+
+BINS = 64
+N = 4096
+
+
+def _sorted_data() -> np.ndarray:
+    # sorted integer-valued doubles: contiguous splits hit disjoint bin
+    # ranges (wide profiled waves) and every sum is exact in float64
+    return np.sort(((np.arange(N) * 7919) % 256).astype(np.float64))
+
+
+def _runner(store, technique="auto", threads=4, executor="threads", **kw):
+    return HistogramRunner(
+        bins=BINS, lo=0.0, hi=256.0, num_threads=threads,
+        executor=executor, technique=technique, profile_store=store, **kw
+    )
+
+
+def _serial_reference(data):
+    return HistogramRunner(
+        bins=BINS, lo=0.0, hi=256.0, num_threads=1,
+        executor="serial", technique="full_replication",
+    ).run(data)
+
+
+class TestColdRunObserves:
+    def test_cold_auto_run_records_footprints(self, tmp_path):
+        data = _sorted_data()
+        r = _runner(tmp_path)
+        r.run(data)
+        stats = r.last_run_stats
+        assert stats.technique_effective.value == "full_replication"
+        assert stats.technique_decision["source"] == "static"
+        (rec,) = ProfileStore(tmp_path).load()
+        assert rec["digest"]
+        assert rec["technique_effective"] == "full_replication"
+        assert rec["footprints"] is not None
+        assert len(rec["footprints"]) == rec["num_splits"]
+        # footprints cover the whole layout and carry real group ids
+        ranges = [(s, e) for s, e, _ in rec["footprints"]]
+        assert ranges[0][0] == 0 and ranges[-1][1] == N
+        assert all(g < BINS for _, _, groups in rec["footprints"]
+                   for g in groups)
+
+    def test_cold_run_matches_plain_run(self, tmp_path):
+        data = _sorted_data()
+        ref = _serial_reference(data)
+        out = _runner(tmp_path).run(data)
+        np.testing.assert_array_equal(out.counts, ref.counts)
+        np.testing.assert_array_equal(out.sums, ref.sums)
+
+
+class TestWarmRunColorsFromProfile:
+    def test_auto_goes_profiled_colored_and_bit_identical(self, tmp_path):
+        data = _sorted_data()
+        ref = _serial_reference(data)
+        _runner(tmp_path).run(data)  # cold: observe
+        warm = _runner(tmp_path)
+        out = warm.run(data)
+        stats = warm.last_run_stats
+        assert stats.technique_effective.value == "colored"
+        assert stats.coloring["source"] == "profile"
+        assert stats.coloring["max_wave_width"] >= 2
+        decision = stats.technique_decision
+        assert decision["source"] == "profiled"
+        key = decision["profile_key"]
+        assert set(key) == {"digest", "split_fingerprint", "shape_class"}
+        assert key["shape_class"] == "n4096/t4"
+        np.testing.assert_array_equal(out.counts, ref.counts)
+        np.testing.assert_array_equal(out.sums, ref.sums)
+
+    def test_explicit_colored_request_uses_profiled_footprints(self, tmp_path):
+        data = _sorted_data()
+        cold = _runner(tmp_path, technique="colored")
+        cold.run(data)
+        # static compiler bounds are exact but degenerate: serial waves
+        assert cold.last_run_stats.coloring["max_wave_width"] == 1
+        warm = _runner(tmp_path, technique="colored")
+        out = warm.run(data)
+        stats = warm.last_run_stats
+        assert stats.coloring["source"] == "profile"
+        assert stats.coloring["max_wave_width"] >= 2
+        assert stats.technique_decision["source"] == "profiled"
+        ref = _serial_reference(data)
+        np.testing.assert_array_equal(out.counts, ref.counts)
+
+    def test_warm_run_rerecords_fresh_footprints(self, tmp_path):
+        data = _sorted_data()
+        _runner(tmp_path).run(data)
+        _runner(tmp_path).run(data)
+        recs = ProfileStore(tmp_path).load()
+        assert len(recs) == 2
+        assert all(r["footprints"] for r in recs)
+
+    def test_stale_footprints_degrade_safely(self, tmp_path):
+        # observe on ascending data, then re-run on *descending* data: every
+        # profiled footprint is wrong, but the run must stay correct
+        data = _sorted_data()
+        _runner(tmp_path).run(data)
+        flipped = data[::-1].copy()
+        warm = _runner(tmp_path)
+        out = warm.run(flipped)
+        ref = _serial_reference(flipped)
+        np.testing.assert_array_equal(out.counts, ref.counts)
+        np.testing.assert_array_equal(out.sums, ref.sums)
+        # the stale run re-recorded the footprints it actually saw
+        latest = ProfileStore(tmp_path).load()[-1]
+        assert latest["footprints"] is not None
+
+    def test_footprint_reuse_requires_same_split_layout(self, tmp_path):
+        data = _sorted_data()
+        _runner(tmp_path, threads=4).run(data)
+        other = _runner(tmp_path, threads=3)  # different layout
+        other.run(data)
+        stats = other.last_run_stats
+        assert (
+            stats.coloring is None or stats.coloring["source"] != "profile"
+        )
+
+
+class TestDisabledStoreIsInert:
+    def test_no_store_means_no_directory_and_static_decision(
+        self, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "never-created"
+        monkeypatch.setenv("REPRO_PROFILE_STORE", str(root))
+        data = _sorted_data()
+        r = _runner(None)
+        r.run(data)
+        assert not root.exists()
+        decision = r.last_run_stats.technique_decision
+        assert decision["source"] == "static"
+        assert "profile_key" not in decision
+        assert r.engine.profile_store is None
+
+    def test_disabled_matches_enabled_results(self, tmp_path):
+        data = _sorted_data()
+        plain = _runner(None).run(data)
+        profiled = _runner(tmp_path).run(data)
+        np.testing.assert_array_equal(plain.counts, profiled.counts)
+        np.testing.assert_array_equal(plain.sums, profiled.sums)
+
+
+class TestProcessExecutorAttribution:
+    def test_one_record_per_run_with_worker_durations(self, tmp_path):
+        data = _sorted_data()
+        r = _runner(tmp_path, technique="full_replication",
+                    threads=2, executor="process")
+        try:
+            r.run(data)
+            r.run(data)
+        finally:
+            r.engine.close()
+        recs = ProfileStore(tmp_path).load()
+        assert len(recs) == 2  # one per engine run, never per worker
+        for rec in recs:
+            assert rec["executor"] == "process"
+            assert rec["workers"] == 2
+            assert rec["split_seconds"]["count"] >= 2
+            assert rec["footprints"] is None  # observation is gated off
+
+
+class TestTracedDecisions:
+    def test_decision_event_carries_source_and_key(self, tmp_path):
+        data = _sorted_data()
+        _runner(tmp_path).run(data)
+        with tracing() as t:
+            _runner(tmp_path).run(data)
+        decisions = [e for e in t.events() if e.name == "technique.decision"]
+        assert decisions
+        args = decisions[-1].args
+        assert args["source"] == "profiled"
+        assert args["profile_key"]["shape_class"] == "n4096/t4"
+
+    def test_engine_run_span_carries_digest(self, tmp_path):
+        data = _sorted_data()
+        with tracing() as t:
+            _runner(tmp_path).run(data)
+        run_spans = [s for s in t.spans() if s.name == "engine.run"]
+        assert run_spans and run_spans[-1].args["digest"]
+
+
+class TestRunProfileContents:
+    def test_record_captures_configuration(self, tmp_path):
+        data = _sorted_data()
+        r = _runner(tmp_path)
+        r.run(data)
+        (rec,) = ProfileStore(tmp_path).load()
+        assert rec["spec_name"].startswith("histogram")
+        assert rec["opt_level"] is not None
+        assert rec["backend"] == "scalar"
+        assert rec["effective_backend"] == "scalar"
+        assert rec["executor"] == "threads"
+        assert rec["workers"] == 4
+        assert rec["n_elements"] == N
+        assert rec["num_splits"] >= 4
+        assert rec["technique_requested"] == "auto"
+        assert rec["wall_seconds"] > 0
+        assert "local" in rec["phase_seconds"]
+        assert rec["decision"]["source"] == "static"
+
+    def test_append_failure_warns_not_raises(self, tmp_path, monkeypatch):
+        # an unwritable store warns instead of failing the computation
+        data = _sorted_data()
+
+        def broken_append(self, profile):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ProfileStore, "append", broken_append)
+        r = _runner(tmp_path)
+        with pytest.warns(RuntimeWarning, match="append failed"):
+            out = r.run(data)
+        assert out.counts.sum() == N

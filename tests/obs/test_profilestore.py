@@ -1,0 +1,234 @@
+"""Profile-store unit tests: round trips, concurrency, corruption, gc."""
+
+import json
+import multiprocessing
+import os
+import threading
+import warnings
+
+import pytest
+
+from repro.obs.profilestore import (
+    ProfileStore,
+    RunProfile,
+    default_store_root,
+    resolve_store,
+    shape_class,
+    split_layout_fingerprint,
+    summarize_durations,
+)
+
+
+def _profile(**kw) -> RunProfile:
+    base = dict(
+        digest="d" * 64,
+        spec_name="histogram-opt-2",
+        shape_class="n4096/t4",
+        split_fingerprint="abcd",
+        technique_requested="auto",
+        technique_effective="full_replication",
+        wall_seconds=0.5,
+    )
+    base.update(kw)
+    return RunProfile(**base)
+
+
+class TestKeys:
+    def test_shape_class_buckets_to_power_of_two(self):
+        assert shape_class(4096, 4) == "n4096/t4"
+        assert shape_class(4095, 4) == "n4096/t4"
+        assert shape_class(4097, 2) == "n8192/t2"
+        assert shape_class(1, 1) == "n1/t1"
+
+    def test_split_fingerprint_is_layout_sensitive(self):
+        a = split_layout_fingerprint([(0, 10), (10, 20)])
+        b = split_layout_fingerprint([(0, 10), (10, 20)])
+        c = split_layout_fingerprint([(0, 20)])
+        assert a == b != c
+
+    def test_summarize_durations(self):
+        s = summarize_durations([0.1, 0.3, 0.2])
+        assert s["count"] == 3
+        assert s["max"] == pytest.approx(0.3)
+        assert s["mean"] == pytest.approx(0.2)
+        assert summarize_durations([]) is None
+
+
+class TestRoundTrip:
+    def test_append_then_load(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile())
+        store.append(_profile(technique_effective="colored"))
+        recs = store.load()
+        assert len(recs) == 2
+        assert recs[0]["digest"] == "d" * 64
+        assert recs[1]["technique_effective"] == "colored"
+        assert recs[0]["ts"] > 0  # stamped on append
+        assert store.skipped_lines == 0
+
+    def test_load_filters_by_digest_shape_and_last(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile(digest="a" * 64))
+        store.append(_profile(digest="b" * 64))
+        store.append(_profile(digest="b" * 64, shape_class="n64/t1"))
+        assert len(store.load(digest="b" * 64)) == 2
+        assert len(store.load(digest="b" * 64, shape="n64/t1")) == 1
+        assert len(store.load(last=1)) == 1
+        assert store.history("a" * 64, "n4096/t4") != []
+        assert store.history(None, "n4096/t4") == []
+
+    def test_env_override_selects_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_STORE", str(tmp_path / "custom"))
+        assert default_store_root() == tmp_path / "custom"
+        store = ProfileStore()
+        store.append(_profile())
+        assert (tmp_path / "custom").is_dir()
+        assert len(ProfileStore(tmp_path / "custom").load()) == 1
+
+    def test_latest_footprints_requires_exact_layout(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(
+            _profile(footprints=[[0, 10, [0, 1]], [10, 20, [2]]])
+        )
+        fps = store.latest_footprints("d" * 64, "abcd")
+        assert fps == {(0, 10): frozenset({0, 1}), (10, 20): frozenset({2})}
+        assert store.latest_footprints("d" * 64, "other") is None
+        assert store.latest_footprints(None, "abcd") is None
+
+    def test_latest_footprints_prefers_newest(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile(ts=1.0, footprints=[[0, 10, [0]]]))
+        store.append(_profile(ts=2.0, footprints=[[0, 10, [5]]]))
+        assert store.latest_footprints("d" * 64, "abcd") == {
+            (0, 10): frozenset({5})
+        }
+
+
+class TestResolveStore:
+    def test_none_and_false_disable(self):
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+
+    def test_path_and_instance(self, tmp_path):
+        s = resolve_store(str(tmp_path))
+        assert isinstance(s, ProfileStore) and s.root == tmp_path
+        assert resolve_store(s) is s
+
+    def test_true_uses_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE_STORE", str(tmp_path))
+        assert resolve_store(True).root == tmp_path
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_store(42)
+
+
+def _append_batch(root: str, tag: str, n: int) -> None:
+    store = ProfileStore(root)
+    for i in range(n):
+        store.append(_profile(spec_name=f"{tag}-{i}"))
+    store.close()
+
+
+class TestConcurrency:
+    def test_concurrent_thread_appends_never_interleave(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        n_threads, per_thread = 8, 25
+        threads = [
+            threading.Thread(
+                target=lambda t=t: [
+                    store.append(_profile(spec_name=f"t{t}-{i}"))
+                    for i in range(per_thread)
+                ]
+            )
+            for t in range(n_threads)
+        ]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        recs = store.load()
+        assert len(recs) == n_threads * per_thread
+        assert store.skipped_lines == 0  # no torn lines
+        names = {r["spec_name"] for r in recs}
+        assert len(names) == n_threads * per_thread
+
+    def test_spawned_process_appends_its_own_segment(self, tmp_path):
+        # a child process must open its own segment, never the parent's
+        parent = ProfileStore(tmp_path)
+        parent.append(_profile(spec_name="parent"))
+        ctx = multiprocessing.get_context("spawn")
+        proc = ctx.Process(
+            target=_append_batch, args=(str(tmp_path), "child", 5)
+        )
+        proc.start()
+        proc.join(60)
+        assert proc.exitcode == 0
+        recs = parent.load()
+        assert len(recs) == 6
+        assert parent.skipped_lines == 0
+        assert len(parent.segments()) == 2  # one segment per pid
+
+
+class TestCorruption:
+    def test_partial_trailing_line_skipped_with_warning(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile(spec_name="good-1"))
+        store.append(_profile(spec_name="good-2"))
+        seg = store.segment_path()
+        # simulate a writer killed mid-append: truncated final record
+        with open(seg, "ab") as fh:
+            fh.write(b'{"schema":1,"digest":"trunc')
+        with pytest.warns(RuntimeWarning, match="skipped 1 partial"):
+            recs = store.load()
+        assert [r["spec_name"] for r in recs] == ["good-1", "good-2"]
+        assert store.skipped_lines == 1
+
+    def test_non_object_line_counts_as_corrupt(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile())
+        with open(store.segment_path(), "ab") as fh:
+            fh.write(b"[1,2,3]\n")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            recs = store.load()
+        assert len(recs) == 1
+        assert store.skipped_lines == 1
+
+
+class TestGc:
+    def test_gc_by_keep_compacts(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        for i in range(10):
+            store.append(_profile(ts=float(i + 1), spec_name=f"r{i}"))
+        kept, dropped = store.gc(keep=3)
+        assert (kept, dropped) == (3, 7)
+        recs = store.load()
+        assert [r["spec_name"] for r in recs] == ["r7", "r8", "r9"]
+        # old per-pid segment replaced by the compacted one
+        assert all("gc" in s.name for s in store.segments())
+
+    def test_gc_by_age(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile(ts=1.0, spec_name="ancient"))
+        store.append(_profile(spec_name="fresh"))  # stamped with now
+        kept, dropped = store.gc(max_age_days=1.0)
+        assert (kept, dropped) == (1, 1)
+        assert store.load()[0]["spec_name"] == "fresh"
+
+    def test_gc_everything_leaves_empty_store(self, tmp_path):
+        store = ProfileStore(tmp_path)
+        store.append(_profile())
+        kept, dropped = store.gc(keep=0)
+        assert (kept, dropped) == (0, 1)
+        assert store.load() == []
+        assert store.segments() == []
+
+
+class TestProfileLine:
+    def test_to_line_is_one_json_object(self):
+        line = _profile(footprints=[[0, 4, [1, 2]]]).to_line()
+        assert line.endswith("\n") and line.count("\n") == 1
+        rec = json.loads(line)
+        assert rec["footprints"] == [[0, 4, [1, 2]]]
+        assert rec["schema"] == 1

@@ -98,6 +98,64 @@ class TestValidateFailures:
         assert main(["validate", str(log)]) == 0
 
 
+class TestProfileJoin:
+    """``report --profile`` joins a trace against profile-store history."""
+
+    @pytest.fixture()
+    def traced_histogram(self, tmp_path):
+        from repro.apps.histogram import HistogramRunner
+
+        data = np.sort(((np.arange(2048) * 7919) % 256).astype(np.float64))
+        store = tmp_path / "store"
+        runner = HistogramRunner(
+            bins=32, lo=0.0, hi=256.0, num_threads=2, executor="threads",
+            technique="auto", profile_store=store,
+        )
+        runner.run(data)  # history to join against
+        with tracing() as tracer:
+            runner.run(data)
+        trace = write_chrome_trace(tmp_path / "hist.json", tracer)
+        return trace, store
+
+    def test_join_renders_deltas(self, traced_histogram, capsys):
+        trace, store = traced_histogram
+        assert main(["report", str(trace), "--profile", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "profile-store comparison" in out
+        assert "this run" in out and "vs median" in out
+        assert "latest record: technique" in out
+
+    def test_plain_report_never_touches_store(self, traced_histogram, capsys):
+        trace, store = traced_histogram
+        import shutil
+
+        shutil.rmtree(store)
+        assert main(["report", str(trace)]) == 0
+        assert not store.exists()
+        assert "profile-store comparison" not in capsys.readouterr().out
+
+    def test_join_without_history_says_so(self, traced_histogram, tmp_path, capsys):
+        trace, _ = traced_histogram
+        empty = tmp_path / "empty-store"
+        assert main(["report", str(trace), "--profile", str(empty)]) == 0
+        assert "no persisted history" in capsys.readouterr().out
+
+    def test_hand_written_spec_has_no_digest(self, tmp_path, capsys):
+        with tracing() as tracer:
+            KmeansRunner(
+                2, 3, version="manual", num_threads=1,
+            ).run(
+                kmeans_points(60, 3, seed=1),
+                initial_centroids(kmeans_points(60, 3, seed=1), 2, seed=2),
+                iterations=1,
+            )
+        trace = write_chrome_trace(tmp_path / "manual.json", tracer)
+        assert main(
+            ["report", str(trace), "--profile", str(tmp_path / "s")]
+        ) == 0
+        assert "no program digest" in capsys.readouterr().out
+
+
 class TestCliPlumbing:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
