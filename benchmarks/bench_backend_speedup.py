@@ -49,8 +49,10 @@ from repro.compiler.cache import kernel_cache_stats
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.obs import NULL_TRACER, Tracer, set_tracer, write_chrome_trace
 
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_backend.json"
-NATIVE_RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_native.json"
+from benchlib import add_output_arguments, write_payload
+
+RESULTS_FILENAME = "BENCH_backend.json"
+NATIVE_RESULTS_FILENAME = "BENCH_native.json"
 VERSIONS = ("generated", "opt-1", "opt-2")
 SCHEMA_VERSION = 1
 
@@ -323,7 +325,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--apps", nargs="+", default=sorted(APPS), choices=sorted(APPS)
     )
-    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    add_output_arguments(ap)
     ap.add_argument(
         "--trace",
         type=Path,
@@ -336,8 +338,7 @@ def main(argv: list[str] | None = None) -> int:
     threads_sweep = args.threads or ([1, 2] if args.quick else [1, 2, 4])
     backends = list(dict.fromkeys(["scalar"] + args.backends))
     with_native = "native" in backends
-    if with_native and args.json == RESULTS_PATH:
-        args.json = NATIVE_RESULTS_PATH
+    results_filename = NATIVE_RESULTS_FILENAME if with_native else RESULTS_FILENAME
 
     tracer = Tracer() if args.trace else None
     bench_tracer = tracer if tracer is not None else NULL_TRACER
@@ -471,9 +472,8 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_cache": kernel_cache_stats(),
         "results": records,
     }
-    args.json.parent.mkdir(parents=True, exist_ok=True)
-    args.json.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nwrote {args.json} ({len(records)} cells)")
+    out_path = write_payload(args, results_filename, payload)
+    print(f"\nwrote {out_path} ({len(records)} cells)")
 
     if tracer is not None:
         set_tracer(prev_tracer)

@@ -1,0 +1,339 @@
+"""Incremental delta execution vs full re-runs (BENCH_incremental.json).
+
+Measures the tentpole claim of the delta subsystem: after a baseline run,
+``engine.run_delta(append=..., retract=...)`` updates the committed
+reduction object in O(|Δ|), bit-identical to a cold full re-run over the
+mutated dataset.  Three cells:
+
+* **histogram** and **k-means** — invertible (``add``) reductions: appends
+  fold the tail through the normal executor pipeline, retractions subtract
+  the retracted contributions directly.  The ``--check`` gate requires a
+  ≥ ``--min-speedup`` (default 10×) median speedup over the cold re-run at
+  Δ/n ≤ 1%, plus exact bit-identity of every reduction-object group.
+* **windowed-min** — a non-invertible (``min``) reduction whose group is an
+  affine function of the element position: retracting a window's minimum
+  forces a per-group replay, and the gate's *replayed-group ratchet*
+  asserts the effect summary confined the replay to the retracted windows
+  (``delta_groups_replayed`` ≤ windows touched, ``delta_replay_elements``
+  ≪ n).
+
+All data is dyadic (value grids of 1/8) so float addition is exact and
+bit-identity is well-defined even through retraction (see the RS036
+diagnostic for why arbitrary floats only round-trip approximately).
+
+Output schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "profile": "quick" | "full",
+      "min_speedup": float,          # the gate threshold used
+      "results": [
+        {
+          "app": "histogram" | "kmeans" | "windowed_min",
+          "executor": "serial" | "threads",
+          "n": int,                  # baseline elements
+          "delta_elements": int,     # |Δ| per batch (appends + retracts)
+          "delta_fraction": float,   # |Δ| / n
+          "batches": int,            # delta batches applied and timed
+          "full_wall": float,        # median cold re-run seconds
+          "delta_wall": float,       # median run_delta seconds
+          "speedup": float,          # full_wall / delta_wall
+          "identical": bool,         # bit-identical RO vs cold re-run
+          "update_count_match": bool,
+          "groups_replayed": int,    # max over batches (min/max cell)
+          "replay_elements": int,    # max over batches (min/max cell)
+          "replay_bounded": bool,    # ratchet: replay confined by summary
+          "checkpoint_saves": int,   # total pre-images copied
+        },
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from benchlib import add_output_arguments, write_payload
+
+from repro.apps.histogram import HISTOGRAM_CHAPEL_SOURCE
+from repro.apps.kmeans import KMEANS_CHAPEL_SOURCE, centroids_to_chapel
+from repro.compiler.translate import compile_reduction
+from repro.freeride.runtime import FreerideEngine
+
+RESULTS_FILENAME = "BENCH_incremental.json"
+SCHEMA_VERSION = 1
+
+#: per-window minimum; the group is affine in the element position, so the
+#: effect summary bounds exactly which windows a retracted range can touch
+WINDOW_MIN_SOURCE = """
+class windowMin : ReduceScanOp {
+  def accumulate(x: real) {
+    var w: int = toInt(elemIdx() / win);
+    if (w > numWin - 1) { w = numWin - 1; }
+    roMin(w, 0, x);
+  }
+}
+"""
+
+
+def _dyadic(rng: np.random.Generator, shape, lo=0.0, hi=2.0) -> np.ndarray:
+    """Uniform values snapped to a 1/8 grid — float addition stays exact."""
+    return np.round(rng.uniform(lo, hi, shape) * 8) / 8
+
+
+def _histogram_case(rng, n):
+    consts = {"bins": 16, "lo": 0.0, "width": 0.125}
+    data = _dyadic(rng, n)
+    layout = [(2, "add")] * 16
+    return HISTOGRAM_CHAPEL_SOURCE, consts, data, {}, layout
+
+
+def _kmeans_case(rng, n):
+    k, dim = 4, 2
+    data = _dyadic(rng, (n, dim))
+    extras = {"centroids": centroids_to_chapel(_dyadic(rng, (k, dim)))}
+    layout = [(dim + 2, "add")] * k
+    return KMEANS_CHAPEL_SOURCE, {"k": k, "dim": dim}, data, extras, layout
+
+
+def _windowed_min_case(rng, n, win=256):
+    num_win = max(1, n // win)
+    consts = {"win": win, "numWin": num_win}
+    data = _dyadic(rng, n)
+    layout = [(1, "min")] * num_win
+    return WINDOW_MIN_SOURCE, consts, data, {}, layout
+
+
+def _bind(source, consts, data, extras):
+    compiled = compile_reduction(source, consts, 2, backend="batch")
+    return compiled.bind(np.array(data, copy=True), dict(extras))
+
+
+def _cold_run(engine, source, consts, data, extras, layout):
+    bound = _bind(source, consts, data, extras)
+    spec, idx = bound.make_spec(layout)
+    t0 = time.perf_counter()
+    result = engine.run(spec, idx)
+    return result, time.perf_counter() - t0
+
+
+def _run_cell(app, case, executor, n, delta_fraction, batches, rng):
+    source, consts, data, extras, layout = case
+    threads = 2 if executor == "threads" else 1
+    rows_per_elem = data.shape[1] if data.ndim == 2 else None
+    append_n = max(1, int(n * delta_fraction * 0.75))
+    retract_n = max(1, int(n * delta_fraction * 0.25))
+
+    with FreerideEngine(num_threads=threads, executor=executor) as engine:
+        bound = _bind(source, consts, data, extras)
+        _, session = engine.run_baseline(bound=bound, ro_layout=layout)
+
+        delta_walls, appends = [], []
+        groups_replayed = replay_elements = 0
+        windows_retracted: set[int] = set()
+        for _ in range(batches):
+            shape = (append_n, rows_per_elem) if rows_per_elem else append_n
+            batch = _dyadic(rng, shape)
+            live_idx = np.flatnonzero(session.live)
+            if app == "windowed_min":
+                # retract a clustered delta (3 windows) — the realistic
+                # shape for expiring data, and what makes the ratchet
+                # meaningful: replay must stay confined to those windows
+                win = consts["win"]
+                wins = rng.choice(consts["numWin"] - 1, size=3, replace=False)
+                pool = live_idx[np.isin(live_idx // win, wins)]
+                retract = rng.choice(
+                    pool, size=min(retract_n, pool.size), replace=False
+                )
+            else:
+                retract = rng.choice(live_idx, size=retract_n, replace=False)
+            if app == "windowed_min":
+                windows_retracted.update(
+                    min(int(i) // consts["win"], consts["numWin"] - 1)
+                    for i in retract
+                )
+            t0 = time.perf_counter()
+            dres = engine.run_delta(session, append=batch, retract=retract)
+            delta_walls.append(time.perf_counter() - t0)
+            appends.append(batch)
+            groups_replayed = max(groups_replayed, dres.stats.delta_groups_replayed)
+            replay_elements = max(replay_elements, dres.stats.delta_replay_elements)
+
+        # the mutated dataset a cold run must reproduce: survivors at their
+        # original order plus every appended batch (dyadic data => the fold
+        # order cannot change any bit)
+        base_live = data[session.live[:n]] if data.ndim == 1 else data[
+            session.live[:n]
+        ]
+        tail_live = [
+            b[session.live[n + i * append_n : n + (i + 1) * append_n]]
+            for i, b in enumerate(appends)
+        ]
+        mutated = np.concatenate([base_live] + tail_live)
+
+        full_walls = []
+        cold = None
+        for _ in range(3):
+            if app == "windowed_min":
+                # positions shift under tombstoning, so the comparable cold
+                # run re-reduces the *live* elements at their original
+                # positions — exactly what session.ro commits to
+                cold_walls_start = time.perf_counter()
+                ref = _bind(source, consts, data, extras)
+                for i, b in enumerate(appends):
+                    ref.append_elements(b)
+                spec, idx = ref.make_spec(layout)
+                res = engine.run(spec, idx)
+                full_walls.append(time.perf_counter() - cold_walls_start)
+                cold = res
+            else:
+                res, wall = _cold_run(engine, source, consts, mutated, extras, layout)
+                full_walls.append(wall)
+                cold = res
+
+        if app == "windowed_min":
+            # re-derive the expected mins over survivors per window
+            all_data = np.concatenate([data] + appends)
+            live = session.live
+            identical = True
+            for w in range(consts["numWin"]):
+                s = w * consts["win"]
+                e = all_data.size if w == consts["numWin"] - 1 else s + consts["win"]
+                vals = all_data[s:e][live[s:e]]
+                if session.ro.get(w, 0) != vals.min():
+                    identical = False
+            update_match = True
+        else:
+            identical = bool(
+                np.array_equal(session.ro.snapshot(), cold.ro.snapshot())
+            )
+            update_match = session.ro.update_count == cold.ro.update_count
+
+        delta_wall = statistics.median(delta_walls)
+        full_wall = statistics.median(full_walls)
+        replay_bounded = True
+        if app == "windowed_min":
+            replay_bounded = (
+                groups_replayed <= max(1, len(windows_retracted))
+                and replay_elements < session.n_elements // 2
+            )
+        return {
+            "app": app,
+            "executor": executor,
+            "n": n,
+            "delta_elements": append_n + retract_n,
+            "delta_fraction": (append_n + retract_n) / n,
+            "batches": batches,
+            "full_wall": full_wall,
+            "delta_wall": delta_wall,
+            "speedup": full_wall / delta_wall if delta_wall > 0 else float("inf"),
+            "identical": identical,
+            "update_count_match": update_match,
+            "groups_replayed": groups_replayed,
+            "replay_elements": replay_elements,
+            "replay_bounded": replay_bounded,
+            "checkpoint_saves": session.checkpoints.saves,
+        }
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--quick", action="store_true", help="smoke-test sizes (CI)")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every cell is bit-identical, the "
+        "invertible cells hit --min-speedup, and the min/max replay "
+        "stayed effect-summary bounded",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help="required delta-vs-full speedup at delta/n <= 1%% (default 10)",
+    )
+    ap.add_argument(
+        "--executors",
+        nargs="+",
+        default=None,
+        choices=["serial", "threads"],
+        help="executors to sweep (default: serial, plus threads when not --quick)",
+    )
+    add_output_arguments(ap)
+    args = ap.parse_args(argv)
+
+    n = 120_000 if args.quick else 400_000
+    batches = 5 if args.quick else 7
+    delta_fraction = 0.005  # |delta|/n = 0.5%, well under the 1% gate bound
+    executors = args.executors or (["serial"] if args.quick else ["serial", "threads"])
+
+    cases = {
+        "histogram": _histogram_case,
+        "kmeans": _kmeans_case,
+        "windowed_min": _windowed_min_case,
+    }
+
+    records = []
+    for app, make_case in cases.items():
+        for executor in executors:
+            rng = np.random.default_rng(42)
+            case = make_case(rng, n)
+            rec = _run_cell(app, case, executor, n, delta_fraction, batches, rng)
+            records.append(rec)
+            print(
+                f"{app:<13} {executor:<8} n={rec['n']:>7} "
+                f"delta={rec['delta_elements']:>5} "
+                f"full={rec['full_wall']*1e3:8.2f}ms "
+                f"delta={rec['delta_wall']*1e3:8.2f}ms "
+                f"speedup={rec['speedup']:7.1f}x "
+                f"identical={rec['identical']} "
+                f"replayed={rec['groups_replayed']}"
+            )
+
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "profile": "quick" if args.quick else "full",
+        "min_speedup": args.min_speedup,
+        "results": records,
+    }
+    out_path = write_payload(args, RESULTS_FILENAME, payload)
+    print(f"\nwrote {out_path} ({len(records)} cells)")
+
+    if args.check:
+        failures = []
+        for rec in records:
+            cell = f"{rec['app']}/{rec['executor']}"
+            if not rec["identical"]:
+                failures.append(f"{cell}: delta result diverged from cold run")
+            if not rec["update_count_match"]:
+                failures.append(f"{cell}: update_count bookkeeping diverged")
+            if rec["app"] in ("histogram", "kmeans"):
+                if rec["delta_fraction"] <= 0.01 and rec["speedup"] < args.min_speedup:
+                    failures.append(
+                        f"{cell}: speedup {rec['speedup']:.1f}x < "
+                        f"{args.min_speedup}x at delta/n = "
+                        f"{rec['delta_fraction']:.3%}"
+                    )
+            if not rec["replay_bounded"]:
+                failures.append(
+                    f"{cell}: min/max replay escaped the effect-summary bound "
+                    f"({rec['groups_replayed']} groups, "
+                    f"{rec['replay_elements']} elements)"
+                )
+        if failures:
+            print("\nCHECK FAILURES:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print("check: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,7 +42,9 @@ from repro.compiler.cache import kernel_cache_stats
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.freeride.procexec import pick_start_method
 
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_scaling.json"
+from benchlib import add_output_arguments, write_payload
+
+RESULTS_FILENAME = "BENCH_scaling.json"
 SCHEMA_VERSION = 1
 
 #: Benchmark "version" -> (runner version, backend).  ``batch`` is the
@@ -201,7 +203,7 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument(
         "--versions", nargs="+", default=list(VERSIONS), choices=list(VERSIONS)
     )
-    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    add_output_arguments(ap)
     args = ap.parse_args(argv)
     worker_counts = args.workers or ([1, 2, 4] if args.quick else [1, 2, 4, 8])
 
@@ -263,10 +265,9 @@ def main(argv: list[str] | None = None) -> int:
         "kernel_cache": kernel_cache_stats(),
         "results": records,
     }
-    args.json.parent.mkdir(parents=True, exist_ok=True)
-    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = write_payload(args, RESULTS_FILENAME, payload)
     _print_table(records, worker_counts)
-    print(f"\nwrote {args.json} ({len(records)} cells)")
+    print(f"\nwrote {out_path} ({len(records)} cells)")
 
     if failures:
         print("\nFAILURES:", file=sys.stderr)

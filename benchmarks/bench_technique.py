@@ -55,7 +55,9 @@ from repro.apps.windowed import WindowedRunner
 from repro.data.generators import initial_centroids, kmeans_points, pca_matrix
 from repro.freeride.sharedmem import SharedMemTechnique
 
-RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_technique.json"
+from benchlib import add_output_arguments, write_payload
+
+RESULTS_FILENAME = "BENCH_technique.json"
 SCHEMA_VERSION = 1
 
 TECHNIQUES = ("full_replication", "cache_sensitive_locking", "colored", "auto")
@@ -370,7 +372,7 @@ def main(argv: list[str] | None = None) -> int:
         "--techniques", nargs="+", default=list(TECHNIQUES),
         choices=list(TECHNIQUES),
     )
-    ap.add_argument("--json", type=Path, default=RESULTS_PATH)
+    add_output_arguments(ap)
     ap.add_argument(
         "--store", type=Path, default=None,
         help="profile-store directory for the profile-guided section "
@@ -438,10 +440,9 @@ def main(argv: list[str] | None = None) -> int:
         "techniques": list(args.techniques),
         "results": records,
     }
-    args.json.parent.mkdir(parents=True, exist_ok=True)
-    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    out_path = write_payload(args, RESULTS_FILENAME, payload)
     _print_table(records)
-    print(f"\nwrote {args.json} ({len(records)} cells)")
+    print(f"\nwrote {out_path} ({len(records)} cells)")
 
     if failures:
         print("\nFAILURES:", file=sys.stderr)

@@ -1,0 +1,63 @@
+"""Shared output handling for the CLI benchmarks (``bench_*.py``).
+
+Every JSON-writing benchmark takes the same pair of options:
+
+``--out-dir DIR``
+    where the primary ``BENCH_*.json`` lands; defaults to the repository
+    root so a bare ``python benchmarks/bench_x.py`` leaves its result
+    where a developer (or the driver collecting artifacts) expects it.
+``--json PATH``
+    explicit output path, overriding ``--out-dir`` entirely — kept for
+    scripts and CI invocations that already name the file.
+
+Whatever the primary destination, the payload is also mirrored under
+``benchmarks/results/`` (the historical location every CI artifact-upload
+step and the README schemas point at), so the two conventions never
+diverge.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+__all__ = ["REPO_ROOT", "RESULTS_DIR", "add_output_arguments", "write_payload"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def add_output_arguments(ap: argparse.ArgumentParser) -> None:
+    """Install the shared ``--out-dir`` / ``--json`` options."""
+    ap.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="directory for the primary BENCH_*.json (default: repo root); "
+        "a mirror copy is always written under benchmarks/results/",
+    )
+    ap.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="explicit output path (overrides --out-dir)",
+    )
+
+
+def write_payload(args: argparse.Namespace, filename: str, payload: dict) -> Path:
+    """Write ``payload`` to the resolved destination plus the results mirror.
+
+    Returns the primary path.  ``filename`` is the benchmark's canonical
+    ``BENCH_*.json`` name; ``args`` must come from a parser that went
+    through :func:`add_output_arguments`.
+    """
+    primary = args.json if args.json is not None else args.out_dir / filename
+    text = json.dumps(payload, indent=2) + "\n"
+    primary.parent.mkdir(parents=True, exist_ok=True)
+    primary.write_text(text)
+    mirror = RESULTS_DIR / primary.name
+    if mirror.resolve() != primary.resolve():
+        mirror.parent.mkdir(parents=True, exist_ok=True)
+        mirror.write_text(text)
+    return primary

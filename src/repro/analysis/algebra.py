@@ -19,6 +19,17 @@ moves the result by rounding noise is reported as the ``RS020`` *warning*
 (parallel results are run-shape-dependent but numerically equivalent),
 while differences beyond tolerance stay hard errors.
 
+The delta executor adds a fourth property: **invertibility**.  An op with
+a ``retract`` hook (``sum``, ``xor``, user ops registered with
+``inverse=``) can undo an accumulated element directly, so retractions
+cost O(|Δ|); :func:`check_invertibility` verifies the hook with seeded
+``op(inv(op(a, x), x)) == a`` trials.  A verified hook reports RS034
+(info), an op without one reports RS035 (info — deltas fall back to
+per-group replay), a float hook that only recovers the state up to
+rounding reports the RS036 *warning* (cancellation — the RS020 analogue),
+and a hook that fails the trials outright is an RS037 error (and
+:func:`~repro.chapel.reduce_op.register_reduce_op` refuses it).
+
 All trials are seeded (:data:`TRIAL_SEED`); the checker is deterministic.
 """
 
@@ -28,11 +39,12 @@ import math
 import random
 from typing import Any, Iterable, Sequence
 
-from repro.chapel.reduce_op import REDUCE_OPS, ReduceScanOp
+from repro.chapel.reduce_op import REDUCE_OPS, ReduceScanOp, supports_retract
 from repro.analysis.diagnostics import Diagnostic, diag
 
 __all__ = [
     "TRIAL_SEED",
+    "check_invertibility",
     "check_reduce_op",
     "check_registry",
     "sample_family",
@@ -50,6 +62,23 @@ _ABS_TOL = 1e-9
 _FAMILIES: dict[str, list[Any]] = {
     "int": [3, -1, 7, 0, 7, 2, -5, 11, 4, 3, -1, 6],
     "float": [0.1, 2.5, -1.75, 3.7, 0.2, -0.3, 1.1, 4.9, 0.1, -2.2, 5.3, 0.7],
+    # NaN-bearing floats (dyadic otherwise, so only NaN handling — not
+    # rounding — can distinguish fold orders): a min/max that compares
+    # with a bare ``<`` keeps whichever side of the comparison NaN landed
+    # on and silently becomes order-dependent.  NaN sits in the probe
+    # prefix so ops that cannot digest it reject the family outright.
+    "float_nan": [
+        0.5,
+        float("nan"),
+        -1.75,
+        2.5,
+        0.25,
+        float("nan"),
+        3.5,
+        -0.5,
+        1.25,
+        0.75,
+    ],
     "pair": [
         (3.0, 4),
         (1.0, 7),
@@ -64,7 +93,7 @@ _FAMILIES: dict[str, list[Any]] = {
     ],
     "bool": [True, False, True, True, False, False, True, False, True, True],
 }
-_FAMILY_ORDER = ("int", "float", "pair", "bool")
+_FAMILY_ORDER = ("int", "float", "float_nan", "pair", "bool")
 
 
 def sample_family(cls: type[ReduceScanOp]) -> tuple[str, list[Any]] | None:
@@ -104,6 +133,11 @@ def _values_close(a: Any, b: Any) -> tuple[bool, bool]:
         return exact, close
     if isinstance(a, float) or isinstance(b, float):
         try:
+            # two NaNs count as the same result: an op that produces NaN
+            # under every fold order is order-independent, even though
+            # ``nan == nan`` is False
+            if math.isnan(a) and math.isnan(b):
+                return True, True
             exact = a == b
             close = math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=_ABS_TOL)
         except TypeError:
@@ -355,6 +389,119 @@ def _identity_trial(
         "identity-preserving",
         "an empty task state combined with a full one must equal the full one",
     )
+
+
+def check_invertibility(
+    cls: type[ReduceScanOp], name: str | None = None
+) -> list[Diagnostic]:
+    """Learn whether a reduce op can retract elements (delta execution).
+
+    Seeded trials fold a random prefix ``a``, accumulate one more element
+    ``x``, retract it, and require the state to return to ``fold(a)`` —
+    i.e. ``op(inv(op(a, x), x)) == a`` — plus a batch round-trip
+    (accumulate a suffix, retract it element-wise).  Verdicts:
+
+    * no ``retract`` hook → ``RS035`` (info): deltas replay per group;
+    * hook verified exactly → ``RS034`` (info): direct O(|Δ|) retract;
+    * hook exact only up to float tolerance → ``RS034`` + ``RS036``
+      (warning): cancellation can leave rounding residue, bit-identity
+      needs exactly representable data;
+    * hook wrong beyond tolerance (or raising) → ``RS037`` (error).
+    """
+    label = name or cls.__name__
+    if not supports_retract(cls):
+        return [
+            diag(
+                "RS035",
+                f"reduction {label!r} has no retract hook; delta retractions "
+                "fall back to per-group re-reduction",
+                subject=label,
+                hint="pass inverse=(state, x) -> state to register_reduce_op "
+                "if the op is algebraically invertible",
+            )
+        ]
+    # NaN data is excluded: no hook can undo a NaN absorption
+    # (``x + nan - nan`` is ``nan``, not ``x``), so NaN-bearing trials
+    # would condemn every float inverse.  Retracting NaN-poisoned state
+    # falls back to replay regardless of the hook's verdict here.
+    families = [f for f in accepted_families(cls) if f != "float_nan"]
+    if not families:
+        return [
+            diag(
+                "RS001",
+                f"reduction {label!r}: no sample input family accepted; "
+                "invertibility trials skipped",
+                subject=label,
+            )
+        ]
+    rng = random.Random(TRIAL_SEED)
+    float_noise = False
+    for family in families:
+        for _trial in range(_NUM_TRIALS):
+            pool = list(_FAMILIES[family])
+            rng.shuffle(pool)
+            cut = rng.randrange(1, len(pool))
+            prefix, suffix = pool[:cut], pool[cut:]
+            expect = _result(_fold(cls, prefix))
+            # single-element round trip: op(inv(op(a, x), x)) == a
+            single = _fold(cls, prefix)
+            single.accumulate(suffix[0])
+            # batch round trip: retract the whole suffix element-wise
+            batch = _fold(cls, pool)
+            try:
+                single.retract(suffix[0])
+                for x in reversed(suffix):
+                    batch.retract(x)
+            except Exception as exc:
+                return [
+                    diag(
+                        "RS037",
+                        f"reduction {label!r}: retract raised {exc!r} on a "
+                        f"seeded trial (seed {TRIAL_SEED:#x})",
+                        subject=label,
+                    )
+                ]
+            for got in (_result(single), _result(batch)):
+                exact, close = _values_close(got, expect)
+                if exact:
+                    continue
+                if close:
+                    float_noise = True
+                    continue
+                return [
+                    diag(
+                        "RS037",
+                        f"reduction {label!r}: op(inv(op(a, x), x)) yields "
+                        f"{got!r}, expected {expect!r} on a seeded trial "
+                        f"(seed {TRIAL_SEED:#x}); the inverse hook does not "
+                        "undo accumulate",
+                        subject=label,
+                        hint="the hook must satisfy inverse(op_state_after_x, "
+                        "x) == op_state_before_x for every reachable state",
+                    )
+                ]
+    diags = [
+        diag(
+            "RS034",
+            f"reduction {label!r}: retract hook verified over seeded trials; "
+            "delta retractions run in O(|delta|)",
+            subject=label,
+        )
+    ]
+    if float_noise:
+        diags.append(
+            diag(
+                "RS036",
+                f"reduction {label!r} over floats: retracting an element "
+                "recovers the prior state only up to rounding (catastrophic "
+                "cancellation is possible); delta runs are numerically but "
+                "not bit-for-bit equal to a cold re-run",
+                subject=label,
+                hint="use exactly representable (integer/dyadic) inputs, or "
+                "re-run from a checkpoint when bit-exactness matters",
+            )
+        )
+    return diags
 
 
 def check_registry(

@@ -71,6 +71,11 @@ CODES: dict[str, str] = {
     "RS014": "clone() does not produce a fresh identity-state accumulator",
     "RS015": "ReduceScanOp does not override accumulate/combine",
     "RS020": "floating-point reduction: result depends on reassociation (nondeterministic in parallel)",
+    # -- invertibility checker (delta execution) -----------------------------
+    "RS034": "reduction is invertible: retract hook verified over seeded trials",
+    "RS035": "reduction is not invertible: no retract hook, deltas fall back to per-group replay",
+    "RS036": "floating-point retract: op(inv(op(a,x),x)) recovers a only up to rounding (cancellation)",
+    "RS037": "retract hook is wrong: op(inv(op(a,x),x)) != a on seeded trials",
     # -- plan validator ------------------------------------------------------
     "RS030": "computeIndex out of bounds: index range exceeds the level domain",
     "RS031": "strength-reduction hoist violates its contiguity invariant",
@@ -100,6 +105,10 @@ DEFAULT_SEVERITIES: dict[str, Severity] = {
     "RS014": Severity.ERROR,
     "RS015": Severity.ERROR,
     "RS020": Severity.WARNING,
+    "RS034": Severity.INFO,
+    "RS035": Severity.INFO,
+    "RS036": Severity.WARNING,
+    "RS037": Severity.ERROR,
     "RS030": Severity.ERROR,
     "RS031": Severity.ERROR,
     "RS032": Severity.ERROR,

@@ -37,6 +37,7 @@ __all__ = [
     "REDUCE_OPS",
     "get_reduce_op",
     "register_reduce_op",
+    "supports_retract",
 ]
 
 
@@ -83,6 +84,17 @@ class ReduceScanOp:
         """Merge another task's local state into this one."""
         raise NotImplementedError
 
+    def retract(self, x: Any) -> None:
+        """Remove a previously accumulated element from the local state.
+
+        Only *invertible* operations (sum, xor, ...) can implement this;
+        the base raises so :func:`supports_retract` can tell the delta
+        executor to fall back to per-group re-reduction instead.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} is not invertible: no retract()"
+        )
+
     def generate(self) -> Any:
         """Produce the final result from the accumulated state."""
         return self.value
@@ -102,6 +114,9 @@ class SumReduceScanOp(ReduceScanOp):
     def combine(self, other: ReduceScanOp) -> None:
         self.value = self.value + other.value
 
+    def retract(self, x: Any) -> None:
+        self.value = self.value - x
+
 
 class ProductReduceScanOp(ReduceScanOp):
     """``* reduce``."""
@@ -116,12 +131,17 @@ class ProductReduceScanOp(ReduceScanOp):
 
 
 class MinReduceScanOp(ReduceScanOp):
-    """``min reduce``; identity is +infinity (None until first element)."""
+    """``min reduce``; identity is +infinity (None until first element).
+
+    NaN poisons the result (like :func:`numpy.minimum`, and like the
+    RO-level ``min`` groups): ``x != x`` catches NaN on either side of
+    the comparison, so the fold is order-independent even on NaN data.
+    """
 
     identity = None
 
     def accumulate(self, x: Any) -> None:
-        if self.value is None or x < self.value:
+        if self.value is None or x < self.value or x != x:
             self.value = x
 
     def combine(self, other: ReduceScanOp) -> None:
@@ -130,12 +150,15 @@ class MinReduceScanOp(ReduceScanOp):
 
 
 class MaxReduceScanOp(ReduceScanOp):
-    """``max reduce``; identity is -infinity (None until first element)."""
+    """``max reduce``; identity is -infinity (None until first element).
+
+    NaN poisons the result, mirroring :class:`MinReduceScanOp`.
+    """
 
     identity = None
 
     def accumulate(self, x: Any) -> None:
-        if self.value is None or x > self.value:
+        if self.value is None or x > self.value or x != x:
             self.value = x
 
     def combine(self, other: ReduceScanOp) -> None:
@@ -201,6 +224,9 @@ class BitwiseXorReduceScanOp(ReduceScanOp):
 
     def combine(self, other: ReduceScanOp) -> None:
         self.value = self.value ^ other.value
+
+    def retract(self, x: Any) -> None:
+        self.value = self.value ^ int(x)  # xor is its own inverse
 
 
 class _LocReduceScanOp(ReduceScanOp):
@@ -292,12 +318,45 @@ def _mutable_shared_identity(cls: type[ReduceScanOp]) -> str | None:
     return None
 
 
-def register_reduce_op(name: str, cls: type[ReduceScanOp]) -> None:
+def supports_retract(op: "str | type[ReduceScanOp] | ReduceScanOp") -> bool:
+    """Does the op implement an element inverse (``retract``)?
+
+    True for invertible reductions (sum, xor, user ops registered with a
+    verified ``inverse=`` hook); False for ops that can only re-reduce
+    (min/max/minloc/maxloc and anything left at the base ``retract``).
+    """
+    if isinstance(op, ReduceScanOp):
+        cls: type[ReduceScanOp] = type(op)
+    elif isinstance(op, type) and issubclass(op, ReduceScanOp):
+        cls = op
+    elif isinstance(op, str):
+        resolved = REDUCE_OPS.get(op)
+        if resolved is None:
+            return False
+        cls = resolved
+    else:
+        return False
+    return getattr(cls, "retract", None) is not ReduceScanOp.retract
+
+
+def register_reduce_op(
+    name: str,
+    cls: type[ReduceScanOp],
+    inverse: "Callable[[Any, Any], Any] | None" = None,
+) -> None:
     """Register a user-defined reduction under a reduce-expression name.
 
     Rejects ops whose identity element is mutable state aliased across
     :meth:`~ReduceScanOp.clone` calls — every task would fold into the
     same accumulator, corrupting all parallel runs (diagnostic RS010).
+
+    ``inverse`` optionally declares the op invertible: a callable
+    ``inverse(state, x) -> state`` undoing one ``accumulate(x)``.  The
+    hook is installed as the class's :meth:`~ReduceScanOp.retract` and
+    *verified* with seeded ``op(inv(op(a, x), x)) == a`` trials before the
+    registration is accepted; a hook that fails the trials is refused with
+    diagnostic RS037 (never silently accepted), so the delta executor can
+    trust every registered retract path.
     """
     if not (isinstance(cls, type) and issubclass(cls, ReduceScanOp)):
         raise ChapelError(f"{cls!r} is not a ReduceScanOp subclass")
@@ -308,4 +367,31 @@ def register_reduce_op(name: str, cls: type[ReduceScanOp]) -> None:
             "it would share accumulator state. Use a zero-argument callable "
             "building a fresh value (e.g. identity = list)."
         )
+    if inverse is not None:
+        if not callable(inverse):
+            raise ChapelError(
+                f"[RS037] cannot register {name!r}: inverse= must be a "
+                "callable (state, x) -> state"
+            )
+
+        def _retract(self: ReduceScanOp, x: Any, _inv=inverse) -> None:
+            self.value = _inv(self.value, x)
+
+        prior = cls.__dict__.get("retract")
+        cls.retract = _retract  # type: ignore[method-assign]
+        # deferred import: repro.analysis.algebra imports this module
+        from repro.analysis.algebra import check_invertibility
+
+        bad = [
+            d
+            for d in check_invertibility(cls, name=name)
+            if d.code == "RS037"
+        ]
+        if bad:
+            # do not leave a known-wrong hook installed
+            if prior is None:
+                del cls.retract
+            else:
+                cls.retract = prior  # type: ignore[method-assign]
+            raise ChapelError(f"[RS037] cannot register {name!r}: {bad[0].message}")
     REDUCE_OPS[name] = cls

@@ -412,6 +412,11 @@ def _uses_elem_idx(node: object) -> bool:
     return False
 
 
+#: public alias — the translator gates position-dependent optimizations
+#: (e.g. gathered delta retraction) on this
+uses_elem_idx = _uses_elem_idx
+
+
 # ------------------------------------------------------------------ generator
 
 
@@ -766,8 +771,12 @@ class BatchCodegen(PythonCodegen):
                 self._w(f'_v_{site.root} = _env["val_{site.root}"]')
         self._w("_n0 = _end - _start")
         if _uses_elem_idx(self.low.body):
-            # global 0-based element index per lane (the elemIdx() intrinsic)
-            self._w("_ev = _np.arange(_start, _end)")
+            # global 0-based element index per lane (the elemIdx() intrinsic);
+            # gathered execution re-runs scattered elements out of a compacted
+            # buffer and supplies their true global indices via the env
+            self._w('_ev = _env.get("_elem_indices")')
+            self._w("if _ev is None:")
+            self._w("    _ev = _np.arange(_start, _end)")
         self._w("_C.elements_processed += _n0")
         self._w("with _errstate():")
         self.indent += 1

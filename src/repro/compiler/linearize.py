@@ -42,6 +42,7 @@ from repro.util.errors import LinearizationError
 __all__ = [
     "compute_linearize_size",
     "linearize_it",
+    "linearize_append",
     "delinearize",
     "LinearizedBuffer",
 ]
@@ -96,10 +97,49 @@ class LinearizedBuffer:
     def __post_init__(self) -> None:
         if self.raw.dtype != np.uint8:
             raise LinearizationError("LinearizedBuffer requires a uint8 backing array")
+        # capacity-doubled backing storage; allocated lazily on first grow()
+        # so the zero-copy numpy fast path stays zero-copy until appends
+        # actually happen.  When present, ``raw`` is always a prefix view
+        # of it.
+        self._backing: np.ndarray | None = None
 
     @property
     def nbytes(self) -> int:
         return int(self.raw.size)
+
+    @property
+    def capacity(self) -> int:
+        """Bytes available without reallocating (== nbytes before any grow)."""
+        return int(self._backing.size) if self._backing is not None else self.nbytes
+
+    def grow(self, new_nbytes: int) -> None:
+        """Extend ``raw`` to ``new_nbytes``, preserving the existing prefix.
+
+        Within capacity this is O(1) — ``raw`` just becomes a longer view
+        of the backing array, so the unchanged prefix is never copied or
+        re-walked.  Past capacity the backing doubles (amortized O(1) per
+        appended byte); the one-time prefix copy also migrates buffers
+        whose ``raw`` aliased caller-owned memory (the zero-copy fast
+        path) into storage this buffer owns.
+        """
+        if new_nbytes < self.raw.size:
+            raise LinearizationError(
+                f"grow({new_nbytes}) would shrink a {self.raw.size}-byte buffer"
+            )
+        if self._backing is None or self._backing.size < new_nbytes:
+            cap = max(new_nbytes, 2 * self.raw.size, 64)
+            backing = np.zeros(cap, dtype=np.uint8)
+            backing[: self.raw.size] = self.raw
+            self._backing = backing
+        self.raw = self._backing[: new_nbytes]
+
+    def shrink(self, new_nbytes: int) -> None:
+        """Roll ``raw`` back to a shorter prefix (failed append batch)."""
+        if not 0 <= new_nbytes <= self.raw.size:
+            raise LinearizationError(
+                f"shrink({new_nbytes}) outside [0, {self.raw.size}]"
+            )
+        self.raw = self.raw[:new_nbytes]
 
     def _check(self, offset: int, size: int) -> None:
         if offset < 0 or offset + size > self.raw.size:
@@ -188,6 +228,51 @@ def _copy_in(buf: LinearizedBuffer, offset: int, value: Any, typ: ChapelType) ->
             offset = _copy_in(buf, offset, comp, ctype)
         return offset
     raise LinearizationError(f"cannot linearize type {typ!r}")
+
+
+def linearize_append(
+    buf: LinearizedBuffer,
+    value: Any,
+    counters: OpCounters | None = None,
+) -> int:
+    """Extend an array-typed buffer with more elements, in place.
+
+    The complement of :func:`linearize_it` for the delta path: only the
+    appended elements are walked and copied — the already-linearized
+    prefix is left untouched (see :meth:`LinearizedBuffer.grow`).
+    ``value`` must be a :class:`~repro.chapel.values.ChapelArray` with the
+    same element type as the buffer.  Updates ``buf.typ`` to the extended
+    domain and returns the new element count.
+    """
+    from repro.chapel.domains import Domain  # deferred: avoids a cycle
+
+    typ = buf.typ
+    if not isinstance(typ, ArrayType):
+        raise LinearizationError(
+            f"linearize_append requires an array-typed buffer, got {typ!r}"
+        )
+    if not isinstance(value, ChapelArray) or not isinstance(value.type, ArrayType):
+        raise LinearizationError(
+            f"expected a ChapelArray of new elements, got {type(value)}"
+        )
+    if value.type.elt != typ.elt:
+        raise LinearizationError(
+            f"appended element type {value.type.elt!r} does not match "
+            f"buffer element type {typ.elt!r}"
+        )
+    extra = compute_linearize_size(value, value.type)
+    offset = buf.raw.size
+    buf.grow(offset + extra)
+    end = _copy_in(buf, offset, value, value.type)
+    if end != offset + extra:
+        raise LinearizationError(
+            f"append copied {end - offset} bytes, expected {extra}"
+        )
+    new_count = typ.domain.size + value.type.domain.size
+    buf.typ = ArrayType(Domain(new_count), typ.elt)
+    if counters is not None:
+        counters.bytes_linearized += extra
+    return new_count
 
 
 def delinearize(buf: LinearizedBuffer) -> Any:

@@ -31,10 +31,15 @@ from repro.chapel.domains import Domain
 from repro.chapel.parser import parse_program
 from repro.chapel.types import ArrayType, ChapelType, PrimitiveType
 from repro.chapel.values import ChapelArray
-from repro.compiler.batch import BATCH_NAMESPACE, BatchCodegen, BatchUnsupported
+from repro.compiler.batch import (
+    BATCH_NAMESPACE,
+    BatchCodegen,
+    BatchUnsupported,
+    uses_elem_idx,
+)
 from repro.compiler.codegen import CLikeCodegen, PythonCodegen, site_key
 from repro.compiler.groupbounds import analyze_group_bounds
-from repro.compiler.linearize import LinearizedBuffer, linearize_it
+from repro.compiler.linearize import LinearizedBuffer, linearize_append, linearize_it
 from repro.compiler.lower import LoweredReduction, lower_reduction
 from repro.compiler.mapping import MappingInfo, compute_index
 from repro.compiler.passes import VERSION_NAMES, CompilationPlan, plan_compilation
@@ -167,10 +172,22 @@ class CompiledReduction:
     origin_constants: dict[str, Any] | None = field(default=None, repr=False)
     origin_class_name: str | None = field(default=None, repr=False)
     _origin_digest: str | None = field(default=None, repr=False)
+    _position_dependent: bool | None = field(default=None, repr=False)
 
     @property
     def opt_level(self) -> int:
         return self.plan.opt_level
+
+    @property
+    def position_dependent(self) -> bool:
+        """Whether the kernel's behaviour depends on the global element
+        index (the ``elemIdx()`` intrinsic).  Position-independent kernels
+        may be re-run over a *gathered* copy of scattered elements — the
+        O(Δ) retraction fast path — because rebasing the elements to
+        positions ``0..k`` cannot change any group index or value."""
+        if self._position_dependent is None:
+            self._position_dependent = uses_elem_idx(self.lowered.body)
+        return self._position_dependent
 
     @property
     def origin_digest(self) -> str | None:
@@ -420,12 +437,114 @@ class BoundReduction:
         """Run the kernel over all elements with a bare accessor (tests)."""
         self.compiled.effective_kernel(0, self.n_elements, ro, self.env, self.counters)
 
+    def run_gathered(self, indices: np.ndarray, ro: Any) -> int:
+        """Run the kernel once over a gathered copy of scattered elements.
+
+        The delta-retraction fast path: dispatching the kernel per
+        contiguous run costs a fixed overhead that dwarfs the work for
+        single-element runs, so the retracted elements are gathered into
+        a temporary contiguous buffer and the kernel runs once over it.
+        Position-independent kernels run gathered under every backend:
+        the kernel reads its data buffers out of the env at call time,
+        and the gathered shim buffer is installed into a per-call copy
+        of the env.  Position-dependent kernels (``elemIdx()``) are only
+        supported on the batch backend, which accepts the elements' true
+        global indices through the env (``_elem_indices``) instead of
+        deriving them from ``range(start, end)``; other backends raise.
+        Callers should consult :attr:`gather_supported` first.  Returns
+        the element count.
+        """
+        comp = self.compiled
+        if comp.position_dependent and comp.effective_backend != "batch":
+            raise CompilerError(
+                f"kernel {comp.name} uses elemIdx(); gathered execution "
+                f"needs the batch backend, not {comp.effective_backend}"
+            )
+        idx = np.asarray(indices, dtype=np.intp)
+        k = int(idx.size)
+        if k == 0:
+            return 0
+        elem_t = comp.lowered.element_type
+        esz = elem_t.sizeof
+        rows = self.data_buf.raw[: self.n_elements * esz].reshape(
+            self.n_elements, esz
+        )
+        gathered = np.ascontiguousarray(rows[idx]).reshape(-1)
+        shim = LinearizedBuffer(typ=ArrayType(Domain(k), elem_t), raw=gathered)
+        env = dict(self.env)
+        comp._install_site_resources(env, shim)
+        if comp.position_dependent:
+            env["_elem_indices"] = idx.astype(np.int64)
+        comp.effective_kernel(0, k, ro, env, self.counters)
+        return k
+
+    @property
+    def gather_supported(self) -> bool:
+        """Whether :meth:`run_gathered` can run this kernel."""
+        comp = self.compiled
+        return not comp.position_dependent or comp.effective_backend == "batch"
+
+    # -- delta execution ---------------------------------------------------------------
+
+    def append_elements(self, data: "ChapelArray | np.ndarray") -> int:
+        """Extend the bound dataset with new elements, in place.
+
+        The delta-execution append path: only the new elements are
+        linearized (the existing prefix is never re-walked — see
+        :func:`~repro.compiler.linearize.linearize_append`), and the env's
+        site readers/viewers are re-installed because growth past capacity
+        reallocates the backing storage they view.  Returns the new
+        element count.
+        """
+        comp = self.compiled
+        elem_t = comp.lowered.element_type
+        if isinstance(data, np.ndarray):
+            expected = comp._numpy_element_shape(elem_t)
+            arr = np.ascontiguousarray(data, dtype=expected[1])
+            if not (arr.ndim >= 1 and arr.shape[1:] == expected[0]):
+                raise CompilerError(
+                    f"appended numpy shape {arr.shape} does not match "
+                    f"element {elem_t}"
+                )
+            raw = arr.reshape(-1).view(np.uint8)
+            old_bytes = self.data_buf.raw.size
+            self.data_buf.grow(old_bytes + raw.size)
+            self.data_buf.raw[old_bytes:] = raw
+            new_n = self.n_elements + int(arr.shape[0])
+            self.data_buf.typ = ArrayType(Domain(new_n), elem_t)
+            self.counters.bytes_linearized += int(raw.size)
+        elif isinstance(data, ChapelArray):
+            if data.type.elt != elem_t:
+                raise CompilerError(
+                    f"appended elements are {data.type.elt}, kernel "
+                    f"expects {elem_t}"
+                )
+            new_n = linearize_append(self.data_buf, data, self.counters)
+        else:
+            raise CompilerError(f"cannot append data of type {type(data)}")
+        self.n_elements = new_n
+        comp._install_site_resources(self.env, self.data_buf)
+        return new_n
+
+    def truncate_elements(self, n_elements: int) -> None:
+        """Roll the dataset back to ``n_elements`` (failed append batch)."""
+        if not 0 <= n_elements <= self.n_elements:
+            raise CompilerError(
+                f"cannot truncate to {n_elements} of {self.n_elements} elements"
+            )
+        elem_t = self.compiled.lowered.element_type
+        self.data_buf.shrink(n_elements * elem_t.sizeof)
+        self.data_buf.typ = ArrayType(Domain(n_elements), elem_t)
+        self.n_elements = n_elements
+        self.compiled._install_site_resources(self.env, self.data_buf)
+
     # -- FREERIDE integration ------------------------------------------------------------
 
     def make_spec(
         self,
         ro_layout: Sequence[tuple[int, str]],
         finalize: Callable[[ReductionObject], Any] | None = None,
+        delta_range: tuple[int, int] | None = None,
     ) -> tuple[ReductionSpec, range]:
         """Build a FREERIDE spec; the engine data is the element index range.
 
@@ -433,6 +552,12 @@ class BoundReduction:
         the engine dispatches the batch kernel per split (under both the
         serial and threaded executors) whenever the batch backend compiled,
         and the scalar kernel otherwise.
+
+        ``delta_range`` marks the spec as a delta pass over the appended
+        element range ``[start, end)``: the returned engine data covers
+        only that range and the range is recorded on the
+        :class:`~repro.freeride.spec.KernelSpec` so the process executor
+        can republish only the tail of the shared dataset segment.
         """
         kernel = self.compiled.effective_kernel
         env = self.env
@@ -440,8 +565,7 @@ class BoundReduction:
         layout = list(ro_layout)
 
         def setup(ro: ReductionObject) -> None:
-            for num_elems, op in layout:
-                ro.alloc(num_elems, op)
+            ro.alloc_many(layout)
 
         def reduction(args: ReductionArgs) -> None:
             # args.data is a contiguous slice of the global element index
@@ -479,6 +603,7 @@ class BoundReduction:
                     if comp.native_kernel is not None
                     else None
                 ),
+                delta_range=delta_range,
                 data_raw=self.data_buf.raw,
                 counters=counters,
             )
@@ -491,6 +616,13 @@ class BoundReduction:
             kernel_spec=kernel_spec,
             group_bounds=comp.group_bounds,
         )
+        if delta_range is not None:
+            start, end = delta_range
+            if not 0 <= start <= end <= self.n_elements:
+                raise CompilerError(
+                    f"delta range {delta_range} outside [0, {self.n_elements}]"
+                )
+            return spec, range(start, end)
         return spec, range(self.n_elements)
 
 

@@ -160,8 +160,7 @@ class FreerideContext:
         allocs = list(self._allocs)
 
         def setup(ro: ReductionObject) -> None:
-            for num_elems, op in allocs:
-                ro.alloc(num_elems, op)
+            ro.alloc_many(allocs)
 
         user_reduction = self._reduction
         tls = self._tls

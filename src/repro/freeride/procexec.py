@@ -108,10 +108,20 @@ _BOUND_CACHE: dict[tuple[str, int, str, str, str], list[Any]] = {}
 
 
 def _attached_raw(name: str, nbytes: int) -> np.ndarray:
-    """Attach (once) the parent's dataset segment; returns the uint8 view."""
+    """Attach (once) the parent's dataset segment; returns the uint8 view.
+
+    Delta sessions grow a segment in place (the parent over-allocates and
+    publishes only the appended tail), so a cached view that is shorter
+    than the requested ``nbytes`` is re-taken over the same mapping — the
+    attach itself still happens once per segment per worker.
+    """
     entry = _DATA_SEGMENTS.get(name)
     if entry is None:
         shm = attach_shm_segment(name)
+        raw = np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)
+        _DATA_SEGMENTS[name] = entry = (shm, raw)
+    elif entry[1].size < nbytes:
+        shm = entry[0]
         raw = np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)
         _DATA_SEGMENTS[name] = entry = (shm, raw)
     return entry[1]
@@ -134,7 +144,10 @@ def _bound_for(task: dict[str, Any]):
         task["data_shm"],
     )
     entry = _BOUND_CACHE.get(key)
-    if entry is None:
+    if entry is None or entry[2] != task["n_elements"]:
+        # first task for this program+segment, or the dataset grew in
+        # place (delta session): re-take the view and re-bind.  The
+        # compile itself still hits the process-wide kernel cache.
         compiled = compile_for_digest(
             task["digest"],
             task["source"],
@@ -147,7 +160,9 @@ def _bound_for(task: dict[str, Any]):
         raw = _attached_raw(task["data_shm"], task["data_nbytes"])
         buf = LinearizedBuffer(typ=task["dataset_type"], raw=raw)
         bound = compiled.bind(buf, task["extras"], n_elements=task["n_elements"])
-        _BOUND_CACHE[key] = entry = [bound, task["extras_epoch"]]
+        _BOUND_CACHE[key] = entry = [
+            bound, task["extras_epoch"], task["n_elements"]
+        ]
     elif entry[1] != task["extras_epoch"]:
         entry[0].update_extras(task["extras"])
         entry[1] = task["extras_epoch"]

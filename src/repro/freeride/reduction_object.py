@@ -26,7 +26,12 @@ import numpy as np
 from repro.util.errors import ReductionObjectError
 from repro.util.validation import check_nonnegative_int, check_positive_int
 
-__all__ = ["AccumulateOp", "ACCUMULATE_OPS", "ReductionObject"]
+__all__ = [
+    "AccumulateOp",
+    "ACCUMULATE_OPS",
+    "INVERTIBLE_ACCUMULATE_OPS",
+    "ReductionObject",
+]
 
 #: Element-update operations. Each must be associative and commutative so the
 #: result is independent of processing order (paper §III-A requirement).
@@ -56,6 +61,14 @@ ACCUMULATE_OPS["max"] = _op_max
 _IDENTITY: dict[str, float] = {"add": 0.0, "min": np.inf, "max": -np.inf}
 
 _MERGE_UFUNC = {"add": np.add, "min": np.minimum, "max": np.maximum}
+
+#: Ops with an element inverse: contributions can be *retracted* directly
+#: (``a + x - x == a``), so delta retractions cost O(|delta|).  min/max
+#: discard the information needed to undo an update — the delta executor
+#: re-reduces those groups from the surviving elements instead.
+INVERTIBLE_ACCUMULATE_OPS: frozenset[str] = frozenset({"add"})
+
+_RETRACT_UFUNC = {"add": np.subtract}
 
 
 @dataclass
@@ -88,6 +101,10 @@ class ReductionObject:
         self.update_count: int = 0
         # lazy per-group lookup arrays for the batch update path
         self._batch_tables: tuple[np.ndarray, np.ndarray, list[str]] | None = None
+        #: explicit per-group touched bitmap: set by every update API, so a
+        #: group stays visible in touched_groups() even when its accumulated
+        #: value happens to equal the op identity
+        self._touched: np.ndarray = np.zeros(0, dtype=bool)
 
     # -- layout -------------------------------------------------------------
 
@@ -111,12 +128,45 @@ class ReductionObject:
             [self._buffer, np.full(num_elems, _IDENTITY[op])]
         )
         self._batch_tables = None
+        self._touched = np.concatenate([self._touched, [False]])
         return gid
+
+    def alloc_many(
+        self, layout: "Sequence[tuple[int, AccumulateOp]]"
+    ) -> list[int]:
+        """Allocate a whole layout of groups with one buffer reallocation.
+
+        Equivalent to calling :meth:`alloc` per entry, but O(total
+        elements) instead of quadratic in the group count — the setup path
+        for wide layouts (e.g. one group per window).
+        """
+        if self._finalized_layout:
+            raise ReductionObjectError(
+                "cannot allocate groups after the layout is frozen"
+            )
+        gids: list[int] = []
+        segments = [self._buffer]
+        offset = int(self._buffer.size)
+        for num_elems, op in layout:
+            check_positive_int(num_elems, "num_elems")
+            if op not in ACCUMULATE_OPS:
+                raise ReductionObjectError(f"unknown accumulate op {op!r}")
+            gid = len(self._groups)
+            self._groups.append(_GroupMeta(gid, num_elems, op, offset))
+            segments.append(np.full(num_elems, _IDENTITY[op]))
+            offset += num_elems
+            gids.append(gid)
+        self._buffer = np.concatenate(segments)
+        self._batch_tables = None
+        self._touched = np.concatenate(
+            [self._touched, np.zeros(len(gids), dtype=bool)]
+        )
+        return gids
 
     def alloc_matrix(self, num_groups: int, num_elems: int, op: AccumulateOp = "add") -> list[int]:
         """Allocate ``num_groups`` identical groups (k-means: one per centroid)."""
         check_positive_int(num_groups, "num_groups")
-        return [self.alloc(num_elems, op) for _ in range(num_groups)]
+        return self.alloc_many([(num_elems, op)] * num_groups)
 
     def freeze_layout(self) -> None:
         """Freeze the layout: replicas must share it, so no more allocs."""
@@ -163,6 +213,7 @@ class ReductionObject:
         """
         meta, idx = self._cell(group, elem)
         ACCUMULATE_OPS[meta.op](self._buffer, idx, value)
+        self._touched[meta.group_id] = True
         self.update_count += 1
 
     def accumulate_group(self, group: int, values: np.ndarray) -> None:
@@ -180,6 +231,7 @@ class ReductionObject:
         sl = slice(meta.offset, meta.offset + meta.num_elems)
         ufunc = _MERGE_UFUNC[meta.op]
         self._buffer[sl] = ufunc(self._buffer[sl], values)
+        self._touched[meta.group_id] = True
         self.update_count += meta.num_elems
 
     def _group_tables(self) -> tuple[np.ndarray, np.ndarray, list[str]]:
@@ -253,6 +305,9 @@ class ReductionObject:
         if indices.size == 0:
             return
         _MERGE_UFUNC[op].at(self._buffer, indices, values)
+        offsets, _, _ = self._group_tables()
+        hit = np.searchsorted(offsets, indices, side="right") - 1
+        self._touched[np.unique(hit)] = True
         self.update_count += int(indices.size)
 
     def accumulate_batch(
@@ -295,8 +350,9 @@ class ReductionObject:
 
     def set(self, group: int, elem: int, value: float) -> None:
         """Overwrite one element (used by finalize steps, not reductions)."""
-        _, idx = self._cell(group, elem)
+        meta, idx = self._cell(group, elem)
         self._buffer[idx] = value
+        self._touched[meta.group_id] = True
 
     def groups(self) -> Iterator[tuple[int, np.ndarray]]:
         """Iterate ``(group_id, values_copy)`` pairs."""
@@ -350,6 +406,7 @@ class ReductionObject:
                 ro._buffer[meta.offset : meta.offset + meta.num_elems] = _IDENTITY[
                     meta.op
                 ]
+        ro._touched = np.zeros(len(ro._groups), dtype=bool)
         ro.freeze_layout()
         return ro
 
@@ -363,6 +420,7 @@ class ReductionObject:
         """
         clone = self.clone_empty()
         clone._buffer[:] = self._buffer
+        clone._touched[:] = self._touched
         clone.update_count = self.update_count
         return clone
 
@@ -370,11 +428,21 @@ class ReductionObject:
         """A fresh copy with identical layout and identity-valued elements.
 
         This is what the *full replication* shared-memory technique hands to
-        each thread.
+        each thread.  Built directly (metas copied, one buffer allocation)
+        rather than through per-group :meth:`alloc` calls, whose repeated
+        buffer reallocation is quadratic in the group count.
         """
         clone = ReductionObject()
-        for meta in self._groups:
-            clone.alloc(meta.num_elems, meta.op)
+        clone._groups = [
+            _GroupMeta(m.group_id, m.num_elems, m.op, m.offset)
+            for m in self._groups
+        ]
+        clone._buffer = np.empty(self._buffer.size, dtype=np.float64)
+        for meta in clone._groups:
+            clone._buffer[meta.offset : meta.offset + meta.num_elems] = _IDENTITY[
+                meta.op
+            ]
+        clone._touched = np.zeros(len(clone._groups), dtype=bool)
         clone.freeze_layout()
         return clone
 
@@ -395,6 +463,7 @@ class ReductionObject:
             sl = slice(meta.offset, meta.offset + meta.num_elems)
             ufunc = _MERGE_UFUNC[meta.op]
             self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
+        self._touched |= other._touched
         self.update_count += other.update_count
 
     def merge_group_from(self, group: int, other: "ReductionObject") -> None:
@@ -414,26 +483,116 @@ class ReductionObject:
         sl = slice(meta.offset, meta.offset + meta.num_elems)
         ufunc = _MERGE_UFUNC[meta.op]
         self._buffer[sl] = ufunc(self._buffer[sl], other._buffer[sl])
+        if other._touched[meta.group_id] or bool(
+            np.any(other._buffer[sl] != _IDENTITY[meta.op])
+        ):
+            self._touched[meta.group_id] = True
 
     def touched_groups(self) -> frozenset[int]:
-        """Groups holding at least one element that left its op identity.
+        """Groups that received at least one update.
 
-        The profile store's footprint observation runs each split into a
-        fresh scratch object and calls this at commit time: any group whose
-        elements all still equal the op identity (0 for add, ±inf for
-        min/max) was — as far as the merge is concerned — untouched.  An
-        update that accumulated *exactly* the identity is invisible here,
-        which is safe for footprint purposes: merging an identity is a
-        value no-op, so omitting that group from the observed footprint
-        cannot change any committed result.
+        Every update API (accumulate, accumulate_group, batch updates, set,
+        merges) marks the target group in an explicit bitmap, so a group is
+        reported even when its accumulated value equals the op identity —
+        the historic value-scan alone missed those (e.g. accumulating an
+        exact 0.0 into an add group), which was safe for merge *values* but
+        silently dropped the group from profile footprints and would drop
+        it from delta checkpoints.  The value scan is kept as a union term
+        for objects whose buffer was filled out-of-band: writable
+        :meth:`group_view` slices and ``from_layout(initialize=False)``
+        wraps of worker-filled shared segments bypass the bitmap.
         """
-        touched: list[int] = []
+        touched: set[int] = {
+            int(g) for g in np.nonzero(self._touched)[0]
+        }
         for meta in self._groups:
+            if meta.group_id in touched:
+                continue
             sl = self._buffer[meta.offset : meta.offset + meta.num_elems]
-            ident = _IDENTITY[meta.op]
-            if np.any(sl != ident):
-                touched.append(meta.group_id)
+            if np.any(sl != _IDENTITY[meta.op]):
+                touched.add(meta.group_id)
         return frozenset(touched)
+
+    # -- delta execution ------------------------------------------------------
+
+    def group_op(self, group: int) -> AccumulateOp:
+        """The accumulate op a group was allocated with."""
+        return self._meta(group).op
+
+    def reset_group(self, group: int) -> None:
+        """Reset one group's elements to the op identity (replay prologue)."""
+        meta = self._meta(group)
+        self._buffer[meta.offset : meta.offset + meta.num_elems] = _IDENTITY[
+            meta.op
+        ]
+        self._touched[meta.group_id] = False
+
+    def set_group(self, group: int, values: np.ndarray, touched: bool) -> None:
+        """Overwrite a whole group (checkpoint restore / snapshot apply)."""
+        meta = self._meta(group)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (meta.num_elems,):
+            raise ReductionObjectError(
+                f"group {group} expects {meta.num_elems} values, got {values.shape}"
+            )
+        self._buffer[meta.offset : meta.offset + meta.num_elems] = values
+        self._touched[meta.group_id] = bool(touched)
+
+    def is_touched(self, group: int) -> bool:
+        """Read one bit of the explicit touched bitmap."""
+        return bool(self._touched[self._meta(group).group_id])
+
+    def retract_from(self, other: "ReductionObject") -> None:
+        """Undo another copy's contributions (inverse of :meth:`merge_from`).
+
+        Only groups with an invertible op (see
+        :data:`INVERTIBLE_ACCUMULATE_OPS`) can be retracted; a min/max
+        group that ``other`` touched raises, because the information needed
+        to undo the update is gone — the delta executor re-reduces those
+        groups from the surviving elements instead.  ``other.update_count``
+        is subtracted, mirroring the merge.
+        """
+        if not self.same_layout(other):
+            raise ReductionObjectError(
+                "cannot retract reduction objects with different layouts"
+            )
+        for meta in self._groups:
+            sl = slice(meta.offset, meta.offset + meta.num_elems)
+            if meta.op in INVERTIBLE_ACCUMULATE_OPS:
+                self._buffer[sl] = _RETRACT_UFUNC[meta.op](
+                    self._buffer[sl], other._buffer[sl]
+                )
+            elif other._touched[meta.group_id] or bool(
+                np.any(other._buffer[sl] != _IDENTITY[meta.op])
+            ):
+                raise ReductionObjectError(
+                    f"group {meta.group_id} uses non-invertible op "
+                    f"{meta.op!r}: cannot retract, re-reduce the group instead"
+                )
+        self.update_count -= other.update_count
+
+    def retract_group(self, group: int, other: "ReductionObject") -> None:
+        """Undo one group's contributions (inverse of :meth:`merge_group_from`).
+
+        Like :meth:`merge_group_from` this does *not* fold
+        ``other.update_count`` — the delta commit accounts for updates once
+        per epoch.  Raises for non-invertible groups; the delta executor
+        routes those through per-group replay instead.
+        """
+        if not self.same_layout(other):
+            raise ReductionObjectError(
+                "cannot retract reduction objects with different layouts"
+            )
+        meta = self._meta(group)
+        sl = slice(meta.offset, meta.offset + meta.num_elems)
+        if meta.op not in INVERTIBLE_ACCUMULATE_OPS:
+            raise ReductionObjectError(
+                f"group {meta.group_id} uses non-invertible op "
+                f"{meta.op!r}: cannot retract, re-reduce the group instead"
+            )
+        self._buffer[sl] = _RETRACT_UFUNC[meta.op](
+            self._buffer[sl], other._buffer[sl]
+        )
 
     def snapshot(self) -> np.ndarray:
         """Copy of the whole dense buffer (for tests and checkpoints)."""

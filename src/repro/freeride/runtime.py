@@ -41,6 +41,7 @@ accumulations behind and no element is ever double counted.
 
 from __future__ import annotations
 
+import itertools
 import pickle
 import threading
 import time
@@ -80,7 +81,16 @@ from repro.freeride.faults import (
     SplitFailureRecord,
     SplitTimeout,
 )
-from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.delta import (
+    DeltaSession,
+    ROCheckpoint,
+    contiguous_runs,
+    mask_runs,
+)
+from repro.freeride.reduction_object import (
+    INVERTIBLE_ACCUMULATE_OPS,
+    ReductionObject,
+)
 from repro.freeride.sharedmem import (
     ROAccessor,
     ScratchAccessor,
@@ -122,7 +132,66 @@ __all__ = [
     "FreerideEngine",
     "REPLICATION_BUDGET_BYTES",
     "CONTENTION_FEEDBACK_THRESHOLD",
+    "DELTA_COMMIT_SPLIT_ID",
 ]
+
+#: pseudo split id the delta commit reports to a configured
+#: :class:`~repro.freeride.faults.FaultInjector` — real splits are numbered
+#: from 0, so ``FaultInjector(fail_split_ids={DELTA_COMMIT_SPLIT_ID},
+#: fail_attempts=n)`` makes the first ``n`` commit attempts of a delta
+#: epoch fail mid-commit (exercising checkpoint rollback) without touching
+#: ordinary split processing.
+DELTA_COMMIT_SPLIT_ID = -1
+
+#: distinct shared-memory session keys for delta sessions of one process
+_DELTA_SESSION_IDS = itertools.count()
+
+
+#: smallest sub-range the replay planner probes the effect summary at when
+#: the summary carries no alignment hint — below this, probing costs more
+#: than just re-reducing the elements
+_REPLAY_PROBE_LEAF = 16
+
+#: average run length below which scattered/fragmented delta computes are
+#: gathered into one contiguous buffer and reduced in a single kernel
+#: dispatch — the kernel's fixed per-dispatch cost is roughly the
+#: vectorized cost of this many elements, so shorter runs lose more to
+#: dispatch overhead than the gather copy costs
+_GATHER_RUN_THRESHOLD = 1024
+
+
+def _replay_subranges(
+    start: int,
+    end: int,
+    targets: "set[int]",
+    per_range: "Callable[[int, int, int], frozenset[int] | None] | None",
+    num_groups: int,
+    leaf: int,
+    out: "list[tuple[int, int]]",
+) -> None:
+    """Collect the sub-ranges of ``[start, end)`` that can touch ``targets``.
+
+    Recursive footprint bisection over the effect summary: a range whose
+    footprint is disjoint from the replayed groups is skipped whole, one
+    fully inside them is replayed whole, and mixed ranges split in half —
+    so a retraction in one window replays O(window) elements even when the
+    surviving elements form one giant contiguous run.  Adjacent survivors
+    are merged so the reduction sees maximal runs.
+    """
+    if start >= end:
+        return
+    footprint = per_range(start, end, num_groups) if per_range is not None else None
+    if footprint is not None and not (footprint & targets):
+        return
+    if footprint is None or footprint <= targets or end - start <= leaf:
+        if out and out[-1][1] == start:
+            out[-1] = (out[-1][0], end)
+        else:
+            out.append((start, end))
+        return
+    mid = (start + end) // 2
+    _replay_subranges(start, mid, targets, per_range, num_groups, leaf, out)
+    _replay_subranges(mid, end, targets, per_range, num_groups, leaf, out)
 
 #: ``technique="auto"``: replicating the reduction object across threads
 #: beyond this many total bytes (``ro.nbytes * num_threads``) is considered
@@ -197,6 +266,23 @@ class RunStats:
     split_attempts: dict[int, int] = field(default_factory=dict)
     #: one record per abandoned split
     failures: list[SplitFailureRecord] = field(default_factory=list)
+    # -- incremental delta execution (all defaults outside run_delta) ----------
+    #: delta epoch this result committed (``None`` for ordinary full runs)
+    delta_epoch: int | None = None
+    #: ``"append"``, ``"retract"`` or ``"append+retract"``
+    delta_mode: str | None = None
+    #: elements appended by this delta
+    delta_appended: int = 0
+    #: elements tombstoned by this delta
+    delta_retracted: int = 0
+    #: non-invertible groups re-reduced from surviving elements
+    delta_groups_replayed: int = 0
+    #: live elements re-processed by the replay pass (effect-summary bounded)
+    delta_replay_elements: int = 0
+    #: checkpoint pre-images copied this epoch (one per mutated group)
+    delta_checkpoint_saves: int = 0
+    #: checkpoint ``save_group`` calls answered by an existing pre-image
+    delta_checkpoint_hits: int = 0
 
 
 @dataclass
@@ -617,6 +703,411 @@ class FreerideEngine:
                 break
             state = new_state
         return state, results
+
+    # -- incremental delta execution -------------------------------------------
+
+    def run_baseline(
+        self,
+        spec: "ReductionSpec | None" = None,
+        data: Any = None,
+        *,
+        bound: Any = None,
+        ro_layout: Any = None,
+        finalize: "Callable[[ReductionObject], Any] | None" = None,
+        checkpoint_capacity: int = 8,
+        shm_key: str | None = None,
+    ) -> tuple[ReductionResult, DeltaSession]:
+        """Run a full pass and open a :class:`DeltaSession` over its result.
+
+        Two calling conventions:
+
+        * **compiled** — pass ``bound`` (a
+          :class:`~repro.compiler.translate.BoundReduction`) plus
+          ``ro_layout`` (and optionally ``finalize``); the engine builds the
+          spec itself and later delta passes ride the full executor
+          pipeline, including process workers over shared memory.
+        * **manual** — pass ``spec`` and ``data`` (a sized sequence or
+          numpy array); delta passes are computed with a parent-side
+          serial walk of only the changed element ranges.
+
+        The returned session owns the committed reduction object; feed it
+        to :meth:`run_delta` to apply O(|Δ|) appends/retracts, and use
+        ``session.ro_at(epoch)`` for ring-bounded historical snapshots.
+        """
+        if self._closed:
+            raise FreerideError("engine is closed; create a new FreerideEngine")
+        if bound is not None:
+            if spec is not None or data is not None:
+                raise FreerideError(
+                    "run_baseline takes either (bound=, ro_layout=) or "
+                    "(spec, data), not both"
+                )
+            if ro_layout is None:
+                raise FreerideError("run_baseline(bound=...) requires ro_layout=")
+            layout = [(int(n), str(op)) for n, op in ro_layout]
+            key = shm_key or f"delta-session-{next(_DELTA_SESSION_IDS)}"
+
+            def respec(
+                session: DeltaSession, delta_range: "tuple[int, int] | None"
+            ) -> tuple[ReductionSpec, Any]:
+                spec2, idx = bound.make_spec(
+                    layout, finalize=None, delta_range=delta_range
+                )
+                if spec2.kernel_spec is not None:
+                    spec2.kernel_spec.shm_session = session.shm_key
+                return spec2, idx
+
+            def extend(session: DeltaSession, batch: Any) -> int:
+                return bound.append_elements(batch)
+
+            def shrink(session: DeltaSession, n_elements: int) -> None:
+                bound.truncate_elements(n_elements)
+
+            gather = None
+            if getattr(bound, "gather_supported", False):
+
+                def gather(session: DeltaSession, indices: Any, accessor: Any) -> int:
+                    return bound.run_gathered(indices, accessor)
+
+            base_spec, base_idx = bound.make_spec(layout, finalize=finalize)
+            if base_spec.kernel_spec is not None:
+                # session-keyed from the start, so the very first delta's
+                # shared-memory publish is already tail-only
+                base_spec.kernel_spec.shm_session = key
+            result = self.run(base_spec, base_idx)
+            n = int(bound.n_elements)
+            session = DeltaSession(
+                ro=result.ro,
+                n_elements=n,
+                live=np.ones(n, dtype=bool),
+                epoch=0,
+                checkpoints=ROCheckpoint(checkpoint_capacity),
+                respec=respec,
+                extend=extend,
+                shrink=shrink,
+                finalize=finalize,
+                shm_key=key,
+                compiled=True,
+                gather=gather,
+            )
+            return result, session
+
+        if spec is None or data is None:
+            raise FreerideError(
+                "run_baseline requires either bound= and ro_layout= "
+                "(compiled) or spec and data (manual)"
+            )
+
+        def respec_manual(
+            session: DeltaSession, delta_range: "tuple[int, int] | None"
+        ) -> tuple[ReductionSpec, Any]:
+            return spec, session.data
+
+        def extend_manual(session: DeltaSession, batch: Any) -> int:
+            if isinstance(session.data, np.ndarray):
+                session.data = np.concatenate(
+                    [session.data, np.asarray(batch, dtype=session.data.dtype)]
+                )
+            else:
+                session.data = list(session.data) + list(batch)
+            return len(session.data)
+
+        def shrink_manual(session: DeltaSession, n_elements: int) -> None:
+            session.data = session.data[:n_elements]
+
+        result = self.run(spec, data)
+        n = len(data)
+        session = DeltaSession(
+            ro=result.ro,
+            n_elements=n,
+            live=np.ones(n, dtype=bool),
+            epoch=0,
+            checkpoints=ROCheckpoint(checkpoint_capacity),
+            respec=respec_manual,
+            extend=extend_manual,
+            shrink=shrink_manual,
+            data=data,
+            finalize=spec.finalize,
+            compiled=False,
+        )
+        return result, session
+
+    def _apply_ranges(
+        self,
+        spec: ReductionSpec,
+        session: DeltaSession,
+        runs: "list[tuple[int, int]]",
+    ) -> ReductionObject:
+        """Serially reduce element ranges into a fresh scratch object.
+
+        The parent-side compute behind retraction and per-group replay:
+        each ``[start, end)`` run is handed to the spec's local reduction
+        with its *global* positions intact (compiled kernels receive the
+        index range, manual kernels a data slice plus a position-true
+        :class:`~repro.freeride.splitter.Split`), so position-dependent
+        reductions see the same coordinates a full run would.
+        """
+        scratch = session.ro.clone_empty()
+        accessor = ScratchAccessor(scratch)
+        for start, end in runs:
+            if start >= end:
+                continue
+            if session.compiled:
+                chunk: Any = range(start, end)
+            else:
+                chunk = session.data[start:end]
+            spec.reduction(
+                ReductionArgs(
+                    data=chunk,
+                    split=Split(split_id=0, start=start, end=end, data=chunk),
+                    thread_id=0,
+                    ro=accessor,
+                    extras=spec.extras,
+                )
+            )
+        return scratch
+
+    def _apply_scattered(
+        self,
+        spec: ReductionSpec,
+        session: DeltaSession,
+        idx: "np.ndarray | None" = None,
+        runs: "list[tuple[int, int]] | None" = None,
+    ) -> ReductionObject:
+        """Reduce scattered elements into a fresh scratch object.
+
+        The compute step behind retraction (``idx``: isolated positions)
+        and fragmented replay (``runs``: many short live ranges).  The
+        per-run dispatch of :meth:`_apply_ranges` pays the kernel's fixed
+        call overhead once per run, which dwarfs the work for short runs,
+        so when the session supports gathered execution
+        (``session.gather`` — see ``BoundReduction.run_gathered``) the
+        elements are copied into one contiguous buffer and reduced in a
+        single dispatch.  Long runs and manual sessions fall back to the
+        per-run walk, which reads the dataset in place.
+        """
+        if runs is None:
+            assert idx is not None
+            runs = contiguous_runs(idx)
+        total = sum(e - s for s, e in runs)
+        if (
+            session.gather is not None
+            and len(runs) > 1
+            and total < len(runs) * _GATHER_RUN_THRESHOLD
+        ):
+            if idx is None:
+                idx = np.concatenate(
+                    [np.arange(s, e, dtype=np.intp) for s, e in runs]
+                )
+            scratch = session.ro.clone_empty()
+            session.gather(session, idx, ScratchAccessor(scratch))
+            return scratch
+        return self._apply_ranges(spec, session, runs)
+
+    def run_delta(
+        self,
+        session: DeltaSession,
+        *,
+        append: Any = None,
+        retract: Any = None,
+    ) -> ReductionResult:
+        """Apply one delta epoch to a baseline session in O(|Δ|).
+
+        ``append`` adds elements after the current end of the dataset (a
+        batch in whatever form the session's dataset takes — appended rows
+        for a compiled session, new elements for a manual one); ``retract``
+        tombstones existing live positions.  The committed result is
+        bit-identical to a cold full run over the surviving elements at
+        their original positions — appends fold the tail in order,
+        invertible (``add``) groups subtract the retracted contributions,
+        and non-invertible (min/max) groups are re-reduced from the live
+        elements whose effect-summary footprint intersects them.
+
+        The commit is checkpointed: every group's pre-image is saved once
+        per epoch before it is mutated, so a failure mid-commit (including
+        one injected at :data:`DELTA_COMMIT_SPLIT_ID`) rolls the reduction
+        object, dataset length and liveness back to the previous epoch in
+        O(groups touched) and re-raises.  Sealed epochs stay in the
+        session's checkpoint ring for ``session.ro_at(epoch)`` queries.
+        """
+        if self._closed:
+            raise FreerideError("engine is closed; create a new FreerideEngine")
+        if not isinstance(session, DeltaSession):
+            raise FreerideError("run_delta requires the DeltaSession from run_baseline")
+        if append is None and retract is None:
+            raise FreerideError("run_delta needs append=... and/or retract=...")
+        retract_idx = session.normalize_retract(retract)
+        if append is None and retract_idx.size == 0:
+            raise FreerideError("run_delta called with an empty delta")
+        epoch = session.epoch + 1
+        n_old = session.n_elements
+        old_live = session.live_count
+        old_updates = session.ro.update_count
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        cp = session.checkpoints
+        saves0, hits0 = cp.saves, cp.hits
+        new_n = n_old
+        appended = 0
+        delta_ro: ReductionObject | None = None
+        stats: RunStats | None = None
+        with tracer.span(
+            "delta.apply",
+            cat="delta",
+            epoch=epoch,
+            retracted=int(retract_idx.size),
+            executor=self.executor,
+        ) as span:
+            try:
+                if append is not None:
+                    new_n = session.extend(session, append)
+                    appended = new_n - n_old
+                    if appended <= 0:
+                        raise FreerideError(
+                            "append batch added no elements (use retract= "
+                            "alone for pure retraction)"
+                        )
+                    if session.compiled:
+                        # the appended tail rides the full executor pipeline
+                        # (threads / process workers, technique selection,
+                        # fault tolerance) as a run over [n_old, new_n)
+                        spec2, idx2 = session.respec(session, (n_old, new_n))
+                        append_result = self.run(spec2, idx2)
+                        delta_ro = append_result.ro
+                        stats = append_result.stats
+                spec_full, _ = session.respec(session, None)
+                if delta_ro is None and appended:
+                    delta_ro = self._apply_ranges(
+                        spec_full, session, [(n_old, new_n)]
+                    )
+
+                # -- retract compute (never mutates the committed object) ------
+                num_groups = session.ro.num_groups
+                noninv = {
+                    g
+                    for g, (_, op) in enumerate(session.ro.layout())
+                    if op not in INVERTIBLE_ACCUMULATE_OPS
+                }
+                scratch_r: ReductionObject | None = None
+                ret_touched: frozenset[int] = frozenset()
+                if retract_idx.size:
+                    scratch_r = self._apply_scattered(
+                        spec_full, session, retract_idx
+                    )
+                    ret_touched = scratch_r.touched_groups()
+                replay_groups = sorted(g for g in ret_touched if g in noninv)
+
+                # -- replay compute: re-reduce only the live runs whose
+                # effect-summary footprint can reach a replayed group --------
+                live_after = session.live.copy()
+                if appended:
+                    live_after = np.concatenate(
+                        [live_after, np.ones(appended, dtype=bool)]
+                    )
+                live_after[retract_idx] = False
+                scratch_p: ReductionObject | None = None
+                replay_elements = 0
+                if replay_groups:
+                    bounds = getattr(spec_full, "group_bounds", None)
+                    per_range = getattr(bounds, "groups_for_range", None)
+                    leaf = (
+                        getattr(bounds, "alignment", None) or _REPLAY_PROBE_LEAF
+                    )
+                    replay_runs: list[tuple[int, int]] = []
+                    targets = set(replay_groups)
+                    for start, end in mask_runs(live_after):
+                        _replay_subranges(
+                            start, end, targets, per_range,
+                            num_groups, leaf, replay_runs,
+                        )
+                    replay_elements = sum(e - s for s, e in replay_runs)
+                    scratch_p = self._apply_scattered(
+                        spec_full, session, runs=replay_runs
+                    )
+
+                # -- checkpointed per-group commit -----------------------------
+                cp.begin(epoch, session.ro, n_elements=n_old, live_count=old_live)
+                attempt = session.commit_attempts.get(epoch, 0) + 1
+                session.commit_attempts[epoch] = attempt
+                try:
+                    if delta_ro is not None:
+                        for g in sorted(delta_ro.touched_groups()):
+                            cp.save_group(session.ro, g)
+                            session.ro.merge_group_from(g, delta_ro)
+                    if self.fault_injector is not None:
+                        # mid-commit seam: appended groups are already merged,
+                        # retracts are not — a fault here must roll back
+                        self.fault_injector.inject(DELTA_COMMIT_SPLIT_ID, attempt)
+                    if scratch_r is not None:
+                        for g in sorted(ret_touched):
+                            if g in noninv:
+                                continue
+                            cp.save_group(session.ro, g)
+                            session.ro.retract_group(g, scratch_r)
+                    if scratch_p is not None:
+                        for g in replay_groups:
+                            cp.save_group(session.ro, g)
+                            session.ro.reset_group(g)
+                            session.ro.merge_group_from(g, scratch_p)
+                    session.ro.update_count = (
+                        old_updates
+                        + (delta_ro.update_count if delta_ro is not None else 0)
+                        - (scratch_r.update_count if scratch_r is not None else 0)
+                    )
+                    cp.commit()
+                except BaseException:
+                    cp.rollback(session.ro)
+                    session.rollbacks += 1
+                    span.set(rolled_back=True)
+                    raise
+            except BaseException:
+                if new_n != n_old:
+                    session.shrink(session, n_old)
+                raise
+
+            session.live = live_after
+            session.n_elements = new_n
+            session.epoch = epoch
+            session.commit_attempts.pop(epoch, None)
+
+            if stats is None:
+                initial = self.technique or SharedMemTechnique.FULL_REPLICATION
+                stats = RunStats(
+                    num_threads=self.num_threads,
+                    num_nodes=self.num_nodes,
+                    executor=self.executor,
+                    technique=initial,
+                    technique_requested=self.technique_requested,
+                    technique_effective=initial,
+                )
+            stats.delta_epoch = epoch
+            stats.delta_mode = (
+                "append+retract"
+                if appended and retract_idx.size
+                else ("append" if appended else "retract")
+            )
+            stats.delta_appended = appended
+            stats.delta_retracted = int(retract_idx.size)
+            stats.delta_groups_replayed = len(replay_groups)
+            stats.delta_replay_elements = replay_elements
+            stats.delta_checkpoint_saves = cp.saves - saves0
+            stats.delta_checkpoint_hits = cp.hits - hits0
+            stats.ro_updates = session.ro.update_count
+            stats.ro_size = session.ro.size
+            span.set(
+                appended=appended,
+                groups_replayed=len(replay_groups),
+                replay_elements=replay_elements,
+                checkpoint_saves=stats.delta_checkpoint_saves,
+                checkpoint_hits=stats.delta_checkpoint_hits,
+                epochs_retained=len(cp.epochs()),
+            )
+
+        value: Any = (
+            session.finalize(session.ro)
+            if session.finalize is not None
+            else session.ro
+        )
+        return ReductionResult(value=value, ro=session.ro, stats=stats)
 
     # -- one node's local pipeline ---------------------------------------------
 
@@ -1808,7 +2299,20 @@ class FreerideEngine:
                 "the spec with BoundReduction.make_spec (a hand-written "
                 "ReductionSpec closure cannot be shipped to worker processes)"
             )
-        name, nbytes = self._res.segments.publish(kspec.data_raw)
+        if kspec.shm_session is not None:
+            # delta sessions publish into one growable session segment —
+            # a delta pass ships only the appended tail's bytes.  The
+            # trusted prefix ends where the delta range starts, so bytes a
+            # rolled-back batch left behind are rewritten, not reused.
+            valid_prefix = None
+            if kspec.delta_range is not None and kspec.n_elements:
+                elem_size = len(kspec.data_raw) // kspec.n_elements
+                valid_prefix = kspec.delta_range[0] * elem_size
+            name, nbytes = self._res.segments.publish_session(
+                kspec.shm_session, kspec.data_raw, valid_prefix=valid_prefix
+            )
+        else:
+            name, nbytes = self._res.segments.publish(kspec.data_raw)
         return {
             "digest": kspec.digest,
             "source": kspec.source,

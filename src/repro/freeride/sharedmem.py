@@ -561,7 +561,73 @@ class SharedBufferCache:
 
     def __init__(self) -> None:
         self._entries: dict[str, mp_shm.SharedMemory] = {}
+        #: session key -> (segment, bytes currently valid in it); see
+        #: :meth:`publish_session`
+        self._sessions: dict[str, tuple[mp_shm.SharedMemory, int]] = {}
+        #: bytes copied by session publishes, split by kind — a delta
+        #: session's steady state is tail-only (the incremental win the
+        #: benchmarks assert); full copies happen only on first publish
+        #: and on capacity growth
+        self.session_tail_bytes = 0
+        self.session_full_bytes = 0
         self._lock = threading.Lock()
+
+    def publish_session(
+        self, key: str, arr: np.ndarray, valid_prefix: int | None = None
+    ) -> tuple[str, int]:
+        """Publish a *growable* buffer under a caller-chosen session key.
+
+        Unlike :meth:`publish` (content-addressed, one immutable segment
+        per distinct byte string), a session segment is updated in place:
+        when ``arr`` extends the previously published bytes, only the new
+        tail is copied — O(|Δ|) per delta run instead of O(n).  The
+        segment is over-allocated 2× so repeated appends amortize; past
+        capacity a larger segment replaces it (workers re-attach by the
+        new name; the old segment is unlinked but stays mapped wherever
+        it is still open).
+
+        ``valid_prefix`` caps how many previously published bytes are
+        trusted — after a rolled-back delta shrank the dataset, bytes past
+        the rollback point are stale and are rewritten.
+        """
+        arr = np.asarray(arr)
+        if not arr.flags["C_CONTIGUOUS"]:
+            raise FreerideError("can only publish C-contiguous buffers")
+        flat = arr.reshape(-1).view(np.uint8)
+        nbytes = int(flat.size)
+        with self._lock:
+            entry = self._sessions.get(key)
+            if entry is not None:
+                shm, written = entry
+                if valid_prefix is not None:
+                    written = min(written, int(valid_prefix))
+                written = min(written, nbytes)
+                if shm.size >= nbytes:
+                    if nbytes > written:
+                        dst = np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)
+                        dst[written:nbytes] = flat[written:nbytes]
+                        del dst
+                        self.session_tail_bytes += nbytes - written
+                    self._sessions[key] = (shm, nbytes)
+                    return shm.name, nbytes
+                # outgrew capacity: migrate to a doubled segment (full copy)
+                new = create_shm_segment(max(2 * nbytes, 1))
+                if nbytes:
+                    dst = np.ndarray((nbytes,), dtype=np.uint8, buffer=new.buf)
+                    dst[:] = flat
+                    del dst
+                self.session_full_bytes += nbytes
+                close_shm_segment(shm, unlink=True)
+                self._sessions[key] = (new, nbytes)
+                return new.name, nbytes
+            shm = create_shm_segment(max(2 * nbytes, 1))
+            if nbytes:
+                dst = np.ndarray((nbytes,), dtype=np.uint8, buffer=shm.buf)
+                dst[:] = flat
+                del dst
+            self.session_full_bytes += nbytes
+            self._sessions[key] = (shm, nbytes)
+            return shm.name, nbytes
 
     def publish(self, arr: np.ndarray) -> tuple[str, int]:
         """Copy ``arr`` into a shared segment (once); returns ``(name, nbytes)``."""
@@ -588,11 +654,16 @@ class SharedBufferCache:
     def names(self) -> list[str]:
         """Names of the live segments (tests assert they vanish on close)."""
         with self._lock:
-            return [shm.name for shm in self._entries.values()]
+            return [shm.name for shm in self._entries.values()] + [
+                shm.name for shm, _ in self._sessions.values()
+            ]
 
     def close(self) -> None:
         """Unlink and close every published segment.  Idempotent."""
         with self._lock:
             entries, self._entries = list(self._entries.values()), {}
+            sessions, self._sessions = list(self._sessions.values()), {}
         for shm in entries:
+            close_shm_segment(shm, unlink=True)
+        for shm, _ in sessions:
             close_shm_segment(shm, unlink=True)

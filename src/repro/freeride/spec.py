@@ -67,6 +67,18 @@ class KernelSpec:
     #: kernel cache, False when this process ran the C compiler; ``None``
     #: for non-native tiers (also surfaced in persisted run profiles)
     native_disk_hit: bool | None = None
+    #: for delta runs: the ``[start, end)`` element range this run covers —
+    #: the appended tail of an incrementally grown dataset.  ``None`` for
+    #: ordinary full runs.  All kernel tiers already take ``(_start,
+    #: _end)``, so executors run delta ranges unmodified; the engine uses
+    #: this to split only the range and to republish only the tail of the
+    #: shared-memory dataset segment.
+    delta_range: tuple[int, int] | None = None
+    #: stable session key for shared-memory publication.  ``None`` selects
+    #: the content-addressed cache (one segment per distinct buffer);
+    #: delta sessions set a key so the engine publishes into one growable
+    #: segment and ships only the appended tail on each delta run.
+    shm_session: str | None = None
     data_raw: Any = field(repr=False, default=None)
     counters: Any = field(repr=False, default=None)
 

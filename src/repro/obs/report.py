@@ -67,6 +67,11 @@ class TraceReport:
     #: native compile request, distinguishing a disk-cache dlopen from a
     #: fresh toolchain invocation
     native_cache: list[dict[str, Any]] = field(default_factory=list)
+    #: one record per ``delta.apply`` span (cat == "delta"): the epoch,
+    #: Δ sizes, replay scope, checkpoint counters, rollback flag and
+    #: seconds — incremental runs render as their own table so a reader
+    #: can tell an O(|Δ|) pass from a full reduction at a glance
+    deltas: list[dict[str, Any]] = field(default_factory=list)
     #: engine.run span count (= reduction passes in the trace)
     runs: int = 0
     #: one record per ``engine.run`` span: its args (spec, executor,
@@ -136,6 +141,10 @@ def summarize_trace(events: Iterable[dict[str, Any]]) -> TraceReport:
         elif cat == "combination":
             count, secs = report.combination.get(name, (0, 0.0))
             report.combination[name] = (count + 1, secs + dur_s)
+        elif cat == "delta" and name == "delta.apply":
+            rec = dict(ev.get("args") or {})
+            rec["seconds"] = dur_s
+            report.deltas.append(rec)
         elif cat == "engine" and name == "engine.run":
             report.runs += 1
             rec = dict(ev.get("args") or {})
@@ -195,6 +204,30 @@ def format_report(report: TraceReport) -> str:
         lines.append(f"  {'span':<24} {'count':>7} {'seconds':>12}")
         for name, (count, secs) in sorted(report.combination.items()):
             lines.append(f"  {name:<24} {count:>7} {_fmt_seconds(secs):>12}")
+
+    if report.deltas:
+        lines.append("")
+        lines.append("incremental delta runs (cat=delta)")
+        header = (
+            f"  {'epoch':>5} {'+elems':>8} {'-elems':>8} {'replayed':>9} "
+            f"{'re-elems':>9} {'cp saves':>9} {'seconds':>12}"
+        )
+        lines.append(header)
+        for d in report.deltas:
+            rolled = bool(d.get("rolled_back"))
+            lines.append(
+                f"  {d.get('epoch', '?'):>5} {d.get('appended', 0):>8} "
+                f"{d.get('retracted', 0):>8} {d.get('groups_replayed', 0):>9} "
+                f"{d.get('replay_elements', 0):>9} "
+                f"{d.get('checkpoint_saves', 0):>9} "
+                f"{_fmt_seconds(d.get('seconds', 0.0)):>12}"
+                + ("  ROLLED BACK" if rolled else "")
+            )
+            if d.get("epochs_retained") is not None:
+                lines.append(
+                    f"        checkpoint ring retains "
+                    f"{d['epochs_retained']} epoch(s)"
+                )
 
     if report.decisions:
         lines.append("")

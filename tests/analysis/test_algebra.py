@@ -1,11 +1,29 @@
 """Reduce-op algebra checker: seeded trials and structural checks."""
 
+import math
+
+import pytest
+
 from repro.analysis import check_reduce_op, check_registry
-from repro.chapel.reduce_op import REDUCE_OPS, ReduceScanOp
+from repro.analysis.algebra import accepted_families, check_invertibility
+from repro.chapel.reduce_op import (
+    REDUCE_OPS,
+    ReduceScanOp,
+    register_reduce_op,
+    supports_retract,
+)
+from repro.util.errors import ChapelError
 
 
 def codes(cls):
     return [d.code for d in check_reduce_op(cls)]
+
+
+def fold(cls, xs):
+    op = cls()
+    for x in xs:
+        op.accumulate(x)
+    return op
 
 
 class TestBuiltinsPass:
@@ -138,6 +156,160 @@ class TestViolationsCaught:
                 return self.value[0]
 
         assert "RS010" not in codes(FreshList)
+
+
+class TestNaNFamily:
+    """The float_nan family: NaN-naive extremum folds are order-dependent."""
+
+    def test_builtin_min_max_propagate_nan(self):
+        from repro.chapel.reduce_op import MaxReduceScanOp, MinReduceScanOp
+
+        nan = float("nan")
+        for cls in (MaxReduceScanOp, MinReduceScanOp):
+            # NaN poisons regardless of arrival order (np.minimum semantics)
+            assert math.isnan(fold(cls, [nan, 1.0, -2.0]).generate())
+            assert math.isnan(fold(cls, [1.0, -2.0, nan]).generate())
+            a = fold(cls, [1.0, 2.0])
+            a.combine(fold(cls, [nan]))
+            assert math.isnan(a.generate())
+
+    def test_builtin_min_max_accept_and_survive_nan_family(self):
+        from repro.chapel.reduce_op import MaxReduceScanOp, MinReduceScanOp
+
+        for cls in (MaxReduceScanOp, MinReduceScanOp):
+            assert "float_nan" in accepted_families(cls)
+            assert codes(cls) == []
+
+    def test_nan_naive_min_is_flagged(self):
+        # the pre-fix builtin behavior: a bare ``<`` ignores NaN when the
+        # current value is NaN-free, but keeps it when NaN arrives first —
+        # the fold result depends on where NaN lands in the order
+        class NaiveMin(ReduceScanOp):
+            identity = None
+
+            def accumulate(self, x):
+                if self.value is None or x < self.value:
+                    self.value = x
+
+            def combine(self, other):
+                if other.value is not None:
+                    self.accumulate(other.value)
+
+        got = codes(NaiveMin)
+        assert any(c in ("RS011", "RS012") for c in got), got
+
+    def test_nan_results_compare_equal_across_orders(self):
+        # an op that is NaN-poisoning everywhere must NOT be flagged just
+        # because nan != nan
+        class PoisonSum(ReduceScanOp):
+            identity = 0.0
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+        assert "RS011" not in codes(PoisonSum)
+        assert "RS012" not in codes(PoisonSum)
+
+
+class TestInvertibility:
+    """check_invertibility verdicts and the register-time RS037 gate."""
+
+    def test_builtin_sum_hook_verified(self):
+        from repro.chapel.reduce_op import SumReduceScanOp
+
+        got = [d.code for d in check_invertibility(SumReduceScanOp)]
+        assert "RS034" in got and "RS037" not in got
+
+    def test_min_without_hook_is_rs035(self):
+        from repro.chapel.reduce_op import MinReduceScanOp
+
+        assert [d.code for d in check_invertibility(MinReduceScanOp)] == [
+            "RS035"
+        ]
+
+    def test_nan_family_excluded_from_trials(self):
+        # float sum accepts NaN input, and x + nan - nan != x — yet the
+        # subtraction hook must still register, because NaN-poisoned
+        # groups fall back to replay instead of direct retraction
+        class FloatSum(ReduceScanOp):
+            identity = 0.0
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+        assert "float_nan" in accepted_families(FloatSum)
+        register_reduce_op("fsum_test", FloatSum, inverse=lambda s, x: s - x)
+        try:
+            assert supports_retract(FloatSum)
+            op = fold(FloatSum, [1.5, 2.25])
+            op.retract(2.25)
+            assert op.generate() == 1.5
+        finally:
+            del REDUCE_OPS["fsum_test"]
+
+    def test_wrong_inverse_hook_refused_with_rs037(self):
+        class ScaledSum(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+        with pytest.raises(ChapelError, match="RS037"):
+            register_reduce_op(
+                "scaled_sum", ScaledSum, inverse=lambda s, x: s - 2 * x
+            )
+        # the refusal leaves no trace: not registered, no hook installed
+        assert "scaled_sum" not in REDUCE_OPS
+        assert not supports_retract(ScaledSum)
+        assert "retract" not in ScaledSum.__dict__
+
+    def test_raising_inverse_hook_refused_with_rs037(self):
+        class Sum(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value += x
+
+            def combine(self, other):
+                self.value += other.value
+
+        def explode(state, x):
+            raise ValueError("boom")
+
+        with pytest.raises(ChapelError, match="RS037"):
+            register_reduce_op("exploding_sum", Sum, inverse=explode)
+        assert "exploding_sum" not in REDUCE_OPS
+        assert not supports_retract(Sum)
+
+    def test_prior_retract_restored_after_refusal(self):
+        class Toggle(ReduceScanOp):
+            identity = 0
+
+            def accumulate(self, x):
+                self.value ^= x
+
+            def combine(self, other):
+                self.value ^= other.value
+
+            def retract(self, x):
+                self.value ^= x
+
+        original = Toggle.__dict__["retract"]
+        with pytest.raises(ChapelError, match="RS037"):
+            register_reduce_op("toggle", Toggle, inverse=lambda s, x: s + x)
+        assert Toggle.__dict__["retract"] is original
+        op = fold(Toggle, [0b101, 0b110])
+        op.retract(0b110)
+        assert op.generate() == 0b101
 
 
 class TestDeterminism:

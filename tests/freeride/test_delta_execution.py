@@ -1,0 +1,281 @@
+"""Incremental delta execution: equivalence, rollback, and fast paths.
+
+The contract under test: after any sequence of ``run_delta`` appends and
+retractions, the session's committed reduction object is **bit-identical**
+to a cold full run over the surviving elements (appends at the tail,
+retracted positions tombstoned).  All float data is dyadic (1/8 grids) so
+addition is exact and the bit-identity claim is meaningful — see the
+RS036 diagnostic for the general-float caveat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.translate import compile_reduction
+from repro.freeride.faults import FaultInjector, InjectedFault
+from repro.freeride.runtime import DELTA_COMMIT_SPLIT_ID, FreerideEngine
+from repro.freeride.spec import ReductionArgs, ReductionSpec
+
+HISTOGRAM_SOURCE = """
+class histogramReduction : ReduceScanOp {
+  var bins: int;
+  var lo: real;
+  var width: real;
+
+  def accumulate(x: real) {
+    var b: int = toInt((x - lo) / width);
+    if (b < 0) { b = 0; }
+    if (b > bins - 1) { b = bins - 1; }
+    roAdd(b, 0, 1.0);
+    roAdd(b, 1, x);
+  }
+}
+"""
+HISTOGRAM_CONSTS = {"bins": 8, "lo": 0.0, "width": 0.25}
+HISTOGRAM_LAYOUT = [(2, "add")] * 8
+
+# mixed add/min/max over one scalar stream — exercises the invertible
+# subtract path and the non-invertible replay path in the same epoch
+MIXED_SOURCE = """
+class mixedReduction : ReduceScanOp {
+  def accumulate(x: real) {
+    roAdd(0, 0, x);
+    roMin(1, 0, x);
+    roMax(2, 0, x);
+  }
+}
+"""
+MIXED_LAYOUT = [(1, "add"), (1, "min"), (1, "max")]
+
+WINDOW_MIN_SOURCE = """
+class windowMin : ReduceScanOp {
+  def accumulate(x: real) {
+    var w: int = toInt(elemIdx() / win);
+    if (w > numWin - 1) { w = numWin - 1; }
+    roMin(w, 0, x);
+  }
+}
+"""
+
+
+def _dyadic(rng: np.random.Generator, n: int) -> np.ndarray:
+    return np.round(rng.normal(0, 1, n) * 8) / 8
+
+
+def _cold(engine, source, consts, data, layout, opt_level=2, backend="batch"):
+    comp = compile_reduction(source, consts, opt_level, backend=backend)
+    bound = comp.bind(np.array(data, copy=True), {})
+    spec, idx = bound.make_spec(layout)
+    return engine.run(spec, idx)
+
+
+@pytest.mark.parametrize("opt_level", [0, 2])
+@pytest.mark.parametrize(
+    "executor,threads",
+    [("serial", 1), ("threads", 2), ("process", 2)],
+)
+def test_delta_equals_cold_run_histogram(executor, threads, opt_level):
+    rng = np.random.default_rng(7)
+    base = _dyadic(rng, 400)
+    comp = compile_reduction(
+        HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, opt_level, backend="batch"
+    )
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(num_threads=threads, executor=executor) as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=HISTOGRAM_LAYOUT)
+        tail = _dyadic(rng, 60)
+        retract = [3, 4, 5, 120, 250]
+        res = eng.run_delta(sess, append=tail, retract=retract)
+
+        survivors = np.concatenate([np.delete(base, retract), tail])
+        cold = _cold(
+            eng, HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, survivors,
+            HISTOGRAM_LAYOUT, opt_level,
+        )
+        assert np.array_equal(sess.ro.snapshot(), cold.ro.snapshot())
+        assert sess.ro.update_count == cold.ro.update_count
+        assert res.stats.delta_mode == "append+retract"
+        assert res.stats.delta_appended == 60
+        assert res.stats.delta_retracted == 5
+        assert res.stats.delta_epoch == 1
+        assert res.stats.technique_effective is not None
+
+
+def test_delta_mixed_ops_retract_replays_min_max():
+    rng = np.random.default_rng(3)
+    base = _dyadic(rng, 200)
+    comp = compile_reduction(MIXED_SOURCE, {}, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=MIXED_LAYOUT)
+        # retract the global min and max so both groups must replay
+        retract = [int(np.argmin(base)), int(np.argmax(base))]
+        res = eng.run_delta(sess, retract=retract)
+        assert res.stats.delta_mode == "retract"
+        assert res.stats.delta_groups_replayed == 2  # min and max groups
+
+        survivors = np.delete(base, retract)
+        assert sess.ro.get(0, 0) == survivors.sum()
+        assert sess.ro.get(1, 0) == survivors.min()
+        assert sess.ro.get(2, 0) == survivors.max()
+
+
+def test_windowed_min_replay_is_effect_summary_bounded():
+    consts = {"win": 10, "numWin": 10}
+    rng = np.random.default_rng(11)
+    base = _dyadic(rng, 100)
+    layout = [(1, "min")] * 10
+    comp = compile_reduction(WINDOW_MIN_SOURCE, consts, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=layout)
+        i2 = 20 + int(np.argmin(base[20:30]))
+        i7 = 70 + int(np.argmin(base[70:80]))
+        res = eng.run_delta(sess, retract=[i2, i7])
+        # only the two affected windows replay, and the replay scan stays
+        # near their footprint instead of re-reading the whole dataset
+        assert res.stats.delta_groups_replayed == 2
+        assert res.stats.delta_replay_elements <= 64
+        live = np.ones(100, bool)
+        live[[i2, i7]] = False
+        for w in range(10):
+            vals = base[w * 10 : (w + 1) * 10][live[w * 10 : (w + 1) * 10]]
+            assert sess.ro.get(w, 0) == vals.min()
+
+
+def test_append_grows_into_clamped_window():
+    consts = {"win": 10, "numWin": 10}
+    rng = np.random.default_rng(5)
+    base = _dyadic(rng, 100)
+    layout = [(1, "min")] * 10
+    comp = compile_reduction(WINDOW_MIN_SOURCE, consts, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=layout)
+        tail = _dyadic(rng, 15)
+        eng.run_delta(sess, append=tail)
+        assert sess.n_elements == 115
+        w9 = np.concatenate([base[90:], tail])  # appended tail clamps to w9
+        assert sess.ro.get(9, 0) == w9.min()
+
+
+def test_multi_epoch_deltas_stay_identical():
+    rng = np.random.default_rng(23)
+    base = _dyadic(rng, 300)
+    comp = compile_reduction(HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=HISTOGRAM_LAYOUT)
+        all_data = base
+        for epoch in range(1, 5):
+            tail = _dyadic(rng, 20)
+            live_idx = np.flatnonzero(sess.live)
+            retract = rng.choice(live_idx, size=7, replace=False)
+            eng.run_delta(sess, append=tail, retract=retract)
+            all_data = np.concatenate([all_data, tail])
+            assert sess.epoch == epoch
+        survivors = all_data[sess.live]
+        cold = _cold(
+            eng, HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, survivors, HISTOGRAM_LAYOUT
+        )
+        assert np.array_equal(sess.ro.snapshot(), cold.ro.snapshot())
+        assert sess.ro.update_count == cold.ro.update_count
+
+
+# -- fault injection and rollback ------------------------------------------------
+
+
+def test_mid_commit_fault_rolls_back_and_retry_succeeds():
+    rng = np.random.default_rng(9)
+    base = _dyadic(rng, 200)
+    comp = compile_reduction(HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    injector = FaultInjector(
+        fail_split_ids={DELTA_COMMIT_SPLIT_ID}, fail_attempts=1
+    )
+    with FreerideEngine(executor="serial", fault_injector=injector) as eng:
+        _, sess = eng.run_baseline(bound=bound, ro_layout=HISTOGRAM_LAYOUT)
+        before = sess.ro.snapshot()
+        tail = _dyadic(rng, 30)
+        with pytest.raises(InjectedFault):
+            eng.run_delta(sess, append=tail, retract=[1, 2])
+        # full rollback: RO, epoch, dataset length, liveness, bound buffer
+        assert np.array_equal(sess.ro.snapshot(), before)
+        assert sess.epoch == 0
+        assert sess.n_elements == 200
+        assert sess.live.all() and sess.live.size == 200
+        assert sess.rollbacks == 1
+        assert bound.n_elements == 200
+
+        # the retry is attempt 2 for this epoch, past fail_attempts
+        eng.run_delta(sess, append=tail, retract=[1, 2])
+        survivors = np.concatenate([np.delete(base, [1, 2]), tail])
+        cold = _cold(
+            eng, HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, survivors, HISTOGRAM_LAYOUT
+        )
+        assert np.array_equal(sess.ro.snapshot(), cold.ro.snapshot())
+        assert sess.epoch == 1
+
+
+# -- manual (uncompiled) sessions -----------------------------------------------
+
+
+def _manual_sum_spec() -> ReductionSpec:
+    def setup(ro):
+        ro.alloc(1, "add")
+
+    def reduction(args: ReductionArgs) -> None:
+        for x in args.data:
+            args.ro.accumulate(0, 0, float(x))
+
+    return ReductionSpec(
+        name="manual-sum", setup_reduction_object=setup, reduction=reduction
+    )
+
+
+def test_manual_session_append_retract():
+    rng = np.random.default_rng(2)
+    base = _dyadic(rng, 100)
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(_manual_sum_spec(), base.copy())
+        assert sess.compiled is False and sess.gather is None
+        tail = _dyadic(rng, 10)
+        eng.run_delta(sess, append=tail, retract=[0, 50])
+        survivors = np.concatenate([np.delete(base, [0, 50]), tail])
+        assert sess.ro.get(0, 0) == survivors.sum()
+        assert sess.ro.update_count == survivors.size
+
+
+# -- API guards ------------------------------------------------------------------
+
+
+def test_run_delta_rejects_bad_inputs():
+    rng = np.random.default_rng(1)
+    base = _dyadic(rng, 50)
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = eng.run_baseline(_manual_sum_spec(), base.copy())
+        with pytest.raises(Exception):
+            eng.run_delta(sess)  # empty delta
+        with pytest.raises(Exception):
+            eng.run_delta("not-a-session", append=[1.0])
+        with pytest.raises(Exception):
+            eng.run_delta(sess, retract=[999])  # out of range
+        eng.run_delta(sess, retract=[4])
+        with pytest.raises(Exception):
+            eng.run_delta(sess, retract=[4])  # double retract refused
+
+
+def test_run_baseline_argument_exclusivity():
+    rng = np.random.default_rng(1)
+    base = _dyadic(rng, 50)
+    comp = compile_reduction(HISTOGRAM_SOURCE, HISTOGRAM_CONSTS, 2, backend="batch")
+    bound = comp.bind(base.copy(), {})
+    with FreerideEngine(executor="serial") as eng:
+        with pytest.raises(Exception):
+            eng.run_baseline(_manual_sum_spec(), base, bound=bound)
+        with pytest.raises(Exception):
+            eng.run_baseline(bound=bound)  # missing ro_layout
+        with pytest.raises(Exception):
+            eng.run_baseline()

@@ -1,0 +1,267 @@
+"""Unit tests for the delta-execution building blocks.
+
+Covers the pieces :mod:`repro.freeride.delta` exposes in isolation —
+run/mask helpers, the copy-on-write checkpoint ring, session retraction
+bookkeeping — plus the gathered-execution kernel fast path and the
+session-keyed shared-memory publish that the engine composes into
+``run_delta``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiler.translate import compile_reduction
+from repro.freeride.delta import (
+    ROCheckpoint,
+    contiguous_runs,
+    mask_runs,
+)
+from repro.freeride.reduction_object import ReductionObject
+from repro.freeride.runtime import FreerideEngine
+from repro.freeride.sharedmem import SharedBufferCache
+from repro.util.errors import CompilerError, FreerideError
+
+
+# -- run helpers -----------------------------------------------------------------
+
+
+def test_contiguous_runs():
+    assert contiguous_runs(np.array([], dtype=np.intp)) == []
+    assert contiguous_runs(np.array([4])) == [(4, 5)]
+    assert contiguous_runs(np.array([1, 2, 3, 7, 9, 10])) == [
+        (1, 4),
+        (7, 8),
+        (9, 11),
+    ]
+
+
+def test_mask_runs():
+    assert mask_runs(np.array([], dtype=bool)) == []
+    assert mask_runs(np.array([True, True, False, True])) == [(0, 2), (3, 4)]
+    assert mask_runs(np.zeros(5, dtype=bool)) == []
+    assert mask_runs(np.ones(3, dtype=bool)) == [(0, 3)]
+
+
+# -- checkpoint ring -------------------------------------------------------------
+
+
+def _ro_sum_min() -> ReductionObject:
+    ro = ReductionObject()
+    ro.alloc_many([(1, "add"), (1, "min")])
+    ro.accumulate(0, 0, 5.0)
+    ro.accumulate(1, 0, 2.0)
+    return ro
+
+
+def test_checkpoint_cow_saves_and_hits():
+    ro = _ro_sum_min()
+    cp = ROCheckpoint(capacity=4)
+    cp.begin(1, ro, n_elements=10, live_count=10)
+    cp.save_group(ro, 0)
+    cp.save_group(ro, 0)  # second save of same group is a COW hit
+    assert (cp.saves, cp.hits) == (1, 1)
+    ro.accumulate(0, 0, 100.0)
+    cp.commit()
+    assert cp.epochs() == [1]
+
+
+def test_checkpoint_rollback_restores_pre_images():
+    ro = _ro_sum_min()
+    cp = ROCheckpoint(capacity=4)
+    cp.begin(1, ro, n_elements=10, live_count=10)
+    cp.save_group(ro, 0)
+    ro.accumulate(0, 0, 100.0)
+    ro.update_count += 1
+    restored, n, live = cp.rollback(ro)
+    assert (restored, n, live) == (1, 10, 10)
+    assert ro.get(0, 0) == 5.0
+    assert ro.update_count == 2  # the two baseline accumulates
+    # the failed epoch never entered the ring
+    assert cp.epochs() == []
+
+
+def test_checkpoint_double_begin_refused():
+    ro = _ro_sum_min()
+    cp = ROCheckpoint(capacity=2)
+    cp.begin(1, ro, n_elements=1, live_count=1)
+    with pytest.raises(FreerideError):
+        cp.begin(2, ro, n_elements=1, live_count=1)
+    with pytest.raises(FreerideError):
+        ROCheckpoint(capacity=2).save_group(ro, 0)
+
+
+def test_checkpoint_ring_eviction_and_restore():
+    ro = _ro_sum_min()
+    cp = ROCheckpoint(capacity=2)
+    for epoch in (1, 2, 3):
+        cp.begin(epoch, ro, n_elements=10, live_count=10)
+        cp.save_group(ro, 0)
+        ro.accumulate(0, 0, float(epoch))
+        cp.commit()
+    # capacity 2: epoch-1's record was evicted
+    assert cp.epochs() == [2, 3]
+    assert cp.restorable_epochs(current_epoch=3) == [1, 2, 3]
+    # value history: 5 -> 6 (e1) -> 8 (e2) -> 11 (e3)
+    assert cp.restore(ro, 2, 3).get(0, 0) == 8.0
+    assert cp.restore(ro, 1, 3).get(0, 0) == 6.0
+    with pytest.raises(FreerideError):
+        cp.restore(ro, 0, 3)  # beyond the ring
+    assert cp.retained_groups == 2
+
+
+# -- session bookkeeping ---------------------------------------------------------
+
+
+def _histogram_session(engine, n=60, seed=0):
+    source = """
+class histogramReduction : ReduceScanOp {
+  var bins: int;
+  var lo: real;
+  var width: real;
+
+  def accumulate(x: real) {
+    var b: int = toInt((x - lo) / width);
+    if (b < 0) { b = 0; }
+    if (b > bins - 1) { b = bins - 1; }
+    roAdd(b, 0, 1.0);
+  }
+}
+"""
+    rng = np.random.default_rng(seed)
+    data = np.round(rng.normal(0, 1, n) * 8) / 8
+    comp = compile_reduction(
+        source, {"bins": 4, "lo": -2.0, "width": 1.0}, 2, backend="batch"
+    )
+    bound = comp.bind(data.copy(), {})
+    _, sess = engine.run_baseline(bound=bound, ro_layout=[(1, "add")] * 4)
+    return data, sess
+
+
+def test_normalize_retract_validation():
+    with FreerideEngine(executor="serial") as eng:
+        _, sess = _histogram_session(eng)
+        assert sess.normalize_retract(None).size == 0
+        out = sess.normalize_retract([5, 3, 3])
+        assert list(out) == [3, 5]  # sorted, deduped
+        with pytest.raises(FreerideError):
+            sess.normalize_retract([-1])
+        with pytest.raises(FreerideError):
+            sess.normalize_retract([60])
+        eng.run_delta(sess, retract=[7])
+        with pytest.raises(FreerideError):
+            sess.normalize_retract([7])  # already tombstoned
+
+
+def test_live_runs_and_ro_at():
+    with FreerideEngine(executor="serial") as eng:
+        data, sess = _histogram_session(eng)
+        baseline = sess.ro.snapshot()
+        eng.run_delta(sess, retract=[10, 11, 12])
+        assert sess.live_runs() == [(0, 10), (13, 60)]
+        assert np.array_equal(sess.ro_at(0).snapshot(), baseline)
+        assert np.array_equal(sess.ro_at(1).snapshot(), sess.ro.snapshot())
+        with pytest.raises(FreerideError):
+            sess.ro_at(5)
+
+
+# -- gathered execution ----------------------------------------------------------
+
+
+SUM_SOURCE = """
+class sumReduction : ReduceScanOp {
+  def accumulate(x: real) {
+    roAdd(0, 0, x);
+  }
+}
+"""
+
+IDX_SOURCE = """
+class idxSum : ReduceScanOp {
+  def accumulate(x: real) {
+    roAdd(0, 0, x * elemIdx());
+  }
+}
+"""
+
+
+def _scratch(layout):
+    ro = ReductionObject()
+    ro.alloc_many(layout)
+    ro.freeze_layout()
+    return ro
+
+
+def test_run_gathered_position_independent():
+    data = np.arange(10, dtype=np.float64)
+    comp = compile_reduction(SUM_SOURCE, {}, 2, backend="batch")
+    assert comp.position_dependent is False
+    bound = comp.bind(data.copy(), {})
+    assert bound.gather_supported
+    ro = _scratch([(1, "add")])
+    assert bound.run_gathered(np.array([2, 5, 9]), ro) == 3
+    assert ro.get(0, 0) == data[[2, 5, 9]].sum()
+    assert bound.run_gathered(np.array([], dtype=np.intp), ro) == 0
+
+
+def test_run_gathered_elem_idx_uses_global_indices():
+    # the batch backend accepts the true global indices through the env,
+    # so elemIdx()-dependent kernels see original positions even though
+    # the elements were compacted into a gathered buffer
+    data = np.arange(10, dtype=np.float64) + 1
+    comp = compile_reduction(IDX_SOURCE, {}, 2, backend="batch")
+    assert comp.position_dependent is True
+    bound = comp.bind(data.copy(), {})
+    assert bound.gather_supported
+    ro = _scratch([(1, "add")])
+    idx = np.array([3, 7])
+    bound.run_gathered(idx, ro)
+    assert ro.get(0, 0) == (data[3] * 3) + (data[7] * 7)
+
+
+def test_run_gathered_refused_on_scalar_backend_with_elem_idx():
+    data = np.arange(10, dtype=np.float64)
+    comp = compile_reduction(IDX_SOURCE, {}, 2, backend="scalar")
+    bound = comp.bind(data.copy(), {})
+    assert bound.gather_supported is False
+    with pytest.raises(CompilerError):
+        bound.run_gathered(np.array([1, 2]), _scratch([(1, "add")]))
+
+
+# -- session-keyed shared-memory publish -----------------------------------------
+
+
+def test_publish_session_tail_only_republish():
+    cache = SharedBufferCache()
+    try:
+        arr = np.arange(100, dtype=np.uint8)
+        name1, n1 = cache.publish_session("s", arr)
+        assert n1 == 100
+        full0 = cache.session_full_bytes
+        # growing within 2x over-allocated capacity copies only the tail
+        grown = np.arange(150, dtype=np.uint8)
+        name2, n2 = cache.publish_session("s", grown)
+        assert (name2, n2) == (name1, 150)
+        assert cache.session_tail_bytes == 50
+        assert cache.session_full_bytes == full0
+        # past capacity: a doubled segment, full copy, old one replaced
+        big = np.arange(500, dtype=np.uint8)
+        name3, n3 = cache.publish_session("s", big)
+        assert name3 != name1 and n3 == 500
+        assert cache.session_full_bytes > full0
+    finally:
+        cache.close()
+
+
+def test_publish_session_valid_prefix_clamps_trusted_bytes():
+    cache = SharedBufferCache()
+    try:
+        arr = np.arange(100, dtype=np.uint8)
+        cache.publish_session("s", arr)
+        # rollback scenario: only the first 40 bytes are still trusted, so
+        # a same-length republish must rewrite everything past the prefix
+        cache.publish_session("s", arr, valid_prefix=40)
+        assert cache.session_tail_bytes == 60
+    finally:
+        cache.close()
